@@ -1,0 +1,141 @@
+// Experiment E13 (ablations of the paper's design choices):
+//   a) single-placement optimal wave (Sec. 3.2) vs the redundant basic
+//      wave (Sec. 3.1): same guarantee, ~2x-log-factor storage gap and the
+//      update-cost gap (multi-level insert vs one insert);
+//   b) the Lemma 2 constant: accuracy vs c in the randomized wave — how
+//      much of c = 36 is analysis slack;
+//   c) delta/Elias-gamma encoding (end of Sec. 3.2) vs fixed-width
+//      positions: the log(eps N) vs log N bit factor, measured.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/basic_wave.hpp"
+#include "core/compact_wave.hpp"
+#include "core/det_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/generators.hpp"
+#include "util/bitops.hpp"
+
+namespace {
+
+using namespace waves;
+
+void placement_ablation() {
+  bench::header(
+      "E13a: single-placement (optimal wave) vs redundant storage (basic "
+      "wave)");
+  bench::row_line({"1/eps", "N", "basic_entries", "det_slots", "basic_us/item",
+                   "det_us/item"});
+  for (std::uint64_t inv_eps : {10u, 50u}) {
+    for (std::uint64_t window : {std::uint64_t{1} << 12, std::uint64_t{1} << 18}) {
+      core::BasicWave basic(inv_eps, window);
+      core::DetWave det(inv_eps, window);
+      stream::BernoulliBits gen(0.5, inv_eps + window);
+      const std::uint64_t items = 400000;
+      bench::Stopwatch sw;
+      sw.start();
+      stream::BernoulliBits g1(0.5, 1);
+      for (std::uint64_t i = 0; i < items; ++i) basic.update(g1.next());
+      const double tb = sw.seconds();
+      sw.start();
+      stream::BernoulliBits g2(0.5, 1);
+      for (std::uint64_t i = 0; i < items; ++i) det.update(g2.next());
+      const double td = sw.seconds();
+      // Count live basic-wave entries (sum of level queue sizes).
+      std::size_t basic_entries = 0;
+      for (int l = 0; l < basic.levels(); ++l) {
+        basic_entries += basic.level_contents(l).size();
+      }
+      std::size_t det_slots = 0;
+      det_slots = det.entries().size();
+      bench::row_line(
+          {std::to_string(inv_eps), bench::fmt_u(window),
+           std::to_string(basic_entries), std::to_string(det_slots),
+           bench::fmt(tb / static_cast<double>(items) * 1e6, 4),
+           bench::fmt(td / static_cast<double>(items) * 1e6, 4)});
+      (void)gen;
+    }
+  }
+  std::printf(
+      "Expected shape: basic stores each 1 at every dividing level "
+      "(~2x the entries,\nslower multi-level updates); both meet the same "
+      "eps bound (tested in ctest).\n");
+}
+
+void c_constant_ablation() {
+  bench::header(
+      "E13b: Lemma 2 constant — randomized-wave max error vs c "
+      "(eps=0.25, window 2^15, 200 checkpoints)");
+  bench::row_line({"c", "queue_slots", "mean_err", "p95_err", "max_err"});
+  const std::uint64_t window = 1 << 15;
+  for (std::uint64_t c : {1u, 2u, 4u, 8u, 16u, 36u}) {
+    const gf2::Field f(
+        util::floor_log2(util::next_pow2_at_least(2 * window)));
+    gf2::SharedRandomness coins(c * 17 + 5);
+    core::RandWave w({.eps = 0.25, .window = window, .c = c}, f, coins);
+    stream::BernoulliBits gen(0.4, 9);
+    std::vector<bool> all;
+    std::vector<double> errs;
+    for (std::uint64_t i = 0; i < 4 * window; ++i) {
+      const bool b = gen.next();
+      all.push_back(b);
+      w.update(b);
+      if (i > window && i % 643 == 0) {
+        const auto exact = static_cast<double>(
+            stream::exact_ones_in_window(all, window));
+        errs.push_back(bench::rel_err(w.estimate(window).value, exact));
+      }
+    }
+    const auto s = bench::ErrStats::of(std::move(errs), 0.25);
+    bench::row_line({std::to_string(c), std::to_string(w.queue_capacity()),
+                     bench::fmt(s.mean, 4), bench::fmt(s.p95, 4),
+                     bench::fmt(s.max, 4)});
+  }
+  std::printf(
+      "Expected shape: error shrinks like 1/sqrt(c); the proof constant 36 "
+      "buys a\ncomfortable margin below eps, c ~ 4-8 already meets eps "
+      "empirically.\n");
+}
+
+void encoding_ablation() {
+  bench::header(
+      "E13c: delta/gamma encoding vs fixed-width positions (compact wave)");
+  bench::row_line({"1/eps", "N", "entries", "gamma_bits", "fixed_bits",
+                   "ratio"});
+  for (std::uint64_t inv_eps : {8u, 32u}) {
+    for (std::uint64_t window :
+         {std::uint64_t{1} << 12, std::uint64_t{1} << 20}) {
+      core::CompactWave cw(inv_eps, window);
+      stream::BernoulliBits gen(0.5, 3);
+      for (std::uint64_t i = 0; i < 3 * window; ++i) cw.update(gen.next());
+      const auto entries = cw.wave().entries().size();
+      const double gamma_bits = static_cast<double>(cw.measured_bits());
+      const int d = util::floor_log2(util::next_pow2_at_least(2 * window));
+      const double fixed_bits =
+          static_cast<double>(entries) * 2.0 * d + 4.0 * d;
+      bench::row_line({std::to_string(inv_eps), bench::fmt_u(window),
+                       std::to_string(entries), bench::fmt(gamma_bits, 0),
+                       bench::fmt(fixed_bits, 0),
+                       bench::fmt(gamma_bits / fixed_bits, 2)});
+    }
+  }
+  std::printf(
+      "Expected shape: ratio ~ log(eps N)/log N — deltas cost O(log(eps N)) "
+      "bits vs\nO(log N) absolute, so the savings grow as eps shrinks "
+      "(denser stored positions,\nsmaller gaps), the Sec. 3.2 observation."
+      "\n");
+}
+
+}  // namespace
+
+int main() {
+  placement_ablation();
+  c_constant_ablation();
+  encoding_ablation();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the experiment binaries: fixed-width table printing,
+// error statistics, and a steady-clock stopwatch. Each bench prints the
+// rows EXPERIMENTS.md records; google-benchmark is used where per-op
+// latency is the quantity of interest (E4, E12 microbenchmarks).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace waves::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row_line(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Relative error with the 0/0 convention used by the tests.
+inline double rel_err(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+struct ErrStats {
+  double mean = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double fail_frac = 0.0;  // fraction above the eps target
+
+  static ErrStats of(std::vector<double> errs, double eps_target) {
+    ErrStats s;
+    if (errs.empty()) return s;
+    double sum = 0.0;
+    std::size_t fails = 0;
+    for (double e : errs) {
+      sum += e;
+      if (e > eps_target + 1e-12) ++fails;
+      s.max = std::max(s.max, e);
+    }
+    s.mean = sum / static_cast<double>(errs.size());
+    std::sort(errs.begin(), errs.end());
+    s.p95 = errs[static_cast<std::size_t>(
+        0.95 * static_cast<double>(errs.size() - 1))];
+    s.fail_frac = static_cast<double>(fails) / static_cast<double>(errs.size());
+    return s;
+  }
+};
+
+class Stopwatch {
+ public:
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace waves::bench

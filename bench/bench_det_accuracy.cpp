@@ -1,0 +1,76 @@
+// Experiment E3 (Theorem 1, accuracy): deterministic-wave relative error
+// across eps, window size, stream shape, and queried sub-window. The paper
+// proves worst-case error <= eps; the table reports observed mean / p95 /
+// max error and the violation fraction (must be 0).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/det_wave.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+
+using namespace waves;
+
+std::unique_ptr<stream::BitStream> make_stream(const std::string& kind,
+                                               std::uint64_t seed) {
+  if (kind == "dense") return std::make_unique<stream::BernoulliBits>(0.9, seed);
+  if (kind == "sparse")
+    return std::make_unique<stream::BernoulliBits>(0.02, seed);
+  if (kind == "bursty")
+    return std::make_unique<stream::BurstyBits>(0.95, 0.01, 0.02, 0.02, seed);
+  return std::make_unique<stream::BernoulliBits>(0.5, seed);
+}
+
+void run_case(std::uint64_t inv_eps, std::uint64_t window,
+              const std::string& kind) {
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  auto gen = make_stream(kind, inv_eps * 1009 + window);
+  core::DetWave w(inv_eps, window);
+  std::vector<bool> all;
+  std::vector<double> errs;
+  const std::uint64_t total = 6 * window;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const bool b = gen->next();
+    all.push_back(b);
+    w.update(b);
+    if (i > window && i % 97 == 0) {
+      for (std::uint64_t n : {window / 4 + 1, window / 2 + 1, window}) {
+        const std::size_t take = std::min<std::size_t>(n, all.size());
+        double exact = 0;
+        for (std::size_t k = all.size() - take; k < all.size(); ++k) {
+          exact += all[k] ? 1 : 0;
+        }
+        errs.push_back(bench::rel_err(w.query(n).value, exact));
+      }
+    }
+  }
+  const auto s = bench::ErrStats::of(std::move(errs), eps);
+  bench::row_line({std::to_string(inv_eps), std::to_string(window), kind,
+                   bench::fmt(eps, 4), bench::fmt(s.mean, 4),
+                   bench::fmt(s.p95, 4), bench::fmt(s.max, 4),
+                   bench::fmt(s.fail_frac, 4)});
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E3: Deterministic wave accuracy (Theorem 1) — observed relative "
+      "error vs eps guarantee");
+  bench::row_line({"1/eps", "N", "stream", "eps", "mean", "p95", "max",
+                   "viol_frac"});
+  for (std::uint64_t inv_eps : {2u, 5u, 10u, 20u, 50u}) {
+    for (std::uint64_t window : {256u, 2048u, 16384u}) {
+      for (const char* kind : {"half", "dense", "sparse", "bursty"}) {
+        run_case(inv_eps, window, kind);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape: every viol_frac is 0.0000 (worst-case guarantee),"
+      "\nmax error approaches but never exceeds eps.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Experiment E9 (Theorem 6): distinct values in a sliding window, single
+// and distributed, across eps, window size and value skew; per-party space
+// vs the Theorem 6 curve.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/distinct_wave.hpp"
+#include "core/median_estimator.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "stream/value_streams.hpp"
+#include "util/space.hpp"
+
+namespace {
+
+using namespace waves;
+
+void single_stream_table() {
+  bench::header("E9a: single-stream distinct counting (median of 9)");
+  bench::row_line({"eps", "dist", "mean", "p95", "max", "fail>eps"});
+  const std::uint64_t window = 2048, R = 1 << 16;
+  for (double eps : {0.4, 0.2, 0.1}) {
+    for (const char* dist : {"uniform", "zipf"}) {
+      core::DistinctWave::Params p{.eps = eps, .window = window,
+                                   .max_value = R, .c = 36};
+      distributed::DistinctParty party(p, 9, 2024);
+      std::unique_ptr<stream::ValueStream> gen;
+      if (std::string(dist) == "uniform") {
+        gen = std::make_unique<stream::UniformValues>(0, R, 7);
+      } else {
+        gen = std::make_unique<stream::ZipfValues>(R, 1.1, 7);
+      }
+      std::vector<std::uint64_t> all;
+      std::vector<double> errs;
+      for (std::uint64_t i = 0; i < 4 * window; ++i) {
+        const std::uint64_t v = gen->next();
+        all.push_back(v);
+        party.observe(v);
+        if (i > window && i % 211 == 0) {
+          const double est =
+              distributed::distinct_count(
+                  std::vector<const distributed::DistinctParty*>{&party},
+                  window)
+                  .value;
+          const auto exact = static_cast<double>(
+              stream::exact_distinct_in_window(all, window));
+          errs.push_back(bench::rel_err(est, exact));
+        }
+      }
+      const auto s = bench::ErrStats::of(std::move(errs), eps);
+      bench::row_line({bench::fmt(eps, 2), dist, bench::fmt(s.mean, 4),
+                       bench::fmt(s.p95, 4), bench::fmt(s.max, 4),
+                       bench::fmt(s.fail_frac, 4)});
+    }
+  }
+}
+
+void distributed_table() {
+  bench::header("E9b: distributed distinct counting across t parties");
+  bench::row_line({"t", "overlap", "mean_err", "max_err"});
+  const std::uint64_t window = 1024, R = 1 << 18;
+  for (int t : {2, 4, 8}) {
+    for (double overlap : {0.0, 0.5}) {
+      core::DistinctWave::Params p{
+          .eps = 0.25,
+          .window = window,
+          .max_value = R,
+          .c = 36,
+          .universe_hint = static_cast<std::uint64_t>(t) * window};
+      std::vector<std::unique_ptr<distributed::DistinctParty>> owners;
+      std::vector<const distributed::DistinctParty*> ps;
+      std::vector<std::unique_ptr<stream::ValueStream>> gens;
+      for (int j = 0; j < t; ++j) {
+        owners.push_back(
+            std::make_unique<distributed::DistinctParty>(p, 9, 31337));
+        ps.push_back(owners.back().get());
+        // overlap=0: disjoint ranges; overlap=0.5: half-shared range.
+        const auto span = static_cast<std::uint64_t>(R / (t + 1));
+        const std::uint64_t lo =
+            overlap > 0.0 ? static_cast<std::uint64_t>(
+                                static_cast<double>(j) * (1.0 - overlap) *
+                                static_cast<double>(span))
+                          : static_cast<std::uint64_t>(j) * span;
+        gens.push_back(std::make_unique<stream::UniformValues>(
+            lo, lo + span, static_cast<std::uint64_t>(j) * 13 + 1));
+      }
+      std::vector<std::vector<std::uint64_t>> streams(
+          static_cast<std::size_t>(t));
+      std::vector<double> errs;
+      for (std::uint64_t i = 0; i < 3 * window; ++i) {
+        for (int j = 0; j < t; ++j) {
+          const std::uint64_t v = gens[static_cast<std::size_t>(j)]->next();
+          streams[static_cast<std::size_t>(j)].push_back(v);
+          owners[static_cast<std::size_t>(j)]->observe(v);
+        }
+        if (i > window && i % 307 == 0) {
+          const double est = distributed::distinct_count(ps, window).value;
+          std::vector<std::uint64_t> merged;
+          for (const auto& s : streams) {
+            for (std::size_t k = s.size() - window; k < s.size(); ++k) {
+              merged.push_back(s[k]);
+            }
+          }
+          const auto exact = static_cast<double>(
+              stream::exact_distinct_in_window(merged, merged.size()));
+          errs.push_back(bench::rel_err(est, exact));
+        }
+      }
+      const auto s = bench::ErrStats::of(std::move(errs), 0.25);
+      bench::row_line({std::to_string(t), bench::fmt(overlap, 1),
+                       bench::fmt(s.mean, 4), bench::fmt(s.max, 4)});
+    }
+  }
+  std::printf(
+      "Expected shape: accuracy independent of t and of how much the "
+      "parties' value\nsets overlap (coordinated sampling dedupes shared "
+      "values).\n");
+}
+
+void space_table() {
+  bench::header("E9c: per-party space vs the Theorem 6 curve");
+  bench::row_line({"eps", "delta", "N", "logR", "party_bits", "thm6_curve"});
+  for (double eps : {0.3, 0.15}) {
+    const double delta = 0.1;
+    for (std::uint64_t window : {std::uint64_t{1} << 12}) {
+      for (std::uint64_t R :
+           {std::uint64_t{1} << 12, std::uint64_t{1} << 24}) {
+        core::DistinctWave::Params p{.eps = eps, .window = window,
+                                     .max_value = R, .c = 36};
+        const int m = core::instances_for_delta(delta);
+        distributed::DistinctParty party(p, m, 5);
+        bench::row_line(
+            {bench::fmt(eps, 2), bench::fmt(delta, 2), bench::fmt_u(window),
+             std::to_string(64 - __builtin_clzll(R)),
+             bench::fmt_u(party.space_bits()),
+             bench::fmt(util::distinct_wave_bound_bits(eps, delta, window, R),
+                        0)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  single_stream_table();
+  distributed_table();
+  space_table();
+  return 0;
+}

@@ -1,0 +1,248 @@
+// Experiment E10 (Sec. 5 extensions): predicate queries vs selectivity
+// alpha, n-th most recent 1 accuracy, and sliding-average composition at
+// eps/(2+eps) component accuracy.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/extensions/average.hpp"
+#include "core/extensions/nth_one.hpp"
+#include "core/extensions/histogram.hpp"
+#include "core/extensions/predicate_sample.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/generators.hpp"
+#include "stream/value_streams.hpp"
+
+namespace {
+
+using namespace waves;
+
+void predicate_table() {
+  bench::header("E10a: predicate distinct queries vs selectivity alpha");
+  bench::row_line({"alpha", "pred_sel", "mean_err", "max_err"});
+  const std::uint64_t window = 1024, R = 1 << 16;
+  for (double alpha : {1.0, 0.25, 0.0625}) {
+    for (std::uint64_t modulus : {2u, 4u, 16u}) {
+      const double sel = 1.0 / static_cast<double>(modulus);
+      core::DistinctWave::Params p{.eps = 0.25, .window = window,
+                                   .max_value = R, .c = 36};
+      const gf2::Field f(core::DistinctWave::field_dimension(p));
+      gf2::SharedRandomness coins(99);
+      core::PredicateDistinctWave w(p, alpha, f, coins);
+      stream::UniformValues gen(0, R, modulus * 7 + 3);
+      std::vector<std::uint64_t> all;
+      std::vector<double> errs;
+      for (std::uint64_t i = 0; i < 3 * window; ++i) {
+        const std::uint64_t v = gen.next();
+        all.push_back(v);
+        w.update(v);
+        if (i > window && i % 301 == 0) {
+          const double est =
+              w.estimate_where(window, [modulus](std::uint64_t x) {
+                 return x % modulus == 0;
+               }).value;
+          // Exact distinct satisfying the predicate.
+          std::vector<std::uint64_t> matching;
+          for (std::size_t k = all.size() - window; k < all.size(); ++k) {
+            if (all[k] % modulus == 0) matching.push_back(all[k]);
+          }
+          const auto exact = static_cast<double>(
+              stream::exact_distinct_in_window(matching, matching.size()));
+          errs.push_back(bench::rel_err(est, exact));
+        }
+      }
+      const auto s = bench::ErrStats::of(std::move(errs), 0.25);
+      bench::row_line({bench::fmt(alpha, 4), bench::fmt(sel, 4),
+                       bench::fmt(s.mean, 4), bench::fmt(s.max, 4)});
+    }
+  }
+  std::printf(
+      "Expected shape: error degrades when pred_sel << alpha (sample too "
+      "small)\nand stays near eps when pred_sel >= alpha.\n");
+}
+
+void nth_one_table() {
+  bench::header("E10b: n-th most recent 1 — age error vs eps");
+  bench::row_line({"1/eps", "density", "mean_age_err", "max_age_err"});
+  for (std::uint64_t inv_eps : {4u, 8u, 16u}) {
+    for (double density : {0.05, 0.3}) {
+      core::NthOneWave w(inv_eps, 1 << 16);
+      stream::BernoulliBits gen(density, inv_eps + 5);
+      std::vector<std::uint64_t> ones;
+      std::uint64_t pos = 0;
+      std::vector<double> errs;
+      for (int i = 0; i < 30000; ++i) {
+        const bool b = gen.next();
+        ++pos;
+        if (b) ones.push_back(pos);
+        w.update(b);
+        if (i > 5000 && i % 509 == 0) {
+          for (std::uint64_t nth : {10u, 100u, 500u}) {
+            if (ones.size() < nth) continue;
+            const auto ans = w.query(nth);
+            if (!ans) continue;
+            const double truth =
+                static_cast<double>(ones[ones.size() - nth]);
+            const double age_true = static_cast<double>(pos) - truth + 1.0;
+            const double age_est =
+                static_cast<double>(pos) - ans->position + 1.0;
+            errs.push_back(std::abs(age_est - age_true) / age_true);
+          }
+        }
+      }
+      const auto s = bench::ErrStats::of(
+          std::move(errs), 1.0 / static_cast<double>(inv_eps));
+      bench::row_line({std::to_string(inv_eps), bench::fmt(density, 2),
+                       bench::fmt(s.mean, 4), bench::fmt(s.max, 4)});
+    }
+  }
+}
+
+void average_table() {
+  bench::header(
+      "E10c: sliding averages — plain (exact count) and flagged "
+      "(eps/(2+eps) ratio composition)");
+  bench::row_line({"kind", "1/eps", "mean_err", "max_err"});
+  const std::uint64_t window = 1024, R = 10000;
+  for (std::uint64_t inv_eps : {5u, 10u, 20u}) {
+    core::SlidingAverage plain(inv_eps, window, R);
+    core::FlaggedAverage flagged(inv_eps, window, R);
+    stream::UniformValues vals(1, R, inv_eps);
+    stream::BernoulliBits flags(0.25, inv_eps + 1);
+    std::vector<std::pair<bool, std::uint64_t>> all;
+    std::vector<double> perr, ferr;
+    for (std::uint64_t i = 0; i < 4 * window; ++i) {
+      const std::uint64_t v = vals.next();
+      const bool fl = flags.next();
+      all.emplace_back(fl, v);
+      plain.update(v);
+      flagged.update(fl, v);
+      if (i > window && i % 173 == 0) {
+        double sum = 0, fsum = 0, fcnt = 0;
+        for (std::size_t k = all.size() - window; k < all.size(); ++k) {
+          sum += static_cast<double>(all[k].second);
+          if (all[k].first) {
+            fsum += static_cast<double>(all[k].second);
+            ++fcnt;
+          }
+        }
+        if (const auto est = plain.query(window)) {
+          perr.push_back(
+              bench::rel_err(*est, sum / static_cast<double>(window)));
+        }
+        if (fcnt > 0) {
+          if (const auto est = flagged.query(window)) {
+            ferr.push_back(bench::rel_err(*est, fsum / fcnt));
+          }
+        }
+      }
+    }
+    const double eps = 1.0 / static_cast<double>(inv_eps);
+    const auto ps = bench::ErrStats::of(std::move(perr), eps);
+    const auto fs = bench::ErrStats::of(std::move(ferr), eps);
+    bench::row_line({"plain", std::to_string(inv_eps), bench::fmt(ps.mean, 4),
+                     bench::fmt(ps.max, 4)});
+    bench::row_line({"flagged", std::to_string(inv_eps),
+                     bench::fmt(fs.mean, 4), bench::fmt(fs.max, 4)});
+  }
+  std::printf("Expected shape: max_err <= eps for both compositions.\n");
+}
+
+void timestamped_average_table() {
+  bench::header(
+      "E10d: timestamped averages (Cor. 1 x Thm 3 composition over time "
+      "windows)");
+  bench::row_line({"1/eps", "items/tick", "mean_err", "max_err"});
+  for (std::uint64_t inv_eps : {5u, 10u, 20u}) {
+    for (std::uint32_t per_tick : {2u, 8u}) {
+      const std::uint64_t window = 512, R = 1000;
+      core::TimestampedAverage avg(inv_eps, window, window * per_tick, R);
+      gf2::SplitMix64 rng(inv_eps * per_tick + 3);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> all;
+      std::uint64_t pos = 0;
+      std::uint32_t left = 0;
+      std::vector<double> errs;
+      for (int i = 0; i < 40000; ++i) {
+        if (left == 0) {
+          ++pos;
+          left = 1 + static_cast<std::uint32_t>(rng.next() % per_tick);
+        }
+        --left;
+        const std::uint64_t v = rng.next() % (R + 1);
+        all.emplace_back(pos, v);
+        avg.update(pos, v);
+        if (i > 5000 && i % 503 == 0) {
+          const std::uint64_t start = pos >= window ? pos - window + 1 : 1;
+          double s = 0, c = 0;
+          for (const auto& [p, val] : all) {
+            if (p >= start) {
+              s += static_cast<double>(val);
+              ++c;
+            }
+          }
+          if (c == 0) continue;
+          if (const auto est = avg.query(window)) {
+            errs.push_back(bench::rel_err(*est, s / c));
+          }
+        }
+      }
+      const auto st = bench::ErrStats::of(
+          std::move(errs), 1.0 / static_cast<double>(inv_eps));
+      bench::row_line({std::to_string(inv_eps), std::to_string(per_tick),
+                       bench::fmt(st.mean, 4), bench::fmt(st.max, 4)});
+    }
+  }
+}
+
+void histogram_table() {
+  bench::header(
+      "E10e: windowed histogram (Sec. 5 histogramming reduction) — "
+      "per-bucket error and cost");
+  bench::row_line({"buckets", "mean_err", "max_err", "us/item", "bits"});
+  const std::uint64_t window = 2048, R = 1023;
+  for (std::size_t buckets : {4u, 16u, 64u}) {
+    core::WindowedHistogram h(buckets, 10, window, R);
+    stream::ZipfValues gen(R + 1, 0.9, buckets);
+    std::vector<std::uint64_t> all;
+    std::vector<double> errs;
+    bench::Stopwatch sw;
+    sw.start();
+    const int items = 20000;
+    for (int i = 0; i < items; ++i) {
+      const std::uint64_t v = gen.next() - 1;
+      all.push_back(v);
+      h.update(v);
+      if (i > 3000 && i % 997 == 0) {
+        std::vector<double> exact(buckets, 0.0);
+        for (std::size_t k = all.size() - window; k < all.size(); ++k) {
+          exact[h.bucket_of(all[k])] += 1.0;
+        }
+        const auto est = h.densities(window);
+        for (std::size_t b = 0; b < buckets; ++b) {
+          errs.push_back(bench::rel_err(est[b], exact[b]));
+        }
+      }
+    }
+    const double us = sw.seconds() * 1e6 / items;
+    const auto st = bench::ErrStats::of(std::move(errs), 0.1);
+    bench::row_line({std::to_string(buckets), bench::fmt(st.mean, 4),
+                     bench::fmt(st.max, 4), bench::fmt(us, 3),
+                     bench::fmt_u(h.space_bits())});
+  }
+  std::printf(
+      "Expected shape: per-bucket error <= eps regardless of bucket count; "
+      "cost and\nspace linear in B (one wave per bucket).\n");
+}
+
+}  // namespace
+
+int main() {
+  predicate_table();
+  nth_one_table();
+  average_table();
+  timestamped_average_table();
+  histogram_table();
+  return 0;
+}

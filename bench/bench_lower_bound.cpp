@@ -1,0 +1,138 @@
+// Experiment E7 (Theorem 4): deterministic Union Counting needs Omega(n)
+// space — demonstrated empirically.
+//
+// Theorem 4's proof works with two equal-weight streams at controlled
+// Hamming distance: |X OR Y| = n/2 + H(X,Y)/2, so a good union estimate is
+// a good Hamming-distance estimate. Any deterministic scheme whose parties
+// send o(n) bits must map many inputs to one message and confuse distances.
+// A lower bound cannot be "run", so we instantiate the natural
+// deterministic strategy at a given space budget — per-block 1-counts,
+// the optimal deterministic summary of that form — and let the Referee
+// return the midpoint of the interval the counts imply. The table shows
+// its *worst-case* relative error barely improves until the space budget
+// approaches n bits, while the randomized wave (same accounting) reaches
+// eps with logarithmic space.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "stream/hamming_pairs.hpp"
+
+namespace {
+
+using namespace waves;
+
+/// Deterministic bounded-space summary: 1-counts of `blocks` equal blocks.
+std::vector<std::uint64_t> block_counts(const std::vector<bool>& s,
+                                        std::size_t blocks) {
+  std::vector<std::uint64_t> out(blocks, 0);
+  const std::size_t bsz = (s.size() + blocks - 1) / blocks;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i]) ++out[i / bsz];
+  }
+  return out;
+}
+
+/// Referee: the union size within block i lies in
+/// [max(a_i, b_i), min(a_i + b_i, block_size)]; return the midpoint sum —
+/// the minimax-optimal deterministic answer given these summaries.
+double block_referee(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b, std::size_t n) {
+  const std::size_t bsz = (n + a.size() - 1) / a.size();
+  double est = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double lo = static_cast<double>(std::max(a[i], b[i]));
+    const double hi = static_cast<double>(
+        std::min<std::uint64_t>(a[i] + b[i], bsz));
+    est += (lo + hi) / 2.0;
+  }
+  return est;
+}
+
+double det_worst_error(std::size_t n, std::size_t blocks, int trials) {
+  double worst = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    // Sweep Hamming distances from near-identical to disjoint.
+    const std::size_t k =
+        (static_cast<std::size_t>(t) * (n / 2)) / static_cast<std::size_t>(trials);
+    const auto hp = stream::make_hamming_pair(n, k, 1000 + static_cast<std::uint64_t>(t));
+    const auto sa = block_counts(hp.x, blocks);
+    const auto sb = block_counts(hp.y, blocks);
+    const double est = block_referee(sa, sb, n);
+    worst = std::max(worst,
+                     bench::rel_err(est, static_cast<double>(hp.union_ones)));
+  }
+  return worst;
+}
+
+double det_summary_bits(std::size_t n, std::size_t blocks) {
+  const std::size_t bsz = (n + blocks - 1) / blocks;
+  double per = 1.0;
+  while ((1ull << static_cast<int>(per)) < bsz + 1) ++per;
+  return static_cast<double>(blocks) * per;
+}
+
+void randomized_row(std::size_t n, int trials) {
+  // The randomized wave on the same inputs (window = whole stream). The
+  // comparable space figure is the *message* each party sends the Referee
+  // (Theorem 4 bounds exactly that); we use practical constants (c = 8,
+  // 5 median instances) rather than the worst-case analysis constant.
+  const auto window = static_cast<std::uint64_t>(n);
+  double worst = 0.0;
+  double msg_bits = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::size_t k =
+        (static_cast<std::size_t>(t) * (n / 2)) / static_cast<std::size_t>(trials);
+    const auto hp = stream::make_hamming_pair(n, k, 5000 + static_cast<std::uint64_t>(t));
+    distributed::CountParty a({.eps = 0.25, .window = window, .c = 8}, 5,
+                              424242);
+    distributed::CountParty b({.eps = 0.25, .window = window, .c = 8}, 5,
+                              424242);
+    for (std::size_t i = 0; i < n; ++i) {
+      a.observe(hp.x[i]);
+      b.observe(hp.y[i]);
+    }
+    distributed::WireStats stats;
+    const double est =
+        distributed::union_count(
+            std::vector<const distributed::CountParty*>{&a, &b}, window,
+            &stats)
+            .value;
+    worst = std::max(worst,
+                     bench::rel_err(est, static_cast<double>(hp.union_ones)));
+    msg_bits = stats.paper_bits / 2.0;  // per party
+  }
+  bench::row_line({bench::fmt_u(n), "randomized", bench::fmt(msg_bits, 0),
+                   bench::fmt(worst, 4)});
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E7: Theorem 4 — deterministic union counting error vs space, against "
+      "the randomized wave");
+  bench::row_line({"n", "scheme", "summary_bits", "worst_rel_err"});
+  const int trials = 40;
+  for (std::size_t n : {4096u, 16384u, 65536u}) {
+    for (std::size_t blocks :
+         {1u, 4u, 16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+      if (blocks > n) continue;
+      bench::row_line({bench::fmt_u(n),
+                       "det-" + std::to_string(blocks) + "blk",
+                       bench::fmt(det_summary_bits(n, blocks), 0),
+                       bench::fmt(det_worst_error(n, blocks, trials), 4)});
+    }
+    randomized_row(n, 10);
+  }
+  std::printf(
+      "\nExpected shape: deterministic worst-case error stays bounded away "
+      "from 0\n(~0.3-0.5) until the summary approaches n bits; the randomized "
+      "wave reaches\n~eps worst-case with a message of O(log^2 n / eps^2) "
+      "bits per party.\n");
+  return 0;
+}

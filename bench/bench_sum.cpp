@@ -1,0 +1,147 @@
+// Experiment E6 (Theorem 3 + Corollary 1): sum-wave accuracy across R and
+// eps; worst-case update tails vs the EH-sum baseline (whose per-item cost
+// carries a log R factor); duplicated-position (timestamp) wave accuracy.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/eh_sum.hpp"
+#include "bench_common.hpp"
+#include "core/sum_wave.hpp"
+#include "core/ts_wave.hpp"
+#include "stream/timestamped.hpp"
+#include "stream/value_streams.hpp"
+
+namespace {
+
+using namespace waves;
+
+void BM_SumWaveUpdate(benchmark::State& state) {
+  const auto r_bits = static_cast<int>(state.range(0));
+  const std::uint64_t R = (std::uint64_t{1} << r_bits) - 1;
+  core::SumWave w(10, 1 << 16, R);
+  stream::UniformValues gen(0, R, 5);
+  for (auto _ : state) {
+    w.update(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SumWaveUpdate)->Arg(4)->Arg(12)->Arg(20)->Arg(28);
+
+void BM_EhSumUpdate(benchmark::State& state) {
+  const auto r_bits = static_cast<int>(state.range(0));
+  const std::uint64_t R = (std::uint64_t{1} << r_bits) - 1;
+  baseline::EhSum eh(10, 1 << 16, R);
+  stream::UniformValues gen(0, R, 5);
+  for (auto _ : state) {
+    eh.update(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EhSumUpdate)->Arg(4)->Arg(12)->Arg(20)->Arg(28);
+
+void accuracy_table() {
+  bench::header("E6a: sum-wave accuracy (Theorem 3) across eps and R");
+  bench::row_line({"1/eps", "R", "mean", "p95", "max", "viol_frac"});
+  for (std::uint64_t inv_eps : {4u, 10u, 25u}) {
+    for (std::uint64_t R : {std::uint64_t{10}, std::uint64_t{1000},
+                            std::uint64_t{1} << 20}) {
+      const double eps = 1.0 / static_cast<double>(inv_eps);
+      const std::uint64_t window = 2048;
+      core::SumWave w(inv_eps, window, R);
+      stream::UniformValues gen(0, R, inv_eps + R);
+      std::vector<std::uint64_t> all;
+      std::vector<double> errs;
+      for (std::uint64_t i = 0; i < 5 * window; ++i) {
+        const std::uint64_t v = gen.next();
+        all.push_back(v);
+        w.update(v);
+        if (i > window && i % 101 == 0) {
+          const auto exact = static_cast<double>(
+              stream::exact_sum_in_window(all, window));
+          errs.push_back(bench::rel_err(w.query().value, exact));
+        }
+      }
+      const auto s = bench::ErrStats::of(std::move(errs), eps);
+      bench::row_line({std::to_string(inv_eps), bench::fmt_u(R),
+                       bench::fmt(s.mean, 4), bench::fmt(s.p95, 4),
+                       bench::fmt(s.max, 4), bench::fmt(s.fail_frac, 4)});
+    }
+  }
+}
+
+void worst_case_table() {
+  bench::header(
+      "E6b: worst-case update latency — sum wave O(1) vs EH-sum O(log N + "
+      "log R)");
+  bench::row_line({"R_bits", "wave_max_ns", "ehsum_max_ns",
+                   "ehsum_max_cascade"});
+  for (int r_bits : {4, 16, 28}) {
+    const std::uint64_t R = (std::uint64_t{1} << r_bits) - 1;
+    const std::uint64_t window = 1 << 14;
+    core::SumWave w(10, window, R);
+    baseline::EhSum eh(10, window, R);
+    stream::UniformValues gen(0, R, 11);
+    double wave_max = 0, eh_max = 0;
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+      const std::uint64_t v = gen.next();
+      bench::Stopwatch sw;
+      sw.start();
+      w.update(v);
+      wave_max = std::max(wave_max, sw.seconds() * 1e9);
+      sw.start();
+      eh.update(v);
+      eh_max = std::max(eh_max, sw.seconds() * 1e9);
+    }
+    bench::row_line({std::to_string(r_bits), bench::fmt(wave_max, 0),
+                     bench::fmt(eh_max, 0),
+                     std::to_string(eh.max_merges())});
+  }
+  std::printf(
+      "\nExpected shape: ehsum_max_cascade grows with R_bits; the wave's "
+      "max stays flat.\n");
+}
+
+void timestamp_table() {
+  bench::header(
+      "E6c: duplicated-position wave (Corollary 1) — timestamp windows");
+  bench::row_line({"1/eps", "items/tick", "mean", "max", "viol_frac"});
+  for (std::uint64_t inv_eps : {4u, 10u}) {
+    for (std::uint32_t per_tick : {2u, 8u, 32u}) {
+      const double eps = 1.0 / static_cast<double>(inv_eps);
+      const std::uint64_t window = 512;
+      stream::RandomTicks gen(per_tick, 0.5, inv_eps * per_tick);
+      core::TsWave w(inv_eps, window, window * per_tick);
+      std::vector<stream::TimedBit> all;
+      std::vector<double> errs;
+      for (int i = 0; i < 40000; ++i) {
+        const auto t = gen.next();
+        all.push_back(t);
+        w.update(t.pos, t.bit);
+        if (i > 2000 && i % 149 == 0) {
+          const auto exact = static_cast<double>(
+              stream::exact_ones_in_position_window(all, window));
+          errs.push_back(bench::rel_err(w.query().value, exact));
+        }
+      }
+      const auto s = bench::ErrStats::of(std::move(errs), eps);
+      bench::row_line({std::to_string(inv_eps), std::to_string(per_tick),
+                       bench::fmt(s.mean, 4), bench::fmt(s.max, 4),
+                       bench::fmt(s.fail_frac, 4)});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  accuracy_table();
+  worst_case_table();
+  timestamp_table();
+  return 0;
+}

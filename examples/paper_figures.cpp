@@ -1,0 +1,74 @@
+// Replays the paper's running example: Fig. 1's stream, the Fig. 2 basic
+// wave, the Sec. 3.1 worked query (n = 39), and the Fig. 3 optimal wave.
+#include <cstdio>
+
+#include "core/basic_wave.hpp"
+#include "core/det_wave.hpp"
+#include "stream/example_stream.hpp"
+
+namespace {
+
+void print_levels_basic(const waves::core::BasicWave& w) {
+  for (int l = 0; l < w.levels(); ++l) {
+    std::printf("  level %d (by %2d): ", l, 1 << l);
+    for (const auto& [p, r] : w.level_contents(l)) {
+      std::printf("(pos %2llu, rank %2llu) ", static_cast<unsigned long long>(p),
+                  static_cast<unsigned long long>(r));
+    }
+    if (w.level_has_dummy(l)) std::printf("(dummy 0)");
+    std::printf("\n");
+  }
+}
+
+void print_levels_det(const waves::core::DetWave& w) {
+  for (int l = 0; l < w.levels(); ++l) {
+    std::printf("  level %d: ", l);
+    for (const auto& [p, r] : w.level_snapshot(l)) {
+      std::printf("(pos %2llu, rank %2llu) ", static_cast<unsigned long long>(p),
+                  static_cast<unsigned long long>(r));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto& bits = waves::stream::example_stream();
+  std::printf("Figure 1 stream (%zu bits):\n  ", bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    std::printf("%d", bits[i] ? 1 : 0);
+    if ((i + 1) % 33 == 0) std::printf("\n  ");
+  }
+  std::printf("\n");
+
+  // Fig. 2: the basic wave at eps = 1/3, N = 48.
+  waves::core::BasicWave basic(3, 48);
+  for (bool b : bits) basic.update(b);
+  std::printf("\nFigure 2 — basic wave (eps=1/3, N=48), pos=%llu rank=%llu:\n",
+              static_cast<unsigned long long>(basic.pos()),
+              static_cast<unsigned long long>(basic.rank()));
+  print_levels_basic(basic);
+
+  // The Sec. 3.1 worked query.
+  const auto q = basic.query(39);
+  std::printf(
+      "\nSec. 3.1 worked query, n = 39 (window = positions 61..99):\n"
+      "  estimate = %.0f   exact = %d   (paper: p1=44, p2=67, r1=24, r2=32 "
+      "-> 23)\n",
+      q.value, waves::stream::example_ones_in(61, 99));
+
+  // Fig. 3: the optimal wave.
+  waves::core::DetWave det(3, 48);
+  for (bool b : bits) det.update(b);
+  std::printf(
+      "\nFigure 3 — optimal wave (each 1 stored once, at its max level; "
+      "positions <= 51\nexpired; largest discarded rank r1 = %llu):\n",
+      static_cast<unsigned long long>(det.largest_discarded_rank()));
+  print_levels_det(det);
+
+  const auto full = det.query();
+  std::printf("\nO(1) full-window query (N = 48): estimate %.0f, exact %d\n",
+              full.value, waves::stream::example_ones_in(52, 99));
+  return 0;
+}

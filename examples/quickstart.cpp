@@ -1,0 +1,48 @@
+// Quickstart: count the 1s in a sliding window with a deterministic wave.
+//
+//   $ ./quickstart
+//
+// A DetWave(1/eps, N) consumes one bit at a time and answers, at any
+// moment, "how many 1s are in the last n <= N items?" within relative
+// error eps — using O((1/eps) log^2(eps N)) bits instead of N.
+#include <cstdio>
+
+#include "core/det_wave.hpp"
+#include "stream/generators.hpp"
+
+int main() {
+  constexpr std::uint64_t kInvEps = 20;   // eps = 5%
+  constexpr std::uint64_t kWindow = 10000;
+
+  waves::core::DetWave wave(kInvEps, kWindow);
+
+  // Any bit source works; here, a bursty synthetic stream.
+  waves::stream::BurstyBits traffic(0.9, 0.05, 0.01, 0.01, /*seed=*/42);
+
+  std::vector<bool> history;  // kept only to print the exact answer
+  for (int i = 0; i < 100000; ++i) {
+    const bool bit = traffic.next();
+    history.push_back(bit);
+    wave.update(bit);
+
+    if ((i + 1) % 20000 == 0) {
+      const auto est = wave.query();  // full window, O(1)
+      const auto exact = waves::stream::exact_ones_in_window(history, kWindow);
+      std::printf(
+          "after %6d bits: estimate %8.1f   exact %6llu   (err %.2f%%)\n",
+          i + 1, est.value, static_cast<unsigned long long>(exact),
+          100.0 * (est.value - static_cast<double>(exact)) /
+              static_cast<double>(exact));
+    }
+  }
+
+  // Sub-window queries reuse the same synopsis.
+  for (std::uint64_t n : {100u, 1000u, 10000u}) {
+    std::printf("last %5llu items: ~%.0f ones\n",
+                static_cast<unsigned long long>(n), wave.query(n).value);
+  }
+  std::printf("synopsis footprint: %llu bits (window stores %llu items)\n",
+              static_cast<unsigned long long>(wave.space_bits()),
+              static_cast<unsigned long long>(kWindow));
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "baseline/eh_count.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace waves::baseline {
+
+EhCount::EhCount(std::uint64_t inv_eps, std::uint64_t window)
+    : k_((inv_eps + 1) / 2), window_(window) {
+  assert(inv_eps >= 1 && window >= 1);
+  if (k_ == 0) k_ = 1;
+  // Up to log2(2 eps N) non-empty classes plus slack; sized generously once.
+  classes_.resize(66);
+}
+
+int EhCount::oldest_class() const noexcept {
+  int best = -1;
+  std::uint64_t best_order = ~std::uint64_t{0};
+  for (std::size_t e = 0; e < classes_.size(); ++e) {
+    if (!classes_[e].empty() && classes_[e].front().order < best_order) {
+      best_order = classes_[e].front().order;
+      best = static_cast<int>(e);
+    }
+  }
+  return best;
+}
+
+void EhCount::expire() {
+  const int e = oldest_class();
+  if (e < 0) return;
+  const Bucket& b = classes_[static_cast<std::size_t>(e)].front();
+  if (b.newest_pos + window_ <= pos_) {
+    total_ -= std::uint64_t{1} << e;
+    classes_[static_cast<std::size_t>(e)].pop_front();
+  }
+}
+
+void EhCount::update(bool bit) {
+  ++pos_;
+  expire();
+  if (!bit) {
+    last_merges_ = 0;
+    return;
+  }
+  classes_[0].push_back(Bucket{pos_, next_order_++});
+  ++total_;
+  int merges = 0;
+  for (std::size_t e = 0; e + 1 < classes_.size(); ++e) {
+    if (classes_[e].size() <= k_ + 1) break;
+    // Merge the two oldest buckets of this class into one of double size;
+    // the merged bucket keeps the newer bucket's position and order.
+    const Bucket older = classes_[e].front();
+    classes_[e].pop_front();
+    const Bucket newer = classes_[e].front();
+    classes_[e].pop_front();
+    (void)older;
+    // Orders in a class increase front-to-back, and successive merge
+    // results of class e carry increasing orders, so the result is the
+    // newest bucket of class e+1.
+    assert(classes_[e + 1].empty() ||
+           classes_[e + 1].back().order < newer.order);
+    classes_[e + 1].push_back(Bucket{newer.newest_pos, newer.order});
+    ++merges;
+  }
+  last_merges_ = merges;
+  max_merges_ = std::max(max_merges_, merges);
+}
+
+double EhCount::query() const { return query(window_); }
+
+double EhCount::query(std::uint64_t n) const {
+  if (n > window_) n = window_;
+  if (pos_ <= n) return static_cast<double>(total_);
+  const std::uint64_t s = pos_ - n + 1;
+  // Sum sizes of buckets fully known to be in-window; the oldest surviving
+  // bucket straddles the boundary and contributes its midpoint.
+  std::uint64_t sum_newer = 0;
+  std::uint64_t straddle_size = 0;
+  std::uint64_t straddle_order = 0;
+  bool have_straddle = false;
+  for (std::size_t e = 0; e < classes_.size(); ++e) {
+    for (const Bucket& b : classes_[e]) {
+      if (b.newest_pos < s) continue;  // entirely outside the queried window
+      if (!have_straddle || b.order < straddle_order) {
+        if (have_straddle) sum_newer += straddle_size;
+        straddle_size = std::uint64_t{1} << e;
+        straddle_order = b.order;
+        have_straddle = true;
+      } else {
+        sum_newer += std::uint64_t{1} << e;
+      }
+    }
+  }
+  if (!have_straddle) return 0.0;
+  if (straddle_size == 1) return static_cast<double>(sum_newer + 1);
+  return static_cast<double>(sum_newer) +
+         (1.0 + static_cast<double>(straddle_size)) / 2.0;
+}
+
+std::size_t EhCount::bucket_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.size();
+  return n;
+}
+
+std::uint64_t EhCount::space_bits() const noexcept {
+  const std::uint64_t np = util::next_pow2_at_least(2 * window_);
+  const std::uint64_t pos_bits = static_cast<std::uint64_t>(util::floor_log2(np));
+  const std::uint64_t exp_bits =
+      static_cast<std::uint64_t>(util::ceil_log2(pos_bits + 1));
+  return bucket_count() * (pos_bits + exp_bits) + 2 * pos_bits;
+}
+
+}  // namespace waves::baseline

@@ -1,0 +1,70 @@
+// Exponential Histogram for Basic Counting — the Datar et al. baseline the
+// deterministic wave is compared against (Sec. 2 of the paper).
+//
+// The k_0 most recent 1s sit in size-1 buckets, the next k_1 in size-2
+// buckets, and so on; each k_i is 1/(2 eps) or 1/(2 eps) + 1. A new 1 can
+// trigger a cascade of up to log N merges — the worst-case O(log N) update
+// the wave's O(1) improves on — so the implementation instruments merge
+// cascades per update for experiment E4.
+//
+// Buckets are kept in per-size-class deques (bucket sizes are powers of
+// two, so a class is an exponent); a monotone arrival order stamp
+// identifies the globally oldest bucket for expiry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace waves::baseline {
+
+class EhCount {
+ public:
+  /// @param inv_eps 1/eps as an integer (>= 1); relative error <= eps.
+  /// @param window  maximum sliding-window size N.
+  EhCount(std::uint64_t inv_eps, std::uint64_t window);
+
+  void update(bool bit);
+
+  /// Estimate of the number of 1s in the last N items. Exact while the
+  /// stream is shorter than N.
+  [[nodiscard]] double query() const;
+
+  /// Estimate over the last n <= N items (walks the buckets).
+  [[nodiscard]] double query(std::uint64_t n) const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+
+  /// Merges performed by the most recent update (cascade length).
+  [[nodiscard]] int last_update_merges() const noexcept { return last_merges_; }
+  /// Largest cascade observed so far.
+  [[nodiscard]] int max_merges() const noexcept { return max_merges_; }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept;
+
+  /// Paper-accounting footprint: each bucket stores a size exponent
+  /// (loglog bits) and a modulo-N' position (log N' bits).
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  struct Bucket {
+    std::uint64_t newest_pos;
+    std::uint64_t order;  // arrival stamp; larger = newer
+  };
+
+  void expire();
+  /// Class index (size exponent) of the globally oldest bucket, or -1.
+  [[nodiscard]] int oldest_class() const noexcept;
+
+  std::uint64_t k_;       // ceil(inv_eps / 2): buckets allowed per class
+  std::uint64_t window_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t total_ = 0;       // sum of all bucket sizes
+  std::uint64_t next_order_ = 0;
+  std::vector<std::deque<Bucket>> classes_;  // classes_[e]: buckets of size 2^e
+  int last_merges_ = 0;
+  int max_merges_ = 0;
+};
+
+}  // namespace waves::baseline

@@ -1,0 +1,142 @@
+#include "baseline/eh_sum.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace waves::baseline {
+
+EhSum::EhSum(std::uint64_t inv_eps, std::uint64_t window,
+             std::uint64_t max_value)
+    : k_((inv_eps + 1) / 2), window_(window), max_value_(max_value) {
+  assert(inv_eps >= 1 && window >= 1);
+  if (k_ == 0) k_ = 1;
+  classes_.resize(130);  // sums range to N*R: up to ~127 classes
+}
+
+int EhSum::oldest_class() const noexcept {
+  int best = -1;
+  std::uint64_t best_order = ~std::uint64_t{0};
+  for (std::size_t e = 0; e < classes_.size(); ++e) {
+    if (!classes_[e].empty() && classes_[e].front().order < best_order) {
+      best_order = classes_[e].front().order;
+      best = static_cast<int>(e);
+    }
+  }
+  return best;
+}
+
+void EhSum::expire() {
+  // Several buckets can share one item's position (its binary
+  // decomposition), so expiry may remove more than one bucket per step —
+  // part of the baseline's non-constant worst case.
+  for (;;) {
+    const int e = oldest_class();
+    if (e < 0) return;
+    const Bucket& b = classes_[static_cast<std::size_t>(e)].front();
+    if (b.newest_pos + window_ > pos_) return;
+    total_ -= std::uint64_t{1} << e;
+    classes_[static_cast<std::size_t>(e)].pop_front();
+  }
+}
+
+void EhSum::update(std::uint64_t value) {
+  assert(value <= max_value_);
+  ++pos_;
+  expire();
+  last_merges_ = 0;
+  if (value == 0) return;
+  total_ += value;
+
+  // "Directly compute the EH resulting from v insertions of value 1":
+  // v virtual unit buckets enter class 0; each class merges pairs from its
+  // oldest end until it holds k or k+1 buckets, carrying the merged pairs
+  // upward. Virtual buckets (all stamped with the current position) are
+  // counted arithmetically, so a value of 2^30 costs O(log) work, while
+  // the EH invariant — every class below the top holds >= k buckets — is
+  // maintained exactly as v unit insertions would.
+  std::uint64_t carry = value;  // virtual size-2^e buckets entering class e
+  int merges = 0;
+  for (std::size_t e = 0; e + 1 < classes_.size(); ++e) {
+    auto& cls = classes_[e];
+    const std::uint64_t n = cls.size() + carry;
+    if (n <= k_ + 1) {
+      // No overflow: materialize the (few) remaining virtual buckets.
+      for (std::uint64_t i = 0; i < carry; ++i) {
+        cls.push_back(Bucket{pos_, next_order_++});
+      }
+      carry = 0;
+      break;
+    }
+    const std::uint64_t m = (n - k_) / 2;  // leaves n - 2m in {k, k+1}
+
+    // Merges consume the 2m oldest slots: real buckets first, then
+    // virtual ones.
+    const std::uint64_t taken_real =
+        std::min<std::uint64_t>(2 * m, cls.size());
+    std::uint64_t produced_explicit = 0;
+    // Real-real pairs: the merged bucket keeps the newer member's stamp
+    // and is appended to the next class (it is newer than everything
+    // already there, by the sizes-nondecreasing-with-age invariant).
+    while (produced_explicit * 2 + 1 < taken_real) {
+      cls.pop_front();
+      const Bucket newer = cls.front();
+      cls.pop_front();
+      classes_[e + 1].push_back(newer);
+      ++produced_explicit;
+    }
+    std::uint64_t virtual_consumed = 2 * m - taken_real;
+    if (taken_real % 2 == 1) {
+      // One straddling pair: oldest remaining real with a virtual bucket;
+      // the virtual member is newer, so the result is stamped now.
+      cls.pop_front();
+      classes_[e + 1].push_back(Bucket{pos_, next_order_++});
+      ++produced_explicit;
+      // virtual_consumed already accounts for the virtual member:
+      // 2m = taken_real + virtual_consumed.
+    }
+    // Pure virtual-virtual merges carry upward arithmetically.
+    const std::uint64_t mvv = m - produced_explicit;
+    // Virtual buckets left at this class (not merged): materialize.
+    const std::uint64_t leftover = carry - virtual_consumed;
+    assert(cls.size() + leftover <= k_ + 1);
+    for (std::uint64_t i = 0; i < leftover; ++i) {
+      cls.push_back(Bucket{pos_, next_order_++});
+    }
+    // Instrumentation: actual per-update work at this class (explicit
+    // merges and materializations; the virtual-virtual carry is O(1)).
+    merges += static_cast<int>(produced_explicit + leftover) + 1;
+    carry = mvv;
+    if (carry == 0) break;
+  }
+  assert(carry == 0 && "cascade must terminate within the class table");
+  last_merges_ = merges;
+  max_merges_ = std::max(max_merges_, merges);
+}
+
+double EhSum::query() const {
+  if (pos_ <= window_) return static_cast<double>(total_);
+  const int e = oldest_class();
+  if (e < 0) return 0.0;
+  const double oldest_size = static_cast<double>(std::uint64_t{1} << e);
+  if (oldest_size <= 1.0) return static_cast<double>(total_);
+  return static_cast<double>(total_) - (oldest_size - 1.0) / 2.0;
+}
+
+std::size_t EhSum::bucket_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.size();
+  return n;
+}
+
+std::uint64_t EhSum::space_bits() const noexcept {
+  const std::uint64_t np =
+      util::next_pow2_at_least(2 * window_ * (max_value_ ? max_value_ : 1));
+  const std::uint64_t pos_bits = static_cast<std::uint64_t>(util::floor_log2(np));
+  const std::uint64_t exp_bits =
+      static_cast<std::uint64_t>(util::ceil_log2(pos_bits + 1));
+  return bucket_count() * (pos_bits + exp_bits) + 2 * pos_bits;
+}
+
+}  // namespace waves::baseline

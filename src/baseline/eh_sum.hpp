@@ -1,0 +1,57 @@
+// Exponential Histogram for sums of bounded integers — the Datar et al.
+// baseline for the sum wave (Sec. 3.3 of the paper).
+//
+// An item of value v is treated as v arrivals of 1; rather than performing
+// v unit insertions, the EH resulting from them is computed directly by
+// inserting the binary decomposition of v as up-to-log(R) buckets stamped
+// with the item's position and canonicalizing with merges. This realizes
+// the baseline's O(log N + log R) worst-case / O(log R / log N) amortized
+// per-item cost that the sum wave's O(1) improves on; merge cascades are
+// instrumented for experiment E6.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace waves::baseline {
+
+class EhSum {
+ public:
+  /// @param inv_eps 1/eps as an integer (>= 1).
+  /// @param window  maximum window size N (in items).
+  /// @param max_value R; values are integers in [0..R].
+  EhSum(std::uint64_t inv_eps, std::uint64_t window, std::uint64_t max_value);
+
+  void update(std::uint64_t value);
+
+  /// Estimate of the sum over the last N items; exact while pos <= N.
+  [[nodiscard]] double query() const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] int last_update_merges() const noexcept { return last_merges_; }
+  [[nodiscard]] int max_merges() const noexcept { return max_merges_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept;
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  struct Bucket {
+    std::uint64_t newest_pos;
+    std::uint64_t order;
+  };
+
+  void expire();
+  [[nodiscard]] int oldest_class() const noexcept;
+
+  std::uint64_t k_;
+  std::uint64_t window_;
+  std::uint64_t max_value_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t next_order_ = 0;
+  std::vector<std::deque<Bucket>> classes_;
+  int last_merges_ = 0;
+  int max_merges_ = 0;
+};
+
+}  // namespace waves::baseline

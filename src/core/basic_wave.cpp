@@ -1,0 +1,75 @@
+#include "core/basic_wave.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace waves::core {
+
+BasicWave::BasicWave(std::uint64_t inv_eps, std::uint64_t window)
+    : inv_eps_(inv_eps),
+      window_(window),
+      cap_(static_cast<std::size_t>(inv_eps + 1)) {
+  assert(inv_eps >= 1 && window >= 1);
+  levels_.resize(
+      static_cast<std::size_t>(util::det_wave_levels(inv_eps, window)));
+}
+
+void BasicWave::update(bool bit) {
+  ++pos_;
+  if (!bit) return;
+  ++rank_;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (rank_ % (std::uint64_t{1} << i) == 0) {
+      auto& q = levels_[i];
+      q.emplace_back(pos_, rank_);
+      if (q.size() > cap_) q.pop_front();
+    }
+  }
+}
+
+Estimate BasicWave::query(std::uint64_t n) const {
+  assert(n >= 1 && n <= window_);
+  // Step 1 of Sec. 3.1.
+  if (n >= pos_) {
+    return Estimate{static_cast<double>(rank_), true, n};
+  }
+  const std::uint64_t s = pos_ - n + 1;
+
+  // p1: max stored position < s (the dummy position 0 with rank 0 counts);
+  // p2: min stored position >= s.
+  bool have_p2 = false;
+  std::uint64_t p1 = 0, r1 = 0;  // dummy defaults
+  std::uint64_t p2 = 0, r2 = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    for (const auto& [p, r] : levels_[i]) {
+      if (p < s) {
+        if (p >= p1) {
+          p1 = p;
+          r1 = r;
+        }
+      } else if (!have_p2 || p < p2) {
+        have_p2 = true;
+        p2 = p;
+        r2 = r;
+      }
+    }
+  }
+  if (!have_p2) {
+    return Estimate{0.0, true, n};
+  }
+  // Step 2.
+  if (s == p2) {
+    return Estimate{static_cast<double>(rank_ + 1 - r2), true, n};
+  }
+  if (r2 == r1 + 1) {
+    // Width-zero bracket (see det_wave.cpp): the count is exactly
+    // rank - r1.
+    return Estimate{static_cast<double>(rank_ - r1), true, n};
+  }
+  return Estimate{static_cast<double>(rank_) + 1.0 -
+                      (static_cast<double>(r1) + static_cast<double>(r2)) / 2.0,
+                  false, n};
+}
+
+}  // namespace waves::core

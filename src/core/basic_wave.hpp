@@ -1,0 +1,59 @@
+// The basic deterministic wave of Sec. 3.1 — the reference structure.
+//
+// Level i (of ell = ceil(log2(2 eps N))) stores the positions of the
+// 1/eps + 1 most recent 1-bits whose 1-rank is a multiple of 2^i; a level
+// that has seen fewer holds all of them plus the dummy position 0. A
+// window query locates p1 (largest stored position below the window) and
+// p2 (smallest stored position inside it) and returns the midpoint rule
+// of Sec. 3.1, which Lemma 1 proves is an eps-approximation.
+//
+// This implementation is deliberately literal (a 1-bit is stored at *every*
+// level dividing its rank; nothing ever expires) and serves as the oracle
+// the optimal wave of Sec. 3.2 is differentially tested against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/wave_common.hpp"
+
+namespace waves::core {
+
+class BasicWave {
+ public:
+  /// @param inv_eps 1/eps as an integer >= 1.
+  /// @param window  maximum window size N.
+  BasicWave(std::uint64_t inv_eps, std::uint64_t window);
+
+  void update(bool bit);
+
+  /// Estimate the number of 1s among the last n <= N items (Sec. 3.1).
+  [[nodiscard]] Estimate query(std::uint64_t n) const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t rank() const noexcept { return rank_; }
+  [[nodiscard]] int levels() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+
+  /// (position, 1-rank) pairs stored at a level, oldest first; the dummy
+  /// (0, 0) entry is represented implicitly (see level_has_dummy).
+  [[nodiscard]] const std::deque<std::pair<std::uint64_t, std::uint64_t>>&
+  level_contents(int level) const {
+    return levels_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] bool level_has_dummy(int level) const {
+    return levels_[static_cast<std::size_t>(level)].size() < cap_;
+  }
+
+ private:
+  std::uint64_t inv_eps_;
+  std::uint64_t window_;
+  std::size_t cap_;  // 1/eps + 1
+  std::uint64_t pos_ = 0;
+  std::uint64_t rank_ = 0;
+  std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> levels_;
+};
+
+}  // namespace waves::core

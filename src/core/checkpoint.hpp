@@ -1,0 +1,46 @@
+// Checkpoint / restore for long-running synopses.
+//
+// A monitoring deployment wants to survive restarts without losing its
+// window state. A wave's queryable state is tiny (that is the point of
+// the paper), so checkpoints are cheap: the live entries plus the few
+// counters. Restoring rebuilds the level queues by replaying the entries
+// in position order; because per-level survivors are exactly the most
+// recent inserts of that level and stale ring slots always form the
+// contiguous run ahead of the cursor, the restored structure is
+// *behaviorally identical* to the original under any continuation of the
+// stream — which the tests verify by differential replay.
+//
+// Randomized synopses additionally need their stored coins: restore with a
+// SharedRandomness seeded identically to the original (the deployment's
+// shared seed), which reproduces the hash functions exactly.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace waves::core {
+
+struct DetWaveCheckpoint {
+  std::uint64_t pos = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t discarded_rank = 0;
+  /// Live (position, rank) pairs in increasing position order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+};
+
+struct RandWaveCheckpoint {
+  std::uint64_t pos = 0;
+  /// queues[l]: positions at level l, oldest first.
+  std::vector<std::vector<std::uint64_t>> queues;
+  std::vector<std::uint64_t> evicted_bounds;
+};
+
+struct DistinctWaveCheckpoint {
+  std::uint64_t pos = 0;
+  /// levels[l]: (value, latest position) pairs, oldest position first.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> levels;
+  std::vector<std::uint64_t> evicted_bounds;
+};
+
+}  // namespace waves::core

@@ -1,0 +1,137 @@
+#include "core/compact_wave.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace waves::core {
+
+namespace {
+
+/// Elias gamma over a BitVec: value >= 1 encoded as floor(log2 v) zeros
+/// followed by the v's bits (msb first is implicit in the standard code;
+/// here we store the length-prefix then the value lsb-first, which is an
+/// equivalent-length prefix code over the word-packed store).
+void gamma_append(util::BitVec& bv, std::uint64_t v) {
+  assert(v >= 1);
+  const int nbits = util::floor_log2(v);  // number of leading zeros to emit
+  for (int i = 0; i < nbits; ++i) bv.append(0, 1);
+  bv.append(1, 1);            // terminator of the unary length prefix
+  if (nbits > 0) bv.append(v, nbits);  // low bits; the top bit is implicit
+}
+
+struct BitReader {
+  const util::BitVec& bv;
+  std::size_t at = 0;
+
+  std::uint64_t read(int width) {
+    const std::uint64_t v = bv.read(at, width);
+    at += static_cast<std::size_t>(width);
+    return v;
+  }
+  std::uint64_t gamma() {
+    int zeros = 0;
+    while (read(1) == 0) ++zeros;
+    std::uint64_t v = std::uint64_t{1} << zeros;
+    if (zeros > 0) v |= read(zeros);
+    return v;
+  }
+};
+
+}  // namespace
+
+CompactWave::CompactWave(std::uint64_t inv_eps, std::uint64_t window)
+    : window_(window),
+      np_(util::next_pow2_at_least(window < 1 ? 2 : 2 * window)),
+      wave_(inv_eps, window) {}
+
+util::BitVec CompactWave::encode() const {
+  const int d = util::floor_log2(np_);
+  const std::uint64_t mask = np_ - 1;
+  const auto entries = wave_.entries();
+
+  util::BitVec bv;
+  bv.append(wave_.pos() >= np_ ? 1 : 0, 1);  // saturated flag
+  bv.append(wave_.pos() & mask, d);
+  bv.append(wave_.rank() & mask, d);
+  bv.append(wave_.largest_discarded_rank() & mask, d);
+  gamma_append(bv, entries.size() + 1);  // entry count (can exceed N' - 1
+                                         // for tiny windows, so gamma-coded)
+
+  if (!entries.empty()) {
+    // First entry: distance behind the current position, then gamma deltas.
+    bv.append((wave_.pos() - entries.front().first) & mask, d);
+    bv.append((wave_.rank() - entries.front().second) & mask, d);
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      gamma_append(bv, entries[i].first - entries[i - 1].first);
+      gamma_append(bv, entries[i].second - entries[i - 1].second);
+    }
+  }
+  return bv;
+}
+
+DecodedWave CompactWave::decode(const util::BitVec& bits) const {
+  const int d = util::floor_log2(np_);
+  const std::uint64_t mask = np_ - 1;
+  BitReader rd{bits};
+
+  const bool saturated = rd.read(1) != 0;
+  const std::uint64_t pos = rd.read(d);
+  const std::uint64_t rank = rd.read(d);
+  const std::uint64_t discarded = rd.read(d);
+  const std::uint64_t m = rd.gamma() - 1;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  entries.reserve(m);
+  if (m > 0) {
+    std::uint64_t p = (pos - rd.read(d)) & mask;
+    std::uint64_t r = (rank - rd.read(d)) & mask;
+    entries.emplace_back(p, r);
+    for (std::uint64_t i = 1; i < m; ++i) {
+      p = (p + rd.gamma()) & mask;
+      r = (r + rd.gamma()) & mask;
+      entries.emplace_back(p, r);
+    }
+  }
+  return DecodedWave(np_, window_, saturated, pos, rank, discarded,
+                     std::move(entries));
+}
+
+Estimate DecodedWave::query(std::uint64_t n) const {
+  assert(n >= 1 && n <= window_);
+  if (!saturated_ && n >= pos_) {
+    return Estimate{static_cast<double>(rank_), true, n};
+  }
+  // Window membership: an entry p is inside [pos - n + 1, pos] iff its
+  // wrapped distance behind pos is < n.
+  std::uint64_t r1 = discarded_rank_;
+  bool have_p2 = false;
+  std::uint64_t p2_behind = 0, r2 = 0;
+  for (const auto& [p, r] : entries_) {
+    if (behind(p) >= n) {
+      r1 = r;
+    } else {
+      have_p2 = true;
+      p2_behind = behind(p);
+      r2 = r;
+      break;
+    }
+  }
+  if (!have_p2) {
+    return Estimate{0.0, true, n};
+  }
+  const std::uint64_t mask = np_ - 1;
+  const std::uint64_t a = (rank_ - r1) & mask;  // rank - r1
+  const std::uint64_t b = (rank_ - r2) & mask;  // rank - r2
+  if (p2_behind == n - 1) {
+    return Estimate{static_cast<double>(b + 1), true, n};
+  }
+  if (a == b + 1) {
+    // r2 == r1 + 1: width-zero bracket, exact count (see det_wave.cpp).
+    return Estimate{static_cast<double>(a), true, n};
+  }
+  return Estimate{1.0 + (static_cast<double>(a) + static_cast<double>(b)) / 2.0,
+                  false, n};
+}
+
+}  // namespace waves::core

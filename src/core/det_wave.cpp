@@ -1,0 +1,176 @@
+#include "core/det_wave.hpp"
+
+#include <cassert>
+
+namespace waves::core {
+
+namespace {
+
+std::vector<std::uint32_t> det_capacities(std::uint64_t inv_eps,
+                                          std::uint64_t window) {
+  const int ell = util::det_wave_levels(inv_eps, window);
+  const auto full = static_cast<std::uint32_t>(inv_eps + 1);
+  const std::uint32_t half = (full + 1) / 2;
+  std::vector<std::uint32_t> caps(static_cast<std::size_t>(ell), half);
+  caps.back() = full;  // level ell-1 keeps the full complement
+  return caps;
+}
+
+}  // namespace
+
+DetWave::DetWave(std::uint64_t inv_eps, std::uint64_t window,
+                 bool use_weak_model)
+    : inv_eps_(inv_eps),
+      window_(window),
+      pool_(det_capacities(inv_eps, window)) {
+  assert(inv_eps >= 1 && window >= 1);
+  if (use_weak_model) ruler_.emplace(pool_.levels());
+  slot_level_.resize(pool_.total_slots());
+  // Precompute slot -> level for snapshots.
+  std::int32_t idx = 0;
+  for (int l = 0; l < pool_.levels(); ++l) {
+    for (std::uint32_t i = 0; i < pool_.capacity(l); ++i) {
+      slot_level_[static_cast<std::size_t>(idx++)] = l;
+    }
+  }
+}
+
+void DetWave::update(bool bit) {
+  ++pos_;
+  // Step 2 of Fig. 4: expire the head of the list if it left the window.
+  // Positions advance by one per update, so at most one entry expires.
+  if (!pool_.empty()) {
+    const Entry& head = pool_.entry(pool_.head());
+    if (head.pos + window_ <= pos_) {
+      const Entry gone = pool_.pop_oldest();
+      discarded_rank_ = gone.rank;
+    }
+  }
+  if (!bit) return;  // the ruler advances per 1-rank, not per position
+  // Step 3: place the new 1 at its maximum level.
+  ++rank_;
+  int j;
+  if (ruler_) {
+    j = ruler_->next();
+    const int top = pool_.levels() - 1;
+    if (j > top) j = top;
+    assert(j == level_of(rank_));
+  } else {
+    j = level_of(rank_);
+  }
+  pool_.insert(j, Entry{pos_, rank_});
+}
+
+void DetWave::skip_zeros(std::uint64_t count) {
+  pos_ += count;
+  // Expire every entry the jump passed; at most all stored entries, each
+  // O(1), and each was paid for by its own insertion.
+  while (!pool_.empty()) {
+    const Entry& head = pool_.entry(pool_.head());
+    if (head.pos + window_ > pos_) break;
+    const Entry gone = pool_.pop_oldest();
+    discarded_rank_ = gone.rank;
+  }
+}
+
+Estimate DetWave::query() const { return query(window_); }
+
+Estimate DetWave::query(std::uint64_t n) const {
+  assert(n >= 1 && n <= window_);
+  if (n >= pos_) {
+    return Estimate{static_cast<double>(rank_), true, n};
+  }
+  const std::uint64_t s = pos_ - n + 1;
+
+  // r1: rank of the latest 1 known to precede the window; starts from the
+  // largest discarded rank (whose position is <= pos - N < s) and improves
+  // with any stored position below s. p2/r2: first stored position >= s.
+  std::uint64_t r1 = discarded_rank_;
+  bool have_p2 = false;
+  std::uint64_t p2 = 0, r2 = 0;
+  for (std::int32_t i = pool_.head(); i != util::LevelPool<Entry>::kNil;
+       i = pool_.next(i)) {
+    const Entry& e = pool_.entry(i);
+    if (e.pos < s) {
+      r1 = e.rank;  // list is position-sorted: the last one below s wins
+    } else {
+      have_p2 = true;
+      p2 = e.pos;
+      r2 = e.rank;
+      break;
+    }
+  }
+  if (!have_p2) {
+    // The most recent 1 (if any) is always stored; none at or after s
+    // means the window holds no 1s.
+    return Estimate{0.0, true, n};
+  }
+  if (p2 == s) {
+    // Ranks are monotone in position, so the window holds exactly the
+    // ranks [r2, rank].
+    return Estimate{static_cast<double>(rank_ + 1 - r2), true, n};
+  }
+  if (r2 == r1 + 1) {
+    // Adjacent ranks bracket the window start: the count interval
+    // [rank - r2 + 1, rank - r1] has width zero, so the answer is known
+    // exactly. (The paper's formula would return this + 1/2; see Lemma 1's
+    // parenthetical, which assumes a gap of at least 2.)
+    return Estimate{static_cast<double>(rank_ - r1), true, n};
+  }
+  return Estimate{static_cast<double>(rank_) + 1.0 -
+                      (static_cast<double>(r1) + static_cast<double>(r2)) / 2.0,
+                  false, n};
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> DetWave::level_snapshot(
+    int level) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (std::int32_t i = pool_.head(); i != util::LevelPool<Entry>::kNil;
+       i = pool_.next(i)) {
+    if (slot_level_[static_cast<std::size_t>(i)] == level) {
+      const Entry& e = pool_.entry(i);
+      out.emplace_back(e.pos, e.rank);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> DetWave::entries() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  pool_.for_each([&out](const Entry& e) { out.emplace_back(e.pos, e.rank); });
+  return out;
+}
+
+DetWaveCheckpoint DetWave::checkpoint() const {
+  return DetWaveCheckpoint{pos_, rank_, discarded_rank_, entries()};
+}
+
+DetWave DetWave::restore(std::uint64_t inv_eps, std::uint64_t window,
+                         const DetWaveCheckpoint& ck, bool use_weak_model) {
+  DetWave w(inv_eps, window, use_weak_model);
+  w.pos_ = ck.pos;
+  w.rank_ = ck.rank;
+  w.discarded_rank_ = ck.discarded_rank;
+  // Replaying the live entries in position order rebuilds every level's
+  // most-recent survivors; per-level counts never exceed capacity, so no
+  // entry is spliced during the replay.
+  for (const auto& [p, r] : ck.entries) {
+    w.pool_.insert(w.level_of(r), Entry{p, r});
+  }
+  if (w.ruler_) w.ruler_->seek(ck.rank);
+  return w;
+}
+
+std::uint64_t DetWave::space_bits() const noexcept {
+  // Paper accounting: pos and rank counters are modulo N' (log N' bits
+  // each); each slot holds a position delta and rank delta (O(log(eps N))
+  // bits amortized, accounted here at log N' as the conservative word
+  // bound) plus two list offsets of ceil(log2 slots) bits.
+  const std::uint64_t np = util::next_pow2_at_least(2 * window_);
+  const auto word = static_cast<std::uint64_t>(util::floor_log2(np));
+  const auto off = static_cast<std::uint64_t>(
+      util::ceil_log2(pool_.total_slots() + 1));
+  return 2 * word + pool_.total_slots() * (2 * word + 2 * off);
+}
+
+}  // namespace waves::core

@@ -1,0 +1,111 @@
+// The optimal deterministic wave of Sec. 3.2 (Theorem 1).
+//
+// Improvements over the basic wave of Sec. 3.1:
+//   * each 1-bit is stored only at its *maximum* level (the largest j with
+//     2^j dividing its 1-rank), so levels 0..ell-2 need only
+//     ceil((1/eps + 1)/2) slots and level ell-1 keeps 1/eps + 1;
+//   * positions older than N expire from the head of a position-sorted
+//     intrusive list; the largest discarded 1-rank (r1) is retained so the
+//     full-window query runs in O(1);
+//   * the per-level queues are fixed circular buffers updated in place, so
+//     every update is O(1) *worst case* — no merge cascades (contrast with
+//     the EH baseline);
+//   * the wave level can be computed without a find-first-set instruction
+//     via the ruler-sequence scheme (use_weak_model), preserving O(1) on
+//     the paper's weaker machine model.
+//
+// Guarantee (Theorem 1): every query over a window of n <= N items returns
+// an estimate within relative error eps; O(1) worst-case update; O(1)
+// full-window query; O((1/eps) log(eps N)) general-window query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/wave_common.hpp"
+#include "util/bitops.hpp"
+#include "util/level_pool.hpp"
+#include "util/weak_bitops.hpp"
+
+namespace waves::core {
+
+class DetWave {
+ public:
+  /// @param inv_eps 1/eps as an integer >= 1.
+  /// @param window  maximum window size N >= 1.
+  /// @param use_weak_model compute wave levels with the Sec. 3.2
+  ///        ruler-sequence scheme instead of a hardware find-first-set.
+  DetWave(std::uint64_t inv_eps, std::uint64_t window,
+          bool use_weak_model = false);
+
+  /// Process one stream bit. O(1) worst case.
+  void update(bool bit);
+
+  /// Process a run of `count` consecutive 0-bits. Equivalent to calling
+  /// update(false) `count` times but costs O(#entries expired), not
+  /// O(count) — the fast path for sparse streams (events + long gaps).
+  void skip_zeros(std::uint64_t count);
+
+  /// Count estimate over the full window of N items. O(1) worst case.
+  [[nodiscard]] Estimate query() const;
+
+  /// Count estimate over the last n <= N items. O((1/eps) log(eps N)).
+  [[nodiscard]] Estimate query(std::uint64_t n) const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  [[nodiscard]] int levels() const noexcept { return pool_.levels(); }
+  [[nodiscard]] std::uint64_t largest_discarded_rank() const noexcept {
+    return discarded_rank_;
+  }
+
+  /// Live (position, rank) pairs at a level, oldest first — introspection
+  /// for the Fig. 3 reproduction test. O(stored).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  level_snapshot(int level) const;
+
+  /// All live (position, rank) pairs in increasing position order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  entries() const;
+
+  /// Capture the full queryable state (cheap: O((1/eps) log(eps N))).
+  [[nodiscard]] DetWaveCheckpoint checkpoint() const;
+
+  /// Rebuild a wave that behaves identically to the checkpointed one under
+  /// any continuation of the stream. Parameters must match the original's.
+  [[nodiscard]] static DetWave restore(std::uint64_t inv_eps,
+                                       std::uint64_t window,
+                                       const DetWaveCheckpoint& ck,
+                                       bool use_weak_model = false);
+
+  /// Paper-accounting footprint in bits: every slot holds a delta-encodable
+  /// modulo-N' position + rank plus list offsets; see compact_wave for the
+  /// measured delta-encoded figure.
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t pos;
+    std::uint64_t rank;
+  };
+
+  [[nodiscard]] int level_of(std::uint64_t rank) const noexcept {
+    const int j = util::rank_level(rank);
+    const int top = pool_.levels() - 1;
+    return j > top ? top : j;
+  }
+
+  std::uint64_t inv_eps_;
+  std::uint64_t window_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t rank_ = 0;
+  std::uint64_t discarded_rank_ = 0;  // r1 of Fig. 4
+  util::LevelPool<Entry> pool_;
+  std::optional<util::RulerLevels> ruler_;
+  std::vector<std::int32_t> slot_level_;  // slot index -> level (snapshots)
+};
+
+}  // namespace waves::core

@@ -1,0 +1,58 @@
+#include "core/extensions/average.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace waves::core {
+
+std::uint64_t ratio_component_inv_eps(std::uint64_t inv_eps) {
+  // eps' = eps / (2 + eps)  =>  1/eps' = (2 + eps)/eps = 2/eps + 1.
+  return 2 * inv_eps + 1;
+}
+
+SlidingAverage::SlidingAverage(std::uint64_t inv_eps, std::uint64_t window,
+                               std::uint64_t max_value)
+    : sum_(inv_eps, window, max_value) {}
+
+std::optional<double> SlidingAverage::query(std::uint64_t n) const {
+  if (sum_.pos() == 0) return std::nullopt;
+  const std::uint64_t count = std::min<std::uint64_t>(sum_.pos(), n);
+  return sum_.query(n).value / static_cast<double>(count);
+}
+
+FlaggedAverage::FlaggedAverage(std::uint64_t inv_eps, std::uint64_t window,
+                               std::uint64_t max_value)
+    : sum_(ratio_component_inv_eps(inv_eps), window, max_value),
+      count_(ratio_component_inv_eps(inv_eps), window) {}
+
+void FlaggedAverage::update(bool flagged, std::uint64_t value) {
+  sum_.update(flagged ? value : 0);
+  count_.update(flagged);
+}
+
+std::optional<double> FlaggedAverage::query(std::uint64_t n) const {
+  const double c = count_.query(n).value;
+  if (c <= 0.0) return std::nullopt;
+  return sum_.query(n).value / c;
+}
+
+TimestampedAverage::TimestampedAverage(std::uint64_t inv_eps,
+                                       std::uint64_t window,
+                                       std::uint64_t max_per_window,
+                                       std::uint64_t max_value)
+    : sum_(ratio_component_inv_eps(inv_eps), window, max_per_window,
+           max_value),
+      count_(ratio_component_inv_eps(inv_eps), window, max_per_window) {}
+
+void TimestampedAverage::update(std::uint64_t pos, std::uint64_t value) {
+  sum_.update(pos, value);
+  count_.update(pos, true);  // every item counts toward the denominator
+}
+
+std::optional<double> TimestampedAverage::query(std::uint64_t n) const {
+  const double c = count_.query(n).value;
+  if (c <= 0.0) return std::nullopt;
+  return sum_.query(n).value / c;
+}
+
+}  // namespace waves::core

@@ -1,0 +1,92 @@
+// Sliding averages by sum/count composition (Sec. 5, "Other Problems").
+//
+// "An eps-approximation scheme for the sliding average is readily obtained
+// by running our sum and count algorithms (each targeting a relative error
+// of eps/(2+eps))." Two flavors:
+//
+//  * SlidingAverage — average of all values in the last n items: the count
+//    is min(pos, n) exactly, so only the sum wave's eps is needed.
+//  * FlaggedAverage — average of values among *flagged* items in the
+//    window (e.g. mean duration of dropped calls): both numerator (sum
+//    wave over flag*value) and denominator (deterministic wave over flags)
+//    are estimates; running both at eps' = eps/(2+eps) makes the ratio an
+//    eps-approximation whenever the window holds at least one flagged item.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/det_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "core/ts_sum_wave.hpp"
+#include "core/ts_wave.hpp"
+#include "core/wave_common.hpp"
+
+namespace waves::core {
+
+/// Component accuracy for a ratio target of eps: eps/(2+eps) expressed as
+/// an integer inverse (rounded up, i.e. never less accurate).
+[[nodiscard]] std::uint64_t ratio_component_inv_eps(std::uint64_t inv_eps);
+
+class SlidingAverage {
+ public:
+  SlidingAverage(std::uint64_t inv_eps, std::uint64_t window,
+                 std::uint64_t max_value);
+
+  void update(std::uint64_t value) { sum_.update(value); }
+
+  /// Average of the last n <= N values; nullopt before any item arrives.
+  [[nodiscard]] std::optional<double> query(std::uint64_t n) const;
+
+  [[nodiscard]] const SumWave& sum_wave() const noexcept { return sum_; }
+
+ private:
+  SumWave sum_;
+};
+
+class FlaggedAverage {
+ public:
+  FlaggedAverage(std::uint64_t inv_eps, std::uint64_t window,
+                 std::uint64_t max_value);
+
+  /// @param flagged whether this item participates in the average.
+  void update(bool flagged, std::uint64_t value);
+
+  /// Average value among flagged items in the last n items; nullopt when
+  /// the count estimate is 0.
+  [[nodiscard]] std::optional<double> query(std::uint64_t n) const;
+
+  [[nodiscard]] const SumWave& sum_wave() const noexcept { return sum_; }
+  [[nodiscard]] const DetWave& count_wave() const noexcept { return count_; }
+
+ private:
+  SumWave sum_;
+  DetWave count_;
+};
+
+/// Average value per item over a *timestamp* window (the last N time
+/// units): both the item count (timestamp count wave, every item counted)
+/// and the value sum (timestamp sum wave) are estimates, so both run at
+/// eps' = eps/(2+eps) and the ratio is an eps-approximation whenever the
+/// window is non-empty.
+class TimestampedAverage {
+ public:
+  TimestampedAverage(std::uint64_t inv_eps, std::uint64_t window,
+                     std::uint64_t max_per_window, std::uint64_t max_value);
+
+  /// Positions nondecreasing (timestamps); every item participates.
+  void update(std::uint64_t pos, std::uint64_t value);
+
+  /// Average value among items in the last n <= N positions; nullopt when
+  /// the count estimate is 0.
+  [[nodiscard]] std::optional<double> query(std::uint64_t n) const;
+
+  [[nodiscard]] const TsSumWave& sum_wave() const noexcept { return sum_; }
+  [[nodiscard]] const TsWave& count_wave() const noexcept { return count_; }
+
+ private:
+  TsSumWave sum_;
+  TsWave count_;
+};
+
+}  // namespace waves::core

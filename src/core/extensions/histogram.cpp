@@ -1,0 +1,51 @@
+#include "core/extensions/histogram.hpp"
+
+#include <cassert>
+
+namespace waves::core {
+
+WindowedHistogram::WindowedHistogram(std::size_t buckets,
+                                     std::uint64_t inv_eps,
+                                     std::uint64_t window,
+                                     std::uint64_t max_value)
+    : max_value_(max_value),
+      width_((max_value + buckets) / buckets) {
+  assert(buckets >= 1 && max_value >= 1);
+  waves_.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    waves_.emplace_back(inv_eps, window);
+  }
+}
+
+std::size_t WindowedHistogram::bucket_of(std::uint64_t value) const noexcept {
+  const std::size_t b = value / width_;
+  return b >= waves_.size() ? waves_.size() - 1 : b;
+}
+
+void WindowedHistogram::update(std::uint64_t value) {
+  assert(value <= max_value_);
+  const std::size_t hit = bucket_of(value);
+  for (std::size_t b = 0; b < waves_.size(); ++b) {
+    waves_[b].update(b == hit);
+  }
+}
+
+Estimate WindowedHistogram::bucket_count(std::size_t b,
+                                         std::uint64_t n) const {
+  return waves_[b].query(n);
+}
+
+std::vector<double> WindowedHistogram::densities(std::uint64_t n) const {
+  std::vector<double> out;
+  out.reserve(waves_.size());
+  for (const DetWave& w : waves_) out.push_back(w.query(n).value);
+  return out;
+}
+
+std::uint64_t WindowedHistogram::space_bits() const noexcept {
+  std::uint64_t bits = 0;
+  for (const DetWave& w : waves_) bits += w.space_bits();
+  return bits;
+}
+
+}  // namespace waves::core

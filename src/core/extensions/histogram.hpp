@@ -1,0 +1,53 @@
+// Windowed equi-width histograms (Sec. 5, "Other Problems": the counting
+// building block yields "averages, histogramming, etc." as in [9]).
+//
+// An equi-width histogram over values in [0..R] with B buckets maintains
+// one Basic Counting wave per bucket, fed the indicator "this item falls
+// in bucket b". Every per-bucket count over the last n <= N items is an
+// eps-approximation (Theorem 1 per bucket); total space is B times the
+// single wave bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/det_wave.hpp"
+#include "core/wave_common.hpp"
+
+namespace waves::core {
+
+class WindowedHistogram {
+ public:
+  /// @param buckets   number of equi-width buckets B >= 1 over [0..R].
+  /// @param inv_eps   per-bucket accuracy (1/eps).
+  /// @param window    maximum window size N.
+  /// @param max_value R.
+  WindowedHistogram(std::size_t buckets, std::uint64_t inv_eps,
+                    std::uint64_t window, std::uint64_t max_value);
+
+  /// Process one value in [0..R]. O(B) worst case (one wave update each;
+  /// the non-member waves see a 0).
+  void update(std::uint64_t value);
+
+  /// Bucket index of a value.
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t value) const noexcept;
+
+  /// Count estimate for bucket b over the last n <= N items.
+  [[nodiscard]] Estimate bucket_count(std::size_t b, std::uint64_t n) const;
+
+  /// All bucket estimates over the last n items.
+  [[nodiscard]] std::vector<double> densities(std::uint64_t n) const;
+
+  [[nodiscard]] std::size_t buckets() const noexcept { return waves_.size(); }
+  [[nodiscard]] std::uint64_t pos() const noexcept {
+    return waves_.front().pos();
+  }
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  std::uint64_t max_value_;
+  std::uint64_t width_;
+  std::vector<DetWave> waves_;
+};
+
+}  // namespace waves::core

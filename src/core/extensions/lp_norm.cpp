@@ -1,0 +1,65 @@
+#include "core/extensions/lp_norm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/median_estimator.hpp"
+
+namespace waves::core {
+
+SlidingL2::SlidingL2(const Params& params, const gf2::Field& field,
+                     gf2::SharedRandomness& coins)
+    : params_(params) {
+  assert(params.window >= 1 && params.rows >= 1 && params.cols >= 1);
+  const int total = params.rows * params.cols;
+  hashes_.reserve(static_cast<std::size_t>(total));
+  plus_.reserve(static_cast<std::size_t>(total));
+  minus_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    hashes_.emplace_back(field, /*k=*/4, coins);
+    plus_.emplace_back(params.counter_inv_eps, params.window);
+    minus_.emplace_back(params.counter_inv_eps, params.window);
+  }
+}
+
+void SlidingL2::update(std::uint64_t value) {
+  assert(value <= params_.max_value);
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    const bool positive = hashes_[i].sign(value) > 0;
+    plus_[i].update(positive);
+    minus_[i].update(!positive);
+  }
+}
+
+double SlidingL2::f2(std::uint64_t n) const {
+  // Mean of squared accumulators within each group, median across groups.
+  std::vector<double> groups;
+  groups.reserve(static_cast<std::size_t>(params_.rows));
+  std::size_t idx = 0;
+  for (int r = 0; r < params_.rows; ++r) {
+    double mean = 0.0;
+    for (int c = 0; c < params_.cols; ++c, ++idx) {
+      const double z =
+          plus_[idx].query(n).value - minus_[idx].query(n).value;
+      mean += z * z / params_.cols;
+    }
+    groups.push_back(mean);
+  }
+  return median(std::move(groups));
+}
+
+double SlidingL2::l2(std::uint64_t n) const {
+  return std::sqrt(std::max(0.0, f2(n)));
+}
+
+std::uint64_t SlidingL2::pos() const noexcept { return plus_.front().pos(); }
+
+std::uint64_t SlidingL2::space_bits() const noexcept {
+  std::uint64_t bits = 0;
+  for (const DetWave& w : plus_) bits += w.space_bits();
+  for (const DetWave& w : minus_) bits += w.space_bits();
+  return bits;
+}
+
+}  // namespace waves::core

@@ -1,0 +1,64 @@
+// Sliding-window L2 norm of the frequency vector (Sec. 5, "Other
+// Problems": "These include Lp norms, averages, histogramming, etc.",
+// via the reduction of Datar et al. [9]).
+//
+// The AMS sketch estimates F2 = sum_v f_v^2 with accumulators
+// Z_j = sum_items sign_j(value); over a sliding window each Z_j is a
+// *pair of Basic Counting waves* (one for +1 items, one for -1 items), so
+// the whole sketch inherits the wave's O(1) updates and window queries —
+// exactly the "problems which reduce to counting" composition the paper
+// describes. Signs come from 4-wise independent hashes (gf2::KWiseHash),
+// as the AMS variance analysis requires.
+//
+// Error model (the restricted-model caveat of [9]): each accumulator is
+// recovered with additive error eps_c * W (W = items in the window), so on
+// top of the sketch's eps_s relative error the estimate of F2 carries an
+// additive O((eps_c W)^2 + eps_c W sqrt(F2)) term — negligible when
+// eps_c << sqrt(F2)/W, e.g. eps_c <= eps_s / sqrt(W) for worst-case
+// streams, or plain eps_c = eps_s on skewed streams where F2 ~ W^2. Both
+// regimes are exercised in tests and E10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/det_wave.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/kwise_hash.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::core {
+
+class SlidingL2 {
+ public:
+  struct Params {
+    std::uint64_t window = 0;        // N
+    std::uint64_t max_value = 0;     // values in [0..R]
+    std::uint64_t counter_inv_eps = 64;  // eps_c of each counting wave
+    int rows = 5;                    // medianed groups
+    int cols = 8;                    // accumulators averaged per group
+  };
+
+  SlidingL2(const Params& params, const gf2::Field& field,
+            gf2::SharedRandomness& coins);
+
+  /// Process one value. O(rows * cols) wave updates, each O(1).
+  void update(std::uint64_t value);
+
+  /// Estimate of sqrt(sum_v f_v^2) over the last n <= N items.
+  [[nodiscard]] double l2(std::uint64_t n) const;
+
+  /// Estimate of F2 = sum_v f_v^2 over the last n <= N items.
+  [[nodiscard]] double f2(std::uint64_t n) const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept;
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  Params params_;
+  std::vector<gf2::KWiseHash> hashes_;  // rows*cols, 4-wise
+  std::vector<DetWave> plus_;           // counting sign=+1 items
+  std::vector<DetWave> minus_;          // counting sign=-1 items
+};
+
+}  // namespace waves::core

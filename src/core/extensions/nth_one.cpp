@@ -1,0 +1,93 @@
+#include "core/extensions/nth_one.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace waves::core {
+
+namespace {
+
+std::vector<std::uint32_t> span_capacities(std::uint64_t inv_eps,
+                                           std::uint64_t max_span) {
+  const int ell = util::det_wave_levels(inv_eps, max_span);
+  const auto full = static_cast<std::uint32_t>(inv_eps + 1);
+  const std::uint32_t half = (full + 1) / 2;
+  std::vector<std::uint32_t> caps(static_cast<std::size_t>(ell), half);
+  caps.back() = full;
+  return caps;
+}
+
+}  // namespace
+
+NthOneWave::NthOneWave(std::uint64_t inv_eps, std::uint64_t max_span)
+    : inv_eps_(inv_eps),
+      span_(max_span),
+      pool_(span_capacities(inv_eps, max_span)) {
+  assert(inv_eps >= 1 && max_span >= 1);
+}
+
+void NthOneWave::update(bool bit) {
+  ++pos_;
+  if (bit) ++rank_;
+  if (!pool_.empty()) {
+    const Entry& head = pool_.entry(pool_.head());
+    if (head.pos + span_ <= pos_) {
+      const Entry gone = pool_.pop_oldest();
+      discarded_pos_ = gone.pos;
+      discarded_nrank_ = gone.nrank;
+    }
+  }
+  // Every position enters the wave, at the level of its *position* —
+  // items at level l are 2^l positions apart.
+  int j = util::rank_level(pos_);
+  const int top = pool_.levels() - 1;
+  if (j > top) j = top;
+  pool_.insert(j, Entry{pos_, rank_});
+}
+
+std::optional<NthOneWave::Answer> NthOneWave::query(std::uint64_t nth) const {
+  assert(nth >= 1);
+  if (rank_ < nth) return std::nullopt;
+  const std::uint64_t target = rank_ - nth + 1;  // 1-rank we are locating
+
+  // Entries are position-sorted with nondecreasing nrank. Bracket the
+  // target rank: e1 = last anchor strictly before the target's 1
+  // (nrank < target), e2 = first anchor at or after it (nrank >= target).
+  std::uint64_t p1 = discarded_pos_;
+  bool have_p1 = discarded_nrank_ < target || discarded_pos_ == 0;
+  std::uint64_t p2 = 0;
+  bool have_p2 = false;
+  for (std::int32_t i = pool_.head(); i != util::LevelPool<Entry>::kNil;
+       i = pool_.next(i)) {
+    const Entry& e = pool_.entry(i);
+    if (e.nrank < target) {
+      p1 = e.pos;
+      have_p1 = true;
+    } else {
+      p2 = e.pos;
+      have_p2 = true;
+      break;
+    }
+  }
+  if (!have_p1) {
+    // The target's 1 may lie at or before the discarded horizon: it has
+    // aged beyond the max_span the wave was provisioned for.
+    return std::nullopt;
+  }
+  if (!have_p2) return std::nullopt;  // cannot happen if rank_ >= target
+  if (p2 == p1 + 1) {
+    return Answer{static_cast<double>(p2), true};
+  }
+  return Answer{(static_cast<double>(p1) + 1.0 + static_cast<double>(p2)) / 2.0,
+                false};
+}
+
+std::uint64_t NthOneWave::space_bits() const noexcept {
+  const std::uint64_t np = util::next_pow2_at_least(2 * span_);
+  const auto word = static_cast<std::uint64_t>(util::floor_log2(np));
+  const auto off =
+      static_cast<std::uint64_t>(util::ceil_log2(pool_.total_slots() + 1));
+  return 2 * word + pool_.total_slots() * (2 * word + 2 * off);
+}
+
+}  // namespace waves::core

@@ -1,0 +1,62 @@
+// Position of the N-th most recent 1 (Sec. 5, "Nth Most Recent 1").
+//
+// "Instead of storing only the 1-bits in the wave, we store both 0's and
+// 1's. Thus, items in level l are 2^l positions apart, not 2^l 1's apart.
+// In addition, we keep track of the 1-rank of the 1-bit closest to each
+// item in the wave." The wave is sized by m, an upper bound on how far back
+// the N most recent 1s can reach; space is O((1/eps) log^2(eps m)) bits.
+//
+// A query for the N-th most recent 1 locates the target 1-rank
+// t = rank - N + 1 between two stored anchors and returns the midpoint of
+// their positions; the returned *age* (current position minus the answer)
+// is within relative error eps of the true age.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bitops.hpp"
+#include "util/level_pool.hpp"
+
+namespace waves::core {
+
+class NthOneWave {
+ public:
+  /// @param inv_eps   1/eps as an integer >= 1.
+  /// @param max_span  m: how far back (in positions) queries may reach.
+  NthOneWave(std::uint64_t inv_eps, std::uint64_t max_span);
+
+  /// Process one bit. O(1) worst case (every position is stored once).
+  void update(bool bit);
+
+  struct Answer {
+    double position;  // estimated position of the N-th most recent 1
+    bool exact;
+  };
+
+  /// Estimated position of the nth most recent 1. Returns nullopt when
+  /// fewer than nth 1s have been seen, or the target has aged out of the
+  /// max_span horizon.
+  [[nodiscard]] std::optional<Answer> query(std::uint64_t nth) const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t pos;
+    std::uint64_t nrank;  // 1-rank of the latest 1 at or before pos
+  };
+
+  std::uint64_t inv_eps_;
+  std::uint64_t span_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t rank_ = 0;
+  // Discarded horizon: latest expired entry.
+  std::uint64_t discarded_pos_ = 0;
+  std::uint64_t discarded_nrank_ = 0;
+  util::LevelPool<Entry> pool_;
+};
+
+}  // namespace waves::core

@@ -1,0 +1,32 @@
+#include "core/extensions/predicate_sample.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace waves::core {
+
+namespace {
+
+DistinctWave::Params scaled(DistinctWave::Params p, double alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+  p.c = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(p.c) / alpha));
+  return p;
+}
+
+}  // namespace
+
+PredicateDistinctWave::PredicateDistinctWave(DistinctWave::Params params,
+                                             double alpha,
+                                             const gf2::Field& field,
+                                             gf2::SharedRandomness& coins)
+    : alpha_(alpha), wave_(scaled(params, alpha), field, coins) {}
+
+Estimate PredicateDistinctWave::estimate_where(
+    std::uint64_t n,
+    const std::function<bool(std::uint64_t)>& predicate) const {
+  const DistinctSnapshot snap[1] = {wave_.snapshot(n)};
+  return referee_distinct_count(snap, n, wave_.hash(), predicate);
+}
+
+}  // namespace waves::core

@@ -1,0 +1,44 @@
+// Predicate queries on the distinct-values sample (Sec. 5, "Handling
+// Predicates").
+//
+// The distinct wave stores a coordinated random sample of the distinct
+// values in the window, so any predicate known only at query time can be
+// evaluated on the sample. For an (eps, delta) guarantee on predicates of
+// selectivity at least alpha, each level's sample is enlarged to
+// O(1/(alpha eps^2)) — a 1/alpha blow-up of the Sec. 4 constant c.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/distinct_wave.hpp"
+
+namespace waves::core {
+
+class PredicateDistinctWave {
+ public:
+  /// @param alpha minimum predicate selectivity supported (0 < alpha <= 1);
+  ///        per-level sample capacity scales by 1/alpha.
+  PredicateDistinctWave(DistinctWave::Params params, double alpha,
+                        const gf2::Field& field, gf2::SharedRandomness& coins);
+
+  void update(std::uint64_t value) { wave_.update(value); }
+
+  /// Number of distinct values in the last n items satisfying `predicate`.
+  [[nodiscard]] Estimate estimate_where(
+      std::uint64_t n, const std::function<bool(std::uint64_t)>& predicate) const;
+
+  /// Plain distinct count (predicate = true).
+  [[nodiscard]] Estimate estimate(std::uint64_t n) const {
+    return wave_.estimate(n);
+  }
+
+  [[nodiscard]] const DistinctWave& wave() const noexcept { return wave_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  DistinctWave wave_;
+};
+
+}  // namespace waves::core

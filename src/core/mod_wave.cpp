@@ -1,0 +1,134 @@
+#include "core/mod_wave.hpp"
+
+#include <cassert>
+
+namespace waves::core {
+
+namespace {
+
+std::uint32_t half_cap(std::uint64_t inv_eps) {
+  return (static_cast<std::uint32_t>(inv_eps) + 2) / 2;
+}
+
+}  // namespace
+
+ModWave::ModWave(std::uint64_t inv_eps, std::uint64_t window)
+    : inv_eps_(inv_eps),
+      window_(window),
+      mod_(window),
+      ruler_(util::det_wave_levels(inv_eps, window)) {
+  assert(inv_eps >= 1 && window >= 1);
+  const int ell = util::det_wave_levels(inv_eps, window);
+  const auto full = static_cast<std::uint32_t>(inv_eps + 1);
+  std::uint32_t total = 0;
+  for (int l = 0; l < ell; ++l) {
+    offsets_.push_back(total);
+    total += (l == ell - 1) ? full : half_cap(inv_eps);
+  }
+  offsets_.push_back(total);
+  slots_.resize(total);
+  cursor_.assign(static_cast<std::size_t>(ell), 0);
+}
+
+void ModWave::splice_out(std::int32_t idx) noexcept {
+  Slot& s = slots_[static_cast<std::size_t>(idx)];
+  if (s.prev != -1) {
+    slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next != -1) {
+    slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+  s.prev = s.next = -1;
+  s.in_list = false;
+}
+
+void ModWave::append_tail(std::int32_t idx) noexcept {
+  Slot& s = slots_[static_cast<std::size_t>(idx)];
+  s.prev = tail_;
+  s.next = -1;
+  s.in_list = true;
+  if (tail_ != -1) {
+    slots_[static_cast<std::size_t>(tail_)].next = idx;
+  } else {
+    head_ = idx;
+  }
+  tail_ = idx;
+}
+
+void ModWave::update(bool bit) {
+  const std::uint64_t prev = pos_;
+  pos_ = mod_.inc(pos_);
+  if (pos_ < prev) saturated_ = true;  // wrapped around the modulus
+
+  // Fig. 4 step 2: expire the list head once it is N or more behind.
+  // All listed entries are within N' / 2 of pos, so the wrapped distance
+  // is unambiguous.
+  if (head_ != -1) {
+    const Slot& h = slots_[static_cast<std::size_t>(head_)];
+    if (behind(h.pos) >= window_) {
+      discarded_rank_ = h.rank;
+      splice_out(head_);
+    }
+  }
+  if (!bit) return;
+
+  rank_ = mod_.inc(rank_);
+  // Ranks wrap, so lsb(rank) is meaningless near the wrap; the ruler
+  // scheme streams the correct level sequence regardless.
+  int j = ruler_.next();
+  const int top = static_cast<int>(cursor_.size()) - 1;
+  if (j > top) j = top;
+
+  const auto lvl = static_cast<std::size_t>(j);
+  const std::uint32_t cap = offsets_[lvl + 1] - offsets_[lvl];
+  const auto idx = static_cast<std::int32_t>(offsets_[lvl] + cursor_[lvl]);
+  Slot& s = slots_[static_cast<std::size_t>(idx)];
+  if (s.in_list) splice_out(idx);  // Fig. 4 step 3(b)
+  s.pos = pos_;
+  s.rank = rank_;
+  append_tail(idx);
+  cursor_[lvl] = (cursor_[lvl] + 1) % cap;
+}
+
+Estimate ModWave::query(std::uint64_t n) const {
+  assert(n >= 1 && n <= window_);
+  if (!saturated_ && n >= pos_) {
+    return Estimate{static_cast<double>(rank_), true, n};
+  }
+  const std::uint64_t mask = mod_.modulus() - 1;
+
+  std::uint64_t r1 = discarded_rank_;
+  bool have_p2 = false;
+  std::uint64_t p2_behind = 0, r2 = 0;
+  for (std::int32_t i = head_; i != -1;
+       i = slots_[static_cast<std::size_t>(i)].next) {
+    const Slot& s = slots_[static_cast<std::size_t>(i)];
+    if (behind(s.pos) >= n) {
+      r1 = s.rank;
+    } else {
+      have_p2 = true;
+      p2_behind = behind(s.pos);
+      r2 = s.rank;
+      break;
+    }
+  }
+  if (!have_p2) {
+    return Estimate{0.0, true, n};
+  }
+  const std::uint64_t a = (rank_ - r1) & mask;
+  const std::uint64_t b = (rank_ - r2) & mask;
+  if (p2_behind == n - 1) {
+    return Estimate{static_cast<double>(b + 1), true, n};
+  }
+  if (a == b + 1) {
+    return Estimate{static_cast<double>(a), true, n};
+  }
+  return Estimate{
+      1.0 + (static_cast<double>(a) + static_cast<double>(b)) / 2.0, false, n};
+}
+
+}  // namespace waves::core

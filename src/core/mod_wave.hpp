@@ -1,0 +1,72 @@
+// A deterministic wave that runs *live* on modulo-N' counters (Sec. 3.2).
+//
+// DetWave keeps absolute 64-bit positions for clarity; ModWave is the
+// letter-of-the-paper variant: pos and rank are modulo-N' counters, every
+// stored position/rank is wrapped, and all window membership and count
+// arithmetic is performed with wrapped distances ("all additions and
+// comparisons are done modulo N'", Fig. 4). It exists to demonstrate that
+// the wrapped discipline is complete — no query ever needs the absolute
+// values — and is differentially tested against DetWave on identical
+// streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wave_common.hpp"
+#include "util/bitops.hpp"
+#include "util/mod_counter.hpp"
+#include "util/weak_bitops.hpp"
+
+namespace waves::core {
+
+class ModWave {
+ public:
+  ModWave(std::uint64_t inv_eps, std::uint64_t window);
+
+  void update(bool bit);
+
+  /// Count estimate over the last n <= N items.
+  [[nodiscard]] Estimate query(std::uint64_t n) const;
+  [[nodiscard]] Estimate query() const { return query(window_); }
+
+  [[nodiscard]] std::uint64_t wrapped_pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t wrapped_rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return mod_.modulus(); }
+
+ private:
+  // LevelPool keys liveness on monotone absolute positions, which wrapped
+  // values cannot provide, so ModWave carries its own slot storage with an
+  // explicit per-slot liveness bit (one bit per slot — the occupancy
+  // information the paper's queues carry implicitly in their lengths).
+  struct Slot {
+    std::uint64_t pos = 0;   // wrapped
+    std::uint64_t rank = 0;  // wrapped
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    bool in_list = false;
+  };
+
+  // Wrapped distance of p behind the current position.
+  [[nodiscard]] std::uint64_t behind(std::uint64_t p) const noexcept {
+    return mod_.behind(pos_, p);
+  }
+  void splice_out(std::int32_t idx) noexcept;
+  void append_tail(std::int32_t idx) noexcept;
+
+  std::uint64_t inv_eps_;
+  std::uint64_t window_;
+  util::ModN mod_;
+  bool saturated_ = false;     // absolute position reached the modulus
+  std::uint64_t pos_ = 0;      // wrapped
+  std::uint64_t rank_ = 0;     // wrapped
+  std::uint64_t discarded_rank_ = 0;  // wrapped; dummy 0 until a discard
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> offsets_;  // level -> first slot, + sentinel
+  std::vector<std::uint32_t> cursor_;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  util::RulerLevels ruler_;  // ranks wrap, so lsb comes from the ruler
+};
+
+}  // namespace waves::core

@@ -1,0 +1,152 @@
+#include "core/rand_wave.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/bitops.hpp"
+
+namespace waves::core {
+
+namespace {
+
+std::size_t queue_cap(double eps, std::uint64_t c) {
+  assert(eps > 0.0 && eps < 1.0);
+  return static_cast<std::size_t>(
+      std::ceil(static_cast<double>(c) / (eps * eps)));
+}
+
+[[maybe_unused]] int dim_for_window(std::uint64_t window) {
+  const std::uint64_t np = util::next_pow2_at_least(window < 1 ? 2 : 2 * window);
+  return util::floor_log2(np);
+}
+
+}  // namespace
+
+RandWave::RandWave(const Params& params, const gf2::Field& field,
+                   gf2::SharedRandomness& coins)
+    : params_(params),
+      mask_(field.order_mask()),
+      d_(field.dimension()),
+      cap_(queue_cap(params.eps, params.c)),
+      hash_(coins.draw_hash(field)) {
+  assert(params.window >= 1);
+  assert(field.dimension() == dim_for_window(params.window) &&
+         "field dimension must be log2 of the smallest power of two >= 2N");
+  queues_.reserve(static_cast<std::size_t>(d_) + 1);
+  for (int l = 0; l <= d_; ++l) {
+    queues_.emplace_back(cap_);
+  }
+  evicted_bound_.assign(static_cast<std::size_t>(d_) + 1, 0);
+}
+
+void RandWave::update(bool bit) {
+  ++pos_;
+  // Fig. 6 step 2: eagerly drop the expiring position from the levels it
+  // occupied (expected < 2 of them). Older expired stragglers at those
+  // levels are swept too.
+  if (pos_ > params_.window) {
+    const std::uint64_t pexp = pos_ - params_.window;  // now outside
+    const int hl = level_of_position(pexp);
+    for (int l = 0; l <= hl; ++l) {
+      auto& q = queues_[static_cast<std::size_t>(l)];
+      while (!q.empty() && q.tail() <= pexp) q.pop_tail();
+    }
+  }
+  if (!bit) return;
+  // Step 3: select into levels 0..h(pos).
+  const int hl = level_of_position(pos_);
+  for (int l = 0; l <= hl; ++l) {
+    auto& q = queues_[static_cast<std::size_t>(l)];
+    if (auto evicted = q.push_head(pos_)) {
+      auto& b = evicted_bound_[static_cast<std::size_t>(l)];
+      if (*evicted > b) b = *evicted;
+    }
+  }
+}
+
+RandWaveSnapshot RandWave::snapshot(std::uint64_t n) const {
+  assert(n >= 1 && n <= params_.window);
+  const std::uint64_t s = pos_ > n ? pos_ - n + 1 : 1;
+  // Smallest level whose queue range still covers [s, pos]: nothing >= s
+  // was capacity-evicted from it.
+  int lj = d_;
+  for (int l = 0; l <= d_; ++l) {
+    if (evicted_bound_[static_cast<std::size_t>(l)] < s) {
+      lj = l;
+      break;
+    }
+  }
+  RandWaveSnapshot out;
+  out.level = lj;
+  out.stream_len = pos_;
+  const auto& q = queues_[static_cast<std::size_t>(lj)];
+  out.positions.reserve(q.size());
+  q.for_each_oldest_first(
+      [&out](std::uint64_t p) { out.positions.push_back(p); });
+  return out;
+}
+
+Estimate RandWave::estimate(std::uint64_t n) const {
+  const RandWaveSnapshot snap[1] = {snapshot(n)};
+  return referee_union_count(snap, n, hash_);
+}
+
+std::uint64_t RandWave::space_bits() const noexcept {
+  const auto pos_bits = static_cast<std::uint64_t>(d_);
+  const auto nlevels = static_cast<std::uint64_t>(d_) + 1;
+  return nlevels * cap_ * pos_bits  // queue contents
+         + nlevels * pos_bits       // evicted bounds
+         + 2 * pos_bits             // pos counter + window
+         + 2 * pos_bits;            // stored coins q, r
+}
+
+RandWaveCheckpoint RandWave::checkpoint() const {
+  RandWaveCheckpoint ck;
+  ck.pos = pos_;
+  ck.queues.resize(queues_.size());
+  for (std::size_t l = 0; l < queues_.size(); ++l) {
+    ck.queues[l].reserve(queues_[l].size());
+    queues_[l].for_each_oldest_first(
+        [&ck, l](std::uint64_t p) { ck.queues[l].push_back(p); });
+  }
+  ck.evicted_bounds = evicted_bound_;
+  return ck;
+}
+
+void RandWave::restore(const RandWaveCheckpoint& ck) {
+  assert(pos_ == 0 && "restore only into a fresh wave");
+  assert(ck.queues.size() == queues_.size());
+  pos_ = ck.pos;
+  for (std::size_t l = 0; l < queues_.size(); ++l) {
+    queues_[l].clear();
+    for (std::uint64_t p : ck.queues[l]) queues_[l].push_head(p);
+  }
+  evicted_bound_ = ck.evicted_bounds;
+}
+
+Estimate referee_union_count(std::span<const RandWaveSnapshot> snapshots,
+                             std::uint64_t n, const gf2::ExpHash& hash) {
+  assert(!snapshots.empty());
+  const std::uint64_t pos = snapshots.front().stream_len;
+  for (const auto& s : snapshots) {
+    assert(s.stream_len == pos && "positionwise union needs aligned streams");
+    (void)s;
+  }
+  const std::uint64_t s = pos > n ? pos - n + 1 : 1;
+
+  int lstar = 0;
+  for (const auto& snap : snapshots) lstar = std::max(lstar, snap.level);
+
+  std::unordered_set<std::uint64_t> uni;
+  for (const auto& snap : snapshots) {
+    for (std::uint64_t p : snap.positions) {
+      if (p >= s && hash.level(p) >= lstar) uni.insert(p);
+    }
+  }
+  return Estimate{std::ldexp(static_cast<double>(uni.size()), lstar), false,
+                  n};
+}
+
+}  // namespace waves::core

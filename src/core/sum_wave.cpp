@@ -1,0 +1,119 @@
+#include "core/sum_wave.hpp"
+
+#include <cassert>
+
+#include "util/weak_bitops.hpp"
+
+namespace waves::core {
+
+namespace {
+
+std::vector<std::uint32_t> sum_capacities(std::uint64_t inv_eps,
+                                          std::uint64_t window,
+                                          std::uint64_t max_value) {
+  const int ell = util::sum_wave_levels(inv_eps, window, max_value);
+  return std::vector<std::uint32_t>(static_cast<std::size_t>(ell),
+                                    static_cast<std::uint32_t>(inv_eps + 1));
+}
+
+}  // namespace
+
+SumWave::SumWave(std::uint64_t inv_eps, std::uint64_t window,
+                 std::uint64_t max_value, bool use_weak_model)
+    : inv_eps_(inv_eps),
+      window_(window),
+      max_value_(max_value),
+      weak_(use_weak_model),
+      pool_(sum_capacities(inv_eps, window, max_value)) {
+  assert(inv_eps >= 1 && window >= 1 && max_value >= 1);
+  assert(window <= (std::uint64_t{1} << 62) / max_value &&
+         "2*N*R must fit in 63 bits");
+  const std::uint64_t np = util::next_pow2_at_least(2 * window * max_value);
+  mask_ = np - 1;
+}
+
+int SumWave::level_for(std::uint64_t value) const noexcept {
+  const int top = pool_.levels() - 1;
+  const std::uint64_t t = total_ & mask_;
+  const std::uint64_t g = t + value;
+  if (g > mask_) return top;  // crossed a multiple of N' = 2^d: level >= d
+  const std::uint64_t h = (~t) & g & mask_;
+  // g > t within d bits, so the highest differing bit is 1 in g: h != 0.
+  const int j = weak_ ? util::msb_index_binary_search(h) : util::msb_index(h);
+  return j > top ? top : j;
+}
+
+void SumWave::update(std::uint64_t value) {
+  assert(value <= max_value_);
+  ++pos_;
+  if (!pool_.empty()) {
+    const Entry& head = pool_.entry(pool_.head());
+    if (head.pos + window_ <= pos_) {
+      const Entry gone = pool_.pop_oldest();
+      discarded_z_ = gone.z;
+    }
+  }
+  if (value == 0) return;
+  const int j = level_for(value);
+  total_ += value;
+  pool_.insert(j, Entry{pos_, value, total_});
+}
+
+void SumWave::skip_zeros(std::uint64_t count) {
+  pos_ += count;
+  while (!pool_.empty()) {
+    const Entry& head = pool_.entry(pool_.head());
+    if (head.pos + window_ > pos_) break;
+    const Entry gone = pool_.pop_oldest();
+    discarded_z_ = gone.z;
+  }
+}
+
+Estimate SumWave::query() const { return query(window_); }
+
+Estimate SumWave::query(std::uint64_t n) const {
+  assert(n >= 1 && n <= window_);
+  if (n >= pos_) {
+    return Estimate{static_cast<double>(total_), true, n};
+  }
+  const std::uint64_t s = pos_ - n + 1;
+
+  std::uint64_t z1 = discarded_z_;
+  bool have_p2 = false;
+  std::uint64_t p2 = 0, v2 = 0, z2 = 0;
+  for (std::int32_t i = pool_.head(); i != util::LevelPool<Entry>::kNil;
+       i = pool_.next(i)) {
+    const Entry& e = pool_.entry(i);
+    if (e.pos < s) {
+      z1 = e.z;
+    } else {
+      have_p2 = true;
+      p2 = e.pos;
+      v2 = e.value;
+      z2 = e.z;
+      break;
+    }
+  }
+  if (!have_p2) {
+    // The most recent nonzero item is always stored; none at or after s
+    // means every item in the window is 0.
+    return Estimate{0.0, true, n};
+  }
+  if (p2 == s) {
+    return Estimate{static_cast<double>(total_ - (z2 - v2)), true, n};
+  }
+  return Estimate{static_cast<double>(total_) -
+                      (static_cast<double>(z1) + static_cast<double>(z2) -
+                       static_cast<double>(v2)) /
+                          2.0,
+                  false, n};
+}
+
+std::uint64_t SumWave::space_bits() const noexcept {
+  const auto word = static_cast<std::uint64_t>(util::floor_log2(mask_ + 1));
+  const auto off =
+      static_cast<std::uint64_t>(util::ceil_log2(pool_.total_slots() + 1));
+  return 2 * word + pool_.total_slots() * (3 * word + 2 * off);
+}
+
+}  // namespace waves::core

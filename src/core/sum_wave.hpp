@@ -1,0 +1,76 @@
+// The deterministic sum wave of Sec. 3.3 (Theorem 3).
+//
+// Estimates the sum of the last N items, each an integer in [0..R], within
+// relative error eps, processing every item in O(1) worst case — the
+// improvement over the EH baseline's O(log N + log R) worst case. The key
+// is that an item of value v is stored once, at the largest level j such
+// that some number in (total, total + v] is a multiple of 2^j; that j is
+// the most-significant bit that is 0 in `total` and 1 in `total + v`,
+// computed as msb((~total) & (total + v)) in O(1) (or by the footnote-8
+// binary search on the weak machine model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/wave_common.hpp"
+#include "util/bitops.hpp"
+#include "util/level_pool.hpp"
+
+namespace waves::core {
+
+class SumWave {
+ public:
+  /// @param inv_eps   1/eps as an integer >= 1.
+  /// @param window    maximum window size N >= 1 (in items).
+  /// @param max_value R >= 1; item values lie in [0..R]. 2*N*R must fit in
+  ///                  63 bits.
+  /// @param use_weak_model find the level bit by mask-halving binary search
+  ///                  (footnote 8) instead of a hardware clz.
+  SumWave(std::uint64_t inv_eps, std::uint64_t window, std::uint64_t max_value,
+          bool use_weak_model = false);
+
+  /// Process one item. O(1) worst case.
+  void update(std::uint64_t value);
+
+  /// Process a run of `count` zero-valued items in O(#entries expired).
+  void skip_zeros(std::uint64_t count);
+
+  /// Sum estimate over the full window of N items. O(1).
+  [[nodiscard]] Estimate query() const;
+
+  /// Sum estimate over the last n <= N items. O((1/eps)(log N + log R)).
+  [[nodiscard]] Estimate query(std::uint64_t n) const;
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] int levels() const noexcept { return pool_.levels(); }
+  [[nodiscard]] std::uint64_t largest_discarded_partial() const noexcept {
+    return discarded_z_;
+  }
+
+  /// Theorem 3 accounting: O((1/eps)(log N + log R)) words of
+  /// O(log N + log R) bits.
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t pos;
+    std::uint64_t value;
+    std::uint64_t z;  // running total through this item
+  };
+
+  [[nodiscard]] int level_for(std::uint64_t value) const noexcept;
+
+  std::uint64_t inv_eps_;
+  std::uint64_t window_;
+  std::uint64_t max_value_;
+  std::uint64_t mask_;  // N' - 1
+  bool weak_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t discarded_z_ = 0;  // z1 of Fig. 5
+  util::LevelPool<Entry> pool_;
+};
+
+}  // namespace waves::core

@@ -1,0 +1,17 @@
+// Shared types for the wave synopses.
+#pragma once
+
+#include <cstdint>
+
+namespace waves::core {
+
+/// Result of a window query: the estimate, whether the synopsis knows it to
+/// be exact (the special cases of Fig. 4/5 step 1-2), and the window
+/// actually answered.
+struct Estimate {
+  double value = 0.0;
+  bool exact = false;
+  std::uint64_t window = 0;
+};
+
+}  // namespace waves::core

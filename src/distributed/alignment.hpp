@@ -1,0 +1,31 @@
+// Stream-length alignment helper for positionwise-union queries.
+//
+// Scenario 3's union is positionwise, so a query is only meaningful when
+// every party has observed the same number of items. Deployments with
+// free-running feeders (see tools/wavesim, the concurrency tests) call
+// pad_to_alignment() at a quiescent point: laggards observe trailing 0s
+// (which cannot add 1s to the union) up to the longest stream.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "distributed/party.hpp"
+
+namespace waves::distributed {
+
+/// Pads every party with 0-bits up to the longest observed length.
+/// Returns the aligned length. Parties must be quiescent (no concurrent
+/// feeders) during the call.
+inline std::uint64_t pad_to_alignment(std::span<CountParty* const> parties) {
+  std::uint64_t maxlen = 0;
+  for (const CountParty* p : parties) {
+    maxlen = std::max(maxlen, p->items_observed());
+  }
+  for (CountParty* p : parties) {
+    while (p->items_observed() < maxlen) p->observe(false);
+  }
+  return maxlen;
+}
+
+}  // namespace waves::distributed

@@ -1,0 +1,2 @@
+// Channel is header-only; this TU anchors the library target.
+#include "distributed/channel.hpp"

@@ -1,0 +1,58 @@
+// A small typed MPSC channel for the ingestion driver and tests.
+//
+// The paper's model needs no streaming communication (parties talk to the
+// Referee only at query time), but the simulation harness uses channels to
+// pump generated stream items into party threads and to exercise the
+// query protocol under concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace waves::distributed {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 1024) : cap_(capacity) {}
+
+  /// Blocking send; returns false if the channel was closed.
+  bool send(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_send_.wait(lock, [this] { return closed_ || q_.size() < cap_; });
+    if (closed_) return false;
+    q_.push_back(std::move(value));
+    cv_recv_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive; nullopt once closed and drained.
+  std::optional<T> recv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_recv_.wait(lock, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T out = std::move(q_.front());
+    q_.pop_front();
+    cv_send_.notify_one();
+    return out;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_recv_.notify_all();
+    cv_send_.notify_all();
+  }
+
+ private:
+  std::size_t cap_;
+  std::mutex mu_;
+  std::condition_variable cv_send_, cv_recv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace waves::distributed

@@ -1,0 +1,45 @@
+#include "distributed/ingest_driver.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace waves::distributed {
+
+namespace {
+
+template <class Party, class Item>
+FeedResult feed_impl(std::span<Party* const> parties,
+                     const std::vector<std::vector<Item>>& streams) {
+  assert(parties.size() == streams.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(parties.size());
+    for (std::size_t i = 0; i < parties.size(); ++i) {
+      threads.emplace_back([p = parties[i], &s = streams[i]] {
+        for (const auto& item : s) p->observe(item);
+      });
+    }
+  }  // jthreads join here
+  const auto t1 = std::chrono::steady_clock::now();
+
+  std::uint64_t items = 0;
+  for (const auto& s : streams) items += s.size();
+  return FeedResult{std::chrono::duration<double>(t1 - t0).count(), items};
+}
+
+}  // namespace
+
+FeedResult parallel_feed(std::span<CountParty* const> parties,
+                         const std::vector<std::vector<bool>>& streams) {
+  return feed_impl(parties, streams);
+}
+
+FeedResult parallel_feed(
+    std::span<DistinctParty* const> parties,
+    const std::vector<std::vector<std::uint64_t>>& streams) {
+  return feed_impl(parties, streams);
+}
+
+}  // namespace waves::distributed

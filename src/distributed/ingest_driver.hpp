@@ -1,0 +1,33 @@
+// Multi-threaded ingestion: one thread per party (the "physically
+// distributed, parallel data streams" of the paper's motivation), with the
+// Referee querying from the caller's thread. Used by the examples and the
+// E12 throughput experiment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "distributed/party.hpp"
+
+namespace waves::distributed {
+
+struct FeedResult {
+  double seconds = 0.0;
+  std::uint64_t items = 0;
+  [[nodiscard]] double items_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  }
+};
+
+/// Feed bit stream i into party i, all parties in parallel; returns wall
+/// time and total items. Streams must be pre-materialized and equal-length
+/// for positionwise alignment (Scenario 3 queries need aligned lengths).
+FeedResult parallel_feed(std::span<CountParty* const> parties,
+                         const std::vector<std::vector<bool>>& streams);
+
+/// Same for value streams into distinct-values parties.
+FeedResult parallel_feed(std::span<DistinctParty* const> parties,
+                         const std::vector<std::vector<std::uint64_t>>& streams);
+
+}  // namespace waves::distributed

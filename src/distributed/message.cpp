@@ -1,0 +1,26 @@
+#include "distributed/message.hpp"
+
+#include <cmath>
+
+namespace waves::distributed {
+
+std::uint64_t wire_bytes(const core::RandWaveSnapshot& s) {
+  return 4 + 8 + 4 + 8 * s.positions.size();
+}
+
+double paper_bits(const core::RandWaveSnapshot& s, int pos_bits) {
+  return static_cast<double>(s.positions.size()) * pos_bits +
+         std::ceil(std::log2(static_cast<double>(pos_bits) + 2.0)) + pos_bits;
+}
+
+std::uint64_t wire_bytes(const core::DistinctSnapshot& s) {
+  return 4 + 8 + 4 + 16 * s.items.size();
+}
+
+double paper_bits(const core::DistinctSnapshot& s, int pos_bits,
+                  int value_bits) {
+  return static_cast<double>(s.items.size()) * (pos_bits + value_bits) +
+         std::ceil(std::log2(static_cast<double>(pos_bits) + 2.0)) + pos_bits;
+}
+
+}  // namespace waves::distributed

@@ -1,0 +1,42 @@
+// Message accounting for the distributed-streams protocol.
+//
+// In the paper's model parties communicate only when an estimate is
+// requested: each sends one message to the Referee. The simulation is
+// in-process, so "sending" is passing a snapshot struct — but every
+// transfer is metered both in realistic wire bytes (fixed-width encoding)
+// and in the paper's bit accounting (log N' bits per position), which is
+// what Theorem 5/6's query-cost claims are checked against (E8/E12).
+#pragma once
+
+#include <cstdint>
+
+#include "core/distinct_wave.hpp"
+#include "core/rand_wave.hpp"
+
+namespace waves::distributed {
+
+/// Cumulative communication between the parties and the Referee.
+struct WireStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;       // realistic fixed-width encoding
+  double paper_bits = 0.0;       // the paper's accounting
+
+  void add(std::uint64_t msg_bytes, double msg_paper_bits) noexcept {
+    ++messages;
+    bytes += msg_bytes;
+    paper_bits += msg_paper_bits;
+  }
+};
+
+/// Wire size of a count snapshot: level (4B) + stream length (8B) + count
+/// (4B) + positions (8B each).
+[[nodiscard]] std::uint64_t wire_bytes(const core::RandWaveSnapshot& s);
+
+/// Paper accounting: positions at pos_bits each plus the level index.
+[[nodiscard]] double paper_bits(const core::RandWaveSnapshot& s, int pos_bits);
+
+[[nodiscard]] std::uint64_t wire_bytes(const core::DistinctSnapshot& s);
+[[nodiscard]] double paper_bits(const core::DistinctSnapshot& s, int pos_bits,
+                                int value_bits);
+
+}  // namespace waves::distributed

@@ -1,0 +1,90 @@
+#include "distributed/party.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace waves::distributed {
+
+namespace {
+
+int count_field_dim(std::uint64_t window) {
+  return util::floor_log2(
+      util::next_pow2_at_least(window < 1 ? 2 : 2 * window));
+}
+
+}  // namespace
+
+CountParty::CountParty(const core::RandWave::Params& params, int instances,
+                       std::uint64_t shared_seed)
+    : field_(count_field_dim(params.window)) {
+  assert(instances >= 1);
+  gf2::SharedRandomness coins(shared_seed);
+  waves_.reserve(static_cast<std::size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    waves_.emplace_back(params, field_, coins);
+  }
+}
+
+void CountParty::observe(bool bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (core::RandWave& w : waves_) w.update(bit);
+}
+
+std::vector<core::RandWaveSnapshot> CountParty::snapshots(
+    std::uint64_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::RandWaveSnapshot> out;
+  out.reserve(waves_.size());
+  for (const core::RandWave& w : waves_) out.push_back(w.snapshot(n));
+  return out;
+}
+
+std::uint64_t CountParty::items_observed() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waves_.empty() ? 0 : waves_.front().pos();
+}
+
+std::uint64_t CountParty::space_bits() const noexcept {
+  std::uint64_t bits = 0;
+  for (const core::RandWave& w : waves_) bits += w.space_bits();
+  return bits;
+}
+
+DistinctParty::DistinctParty(const core::DistinctWave::Params& params,
+                             int instances, std::uint64_t shared_seed)
+    : field_(core::DistinctWave::field_dimension(params)) {
+  assert(instances >= 1);
+  gf2::SharedRandomness coins(shared_seed);
+  waves_.reserve(static_cast<std::size_t>(instances));
+  for (int i = 0; i < instances; ++i) {
+    waves_.emplace_back(params, field_, coins);
+  }
+}
+
+void DistinctParty::observe(std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (core::DistinctWave& w : waves_) w.update(value);
+}
+
+std::vector<core::DistinctSnapshot> DistinctParty::snapshots(
+    std::uint64_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::DistinctSnapshot> out;
+  out.reserve(waves_.size());
+  for (const core::DistinctWave& w : waves_) out.push_back(w.snapshot(n));
+  return out;
+}
+
+std::uint64_t DistinctParty::items_observed() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waves_.empty() ? 0 : waves_.front().pos();
+}
+
+std::uint64_t DistinctParty::space_bits() const noexcept {
+  std::uint64_t bits = 0;
+  for (const core::DistinctWave& w : waves_) bits += w.space_bits();
+  return bits;
+}
+
+}  // namespace waves::distributed

@@ -1,0 +1,76 @@
+// Parties of the distributed-streams model (Sec. 3.4 / Sec. 4.1).
+//
+// A party observes only its own stream and keeps one synopsis instance per
+// median-estimator repetition. All parties of a deployment are constructed
+// with the same shared seed, so their hash functions coincide (stored
+// coins); they exchange nothing until the Referee requests snapshots.
+// Parties are internally locked so a Referee may query while the ingestion
+// thread is feeding.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/distinct_wave.hpp"
+#include "core/median_estimator.hpp"
+#include "core/rand_wave.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::distributed {
+
+/// Scenario-3 party for Union Counting (randomized waves).
+class CountParty {
+ public:
+  CountParty(const core::RandWave::Params& params, int instances,
+             std::uint64_t shared_seed);
+
+  void observe(bool bit);
+
+  /// Per-instance snapshots for a window of n items.
+  [[nodiscard]] std::vector<core::RandWaveSnapshot> snapshots(
+      std::uint64_t n) const;
+
+  [[nodiscard]] int instances() const noexcept {
+    return static_cast<int>(waves_.size());
+  }
+  [[nodiscard]] const core::RandWave& instance(int i) const {
+    return waves_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::uint64_t items_observed() const noexcept;
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  gf2::Field field_;
+  mutable std::mutex mu_;
+  std::vector<core::RandWave> waves_;
+};
+
+/// Distinct-values party (Sec. 5).
+class DistinctParty {
+ public:
+  DistinctParty(const core::DistinctWave::Params& params, int instances,
+                std::uint64_t shared_seed);
+
+  void observe(std::uint64_t value);
+
+  [[nodiscard]] std::vector<core::DistinctSnapshot> snapshots(
+      std::uint64_t n) const;
+
+  [[nodiscard]] int instances() const noexcept {
+    return static_cast<int>(waves_.size());
+  }
+  [[nodiscard]] const core::DistinctWave& instance(int i) const {
+    return waves_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::uint64_t items_observed() const noexcept;
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+ private:
+  gf2::Field field_;
+  mutable std::mutex mu_;
+  std::vector<core::DistinctWave> waves_;
+};
+
+}  // namespace waves::distributed

@@ -1,0 +1,169 @@
+#include "distributed/referee.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/median_estimator.hpp"
+#include "distributed/wire.hpp"
+
+namespace waves::distributed {
+
+core::Estimate union_count(std::span<const CountParty* const> parties,
+                           std::uint64_t n, WireStats* stats) {
+  assert(!parties.empty());
+  const int m = parties.front()->instances();
+  for (const CountParty* p : parties) {
+    assert(p->instances() == m);
+    (void)p;
+  }
+
+  // Gather all messages first (one round, as in the model), then combine.
+  std::vector<std::vector<core::RandWaveSnapshot>> by_party;
+  by_party.reserve(parties.size());
+  for (const CountParty* p : parties) {
+    by_party.push_back(p->snapshots(n));
+    if (stats != nullptr) {
+      for (const auto& s : by_party.back()) {
+        stats->add(wire_bytes(s),
+                   paper_bits(s, p->instance(0).top_level()));
+      }
+    }
+  }
+
+  std::vector<double> per_instance;
+  per_instance.reserve(static_cast<std::size_t>(m));
+  std::vector<core::RandWaveSnapshot> inst(parties.size());
+  for (int i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < parties.size(); ++j) {
+      inst[j] = by_party[j][static_cast<std::size_t>(i)];
+    }
+    per_instance.push_back(
+        core::referee_union_count(inst, n, parties.front()->instance(i).hash())
+            .value);
+  }
+  return core::Estimate{core::median(std::move(per_instance)), false, n};
+}
+
+core::Estimate distinct_count(
+    std::span<const DistinctParty* const> parties, std::uint64_t n,
+    WireStats* stats, const std::function<bool(std::uint64_t)>& predicate) {
+  assert(!parties.empty());
+  const int m = parties.front()->instances();
+  for (const DistinctParty* p : parties) {
+    assert(p->instances() == m);
+    (void)p;
+  }
+
+  std::vector<std::vector<core::DistinctSnapshot>> by_party;
+  by_party.reserve(parties.size());
+  for (const DistinctParty* p : parties) {
+    by_party.push_back(p->snapshots(n));
+    if (stats != nullptr) {
+      for (const auto& s : by_party.back()) {
+        stats->add(wire_bytes(s),
+                   paper_bits(s, p->instance(0).top_level(),
+                              p->instance(0).top_level()));
+      }
+    }
+  }
+
+  std::vector<double> per_instance;
+  per_instance.reserve(static_cast<std::size_t>(m));
+  std::vector<core::DistinctSnapshot> inst(parties.size());
+  for (int i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < parties.size(); ++j) {
+      inst[j] = by_party[j][static_cast<std::size_t>(i)];
+    }
+    per_instance.push_back(
+        core::referee_distinct_count(
+            inst, n, parties.front()->instance(i).hash(), predicate)
+            .value);
+  }
+  return core::Estimate{core::median(std::move(per_instance)), false, n};
+}
+
+}  // namespace waves::distributed
+
+namespace waves::distributed {
+
+core::Estimate union_count_wire(std::span<const CountParty* const> parties,
+                                std::uint64_t n, WireStats* stats) {
+  assert(!parties.empty());
+  const int m = parties.front()->instances();
+
+  // Party side: snapshot, encode, "send".
+  std::vector<std::vector<Bytes>> inflight;
+  inflight.reserve(parties.size());
+  for (const CountParty* p : parties) {
+    auto snaps = p->snapshots(n);
+    std::vector<Bytes> msgs;
+    msgs.reserve(snaps.size());
+    for (const auto& s : snaps) {
+      msgs.push_back(encode(s));
+      if (stats != nullptr) {
+        stats->add(msgs.back().size(),
+                   static_cast<double>(msgs.back().size()) * 8.0);
+      }
+    }
+    inflight.push_back(std::move(msgs));
+  }
+
+  // Referee side: decode, combine per instance, median.
+  std::vector<double> per_instance;
+  per_instance.reserve(static_cast<std::size_t>(m));
+  std::vector<core::RandWaveSnapshot> inst(parties.size());
+  for (int i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < parties.size(); ++j) {
+      const bool ok =
+          decode(inflight[j][static_cast<std::size_t>(i)], inst[j]);
+      assert(ok && "wire round-trip must succeed");
+      (void)ok;
+    }
+    per_instance.push_back(
+        core::referee_union_count(inst, n, parties.front()->instance(i).hash())
+            .value);
+  }
+  return core::Estimate{core::median(std::move(per_instance)), false, n};
+}
+
+core::Estimate distinct_count_wire(
+    std::span<const DistinctParty* const> parties, std::uint64_t n,
+    WireStats* stats, const std::function<bool(std::uint64_t)>& predicate) {
+  assert(!parties.empty());
+  const int m = parties.front()->instances();
+
+  std::vector<std::vector<Bytes>> inflight;
+  inflight.reserve(parties.size());
+  for (const DistinctParty* p : parties) {
+    auto snaps = p->snapshots(n);
+    std::vector<Bytes> msgs;
+    msgs.reserve(snaps.size());
+    for (const auto& s : snaps) {
+      msgs.push_back(encode(s));
+      if (stats != nullptr) {
+        stats->add(msgs.back().size(),
+                   static_cast<double>(msgs.back().size()) * 8.0);
+      }
+    }
+    inflight.push_back(std::move(msgs));
+  }
+
+  std::vector<double> per_instance;
+  per_instance.reserve(static_cast<std::size_t>(m));
+  std::vector<core::DistinctSnapshot> inst(parties.size());
+  for (int i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < parties.size(); ++j) {
+      const bool ok =
+          decode(inflight[j][static_cast<std::size_t>(i)], inst[j]);
+      assert(ok && "wire round-trip must succeed");
+      (void)ok;
+    }
+    per_instance.push_back(
+        core::referee_distinct_count(
+            inst, n, parties.front()->instance(i).hash(), predicate)
+            .value);
+  }
+  return core::Estimate{core::median(std::move(per_instance)), false, n};
+}
+
+}  // namespace waves::distributed

@@ -1,0 +1,47 @@
+// The Referee (Sec. 2, Fig. 6, Sec. 5).
+//
+// When an estimate is requested, every party sends one message per
+// median-estimator instance; the Referee combines each instance across
+// parties (Fig. 6 steps 2-3 for Union Counting, levelwise union for
+// distinct values) and returns the median over instances. Communication is
+// metered into WireStats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/wave_common.hpp"
+#include "distributed/message.hpp"
+#include "distributed/party.hpp"
+
+namespace waves::distributed {
+
+/// Union Counting over the positionwise OR of the parties' streams
+/// (Scenario 3), window of n <= N items. All parties must have observed
+/// the same number of items.
+[[nodiscard]] core::Estimate union_count(
+    std::span<const CountParty* const> parties, std::uint64_t n,
+    WireStats* stats = nullptr);
+
+/// Distinct values in the window of the union of the parties' streams.
+/// `predicate` (optional) restricts to values satisfying it.
+[[nodiscard]] core::Estimate distinct_count(
+    std::span<const DistinctParty* const> parties, std::uint64_t n,
+    WireStats* stats = nullptr,
+    const std::function<bool(std::uint64_t)>& predicate = {});
+
+/// Same protocols, but every message actually traverses the wire format
+/// (distributed/wire.hpp): snapshots are varint/delta encoded party-side
+/// and decoded referee-side; `stats` (when set) records the real encoded
+/// sizes. Estimates are bit-identical to the direct variants.
+[[nodiscard]] core::Estimate union_count_wire(
+    std::span<const CountParty* const> parties, std::uint64_t n,
+    WireStats* stats = nullptr);
+
+[[nodiscard]] core::Estimate distinct_count_wire(
+    std::span<const DistinctParty* const> parties, std::uint64_t n,
+    WireStats* stats = nullptr,
+    const std::function<bool(std::uint64_t)>& predicate = {});
+
+}  // namespace waves::distributed

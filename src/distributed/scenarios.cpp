@@ -1,0 +1,65 @@
+#include "distributed/scenarios.hpp"
+
+#include <cassert>
+
+namespace waves::distributed {
+
+Scenario1Counter::Scenario1Counter(int parties, std::uint64_t inv_eps,
+                                   std::uint64_t window) {
+  assert(parties >= 1);
+  waves_.reserve(static_cast<std::size_t>(parties));
+  for (int i = 0; i < parties; ++i) {
+    waves_.emplace_back(inv_eps, window);
+  }
+}
+
+void Scenario1Counter::observe(int party, bool bit) {
+  waves_[static_cast<std::size_t>(party)].update(bit);
+}
+
+core::Estimate Scenario1Counter::estimate(std::uint64_t n) const {
+  double total = 0.0;
+  bool exact = true;
+  for (const core::DetWave& w : waves_) {
+    const core::Estimate e = w.query(n);
+    total += e.value;
+    exact = exact && e.exact;
+  }
+  return core::Estimate{total, exact, n};
+}
+
+Scenario2Counter::Scenario2Counter(int parties, std::uint64_t inv_eps,
+                                   std::uint64_t window)
+    : window_(window) {
+  assert(parties >= 1);
+  waves_.reserve(static_cast<std::size_t>(parties));
+  for (int i = 0; i < parties; ++i) {
+    // Positions are sequence numbers; a window of N sequence numbers holds
+    // at most U = N items of this party's substream.
+    waves_.emplace_back(inv_eps, window, window);
+  }
+}
+
+void Scenario2Counter::observe(int party, stream::SeqBit item) {
+  assert(item.seq > global_seq_ && "sequence numbers are global, increasing");
+  global_seq_ = item.seq;
+  waves_[static_cast<std::size_t>(party)].update(item.seq, item.bit);
+}
+
+core::Estimate Scenario2Counter::estimate(std::uint64_t n) const {
+  assert(n >= 1 && n <= window_);
+  if (global_seq_ == 0) return core::Estimate{0.0, true, n};
+  const std::uint64_t s = global_seq_ > n ? global_seq_ - n + 1 : 1;
+  double total = 0.0;
+  bool exact = true;
+  for (const core::TsWave& w : waves_) {
+    const std::uint64_t pj = w.current_position();
+    if (pj < s) continue;  // no items of this party inside the window
+    const core::Estimate e = w.query(pj - s + 1);
+    total += e.value;
+    exact = exact && e.exact;
+  }
+  return core::Estimate{total, exact, n};
+}
+
+}  // namespace waves::distributed

@@ -1,0 +1,70 @@
+// The three sliding-window definitions over distributed streams (Sec. 3.4).
+//
+// Scenario 1 — total over per-stream windows: each party runs the single-
+// stream deterministic wave; the Referee sums the t estimates (each within
+// eps, hence so is the sum).
+//
+// Scenario 2 — one logical stream split across parties: items carry the
+// overall sequence number; at query time the Referee broadcasts the
+// current sequence number pos, and each party estimates how many of *its*
+// items have sequence numbers in [pos - N + 1, pos] using the duplicated-
+// position wave over sequence numbers (the interval is guaranteed to lie
+// within its last N observed items; Corollary 1 applies).
+//
+// Scenario 3 — positionwise union: deterministically impossible in
+// sublinear space (Theorem 4); solved by the randomized wave protocol in
+// distributed/referee.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/det_wave.hpp"
+#include "core/ts_wave.hpp"
+#include "core/wave_common.hpp"
+#include "stream/types.hpp"
+
+namespace waves::distributed {
+
+/// Scenario 1: t independent streams, each with its own window of N items.
+class Scenario1Counter {
+ public:
+  Scenario1Counter(int parties, std::uint64_t inv_eps, std::uint64_t window);
+
+  void observe(int party, bool bit);
+
+  /// Sum of the per-stream window counts (window of n <= N per stream).
+  [[nodiscard]] core::Estimate estimate(std::uint64_t n) const;
+
+  [[nodiscard]] const core::DetWave& party(int i) const {
+    return waves_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<core::DetWave> waves_;
+};
+
+/// Scenario 2: one logical stream of N-item windows, split across parties.
+class Scenario2Counter {
+ public:
+  Scenario2Counter(int parties, std::uint64_t inv_eps, std::uint64_t window);
+
+  /// Deliver item (seq, bit) to `party`. Sequence numbers are global and
+  /// strictly increasing across the whole logical stream.
+  void observe(int party, stream::SeqBit item);
+
+  /// Count of 1s among the last n <= N items of the logical stream. The
+  /// Referee broadcasts the current sequence number to all parties.
+  [[nodiscard]] core::Estimate estimate(std::uint64_t n) const;
+
+  [[nodiscard]] std::uint64_t logical_length() const noexcept {
+    return global_seq_;
+  }
+
+ private:
+  std::uint64_t window_;
+  std::uint64_t global_seq_ = 0;
+  std::vector<core::TsWave> waves_;
+};
+
+}  // namespace waves::distributed

@@ -1,0 +1,101 @@
+#include "distributed/wire.hpp"
+
+#include <algorithm>
+
+namespace waves::distributed {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool get_varint(const Bytes& in, std::size_t& at, std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (at < in.size() && shift < 64) {
+    const std::uint8_t b = in[at++];
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+Bytes encode(const core::RandWaveSnapshot& s) {
+  Bytes out;
+  put_varint(out, static_cast<std::uint64_t>(s.level));
+  put_varint(out, s.stream_len);
+  put_varint(out, s.positions.size());
+  // Positions arrive oldest-first (sorted ascending): delta-encode.
+  std::uint64_t prev = 0;
+  for (std::uint64_t p : s.positions) {
+    put_varint(out, p - prev);
+    prev = p;
+  }
+  return out;
+}
+
+bool decode(const Bytes& in, core::RandWaveSnapshot& out) {
+  std::size_t at = 0;
+  std::uint64_t level = 0, count = 0;
+  if (!get_varint(in, at, level)) return false;
+  if (!get_varint(in, at, out.stream_len)) return false;
+  if (!get_varint(in, at, count)) return false;
+  // Every position costs at least one byte: reject counts the remaining
+  // input cannot possibly hold (also bounds the reserve below, so corrupt
+  // input cannot trigger huge allocations).
+  if (count > in.size() - at) return false;
+  out.level = static_cast<int>(level);
+  out.positions.clear();
+  out.positions.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t d = 0;
+    if (!get_varint(in, at, d)) return false;
+    prev += d;
+    out.positions.push_back(prev);
+  }
+  return at == in.size();
+}
+
+Bytes encode(const core::DistinctSnapshot& s) {
+  Bytes out;
+  put_varint(out, static_cast<std::uint64_t>(s.level));
+  put_varint(out, s.stream_len);
+  put_varint(out, s.items.size());
+  // Items arrive oldest-position-first: delta-encode positions, raw values.
+  std::uint64_t prev = 0;
+  for (const auto& [value, pos] : s.items) {
+    put_varint(out, pos - prev);
+    prev = pos;
+    put_varint(out, value);
+  }
+  return out;
+}
+
+bool decode(const Bytes& in, core::DistinctSnapshot& out) {
+  std::size_t at = 0;
+  std::uint64_t level = 0, count = 0;
+  if (!get_varint(in, at, level)) return false;
+  if (!get_varint(in, at, out.stream_len)) return false;
+  if (!get_varint(in, at, count)) return false;
+  // Each item costs at least two bytes (delta + value varints).
+  if (count > (in.size() - at) / 2) return false;
+  out.level = static_cast<int>(level);
+  out.items.clear();
+  out.items.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t d = 0, value = 0;
+    if (!get_varint(in, at, d)) return false;
+    if (!get_varint(in, at, value)) return false;
+    prev += d;
+    out.items.emplace_back(value, prev);
+  }
+  return at == in.size();
+}
+
+}  // namespace waves::distributed

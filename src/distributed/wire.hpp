@@ -1,0 +1,32 @@
+// Wire format for party -> Referee messages.
+//
+// The in-process referee passes snapshot structs directly; this module
+// provides the real byte encoding a deployment would ship: little-endian
+// varints, positions delta-encoded within a message (they are sorted,
+// oldest first, so deltas are small — the same observation behind the
+// compact wave). Round-trips are exact; encoded sizes back the WireStats
+// accounting and the E8/E12 communication measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distinct_wave.hpp"
+#include "core/rand_wave.hpp"
+
+namespace waves::distributed {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// LEB128-style unsigned varint.
+void put_varint(Bytes& out, std::uint64_t v);
+/// Reads a varint at `at`, advancing it. Returns false on truncation.
+bool get_varint(const Bytes& in, std::size_t& at, std::uint64_t& v);
+
+[[nodiscard]] Bytes encode(const core::RandWaveSnapshot& s);
+[[nodiscard]] bool decode(const Bytes& in, core::RandWaveSnapshot& out);
+
+[[nodiscard]] Bytes encode(const core::DistinctSnapshot& s);
+[[nodiscard]] bool decode(const Bytes& in, core::DistinctSnapshot& out);
+
+}  // namespace waves::distributed

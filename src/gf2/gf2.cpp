@@ -1,0 +1,68 @@
+#include "gf2/gf2.hpp"
+
+#include <cassert>
+
+#include "gf2/polynomials.hpp"
+
+namespace waves::gf2 {
+
+namespace {
+__extension__ typedef unsigned __int128 u128;
+}
+
+Clmul128 clmul(std::uint64_t a, std::uint64_t b) noexcept {
+  u128 acc = 0;
+  u128 aa = a;
+  while (b != 0) {
+    if (b & 1u) acc ^= aa;
+    aa <<= 1;
+    b >>= 1;
+  }
+  return {static_cast<std::uint64_t>(acc >> 64),
+          static_cast<std::uint64_t>(acc)};
+}
+
+Field::Field(int dimension) : d_(dimension) {
+  assert(dimension >= 1 && dimension <= 64);
+  mask_ = (dimension == 64) ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << dimension) - 1;
+  poly_low_ = irreducible_low(dimension);
+}
+
+std::uint64_t Field::mul(std::uint64_t a, std::uint64_t b) const noexcept {
+  const Clmul128 p = clmul(a & mask_, b & mask_);
+  u128 v = (u128{p.hi} << 64) | p.lo;
+  const u128 modulus = (u128{1} << d_) | u128{poly_low_};
+  for (int i = 2 * d_ - 2; i >= d_; --i) {
+    if ((v >> i) & 1u) v ^= modulus << (i - d_);
+  }
+  return static_cast<std::uint64_t>(v) & mask_;
+}
+
+std::uint64_t Field::pow(std::uint64_t a, std::uint64_t e) const noexcept {
+  std::uint64_t base = a & mask_;
+  std::uint64_t acc = 1;
+  while (e != 0) {
+    if (e & 1u) acc = mul(acc, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+std::uint64_t Field::inv(std::uint64_t a) const noexcept {
+  assert((a & mask_) != 0);
+  // a^(2^d - 2): square-and-multiply over the fixed exponent.
+  std::uint64_t acc = 1;
+  std::uint64_t base = a & mask_;
+  // exponent = mask_ - 1 (2^d - 2)
+  std::uint64_t e = mask_ - 1;
+  while (e != 0) {
+    if (e & 1u) acc = mul(acc, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace waves::gf2

@@ -1,0 +1,52 @@
+// Arithmetic in GF(2^d), 1 <= d <= 64.
+//
+// The randomized wave's coordinated hash (Sec. 4.1) evaluates the affine map
+// x = q*p + r over GF(2^d), d = log2 N'. Elements are the low d bits of a
+// uint64; addition is XOR; multiplication is carry-less multiplication
+// followed by reduction modulo an irreducible polynomial of degree d found
+// and verified at startup (see polynomials.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace waves::gf2 {
+
+class Field {
+ public:
+  /// Field of dimension d over GF(2); picks (and verifies) an irreducible
+  /// modulus of degree d. O(d^3)-ish one-time cost; cached per dimension.
+  explicit Field(int dimension);
+
+  [[nodiscard]] int dimension() const noexcept { return d_; }
+  [[nodiscard]] std::uint64_t order_mask() const noexcept { return mask_; }
+  /// Low coefficients of the modulus (the x^d term is implicit).
+  [[nodiscard]] std::uint64_t modulus_low() const noexcept { return poly_low_; }
+
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const noexcept {
+    return a ^ b;
+  }
+
+  /// Product in GF(2^d): carry-less multiply then modular reduction.
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept;
+
+  /// a^e by square-and-multiply.
+  [[nodiscard]] std::uint64_t pow(std::uint64_t a, std::uint64_t e) const noexcept;
+
+  /// Multiplicative inverse (a != 0), via a^(2^d - 2).
+  [[nodiscard]] std::uint64_t inv(std::uint64_t a) const noexcept;
+
+ private:
+  int d_;
+  std::uint64_t mask_;      // 2^d - 1
+  std::uint64_t poly_low_;  // modulus minus its leading x^d term
+};
+
+/// Carry-less (polynomial) product of two 64-bit operands; 128-bit result
+/// split into (hi, lo). Exposed for tests and for the polynomial layer.
+struct Clmul128 {
+  std::uint64_t hi;
+  std::uint64_t lo;
+};
+[[nodiscard]] Clmul128 clmul(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace waves::gf2

@@ -1,0 +1,15 @@
+#include "gf2/hash.hpp"
+
+#include "util/bitops.hpp"
+
+namespace waves::gf2 {
+
+int ExpHash::level(std::uint64_t p) const noexcept {
+  const std::uint64_t x =
+      field_->add(field_->mul(q_, p & field_->order_mask()), r_);
+  const int d = field_->dimension();
+  if (x == 0) return d;
+  return d - util::msb_index(x) - 1;
+}
+
+}  // namespace waves::gf2

@@ -1,0 +1,38 @@
+// The exponential level hash of Sec. 4.1.
+//
+// h(p) is computed by mapping p through the pairwise-independent affine
+// function x = q*p + r over GF(2^d) and returning the number of leading
+// zeros of x within d bits: h(p) = d - floor(log2 x) - 1, and h(p) = d when
+// x = 0. Consequences used by the algorithms:
+//   Pr[h(p) = l]  = 2^-(l+1)  for l < d,     Pr[h(p) = d] = 2^-d,
+//   Pr[h(p) >= l] = 2^-l,
+// and for distinct p1, p2 the pair (h(p1), h(p2)) is independent.
+// Every party is constructed with the *same* (q, r) — the stored-coins
+// coordination that makes positionwise union sampling possible.
+#pragma once
+
+#include <cstdint>
+
+#include "gf2/gf2.hpp"
+
+namespace waves::gf2 {
+
+class ExpHash {
+ public:
+  ExpHash(const Field& field, std::uint64_t q, std::uint64_t r) noexcept
+      : field_(&field), q_(q & field.order_mask()), r_(r & field.order_mask()) {}
+
+  /// Level of input p (only the low d bits of p participate): in [0, d].
+  [[nodiscard]] int level(std::uint64_t p) const noexcept;
+
+  [[nodiscard]] int dimension() const noexcept { return field_->dimension(); }
+  [[nodiscard]] std::uint64_t q() const noexcept { return q_; }
+  [[nodiscard]] std::uint64_t r() const noexcept { return r_; }
+
+ private:
+  const Field* field_;
+  std::uint64_t q_;
+  std::uint64_t r_;
+};
+
+}  // namespace waves::gf2

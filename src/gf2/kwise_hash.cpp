@@ -1,0 +1,26 @@
+#include "gf2/kwise_hash.hpp"
+
+#include <cassert>
+
+namespace waves::gf2 {
+
+KWiseHash::KWiseHash(const Field& field, int k, SharedRandomness& coins)
+    : field_(&field) {
+  assert(k >= 1);
+  coeff_.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    coeff_.push_back(coins.draw_word() & field.order_mask());
+  }
+}
+
+std::uint64_t KWiseHash::value(std::uint64_t x) const noexcept {
+  // Horner over GF(2^d).
+  const std::uint64_t xm = x & field_->order_mask();
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeff_.size(); i-- > 0;) {
+    acc = field_->add(field_->mul(acc, xm), coeff_[i]);
+  }
+  return acc;
+}
+
+}  // namespace waves::gf2

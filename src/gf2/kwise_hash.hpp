@@ -1,0 +1,42 @@
+// k-wise independent hashing over GF(2^d).
+//
+// The exponential hash of Sec. 4.1 needs only pairwise independence, but
+// the L2-norm reduction the paper points to (Sec. 5 "Other Problems", via
+// Datar et al.'s restricted model) uses AMS-style +/-1 sketches, whose
+// variance analysis requires 4-wise independence. A degree-(k-1)
+// polynomial with uniform coefficients over GF(2^d) is the classic k-wise
+// independent family; the sign is the top bit of the hash value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::gf2 {
+
+class KWiseHash {
+ public:
+  /// Degree-(k-1) polynomial with coefficients drawn from `coins`.
+  KWiseHash(const Field& field, int k, SharedRandomness& coins);
+
+  /// Hash value in [0, 2^d).
+  [[nodiscard]] std::uint64_t value(std::uint64_t x) const noexcept;
+
+  /// +1/-1 sign: the top bit of the hash value.
+  [[nodiscard]] int sign(std::uint64_t x) const noexcept {
+    const std::uint64_t v = value(x);
+    return (v >> (field_->dimension() - 1)) & 1u ? 1 : -1;
+  }
+
+  [[nodiscard]] int independence() const noexcept {
+    return static_cast<int>(coeff_.size());
+  }
+
+ private:
+  const Field* field_;
+  std::vector<std::uint64_t> coeff_;  // degree-ascending
+};
+
+}  // namespace waves::gf2

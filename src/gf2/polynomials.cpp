@@ -1,0 +1,135 @@
+#include "gf2/polynomials.hpp"
+
+#include <array>
+#include <cassert>
+#include <mutex>
+
+namespace waves::gf2 {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+/// Full polynomial value of x^degree + low.
+u128 full_poly(int degree, std::uint64_t low) {
+  return (u128{1} << degree) | u128{low};
+}
+
+int poly_degree(u128 p) {
+  int d = -1;
+  while (p != 0) {
+    ++d;
+    p >>= 1;
+  }
+  return d;
+}
+
+/// Carry-less product of two elements of degree < 64 (fits in 128 bits).
+u128 poly_mul(std::uint64_t a, std::uint64_t b) {
+  u128 acc = 0;
+  u128 aa = a;
+  while (b != 0) {
+    if (b & 1u) acc ^= aa;
+    aa <<= 1;
+    b >>= 1;
+  }
+  return acc;
+}
+
+/// Reduce a product (degree <= 2*degree-2) modulo x^degree + low.
+std::uint64_t poly_reduce(u128 v, int degree, std::uint64_t low) {
+  const u128 p = full_poly(degree, low);
+  for (int i = 2 * degree - 2; i >= degree; --i) {
+    if ((v >> i) & 1u) v ^= p << (i - degree);
+  }
+  return static_cast<std::uint64_t>(v & ((degree == 64) ? ~u128{0} >> 64
+                                                        : (u128{1} << degree) - 1));
+}
+
+std::uint64_t modmul(std::uint64_t a, std::uint64_t b, int degree,
+                     std::uint64_t low) {
+  return poly_reduce(poly_mul(a, b), degree, low);
+}
+
+/// Remainder of a modulo b in GF(2)[x].
+u128 poly_rem(u128 a, u128 b) {
+  const int db = poly_degree(b);
+  int da = poly_degree(a);
+  while (da >= db && a != 0) {
+    a ^= b << (da - db);
+    da = poly_degree(a);
+  }
+  return a;
+}
+
+u128 poly_gcd(u128 a, u128 b) {
+  while (b != 0) {
+    const u128 r = poly_rem(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+/// x^(2^k) modulo x^degree + low, via k modular squarings.
+std::uint64_t x_pow_pow2(int k, int degree, std::uint64_t low) {
+  std::uint64_t h = 2;  // the polynomial x
+  if (degree == 1) h = poly_reduce(u128{2}, degree, low);
+  for (int i = 0; i < k; ++i) h = modmul(h, h, degree, low);
+  return h;
+}
+
+std::array<int, 6> prime_factors(int n) {
+  std::array<int, 6> out{};
+  int cnt = 0;
+  for (int p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      out[static_cast<std::size_t>(cnt++)] = p;
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) out[static_cast<std::size_t>(cnt++)] = n;
+  return out;  // zero-terminated
+}
+
+}  // namespace
+
+bool is_irreducible(int degree, std::uint64_t low) {
+  assert(degree >= 1 && degree <= 64);
+  if (degree == 1) return true;  // x and x+1
+  // Constant term 0 => divisible by x.
+  if ((low & 1u) == 0) return false;
+
+  // Rabin: x^(2^degree) == x mod p ...
+  const std::uint64_t xq = x_pow_pow2(degree, degree, low);
+  if (xq != 2) return false;
+  // ... and gcd(x^(2^(degree/q)) - x, p) == 1 for each prime q | degree.
+  for (int q : prime_factors(degree)) {
+    if (q == 0) break;
+    const std::uint64_t h = x_pow_pow2(degree / q, degree, low);
+    const u128 g = poly_gcd(full_poly(degree, low), u128{h ^ 2u});
+    if (poly_degree(g) > 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t irreducible_low(int degree) {
+  assert(degree >= 1 && degree <= 64);
+  static std::array<std::uint64_t, 65> cache{};
+  static std::array<bool, 65> have{};
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto idx = static_cast<std::size_t>(degree);
+  if (have[idx]) return cache[idx];
+
+  std::uint64_t low = (degree == 1) ? 0 : 1;
+  while (!is_irreducible(degree, low)) {
+    low += 2;  // constant term must stay 1
+    assert(low < (std::uint64_t{1} << (degree < 63 ? degree : 63)));
+  }
+  cache[idx] = low;
+  have[idx] = true;
+  return low;
+}
+
+}  // namespace waves::gf2

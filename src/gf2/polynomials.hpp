@@ -1,0 +1,22 @@
+// Irreducible polynomials over GF(2), found and verified at runtime.
+//
+// Rather than trusting a hardcoded table, the library searches for the
+// lexicographically-smallest irreducible polynomial of each degree d and
+// proves irreducibility with Rabin's test:
+//   p (degree d) is irreducible  iff  x^(2^d) == x (mod p)  and
+//   gcd(x^(2^(d/q)) - x, p) = 1 for every prime q dividing d.
+// The result is cached per degree; degrees 1..64 are supported.
+#pragma once
+
+#include <cstdint>
+
+namespace waves::gf2 {
+
+/// Low coefficients (bits 0..d-1) of a verified irreducible polynomial of
+/// degree d; the leading x^d coefficient is implicit. Thread-safe, cached.
+[[nodiscard]] std::uint64_t irreducible_low(int degree);
+
+/// Rabin irreducibility test for p(x) = x^degree + low. Exposed for tests.
+[[nodiscard]] bool is_irreducible(int degree, std::uint64_t low);
+
+}  // namespace waves::gf2

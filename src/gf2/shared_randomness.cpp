@@ -1,0 +1,2 @@
+// SharedRandomness is header-only; this TU anchors the library target.
+#include "gf2/shared_randomness.hpp"

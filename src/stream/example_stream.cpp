@@ -1,0 +1,62 @@
+#include "stream/example_stream.hpp"
+
+#include <cassert>
+
+namespace waves::stream {
+
+namespace {
+
+// Positions (1-based) of the 1-bits, i.e. position_of_rank[r-1] for
+// r = 1..50.
+//
+// Ranks 1 and 31..50 are fixed by Fig. 1. The elided region (positions
+// 3..60 carrying ranks 2..30) is instantiated as:
+//   ranks  2..23 at positions 21..42 (consecutive),
+//   rank  24     at position 44       (fixes Fig. 2/3's p1 = 44, r1 = 24),
+//   ranks 25..30 at positions 45..50,
+// with zeros elsewhere (positions 1, 3..20, 43, 51..61, and the zeros shown
+// in Fig. 1 for 61..99).
+constexpr std::uint64_t kOnePositions[50] = {
+    // rank: 1
+    2,
+    // ranks 2..23 -> positions 21..42
+    21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38,
+    39, 40, 41, 42,
+    // rank 24
+    44,
+    // ranks 25..30 -> positions 45..50
+    45, 46, 47, 48, 49, 50,
+    // ranks 31..50, fixed by Fig. 1
+    62, 67, 68, 70, 71, 72, 73, 74, 75, 76, 77, 79, 80, 84, 85, 86, 89, 91,
+    94, 99};
+
+std::vector<bool> build() {
+  std::vector<bool> bits(100, false);  // index = position; [0] unused
+  for (std::uint64_t p : kOnePositions) bits[p] = true;
+  std::vector<bool> out(99);
+  for (std::size_t i = 0; i < 99; ++i) out[i] = bits[i + 1];
+  return out;
+}
+
+}  // namespace
+
+const std::vector<bool>& example_stream() {
+  static const std::vector<bool> bits = build();
+  return bits;
+}
+
+std::uint64_t example_position_of_rank(int rank) {
+  assert(rank >= 1 && rank <= 50);
+  return kOnePositions[rank - 1];
+}
+
+int example_ones_in(std::uint64_t from, std::uint64_t to) {
+  const auto& bits = example_stream();
+  int n = 0;
+  for (std::uint64_t p = from; p <= to && p <= bits.size(); ++p) {
+    if (p >= 1 && bits[p - 1]) ++n;
+  }
+  return n;
+}
+
+}  // namespace waves::stream

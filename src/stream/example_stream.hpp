@@ -1,0 +1,29 @@
+// The paper's running example (Fig. 1) as a concrete 99-bit stream.
+//
+// Figure 1 fixes bits 1-2 and 61-99 and the 1-ranks of every displayed
+// 1-bit; the region 3..60 is elided ("..."), constrained only by carrying
+// 1-ranks 2..30 and — via Fig. 2/3 — by 1-rank 24 sitting at position 44
+// (the wave's p1 for the worked query) and 1-rank 16 below position 44.
+// We instantiate the elided region in the simplest way that satisfies all
+// of those constraints (documented below); every figure-level assertion in
+// the paper (wave contents of Figs. 2 and 3, the Sec. 3.1 worked query with
+// p1=44, p2=67, r1=24, r2=32, estimate 23, exact count 20) is reproduced by
+// tests against this stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace waves::stream {
+
+/// The 99 bits of the Fig. 1 example stream; index 0 holds position 1.
+[[nodiscard]] const std::vector<bool>& example_stream();
+
+/// Position (1-based) of the 1-bit with the given 1-rank in the example
+/// stream. Precondition: 1 <= rank <= 50.
+[[nodiscard]] std::uint64_t example_position_of_rank(int rank);
+
+/// Number of 1's among positions [from, to] (1-based, inclusive).
+[[nodiscard]] int example_ones_in(std::uint64_t from, std::uint64_t to);
+
+}  // namespace waves::stream

@@ -1,0 +1,56 @@
+#include "stream/generators.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace waves::stream {
+
+namespace {
+std::uint64_t prob_to_threshold(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  // Draws u ~ U[0, 2^64); event fires when u < threshold.
+  const long double scaled = static_cast<long double>(p) * 18446744073709551616.0L;
+  if (scaled >= 18446744073709551615.0L) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(scaled);
+}
+}  // namespace
+
+BernoulliBits::BernoulliBits(double p, std::uint64_t seed)
+    : rng_(seed), threshold_(prob_to_threshold(p)) {}
+
+bool BernoulliBits::next() { return rng_.next() < threshold_; }
+
+BurstyBits::BurstyBits(double p_on, double p_off, double on_to_off,
+                       double off_to_on, std::uint64_t seed)
+    : rng_(seed),
+      th_on_(prob_to_threshold(p_on)),
+      th_off_(prob_to_threshold(p_off)),
+      th_leave_on_(prob_to_threshold(on_to_off)),
+      th_leave_off_(prob_to_threshold(off_to_on)) {}
+
+bool BurstyBits::next() {
+  if (on_) {
+    if (rng_.next() < th_leave_on_) on_ = false;
+  } else {
+    if (rng_.next() < th_leave_off_) on_ = true;
+  }
+  return rng_.next() < (on_ ? th_on_ : th_off_);
+}
+
+std::vector<bool> take(BitStream& s, std::size_t n) {
+  std::vector<bool> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = s.next();
+  return out;
+}
+
+std::uint64_t exact_ones_in_window(const std::vector<bool>& bits,
+                                   std::size_t window) {
+  std::uint64_t n = 0;
+  const std::size_t start = bits.size() > window ? bits.size() - window : 0;
+  for (std::size_t i = start; i < bits.size(); ++i) {
+    if (bits[i]) ++n;
+  }
+  return n;
+}
+
+}  // namespace waves::stream

@@ -1,0 +1,80 @@
+// Synthetic bit-stream generators.
+//
+// The evaluation harness feeds the synopses from a family of generators
+// chosen to exercise distinct regimes: dense/sparse Bernoulli streams,
+// bursty two-state Markov streams (network-traffic shaped), all-ones
+// streams (the exponential histogram's worst case for merge cascades), and
+// deterministic patterns for exactness tests. Generators own their PRNG
+// state so runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::stream {
+
+/// Interface: a pull-based bit source.
+class BitStream {
+ public:
+  virtual ~BitStream() = default;
+  virtual bool next() = 0;
+};
+
+/// iid Bernoulli(p) bits.
+class BernoulliBits final : public BitStream {
+ public:
+  BernoulliBits(double p, std::uint64_t seed);
+  bool next() override;
+
+ private:
+  gf2::SplitMix64 rng_;
+  std::uint64_t threshold_;
+};
+
+/// Two-state Markov chain: in the ON state emit 1 w.p. p_on, in OFF emit 1
+/// w.p. p_off; switch states with the given probabilities. Models bursts.
+class BurstyBits final : public BitStream {
+ public:
+  BurstyBits(double p_on, double p_off, double on_to_off, double off_to_on,
+             std::uint64_t seed);
+  bool next() override;
+
+ private:
+  gf2::SplitMix64 rng_;
+  std::uint64_t th_on_, th_off_, th_leave_on_, th_leave_off_;
+  bool on_ = false;
+};
+
+/// Constant 1s — maximizes EH merge cascades and wave level churn.
+class AllOnes final : public BitStream {
+ public:
+  bool next() override { return true; }
+};
+
+/// 1 exactly when pos % period == phase (pos counts from 1).
+class PeriodicBits final : public BitStream {
+ public:
+  PeriodicBits(std::uint64_t period, std::uint64_t phase)
+      : period_(period), phase_(phase % period) {}
+  bool next() override {
+    const bool b = (pos_ % period_) == phase_;
+    ++pos_;
+    return b;
+  }
+
+ private:
+  std::uint64_t period_;
+  std::uint64_t phase_;
+  std::uint64_t pos_ = 1;
+};
+
+/// Materialize the next n bits of a stream.
+[[nodiscard]] std::vector<bool> take(BitStream& s, std::size_t n);
+
+/// Exact count of 1s in the last `window` entries of `bits` (ground truth).
+[[nodiscard]] std::uint64_t exact_ones_in_window(const std::vector<bool>& bits,
+                                                 std::size_t window);
+
+}  // namespace waves::stream

@@ -1,0 +1,39 @@
+#include "stream/hamming_pairs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::stream {
+
+HammingPair make_hamming_pair(std::size_t n, std::size_t k,
+                              std::uint64_t seed) {
+  assert(n % 2 == 0 && k <= n / 2);
+  gf2::SplitMix64 rng(seed);
+
+  // Random X with exactly n/2 ones: Fisher-Yates over the index set.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.next() % (i + 1);
+    std::swap(idx[i], idx[j]);
+  }
+  std::vector<bool> x(n, false);
+  for (std::size_t i = 0; i < n / 2; ++i) x[idx[i]] = true;
+
+  // Y: flip the first k chosen ones to 0 and the first k chosen zeros to 1.
+  std::vector<bool> y = x;
+  for (std::size_t i = 0; i < k; ++i) {
+    y[idx[i]] = false;            // was a 1 in x
+    y[idx[n / 2 + i]] = true;     // was a 0 in x
+  }
+
+  std::uint64_t un = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] || y[i]) ++un;
+  }
+  return HammingPair{std::move(x), std::move(y), 2 * k, un};
+}
+
+}  // namespace waves::stream

@@ -1,0 +1,28 @@
+// Inputs for the Theorem 4 experiment.
+//
+// The deterministic lower bound's proof works with pairs of n-bit streams,
+// each containing exactly n/2 ones, at a controlled Hamming distance 2k:
+// then |union| = n/2 + k exactly (Eq. 2: n/2 + H(X,Y)/2). Any deterministic
+// scheme whose parties exchange too few bits must confuse inputs with very
+// different k, which is what bench_lower_bound demonstrates empirically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace waves::stream {
+
+/// A pair of equal-weight n-bit streams at Hamming distance exactly 2k:
+/// Y = X with k one-positions and k zero-positions flipped. n must be even,
+/// k <= n/2. The base X is a random n/2-weight string.
+struct HammingPair {
+  std::vector<bool> x;
+  std::vector<bool> y;
+  std::uint64_t hamming;  // == 2k
+  std::uint64_t union_ones;  // exact |x OR y| == n/2 + k
+};
+
+[[nodiscard]] HammingPair make_hamming_pair(std::size_t n, std::size_t k,
+                                            std::uint64_t seed);
+
+}  // namespace waves::stream

@@ -1,0 +1,66 @@
+#include "stream/splitters.hpp"
+
+#include <cassert>
+
+namespace waves::stream {
+
+std::vector<std::vector<SeqBit>> split_stream(const std::vector<bool>& bits,
+                                              int parties, int mode,
+                                              std::uint64_t seed,
+                                              std::uint64_t block) {
+  assert(parties >= 1);
+  std::vector<std::vector<SeqBit>> out(static_cast<std::size_t>(parties));
+  gf2::SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    std::size_t who = 0;
+    switch (mode) {
+      case 0:
+        who = i % static_cast<std::size_t>(parties);
+        break;
+      case 1:
+        who = rng.next() % static_cast<std::uint64_t>(parties);
+        break;
+      default:
+        who = (i / block) % static_cast<std::size_t>(parties);
+        break;
+    }
+    out[who].push_back(SeqBit{static_cast<Position>(i + 1), bits[i]});
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> correlated_streams(const std::vector<bool>& base,
+                                                  int parties, double p_noise,
+                                                  std::uint64_t seed) {
+  assert(parties >= 1);
+  const long double scaled =
+      static_cast<long double>(p_noise) * 18446744073709551616.0L;
+  const std::uint64_t th = scaled >= 18446744073709551615.0L
+                               ? ~std::uint64_t{0}
+                               : static_cast<std::uint64_t>(scaled);
+  std::vector<std::vector<bool>> out(static_cast<std::size_t>(parties));
+  for (int j = 0; j < parties; ++j) {
+    gf2::SplitMix64 rng(seed + static_cast<std::uint64_t>(j) * 0x9e37u + 1);
+    auto& s = out[static_cast<std::size_t>(j)];
+    s.resize(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      s[i] = base[i] || (rng.next() < th);
+    }
+  }
+  return out;
+}
+
+std::vector<bool> positionwise_union(
+    const std::vector<std::vector<bool>>& streams) {
+  assert(!streams.empty());
+  std::vector<bool> u(streams.front().size(), false);
+  for (const auto& s : streams) {
+    assert(s.size() == u.size());
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      if (s[i]) u[i] = true;
+    }
+  }
+  return u;
+}
+
+}  // namespace waves::stream

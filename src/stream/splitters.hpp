@@ -1,0 +1,36 @@
+// Distributed-stream composition helpers (Sec. 3.4).
+//
+// Scenario 2 splits one logical stream across t parties: every item carries
+// its overall sequence number and goes to exactly one party. Scenario 3
+// gives each party its own stream and asks about the positionwise union
+// (logical OR); here we generate t correlated streams and the exact union.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+#include "stream/types.hpp"
+
+namespace waves::stream {
+
+/// Split `bits` (the logical stream, sequence numbers 1..n) across t
+/// parties. mode 0: round-robin; mode 1: random party per item; mode 2:
+/// contiguous blocks of `block` items.
+[[nodiscard]] std::vector<std::vector<SeqBit>> split_stream(
+    const std::vector<bool>& bits, int parties, int mode, std::uint64_t seed,
+    std::uint64_t block = 64);
+
+/// t party streams for Scenario 3: party i sees base[j] OR noise_i[j] where
+/// each noise bit fires with probability p_noise (parties share the base
+/// signal but observe extra private 1s — e.g. local traffic). Returns the
+/// per-party streams; union(streams) is the ground truth OR.
+[[nodiscard]] std::vector<std::vector<bool>> correlated_streams(
+    const std::vector<bool>& base, int parties, double p_noise,
+    std::uint64_t seed);
+
+/// Positionwise OR of equal-length streams.
+[[nodiscard]] std::vector<bool> positionwise_union(
+    const std::vector<std::vector<bool>>& streams);
+
+}  // namespace waves::stream

@@ -1,0 +1,46 @@
+#include "stream/timestamped.hpp"
+
+#include <cassert>
+
+namespace waves::stream {
+
+RandomTicks::RandomTicks(std::uint32_t max_per_tick, double p_one,
+                         std::uint64_t seed)
+    : rng_(seed), max_per_tick_(max_per_tick) {
+  assert(max_per_tick >= 1);
+  const long double scaled =
+      static_cast<long double>(p_one) * 18446744073709551616.0L;
+  one_threshold_ = scaled >= 18446744073709551615.0L
+                       ? ~std::uint64_t{0}
+                       : static_cast<std::uint64_t>(scaled);
+}
+
+TimedBit RandomTicks::next() {
+  if (left_in_tick_ == 0) {
+    ++pos_;
+    left_in_tick_ =
+        1 + static_cast<std::uint32_t>(rng_.next() % max_per_tick_);
+  }
+  --left_in_tick_;
+  return TimedBit{pos_, rng_.next() < one_threshold_};
+}
+
+std::vector<TimedBit> take(TimedBitStream& s, std::size_t n) {
+  std::vector<TimedBit> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = s.next();
+  return out;
+}
+
+std::uint64_t exact_ones_in_position_window(const std::vector<TimedBit>& items,
+                                            std::uint64_t window) {
+  if (items.empty()) return 0;
+  const Position now = items.back().pos;
+  const Position start = now >= window ? now - window + 1 : 1;
+  std::uint64_t n = 0;
+  for (const TimedBit& it : items) {
+    if (it.pos >= start && it.bit) ++n;
+  }
+  return n;
+}
+
+}  // namespace waves::stream

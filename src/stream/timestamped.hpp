@@ -1,0 +1,50 @@
+// Timestamped (duplicated-position) stream generators for Corollary 1.
+//
+// In the duplicated-positions model a stream item is a (position, bit) pair
+// where positions are consecutive integers with possible repetitions —
+// "positions are increasing time units, and we target a sliding window over
+// the last N time units". The generator emits runs of items sharing one
+// time unit; the run length is capped so a window of N positions holds at
+// most U items, the bound Corollary 1 requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+#include "stream/types.hpp"
+
+namespace waves::stream {
+
+class TimedBitStream {
+ public:
+  virtual ~TimedBitStream() = default;
+  virtual TimedBit next() = 0;
+};
+
+/// Each time unit carries between 1 and max_per_tick items (uniform); each
+/// item is 1 w.p. p_one. Positions advance by exactly one between runs, so
+/// any window of N positions has at most N * max_per_tick items — pass
+/// U = N * max_per_tick to the wave.
+class RandomTicks final : public TimedBitStream {
+ public:
+  RandomTicks(std::uint32_t max_per_tick, double p_one, std::uint64_t seed);
+  TimedBit next() override;
+
+ private:
+  gf2::SplitMix64 rng_;
+  std::uint32_t max_per_tick_;
+  std::uint64_t one_threshold_;
+  Position pos_ = 0;
+  std::uint32_t left_in_tick_ = 0;
+};
+
+/// Materialize n items.
+[[nodiscard]] std::vector<TimedBit> take(TimedBitStream& s, std::size_t n);
+
+/// Ground truth: 1s among items whose position lies in the last `window`
+/// positions ending at the final item's position.
+[[nodiscard]] std::uint64_t exact_ones_in_position_window(
+    const std::vector<TimedBit>& items, std::uint64_t window);
+
+}  // namespace waves::stream

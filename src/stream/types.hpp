@@ -1,0 +1,29 @@
+// Common stream item types.
+//
+// Positions are 1-based (the paper's Fig. 1 numbers the first item 1) and
+// carried as absolute 64-bit integers; the modulo-N' representation of
+// Sec. 3.2 is a storage optimization realized in core/compact_wave.
+#pragma once
+
+#include <cstdint>
+
+namespace waves::stream {
+
+using Position = std::uint64_t;
+
+/// A (position, bit) item for the duplicated-positions model of Sec. 3.2:
+/// positions are nondecreasing and may repeat (think timestamps).
+struct TimedBit {
+  Position pos;
+  bool bit;
+  friend bool operator==(const TimedBit&, const TimedBit&) = default;
+};
+
+/// A (sequence number, bit) item of the Scenario-2 split logical stream.
+struct SeqBit {
+  Position seq;
+  bool bit;
+  friend bool operator==(const SeqBit&, const SeqBit&) = default;
+};
+
+}  // namespace waves::stream

@@ -1,0 +1,73 @@
+#include "stream/value_streams.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace waves::stream {
+
+UniformValues::UniformValues(std::uint64_t lo, std::uint64_t hi,
+                             std::uint64_t seed)
+    : rng_(seed), lo_(lo), span_(hi - lo + 1) {
+  assert(hi >= lo);
+}
+
+std::uint64_t UniformValues::next() { return lo_ + rng_.next() % span_; }
+
+ZipfValues::ZipfValues(std::uint64_t n, double theta, std::uint64_t seed)
+    : rng_(seed) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_[i - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::uint64_t ZipfValues::next() {
+  const double u =
+      static_cast<double>(rng_.next() >> 11) * (1.0 / 9007199254740992.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+SpikyValues::SpikyValues(std::uint64_t spike, double spike_prob,
+                         std::uint64_t seed)
+    : rng_(seed), spike_(spike) {
+  const long double scaled =
+      static_cast<long double>(spike_prob) * 18446744073709551616.0L;
+  threshold_ = scaled >= 18446744073709551615.0L
+                   ? ~std::uint64_t{0}
+                   : static_cast<std::uint64_t>(scaled);
+}
+
+std::uint64_t SpikyValues::next() {
+  return rng_.next() < threshold_ ? spike_ : 0;
+}
+
+std::vector<std::uint64_t> take(ValueStream& s, std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = s.next();
+  return out;
+}
+
+std::uint64_t exact_sum_in_window(const std::vector<std::uint64_t>& vals,
+                                  std::size_t window) {
+  std::uint64_t acc = 0;
+  const std::size_t start = vals.size() > window ? vals.size() - window : 0;
+  for (std::size_t i = start; i < vals.size(); ++i) acc += vals[i];
+  return acc;
+}
+
+std::uint64_t exact_distinct_in_window(const std::vector<std::uint64_t>& vals,
+                                       std::size_t window) {
+  std::unordered_set<std::uint64_t> seen;
+  const std::size_t start = vals.size() > window ? vals.size() - window : 0;
+  for (std::size_t i = start; i < vals.size(); ++i) seen.insert(vals[i]);
+  return seen.size();
+}
+
+}  // namespace waves::stream

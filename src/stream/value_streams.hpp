@@ -1,0 +1,70 @@
+// Integer-valued stream generators for the sum wave (Sec. 3.3) and the
+// distinct-values wave (Sec. 5).
+//
+// Values are integers in [0..R]. Distributions: uniform, Zipf(theta) (skewed
+// retail/telecom-like value popularity, sampled by inversion over a
+// precomputed CDF), bimodal spikes (stress for the sum wave's level
+// computation: values that cross many power-of-two boundaries), and
+// constant/ramp patterns for exactness tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::stream {
+
+class ValueStream {
+ public:
+  virtual ~ValueStream() = default;
+  virtual std::uint64_t next() = 0;
+};
+
+/// Uniform over [lo, hi] inclusive.
+class UniformValues final : public ValueStream {
+ public:
+  UniformValues(std::uint64_t lo, std::uint64_t hi, std::uint64_t seed);
+  std::uint64_t next() override;
+
+ private:
+  gf2::SplitMix64 rng_;
+  std::uint64_t lo_, span_;
+};
+
+/// Zipf over {1..n} with exponent theta > 0, mapped into [0..R] by scaling;
+/// skewed toward small values. CDF inversion with binary search.
+class ZipfValues final : public ValueStream {
+ public:
+  ZipfValues(std::uint64_t n, double theta, std::uint64_t seed);
+  std::uint64_t next() override;
+
+ private:
+  gf2::SplitMix64 rng_;
+  std::vector<double> cdf_;
+};
+
+/// Mostly-zero stream with occasional spikes of value `spike`.
+class SpikyValues final : public ValueStream {
+ public:
+  SpikyValues(std::uint64_t spike, double spike_prob, std::uint64_t seed);
+  std::uint64_t next() override;
+
+ private:
+  gf2::SplitMix64 rng_;
+  std::uint64_t spike_;
+  std::uint64_t threshold_;
+};
+
+/// Materialize n values.
+[[nodiscard]] std::vector<std::uint64_t> take(ValueStream& s, std::size_t n);
+
+/// Exact sum of the last `window` entries (ground truth).
+[[nodiscard]] std::uint64_t exact_sum_in_window(
+    const std::vector<std::uint64_t>& vals, std::size_t window);
+
+/// Exact number of distinct values among the last `window` entries.
+[[nodiscard]] std::uint64_t exact_distinct_in_window(
+    const std::vector<std::uint64_t>& vals, std::size_t window);
+
+}  // namespace waves::stream

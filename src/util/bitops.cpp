@@ -1,0 +1,30 @@
+#include "util/bitops.hpp"
+
+namespace waves::util {
+
+namespace {
+
+// ceil(log2(2 * M / inv_eps)) computed without floating point:
+// 2*eps*M = 2*M / inv_eps. Rounds the quotient up before taking the log so
+// the level count never under-provisions (a level too few would let the
+// wave forget 1-ranks still needed inside the window).
+int levels_for(std::uint64_t inv_eps, std::uint64_t scaled) {
+  // scaled = 2 * M; want ceil(log2(scaled / inv_eps)) with real division.
+  if (scaled <= inv_eps) return 1;
+  const std::uint64_t q = (scaled + inv_eps - 1) / inv_eps;  // ceil
+  const int lv = ceil_log2(q);
+  return lv < 1 ? 1 : lv;
+}
+
+}  // namespace
+
+int det_wave_levels(std::uint64_t inv_eps, std::uint64_t window) {
+  return levels_for(inv_eps, 2 * window);
+}
+
+int sum_wave_levels(std::uint64_t inv_eps, std::uint64_t window,
+                    std::uint64_t max_value) {
+  return levels_for(inv_eps, 2 * window * (max_value == 0 ? 1 : max_value));
+}
+
+}  // namespace waves::util

@@ -1,0 +1,59 @@
+// Bit-manipulation primitives used throughout libwaves.
+//
+// The wave algorithms assign a stream item to a level determined by the
+// least-significant set bit of its 1-rank (deterministic wave, Fig. 4 step
+// 3a) or the most-significant set bit of a carry mask (sum wave, Sec. 3.3).
+// These helpers wrap the C++20 <bit> intrinsics; the paper's portable
+// "weak machine model" alternatives live in weak_bitops.hpp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace waves::util {
+
+/// Index of the least-significant set bit (0-based). Precondition: x != 0.
+[[nodiscard]] constexpr int lsb_index(std::uint64_t x) noexcept {
+  return std::countr_zero(x);
+}
+
+/// Index of the most-significant set bit (0-based). Precondition: x != 0.
+[[nodiscard]] constexpr int msb_index(std::uint64_t x) noexcept {
+  return 63 - std::countl_zero(x);
+}
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x. Precondition: x >= 1 and x <= 2^63.
+[[nodiscard]] constexpr std::uint64_t next_pow2_at_least(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+/// floor(log2(x)). Precondition: x != 0.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) noexcept {
+  return msb_index(x);
+}
+
+/// ceil(log2(x)). Precondition: x != 0.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) noexcept {
+  return x == 1 ? 0 : msb_index(x - 1) + 1;
+}
+
+/// The wave level of a 1-rank: the largest j such that 2^j divides rank.
+/// Precondition: rank != 0.
+[[nodiscard]] constexpr int rank_level(std::uint64_t rank) noexcept {
+  return lsb_index(rank);
+}
+
+/// Number of levels in a deterministic wave: ceil(log2(2*eps*N)) clamped to
+/// at least 1 (Sec. 3.1). `inv_eps` is 1/eps as an integer.
+[[nodiscard]] int det_wave_levels(std::uint64_t inv_eps, std::uint64_t window);
+
+/// Number of levels in a sum wave: ceil(log2(2*eps*N*R)) clamped to >= 1.
+[[nodiscard]] int sum_wave_levels(std::uint64_t inv_eps, std::uint64_t window,
+                                  std::uint64_t max_value);
+
+}  // namespace waves::util

@@ -1,0 +1,33 @@
+#include "util/bitvec.hpp"
+
+#include <cassert>
+
+namespace waves::util {
+
+void BitVec::append(std::uint64_t value, int width) {
+  assert(width > 0 && width <= 64);
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  const std::size_t word = bits_ / 64;
+  const int off = static_cast<int>(bits_ % 64);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= value << off;
+  if (off + width > 64) {
+    words_.push_back(value >> (64 - off));
+  }
+  bits_ += static_cast<std::size_t>(width);
+}
+
+std::uint64_t BitVec::read(std::size_t at, int width) const {
+  assert(width > 0 && width <= 64);
+  assert(at + static_cast<std::size_t>(width) <= bits_);
+  const std::size_t word = at / 64;
+  const int off = static_cast<int>(at % 64);
+  std::uint64_t v = words_[word] >> off;
+  if (off + width > 64) {
+    v |= words_[word + 1] << (64 - off);
+  }
+  if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+  return v;
+}
+
+}  // namespace waves::util

@@ -1,0 +1,35 @@
+// Bit-packed append-only vector.
+//
+// The compact wave (space-optimized deterministic wave, end of Sec. 3.2)
+// stores the sorted position sequence as deltas, each in just enough bits;
+// this is the backing store that realizes — and lets us *measure* — the
+// O((1/eps) log^2(eps N)) bit bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace waves::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Append the low `width` bits of `value` (0 < width <= 64).
+  void append(std::uint64_t value, int width);
+
+  /// Read `width` bits starting at bit offset `at`.
+  [[nodiscard]] std::uint64_t read(std::size_t at, int width) const;
+
+  [[nodiscard]] std::size_t bit_size() const noexcept { return bits_; }
+  void clear() noexcept {
+    words_.clear();
+    bits_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace waves::util

@@ -1,0 +1,206 @@
+// Fixed-storage level queues + intrusive sorted list (Sec. 3.2).
+//
+// The optimal deterministic wave stores every selected stream item exactly
+// once, in a fixed-length circular queue for its level, and threads all live
+// items onto one doubly-linked list in increasing position order. The paper
+// notes that "because the level queues are updated in place, the same block
+// of memory is used throughout, and hence the linked list pointers are
+// offsets into this block". LevelPool implements that literally: one
+// contiguous slot array allocated at construction, never resized; level
+// queues are index ranges with a cursor; list links are 32-bit slot indices.
+// Every operation is O(1) worst case and allocation-free after construction.
+//
+// Liveness convention: a slot is *in the list* iff it holds a valid entry
+// whose position exceeds `expire_boundary()`. Expiry therefore never touches
+// individual slots — it advances the boundary and unlinks from the list head,
+// which is what lets the timestamp wave (Cor. 1) drop a whole run of
+// duplicate-position items in O(1). Callers must only advance the boundary
+// past positions that have been fully unlinked (see advance_boundary()).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace waves::util {
+
+template <class Entry>
+class LevelPool {
+ public:
+  static constexpr std::int32_t kNil = -1;
+
+  explicit LevelPool(std::span<const std::uint32_t> capacities) {
+    offsets_.reserve(capacities.size() + 1);
+    std::uint32_t total = 0;
+    for (std::uint32_t c : capacities) {
+      assert(c > 0);
+      offsets_.push_back(total);
+      total += c;
+    }
+    offsets_.push_back(total);
+    slots_.resize(total);
+    cursor_.assign(capacities.size(), 0);
+  }
+
+  [[nodiscard]] int levels() const noexcept {
+    return static_cast<int>(cursor_.size());
+  }
+  [[nodiscard]] std::uint32_t capacity(int level) const noexcept {
+    return offsets_[static_cast<std::size_t>(level) + 1] -
+           offsets_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] std::uint32_t total_slots() const noexcept {
+    return offsets_.back();
+  }
+
+  /// Largest position known to be fully evicted/expired; list membership of
+  /// a valid slot is equivalent to entry.pos > expire_boundary().
+  [[nodiscard]] std::uint64_t expire_boundary() const noexcept {
+    return boundary_;
+  }
+
+  /// Slot index the next insert at `level` will (re)use.
+  [[nodiscard]] std::int32_t peek_victim(int level) const noexcept {
+    return static_cast<std::int32_t>(offsets_[static_cast<std::size_t>(level)] +
+                                     cursor_[static_cast<std::size_t>(level)]);
+  }
+
+  /// True iff the victim slot currently holds a live (listed) entry, i.e.
+  /// the level queue is full of in-window items and the insert will discard
+  /// its tail (Fig. 4 step 3b).
+  [[nodiscard]] bool victim_in_list(int level) const noexcept {
+    const Slot& s = slots_[static_cast<std::size_t>(peek_victim(level))];
+    return s.valid && s.entry.pos > boundary_;
+  }
+
+  /// Insert `e` at the head of `level`'s queue and the tail of the sorted
+  /// list. Positions must be inserted in nondecreasing order. Returns the
+  /// slot index used. O(1) worst case.
+  std::int32_t insert(int level, const Entry& e) {
+    const std::int32_t idx = peek_victim(level);
+    Slot& s = slots_[static_cast<std::size_t>(idx)];
+    if (s.valid && s.entry.pos > boundary_) {
+      splice_out(idx);
+    }
+    s.entry = e;
+    s.valid = true;
+    append_tail(idx);
+    auto& cur = cursor_[static_cast<std::size_t>(level)];
+    cur = (cur + 1) % capacity(level);
+    return idx;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == kNil; }
+  [[nodiscard]] std::int32_t head() const noexcept { return head_; }
+  [[nodiscard]] std::int32_t tail() const noexcept { return tail_; }
+  [[nodiscard]] std::int32_t next(std::int32_t idx) const noexcept {
+    return slots_[static_cast<std::size_t>(idx)].next;
+  }
+  [[nodiscard]] std::int32_t prev(std::int32_t idx) const noexcept {
+    return slots_[static_cast<std::size_t>(idx)].prev;
+  }
+  [[nodiscard]] const Entry& entry(std::int32_t idx) const noexcept {
+    return slots_[static_cast<std::size_t>(idx)].entry;
+  }
+  [[nodiscard]] Entry& entry(std::int32_t idx) noexcept {
+    return slots_[static_cast<std::size_t>(idx)].entry;
+  }
+
+  /// Remove and return the oldest entry, advancing the expire boundary to
+  /// its position. Only valid when positions in the list are unique (basic
+  /// counting / sum waves); with duplicate positions use unlink_prefix().
+  Entry pop_oldest() {
+    assert(head_ != kNil);
+    const std::int32_t idx = head_;
+    Entry out = slots_[static_cast<std::size_t>(idx)].entry;
+    splice_out(idx);
+    advance_boundary(out.pos);
+    return out;
+  }
+
+  /// Unlink the list prefix ending at `last` (inclusive) in O(1) and advance
+  /// the boundary to that entry's position. Used by the timestamp wave to
+  /// expire every item of a position at once. Precondition: after the call,
+  /// no listed entry has position <= entry(last).pos.
+  void unlink_prefix(std::int32_t last) {
+    assert(head_ != kNil);
+    const std::uint64_t p = slots_[static_cast<std::size_t>(last)].entry.pos;
+    const std::int32_t nh = slots_[static_cast<std::size_t>(last)].next;
+    head_ = nh;
+    if (nh == kNil) {
+      tail_ = kNil;
+    } else {
+      slots_[static_cast<std::size_t>(nh)].prev = kNil;
+    }
+    advance_boundary(p);
+  }
+
+  /// Raise the expire boundary (positions <= b are treated as dead).
+  void advance_boundary(std::uint64_t b) noexcept {
+    if (b > boundary_) boundary_ = b;
+  }
+
+  /// Walk the list oldest -> newest.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::int32_t i = head_; i != kNil;
+         i = slots_[static_cast<std::size_t>(i)].next) {
+      fn(slots_[static_cast<std::size_t>(i)].entry);
+    }
+  }
+
+  /// Number of listed entries — O(n); intended for tests and snapshots only.
+  [[nodiscard]] std::size_t count_listed() const {
+    std::size_t n = 0;
+    for (std::int32_t i = head_; i != kNil;
+         i = slots_[static_cast<std::size_t>(i)].next) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Slot {
+    Entry entry{};
+    std::int32_t prev = kNil;
+    std::int32_t next = kNil;
+    bool valid = false;
+  };
+
+  void splice_out(std::int32_t idx) noexcept {
+    Slot& s = slots_[static_cast<std::size_t>(idx)];
+    if (s.prev != kNil) {
+      slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+    } else {
+      head_ = s.next;
+    }
+    if (s.next != kNil) {
+      slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+    } else {
+      tail_ = s.prev;
+    }
+    s.prev = s.next = kNil;
+  }
+
+  void append_tail(std::int32_t idx) noexcept {
+    Slot& s = slots_[static_cast<std::size_t>(idx)];
+    s.prev = tail_;
+    s.next = kNil;
+    if (tail_ != kNil) {
+      slots_[static_cast<std::size_t>(tail_)].next = idx;
+    } else {
+      head_ = idx;
+    }
+    tail_ = idx;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> offsets_;  // level -> first slot; +1 sentinel
+  std::vector<std::uint32_t> cursor_;   // level -> next write offset
+  std::int32_t head_ = kNil;
+  std::int32_t tail_ = kNil;
+  std::uint64_t boundary_ = 0;
+};
+
+}  // namespace waves::util

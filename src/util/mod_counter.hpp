@@ -1,0 +1,54 @@
+// Modulo-N' arithmetic (Sec. 3.2).
+//
+// To keep every stored position at log N' bits regardless of stream length,
+// the paper counts positions and ranks modulo N', the smallest power of two
+// >= 2N, and discards anything more than N behind the current position so
+// the wrapped values stay unambiguous. These helpers implement wrapped
+// increment/add and the "how far behind the current position" distance the
+// expiry and query steps need.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/bitops.hpp"
+
+namespace waves::util {
+
+class ModN {
+ public:
+  /// @param window the sliding-window size N; the modulus is the smallest
+  ///        power of two >= 2N so in-window distances never alias.
+  explicit ModN(std::uint64_t window)
+      : modulus_(next_pow2_at_least(window < 1 ? 2 : 2 * window)) {}
+
+  /// Construct with an explicit modulus (must be a power of two).
+  struct ExplicitModulus {};
+  ModN(ExplicitModulus, std::uint64_t modulus) : modulus_(modulus) {
+    assert(is_pow2(modulus));
+  }
+
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return modulus_; }
+  [[nodiscard]] int bits() const noexcept { return floor_log2(modulus_); }
+
+  [[nodiscard]] std::uint64_t wrap(std::uint64_t x) const noexcept {
+    return x & (modulus_ - 1);
+  }
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const noexcept {
+    return wrap(a + b);
+  }
+  [[nodiscard]] std::uint64_t inc(std::uint64_t a) const noexcept {
+    return wrap(a + 1);
+  }
+
+  /// Distance from `past` back to `now` assuming `past` is at most
+  /// modulus()-1 steps behind `now` (true for all in-window values).
+  [[nodiscard]] std::uint64_t behind(std::uint64_t now, std::uint64_t past) const noexcept {
+    return wrap(now - past);
+  }
+
+ private:
+  std::uint64_t modulus_;
+};
+
+}  // namespace waves::util

@@ -1,0 +1,83 @@
+// Fixed-capacity circular queue.
+//
+// The randomized wave (Sec. 4.1) keeps, per level, the c/eps^2 most recent
+// selected positions; pushing into a full queue silently evicts the oldest.
+// This container is allocation-free after construction and supports O(1)
+// push/evict/pop plus oldest-first iteration for query snapshots.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace waves::util {
+
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Newest element. Precondition: !empty().
+  [[nodiscard]] const T& head() const noexcept {
+    return buf_[index(size_ - 1)];
+  }
+  /// Oldest element. Precondition: !empty().
+  [[nodiscard]] const T& tail() const noexcept { return buf_[tail_]; }
+
+  /// Append at the head; if full, evicts and returns the previous tail.
+  std::optional<T> push_head(const T& v) {
+    std::optional<T> evicted;
+    if (full()) {
+      evicted = buf_[tail_];
+      buf_[tail_] = v;
+      tail_ = (tail_ + 1) % buf_.size();
+    } else {
+      buf_[index(size_)] = v;
+      ++size_;
+    }
+    return evicted;
+  }
+
+  /// Remove the oldest element. Precondition: !empty().
+  T pop_tail() {
+    T out = buf_[tail_];
+    tail_ = (tail_ + 1) % buf_.size();
+    --size_;
+    return out;
+  }
+
+  /// i-th element from the oldest (0 = tail). Precondition: i < size().
+  [[nodiscard]] const T& from_oldest(std::size_t i) const noexcept {
+    return buf_[index(i)];
+  }
+
+  template <class Fn>
+  void for_each_oldest_first(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn(buf_[index(i)]);
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    tail_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t i) const noexcept {
+    return (tail_ + i) % buf_.size();
+  }
+
+  std::vector<T> buf_;
+  std::size_t tail_ = 0;  // index of oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace waves::util

@@ -1,0 +1,49 @@
+#include "util/space.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace waves::util {
+
+namespace {
+double log2_pos(double x) { return x <= 1.0 ? 1.0 : std::log2(x); }
+}  // namespace
+
+double det_wave_bound_bits(double eps, std::uint64_t window) {
+  const double l = log2_pos(2.0 * eps * static_cast<double>(window));
+  return (1.0 / eps) * l * l;
+}
+
+double datar_lower_bound_bits(std::uint64_t k, std::uint64_t window) {
+  if (k == 0) return 0.0;
+  const double l = log2_pos(static_cast<double>(window) / static_cast<double>(k));
+  return (static_cast<double>(k) / 16.0) * l * l;
+}
+
+double rand_wave_bound_bits(double eps, double delta, std::uint64_t window) {
+  const double inst = log2_pos(1.0 / delta);
+  const double l = log2_pos(static_cast<double>(window));
+  return inst * l * l / (eps * eps);
+}
+
+double distinct_wave_bound_bits(double eps, double delta, std::uint64_t window,
+                                std::uint64_t max_value) {
+  const double inst = log2_pos(1.0 / delta);
+  const double ln = log2_pos(static_cast<double>(window));
+  const double lr = log2_pos(static_cast<double>(max_value));
+  return inst * ln * lr / (eps * eps);
+}
+
+std::string format_bits(double bits) {
+  char buf[64];
+  if (bits < 8192.0) {
+    std::snprintf(buf, sizeof buf, "%.0f b", bits);
+  } else if (bits < 8192.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1f Kib", bits / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f Mib", bits / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace waves::util

@@ -1,0 +1,40 @@
+// Space accounting against the paper's bounds.
+//
+// Each synopsis reports its footprint in *bits* under the paper's own
+// accounting (modulo-N' counters, delta-encoded positions, shared hash
+// seeds charged to each party). These helpers compute the theoretical
+// curves the measurements are compared against in EXPERIMENTS.md:
+//   Theorem 1: O((1/eps) log^2(eps N)) bits (deterministic wave),
+//   Theorem 2: (k/16) log^2(N/k) bits (Datar et al. lower bound),
+//   Theorem 5: O((log(1/delta) log^2 N) / eps^2) bits (randomized wave),
+//   Theorem 6: O((log(1/delta) log N log R) / eps^2) bits (distinct values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace waves::util {
+
+/// Upper-bound curve of Theorem 1 with unit constant:
+/// (1/eps) * ceil(log2(2 eps N))^2 bits.
+[[nodiscard]] double det_wave_bound_bits(double eps, std::uint64_t window);
+
+/// Lower-bound curve of Theorem 2: (k/16) * log2(N/k)^2 bits for relative
+/// error < 1/k (valid for integer k <= 4 sqrt(N)).
+[[nodiscard]] double datar_lower_bound_bits(std::uint64_t k, std::uint64_t window);
+
+/// Upper-bound curve of Theorem 5 with unit constant:
+/// (log2(1/delta) * log2^2(N)) / eps^2 bits per party.
+[[nodiscard]] double rand_wave_bound_bits(double eps, double delta,
+                                          std::uint64_t window);
+
+/// Upper-bound curve of Theorem 6 with unit constant:
+/// (log2(1/delta) * log2(N) * log2(R)) / eps^2 bits per party.
+[[nodiscard]] double distinct_wave_bound_bits(double eps, double delta,
+                                              std::uint64_t window,
+                                              std::uint64_t max_value);
+
+/// Human-readable bit count ("12.4 Kib").
+[[nodiscard]] std::string format_bits(double bits);
+
+}  // namespace waves::util

@@ -1,0 +1,94 @@
+#include "util/weak_bitops.hpp"
+
+#include <cassert>
+
+#include "util/bitops.hpp"
+
+namespace waves::util {
+
+RulerLevels::RulerLevels(int min_levels) {
+  int want = min_levels < 3 ? 8 : (1 << ceil_log2(static_cast<std::uint64_t>(min_levels)));
+  if (want < 8) want = 8;
+  cycle_ = static_cast<std::uint64_t>(want);
+  log_cycle_ = floor_log2(cycle_);
+  table_.resize(cycle_);
+  table_[0] = 0;  // unused
+  for (std::uint64_t i = 1; i < cycle_; ++i) {
+    table_[i] = static_cast<std::uint8_t>(lsb_index(i));
+  }
+}
+
+int RulerLevels::next() {
+  // One interleaved scan step: look at one more bit of d_ if lsb(d_) is not
+  // yet known. The paper wraps d modulo N', which bounds its width by the
+  // cycle length; with an absolute 64-bit counter we instead *cap* the
+  // scan at `cycle_` bits — a capped result yields level >= log2(cycle_)
+  // + cycle_, which is at or above the top level of every wave this class
+  // can serve (cycle_ >= min_levels), and wave levels are clamped anyway.
+  if (found_lsb_ < 0 && scan_pos_ < static_cast<int>(cycle_)) {
+    if ((d_ >> scan_pos_) & 1u) {
+      found_lsb_ = scan_pos_;
+    } else {
+      ++scan_pos_;
+    }
+  }
+
+  if (idx_ < cycle_) {
+    return table_[idx_++];
+  }
+  // idx_ == cycle_: this rank is a multiple of the cycle length.
+  const int level =
+      log_cycle_ +
+      (found_lsb_ >= 0 ? found_lsb_ : static_cast<int>(cycle_));
+  ++d_;
+  idx_ = 1;
+  scan_pos_ = 0;
+  found_lsb_ = -1;
+  return level;
+}
+
+void RulerLevels::seek(std::uint64_t rank) {
+  idx_ = (rank % cycle_) + 1;
+  d_ = rank / cycle_ + 1;
+  scan_pos_ = 0;
+  found_lsb_ = -1;
+  // Replay the interleaved scan steps already taken in the current cycle.
+  for (std::uint64_t step = 0; step < rank % cycle_; ++step) {
+    if (found_lsb_ < 0 && scan_pos_ < static_cast<int>(cycle_)) {
+      if ((d_ >> scan_pos_) & 1u) {
+        found_lsb_ = scan_pos_;
+      } else {
+        ++scan_pos_;
+      }
+    }
+  }
+}
+
+int msb_index_binary_search(std::uint64_t x) {
+  assert(x != 0);
+  // Footnote 8: test whether any bit lives in the upper half of the active
+  // window; shift it down if so and recurse on a half-width window.
+  int base = 0;
+  for (int half = 32; half >= 1; half /= 2) {
+    if (x >> half) {
+      x >>= half;
+      base += half;
+    }
+  }
+  return base;
+}
+
+int lsb_index_binary_search(std::uint64_t x) {
+  assert(x != 0);
+  int base = 0;
+  for (int half = 32; half >= 1; half /= 2) {
+    const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+    if ((x & mask) == 0) {
+      x >>= half;
+      base += half;
+    }
+  }
+  return base;
+}
+
+}  // namespace waves::util

@@ -1,0 +1,77 @@
+// The paper's "weaker machine model" bit tricks (Sec. 3.2 and footnote 8).
+//
+// Theorem 1 and Theorem 3 claim O(1) worst-case per-item time even on a
+// machine without single-cycle find-first-set. The paper gives two
+// constructions, both implemented here so the claims can be tested:
+//
+//  * RulerLevels — the Sec. 3.2 scheme for the *deterministic wave*: the
+//    levels of consecutive 1-ranks follow the "ruler sequence"
+//    0,1,0,2,0,1,0,3,... A precomputed array of one cycle plus a counter d
+//    (incremented per cycle) yields the level of every rank; the
+//    least-significant set bit of d, needed once per cycle, is found by an
+//    *interleaved* one-bit-per-step scan spread over the cycle, so every
+//    step does O(1) work.
+//
+//  * msb_index_binary_search — the footnote-8 scheme for the *sum wave*:
+//    the most-significant set bit of a word found by O(log w) mask-halving
+//    steps (no hardware clz).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace waves::util {
+
+/// Streaming computation of rank_level(1), rank_level(2), rank_level(3), ...
+/// in O(1) worst-case time per call without any find-first-set instruction.
+///
+/// The cycle length C is the smallest power of two >= the number of levels
+/// the caller cares about; ranks that are multiples of C have level
+/// log2(C) + lsb(d) where d counts completed cycles. lsb(d) is computed by
+/// scanning one bit of d per step during the preceding cycle, which always
+/// finishes in time because d has at most 64 - log2(C) <= C bits for every
+/// cycle length this library instantiates (C >= 8).
+class RulerLevels {
+ public:
+  /// @param min_levels smallest number of distinct levels the caller needs;
+  ///        the cycle is sized to the smallest power of two >= max(8, that).
+  explicit RulerLevels(int min_levels);
+
+  /// Level of the next 1-rank (ranks start at 1), saturated at
+  /// level_cap(): returns min-equivalent-for-clamping of rank_level(rank).
+  /// O(1) worst case.
+  [[nodiscard]] int next();
+
+  /// Cycle length (power of two), exposed for tests.
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+  /// Levels at or above this value may be reported as exactly this value;
+  /// always >= the min_levels the instance was built for, so clamping to
+  /// the wave's top level is unaffected.
+  [[nodiscard]] int level_cap() const noexcept {
+    return log_cycle_ + static_cast<int>(cycle_);
+  }
+
+  /// Set the state as if next() had been called `rank` times (checkpoint
+  /// restore). O(cycle) work.
+  void seek(std::uint64_t rank);
+
+ private:
+  std::vector<std::uint8_t> table_;  // table_[i] = lsb_index(i), i in [1, C)
+  std::uint64_t cycle_;              // C
+  int log_cycle_;                    // log2(C)
+  std::uint64_t idx_ = 1;            // next index into the cycle, in [1, C]
+  std::uint64_t d_ = 1;              // completed-cycle counter (1-based)
+  int scan_pos_ = 0;                 // interleaved scan cursor over bits of d_
+  int found_lsb_ = -1;               // lsb(d_) once located, else -1
+};
+
+/// Most-significant set bit via the footnote-8 binary search over mask
+/// halves: O(log w) time, no clz/ctz instruction. Precondition: x != 0.
+[[nodiscard]] int msb_index_binary_search(std::uint64_t x);
+
+/// Least-significant set bit via the same mask-halving idea (for symmetry
+/// and for tests). Precondition: x != 0.
+[[nodiscard]] int lsb_index_binary_search(std::uint64_t x);
+
+}  // namespace waves::util

@@ -1,0 +1,52 @@
+// Umbrella header: the full libwaves public API.
+//
+// Single-stream deterministic (eps) schemes:
+//   core::DetWave        — 1s in a sliding window (Theorem 1)
+//   core::SumWave        — sums of integers in [0..R] (Theorem 3)
+//   core::TsWave         — timestamp windows, duplicated positions (Cor. 1)
+//   core::TsSumWave      — sums over timestamp windows
+//   core::ModWave        — DetWave on live modulo-N' counters
+//   core::CompactWave    — delta/gamma-encoded synopsis serialization
+//   core::BasicWave      — the Sec. 3.1 reference structure
+//
+// Randomized (eps, delta) schemes and the distributed model:
+//   core::RandWave, core::MedianCountWave            (Theorem 5)
+//   core::DistinctWave                               (Theorem 6)
+//   distributed::CountParty, DistinctParty, union_count, distinct_count
+//   distributed::Scenario1Counter, Scenario2Counter  (Sec. 3.4)
+//
+// Extensions (Sec. 5): core::PredicateDistinctWave, core::NthOneWave,
+//   core::SlidingAverage, core::FlaggedAverage, core::TimestampedAverage.
+//
+// Baseline: baseline::EhCount, baseline::EhSum (Datar et al.).
+#pragma once
+
+#include "baseline/eh_count.hpp"
+#include "baseline/eh_sum.hpp"
+#include "core/basic_wave.hpp"
+#include "core/compact_wave.hpp"
+#include "core/det_wave.hpp"
+#include "core/distinct_wave.hpp"
+#include "core/extensions/average.hpp"
+#include "core/extensions/histogram.hpp"
+#include "core/extensions/lp_norm.hpp"
+#include "core/extensions/nth_one.hpp"
+#include "core/extensions/predicate_sample.hpp"
+#include "core/checkpoint.hpp"
+#include "core/median_estimator.hpp"
+#include "core/mod_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "core/ts_sum_wave.hpp"
+#include "core/ts_wave.hpp"
+#include "distributed/alignment.hpp"
+#include "distributed/ingest_driver.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "distributed/scenarios.hpp"
+#include "gf2/kwise_hash.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "stream/timestamped.hpp"
+#include "stream/value_streams.hpp"

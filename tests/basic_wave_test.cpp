@@ -1,0 +1,105 @@
+#include "core/basic_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "stream/generators.hpp"
+
+namespace waves::core {
+namespace {
+
+double rel_err(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+TEST(BasicWave, ExactOnShortStream) {
+  BasicWave w(3, 48);
+  int ones = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool b = (i % 2) == 0;
+    w.update(b);
+    ones += b ? 1 : 0;
+    const Estimate e = w.query(48);
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, ones);
+  }
+}
+
+TEST(BasicWave, ZeroWhenNoOnesInWindow) {
+  BasicWave w(3, 16);
+  for (int i = 0; i < 5; ++i) w.update(true);
+  for (int i = 0; i < 100; ++i) w.update(false);
+  const Estimate e = w.query(16);
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+}
+
+TEST(BasicWave, LevelStructure) {
+  // After r ones, level i holds the most recent ranks divisible by 2^i.
+  BasicWave w(3, 48);  // cap 4 per level
+  for (int i = 0; i < 20; ++i) w.update(true);  // positions 1..20 = ranks
+  ASSERT_EQ(w.levels(), 5);
+  // Level 2 ("by 4"): ranks 8, 12, 16, 20.
+  const auto& l2 = w.level_contents(2);
+  ASSERT_EQ(l2.size(), 4u);
+  EXPECT_EQ(l2[0].second, 8u);
+  EXPECT_EQ(l2[3].second, 20u);
+  // Level 4 ("by 16"): only rank 16 so far; the dummy is implicit.
+  const auto& l4 = w.level_contents(4);
+  ASSERT_EQ(l4.size(), 1u);
+  EXPECT_EQ(l4[0].second, 16u);
+  EXPECT_TRUE(w.level_has_dummy(4));
+  EXPECT_FALSE(w.level_has_dummy(0));
+}
+
+TEST(BasicWave, ExactAtWindowBoundaryCase) {
+  // Arrange the window to start exactly at a stored 1 position: the query
+  // must return the exact count (step 2 of Sec. 3.1).
+  BasicWave w(2, 32);
+  for (int i = 0; i < 40; ++i) w.update(true);
+  // s = 40 - n + 1; every position is stored at level 0 among the last 3.
+  const Estimate e = w.query(3);
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 3.0);
+}
+
+class BasicWaveAccuracy
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BasicWaveAccuracy, AllWindowsWithinEps) {
+  const auto [inv_eps, density] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 300;
+  stream::BernoulliBits gen(density, 1000 + inv_eps);
+  BasicWave w(inv_eps, window);
+  std::vector<bool> all;
+  for (int i = 0; i < 2500; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    w.update(b);
+    if (i % 97 == 0) {
+      for (std::uint64_t n : {10u, 100u, 250u, 300u}) {
+        const std::vector<bool> tail(
+            all.end() - static_cast<std::ptrdiff_t>(
+                            std::min<std::size_t>(n, all.size())),
+            all.end());
+        double exact = 0;
+        for (bool x : tail) exact += x ? 1 : 0;
+        ASSERT_LE(rel_err(w.query(n).value, exact), eps + 1e-12)
+            << "item " << i << " n=" << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BasicWaveAccuracy,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 8, 16),
+                       ::testing::Values(0.03, 0.5, 0.97)));
+
+}  // namespace
+}  // namespace waves::core

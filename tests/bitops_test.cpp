@@ -1,0 +1,101 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/space.hpp"
+
+namespace waves::util {
+namespace {
+
+TEST(Bitops, LsbIndex) {
+  EXPECT_EQ(lsb_index(1), 0);
+  EXPECT_EQ(lsb_index(2), 1);
+  EXPECT_EQ(lsb_index(12), 2);
+  EXPECT_EQ(lsb_index(std::uint64_t{1} << 63), 63);
+  EXPECT_EQ(lsb_index(0xF0F0), 4);
+}
+
+TEST(Bitops, MsbIndex) {
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(2), 1);
+  EXPECT_EQ(msb_index(3), 1);
+  EXPECT_EQ(msb_index(std::uint64_t{1} << 63), 63);
+  EXPECT_EQ(msb_index(~std::uint64_t{0}), 63);
+}
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 40));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(Bitops, NextPow2AtLeast) {
+  EXPECT_EQ(next_pow2_at_least(1), 1u);
+  EXPECT_EQ(next_pow2_at_least(2), 2u);
+  EXPECT_EQ(next_pow2_at_least(3), 4u);
+  EXPECT_EQ(next_pow2_at_least(96), 128u);
+  EXPECT_EQ(next_pow2_at_least(128), 128u);
+}
+
+TEST(Bitops, Logs) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(7), 2);
+  EXPECT_EQ(floor_log2(8), 3);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(7), 3);
+  EXPECT_EQ(ceil_log2(8), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+}
+
+TEST(Bitops, RankLevel) {
+  // Level = largest j with 2^j | rank: the ruler sequence.
+  const int expected[] = {0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 4};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rank_level(static_cast<std::uint64_t>(i + 1)), expected[i]);
+  }
+}
+
+TEST(Bitops, DetWaveLevels) {
+  // Paper's running example: eps = 1/3, N = 48 -> ceil(log2(2*48/3)) =
+  // ceil(log2 32) = 5 levels (Fig. 2 shows levels "by 1".."by 16").
+  EXPECT_EQ(det_wave_levels(3, 48), 5);
+  // 2 eps N <= 1: a single level suffices.
+  EXPECT_EQ(det_wave_levels(100, 10), 1);
+  // Powers of two round exactly.
+  EXPECT_EQ(det_wave_levels(1, 8), 4);
+}
+
+TEST(Bitops, SumWaveLevels) {
+  EXPECT_EQ(sum_wave_levels(3, 48, 1), 5);  // degenerates to the count case
+  EXPECT_GT(sum_wave_levels(10, 1000, 100), sum_wave_levels(10, 1000, 1));
+}
+
+TEST(SpaceBounds, MonotoneInAccuracy) {
+  EXPECT_GT(det_wave_bound_bits(0.01, 1 << 20),
+            det_wave_bound_bits(0.1, 1 << 20));
+  EXPECT_GT(rand_wave_bound_bits(0.05, 0.01, 1 << 20),
+            rand_wave_bound_bits(0.1, 0.01, 1 << 20));
+}
+
+TEST(SpaceBounds, LowerBelowUpper) {
+  // Theorem 2's lower bound sits below the Theorem 1 upper bound at the
+  // same error target (eps = 1/k).
+  for (std::uint64_t k : {4u, 16u, 64u}) {
+    const std::uint64_t n = 1 << 20;
+    EXPECT_LT(datar_lower_bound_bits(k, n),
+              det_wave_bound_bits(1.0 / static_cast<double>(k), n))
+        << "k=" << k;
+  }
+}
+
+TEST(SpaceBounds, Format) {
+  EXPECT_EQ(format_bits(100), "100 b");
+  EXPECT_NE(format_bits(1 << 20).find("Kib"), std::string::npos);
+  EXPECT_NE(format_bits(1 << 30).find("Mib"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace waves::util

@@ -1,0 +1,71 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::util {
+namespace {
+
+TEST(BitVec, AppendReadRoundTrip) {
+  BitVec bv;
+  bv.append(0b101, 3);
+  bv.append(0b1, 1);
+  bv.append(0xDEADBEEF, 32);
+  EXPECT_EQ(bv.bit_size(), 36u);
+  EXPECT_EQ(bv.read(0, 3), 0b101u);
+  EXPECT_EQ(bv.read(3, 1), 1u);
+  EXPECT_EQ(bv.read(4, 32), 0xDEADBEEFu);
+}
+
+TEST(BitVec, CrossWordBoundary) {
+  BitVec bv;
+  bv.append(0, 60);
+  bv.append(0b10110, 5);  // straddles the 64-bit boundary
+  EXPECT_EQ(bv.read(60, 5), 0b10110u);
+}
+
+TEST(BitVec, FullWidthWords) {
+  BitVec bv;
+  const std::uint64_t a = 0x0123456789ABCDEFull;
+  const std::uint64_t b = 0xFEDCBA9876543210ull;
+  bv.append(a, 64);
+  bv.append(b, 64);
+  EXPECT_EQ(bv.read(0, 64), a);
+  EXPECT_EQ(bv.read(64, 64), b);
+}
+
+TEST(BitVec, RandomizedRoundTrip) {
+  gf2::SplitMix64 rng(42);
+  BitVec bv;
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  std::size_t off = 0;
+  std::vector<std::size_t> offsets;
+  for (int i = 0; i < 2000; ++i) {
+    const int w = 1 + static_cast<int>(rng.next() % 64);
+    std::uint64_t v = rng.next();
+    if (w < 64) v &= (std::uint64_t{1} << w) - 1;
+    offsets.push_back(off);
+    fields.emplace_back(v, w);
+    bv.append(v, w);
+    off += static_cast<std::size_t>(w);
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    ASSERT_EQ(bv.read(offsets[i], fields[i].second), fields[i].first)
+        << "field " << i;
+  }
+}
+
+TEST(BitVec, Clear) {
+  BitVec bv;
+  bv.append(7, 3);
+  bv.clear();
+  EXPECT_EQ(bv.bit_size(), 0u);
+  bv.append(1, 1);
+  EXPECT_EQ(bv.read(0, 1), 1u);
+}
+
+}  // namespace
+}  // namespace waves::util

@@ -1,0 +1,102 @@
+#include "core/compact_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "stream/generators.hpp"
+#include "util/space.hpp"
+
+namespace waves::core {
+namespace {
+
+class CompactRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 double>> {};
+
+TEST_P(CompactRoundTrip, DecodedQueriesMatchLiveWave) {
+  const auto [inv_eps, window, density] = GetParam();
+  stream::BernoulliBits gen(density, inv_eps * 17 + window);
+  CompactWave cw(inv_eps, window);
+  for (int i = 0; i < 3000; ++i) {
+    cw.update(gen.next());
+    if (i % 257 == 0 || i == 2999) {
+      const util::BitVec bits = cw.encode();
+      const DecodedWave dw = cw.decode(bits);
+      for (std::uint64_t n = 1; n <= window; n += (window / 7) + 1) {
+        ASSERT_DOUBLE_EQ(dw.query(n).value, cw.query(n).value)
+            << "item " << i << " n=" << n;
+        ASSERT_EQ(dw.query(n).exact, cw.query(n).exact) << "n=" << n;
+      }
+      ASSERT_DOUBLE_EQ(dw.query(window).value, cw.query().value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompactRoundTrip,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 3, 10),
+                       ::testing::Values<std::uint64_t>(17, 64, 300),
+                       ::testing::Values(0.05, 0.5, 1.0)));
+
+TEST(CompactWave, WrapAroundBeyondModulus) {
+  // Stream far longer than N' so wrapped counters alias repeatedly; the
+  // decoded snapshot must keep answering correctly.
+  const std::uint64_t window = 32;  // N' = 64
+  CompactWave cw(4, window);
+  stream::BernoulliBits gen(0.5, 3);
+  for (int i = 0; i < 5000; ++i) {
+    cw.update(gen.next());
+    if (i > 64 && i % 97 == 0) {
+      const DecodedWave dw = cw.decode(cw.encode());
+      ASSERT_DOUBLE_EQ(dw.query(window).value, cw.query().value) << i;
+    }
+  }
+}
+
+TEST(CompactWave, MeasuredBitsWithinTheoremBand) {
+  // The measured delta-encoded size must sit within a constant factor of
+  // the Theorem 1 curve (1/eps) log^2(eps N) and above the Theorem 2
+  // lower bound.
+  for (std::uint64_t inv_eps : {4u, 16u}) {
+    for (std::uint64_t window : {1u << 10, 1u << 14}) {
+      CompactWave cw(inv_eps, window);
+      stream::BernoulliBits gen(0.5, inv_eps + window);
+      for (std::uint64_t i = 0; i < 3 * window; ++i) cw.update(gen.next());
+      const double measured = static_cast<double>(cw.measured_bits());
+      const double bound = util::det_wave_bound_bits(
+          1.0 / static_cast<double>(inv_eps), window);
+      const double lower = util::datar_lower_bound_bits(inv_eps, window);
+      EXPECT_LT(measured, 16.0 * bound)
+          << "inv_eps=" << inv_eps << " N=" << window;
+      EXPECT_GT(measured, lower / 16.0);
+    }
+  }
+}
+
+TEST(CompactWave, EmptyAndTinyStreams) {
+  CompactWave cw(3, 48);
+  const DecodedWave empty = cw.decode(cw.encode());
+  EXPECT_DOUBLE_EQ(empty.query(48).value, 0.0);
+  cw.update(true);
+  const DecodedWave one = cw.decode(cw.encode());
+  EXPECT_DOUBLE_EQ(one.query(48).value, 1.0);
+  EXPECT_TRUE(one.query(48).exact);
+}
+
+TEST(CompactWave, DeltaEncodingBeatsAbsolutePositions) {
+  // The whole point of the compact form: for large windows the encoding
+  // must be smaller than entries * 2 * log2(N') absolute representation.
+  const std::uint64_t inv_eps = 16, window = 1 << 16;
+  CompactWave cw(inv_eps, window);
+  stream::BernoulliBits gen(0.5, 5);
+  for (std::uint64_t i = 0; i < 2 * window; ++i) cw.update(gen.next());
+  const auto entries = cw.wave().entries().size();
+  const double absolute =
+      static_cast<double>(entries) * 2.0 * 17.0;  // log2 N' = 17
+  EXPECT_LT(static_cast<double>(cw.measured_bits()), absolute);
+}
+
+}  // namespace
+}  // namespace waves::core

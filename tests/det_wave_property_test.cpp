@@ -1,0 +1,138 @@
+// Property sweep for Theorem 1: for every (eps, density, stream shape),
+// every query over every window size stays within relative error eps, and
+// the optimal wave never does worse than the Lemma 1 guarantee that the
+// basic wave satisfies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/basic_wave.hpp"
+#include "core/det_wave.hpp"
+#include "stream/generators.hpp"
+
+namespace waves::core {
+namespace {
+
+std::unique_ptr<stream::BitStream> make_stream(const std::string& kind,
+                                               std::uint64_t seed) {
+  if (kind == "dense") {
+    return std::make_unique<stream::BernoulliBits>(0.9, seed);
+  }
+  if (kind == "sparse") {
+    return std::make_unique<stream::BernoulliBits>(0.02, seed);
+  }
+  if (kind == "half") {
+    return std::make_unique<stream::BernoulliBits>(0.5, seed);
+  }
+  if (kind == "bursty") {
+    return std::make_unique<stream::BurstyBits>(0.95, 0.01, 0.03, 0.03, seed);
+  }
+  if (kind == "ones") {
+    return std::make_unique<stream::AllOnes>();
+  }
+  return std::make_unique<stream::PeriodicBits>(7, 2);
+}
+
+class DetWaveProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::string>> {
+};
+
+TEST_P(DetWaveProperty, EveryWindowWithinEps) {
+  const auto [inv_eps, kind] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 257;  // deliberately not a power of two
+  auto gen = make_stream(kind, inv_eps * 7919);
+  DetWave w(inv_eps, window);
+  std::vector<bool> all;
+  for (int i = 0; i < 3000; ++i) {
+    const bool b = gen->next();
+    all.push_back(b);
+    w.update(b);
+    if (i % 53 == 0 || i > 2950) {
+      for (std::uint64_t n : {1u, 7u, 64u, 200u, 256u, 257u}) {
+        const std::size_t lo =
+            all.size() > n ? all.size() - static_cast<std::size_t>(n) : 0;
+        double exact = 0;
+        for (std::size_t k = lo; k < all.size(); ++k) exact += all[k] ? 1 : 0;
+        const double est = w.query(n).value;
+        ASSERT_LE(std::abs(est - exact), eps * exact + 1e-9)
+            << kind << " inv_eps=" << inv_eps << " item=" << i << " n=" << n
+            << " exact=" << exact << " est=" << est;
+      }
+    }
+  }
+}
+
+TEST_P(DetWaveProperty, MatchesBasicWaveGuarantee) {
+  // Both structures obey the same bound; additionally, where the basic
+  // wave is exact at the window start anchor, both must be within eps of
+  // each other (they bracket the same truth).
+  const auto [inv_eps, kind] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 128;
+  auto gen = make_stream(kind, inv_eps * 104729);
+  DetWave opt(inv_eps, window);
+  BasicWave basic(inv_eps, window);
+  std::vector<bool> all;
+  for (int i = 0; i < 1500; ++i) {
+    const bool b = gen->next();
+    all.push_back(b);
+    opt.update(b);
+    basic.update(b);
+    if (i % 67 == 0) {
+      for (std::uint64_t n : {16u, 100u, 128u}) {
+        const std::size_t lo =
+            all.size() > n ? all.size() - static_cast<std::size_t>(n) : 0;
+        double exact = 0;
+        for (std::size_t k = lo; k < all.size(); ++k) exact += all[k] ? 1 : 0;
+        ASSERT_LE(std::abs(opt.query(n).value - exact), eps * exact + 1e-9);
+        ASSERT_LE(std::abs(basic.query(n).value - exact), eps * exact + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetWaveProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 4, 10, 25),
+                       ::testing::Values(std::string("dense"),
+                                         std::string("sparse"),
+                                         std::string("half"),
+                                         std::string("bursty"),
+                                         std::string("ones"),
+                                         std::string("periodic"))));
+
+class DetWaveWindows : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetWaveWindows, ExhaustiveWindowsOnSmallStream) {
+  // For a small stream, check *every* window size after *every* item.
+  const std::uint64_t window = GetParam();
+  const std::uint64_t inv_eps = 3;
+  stream::BernoulliBits gen(0.5, window * 13 + 1);
+  DetWave w(inv_eps, window);
+  std::vector<bool> all;
+  for (int i = 0; i < 400; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    w.update(b);
+    for (std::uint64_t n = 1; n <= window; ++n) {
+      const std::size_t lo =
+          all.size() > n ? all.size() - static_cast<std::size_t>(n) : 0;
+      double exact = 0;
+      for (std::size_t k = lo; k < all.size(); ++k) exact += all[k] ? 1 : 0;
+      ASSERT_LE(std::abs(w.query(n).value - exact), exact / 3.0 + 1e-9)
+          << "item " << i << " n " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DetWaveWindows,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 5, 16, 33,
+                                                          64, 100));
+
+}  // namespace
+}  // namespace waves::core

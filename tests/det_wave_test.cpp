@@ -1,0 +1,131 @@
+#include "core/det_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stream/generators.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(DetWave, ExactOnShortStream) {
+  DetWave w(4, 64);
+  int ones = 0;
+  for (int i = 0; i < 60; ++i) {
+    const bool b = (i % 3) != 0;
+    w.update(b);
+    ones += b ? 1 : 0;
+    const Estimate e = w.query();
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, ones);
+  }
+}
+
+TEST(DetWave, ZeroAfterOnesLeaveWindow) {
+  DetWave w(4, 32);
+  for (int i = 0; i < 10; ++i) w.update(true);
+  for (int i = 0; i < 50; ++i) w.update(false);
+  const Estimate e = w.query();
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+}
+
+TEST(DetWave, AllOnesFullWindow) {
+  // Estimates must stay within eps of N on a saturated window.
+  const std::uint64_t window = 1000;
+  DetWave w(10, window);
+  for (int i = 0; i < 5000; ++i) w.update(true);
+  const double est = w.query().value;
+  EXPECT_LE(std::abs(est - 1000.0), 100.0 + 1e-9);
+}
+
+TEST(DetWave, DiscardedRankTracksExpiry) {
+  DetWave w(1, 8);  // tiny wave, aggressive expiry
+  for (int i = 0; i < 100; ++i) w.update(true);
+  // All but the last 8 ranks expired or were evicted; the largest
+  // discarded rank must be close behind rank - 8.
+  EXPECT_GE(w.largest_discarded_rank(), 80u);
+  EXPECT_LT(w.largest_discarded_rank(), 100u);
+}
+
+TEST(DetWave, EstimateNeverExceedsBracket) {
+  // The estimate is the midpoint of [rank - r2 + 1, rank - r1]; it can
+  // never exceed the window size by more than the eps band.
+  DetWave w(2, 100);
+  stream::BernoulliBits gen(0.7, 5);
+  for (int i = 0; i < 3000; ++i) {
+    w.update(gen.next());
+    const double est = w.query().value;
+    ASSERT_GE(est, 0.0);
+    ASSERT_LE(est, 100.0 * 1.5 + 1.0);
+  }
+}
+
+TEST(DetWave, SingleLevelDegenerateCase) {
+  // 2*eps*N <= 1 collapses to one level: every 1 is stored, estimates for
+  // the full window are near-exact.
+  DetWave w(100, 10);
+  EXPECT_EQ(w.levels(), 1);
+  std::vector<bool> all;
+  stream::BernoulliBits gen(0.5, 9);
+  for (int i = 0; i < 500; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    w.update(b);
+    const auto exact =
+        static_cast<double>(stream::exact_ones_in_window(all, 10));
+    ASSERT_NEAR(w.query().value, exact, 0.1 * exact + 1e-9);
+  }
+}
+
+TEST(DetWave, SpaceAccountingScales) {
+  DetWave coarse(4, 1 << 16), fine(64, 1 << 16);
+  EXPECT_GT(fine.space_bits(), coarse.space_bits());
+  DetWave small(8, 1 << 8), big(8, 1 << 20);
+  EXPECT_GT(big.space_bits(), small.space_bits());
+}
+
+TEST(DetWave, EntriesSortedByPosition) {
+  DetWave w(3, 64);
+  stream::BernoulliBits gen(0.5, 21);
+  for (int i = 0; i < 1000; ++i) w.update(gen.next());
+  const auto es = w.entries();
+  for (std::size_t i = 1; i < es.size(); ++i) {
+    ASSERT_GT(es[i].first, es[i - 1].first);
+    ASSERT_GT(es[i].second, es[i - 1].second);
+  }
+}
+
+TEST(DetWave, MostRecentOneAlwaysStored) {
+  DetWave w(2, 128);
+  stream::BernoulliBits gen(0.1, 33);
+  std::uint64_t last_one = 0;
+  for (int i = 1; i <= 4000; ++i) {
+    const bool b = gen.next();
+    w.update(b);
+    if (b) last_one = static_cast<std::uint64_t>(i);
+    if (last_one > 0 && static_cast<std::uint64_t>(i) < last_one + 128) {
+      const auto es = w.entries();
+      ASSERT_FALSE(es.empty());
+      ASSERT_EQ(es.back().first, last_one);
+    }
+  }
+}
+
+TEST(DetWave, WeakModelIdenticalOnRandomStream) {
+  DetWave fast(5, 256, false), weak(5, 256, true);
+  stream::BernoulliBits gen(0.5, 77);
+  for (int i = 0; i < 5000; ++i) {
+    const bool b = gen.next();
+    fast.update(b);
+    weak.update(b);
+    if (i % 101 == 0) {
+      ASSERT_DOUBLE_EQ(fast.query().value, weak.query().value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waves::core

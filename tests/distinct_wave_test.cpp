@@ -1,0 +1,138 @@
+#include "core/distinct_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/value_streams.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(DistinctWave, ExactAtLowLevels) {
+  // Few distinct values: level 0 holds them all and the estimate is exact.
+  DistinctWave::Params p{.eps = 0.5, .window = 128, .max_value = 1000, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(5);
+  DistinctWave w(p, f, coins);
+  for (int i = 0; i < 100; ++i) w.update(static_cast<std::uint64_t>(i % 10));
+  EXPECT_DOUBLE_EQ(w.estimate(128).value, 10.0);
+}
+
+TEST(DistinctWave, RepeatsRefreshPosition) {
+  // A value that keeps recurring never expires.
+  DistinctWave::Params p{.eps = 0.5, .window = 16, .max_value = 100, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(6);
+  DistinctWave w(p, f, coins);
+  for (int i = 0; i < 500; ++i) w.update(7);
+  EXPECT_DOUBLE_EQ(w.estimate(16).value, 1.0);
+}
+
+TEST(DistinctWave, ExpiryDropsStaleValues) {
+  DistinctWave::Params p{.eps = 0.5, .window = 32, .max_value = 1000, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(8);
+  DistinctWave w(p, f, coins);
+  // Ten distinct values, then a long run of a single different value.
+  for (std::uint64_t v = 100; v < 110; ++v) w.update(v);
+  for (int i = 0; i < 64; ++i) w.update(999);
+  EXPECT_DOUBLE_EQ(w.estimate(32).value, 1.0);
+}
+
+TEST(DistinctWave, WindowedQuerySmallerN) {
+  DistinctWave::Params p{.eps = 0.5, .window = 100, .max_value = 500, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(9);
+  DistinctWave w(p, f, coins);
+  // Values 1..20 then values 21..25 repeated.
+  for (std::uint64_t v = 1; v <= 20; ++v) w.update(v);
+  for (int r = 0; r < 8; ++r) {
+    for (std::uint64_t v = 21; v <= 25; ++v) w.update(v);
+  }
+  // Last 40 items only contain 21..25.
+  EXPECT_DOUBLE_EQ(w.estimate(40).value, 5.0);
+  // Full window sees all 25.
+  EXPECT_DOUBLE_EQ(w.estimate(100).value, 25.0);
+}
+
+TEST(DistinctWave, SingleInstanceAccuracyOnZipf) {
+  DistinctWave::Params p{.eps = 0.3, .window = 500, .max_value = 5000, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(77);
+  DistinctWave w(p, f, coins);
+  stream::ZipfValues gen(5000, 1.1, 13);
+  std::vector<std::uint64_t> all;
+  int checks = 0, failures = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    w.update(v);
+    if (i > 800 && i % 307 == 0) {
+      const auto exact = static_cast<double>(
+          stream::exact_distinct_in_window(all, 500));
+      const double est = w.estimate(500).value;
+      ++checks;
+      if (std::abs(est - exact) > 0.3 * exact) ++failures;
+    }
+  }
+  ASSERT_GT(checks, 30);
+  EXPECT_LT(static_cast<double>(failures) / checks, 1.0 / 3.0);
+}
+
+TEST(DistinctWave, CoordinatedUnionAcrossParties) {
+  // Two parties with disjoint value sets: the union estimate must track
+  // the combined distinct count; shared values must not double count.
+  DistinctWave::Params p{.eps = 0.5,
+                         .window = 200,
+                         .max_value = 10000,
+                         .c = 36,
+                         .universe_hint = 400};
+  const gf2::Field f1(DistinctWave::field_dimension(p));
+  const gf2::Field f2(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness c1(31337), c2(31337);
+  DistinctWave a(p, f1, c1), b(p, f2, c2);
+  // Party A sees 1..30, party B sees 21..50 (overlap 21..30).
+  for (int r = 0; r < 5; ++r) {
+    for (std::uint64_t v = 1; v <= 30; ++v) a.update(v);
+    for (std::uint64_t v = 21; v <= 50; ++v) b.update(v);
+  }
+  // Align lengths.
+  ASSERT_EQ(a.pos(), b.pos());
+  const DistinctSnapshot snaps[2] = {a.snapshot(150), b.snapshot(150)};
+  const double est = referee_distinct_count(snaps, 150, a.hash()).value;
+  EXPECT_DOUBLE_EQ(est, 50.0);
+}
+
+TEST(DistinctWave, PredicateFilterAtReferee) {
+  DistinctWave::Params p{.eps = 0.5, .window = 100, .max_value = 1000, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(55);
+  DistinctWave w(p, f, coins);
+  for (std::uint64_t v = 1; v <= 40; ++v) w.update(v);
+  const DistinctSnapshot snaps[1] = {w.snapshot(100)};
+  const double evens =
+      referee_distinct_count(snaps, 100, w.hash(),
+                             [](std::uint64_t v) { return v % 2 == 0; })
+          .value;
+  EXPECT_DOUBLE_EQ(evens, 20.0);
+}
+
+TEST(DistinctWave, SpaceAccounting) {
+  DistinctWave::Params small{.eps = 0.5, .window = 1 << 8, .max_value = 255,
+                             .c = 36};
+  DistinctWave::Params big{.eps = 0.5, .window = 1 << 16,
+                           .max_value = (1u << 20) - 1, .c = 36};
+  const gf2::Field fs(DistinctWave::field_dimension(small));
+  const gf2::Field fb(DistinctWave::field_dimension(big));
+  gf2::SharedRandomness c1(1), c2(1);
+  DistinctWave a(small, fs, c1), b(big, fb, c2);
+  EXPECT_GT(b.space_bits(), a.space_bits());
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,107 @@
+// Boundary parameters: the smallest legal configurations of every
+// structure must behave, not just the comfortable middle of the range.
+#include <gtest/gtest.h>
+
+#include "core/det_wave.hpp"
+#include "core/distinct_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "core/ts_wave.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "util/bitops.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(EdgeCases, WindowOfOne) {
+  DetWave w(1, 1);
+  for (int i = 0; i < 100; ++i) {
+    const bool b = (i % 3) == 0;
+    w.update(b);
+    const Estimate e = w.query();
+    EXPECT_DOUBLE_EQ(e.value, b ? 1.0 : 0.0) << i;
+  }
+}
+
+TEST(EdgeCases, CoarsestAccuracy) {
+  // inv_eps = 1 (eps = 100%): estimates must still be within a factor 2
+  // band [0, 2*exact].
+  DetWave w(1, 64);
+  for (int i = 0; i < 1000; ++i) {
+    w.update(i % 2 == 0);
+    const double est = w.query().value;
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 64.0);
+  }
+}
+
+TEST(EdgeCases, SumWindowOneValueOne) {
+  SumWave w(1, 1, 1);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(i % 2);
+    w.update(v);
+    EXPECT_DOUBLE_EQ(w.query().value, static_cast<double>(v)) << i;
+  }
+}
+
+TEST(EdgeCases, TsWaveOneItemPerWindow) {
+  TsWave w(1, 1, 1);
+  for (std::uint64_t p = 1; p <= 50; ++p) {
+    w.update(p, p % 2 == 0);
+    const Estimate e = w.query();
+    EXPECT_DOUBLE_EQ(e.value, (p % 2 == 0) ? 1.0 : 0.0) << p;
+  }
+}
+
+TEST(EdgeCases, TsWaveAllItemsOnePosition) {
+  // U items all at the same position, window 1.
+  TsWave w(2, 1, 64);
+  for (int i = 0; i < 64; ++i) w.update(1, true);
+  EXPECT_LE(std::abs(w.query().value - 64.0), 32.0 + 1e-9);
+  w.update(2, false);  // position 1 leaves
+  EXPECT_DOUBLE_EQ(w.query().value, 0.0);
+}
+
+TEST(EdgeCases, RandWaveWindowOne) {
+  const gf2::Field f(util::floor_log2(util::next_pow2_at_least(2)));
+  gf2::SharedRandomness coins(3);
+  RandWave w({.eps = 0.9, .window = 1, .c = 36}, f, coins);
+  for (int i = 0; i < 100; ++i) {
+    const bool b = (i % 4) == 0;
+    w.update(b);
+    EXPECT_DOUBLE_EQ(w.estimate(1).value, b ? 1.0 : 0.0) << i;
+  }
+}
+
+TEST(EdgeCases, DistinctWaveBinaryValues) {
+  DistinctWave::Params p{.eps = 0.5, .window = 8, .max_value = 1, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(5);
+  DistinctWave w(p, f, coins);
+  for (int i = 0; i < 100; ++i) {
+    w.update(static_cast<std::uint64_t>(i % 2));
+    EXPECT_DOUBLE_EQ(w.estimate(8).value, i == 0 ? 1.0 : 2.0) << i;
+  }
+}
+
+TEST(EdgeCases, QueriesBeforeAnyItem) {
+  DetWave d(4, 16);
+  EXPECT_DOUBLE_EQ(d.query(16).value, 0.0);
+  SumWave s(4, 16, 10);
+  EXPECT_DOUBLE_EQ(s.query(16).value, 0.0);
+  const gf2::Field f(util::floor_log2(util::next_pow2_at_least(32)));
+  gf2::SharedRandomness coins(9);
+  RandWave r({.eps = 0.5, .window = 16, .c = 36}, f, coins);
+  EXPECT_DOUBLE_EQ(r.estimate(16).value, 0.0);
+}
+
+TEST(EdgeCases, HugeWindowTinyStream) {
+  DetWave w(10, std::uint64_t{1} << 40);
+  for (int i = 0; i < 100; ++i) w.update(true);
+  const Estimate e = w.query(std::uint64_t{1} << 40);
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 100.0);
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "baseline/eh_count.hpp"
+#include "baseline/eh_sum.hpp"
+#include "stream/generators.hpp"
+#include "stream/value_streams.hpp"
+
+namespace waves::baseline {
+namespace {
+
+double rel_err(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+TEST(EhCount, ExactWhileStreamShort) {
+  EhCount eh(10, 100);
+  int ones = 0;
+  for (int i = 0; i < 50; ++i) {
+    const bool b = (i % 3) == 0;
+    eh.update(b);
+    ones += b ? 1 : 0;
+    ASSERT_DOUBLE_EQ(eh.query(), ones);
+  }
+}
+
+TEST(EhCount, AllZeros) {
+  EhCount eh(4, 64);
+  for (int i = 0; i < 1000; ++i) eh.update(false);
+  EXPECT_DOUBLE_EQ(eh.query(), 0.0);
+  EXPECT_EQ(eh.bucket_count(), 0u);
+}
+
+class EhCountAccuracy
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(EhCountAccuracy, WithinEps) {
+  const auto [inv_eps, density] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 512;
+  stream::BernoulliBits gen(density, inv_eps * 31 + 7);
+  EhCount eh(inv_eps, window);
+  std::vector<bool> all;
+  for (int i = 0; i < 5000; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    eh.update(b);
+    if (i > 600 && i % 37 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(all, window));
+      ASSERT_LE(rel_err(eh.query(), exact), eps + 1e-12)
+          << "at item " << i << " exact=" << exact << " est=" << eh.query();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EhCountAccuracy,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 4, 10, 20),
+                       ::testing::Values(0.05, 0.5, 0.95)));
+
+TEST(EhCount, MergeCascadesGrowWithWindow) {
+  // All-ones streams maximize merges; the worst-case cascade grows with
+  // log N — the behavior Theorem 1's O(1) update removes.
+  int prev = 0;
+  for (std::uint64_t window : {1u << 6, 1u << 10, 1u << 14}) {
+    EhCount eh(8, window);
+    for (std::uint64_t i = 0; i < 3 * window; ++i) eh.update(true);
+    EXPECT_GE(eh.max_merges(), prev);
+    prev = eh.max_merges();
+  }
+  EXPECT_GE(prev, 8);
+}
+
+TEST(EhCount, GeneralWindowQuery) {
+  EhCount eh(10, 256);
+  stream::BernoulliBits gen(0.4, 3);
+  std::vector<bool> all;
+  for (int i = 0; i < 2000; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    eh.update(b);
+  }
+  for (std::uint64_t n : {32u, 100u, 200u, 256u}) {
+    const auto exact =
+        static_cast<double>(stream::exact_ones_in_window(all, n));
+    EXPECT_LE(rel_err(eh.query(n), exact), 0.1 + 1e-12) << "n=" << n;
+  }
+}
+
+TEST(EhCount, SpaceGrowsWithAccuracy) {
+  EhCount coarse(4, 4096), fine(64, 4096);
+  stream::BernoulliBits gen(0.5, 5);
+  for (int i = 0; i < 20000; ++i) {
+    const bool b = gen.next();
+    coarse.update(b);
+    fine.update(b);
+  }
+  EXPECT_GT(fine.space_bits(), coarse.space_bits());
+}
+
+TEST(EhSum, ExactWhileStreamShort) {
+  EhSum eh(10, 100, 50);
+  std::uint64_t sum = 0;
+  stream::UniformValues gen(0, 50, 2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = gen.next();
+    eh.update(v);
+    sum += v;
+    ASSERT_DOUBLE_EQ(eh.query(), static_cast<double>(sum));
+  }
+}
+
+class EhSumAccuracy
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(EhSumAccuracy, WithinEps) {
+  const auto [inv_eps, max_value] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 256;
+  stream::UniformValues gen(0, max_value, inv_eps + max_value);
+  EhSum eh(inv_eps, window, max_value);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    eh.update(v);
+    if (i > 300 && i % 41 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_sum_in_window(all, window));
+      ASSERT_LE(rel_err(eh.query(), exact), eps + 1e-12)
+          << "item " << i << " exact=" << exact << " est=" << eh.query();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EhSumAccuracy,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 8, 16),
+                       ::testing::Values<std::uint64_t>(1, 7, 255, 4095)));
+
+TEST(EhSum, ZeroValuesAreFree) {
+  EhSum eh(8, 128, 100);
+  for (int i = 0; i < 1000; ++i) eh.update(0);
+  EXPECT_EQ(eh.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(eh.query(), 0.0);
+}
+
+TEST(EhSum, WorstCaseUpdateCostGrowsWithR) {
+  // Large values decompose into many buckets: per-update merge work grows
+  // with log R (the cost the sum wave's O(1) avoids).
+  EhSum small(8, 256, 3), large(8, 256, (1u << 20) - 1);
+  stream::UniformValues gs(0, 3, 5), gl(0, (1u << 20) - 1, 5);
+  for (int i = 0; i < 4000; ++i) {
+    small.update(gs.next());
+    large.update(gl.next());
+  }
+  EXPECT_GT(large.max_merges(), small.max_merges());
+}
+
+}  // namespace
+}  // namespace waves::baseline

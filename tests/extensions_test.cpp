@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/extensions/average.hpp"
+#include "core/extensions/nth_one.hpp"
+#include "core/extensions/predicate_sample.hpp"
+#include "gf2/gf2.hpp"
+#include "stream/generators.hpp"
+#include "stream/value_streams.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(NthOne, ExactOnDenseStream) {
+  // All-ones stream: the nth most recent 1 is at position pos - n + 1.
+  NthOneWave w(4, 256);
+  for (int i = 0; i < 200; ++i) w.update(true);
+  for (std::uint64_t nth : {1u, 5u, 50u, 150u}) {
+    const auto ans = w.query(nth);
+    ASSERT_TRUE(ans.has_value());
+    const double truth = 200.0 - static_cast<double>(nth) + 1.0;
+    const double age_true = 200.0 - truth;
+    const double age_est = 200.0 - ans->position;
+    EXPECT_LE(std::abs(age_est - age_true), 0.25 * (age_true + 1.0) + 1.0)
+        << "nth=" << nth;
+  }
+}
+
+TEST(NthOne, SparseStreamWithinEps) {
+  NthOneWave w(8, 4096);
+  stream::BernoulliBits gen(0.05, 17);
+  std::vector<std::uint64_t> one_positions;
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const bool b = gen.next();
+    ++pos;
+    if (b) one_positions.push_back(pos);
+    w.update(b);
+  }
+  for (std::uint64_t nth : {1u, 10u, 50u}) {
+    if (one_positions.size() < nth) continue;
+    const auto ans = w.query(nth);
+    ASSERT_TRUE(ans.has_value()) << nth;
+    const double truth =
+        static_cast<double>(one_positions[one_positions.size() - nth]);
+    const double age_true = static_cast<double>(pos) - truth;
+    const double age_est = static_cast<double>(pos) - ans->position;
+    EXPECT_LE(std::abs(age_est - age_true), 0.125 * (age_true + 1.0) + 1.0)
+        << "nth=" << nth;
+  }
+}
+
+TEST(NthOne, NotEnoughOnes) {
+  NthOneWave w(4, 64);
+  w.update(true);
+  w.update(false);
+  EXPECT_TRUE(w.query(1).has_value());
+  EXPECT_FALSE(w.query(2).has_value());
+}
+
+TEST(NthOne, AgedOutBeyondSpan) {
+  NthOneWave w(4, 32);
+  w.update(true);
+  for (int i = 0; i < 100; ++i) w.update(false);
+  // The only 1 is ~100 positions back, beyond the provisioned span.
+  EXPECT_FALSE(w.query(1).has_value());
+}
+
+TEST(SlidingAverage, ExactCountComposition) {
+  SlidingAverage avg(10, 100, 1000);
+  stream::UniformValues gen(0, 1000, 9);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    avg.update(v);
+    if (i > 100 && i % 61 == 0) {
+      const double exact_sum =
+          static_cast<double>(stream::exact_sum_in_window(all, 100));
+      const double exact_avg = exact_sum / 100.0;
+      const auto est = avg.query(100);
+      ASSERT_TRUE(est.has_value());
+      ASSERT_LE(std::abs(*est - exact_avg), 0.1 * exact_avg + 1e-9) << i;
+    }
+  }
+}
+
+TEST(SlidingAverage, EmptyStream) {
+  SlidingAverage avg(4, 10, 10);
+  EXPECT_FALSE(avg.query(10).has_value());
+}
+
+TEST(FlaggedAverage, RatioComposition) {
+  // Average duration of flagged items; both numerator and denominator are
+  // estimates at eps' = eps/(2+eps), ratio within eps.
+  const std::uint64_t inv_eps = 10;
+  FlaggedAverage avg(inv_eps, 200, 1000);
+  stream::UniformValues vals(100, 1000, 3);
+  stream::BernoulliBits flags(0.3, 5);
+  std::vector<std::pair<bool, std::uint64_t>> all;
+  for (int i = 0; i < 3000; ++i) {
+    const bool fl = flags.next();
+    const std::uint64_t v = vals.next();
+    all.emplace_back(fl, v);
+    avg.update(fl, v);
+    if (i > 400 && i % 83 == 0) {
+      double sum = 0, cnt = 0;
+      for (std::size_t k = all.size() - 200; k < all.size(); ++k) {
+        if (all[k].first) {
+          sum += static_cast<double>(all[k].second);
+          ++cnt;
+        }
+      }
+      if (cnt == 0) continue;
+      const double exact_avg = sum / cnt;
+      const auto est = avg.query(200);
+      ASSERT_TRUE(est.has_value());
+      ASSERT_LE(std::abs(*est - exact_avg), 0.1 * exact_avg + 1e-9) << i;
+    }
+  }
+}
+
+TEST(RatioComponentEps, Formula) {
+  // eps = 1/10 -> eps' = (1/10)/(2 + 1/10) = 1/21.
+  EXPECT_EQ(ratio_component_inv_eps(10), 21u);
+  EXPECT_EQ(ratio_component_inv_eps(1), 3u);
+}
+
+TEST(PredicateDistinct, SelectivityScaledSample) {
+  DistinctWave::Params p{.eps = 0.4, .window = 300, .max_value = 10000,
+                         .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(11);
+  PredicateDistinctWave w(p, /*alpha=*/0.25, f, coins);
+  // 200 distinct values, a quarter divisible by 4.
+  for (int r = 0; r < 3; ++r) {
+    for (std::uint64_t v = 1; v <= 200; ++v) w.update(v);
+  }
+  const auto all = w.estimate(300);
+  const auto quarters = w.estimate_where(
+      300, [](std::uint64_t v) { return v % 4 == 0; });
+  EXPECT_NEAR(all.value, 200.0, 0.4 * 200.0);
+  EXPECT_NEAR(quarters.value, 50.0, 0.4 * 50.0 + 8.0);
+}
+
+TEST(PredicateDistinct, EmptyPredicate) {
+  DistinctWave::Params p{.eps = 0.5, .window = 64, .max_value = 100, .c = 36};
+  const gf2::Field f(DistinctWave::field_dimension(p));
+  gf2::SharedRandomness coins(21);
+  PredicateDistinctWave w(p, 0.5, f, coins);
+  for (std::uint64_t v = 1; v <= 30; ++v) w.update(v);
+  const auto none =
+      w.estimate_where(64, [](std::uint64_t) { return false; });
+  EXPECT_DOUBLE_EQ(none.value, 0.0);
+}
+
+}  // namespace
+}  // namespace waves::core

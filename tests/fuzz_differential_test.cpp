@@ -1,0 +1,197 @@
+// Randomized differential fuzzing: every synopsis vs a brute-force oracle,
+// with randomized parameters, stream shapes, query times and window sizes.
+// Seeds are fixed per test for reproducibility; each failure message
+// carries the full parameter tuple.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "baseline/eh_count.hpp"
+#include "baseline/eh_sum.hpp"
+#include "core/compact_wave.hpp"
+#include "core/det_wave.hpp"
+#include "core/mod_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "core/ts_wave.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves {
+namespace {
+
+// Sliding-window oracle over the last N items.
+class Oracle {
+ public:
+  explicit Oracle(std::size_t window) : window_(window) {}
+  void push(std::uint64_t v) {
+    buf_.push_back(v);
+    sum_ += static_cast<double>(v);
+    if (buf_.size() > window_) {
+      sum_ -= static_cast<double>(buf_.front());
+      buf_.pop_front();
+    }
+  }
+  [[nodiscard]] double sum_last(std::size_t n) const {
+    double s = 0;
+    const std::size_t take = std::min(n, buf_.size());
+    for (std::size_t i = buf_.size() - take; i < buf_.size(); ++i) {
+      s += static_cast<double>(buf_[i]);
+    }
+    return s;
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<std::uint64_t> buf_;
+  double sum_ = 0;
+};
+
+class FuzzCounting : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCounting, AllCountingStructuresAgainstOracle) {
+  gf2::SplitMix64 rng(GetParam() * 2654435761u + 1);
+  for (int round = 0; round < 6; ++round) {
+    const std::uint64_t inv_eps = 1 + rng.next() % 24;
+    const std::uint64_t window = 2 + rng.next() % 400;
+    const double eps = 1.0 / static_cast<double>(inv_eps);
+    const double density =
+        static_cast<double>(rng.next() % 1000) / 1000.0;
+    const std::uint64_t th =
+        static_cast<std::uint64_t>(density * 18446744073709551615.0);
+
+    core::DetWave det(inv_eps, window);
+    core::ModWave mod(inv_eps, window);
+    core::CompactWave compact(inv_eps, window);
+    baseline::EhCount eh(inv_eps, window);
+    Oracle oracle(window);
+
+    const std::uint64_t items = 1000 + rng.next() % 4000;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const bool b = rng.next() < th;
+      det.update(b);
+      mod.update(b);
+      compact.update(b);
+      eh.update(b);
+      oracle.push(b ? 1 : 0);
+
+      if (rng.next() % 151 == 0) {
+        const std::uint64_t n = 1 + rng.next() % window;
+        const double exact = oracle.sum_last(n);
+        const double d = det.query(n).value;
+        const double m = mod.query(n).value;
+        ASSERT_DOUBLE_EQ(d, m)
+            << "det/mod diverge: inv_eps=" << inv_eps << " W=" << window
+            << " i=" << i << " n=" << n;
+        ASSERT_LE(std::abs(d - exact), eps * exact + 1e-9)
+            << "det: inv_eps=" << inv_eps << " W=" << window << " i=" << i
+            << " n=" << n << " exact=" << exact;
+        const auto decoded = compact.decode(compact.encode());
+        ASSERT_DOUBLE_EQ(decoded.query(n).value, compact.query(n).value)
+            << "codec: inv_eps=" << inv_eps << " W=" << window << " i=" << i;
+        const double e = eh.query(n);
+        ASSERT_LE(std::abs(e - exact), eps * exact + 1e-9)
+            << "eh: inv_eps=" << inv_eps << " W=" << window << " i=" << i
+            << " n=" << n << " exact=" << exact << " est=" << e;
+      }
+    }
+  }
+}
+
+class FuzzSums : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSums, SumWaveAndEhSumAgainstOracle) {
+  gf2::SplitMix64 rng(GetParam() * 40503u + 7);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint64_t inv_eps = 1 + rng.next() % 20;
+    const std::uint64_t window = 2 + rng.next() % 300;
+    const std::uint64_t max_value = 1 + rng.next() % 100000;
+    const double eps = 1.0 / static_cast<double>(inv_eps);
+
+    core::SumWave wave(inv_eps, window, max_value);
+    baseline::EhSum eh(inv_eps, window, max_value);
+    Oracle oracle(window);
+
+    const std::uint64_t items = 800 + rng.next() % 3000;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      // Mix of zeros, small and near-max values.
+      std::uint64_t v = 0;
+      switch (rng.next() % 4) {
+        case 0: v = 0; break;
+        case 1: v = rng.next() % (max_value / 8 + 1); break;
+        case 2: v = rng.next() % (max_value + 1); break;
+        default: v = max_value; break;
+      }
+      wave.update(v);
+      eh.update(v);
+      oracle.push(v);
+
+      if (rng.next() % 127 == 0) {
+        const double exact = oracle.sum_last(window);
+        ASSERT_LE(std::abs(wave.query().value - exact), eps * exact + 1e-6)
+            << "sumwave: inv_eps=" << inv_eps << " W=" << window
+            << " R=" << max_value << " i=" << i;
+        ASSERT_LE(std::abs(eh.query() - exact), eps * exact + 1e-6)
+            << "ehsum: inv_eps=" << inv_eps << " W=" << window
+            << " R=" << max_value << " i=" << i;
+        // General-window query on the wave.
+        const std::uint64_t n = 1 + rng.next() % window;
+        const double exact_n = oracle.sum_last(n);
+        ASSERT_LE(std::abs(wave.query(n).value - exact_n),
+                  eps * exact_n + 1e-6)
+            << "sumwave(n): n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+class FuzzTimestamps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTimestamps, TsWaveAgainstOracle) {
+  gf2::SplitMix64 rng(GetParam() * 69069u + 11);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint64_t inv_eps = 1 + rng.next() % 16;
+    const std::uint64_t window = 2 + rng.next() % 128;
+    const std::uint32_t per_tick = 1 + static_cast<std::uint32_t>(rng.next() % 12);
+    const double eps = 1.0 / static_cast<double>(inv_eps);
+
+    core::TsWave wave(inv_eps, window, window * per_tick);
+    std::vector<std::pair<std::uint64_t, bool>> all;
+    std::uint64_t pos = 0;
+    const std::uint64_t items = 1000 + rng.next() % 5000;
+    std::uint32_t left = 0;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      if (left == 0) {
+        ++pos;
+        left = 1 + static_cast<std::uint32_t>(rng.next() % per_tick);
+      }
+      --left;
+      const bool b = (rng.next() & 1u) != 0;
+      all.emplace_back(pos, b);
+      wave.update(pos, b);
+
+      if (rng.next() % 173 == 0 && pos > 1) {
+        const std::uint64_t n = 1 + rng.next() % window;
+        const std::uint64_t start = pos >= n ? pos - n + 1 : 1;
+        double exact = 0;
+        for (const auto& [p, bit] : all) {
+          if (p >= start && bit) ++exact;
+        }
+        ASSERT_LE(std::abs(wave.query(n).value - exact), eps * exact + 1e-9)
+            << "tswave: inv_eps=" << inv_eps << " W=" << window
+            << " per_tick=" << per_tick << " i=" << i << " n=" << n
+            << " exact=" << exact;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCounting,
+                         ::testing::Range<std::uint64_t>(1, 13));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSums,
+                         ::testing::Range<std::uint64_t>(1, 11));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTimestamps,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace waves

@@ -1,0 +1,168 @@
+// Randomized-structure fuzzing: the (eps, delta) estimators against
+// brute-force oracles under random parameters, with failure-rate (not
+// per-query) assertions, since individual queries may legitimately miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distinct_wave.hpp"
+#include "core/median_estimator.hpp"
+#include "core/rand_wave.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "util/bitops.hpp"
+
+namespace waves {
+namespace {
+
+class FuzzRandWave : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRandWave, MedianCountTracksOracle) {
+  gf2::SplitMix64 rng(GetParam() * 7901 + 13);
+  int checks = 0, failures = 0;
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t window = 256 + rng.next() % 4096;
+    const double eps = 0.15 + 0.2 * static_cast<double>(rng.next() % 100) / 100.0;
+    const gf2::Field f(
+        util::floor_log2(util::next_pow2_at_least(2 * window)));
+    gf2::SharedRandomness coins(rng.next());
+    core::MedianCountWave w({.eps = eps, .window = window, .c = 36}, 7, f,
+                            coins);
+    std::deque<bool> ring;
+    std::uint64_t in_window = 0;
+    const std::uint64_t th = rng.next();  // random density
+    const std::uint64_t items = 3 * window;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const bool b = rng.next() < th;
+      ring.push_back(b);
+      in_window += b ? 1 : 0;
+      if (ring.size() > window) {
+        in_window -= ring.front() ? 1 : 0;
+        ring.pop_front();
+      }
+      w.update(b);
+      if (i > window && i % 211 == 0) {
+        ++checks;
+        const double est = w.estimate(window).value;
+        if (std::abs(est - static_cast<double>(in_window)) >
+            eps * static_cast<double>(in_window) + 1e-9) {
+          ++failures;
+        }
+      }
+    }
+  }
+  ASSERT_GT(checks, 10);
+  // Median of 7 instances at the analysis constant: failures must be rare.
+  EXPECT_LE(failures, 1 + checks / 10);
+}
+
+class FuzzDistinct : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDistinct, DistinctWaveTracksOracle) {
+  gf2::SplitMix64 rng(GetParam() * 104729 + 5);
+  int checks = 0, failures = 0;
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t window = 128 + rng.next() % 2048;
+    const std::uint64_t value_space = 16 + rng.next() % 100000;
+    const double eps = 0.2 + 0.2 * static_cast<double>(rng.next() % 100) / 100.0;
+    core::DistinctWave::Params p{.eps = eps, .window = window,
+                                 .max_value = value_space, .c = 36};
+    const gf2::Field f(core::DistinctWave::field_dimension(p));
+    gf2::SharedRandomness coins(rng.next());
+    // 5 instances, medianed by hand.
+    std::vector<std::unique_ptr<core::DistinctWave>> ws;
+    for (int k = 0; k < 5; ++k) {
+      ws.push_back(std::make_unique<core::DistinctWave>(p, f, coins));
+    }
+    std::deque<std::uint64_t> ring;
+    std::unordered_map<std::uint64_t, int> counts;
+    const std::uint64_t items = 3 * window;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      // Skewed values: small ids recur, large ids are rare.
+      const std::uint64_t v = (rng.next() % 4 == 0)
+                                  ? rng.next() % (value_space + 1)
+                                  : rng.next() % (value_space / 8 + 1);
+      ring.push_back(v);
+      ++counts[v];
+      if (ring.size() > window) {
+        auto it = counts.find(ring.front());
+        if (--it->second == 0) counts.erase(it);
+        ring.pop_front();
+      }
+      for (auto& w : ws) w->update(v);
+      if (i > window && i % 307 == 0) {
+        ++checks;
+        std::vector<double> ests;
+        for (auto& w : ws) ests.push_back(w->estimate(window).value);
+        const double est = core::median(std::move(ests));
+        const auto exact = static_cast<double>(counts.size());
+        if (std::abs(est - exact) > eps * exact + 1e-9) ++failures;
+      }
+    }
+  }
+  ASSERT_GT(checks, 10);
+  EXPECT_LE(failures, 1 + checks / 10);
+}
+
+class FuzzUnion : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzUnion, MultiPartyUnionTracksOracle) {
+  gf2::SplitMix64 rng(GetParam() * 31337 + 3);
+  const int t = 2 + static_cast<int>(rng.next() % 4);
+  const std::uint64_t window = 512 + rng.next() % 2048;
+  const double eps = 0.25;
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<const distributed::CountParty*> ps;
+  const std::uint64_t seed = rng.next();
+  for (int j = 0; j < t; ++j) {
+    owners.push_back(std::make_unique<distributed::CountParty>(
+        core::RandWave::Params{.eps = eps, .window = window, .c = 36}, 7,
+        seed));
+    ps.push_back(owners.back().get());
+  }
+  std::deque<bool> ring;
+  std::uint64_t in_window = 0;
+  const std::uint64_t base_th = rng.next() / 2;
+  int checks = 0, failures = 0;
+  for (std::uint64_t i = 0; i < 3 * window; ++i) {
+    // Random correlated bits: base event OR per-party noise.
+    const bool base = rng.next() < base_th;
+    bool any = base;
+    for (int j = 0; j < t; ++j) {
+      const bool bit = base || (rng.next() % 64 == 0);
+      any = any || bit;
+      owners[static_cast<std::size_t>(j)]->observe(bit);
+    }
+    ring.push_back(any);
+    in_window += any ? 1 : 0;
+    if (ring.size() > window) {
+      in_window -= ring.front() ? 1 : 0;
+      ring.pop_front();
+    }
+    if (i > window && i % 401 == 0) {
+      ++checks;
+      const double est = distributed::union_count(ps, window).value;
+      if (std::abs(est - static_cast<double>(in_window)) >
+          eps * static_cast<double>(in_window) + 1e-9) {
+        ++failures;
+      }
+    }
+  }
+  ASSERT_GT(checks, 3);
+  EXPECT_LE(failures, 1 + checks / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRandWave,
+                         ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDistinct,
+                         ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzUnion,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace waves

@@ -1,0 +1,106 @@
+#include "gf2/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gf2/polynomials.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::gf2 {
+namespace {
+
+TEST(Clmul, SmallProducts) {
+  // (x+1)(x+1) = x^2+1 : 3 * 3 = 5 carry-less.
+  EXPECT_EQ(clmul(3, 3).lo, 5u);
+  EXPECT_EQ(clmul(3, 3).hi, 0u);
+  // x^63 * x = x^64: crosses into the high word.
+  const Clmul128 r = clmul(std::uint64_t{1} << 63, 2);
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.hi, 1u);
+}
+
+TEST(Irreducible, KnownPolynomials) {
+  // x^8 + x^4 + x^3 + x + 1 (the AES modulus) is irreducible.
+  EXPECT_TRUE(is_irreducible(8, 0x1B));
+  // x^8 + x^4 + x^3 + x^2 + 1 is also irreducible.
+  EXPECT_TRUE(is_irreducible(8, 0x1D));
+  // x^8 + 1 = (x+1)^8 is not.
+  EXPECT_FALSE(is_irreducible(8, 0x01));
+  // x^2 + x + 1 is the unique irreducible quadratic.
+  EXPECT_TRUE(is_irreducible(2, 0b11));
+  EXPECT_FALSE(is_irreducible(2, 0b01));
+  // x^64 + x^4 + x^3 + x + 1 is the standard degree-64 choice.
+  EXPECT_TRUE(is_irreducible(64, 0x1B));
+}
+
+TEST(Irreducible, SearchFindsVerifiedModulus) {
+  for (int d = 1; d <= 64; ++d) {
+    const std::uint64_t low = irreducible_low(d);
+    EXPECT_TRUE(is_irreducible(d, low)) << "degree " << d;
+  }
+}
+
+class FieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldAxioms, RingLaws) {
+  const Field f(GetParam());
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 1);
+  const std::uint64_t mask = f.order_mask();
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    const std::uint64_t c = rng.next() & mask;
+    // Commutativity and associativity of multiplication.
+    ASSERT_EQ(f.mul(a, b), f.mul(b, a));
+    ASSERT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    // Distributivity over XOR addition.
+    ASSERT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    // Identities.
+    ASSERT_EQ(f.mul(a, 1), a);
+    ASSERT_EQ(f.mul(a, 0), 0u);
+  }
+}
+
+TEST_P(FieldAxioms, Inverses) {
+  const Field f(GetParam());
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 77 + 3);
+  const std::uint64_t mask = f.order_mask();
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t a = rng.next() & mask;
+    if (a == 0) a = 1;
+    ASSERT_EQ(f.mul(a, f.inv(a)), 1u) << "a=" << a;
+  }
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMul) {
+  const Field f(GetParam());
+  SplitMix64 rng(99);
+  const std::uint64_t a = (rng.next() & f.order_mask()) | 1;
+  std::uint64_t acc = 1;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    ASSERT_EQ(f.pow(a, e), acc);
+    acc = f.mul(acc, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, FieldAxioms,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 21, 31, 32,
+                                           47, 63, 64));
+
+TEST(Field, SmallFieldExhaustive) {
+  // GF(8): every nonzero element has order dividing 7 (prime), so every
+  // nonzero element except 1 generates the multiplicative group.
+  const Field f(3);
+  for (std::uint64_t a = 1; a < 8; ++a) {
+    EXPECT_EQ(f.pow(a, 7), 1u) << "a=" << a;
+  }
+  // Squaring is a field automorphism (Frobenius): (a+b)^2 = a^2 + b^2.
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      EXPECT_EQ(f.mul(f.add(a, b), f.add(a, b)),
+                f.add(f.mul(a, a), f.mul(b, b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waves::gf2

@@ -1,0 +1,109 @@
+#include "gf2/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::gf2 {
+namespace {
+
+TEST(ExpHash, RangeIsZeroToD) {
+  const Field f(10);
+  SharedRandomness coins(1);
+  const ExpHash h = coins.draw_hash(f);
+  for (std::uint64_t p = 0; p < 1024; ++p) {
+    const int l = h.level(p);
+    ASSERT_GE(l, 0);
+    ASSERT_LE(l, 10);
+  }
+}
+
+TEST(ExpHash, ExactLevelHistogramOverFullDomain) {
+  // Over the whole domain, x = q*p + r is a bijection of GF(2^d) when
+  // q != 0, so the level histogram is *exactly* geometric: 2^(d-1-l)
+  // values at level l < d and one value at level d.
+  const int d = 12;
+  const Field f(d);
+  SharedRandomness coins(7);  // draws q, r; q == 0 has prob 2^-12, retry
+  ExpHash h = coins.draw_hash(f);
+  while (h.q() == 0) h = coins.draw_hash(f);
+
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(d) + 1, 0);
+  for (std::uint64_t p = 0; p < (std::uint64_t{1} << d); ++p) {
+    ++hist[static_cast<std::size_t>(h.level(p))];
+  }
+  for (int l = 0; l < d; ++l) {
+    EXPECT_EQ(hist[static_cast<std::size_t>(l)],
+              std::uint64_t{1} << (d - 1 - l))
+        << "level " << l;
+  }
+  EXPECT_EQ(hist[static_cast<std::size_t>(d)], 1u);
+}
+
+TEST(ExpHash, SharedSeedGivesIdenticalHashes) {
+  const Field f(16);
+  SharedRandomness a(42), b(42);
+  const ExpHash ha = a.draw_hash(f);
+  const ExpHash hb = b.draw_hash(f);
+  EXPECT_EQ(ha.q(), hb.q());
+  EXPECT_EQ(ha.r(), hb.r());
+  for (std::uint64_t p = 0; p < 5000; ++p) {
+    ASSERT_EQ(ha.level(p), hb.level(p));
+  }
+}
+
+TEST(ExpHash, DifferentInstancesDiffer) {
+  const Field f(16);
+  SharedRandomness coins(42);
+  const ExpHash h1 = coins.draw_hash(f);
+  const ExpHash h2 = coins.draw_hash(f);
+  int diff = 0;
+  for (std::uint64_t p = 0; p < 1000; ++p) {
+    if (h1.level(p) != h2.level(p)) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(ExpHash, PairwiseIndependenceEmpirical) {
+  // For fixed distinct p1, p2, over random (q, r) the pair (h(p1) >= 1,
+  // h(p2) >= 1) must behave like independent coins of bias 1/2:
+  // Pr[both] ~ 1/4.
+  const Field f(14);
+  int both = 0, first = 0, second = 0;
+  const int trials = 20000;
+  SharedRandomness coins(123);
+  for (int t = 0; t < trials; ++t) {
+    const ExpHash h = coins.draw_hash(f);
+    const bool a = h.level(17) >= 1;
+    const bool b = h.level(90) >= 1;
+    both += (a && b) ? 1 : 0;
+    first += a ? 1 : 0;
+    second += b ? 1 : 0;
+  }
+  const double pa = static_cast<double>(first) / trials;
+  const double pb = static_cast<double>(second) / trials;
+  const double pab = static_cast<double>(both) / trials;
+  EXPECT_NEAR(pa, 0.5, 0.02);
+  EXPECT_NEAR(pb, 0.5, 0.02);
+  EXPECT_NEAR(pab, pa * pb, 0.02);
+}
+
+TEST(SharedRandomness, BitAccounting) {
+  SharedRandomness coins(5);
+  EXPECT_EQ(coins.seed_bits_consumed(), 0u);
+  const Field f(8);
+  (void)coins.draw_hash(f);
+  EXPECT_EQ(coins.seed_bits_consumed(), 128u);  // q and r
+}
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(9), b(9);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace waves::gf2

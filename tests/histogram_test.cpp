@@ -1,0 +1,79 @@
+#include "core/extensions/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stream/value_streams.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(WindowedHistogram, BucketAssignment) {
+  WindowedHistogram h(4, 10, 100, 99);  // widths of 25: [0,25) [25,50) ...
+  EXPECT_EQ(h.bucket_of(0), 0u);
+  EXPECT_EQ(h.bucket_of(24), 0u);
+  EXPECT_EQ(h.bucket_of(25), 1u);
+  EXPECT_EQ(h.bucket_of(99), 3u);
+  EXPECT_EQ(h.buckets(), 4u);
+}
+
+TEST(WindowedHistogram, ExactOnShortStream) {
+  WindowedHistogram h(4, 10, 100, 99);
+  std::vector<std::uint64_t> counts(4, 0);
+  stream::UniformValues gen(0, 99, 5);
+  for (int i = 0; i < 80; ++i) {
+    const std::uint64_t v = gen.next();
+    ++counts[h.bucket_of(v)];
+    h.update(v);
+  }
+  for (std::size_t b = 0; b < 4; ++b) {
+    const Estimate e = h.bucket_count(b, 100);
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, static_cast<double>(counts[b]));
+  }
+}
+
+TEST(WindowedHistogram, SlidingDensitiesWithinEps) {
+  const std::uint64_t window = 500;
+  WindowedHistogram h(8, 10, window, 799);
+  stream::ZipfValues gen(800, 0.8, 9);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = gen.next() - 1;
+    all.push_back(v);
+    h.update(v);
+    if (i > 600 && i % 97 == 0) {
+      std::vector<double> exact(8, 0.0);
+      for (std::size_t k = all.size() - window; k < all.size(); ++k) {
+        exact[h.bucket_of(all[k])] += 1.0;
+      }
+      const auto est = h.densities(window);
+      for (std::size_t b = 0; b < 8; ++b) {
+        ASSERT_LE(std::abs(est[b] - exact[b]), 0.1 * exact[b] + 1e-9)
+            << "bucket " << b << " at item " << i;
+      }
+    }
+  }
+}
+
+TEST(WindowedHistogram, DistributionShiftDetected) {
+  // Values move from low to high buckets; the window histogram follows.
+  const std::uint64_t window = 200;
+  WindowedHistogram h(2, 10, window, 99);
+  for (int i = 0; i < 400; ++i) h.update(10);   // low bucket
+  for (int i = 0; i < 400; ++i) h.update(90);   // high bucket
+  const auto d = h.densities(window);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_NEAR(d[1], 200.0, 20.0);
+}
+
+TEST(WindowedHistogram, SpaceScalesWithBuckets) {
+  WindowedHistogram a(2, 10, 1000, 99), b(16, 10, 1000, 99);
+  EXPECT_DOUBLE_EQ(static_cast<double>(b.space_bits()),
+                   8.0 * static_cast<double>(a.space_bits()));
+}
+
+}  // namespace
+}  // namespace waves::core

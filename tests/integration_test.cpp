@@ -1,0 +1,145 @@
+// Cross-module integration: full pipelines from generators through waves,
+// baselines and the distributed protocol, checked against each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baseline/eh_count.hpp"
+#include "core/compact_wave.hpp"
+#include "core/det_wave.hpp"
+#include "core/median_estimator.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "distributed/scenarios.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "util/bitops.hpp"
+
+namespace waves {
+namespace {
+
+TEST(Integration, WaveAndEhAgreeWithinCombinedBand) {
+  const std::uint64_t inv_eps = 20, window = 1024;
+  core::DetWave wave(inv_eps, window);
+  baseline::EhCount eh(inv_eps, window);
+  stream::BurstyBits gen(0.9, 0.05, 0.01, 0.01, 5);
+  std::vector<bool> all;
+  for (int i = 0; i < 20000; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    wave.update(b);
+    eh.update(b);
+    if (i > 2000 && i % 331 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(all, window));
+      ASSERT_LE(std::abs(wave.query().value - exact), 0.05 * exact + 1e-9);
+      ASSERT_LE(std::abs(eh.query() - exact), 0.05 * exact + 1e-9);
+    }
+  }
+}
+
+TEST(Integration, DeterministicPipelineEndToEnd) {
+  // Generator -> det wave -> compact encode -> decode -> same answers.
+  const std::uint64_t inv_eps = 8, window = 500;
+  core::CompactWave cw(inv_eps, window);
+  stream::PeriodicBits gen(3, 0);
+  for (int i = 0; i < 5000; ++i) cw.update(gen.next());
+  const auto decoded = cw.decode(cw.encode());
+  for (std::uint64_t n : {1u, 100u, 499u, 500u}) {
+    EXPECT_DOUBLE_EQ(decoded.query(n).value, cw.query(n).value);
+  }
+}
+
+TEST(Integration, DeterministicVsRandomizedOnSameStream) {
+  // Both the eps-scheme and the (eps, delta)-scheme track the same truth.
+  const std::uint64_t window = 512;
+  core::DetWave det(10, window);
+  const gf2::Field f(util::floor_log2(util::next_pow2_at_least(2 * window)));
+  gf2::SharedRandomness coins(808);
+  core::MedianCountWave rnd({.eps = 0.2, .window = window, .c = 36}, 9, f,
+                            coins);
+  stream::BernoulliBits gen(0.35, 2);
+  std::vector<bool> all;
+  for (int i = 0; i < 12000; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    det.update(b);
+    rnd.update(b);
+    if (i > 1000 && i % 997 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(all, window));
+      EXPECT_LE(std::abs(det.query().value - exact), 0.1 * exact + 1e-9);
+      EXPECT_LE(std::abs(rnd.estimate(window).value - exact),
+                0.2 * exact + 1e-9);
+    }
+  }
+}
+
+TEST(Integration, ScenariosOneAndThreeCoincideOnDisjointStreams) {
+  // When streams are positionwise disjoint (no two parties have a 1 at the
+  // same position), the union count equals the sum of per-stream counts,
+  // so Scenario 1 (sum of waves) and Scenario 3 (randomized union) must
+  // roughly agree.
+  const std::uint64_t window = 256;
+  const int parties = 3;
+  // Disjoint by construction: party j fires only when pos % 3 == j.
+  std::vector<std::vector<bool>> streams(static_cast<std::size_t>(parties));
+  stream::BernoulliBits gen(0.6, 31);
+  for (int i = 0; i < 9000; ++i) {
+    const bool fire = gen.next();
+    for (int j = 0; j < parties; ++j) {
+      streams[static_cast<std::size_t>(j)].push_back(fire &&
+                                                     (i % parties == j));
+    }
+  }
+
+  distributed::Scenario1Counter s1(parties, 10, window);
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<const distributed::CountParty*> ps;
+  for (int j = 0; j < parties; ++j) {
+    owners.push_back(std::make_unique<distributed::CountParty>(
+        core::RandWave::Params{.eps = 0.25, .window = window, .c = 36}, 9,
+        777));
+    ps.push_back(owners.back().get());
+  }
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    for (int j = 0; j < parties; ++j) {
+      s1.observe(j, streams[static_cast<std::size_t>(j)][i]);
+      owners[static_cast<std::size_t>(j)]->observe(
+          streams[static_cast<std::size_t>(j)][i]);
+    }
+  }
+  const double sum_est = s1.estimate(window).value;
+  const double union_est = distributed::union_count(ps, window).value;
+  // Both estimate the same quantity within their bands.
+  EXPECT_LE(std::abs(sum_est - union_est),
+            0.35 * std::max(sum_est, union_est) + 2.0);
+}
+
+TEST(Integration, LongRunStability) {
+  // A million updates: no drift, no structural corruption (asserts active),
+  // bounded memory by construction.
+  const std::uint64_t window = 4096;
+  core::DetWave wave(16, window);
+  stream::BurstyBits gen(0.98, 0.01, 0.002, 0.002, 13);
+  std::vector<bool> ring(window, false);
+  std::size_t head = 0;
+  std::uint64_t in_window = 0;
+  for (std::uint64_t i = 0; i < 1000000; ++i) {
+    const bool b = gen.next();
+    if (i >= window) in_window -= ring[head] ? 1 : 0;
+    ring[head] = b;
+    head = (head + 1) % window;
+    in_window += b ? 1 : 0;
+    wave.update(b);
+    if (i > window && i % 50021 == 0) {
+      const auto exact = static_cast<double>(in_window);
+      ASSERT_LE(std::abs(wave.query().value - exact), exact / 16.0 + 1e-9)
+          << "at item " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waves

@@ -1,0 +1,118 @@
+// Model-based testing of LevelPool: random operation sequences are applied
+// both to the pool and to a straightforward reference model (vectors of
+// deques); every observable — list order, level contents, boundary — must
+// agree after every step.
+#include "util/level_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::util {
+namespace {
+
+struct E {
+  std::uint64_t pos;
+};
+
+/// Reference model: per-level bounded deques of positions + a merged view.
+class Model {
+ public:
+  explicit Model(std::vector<std::uint32_t> caps) : caps_(std::move(caps)) {
+    levels_.resize(caps_.size());
+  }
+
+  void insert(std::size_t level, std::uint64_t pos) {
+    auto& q = levels_[level];
+    q.push_back(pos);
+    if (q.size() > caps_[level]) q.pop_front();  // 3(b) discard
+    // Drop anything at/below the boundary (mirrors pool liveness).
+    prune();
+  }
+
+  void pop_oldest() {
+    // Remove the globally smallest live position.
+    std::size_t best = levels_.size();
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (levels_[l].empty()) continue;
+      if (best == levels_.size() ||
+          levels_[l].front() < levels_[best].front()) {
+        best = l;
+      }
+    }
+    ASSERT_LT(best, levels_.size());
+    boundary_ = levels_[best].front();
+    levels_[best].pop_front();
+    prune();
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> listed() const {
+    std::vector<std::uint64_t> all;
+    for (const auto& q : levels_) {
+      for (std::uint64_t p : q) all.push_back(p);
+    }
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  [[nodiscard]] bool empty() const { return listed().empty(); }
+  [[nodiscard]] std::uint64_t boundary() const { return boundary_; }
+
+ private:
+  void prune() {
+    for (auto& q : levels_) {
+      while (!q.empty() && q.front() <= boundary_) q.pop_front();
+    }
+  }
+
+  std::vector<std::uint32_t> caps_;
+  std::vector<std::deque<std::uint64_t>> levels_;
+  std::uint64_t boundary_ = 0;
+};
+
+class LevelPoolModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevelPoolModel, RandomOpsAgree) {
+  gf2::SplitMix64 rng(GetParam() * 7919 + 3);
+  const int nlevels = 1 + static_cast<int>(rng.next() % 5);
+  std::vector<std::uint32_t> caps;
+  for (int l = 0; l < nlevels; ++l) {
+    caps.push_back(1 + static_cast<std::uint32_t>(rng.next() % 6));
+  }
+  LevelPool<E> pool(caps);
+  Model model(caps);
+
+  std::uint64_t pos = 0;
+  for (int step = 0; step < 4000; ++step) {
+    if (rng.next() % 4 != 0 || pool.empty()) {
+      ++pos;
+      const auto level = static_cast<std::size_t>(
+          rng.next() % static_cast<std::uint64_t>(nlevels));
+      pool.insert(static_cast<int>(level), E{pos});
+      model.insert(level, pos);
+    } else {
+      pool.pop_oldest();
+      model.pop_oldest();
+    }
+
+    // Observables must agree.
+    std::vector<std::uint64_t> pool_listed;
+    pool.for_each([&pool_listed](const E& e) { pool_listed.push_back(e.pos); });
+    // Pool list is position-sorted by construction.
+    for (std::size_t i = 1; i < pool_listed.size(); ++i) {
+      ASSERT_LT(pool_listed[i - 1], pool_listed[i]);
+    }
+    ASSERT_EQ(pool_listed, model.listed()) << "step " << step;
+    ASSERT_EQ(pool.empty(), model.empty());
+    ASSERT_EQ(pool.expire_boundary(), model.boundary()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelPoolModel,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace waves::util

@@ -1,0 +1,136 @@
+#include "util/level_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace waves::util {
+namespace {
+
+struct E {
+  std::uint64_t pos;
+  int tag;
+};
+
+using Pool = LevelPool<E>;
+
+std::vector<std::uint64_t> listed_positions(const Pool& p) {
+  std::vector<std::uint64_t> out;
+  p.for_each([&out](const E& e) { out.push_back(e.pos); });
+  return out;
+}
+
+TEST(LevelPool, InsertKeepsSortedOrder) {
+  const std::array<std::uint32_t, 3> caps = {2, 2, 3};
+  Pool p(caps);
+  p.insert(0, E{1, 0});
+  p.insert(2, E{2, 0});
+  p.insert(1, E{3, 0});
+  p.insert(0, E{4, 0});
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(LevelPool, OverflowSplicesOldestOfLevel) {
+  const std::array<std::uint32_t, 2> caps = {2, 2};
+  Pool p(caps);
+  p.insert(0, E{1, 0});
+  p.insert(0, E{2, 0});
+  p.insert(1, E{3, 0});
+  p.insert(0, E{4, 0});  // evicts pos 1 from level 0
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{2, 3, 4}));
+  p.insert(0, E{5, 0});  // evicts pos 2
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(LevelPool, PopOldestAdvancesBoundary) {
+  const std::array<std::uint32_t, 1> caps = {4};
+  Pool p(caps);
+  for (std::uint64_t i = 1; i <= 4; ++i) p.insert(0, E{i, 0});
+  const E gone = p.pop_oldest();
+  EXPECT_EQ(gone.pos, 1u);
+  EXPECT_EQ(p.expire_boundary(), 1u);
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(LevelPool, VictimBelowBoundaryIsNotSpliced) {
+  const std::array<std::uint32_t, 1> caps = {2};
+  Pool p(caps);
+  p.insert(0, E{1, 0});
+  p.insert(0, E{2, 0});
+  // Expire pos 1 and 2 via pops; the slots still hold stale data.
+  p.pop_oldest();
+  p.pop_oldest();
+  EXPECT_TRUE(p.empty());
+  // Re-inserting reuses the stale slots without corrupting the list.
+  p.insert(0, E{3, 0});
+  p.insert(0, E{4, 0});
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{3, 4}));
+  p.insert(0, E{5, 0});
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{4, 5}));
+}
+
+TEST(LevelPool, UnlinkPrefixDropsRun) {
+  const std::array<std::uint32_t, 2> caps = {4, 4};
+  Pool p(caps);
+  // Duplicate positions 7,7,7 then 8.
+  const auto a = p.insert(0, E{7, 1});
+  p.insert(1, E{7, 2});
+  const auto c = p.insert(0, E{7, 3});
+  p.insert(1, E{8, 4});
+  (void)a;
+  p.unlink_prefix(c);  // drop the whole pos-7 run
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{8}));
+  EXPECT_EQ(p.expire_boundary(), 7u);
+  // Slots of the dropped run get reused cleanly.
+  p.insert(0, E{9, 5});
+  p.insert(0, E{10, 6});
+  p.insert(0, E{11, 7});
+  EXPECT_EQ(listed_positions(p), (std::vector<std::uint64_t>{8, 9, 10, 11}));
+}
+
+TEST(LevelPool, CapacityAccounting) {
+  const std::array<std::uint32_t, 3> caps = {1, 2, 3};
+  Pool p(caps);
+  EXPECT_EQ(p.levels(), 3);
+  EXPECT_EQ(p.capacity(0), 1u);
+  EXPECT_EQ(p.capacity(2), 3u);
+  EXPECT_EQ(p.total_slots(), 6u);
+}
+
+TEST(LevelPool, HeadTailNavigation) {
+  const std::array<std::uint32_t, 1> caps = {8};
+  Pool p(caps);
+  EXPECT_TRUE(p.empty());
+  for (std::uint64_t i = 1; i <= 5; ++i) p.insert(0, E{i, 0});
+  EXPECT_EQ(p.entry(p.head()).pos, 1u);
+  EXPECT_EQ(p.entry(p.tail()).pos, 5u);
+  EXPECT_EQ(p.entry(p.next(p.head())).pos, 2u);
+  EXPECT_EQ(p.entry(p.prev(p.tail())).pos, 4u);
+  EXPECT_EQ(p.count_listed(), 5u);
+}
+
+TEST(LevelPool, LongChurnMaintainsInvariants) {
+  const std::array<std::uint32_t, 4> caps = {3, 3, 3, 5};
+  Pool p(caps);
+  std::uint64_t pos = 0;
+  for (int round = 0; round < 5000; ++round) {
+    ++pos;
+    p.insert(round % 4, E{pos, round});
+    if (pos > 20 && !p.empty() &&
+        p.entry(p.head()).pos + 20 <= pos) {
+      p.pop_oldest();
+    }
+    // Invariant: list strictly increasing in position.
+    std::uint64_t prev = 0;
+    bool ok = true;
+    p.for_each([&](const E& e) {
+      if (e.pos <= prev) ok = false;
+      prev = e.pos;
+    });
+    ASSERT_TRUE(ok) << "at round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace waves::util

@@ -1,0 +1,139 @@
+#include "core/extensions/lp_norm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "gf2/kwise_hash.hpp"
+#include "stream/value_streams.hpp"
+#include "util/bitops.hpp"
+
+namespace waves::core {
+namespace {
+
+double exact_f2(const std::deque<std::uint64_t>& win) {
+  std::unordered_map<std::uint64_t, double> freq;
+  for (std::uint64_t v : win) freq[v] += 1.0;
+  double f2 = 0;
+  for (const auto& [v, f] : freq) {
+    (void)v;
+    f2 += f * f;
+  }
+  return f2;
+}
+
+TEST(KWiseHash, SignsBalanced) {
+  const gf2::Field f(20);
+  gf2::SharedRandomness coins(5);
+  const gf2::KWiseHash h(f, 4, coins);
+  int plus = 0;
+  const int n = 20000;
+  for (int x = 0; x < n; ++x) {
+    if (h.sign(static_cast<std::uint64_t>(x)) > 0) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / n, 0.5, 0.02);
+}
+
+TEST(KWiseHash, FourWisePairProductsUnbiased) {
+  // For 4-wise independent signs, E[s(a)s(b)] = 0 for a != b; estimate
+  // over many hash draws.
+  const gf2::Field f(16);
+  gf2::SharedRandomness coins(11);
+  double acc = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const gf2::KWiseHash h(f, 4, coins);
+    acc += h.sign(123) * h.sign(456);
+  }
+  EXPECT_NEAR(acc / trials, 0.0, 0.05);
+}
+
+TEST(KWiseHash, DeterministicWithSharedSeed) {
+  const gf2::Field f(16);
+  gf2::SharedRandomness a(9), b(9);
+  const gf2::KWiseHash ha(f, 4, a), hb(f, 4, b);
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    ASSERT_EQ(ha.value(x), hb.value(x));
+  }
+}
+
+TEST(SlidingL2, SkewedStreamTracksF2) {
+  // Heavy skew: F2 is dominated by a few heavy values, the regime where
+  // the sketch shines and counter noise is negligible.
+  const std::uint64_t window = 2000, R = (1 << 16) - 1;
+  const gf2::Field f(16);
+  gf2::SharedRandomness coins(31);
+  SlidingL2 sk({.window = window,
+                .max_value = R,
+                .counter_inv_eps = 200,
+                .rows = 5,
+                .cols = 12},
+               f, coins);
+  stream::ZipfValues gen(R, 1.3, 7);
+  std::deque<std::uint64_t> win;
+  int checks = 0, failures = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = gen.next();
+    win.push_back(v);
+    if (win.size() > window) win.pop_front();
+    sk.update(v);
+    if (i > 2500 && i % 509 == 0) {
+      const double exact = exact_f2(win);
+      const double est = sk.f2(window);
+      ++checks;
+      if (std::abs(est - exact) > 0.4 * exact) ++failures;
+    }
+  }
+  ASSERT_GT(checks, 8);
+  EXPECT_LE(failures, 1 + checks / 5);
+}
+
+TEST(SlidingL2, ConstantStreamExactRegime) {
+  // All items equal: F2 = W^2 exactly; accumulators are +-W, squared W^2.
+  const std::uint64_t window = 500;
+  const gf2::Field f(12);
+  gf2::SharedRandomness coins(3);
+  SlidingL2 sk({.window = window,
+                .max_value = 100,
+                .counter_inv_eps = 100,
+                .rows = 3,
+                .cols = 4},
+               f, coins);
+  for (int i = 0; i < 2000; ++i) sk.update(42);
+  const double expect = static_cast<double>(window) * window;
+  EXPECT_NEAR(sk.f2(window) / expect, 1.0, 0.05);
+  EXPECT_NEAR(sk.l2(window) / window, 1.0, 0.03);
+}
+
+TEST(SlidingL2, WindowSlidesOffOldRegime) {
+  // Heavy value leaves the window; F2 collapses to the uniform tail.
+  const std::uint64_t window = 300;
+  const gf2::Field f(16);
+  gf2::SharedRandomness coins(17);
+  SlidingL2 sk({.window = window,
+                .max_value = 65535,
+                .counter_inv_eps = 150,
+                .rows = 5,
+                .cols = 8},
+               f, coins);
+  for (int i = 0; i < 400; ++i) sk.update(7);  // heavy run
+  stream::UniformValues gen(0, 65535, 5);
+  std::deque<std::uint64_t> win;
+  for (int i = 0; i < 400; ++i) {
+    win.push_back(7);
+    if (win.size() > window) win.pop_front();
+  }
+  for (int i = 0; i < 600; ++i) {
+    const std::uint64_t v = gen.next();
+    sk.update(v);
+    win.push_back(v);
+    if (win.size() > window) win.pop_front();
+  }
+  const double exact = exact_f2(win);
+  EXPECT_NEAR(sk.f2(window) / exact, 1.0, 0.6);  // sketch variance regime
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,67 @@
+#include "core/median_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gf2/gf2.hpp"
+#include "stream/generators.hpp"
+#include "util/bitops.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 9.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 100.0}), 2.5);
+}
+
+TEST(Median, InstancesForDelta) {
+  EXPECT_GE(instances_for_delta(0.5), 1);
+  EXPECT_GT(instances_for_delta(0.01), instances_for_delta(0.3));
+  EXPECT_EQ(instances_for_delta(0.05) % 2, 1);  // odd
+}
+
+TEST(MedianCountWave, TracksWithHighProbability) {
+  // With 9 instances the failure probability is far below a single
+  // instance's 1/3; across checkpoints we expect (almost) no failures.
+  const std::uint64_t window = 300;
+  const gf2::Field f(
+      util::floor_log2(util::next_pow2_at_least(2 * window)));
+  gf2::SharedRandomness coins(2718);
+  MedianCountWave w({.eps = 0.25, .window = window, .c = 36}, 9, f, coins);
+
+  stream::BernoulliBits gen(0.5, 31);
+  std::vector<bool> all;
+  int checks = 0, failures = 0;
+  for (int i = 0; i < 15000; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    w.update(b);
+    if (i > 500 && i % 173 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(all, window));
+      const double est = w.estimate(window).value;
+      ++checks;
+      if (std::abs(est - exact) > 0.25 * exact) ++failures;
+    }
+  }
+  ASSERT_GT(checks, 50);
+  EXPECT_LE(failures, checks / 20);
+}
+
+TEST(MedianCountWave, SpaceScalesWithInstances) {
+  const std::uint64_t window = 256;
+  const gf2::Field f(
+      util::floor_log2(util::next_pow2_at_least(2 * window)));
+  gf2::SharedRandomness c1(1), c2(1);
+  MedianCountWave three({.eps = 0.3, .window = window, .c = 36}, 3, f, c1);
+  MedianCountWave nine({.eps = 0.3, .window = window, .c = 36}, 9, f, c2);
+  EXPECT_DOUBLE_EQ(static_cast<double>(nine.space_bits()),
+                   3.0 * static_cast<double>(three.space_bits()));
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,69 @@
+#include "core/mod_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/det_wave.hpp"
+#include "stream/generators.hpp"
+
+namespace waves::core {
+namespace {
+
+class ModWaveDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t, double>> {};
+
+TEST_P(ModWaveDifferential, MatchesAbsoluteWaveEverywhere) {
+  // The wrapped wave must answer *identically* to the absolute wave on the
+  // same stream — including long after the counters have wrapped many
+  // times (stream length >> N').
+  const auto [inv_eps, window, density] = GetParam();
+  stream::BernoulliBits gen(density, inv_eps * 101 + window);
+  DetWave abs_wave(inv_eps, window);
+  ModWave mod_wave(inv_eps, window);
+  const std::uint64_t total = 40 * window;  // many wraps of N' ~ 2N
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const bool b = gen.next();
+    abs_wave.update(b);
+    mod_wave.update(b);
+    if (i % 37 == 0) {
+      for (std::uint64_t n : {std::uint64_t{1}, window / 2 + 1, window}) {
+        ASSERT_DOUBLE_EQ(mod_wave.query(n).value, abs_wave.query(n).value)
+            << "item " << i << " n=" << n;
+        ASSERT_EQ(mod_wave.query(n).exact, abs_wave.query(n).exact)
+            << "item " << i << " n=" << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModWaveDifferential,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 3, 10),
+                       ::testing::Values<std::uint64_t>(16, 100, 257),
+                       ::testing::Values(0.05, 0.5, 1.0)));
+
+TEST(ModWave, CountersStayWrapped) {
+  ModWave w(4, 16);  // N' = 32
+  for (int i = 0; i < 1000; ++i) w.update(true);
+  EXPECT_LT(w.wrapped_pos(), w.modulus());
+  EXPECT_LT(w.wrapped_rank(), w.modulus());
+  EXPECT_EQ(w.modulus(), 32u);
+}
+
+TEST(ModWave, ExactBeforeSaturation) {
+  ModWave w(4, 64);
+  int ones = 0;
+  for (int i = 0; i < 60; ++i) {
+    const bool b = (i % 2) == 0;
+    w.update(b);
+    ones += b ? 1 : 0;
+    const Estimate e = w.query();
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, ones);
+  }
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,115 @@
+// Experiment E1/E2: reproduce the paper's worked example end-to-end —
+// Fig. 1's stream through Fig. 2's basic wave (with the Sec. 3.1 query) and
+// Fig. 3's optimal wave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/basic_wave.hpp"
+#include "core/det_wave.hpp"
+#include "stream/example_stream.hpp"
+
+namespace waves::core {
+namespace {
+
+// eps = 1/3 and N = 48, the parameters of Figs. 2 and 3.
+constexpr std::uint64_t kInvEps = 3;
+constexpr std::uint64_t kWindow = 48;
+
+TEST(PaperExample, BasicWaveFigureTwoStructure) {
+  BasicWave w(kInvEps, kWindow);
+  for (bool b : stream::example_stream()) w.update(b);
+  ASSERT_EQ(w.pos(), 99u);
+  ASSERT_EQ(w.rank(), 50u);
+  ASSERT_EQ(w.levels(), 5);
+
+  // Fig. 2: level i holds the 4 most recent 1-ranks divisible by 2^i.
+  const auto ranks_at = [&w](int level) {
+    std::vector<std::uint64_t> out;
+    for (const auto& [p, r] : w.level_contents(level)) out.push_back(r);
+    return out;
+  };
+  EXPECT_EQ(ranks_at(0), (std::vector<std::uint64_t>{47, 48, 49, 50}));
+  EXPECT_EQ(ranks_at(1), (std::vector<std::uint64_t>{44, 46, 48, 50}));
+  EXPECT_EQ(ranks_at(2), (std::vector<std::uint64_t>{36, 40, 44, 48}));
+  EXPECT_EQ(ranks_at(3), (std::vector<std::uint64_t>{24, 32, 40, 48}));
+  EXPECT_EQ(ranks_at(4), (std::vector<std::uint64_t>{16, 32, 48}));
+  EXPECT_TRUE(w.level_has_dummy(4));  // fewer than 4 multiples of 16
+}
+
+TEST(PaperExample, WorkedQueryN39) {
+  // Sec. 3.1: n = 39, pos = 99, rank = 50, s = 61, p1 = 44, p2 = 67,
+  // r1 = 24, r2 = 32, estimate 23; the true count is 20, and the estimate
+  // is within the eps = 1/3 band [40/3, 80/3].
+  BasicWave w(kInvEps, kWindow);
+  for (bool b : stream::example_stream()) w.update(b);
+  const Estimate e = w.query(39);
+  EXPECT_FALSE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 23.0);
+  EXPECT_EQ(stream::example_ones_in(61, 99), 20);
+  EXPECT_GE(e.value, 20.0 * (1.0 - 1.0 / 3.0));
+  EXPECT_LE(e.value, 20.0 * (1.0 + 1.0 / 3.0));
+}
+
+TEST(PaperExample, OptimalWaveFigureThreeStructure) {
+  // Fig. 3 stores each 1 only at its maximum level; with expiry (footnote
+  // 4: positions < pos - N = 51 have expired, r1 = 24 is the largest
+  // expired 1-rank).
+  DetWave w(kInvEps, kWindow);
+  for (bool b : stream::example_stream()) w.update(b);
+  ASSERT_EQ(w.pos(), 99u);
+  ASSERT_EQ(w.rank(), 50u);
+  ASSERT_EQ(w.levels(), 5);
+  EXPECT_EQ(w.largest_discarded_rank(), 24u);
+
+  const auto ranks_at = [&w](int level) {
+    std::vector<std::uint64_t> out;
+    for (const auto& [p, r] : w.level_snapshot(level)) out.push_back(r);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  // Levels 0..3 hold ceil((1/eps+1)/2) = 2 entries; level 4 holds 4.
+  EXPECT_EQ(ranks_at(0), (std::vector<std::uint64_t>{47, 49}));
+  EXPECT_EQ(ranks_at(1), (std::vector<std::uint64_t>{46, 50}));
+  EXPECT_EQ(ranks_at(2), (std::vector<std::uint64_t>{36, 44}));
+  EXPECT_EQ(ranks_at(3), (std::vector<std::uint64_t>{40}));       // 24 expired
+  EXPECT_EQ(ranks_at(4), (std::vector<std::uint64_t>{32, 48}));   // 16 expired
+}
+
+TEST(PaperExample, OptimalWaveFullWindowQuery) {
+  // Full-window (N = 48) O(1) query on the Fig. 3 wave: s = 52, head of L
+  // is (67, 32), r1 = 24 -> estimate 50 + 1 - (24+32)/2 = 23; true count
+  // over positions 52..99 is 20 (ranks 31..50).
+  DetWave w(kInvEps, kWindow);
+  for (bool b : stream::example_stream()) w.update(b);
+  const Estimate e = w.query();
+  EXPECT_DOUBLE_EQ(e.value, 23.0);
+  EXPECT_EQ(stream::example_ones_in(52, 99), 20);
+  EXPECT_LE(std::abs(e.value - 20.0), (1.0 / 3.0) * 20.0);
+}
+
+TEST(PaperExample, GeneralWindowQueriesWithinEps) {
+  DetWave w(kInvEps, kWindow);
+  for (bool b : stream::example_stream()) w.update(b);
+  for (std::uint64_t n = 1; n <= kWindow; ++n) {
+    const double exact = stream::example_ones_in(99 - n + 1, 99);
+    const double est = w.query(n).value;
+    ASSERT_LE(std::abs(est - exact), (1.0 / 3.0) * exact + 1e-9)
+        << "window " << n;
+  }
+}
+
+TEST(PaperExample, WeakModelAgreesExactly) {
+  DetWave fast(kInvEps, kWindow, /*use_weak_model=*/false);
+  DetWave weak(kInvEps, kWindow, /*use_weak_model=*/true);
+  for (bool b : stream::example_stream()) {
+    fast.update(b);
+    weak.update(b);
+  }
+  for (std::uint64_t n = 1; n <= kWindow; ++n) {
+    ASSERT_DOUBLE_EQ(fast.query(n).value, weak.query(n).value) << n;
+  }
+}
+
+}  // namespace
+}  // namespace waves::core

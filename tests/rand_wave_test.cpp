@@ -1,0 +1,176 @@
+#include "core/rand_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "util/bitops.hpp"
+
+namespace waves::core {
+namespace {
+
+gf2::Field field_for(std::uint64_t window) {
+  return gf2::Field(util::floor_log2(util::next_pow2_at_least(2 * window)));
+}
+
+TEST(RandWave, SingleStreamTracksDenseCounts) {
+  // One instance is within eps with prob > 2/3; across many checkpoints
+  // the failure fraction must stay well below 1/3.
+  const std::uint64_t window = 512;
+  const gf2::Field f = field_for(window);
+  gf2::SharedRandomness coins(404);
+  RandWave w({.eps = 0.3, .window = window, .c = 36}, f, coins);
+
+  stream::BernoulliBits gen(0.5, 12);
+  std::vector<bool> all;
+  int checks = 0, failures = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const bool b = gen.next();
+    all.push_back(b);
+    w.update(b);
+    if (i > 600 && i % 211 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(all, window));
+      const double est = w.estimate(window).value;
+      ++checks;
+      if (std::abs(est - exact) > 0.3 * exact) ++failures;
+    }
+  }
+  ASSERT_GT(checks, 50);
+  EXPECT_LT(static_cast<double>(failures) / checks, 1.0 / 3.0);
+}
+
+TEST(RandWave, ExactAtLowLevels) {
+  // While the count in the window is below the queue capacity, level 0
+  // covers the window and the estimate is the exact count (scaled by 2^0).
+  const std::uint64_t window = 256;
+  const gf2::Field f = field_for(window);
+  gf2::SharedRandomness coins(7);
+  RandWave w({.eps = 0.5, .window = window, .c = 36}, f, coins);
+  // c/eps^2 = 144 slots; put 50 ones in the window.
+  for (int i = 0; i < 50; ++i) w.update(true);
+  for (int i = 0; i < 100; ++i) w.update(false);
+  const auto snap = w.snapshot(window);
+  EXPECT_EQ(snap.level, 0);
+  EXPECT_DOUBLE_EQ(w.estimate(window).value, 50.0);
+}
+
+TEST(RandWave, SnapshotRespectsWindow) {
+  const std::uint64_t window = 128;
+  const gf2::Field f = field_for(window);
+  gf2::SharedRandomness coins(9);
+  RandWave w({.eps = 0.5, .window = window, .c = 36}, f, coins);
+  for (int i = 0; i < 1000; ++i) w.update(true);
+  const auto snap = w.snapshot(window);
+  for (std::uint64_t p : snap.positions) {
+    EXPECT_GT(p + window, w.pos());
+  }
+}
+
+TEST(RandWave, CoordinationAcrossParties) {
+  // Two waves with the same seed observing identical streams produce
+  // identical queues — the coordinated-sampling property.
+  const std::uint64_t window = 256;
+  const gf2::Field f1 = field_for(window), f2 = field_for(window);
+  gf2::SharedRandomness c1(1234), c2(1234);
+  RandWave a({.eps = 0.4, .window = window, .c = 36}, f1, c1);
+  RandWave b({.eps = 0.4, .window = window, .c = 36}, f2, c2);
+  stream::BernoulliBits gen(0.3, 5);
+  for (int i = 0; i < 3000; ++i) {
+    const bool bit = gen.next();
+    a.update(bit);
+    b.update(bit);
+  }
+  const auto sa = a.snapshot(window), sb = b.snapshot(window);
+  EXPECT_EQ(sa.level, sb.level);
+  EXPECT_EQ(sa.positions, sb.positions);
+}
+
+TEST(RandWave, UnionOfIdenticalStreamsEqualsSingle) {
+  // If all parties see the same stream, the union count equals the single
+  // stream count, and the referee's union must not inflate the estimate.
+  const std::uint64_t window = 256;
+  const gf2::Field f1 = field_for(window), f2 = field_for(window);
+  gf2::SharedRandomness c1(42), c2(42);
+  RandWave a({.eps = 0.4, .window = window, .c = 36}, f1, c1);
+  RandWave b({.eps = 0.4, .window = window, .c = 36}, f2, c2);
+  stream::BernoulliBits gen(0.4, 77);
+  for (int i = 0; i < 4000; ++i) {
+    const bool bit = gen.next();
+    a.update(bit);
+    b.update(bit);
+  }
+  const RandWaveSnapshot snaps[2] = {a.snapshot(window), b.snapshot(window)};
+  const double joint = referee_union_count(snaps, window, a.hash()).value;
+  const double solo = a.estimate(window).value;
+  EXPECT_DOUBLE_EQ(joint, solo);
+}
+
+TEST(RandWave, UnionCountingAccuracy) {
+  // Three correlated streams; the estimate must track |OR| within eps at
+  // a > 2/3 success rate.
+  const std::uint64_t window = 400;
+  const int parties = 3;
+  stream::BernoulliBits base_gen(0.2, 3);
+  const auto base = stream::take(base_gen, 20000);
+  const auto streams = stream::correlated_streams(base, parties, 0.05, 11);
+  const auto uni = stream::positionwise_union(streams);
+
+  std::vector<gf2::Field> fields;
+  std::vector<std::unique_ptr<gf2::SharedRandomness>> coins;
+  std::vector<std::unique_ptr<RandWave>> waves;
+  for (int j = 0; j < parties; ++j) {
+    fields.push_back(field_for(window));
+  }
+  for (int j = 0; j < parties; ++j) {
+    coins.push_back(std::make_unique<gf2::SharedRandomness>(2024));
+    waves.push_back(std::make_unique<RandWave>(
+        RandWave::Params{.eps = 0.3, .window = window, .c = 36}, fields[j],
+        *coins.back()));
+  }
+
+  int checks = 0, failures = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (int j = 0; j < parties; ++j) {
+      waves[static_cast<std::size_t>(j)]->update(
+          streams[static_cast<std::size_t>(j)][i]);
+    }
+    if (i > 1000 && i % 401 == 0) {
+      std::vector<RandWaveSnapshot> snaps;
+      for (int j = 0; j < parties; ++j) {
+        snaps.push_back(waves[static_cast<std::size_t>(j)]->snapshot(window));
+      }
+      const double est =
+          referee_union_count(snaps, window, waves[0]->hash()).value;
+      const std::vector<bool> prefix(uni.begin(),
+                                     uni.begin() + static_cast<long>(i + 1));
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(prefix, window));
+      ++checks;
+      if (std::abs(est - exact) > 0.3 * exact) ++failures;
+    }
+  }
+  ASSERT_GT(checks, 30);
+  EXPECT_LT(static_cast<double>(failures) / checks, 1.0 / 3.0);
+}
+
+TEST(RandWave, SpaceBitsMatchTheoremShape) {
+  const gf2::Field f1 = field_for(1 << 10);
+  const gf2::Field f2 = field_for(1 << 16);
+  gf2::SharedRandomness c1(1), c2(1);
+  RandWave small({.eps = 0.2, .window = 1 << 10, .c = 36}, f1, c1);
+  RandWave large({.eps = 0.2, .window = 1 << 16, .c = 36}, f2, c2);
+  EXPECT_GT(large.space_bits(), small.space_bits());
+  gf2::SharedRandomness c3(1);
+  RandWave fine({.eps = 0.05, .window = 1 << 10, .c = 36}, f1, c3);
+  EXPECT_GT(fine.space_bits(), small.space_bits());
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,137 @@
+// Pinned regressions for issues found during development (each caught by
+// the differential fuzzer and reduced to the minimal reproducer), plus
+// targeted hardening for the exact failure regimes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baseline/eh_sum.hpp"
+#include "core/compact_wave.hpp"
+#include "core/det_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/value_streams.hpp"
+
+namespace waves {
+namespace {
+
+TEST(Regression, MidpointFormulaAdjacentRanks) {
+  // Paper's Sec. 3.1 formula returns exact+1/2 when the bracketing ranks
+  // are adjacent (gap 1), violating eps on small counts. Minimal case:
+  // bits {1,0,1}, window 2: the window holds exactly one 1, and level 0
+  // stores both ranks around the window start.
+  core::DetWave w(3, 2);
+  w.update(true);
+  w.update(false);
+  w.update(true);
+  const core::Estimate e = w.query(2);
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 1.0);  // not 1.5
+}
+
+TEST(Regression, MidpointFormulaAdjacentRanksSweep) {
+  // The gap-1 case must be exact for every alignment of a sparse pattern.
+  for (int gap = 2; gap <= 12; ++gap) {
+    core::DetWave w(2, 8);
+    std::vector<bool> all;
+    for (int i = 0; i < 100; ++i) {
+      const bool b = (i % gap) == 0;
+      all.push_back(b);
+      w.update(b);
+      for (std::uint64_t n = 1; n <= 8; ++n) {
+        double exact = 0;
+        const std::size_t lo =
+            all.size() > n ? all.size() - static_cast<std::size_t>(n) : 0;
+        for (std::size_t k = lo; k < all.size(); ++k) exact += all[k] ? 1 : 0;
+        ASSERT_LE(std::abs(w.query(n).value - exact), exact / 2.0 + 1e-9)
+            << "gap=" << gap << " i=" << i << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Regression, EhSumSmallWindowLargeValues) {
+  // The original EH-sum inserted each value's binary decomposition
+  // directly, planting high-class buckets over empty lower classes and
+  // breaking the >=k-buckets-per-class invariant; with window 56 and
+  // R=18555 the straddling bucket's midpoint overshot by ~50%. The fixed
+  // carry-cascade version must stay within eps on this exact regime.
+  const std::uint64_t inv_eps = 10, window = 56, R = 18555;
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  baseline::EhSum eh(inv_eps, window, R);
+  stream::UniformValues gen(0, R, 464);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    eh.update(v);
+    if (i > 100) {
+      const auto exact =
+          static_cast<double>(stream::exact_sum_in_window(all, window));
+      ASSERT_LE(std::abs(eh.query() - exact), eps * exact + 1e-6)
+          << "item " << i;
+    }
+  }
+}
+
+TEST(Regression, EhSumMaintainsClassInvariant) {
+  // Structural check behind the fix: every class below the largest
+  // non-empty one holds at least k buckets (after warm-up).
+  const std::uint64_t inv_eps = 8, window = 64, R = 1 << 20;
+  baseline::EhSum eh(inv_eps, window, R);
+  stream::UniformValues gen(1, R, 9);
+  for (int i = 0; i < 2000; ++i) {
+    eh.update(gen.next());
+  }
+  // Cannot inspect classes directly; the behavioral consequence is the
+  // bounded error verified above and in the fuzzer. Keep the footprint
+  // sane as a smoke check.
+  EXPECT_GT(eh.bucket_count(), 0u);
+  EXPECT_LT(eh.bucket_count(), 64u * (inv_eps + 2));
+}
+
+TEST(Regression, RulerSaturationAtHighRanks) {
+  // The interleaved scan caps at one cycle's worth of bits; ranks whose
+  // lsb exceeds the cap (e.g. rank 2048 with cycle 8) must still clamp to
+  // the wave's top level rather than aborting. 200k+ ones exercise many
+  // capped ranks.
+  core::DetWave w(2, 64, /*use_weak_model=*/true);
+  for (int i = 0; i < 300000; ++i) w.update(true);
+  EXPECT_LE(std::abs(w.query().value - 64.0), 32.0 + 1e-9);
+}
+
+TEST(Regression, CompactWaveGammaOfLargeDeltas) {
+  // Sparse streams produce position deltas near N'; the gamma codec must
+  // round-trip them (an early draft read the unary prefix incorrectly for
+  // single-bit values).
+  core::CompactWave cw(1, 1 << 20);
+  // Two 1s a near-window apart.
+  cw.update(true);
+  for (int i = 0; i < (1 << 20) - 2; ++i) cw.update(false);
+  cw.update(true);
+  const auto decoded = cw.decode(cw.encode());
+  ASSERT_EQ(decoded.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded.query(1 << 20).value, cw.query().value);
+}
+
+TEST(Regression, SumWaveNearModulusBoundary) {
+  // Totals crossing multiples of N' = 2NR must clamp the level rather
+  // than compute a bogus msb (the wrap branch in level_for).
+  const std::uint64_t window = 8, R = 15;  // N' = 256
+  core::SumWave w(4, window, R);
+  gf2::SplitMix64 rng(5);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() % (R + 1);
+    all.push_back(v);
+    w.update(v);
+    const auto exact =
+        static_cast<double>(stream::exact_sum_in_window(all, window));
+    ASSERT_LE(std::abs(w.query().value - exact), exact / 4.0 + 1e-9)
+        << "item " << i << " total=" << w.total();
+  }
+}
+
+}  // namespace
+}  // namespace waves

@@ -1,0 +1,69 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace waves::util {
+namespace {
+
+TEST(RingBuffer, PushPopBasics) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.push_head(1).has_value());
+  EXPECT_FALSE(rb.push_head(2).has_value());
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.tail(), 1);
+  EXPECT_EQ(rb.head(), 2);
+  EXPECT_EQ(rb.pop_tail(), 1);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, FullEvictsOldest) {
+  RingBuffer<int> rb(3);
+  rb.push_head(1);
+  rb.push_head(2);
+  rb.push_head(3);
+  EXPECT_TRUE(rb.full());
+  const auto evicted = rb.push_head(4);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1);
+  EXPECT_EQ(rb.tail(), 2);
+  EXPECT_EQ(rb.head(), 4);
+}
+
+TEST(RingBuffer, OldestFirstIteration) {
+  RingBuffer<int> rb(4);
+  for (int i = 1; i <= 6; ++i) rb.push_head(i);  // holds 3,4,5,6
+  std::vector<int> seen;
+  rb.for_each_oldest_first([&seen](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 4, 5, 6}));
+  EXPECT_EQ(rb.from_oldest(0), 3);
+  EXPECT_EQ(rb.from_oldest(3), 6);
+}
+
+TEST(RingBuffer, WrapAroundChurn) {
+  RingBuffer<int> rb(5);
+  for (int i = 0; i < 1000; ++i) {
+    rb.push_head(i);
+    if (i % 3 == 0 && !rb.empty()) rb.pop_tail();
+  }
+  // Contents must be a contiguous suffix in order.
+  std::vector<int> seen;
+  rb.for_each_oldest_first([&seen](int v) { seen.push_back(v); });
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 1);
+  }
+}
+
+TEST(RingBuffer, Clear) {
+  RingBuffer<int> rb(2);
+  rb.push_head(1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push_head(9);
+  EXPECT_EQ(rb.tail(), 9);
+}
+
+}  // namespace
+}  // namespace waves::util

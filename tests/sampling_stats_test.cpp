@@ -1,0 +1,100 @@
+// Statistical validation of the Sec. 4.1 sampling machinery: the level
+// occupancy of the randomized wave must follow the geometric law Lemma 2
+// assumes, and the per-level estimators x_j * 2^j must be unbiased.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rand_wave.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "util/bitops.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(SamplingStats, LevelOccupancyIsGeometric) {
+  // Feed x = 2^14 ones (window large enough to hold them in terms of
+  // membership); the number selected into level l has mean x * 2^-l.
+  const std::uint64_t window = 1 << 15;
+  const gf2::Field f(util::floor_log2(util::next_pow2_at_least(2 * window)));
+  const std::uint64_t x = 1 << 14;
+
+  // Average over independent hash instances to separate law from luck.
+  const int instances = 20;
+  std::vector<double> mean_by_level(8, 0.0);
+  gf2::SharedRandomness coins(314159);
+  for (int inst = 0; inst < instances; ++inst) {
+    RandWave w({.eps = 0.9, .window = window, .c = 20000}, f, coins);
+    for (std::uint64_t i = 0; i < x; ++i) w.update(true);
+    // Count occupancy via snapshots at each level... use the snapshot of
+    // the full window at level 0 and recompute levels from the hash.
+    const auto snap = w.snapshot(window);
+    ASSERT_EQ(snap.level, 0);  // giant queues: level 0 covers everything
+    std::vector<std::uint64_t> occ(8, 0);
+    for (std::uint64_t p : snap.positions) {
+      const int l = w.hash().level(p);
+      for (int j = 0; j <= l && j < 8; ++j) ++occ[static_cast<std::size_t>(j)];
+    }
+    for (int l = 0; l < 8; ++l) {
+      mean_by_level[static_cast<std::size_t>(l)] +=
+          static_cast<double>(occ[static_cast<std::size_t>(l)]) / instances;
+    }
+  }
+  for (int l = 0; l < 8; ++l) {
+    const double expect = std::ldexp(static_cast<double>(x), -l);
+    EXPECT_NEAR(mean_by_level[static_cast<std::size_t>(l)] / expect, 1.0, 0.15)
+        << "level " << l;
+  }
+}
+
+TEST(SamplingStats, PerLevelEstimatorUnbiased) {
+  // Lemma 2's estimator: x_j * 2^j. Across instances, its mean must track
+  // the true x within sampling noise.
+  const std::uint64_t window = 1 << 14;
+  const gf2::Field f(util::floor_log2(util::next_pow2_at_least(2 * window)));
+  const std::uint64_t x = 6000;
+  const int level = 4;  // estimate from level 4 samples
+  const int instances = 60;
+
+  gf2::SharedRandomness coins(2718281);
+  double mean_est = 0.0;
+  for (int inst = 0; inst < instances; ++inst) {
+    RandWave w({.eps = 0.9, .window = window, .c = 20000}, f, coins);
+    for (std::uint64_t i = 0; i < x; ++i) w.update(true);
+    const auto snap = w.snapshot(window);
+    std::uint64_t xj = 0;
+    for (std::uint64_t p : snap.positions) {
+      if (w.hash().level(p) >= level) ++xj;
+    }
+    mean_est += std::ldexp(static_cast<double>(xj), level) / instances;
+  }
+  EXPECT_NEAR(mean_est / static_cast<double>(x), 1.0, 0.10);
+}
+
+TEST(SamplingStats, Lemma2SuccessProbability) {
+  // At the operating level (the smallest with <= c/eps^2 samples), the
+  // estimate is within eps with probability > 2/3. Measure the success
+  // rate across many instances at the paper's constant.
+  const std::uint64_t window = 1 << 14;
+  const gf2::Field f(util::floor_log2(util::next_pow2_at_least(2 * window)));
+  const double eps = 0.3;
+  const std::uint64_t x = 9000;
+  const int instances = 120;
+
+  gf2::SharedRandomness coins(17);
+  int ok = 0;
+  for (int inst = 0; inst < instances; ++inst) {
+    RandWave w({.eps = eps, .window = window, .c = 36}, f, coins);
+    for (std::uint64_t i = 0; i < x; ++i) w.update(true);
+    const double est = w.estimate(window).value;
+    if (std::abs(est - static_cast<double>(x)) <= eps * static_cast<double>(x)) {
+      ++ok;
+    }
+  }
+  EXPECT_GT(static_cast<double>(ok) / instances, 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,110 @@
+#include "distributed/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+
+namespace waves::distributed {
+namespace {
+
+TEST(Scenario1, SumOfPerStreamWindows) {
+  const std::uint64_t window = 100;
+  const int parties = 3;
+  Scenario1Counter s1(parties, 10, window);
+  std::vector<std::vector<bool>> streams;
+  for (int j = 0; j < parties; ++j) {
+    stream::BernoulliBits gen(0.2 + 0.2 * j, static_cast<std::uint64_t>(j));
+    streams.push_back(stream::take(gen, 3000));
+  }
+  for (std::size_t i = 0; i < 3000; ++i) {
+    for (int j = 0; j < parties; ++j) {
+      s1.observe(j, streams[static_cast<std::size_t>(j)][i]);
+    }
+    if (i > 200 && i % 149 == 0) {
+      double exact = 0;
+      for (int j = 0; j < parties; ++j) {
+        const std::vector<bool> prefix(
+            streams[static_cast<std::size_t>(j)].begin(),
+            streams[static_cast<std::size_t>(j)].begin() +
+                static_cast<long>(i + 1));
+        exact += static_cast<double>(
+            stream::exact_ones_in_window(prefix, window));
+      }
+      const double est = s1.estimate(window).value;
+      ASSERT_LE(std::abs(est - exact), 0.1 * exact + 1e-9) << "item " << i;
+    }
+  }
+}
+
+TEST(Scenario2, SplitLogicalStream) {
+  const std::uint64_t window = 128;
+  const int parties = 4;
+  stream::BernoulliBits gen(0.4, 7);
+  const auto logical = stream::take(gen, 6000);
+
+  for (int mode : {0, 1, 2}) {
+    const auto parts = stream::split_stream(logical, parties, mode, 13, 32);
+    Scenario2Counter s2(parties, 10, window);
+    // Interleave delivery in sequence order (as the logical stream flows).
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(parties), 0);
+    for (std::uint64_t seq = 1; seq <= logical.size(); ++seq) {
+      for (int j = 0; j < parties; ++j) {
+        auto& cur = cursor[static_cast<std::size_t>(j)];
+        const auto& part = parts[static_cast<std::size_t>(j)];
+        if (cur < part.size() && part[cur].seq == seq) {
+          s2.observe(j, part[cur]);
+          ++cur;
+          break;
+        }
+      }
+      if (seq > 500 && seq % 401 == 0) {
+        const std::vector<bool> prefix(logical.begin(),
+                                       logical.begin() +
+                                           static_cast<long>(seq));
+        const auto exact = static_cast<double>(
+            stream::exact_ones_in_window(prefix, window));
+        const double est = s2.estimate(window).value;
+        ASSERT_LE(std::abs(est - exact), 0.1 * exact + 1e-9)
+            << "mode " << mode << " seq " << seq;
+      }
+    }
+  }
+}
+
+TEST(Scenario2, PartyWithNoRecentItems) {
+  // A party whose last item is far behind the window contributes zero.
+  Scenario2Counter s2(2, 4, 16);
+  s2.observe(0, {1, true});
+  s2.observe(0, {2, true});
+  for (std::uint64_t seq = 3; seq <= 100; ++seq) {
+    s2.observe(1, {seq, false});
+  }
+  EXPECT_DOUBLE_EQ(s2.estimate(16).value, 0.0);
+}
+
+TEST(Scenario2, AllItemsToOneParty) {
+  // Degenerate split: equivalent to a single-stream wave.
+  const std::uint64_t window = 64;
+  Scenario2Counter s2(3, 8, window);
+  stream::BernoulliBits gen(0.5, 11);
+  std::vector<bool> all;
+  for (std::uint64_t seq = 1; seq <= 2000; ++seq) {
+    const bool b = gen.next();
+    all.push_back(b);
+    s2.observe(0, {seq, b});
+    if (seq % 97 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_ones_in_window(all, window));
+      ASSERT_LE(std::abs(s2.estimate(window).value - exact),
+                0.125 * exact + 1e-9)
+          << seq;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waves::distributed

@@ -1,0 +1,76 @@
+// The sparse-stream fast path: skip_zeros(k) must be observationally
+// identical to k plain zero updates, across expiry boundaries and
+// arbitrary interleavings with 1s.
+#include <gtest/gtest.h>
+
+#include "core/det_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::core {
+namespace {
+
+TEST(SkipZeros, DetWaveEquivalentToUnitUpdates) {
+  gf2::SplitMix64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t inv_eps = 1 + rng.next() % 10;
+    const std::uint64_t window = 4 + rng.next() % 200;
+    DetWave slow(inv_eps, window), fast(inv_eps, window);
+    for (int step = 0; step < 200; ++step) {
+      if (rng.next() % 3 == 0) {
+        slow.update(true);
+        fast.update(true);
+      } else {
+        const std::uint64_t k = rng.next() % (2 * window);
+        for (std::uint64_t i = 0; i < k; ++i) slow.update(false);
+        fast.skip_zeros(k);
+      }
+      ASSERT_EQ(slow.pos(), fast.pos());
+      ASSERT_EQ(slow.rank(), fast.rank());
+      for (std::uint64_t n : {std::uint64_t{1}, window / 2 + 1, window}) {
+        if (n > window) continue;
+        ASSERT_DOUBLE_EQ(slow.query(n).value, fast.query(n).value)
+            << "round " << round << " step " << step << " n " << n;
+      }
+    }
+  }
+}
+
+TEST(SkipZeros, DetWaveGiantJumpExpiresEverything) {
+  DetWave w(4, 32);
+  for (int i = 0; i < 20; ++i) w.update(true);
+  w.skip_zeros(1000000);
+  const Estimate e = w.query();
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  // Still usable afterwards.
+  w.update(true);
+  EXPECT_DOUBLE_EQ(w.query().value, 1.0);
+}
+
+TEST(SkipZeros, SumWaveEquivalentToUnitUpdates) {
+  gf2::SplitMix64 rng(13);
+  for (int round = 0; round < 15; ++round) {
+    const std::uint64_t inv_eps = 1 + rng.next() % 8;
+    const std::uint64_t window = 4 + rng.next() % 100;
+    const std::uint64_t R = 1 + rng.next() % 1000;
+    SumWave slow(inv_eps, window, R), fast(inv_eps, window, R);
+    for (int step = 0; step < 150; ++step) {
+      if (rng.next() % 3 == 0) {
+        const std::uint64_t v = rng.next() % (R + 1);
+        slow.update(v);
+        fast.update(v);
+      } else {
+        const std::uint64_t k = rng.next() % (2 * window);
+        for (std::uint64_t i = 0; i < k; ++i) slow.update(0);
+        fast.skip_zeros(k);
+      }
+      ASSERT_EQ(slow.pos(), fast.pos());
+      ASSERT_DOUBLE_EQ(slow.query().value, fast.query().value)
+          << "round " << round << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stream/example_stream.hpp"
+#include "stream/generators.hpp"
+#include "stream/hamming_pairs.hpp"
+#include "stream/splitters.hpp"
+#include "stream/timestamped.hpp"
+#include "stream/value_streams.hpp"
+
+namespace waves::stream {
+namespace {
+
+TEST(ExampleStream, MatchesFigureOne) {
+  const auto& bits = example_stream();
+  ASSERT_EQ(bits.size(), 99u);
+  // Fixed prefix.
+  EXPECT_FALSE(bits[0]);  // position 1
+  EXPECT_TRUE(bits[1]);   // position 2, 1-rank 1
+  // The displayed suffix, positions 61..99 (0 = false, 1 = true).
+  const int suffix[] = {0, 1, 0, 0, 0, 0, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 0,
+                        1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0,
+                        0, 0, 1};
+  for (int i = 0; i < 39; ++i) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(60 + i)], suffix[i] == 1)
+        << "position " << 61 + i;
+  }
+}
+
+TEST(ExampleStream, RankFiftyTotal) {
+  int ones = 0;
+  for (bool b : example_stream()) ones += b ? 1 : 0;
+  EXPECT_EQ(ones, 50);
+}
+
+TEST(ExampleStream, RankPositionsConsistent) {
+  // position_of_rank must match a scan of the stream.
+  const auto& bits = example_stream();
+  int rank = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      ++rank;
+      EXPECT_EQ(example_position_of_rank(rank), i + 1);
+    }
+  }
+  // The constraint that fixes Fig. 2/3's worked query: rank 24 at pos 44.
+  EXPECT_EQ(example_position_of_rank(24), 44u);
+  EXPECT_EQ(example_position_of_rank(32), 67u);
+}
+
+TEST(ExampleStream, WindowCount) {
+  // Sec. 3.1: the window of the 39 most recent items (61..99) has 20 ones.
+  EXPECT_EQ(example_ones_in(61, 99), 20);
+}
+
+TEST(Generators, BernoulliRate) {
+  BernoulliBits g(0.3, 7);
+  const auto bits = take(g, 100000);
+  const double rate =
+      static_cast<double>(exact_ones_in_window(bits, bits.size())) /
+      static_cast<double>(bits.size());
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(Generators, BernoulliExtremes) {
+  BernoulliBits zeros(0.0, 1);
+  BernoulliBits ones(1.0, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(zeros.next());
+    EXPECT_TRUE(ones.next());
+  }
+}
+
+TEST(Generators, PeriodicPattern) {
+  PeriodicBits g(4, 1);  // fires at positions 1, 5, 9, ...
+  const auto bits = take(g, 12);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(bits[i], (i % 4) == 0) << i;
+  }
+}
+
+TEST(Generators, BurstyProducesBothRegimes) {
+  BurstyBits g(0.9, 0.02, 0.02, 0.02, 3);
+  const auto bits = take(g, 200000);
+  const double rate =
+      static_cast<double>(exact_ones_in_window(bits, bits.size())) /
+      static_cast<double>(bits.size());
+  // Stationary split is about half on/half off: rate around 0.46.
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.8);
+}
+
+TEST(ValueStreams, UniformRange) {
+  UniformValues g(5, 10, 11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = g.next();
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 10u);
+  }
+}
+
+TEST(ValueStreams, ZipfSkew) {
+  ZipfValues g(1000, 1.2, 5);
+  std::uint64_t small = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (g.next() <= 10) ++small;
+  }
+  // With theta=1.2 the top-10 values carry a large share.
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(total), 0.4);
+}
+
+TEST(ValueStreams, ExactHelpers) {
+  const std::vector<std::uint64_t> v = {1, 2, 3, 4, 5, 3};
+  EXPECT_EQ(exact_sum_in_window(v, 3), 12u);
+  EXPECT_EQ(exact_distinct_in_window(v, 3), 3u);
+  EXPECT_EQ(exact_distinct_in_window(v, 6), 5u);
+}
+
+TEST(Timestamped, PositionsNondecreasingAndBounded) {
+  RandomTicks g(4, 0.5, 13);
+  Position prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const TimedBit t = g.next();
+    ASSERT_GE(t.pos, prev);
+    ASSERT_LE(t.pos, prev + 1);
+    prev = t.pos;
+  }
+}
+
+TEST(Timestamped, ExactWindowGroundTruth) {
+  const std::vector<TimedBit> items = {
+      {1, true}, {1, false}, {2, true}, {3, true}, {3, true}, {4, false}};
+  EXPECT_EQ(exact_ones_in_position_window(items, 2), 2u);  // pos 3,4
+  EXPECT_EQ(exact_ones_in_position_window(items, 4), 4u);
+}
+
+TEST(Splitters, RoundRobinPartition) {
+  std::vector<bool> bits(10, true);
+  const auto parts = split_stream(bits, 3, /*mode=*/0, 1);
+  ASSERT_EQ(parts.size(), 3u);
+  std::set<Position> seqs;
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    for (const SeqBit& it : p) seqs.insert(it.seq);
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(seqs.size(), 10u);  // every sequence number exactly once
+  EXPECT_EQ(parts[0][0].seq, 1u);
+  EXPECT_EQ(parts[1][0].seq, 2u);
+}
+
+TEST(Splitters, AllModesPartition) {
+  BernoulliBits g(0.5, 17);
+  const auto bits = take(g, 1000);
+  for (int mode : {0, 1, 2}) {
+    const auto parts = split_stream(bits, 4, mode, 9, 32);
+    std::size_t total = 0;
+    for (const auto& p : parts) {
+      total += p.size();
+      // Sequence numbers strictly increase within a party.
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        ASSERT_GT(p[i].seq, p[i - 1].seq);
+      }
+    }
+    EXPECT_EQ(total, bits.size()) << "mode " << mode;
+  }
+}
+
+TEST(Splitters, UnionIsOr) {
+  const std::vector<std::vector<bool>> streams = {{true, false, false},
+                                                  {false, false, true}};
+  EXPECT_EQ(positionwise_union(streams),
+            (std::vector<bool>{true, false, true}));
+}
+
+TEST(Splitters, CorrelatedContainBase) {
+  BernoulliBits g(0.2, 23);
+  const auto base = take(g, 5000);
+  const auto streams = correlated_streams(base, 3, 0.1, 99);
+  for (const auto& s : streams) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (base[i]) { ASSERT_TRUE(s[i]); }
+    }
+  }
+}
+
+TEST(HammingPairs, ExactDistanceAndUnion) {
+  for (std::size_t k : {0u, 5u, 100u, 250u}) {
+    const HammingPair hp = make_hamming_pair(1000, k, 7 + k);
+    std::size_t ones_x = 0, ones_y = 0, dist = 0, uni = 0;
+    for (std::size_t i = 0; i < 1000; ++i) {
+      ones_x += hp.x[i] ? 1 : 0;
+      ones_y += hp.y[i] ? 1 : 0;
+      dist += (hp.x[i] != hp.y[i]) ? 1 : 0;
+      uni += (hp.x[i] || hp.y[i]) ? 1 : 0;
+    }
+    EXPECT_EQ(ones_x, 500u);
+    EXPECT_EQ(ones_y, 500u);
+    EXPECT_EQ(dist, 2 * k);
+    EXPECT_EQ(uni, 500u + k);
+    EXPECT_EQ(hp.union_ones, uni);
+    EXPECT_EQ(hp.hamming, dist);
+  }
+}
+
+}  // namespace
+}  // namespace waves::stream

@@ -1,0 +1,181 @@
+#include "core/sum_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "baseline/eh_sum.hpp"
+#include "stream/value_streams.hpp"
+
+namespace waves::core {
+namespace {
+
+double rel_err(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+TEST(SumWave, ExactOnShortStream) {
+  SumWave w(4, 64, 100);
+  std::uint64_t sum = 0;
+  stream::UniformValues gen(0, 100, 3);
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t v = gen.next();
+    w.update(v);
+    sum += v;
+    const Estimate e = w.query();
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, static_cast<double>(sum));
+  }
+}
+
+TEST(SumWave, ZeroWindow) {
+  SumWave w(4, 16, 10);
+  for (int i = 0; i < 5; ++i) w.update(7);
+  for (int i = 0; i < 40; ++i) w.update(0);
+  const Estimate e = w.query();
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+}
+
+class SumWaveAccuracy
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> {};
+
+TEST_P(SumWaveAccuracy, FullWindowWithinEps) {
+  const auto [inv_eps, window, max_value] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  stream::UniformValues gen(0, max_value, inv_eps * 131 + max_value);
+  SumWave w(inv_eps, window, max_value);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    w.update(v);
+    if (i % 59 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_sum_in_window(all, window));
+      ASSERT_LE(rel_err(w.query().value, exact), eps + 1e-12)
+          << "item " << i << " exact=" << exact << " est=" << w.query().value;
+    }
+  }
+}
+
+TEST_P(SumWaveAccuracy, GeneralWindowsWithinEps) {
+  const auto [inv_eps, window, max_value] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  stream::UniformValues gen(0, max_value, inv_eps * 733 + max_value);
+  SumWave w(inv_eps, window, max_value);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 1500; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    w.update(v);
+    if (i % 101 == 0) {
+      for (std::uint64_t n :
+           {std::uint64_t{1}, window / 3 + 1, window / 2 + 1, window}) {
+        const std::size_t take = std::min<std::size_t>(n, all.size());
+        double exact = 0;
+        for (std::size_t k = all.size() - take; k < all.size(); ++k) {
+          exact += static_cast<double>(all[k]);
+        }
+        ASSERT_LE(rel_err(w.query(n).value, exact), eps + 1e-12)
+            << "item " << i << " n=" << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SumWaveAccuracy,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 5, 16),
+                       ::testing::Values<std::uint64_t>(64, 500),
+                       ::testing::Values<std::uint64_t>(1, 10, 1000, 65535)));
+
+TEST(SumWave, WeakModelMatchesFast) {
+  SumWave fast(5, 128, 255, false), weak(5, 128, 255, true);
+  stream::UniformValues gen(0, 255, 17);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = gen.next();
+    fast.update(v);
+    weak.update(v);
+    if (i % 83 == 0) {
+      ASSERT_DOUBLE_EQ(fast.query().value, weak.query().value);
+    }
+  }
+}
+
+TEST(SumWave, SpikyStream) {
+  // Rare large spikes in a sea of zeros: estimates must track spikes
+  // entering and leaving the window.
+  const std::uint64_t window = 100;
+  SumWave w(10, window, 1000000);
+  stream::SpikyValues gen(1000000, 0.01, 21);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    w.update(v);
+    const auto exact =
+        static_cast<double>(stream::exact_sum_in_window(all, window));
+    ASSERT_LE(rel_err(w.query().value, exact), 0.1 + 1e-12) << "item " << i;
+  }
+}
+
+TEST(SumWave, DegeneratesToCountingOnBits) {
+  // R = 1 makes the sum wave a Basic Counting structure.
+  SumWave w(3, 48, 1);
+  stream::UniformValues gen(0, 1, 5);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    w.update(v);
+  }
+  const auto exact = static_cast<double>(stream::exact_sum_in_window(all, 48));
+  EXPECT_LE(rel_err(w.query().value, exact), 1.0 / 3.0 + 1e-12);
+}
+
+TEST(SumWave, MatchesEhWithinCombinedBand) {
+  // Wave and EH both promise eps; they may differ by at most ~2 eps
+  // relative to the truth.
+  const std::uint64_t inv_eps = 10, window = 256, R = 4095;
+  SumWave w(inv_eps, window, R);
+  baseline::EhSum eh(inv_eps, window, R);
+  stream::UniformValues gen(0, R, 77);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = gen.next();
+    all.push_back(v);
+    w.update(v);
+    eh.update(v);
+    if (i > 500 && i % 97 == 0) {
+      const auto exact =
+          static_cast<double>(stream::exact_sum_in_window(all, window));
+      ASSERT_LE(std::abs(w.query().value - eh.query()), 0.2 * exact + 1e-9);
+    }
+  }
+}
+
+TEST(SumWave, MaxValuesEveryItem) {
+  // Constant R stream: totals climb fast; levels saturate at the top.
+  const std::uint64_t R = (1u << 16) - 1;
+  SumWave w(8, 64, R);
+  std::vector<std::uint64_t> all;
+  for (int i = 0; i < 1000; ++i) {
+    all.push_back(R);
+    w.update(R);
+  }
+  const auto exact = static_cast<double>(stream::exact_sum_in_window(all, 64));
+  EXPECT_LE(rel_err(w.query().value, exact), 0.125 + 1e-12);
+}
+
+TEST(SumWave, SpaceBitsAccounting) {
+  SumWave a(4, 1 << 10, 255), b(4, 1 << 10, (1u << 24) - 1);
+  EXPECT_GT(b.space_bits(), a.space_bits());  // grows with log R
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,164 @@
+#include "core/ts_sum_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/extensions/average.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace waves::core {
+namespace {
+
+struct TimedValue {
+  std::uint64_t pos;
+  std::uint64_t value;
+};
+
+double rel_err(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+double exact_sum(const std::vector<TimedValue>& items, std::uint64_t n) {
+  if (items.empty()) return 0.0;
+  const std::uint64_t now = items.back().pos;
+  const std::uint64_t start = now >= n ? now - n + 1 : 1;
+  double s = 0;
+  for (const auto& it : items) {
+    if (it.pos >= start) s += static_cast<double>(it.value);
+  }
+  return s;
+}
+
+std::vector<TimedValue> make_stream(std::size_t n, std::uint32_t per_tick,
+                                    std::uint64_t max_value,
+                                    std::uint64_t seed) {
+  gf2::SplitMix64 rng(seed);
+  std::vector<TimedValue> out;
+  std::uint64_t pos = 0;
+  while (out.size() < n) {
+    ++pos;
+    const std::uint64_t k = 1 + rng.next() % per_tick;
+    for (std::uint64_t i = 0; i < k && out.size() < n; ++i) {
+      out.push_back({pos, rng.next() % (max_value + 1)});
+    }
+  }
+  return out;
+}
+
+TEST(TsSumWave, ExactWhileYoung) {
+  TsSumWave w(4, 100, 400, 50);
+  std::uint64_t total = 0;
+  gf2::SplitMix64 rng(1);
+  for (std::uint64_t p = 1; p <= 50; ++p) {
+    for (int k = 0; k < 3; ++k) {
+      const std::uint64_t v = rng.next() % 51;
+      w.update(p, v);
+      total += v;
+    }
+    const Estimate e = w.query();
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, static_cast<double>(total));
+  }
+}
+
+TEST(TsSumWave, WholePositionExpires) {
+  TsSumWave w(4, 4, 64, 100);
+  for (int k = 0; k < 10; ++k) w.update(1, 100);
+  for (std::uint64_t p = 2; p <= 5; ++p) w.update(p, 0);
+  EXPECT_DOUBLE_EQ(w.query().value, 0.0);
+}
+
+class TsSumAccuracy
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(TsSumAccuracy, FullWindowWithinEps) {
+  const auto [inv_eps, per_tick, max_value] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 128;
+  const auto items = make_stream(8000, per_tick, max_value,
+                                 inv_eps * 7 + per_tick + max_value);
+  TsSumWave w(inv_eps, window, window * per_tick, max_value);
+  std::vector<TimedValue> seen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    seen.push_back(items[i]);
+    w.update(items[i].pos, items[i].value);
+    if (i > 1000 && i % 97 == 0) {
+      const double exact = exact_sum(seen, window);
+      ASSERT_LE(rel_err(w.query().value, exact), eps + 1e-12)
+          << "item " << i << " exact=" << exact
+          << " est=" << w.query().value;
+    }
+  }
+}
+
+TEST_P(TsSumAccuracy, GeneralWindowsWithinEps) {
+  const auto [inv_eps, per_tick, max_value] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 96;
+  const auto items = make_stream(4000, per_tick, max_value,
+                                 inv_eps * 31 + per_tick);
+  TsSumWave w(inv_eps, window, window * per_tick, max_value);
+  std::vector<TimedValue> seen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    seen.push_back(items[i]);
+    w.update(items[i].pos, items[i].value);
+    if (i > 500 && i % 173 == 0) {
+      for (std::uint64_t n : {8u, 40u, 96u}) {
+        const double exact = exact_sum(seen, n);
+        ASSERT_LE(rel_err(w.query(n).value, exact), eps + 1e-12)
+            << "item " << i << " n=" << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TsSumAccuracy,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 5, 12),
+                       ::testing::Values<std::uint32_t>(1, 4, 16),
+                       ::testing::Values<std::uint64_t>(1, 63, 4095)));
+
+TEST(TsSumWave, ZeroValuesAreFree) {
+  TsSumWave w(4, 32, 128, 10);
+  for (std::uint64_t p = 1; p <= 100; ++p) w.update(p, 0);
+  EXPECT_DOUBLE_EQ(w.query().value, 0.0);
+}
+
+TEST(TimestampedAverage, TracksWindowMean) {
+  const std::uint64_t window = 256, R = 1000;
+  TimestampedAverage avg(10, window, window * 4, R);
+  const auto items = make_stream(20000, 4, R, 9);
+  std::vector<TimedValue> seen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    seen.push_back(items[i]);
+    avg.update(items[i].pos, items[i].value);
+    if (i > 3000 && i % 499 == 0) {
+      const std::uint64_t now = seen.back().pos;
+      const std::uint64_t start = now >= window ? now - window + 1 : 1;
+      double s = 0, c = 0;
+      for (const auto& it : seen) {
+        if (it.pos >= start) {
+          s += static_cast<double>(it.value);
+          ++c;
+        }
+      }
+      if (c == 0) continue;
+      const auto est = avg.query(window);
+      ASSERT_TRUE(est.has_value());
+      ASSERT_LE(std::abs(*est - s / c), 0.1 * (s / c) + 1e-9) << "item " << i;
+    }
+  }
+}
+
+TEST(TimestampedAverage, EmptyBeforeItems) {
+  TimestampedAverage avg(4, 16, 64, 10);
+  EXPECT_FALSE(avg.query(16).has_value());
+}
+
+}  // namespace
+}  // namespace waves::core

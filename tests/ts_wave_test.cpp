@@ -1,0 +1,146 @@
+#include "core/ts_wave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "stream/timestamped.hpp"
+
+namespace waves::core {
+namespace {
+
+double rel_err(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+// Ground truth for a window of n positions ending at the current position.
+double exact_in(const std::vector<stream::TimedBit>& items, std::uint64_t n) {
+  if (items.empty()) return 0.0;
+  const std::uint64_t now = items.back().pos;
+  const std::uint64_t start = now >= n ? now - n + 1 : 1;
+  double c = 0;
+  for (const auto& it : items) {
+    if (it.pos >= start && it.bit) ++c;
+  }
+  return c;
+}
+
+TEST(TsWave, ExactWhileYoung) {
+  TsWave w(4, 100, 400);
+  std::uint64_t rank = 0;
+  // Four items per position, alternating bits.
+  for (std::uint64_t p = 1; p <= 50; ++p) {
+    for (int k = 0; k < 4; ++k) {
+      const bool b = (k % 2) == 0;
+      w.update(p, b);
+      rank += b ? 1 : 0;
+    }
+    const Estimate e = w.query();
+    EXPECT_TRUE(e.exact);
+    EXPECT_DOUBLE_EQ(e.value, static_cast<double>(rank));
+  }
+}
+
+TEST(TsWave, WholePositionExpiresAtOnce) {
+  TsWave w(2, 4, 64);
+  // Position 1 carries ten 1s; they all leave when the window slides past.
+  for (int k = 0; k < 10; ++k) w.update(1, true);
+  for (std::uint64_t p = 2; p <= 5; ++p) w.update(p, false);
+  // Window is positions 2..5: no ones.
+  const Estimate e = w.query();
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  EXPECT_GE(w.largest_discarded_rank(), 1u);
+}
+
+TEST(TsWave, GapsInPositionsTolerated) {
+  TsWave w(4, 10, 100);
+  w.update(1, true);
+  w.update(2, true);
+  w.update(50, true);  // large jump: everything before expires
+  const Estimate e = w.query();
+  EXPECT_DOUBLE_EQ(e.value, 1.0);
+}
+
+class TsWaveAccuracy
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint32_t, double>> {};
+
+TEST_P(TsWaveAccuracy, FullWindowWithinEps) {
+  const auto [inv_eps, per_tick, p_one] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 200;
+  const std::uint64_t max_items = window * per_tick;
+  stream::RandomTicks gen(per_tick, p_one, inv_eps * 7 + per_tick);
+  TsWave w(inv_eps, window, max_items);
+  std::vector<stream::TimedBit> all;
+  for (int i = 0; i < 8000; ++i) {
+    const stream::TimedBit t = gen.next();
+    all.push_back(t);
+    w.update(t.pos, t.bit);
+    if (i % 73 == 0) {
+      const double exact = exact_in(all, window);
+      ASSERT_LE(rel_err(w.query().value, exact), eps + 1e-12)
+          << "item " << i << " exact=" << exact << " est=" << w.query().value;
+    }
+  }
+}
+
+TEST_P(TsWaveAccuracy, GeneralWindowsWithinEps) {
+  const auto [inv_eps, per_tick, p_one] = GetParam();
+  const double eps = 1.0 / static_cast<double>(inv_eps);
+  const std::uint64_t window = 128;
+  stream::RandomTicks gen(per_tick, p_one, inv_eps * 31 + per_tick);
+  TsWave w(inv_eps, window, window * per_tick);
+  std::vector<stream::TimedBit> all;
+  for (int i = 0; i < 4000; ++i) {
+    const stream::TimedBit t = gen.next();
+    all.push_back(t);
+    w.update(t.pos, t.bit);
+    if (i % 131 == 0 && w.current_position() > 1) {
+      for (std::uint64_t n : {5u, 40u, 100u, 128u}) {
+        const double exact = exact_in(all, n);
+        ASSERT_LE(rel_err(w.query(n).value, exact), eps + 1e-12)
+            << "item " << i << " n=" << n << " exact=" << exact;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TsWaveAccuracy,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 4, 10),
+                       ::testing::Values<std::uint32_t>(1, 3, 8),
+                       ::testing::Values(0.1, 0.6, 1.0)));
+
+TEST(TsWave, SinglePositionHammering) {
+  // Everything lands on one position, then the window slides away.
+  TsWave w(4, 8, 1024);
+  for (int k = 0; k < 1000; ++k) w.update(3, true);
+  EXPECT_LE(rel_err(w.query().value, 1000.0), 0.25 + 1e-12);
+  for (std::uint64_t p = 4; p <= 11; ++p) w.update(p, false);
+  EXPECT_DOUBLE_EQ(w.query().value, 0.0);
+}
+
+TEST(TsWave, DegeneratesToDetWaveWithoutDuplicates) {
+  // Unique consecutive positions: behaves like Basic Counting.
+  TsWave w(3, 48, 48);
+  std::vector<stream::TimedBit> all;
+  for (std::uint64_t p = 1; p <= 500; ++p) {
+    const bool b = (p * 2654435761u) % 7 < 3;
+    all.push_back({p, b});
+    w.update(p, b);
+    const double exact = exact_in(all, 48);
+    ASSERT_LE(rel_err(w.query().value, exact), 1.0 / 3.0 + 1e-12) << p;
+  }
+}
+
+TEST(TsWave, SpaceBitsGrowWithU) {
+  TsWave a(4, 100, 200), b(4, 100, 20000);
+  EXPECT_GT(b.space_bits(), a.space_bits());
+}
+
+}  // namespace
+}  // namespace waves::core

@@ -1,0 +1,69 @@
+#include "util/weak_bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gf2/shared_randomness.hpp"
+#include "util/bitops.hpp"
+
+namespace waves::util {
+namespace {
+
+TEST(RulerLevels, MatchesRankLevelForLongRun) {
+  // The streaming ruler scheme must reproduce level(rank) = lsb(rank) for
+  // every rank, across many full cycles of the precomputed table; values
+  // at or above level_cap() saturate there (still above any wave's top
+  // level, so clamping is unaffected).
+  RulerLevels rl(5);
+  const int cap = rl.level_cap();
+  for (std::uint64_t rank = 1; rank <= 200000; ++rank) {
+    const int want = std::min(rank_level(rank), cap);
+    ASSERT_EQ(rl.next(), want) << "rank=" << rank;
+  }
+}
+
+TEST(RulerLevels, CycleSizedToPowerOfTwo) {
+  EXPECT_EQ(RulerLevels(1).cycle(), 8u);
+  EXPECT_EQ(RulerLevels(5).cycle(), 8u);
+  EXPECT_EQ(RulerLevels(8).cycle(), 8u);
+  EXPECT_EQ(RulerLevels(9).cycle(), 16u);
+  EXPECT_EQ(RulerLevels(33).cycle(), 64u);
+}
+
+TEST(RulerLevels, LargeCycleMatches) {
+  RulerLevels rl(30);  // cycle 32
+  const int cap = rl.level_cap();
+  for (std::uint64_t rank = 1; rank <= 100000; ++rank) {
+    ASSERT_EQ(rl.next(), std::min(rank_level(rank), cap)) << "rank=" << rank;
+  }
+}
+
+TEST(MsbBinarySearch, MatchesHardwareMsb) {
+  for (int b = 0; b < 64; ++b) {
+    const std::uint64_t v = std::uint64_t{1} << b;
+    EXPECT_EQ(msb_index_binary_search(v), b);
+    EXPECT_EQ(msb_index_binary_search(v | 1), b == 0 ? 0 : b);
+  }
+  gf2::SplitMix64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.next() | 1;
+    ASSERT_EQ(msb_index_binary_search(v), msb_index(v));
+  }
+}
+
+TEST(LsbBinarySearch, MatchesHardwareLsb) {
+  for (int b = 0; b < 64; ++b) {
+    const std::uint64_t v = std::uint64_t{1} << b;
+    EXPECT_EQ(lsb_index_binary_search(v), b);
+  }
+  gf2::SplitMix64 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t v = rng.next();
+    if (v == 0) v = 1;
+    ASSERT_EQ(lsb_index_binary_search(v), lsb_index(v));
+  }
+}
+
+}  // namespace
+}  // namespace waves::util

@@ -1,0 +1,154 @@
+// wavecli — sliding-window aggregates over stdin, one item per line.
+//
+//   wavecli count    [--eps E] [--window N]                # item is 0/1
+//   wavecli sum      [--eps E] [--window N] [--max-value R]
+//   wavecli distinct [--eps E] [--window N] [--max-value R] [--seed S]
+//   wavecli nth-one  [--eps E] [--span M] [--nth K]
+//
+// Prints "<items>\t<estimate>" every --every items (default 10000) and a
+// final line on EOF. Exit code 2 on usage errors, 3 on malformed input.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/det_wave.hpp"
+#include "core/distinct_wave.hpp"
+#include "core/extensions/nth_one.hpp"
+#include "core/sum_wave.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+
+namespace {
+
+struct Options {
+  std::string mode;
+  std::uint64_t inv_eps = 20;  // eps = 0.05
+  std::uint64_t window = 100000;
+  std::uint64_t max_value = 1000000;
+  std::uint64_t seed = 1;
+  std::uint64_t every = 10000;
+  std::uint64_t nth = 1;
+  std::uint64_t span = 1 << 20;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wavecli count|sum|distinct|nth-one [--eps E] "
+               "[--window N]\n               [--max-value R] [--seed S] "
+               "[--every K] [--nth K] [--span M]\n");
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options o;
+  o.mode = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "--eps") {
+      const double e = std::atof(val);
+      if (e <= 0.0 || e >= 1.0) return std::nullopt;
+      o.inv_eps = static_cast<std::uint64_t>(1.0 / e + 0.5);
+      if (o.inv_eps < 1) o.inv_eps = 1;
+    } else if (flag == "--window") {
+      o.window = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--max-value") {
+      o.max_value = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--seed") {
+      o.seed = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--every") {
+      o.every = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--nth") {
+      o.nth = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--span") {
+      o.span = std::strtoull(val, nullptr, 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (o.window < 1 || o.every < 1) return std::nullopt;
+  return o;
+}
+
+/// Reads uint64 lines; calls consume(v) per item and flush(items) at every
+/// --every boundary and once at EOF.
+template <class Consume, class Flush>
+int pump(const Options& o, Consume&& consume, Flush&& flush) {
+  char line[128];
+  std::uint64_t count = 0;
+  while (std::fgets(line, sizeof line, stdin) != nullptr) {
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(line, &end, 10);
+    if (end == line) {
+      std::fprintf(stderr,
+                   "wavecli: malformed input line after %" PRIu64 " items\n",
+                   count);
+      return 3;
+    }
+    ++count;
+    consume(v);
+    if (count % o.every == 0) flush(count);
+  }
+  if (count % o.every != 0 && count > 0) flush(count);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) return usage();
+  const Options& o = *opts;
+
+  if (o.mode == "count") {
+    waves::core::DetWave w(o.inv_eps, o.window);
+    return pump(
+        o, [&](std::uint64_t v) { w.update(v != 0); },
+        [&](std::uint64_t n) {
+          std::printf("%" PRIu64 "\t%.1f\n", n, w.query().value);
+        });
+  }
+  if (o.mode == "sum") {
+    waves::core::SumWave w(o.inv_eps, o.window, o.max_value);
+    return pump(
+        o,
+        [&](std::uint64_t v) { w.update(v <= o.max_value ? v : o.max_value); },
+        [&](std::uint64_t n) {
+          std::printf("%" PRIu64 "\t%.1f\n", n, w.query().value);
+        });
+  }
+  if (o.mode == "distinct") {
+    waves::core::DistinctWave::Params p{
+        .eps = 1.0 / static_cast<double>(o.inv_eps),
+        .window = o.window,
+        .max_value = o.max_value,
+        .c = 36};
+    const waves::gf2::Field field(
+        waves::core::DistinctWave::field_dimension(p));
+    waves::gf2::SharedRandomness coins(o.seed);
+    waves::core::DistinctWave w(p, field, coins);
+    return pump(
+        o,
+        [&](std::uint64_t v) { w.update(v <= o.max_value ? v : o.max_value); },
+        [&](std::uint64_t n) {
+          std::printf("%" PRIu64 "\t%.1f\n", n, w.estimate(o.window).value);
+        });
+  }
+  if (o.mode == "nth-one") {
+    waves::core::NthOneWave w(o.inv_eps, o.span);
+    return pump(
+        o, [&](std::uint64_t v) { w.update(v != 0); },
+        [&](std::uint64_t n) {
+          if (const auto ans = w.query(o.nth)) {
+            std::printf("%" PRIu64 "\t%.1f\n", n, ans->position);
+          } else {
+            std::printf("%" PRIu64 "\t-\n", n);
+          }
+        });
+  }
+  return usage();
+}

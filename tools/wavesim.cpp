@@ -1,0 +1,177 @@
+// wavesim — end-to-end distributed-streams simulation from the command
+// line: t parties ingest synthetic streams on their own threads; the
+// Referee answers Union Counting (and optionally distinct values) queries
+// periodically, printing estimate vs exact ground truth and communication
+// cost.
+//
+//   wavesim [--parties T] [--items M] [--window N] [--eps E]
+//           [--instances K] [--density P] [--noise Q] [--seed S]
+//           [--mode union|distinct]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "distributed/ingest_driver.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "stream/value_streams.hpp"
+
+namespace {
+
+struct Options {
+  int parties = 4;
+  std::size_t items = 200000;
+  std::uint64_t window = 1 << 14;
+  double eps = 0.2;
+  int instances = 5;
+  double density = 0.2;
+  double noise = 0.05;
+  std::uint64_t seed = 42;
+  std::string mode = "union";
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wavesim [--parties T] [--items M] [--window N] "
+               "[--eps E]\n               [--instances K] [--density P] "
+               "[--noise Q] [--seed S] [--mode union|distinct]\n");
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* v = argv[i + 1];
+    if (flag == "--parties") {
+      o.parties = std::atoi(v);
+    } else if (flag == "--items") {
+      o.items = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--window") {
+      o.window = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--eps") {
+      o.eps = std::atof(v);
+    } else if (flag == "--instances") {
+      o.instances = std::atoi(v);
+    } else if (flag == "--density") {
+      o.density = std::atof(v);
+    } else if (flag == "--noise") {
+      o.noise = std::atof(v);
+    } else if (flag == "--seed") {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--mode") {
+      o.mode = v;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (o.parties < 1 || o.eps <= 0 || o.eps >= 1 || o.instances < 1 ||
+      o.window < 1 || (o.mode != "union" && o.mode != "distinct")) {
+    return std::nullopt;
+  }
+  return o;
+}
+
+int run_union(const Options& o) {
+  using namespace waves;
+  stream::BernoulliBits base_gen(o.density, o.seed);
+  const auto base = stream::take(base_gen, o.items);
+  const auto streams =
+      stream::correlated_streams(base, o.parties, o.noise, o.seed + 1);
+  const auto uni = stream::positionwise_union(streams);
+
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<distributed::CountParty*> feed;
+  std::vector<const distributed::CountParty*> query;
+  for (int j = 0; j < o.parties; ++j) {
+    owners.push_back(std::make_unique<distributed::CountParty>(
+        core::RandWave::Params{.eps = o.eps, .window = o.window, .c = 36},
+        o.instances, o.seed + 99));
+    feed.push_back(owners.back().get());
+    query.push_back(owners.back().get());
+  }
+  const auto fed = distributed::parallel_feed(feed, streams);
+  std::printf("ingested %" PRIu64 " items on %d threads: %.2f Mitems/s\n",
+              fed.items, o.parties, fed.items_per_sec() / 1e6);
+
+  distributed::WireStats stats;
+  const double est = distributed::union_count_wire(query, o.window, &stats).value;
+  const auto exact = stream::exact_ones_in_window(uni, o.window);
+  const double err = exact > 0 ? std::abs(est - static_cast<double>(exact)) /
+                                     static_cast<double>(exact)
+                               : 0.0;
+  std::printf("union 1s in last %" PRIu64 ": estimate %.0f, exact %" PRIu64
+              " (err %.2f%%, target eps %.0f%%)\n",
+              o.window, est, static_cast<std::uint64_t>(exact), 100 * err,
+              100 * o.eps);
+  std::printf("query: %" PRIu64 " messages, %" PRIu64
+              " wire bytes (varint/delta)\n",
+              stats.messages, stats.bytes);
+  std::printf("per-party synopsis: %" PRIu64 " bits\n",
+              owners[0]->space_bits());
+  return 0;
+}
+
+int run_distinct(const Options& o) {
+  using namespace waves;
+  const std::uint64_t value_space = 1u << 20;
+  core::DistinctWave::Params p{
+      .eps = o.eps,
+      .window = o.window,
+      .max_value = value_space,
+      .c = 36,
+      .universe_hint = static_cast<std::uint64_t>(o.parties) * o.window};
+  std::vector<std::unique_ptr<distributed::DistinctParty>> owners;
+  std::vector<distributed::DistinctParty*> feed;
+  std::vector<const distributed::DistinctParty*> query;
+  for (int j = 0; j < o.parties; ++j) {
+    owners.push_back(std::make_unique<distributed::DistinctParty>(
+        p, o.instances, o.seed + 7));
+    feed.push_back(owners.back().get());
+    query.push_back(owners.back().get());
+  }
+  std::vector<std::vector<std::uint64_t>> streams;
+  for (int j = 0; j < o.parties; ++j) {
+    stream::ZipfValues gen(value_space, 1.0 + o.density,
+                           o.seed + static_cast<std::uint64_t>(j));
+    streams.push_back(stream::take(gen, o.items));
+  }
+  const auto fed = distributed::parallel_feed(feed, streams);
+  std::printf("ingested %" PRIu64 " values on %d threads: %.2f Mitems/s\n",
+              fed.items, o.parties, fed.items_per_sec() / 1e6);
+
+  std::vector<std::uint64_t> merged;
+  for (const auto& s : streams) {
+    const std::size_t take =
+        std::min<std::size_t>(o.window, s.size());
+    merged.insert(merged.end(), s.end() - static_cast<long>(take), s.end());
+  }
+  const auto exact = stream::exact_distinct_in_window(merged, merged.size());
+  distributed::WireStats stats;
+  const double est =
+      distributed::distinct_count_wire(query, o.window, &stats).value;
+  const double err = exact > 0 ? std::abs(est - static_cast<double>(exact)) /
+                                     static_cast<double>(exact)
+                               : 0.0;
+  std::printf("distinct values in last %" PRIu64 ": estimate %.0f, exact %"
+              PRIu64 " (err %.2f%%)\n",
+              o.window, est, static_cast<std::uint64_t>(exact), 100 * err);
+  std::printf("query: %" PRIu64 " messages, %" PRIu64 " wire bytes\n",
+              stats.messages, stats.bytes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) return usage();
+  return opts->mode == "union" ? run_union(*opts) : run_distinct(*opts);
+}
