@@ -65,6 +65,34 @@ struct ErrStats {
   }
 };
 
+/// One machine-readable JSON result line alongside the human table — each
+/// row prints as {"bench":"<name>","k":v,...} prefixed with "JSON " so
+/// harnesses can `grep '^JSON '` and parse without touching the tables.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    buf_ = "{\"bench\":\"" + bench + "\"";
+  }
+  JsonLine& field(const std::string& key, double v) {
+    char num[48];
+    std::snprintf(num, sizeof num, "%.6g", v);
+    buf_ += ",\"" + key + "\":" + num;
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::uint64_t v) {
+    buf_ += ",\"" + key + "\":" + fmt_u(v);
+    return *this;
+  }
+  JsonLine& field(const std::string& key, const char* v) {
+    buf_ += ",\"" + key + "\":\"" + v + "\"";
+    return *this;
+  }
+  void emit() const { std::printf("JSON %s}\n", buf_.c_str()); }
+
+ private:
+  std::string buf_;
+};
+
 class Stopwatch {
  public:
   void start() { t0_ = std::chrono::steady_clock::now(); }

@@ -1,0 +1,118 @@
+// Experiment E14: observability overhead. Two parts:
+//   - google-benchmark latencies for the obs primitives themselves (counter
+//     add, histogram observe) so regressions in the hot-path cost show up
+//     directly;
+//   - an ingest throughput table for DetWave/RandWave in THIS build
+//     configuration. Run the same binary from a WAVES_OBS=ON and a
+//     WAVES_OBS=OFF build tree and compare the JSON lines (the
+//     obs_enabled field says which is which) — the ON/OFF delta is the
+//     acceptance number (<3%).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/det_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "gf2/gf2.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "obs/metrics.hpp"
+#include "stream/generators.hpp"
+#include "util/bitops.hpp"
+
+namespace {
+
+using namespace waves;
+
+void BM_CounterAdd(benchmark::State& state) {
+  const obs::Counter& c =
+      obs::Registry::instance().counter("e14_bench_counter");
+  for (auto _ : state) c.add();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  const obs::Histogram& h = obs::Registry::instance().histogram(
+      "e14_bench_histogram", "", obs::latency_buckets());
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v += 1e-7;
+    if (v > 1.0) v = 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+template <class MakeWave>
+double ingest_mitems_per_sec(MakeWave&& make, const std::vector<bool>& bits,
+                             int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    auto w = make();
+    bench::Stopwatch sw;
+    sw.start();
+    for (const bool b : bits) w.update(b);
+    const double s = sw.seconds();
+    benchmark::DoNotOptimize(w.query().value);
+    const double rate = static_cast<double>(bits.size()) / s / 1e6;
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+void ingest_overhead_table() {
+  bench::header("E14: ingest throughput with observability compiled " +
+                std::string(obs::kEnabled ? "IN" : "OUT"));
+  std::printf("obs_enabled: %d — compare against the other build's JSON "
+              "lines for the ON/OFF overhead.\n",
+              obs::kEnabled ? 1 : 0);
+  bench::row_line({"wave", "items", "Mitems/s(best-of-5)"});
+  const std::uint64_t window = 1 << 16;
+  stream::BernoulliBits gen(0.5, 11);
+  const std::vector<bool> bits = stream::take(gen, 2'000'000);
+
+  const double det = ingest_mitems_per_sec(
+      [&] { return core::DetWave(10, window); }, bits, 5);
+  bench::row_line({"det", bench::fmt_u(bits.size()), bench::fmt(det, 2)});
+  bench::JsonLine("e14_obs_overhead")
+      .field("wave", "det")
+      .field("obs_enabled", static_cast<std::uint64_t>(obs::kEnabled ? 1 : 0))
+      .field("items", static_cast<std::uint64_t>(bits.size()))
+      .field("mitems_per_sec", det)
+      .emit();
+
+  const gf2::Field field(
+      util::floor_log2(util::next_pow2_at_least(2 * window)));
+  struct RandAdapter {
+    core::RandWave w;
+    void update(bool b) { w.update(b); }
+    [[nodiscard]] core::Estimate query() const { return w.estimate(1 << 16); }
+  };
+  const double rnd = ingest_mitems_per_sec(
+      [&] {
+        gf2::SharedRandomness coins(5);
+        return RandAdapter{core::RandWave(
+            {.eps = 0.2, .window = window, .c = 36}, field, coins)};
+      },
+      bits, 5);
+  bench::row_line({"rand", bench::fmt_u(bits.size()), bench::fmt(rnd, 2)});
+  bench::JsonLine("e14_obs_overhead")
+      .field("wave", "rand")
+      .field("obs_enabled", static_cast<std::uint64_t>(obs::kEnabled ? 1 : 0))
+      .field("items", static_cast<std::uint64_t>(bits.size()))
+      .field("mitems_per_sec", rnd)
+      .emit();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ingest_overhead_table();
+  return 0;
+}

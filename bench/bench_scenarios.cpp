@@ -48,6 +48,13 @@ void scenario1_table() {
       bench::row_line({std::to_string(t), std::to_string(inv_eps),
                        bench::fmt(st.mean, 4), bench::fmt(st.max, 4),
                        bench::fmt(st.fail_frac, 4)});
+      bench::JsonLine("e11a_scenario1")
+          .field("parties", static_cast<std::uint64_t>(t))
+          .field("inv_eps", static_cast<std::uint64_t>(inv_eps))
+          .field("mean_err", st.mean)
+          .field("max_err", st.max)
+          .field("viol_frac", st.fail_frac)
+          .emit();
     }
   }
 }
@@ -91,6 +98,14 @@ void scenario2_table() {
         bench::row_line({std::to_string(t), names[mode],
                          std::to_string(inv_eps), bench::fmt(st.mean, 4),
                          bench::fmt(st.max, 4), bench::fmt(st.fail_frac, 4)});
+        bench::JsonLine("e11b_scenario2")
+            .field("parties", static_cast<std::uint64_t>(t))
+            .field("split", names[mode])
+            .field("inv_eps", static_cast<std::uint64_t>(inv_eps))
+            .field("mean_err", st.mean)
+            .field("max_err", st.max)
+            .field("viol_frac", st.fail_frac)
+            .emit();
       }
     }
   }

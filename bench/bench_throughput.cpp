@@ -73,6 +73,12 @@ void sparse_fast_path_table() {
     const double tf = sw.seconds() * 1e6 / static_cast<double>(events);
     bench::row_line({bench::fmt_u(gap), bench::fmt(tu, 3), bench::fmt(tf, 3),
                      bench::fmt(tu / tf, 1)});
+    bench::JsonLine("e12c_sparse_fast_path")
+        .field("gap", gap)
+        .field("unit_us_per_event", tu)
+        .field("skip_us_per_event", tf)
+        .field("speedup", tu / tf)
+        .emit();
   }
   std::printf(
       "Expected shape: unit cost grows linearly with the gap; skip_zeros "
@@ -106,6 +112,13 @@ void parallel_ingest_table() {
     bench::row_line({std::to_string(t), bench::fmt_u(r.items),
                      bench::fmt(r.seconds, 3),
                      bench::fmt(r.items_per_sec() / 1e6, 2)});
+    bench::JsonLine("e12a_parallel_ingest")
+        .field("parties", static_cast<std::uint64_t>(t))
+        .field("items_total", r.items)
+        .field("seconds", r.seconds)
+        .field("mitems_per_sec", r.items_per_sec() / 1e6)
+        .field("rate_skew", r.rate_skew())
+        .emit();
   }
   std::printf(
       "Expected shape: aggregate throughput scales with parties until the "
@@ -146,6 +159,12 @@ void query_cost_table() {
     bench::row_line({std::to_string(t), bench::fmt(ms, 3),
                      bench::fmt_u(stats.bytes),
                      bench::fmt(stats.paper_bits, 0)});
+    bench::JsonLine("e12b_query_cost")
+        .field("parties", static_cast<std::uint64_t>(t))
+        .field("query_ms", ms)
+        .field("bytes", stats.bytes)
+        .field("paper_bits", stats.paper_bits)
+        .emit();
   }
   std::printf(
       "Expected shape: bytes and latency linear in t (Theorem 5's query "

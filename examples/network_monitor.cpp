@@ -52,6 +52,13 @@ int main() {
               "(%.2f Mitems/s)\n",
               static_cast<unsigned long long>(fed.items), kRouters,
               fed.items_per_sec() / 1e6);
+  for (std::size_t r = 0; r < fed.per_party.size(); ++r) {
+    std::printf("  router %zu: %llu slots at %.2f Mitems/s\n", r,
+                static_cast<unsigned long long>(fed.per_party[r].items),
+                fed.per_party[r].items_per_sec() / 1e6);
+  }
+  std::printf("ingest rate skew (fastest/slowest router): %.2fx\n",
+              fed.rate_skew());
 
   distributed::WireStats stats;
   const auto est = distributed::union_count(query_ptrs, kWindow, &stats);

@@ -23,13 +23,18 @@ void BasicWave::update(bool bit) {
     if (rank_ % (std::uint64_t{1} << i) == 0) {
       auto& q = levels_[i];
       q.emplace_back(pos_, rank_);
-      if (q.size() > cap_) q.pop_front();
+      obs_.on_promotion();
+      if (q.size() > cap_) {
+        q.pop_front();
+        obs_.on_eviction();
+      }
     }
   }
 }
 
 Estimate BasicWave::query(std::uint64_t n) const {
   assert(n >= 1 && n <= window_);
+  obs_.flush(pos_);
   // Step 1 of Sec. 3.1.
   if (n >= pos_) {
     return Estimate{static_cast<double>(rank_), true, n};

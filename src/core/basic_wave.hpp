@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/wave_common.hpp"
+#include "obs/metrics.hpp"
 
 namespace waves::core {
 
@@ -54,6 +55,7 @@ class BasicWave {
   std::uint64_t pos_ = 0;
   std::uint64_t rank_ = 0;
   std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> levels_;
+  obs::WaveIngestObs obs_{"basic"};
 };
 
 }  // namespace waves::core

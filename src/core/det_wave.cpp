@@ -44,6 +44,7 @@ void DetWave::update(bool bit) {
     if (head.pos + window_ <= pos_) {
       const Entry gone = pool_.pop_oldest();
       discarded_rank_ = gone.rank;
+      obs_.on_expiry();
     }
   }
   if (!bit) return;  // the ruler advances per 1-rank, not per position
@@ -59,6 +60,7 @@ void DetWave::update(bool bit) {
     j = level_of(rank_);
   }
   pool_.insert(j, Entry{pos_, rank_});
+  obs_.on_promotion();
 }
 
 void DetWave::skip_zeros(std::uint64_t count) {
@@ -70,6 +72,7 @@ void DetWave::skip_zeros(std::uint64_t count) {
     if (head.pos + window_ > pos_) break;
     const Entry gone = pool_.pop_oldest();
     discarded_rank_ = gone.rank;
+    obs_.on_expiry();
   }
 }
 
@@ -77,6 +80,7 @@ Estimate DetWave::query() const { return query(window_); }
 
 Estimate DetWave::query(std::uint64_t n) const {
   assert(n >= 1 && n <= window_);
+  obs_.flush(pos_);
   if (n >= pos_) {
     return Estimate{static_cast<double>(rank_), true, n};
   }
@@ -142,6 +146,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> DetWave::entries() const {
 }
 
 DetWaveCheckpoint DetWave::checkpoint() const {
+  obs_.flush(pos_);
   return DetWaveCheckpoint{pos_, rank_, discarded_rank_, entries()};
 }
 

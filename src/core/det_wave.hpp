@@ -25,6 +25,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/wave_common.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitops.hpp"
 #include "util/level_pool.hpp"
 #include "util/weak_bitops.hpp"
@@ -106,6 +107,7 @@ class DetWave {
   util::LevelPool<Entry> pool_;
   std::optional<util::RulerLevels> ruler_;
   std::vector<std::int32_t> slot_level_;  // slot index -> level (snapshots)
+  obs::WaveIngestObs obs_{"det"};
 };
 
 }  // namespace waves::core

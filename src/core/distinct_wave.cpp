@@ -45,6 +45,7 @@ void DistinctWave::drop_expired(Level& lv) const {
          lv.recency.front().pos + params_.window <= pos_) {
     lv.index.erase(lv.recency.front().value);
     lv.recency.pop_front();
+    obs_.on_expiry();
   }
 }
 
@@ -59,14 +60,17 @@ void DistinctWave::update(std::uint64_t value) {
       // Refresh: move to the newest end with the new position.
       it->second->pos = pos_;
       lv.recency.splice(lv.recency.end(), lv.recency, it->second);
+      obs_.on_refresh();
     } else {
       lv.recency.push_back(Node{value, pos_});
       lv.index.emplace(value, std::prev(lv.recency.end()));
+      obs_.on_promotion();
       if (lv.recency.size() > cap_) {
         const Node& victim = lv.recency.front();
         if (victim.pos > lv.evicted_bound) lv.evicted_bound = victim.pos;
         lv.index.erase(victim.value);
         lv.recency.pop_front();
+        obs_.on_eviction();
       }
     }
   }
@@ -92,6 +96,8 @@ DistinctSnapshot DistinctWave::snapshot(std::uint64_t n) const {
   const Level& lv = levels_[static_cast<std::size_t>(lj)];
   out.items.reserve(lv.recency.size());
   for (const Node& nd : lv.recency) out.items.emplace_back(nd.value, nd.pos);
+  obs_.flush(pos_);
+  obs_.observe_snapshot_size(out.items.size());
   return out;
 }
 

@@ -25,6 +25,7 @@
 #include "gf2/gf2.hpp"
 #include "gf2/hash.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "obs/metrics.hpp"
 
 namespace waves::core {
 
@@ -101,6 +102,7 @@ class DistinctWave {
   gf2::ExpHash hash_;
   std::uint64_t pos_ = 0;
   mutable std::vector<Level> levels_;  // expired fronts swept lazily
+  obs::WaveIngestObs obs_{"distinct"};
 };
 
 /// Referee half: levelwise union scaled by 2^l*. `predicate`, when set,

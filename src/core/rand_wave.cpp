@@ -51,15 +51,20 @@ void RandWave::update(bool bit) {
     const int hl = level_of_position(pexp);
     for (int l = 0; l <= hl; ++l) {
       auto& q = queues_[static_cast<std::size_t>(l)];
-      while (!q.empty() && q.tail() <= pexp) q.pop_tail();
+      while (!q.empty() && q.tail() <= pexp) {
+        q.pop_tail();
+        obs_.on_expiry();
+      }
     }
   }
   if (!bit) return;
   // Step 3: select into levels 0..h(pos).
   const int hl = level_of_position(pos_);
+  obs_.on_promotion(static_cast<std::uint64_t>(hl) + 1);
   for (int l = 0; l <= hl; ++l) {
     auto& q = queues_[static_cast<std::size_t>(l)];
     if (auto evicted = q.push_head(pos_)) {
+      obs_.on_eviction();
       auto& b = evicted_bound_[static_cast<std::size_t>(l)];
       if (*evicted > b) b = *evicted;
     }
@@ -85,6 +90,8 @@ RandWaveSnapshot RandWave::snapshot(std::uint64_t n) const {
   out.positions.reserve(q.size());
   q.for_each_oldest_first(
       [&out](std::uint64_t p) { out.positions.push_back(p); });
+  obs_.flush(pos_);
+  obs_.observe_snapshot_size(out.positions.size());
   return out;
 }
 

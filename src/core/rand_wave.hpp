@@ -23,6 +23,7 @@
 #include "gf2/gf2.hpp"
 #include "gf2/hash.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "obs/metrics.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace waves::core {
@@ -90,6 +91,7 @@ class RandWave {
   std::uint64_t pos_ = 0;
   std::vector<util::RingBuffer<std::uint64_t>> queues_;   // levels 0..d
   std::vector<std::uint64_t> evicted_bound_;              // per level
+  obs::WaveIngestObs obs_{"rand"};
 };
 
 /// Referee half of the protocol (Fig. 6 steps 2-3): snapshots from t

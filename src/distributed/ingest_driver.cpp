@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <chrono>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.hpp"
 
 namespace waves::distributed {
 
@@ -12,24 +15,55 @@ template <class Party, class Item>
 FeedResult feed_impl(std::span<Party* const> parties,
                      const std::vector<std::vector<Item>>& streams) {
   assert(parties.size() == streams.size());
+  FeedResult r;
+  r.per_party.resize(parties.size());
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::vector<std::jthread> threads;
     threads.reserve(parties.size());
     for (std::size_t i = 0; i < parties.size(); ++i) {
-      threads.emplace_back([p = parties[i], &s = streams[i]] {
-        for (const auto& item : s) p->observe(item);
-      });
+      threads.emplace_back(
+          [p = parties[i], &s = streams[i], &pp = r.per_party[i]] {
+            const auto f0 = std::chrono::steady_clock::now();
+            for (const auto& item : s) p->observe(item);
+            pp.items = s.size();
+            pp.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - f0)
+                             .count();
+          });
     }
   }  // jthreads join here
   const auto t1 = std::chrono::steady_clock::now();
 
-  std::uint64_t items = 0;
-  for (const auto& s : streams) items += s.size();
-  return FeedResult{std::chrono::duration<double>(t1 - t0).count(), items};
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& pp : r.per_party) r.items += pp.items;
+
+  if constexpr (obs::kEnabled) {
+    obs::Registry& reg = obs::Registry::instance();
+    for (std::size_t i = 0; i < parties.size(); ++i) {
+      const std::string labels =
+          "party=\"" + std::to_string(parties[i]->obs_id()) + "\"";
+      reg.counter("waves_feed_items_total", labels)
+          .add(r.per_party[i].items);
+      reg.gauge("waves_feed_rate_items_per_sec", labels)
+          .set(r.per_party[i].items_per_sec());
+    }
+  }
+  return r;
 }
 
 }  // namespace
+
+double FeedResult::rate_skew() const noexcept {
+  double lo = 0.0, hi = 0.0;
+  for (const PartyFeed& pp : per_party) {
+    const double rate = pp.items_per_sec();
+    if (rate <= 0.0) continue;
+    if (lo == 0.0 || rate < lo) lo = rate;
+    if (rate > hi) hi = rate;
+  }
+  return lo > 0.0 ? hi / lo : 1.0;
+}
 
 FeedResult parallel_feed(std::span<CountParty* const> parties,
                          const std::vector<std::vector<bool>>& streams) {

@@ -1,7 +1,9 @@
 // Multi-threaded ingestion: one thread per party (the "physically
 // distributed, parallel data streams" of the paper's motivation), with the
 // Referee querying from the caller's thread. Used by the examples and the
-// E12 throughput experiment.
+// E12 throughput experiment. Each feed thread is timed individually, so
+// FeedResult exposes per-party throughput and skew alongside the aggregate;
+// the same numbers feed the waves_feed_* metrics (obs/metrics.hpp).
 #pragma once
 
 #include <cstdint>
@@ -12,17 +14,32 @@
 
 namespace waves::distributed {
 
-struct FeedResult {
-  double seconds = 0.0;
+/// One feed thread's share of a parallel_feed call.
+struct PartyFeed {
   std::uint64_t items = 0;
+  double seconds = 0.0;
   [[nodiscard]] double items_per_sec() const noexcept {
     return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
   }
 };
 
+struct FeedResult {
+  double seconds = 0.0;
+  std::uint64_t items = 0;
+  std::vector<PartyFeed> per_party;  // indexed like the parties span
+
+  [[nodiscard]] double items_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  }
+  /// Fastest party rate over slowest (1.0 when uniform or degenerate) —
+  /// the per-party skew a load balancer would care about.
+  [[nodiscard]] double rate_skew() const noexcept;
+};
+
 /// Feed bit stream i into party i, all parties in parallel; returns wall
-/// time and total items. Streams must be pre-materialized and equal-length
-/// for positionwise alignment (Scenario 3 queries need aligned lengths).
+/// time, total items, and per-party timings. Streams must be
+/// pre-materialized and equal-length for positionwise alignment
+/// (Scenario 3 queries need aligned lengths).
 FeedResult parallel_feed(std::span<CountParty* const> parties,
                          const std::vector<std::vector<bool>>& streams);
 

@@ -1,6 +1,7 @@
 #include "distributed/party.hpp"
 
 #include <cassert>
+#include <chrono>
 
 #include "util/bitops.hpp"
 
@@ -12,6 +13,29 @@ int count_field_dim(std::uint64_t window) {
   return util::floor_log2(
       util::next_pow2_at_least(window < 1 ? 2 : 2 * window));
 }
+
+// Acquire the party lock, timing the wait only when contended — the
+// uncontended fast path costs one try_lock, no clock reads.
+std::unique_lock<std::mutex> lock_tracked(std::mutex& mu,
+                                          const obs::PartyObs& po) {
+  std::unique_lock<std::mutex> lk(mu, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    if constexpr (obs::kEnabled) {
+      const auto t0 = std::chrono::steady_clock::now();
+      lk.lock();
+      po.lock_waited(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    } else {
+      lk.lock();
+    }
+  }
+  return lk;
+}
+
+// Refresh throughput/space series every 2^14 items so long ingests stay
+// observable without a query; exact values land at snapshot time.
+constexpr std::uint64_t kFlushMask = (1u << 14) - 1;
 
 }  // namespace
 
@@ -27,16 +51,21 @@ CountParty::CountParty(const core::RandWave::Params& params, int instances,
 }
 
 void CountParty::observe(bool bit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_tracked(mu_, obs_);
   for (core::RandWave& w : waves_) w.update(bit);
+  if constexpr (obs::kEnabled) {
+    const std::uint64_t n = waves_.front().pos();
+    if ((n & kFlushMask) == 0) obs_.flush(n, space_bits_locked());
+  }
 }
 
 std::vector<core::RandWaveSnapshot> CountParty::snapshots(
     std::uint64_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_tracked(mu_, obs_);
   std::vector<core::RandWaveSnapshot> out;
   out.reserve(waves_.size());
   for (const core::RandWave& w : waves_) out.push_back(w.snapshot(n));
+  obs_.flush(waves_.front().pos(), space_bits_locked());
   return out;
 }
 
@@ -45,10 +74,14 @@ std::uint64_t CountParty::items_observed() const noexcept {
   return waves_.empty() ? 0 : waves_.front().pos();
 }
 
-std::uint64_t CountParty::space_bits() const noexcept {
+std::uint64_t CountParty::space_bits_locked() const noexcept {
   std::uint64_t bits = 0;
   for (const core::RandWave& w : waves_) bits += w.space_bits();
   return bits;
+}
+
+std::uint64_t CountParty::space_bits() const noexcept {
+  return space_bits_locked();
 }
 
 DistinctParty::DistinctParty(const core::DistinctWave::Params& params,
@@ -63,16 +96,21 @@ DistinctParty::DistinctParty(const core::DistinctWave::Params& params,
 }
 
 void DistinctParty::observe(std::uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_tracked(mu_, obs_);
   for (core::DistinctWave& w : waves_) w.update(value);
+  if constexpr (obs::kEnabled) {
+    const std::uint64_t n = waves_.front().pos();
+    if ((n & kFlushMask) == 0) obs_.flush(n, space_bits_locked());
+  }
 }
 
 std::vector<core::DistinctSnapshot> DistinctParty::snapshots(
     std::uint64_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto lock = lock_tracked(mu_, obs_);
   std::vector<core::DistinctSnapshot> out;
   out.reserve(waves_.size());
   for (const core::DistinctWave& w : waves_) out.push_back(w.snapshot(n));
+  obs_.flush(waves_.front().pos(), space_bits_locked());
   return out;
 }
 
@@ -81,10 +119,14 @@ std::uint64_t DistinctParty::items_observed() const noexcept {
   return waves_.empty() ? 0 : waves_.front().pos();
 }
 
-std::uint64_t DistinctParty::space_bits() const noexcept {
+std::uint64_t DistinctParty::space_bits_locked() const noexcept {
   std::uint64_t bits = 0;
   for (const core::DistinctWave& w : waves_) bits += w.space_bits();
   return bits;
+}
+
+std::uint64_t DistinctParty::space_bits() const noexcept {
+  return space_bits_locked();
 }
 
 }  // namespace waves::distributed

@@ -17,6 +17,7 @@
 #include "core/rand_wave.hpp"
 #include "gf2/gf2.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "obs/metrics.hpp"
 
 namespace waves::distributed {
 
@@ -40,11 +41,17 @@ class CountParty {
   }
   [[nodiscard]] std::uint64_t items_observed() const noexcept;
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
+  /// Stable metrics identity: value of the `party` label on this party's
+  /// waves_party_* series.
+  [[nodiscard]] int obs_id() const noexcept { return obs_.id(); }
 
  private:
+  [[nodiscard]] std::uint64_t space_bits_locked() const noexcept;
+
   gf2::Field field_;
   mutable std::mutex mu_;
   std::vector<core::RandWave> waves_;
+  obs::PartyObs obs_{"count"};
 };
 
 /// Distinct-values party (Sec. 5).
@@ -66,11 +73,15 @@ class DistinctParty {
   }
   [[nodiscard]] std::uint64_t items_observed() const noexcept;
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
+  [[nodiscard]] int obs_id() const noexcept { return obs_.id(); }
 
  private:
+  [[nodiscard]] std::uint64_t space_bits_locked() const noexcept;
+
   gf2::Field field_;
   mutable std::mutex mu_;
   std::vector<core::DistinctWave> waves_;
+  obs::PartyObs obs_{"distinct"};
 };
 
 }  // namespace waves::distributed

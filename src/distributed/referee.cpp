@@ -5,12 +5,56 @@
 
 #include "core/median_estimator.hpp"
 #include "distributed/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace waves::distributed {
+
+namespace {
+
+// Per-protocol/transport instruments, fetched once per combination. The
+// span tracer keeps the per-round story (parties contacted, messages,
+// encoded bytes, decode failures, latency); these aggregate across rounds.
+struct RoundMetrics {
+  const obs::Counter& rounds;
+  const obs::Counter& messages;
+  const obs::Histogram& bytes_h;
+  const obs::Histogram& seconds_h;
+
+  static RoundMetrics make(const char* labels) {
+    obs::Registry& reg = obs::Registry::instance();
+    return RoundMetrics{
+        reg.counter("waves_referee_rounds_total", labels),
+        reg.counter("waves_referee_messages_total", labels),
+        reg.histogram("waves_referee_round_bytes", labels,
+                      obs::bytes_buckets()),
+        reg.histogram("waves_referee_round_seconds", labels,
+                      obs::latency_buckets())};
+  }
+};
+
+void finish_round(const RoundMetrics& m, obs::Span& span, std::size_t parties,
+                  std::uint64_t msgs, std::uint64_t bytes,
+                  std::uint64_t decode_failures) {
+  span.set("parties", static_cast<double>(parties));
+  span.set("messages", static_cast<double>(msgs));
+  span.set("bytes", static_cast<double>(bytes));
+  span.set("decode_failures", static_cast<double>(decode_failures));
+  const double dt = span.end();
+  m.rounds.add();
+  m.messages.add(msgs);
+  m.bytes_h.observe(static_cast<double>(bytes));
+  m.seconds_h.observe(dt);
+}
+
+}  // namespace
 
 core::Estimate union_count(std::span<const CountParty* const> parties,
                            std::uint64_t n, WireStats* stats) {
   assert(!parties.empty());
+  static const RoundMetrics metrics =
+      RoundMetrics::make("protocol=\"union\",transport=\"direct\"");
+  auto span = obs::Tracer::instance().start("referee.union_count");
   const int m = parties.front()->instances();
   for (const CountParty* p : parties) {
     assert(p->instances() == m);
@@ -18,12 +62,15 @@ core::Estimate union_count(std::span<const CountParty* const> parties,
   }
 
   // Gather all messages first (one round, as in the model), then combine.
+  std::uint64_t msgs = 0, bytes = 0;
   std::vector<std::vector<core::RandWaveSnapshot>> by_party;
   by_party.reserve(parties.size());
   for (const CountParty* p : parties) {
     by_party.push_back(p->snapshots(n));
-    if (stats != nullptr) {
-      for (const auto& s : by_party.back()) {
+    for (const auto& s : by_party.back()) {
+      ++msgs;
+      bytes += wire_bytes(s);
+      if (stats != nullptr) {
         stats->add(wire_bytes(s),
                    paper_bits(s, p->instance(0).top_level()));
       }
@@ -41,6 +88,7 @@ core::Estimate union_count(std::span<const CountParty* const> parties,
         core::referee_union_count(inst, n, parties.front()->instance(i).hash())
             .value);
   }
+  finish_round(metrics, span, parties.size(), msgs, bytes, 0);
   return core::Estimate{core::median(std::move(per_instance)), false, n};
 }
 
@@ -48,18 +96,24 @@ core::Estimate distinct_count(
     std::span<const DistinctParty* const> parties, std::uint64_t n,
     WireStats* stats, const std::function<bool(std::uint64_t)>& predicate) {
   assert(!parties.empty());
+  static const RoundMetrics metrics =
+      RoundMetrics::make("protocol=\"distinct\",transport=\"direct\"");
+  auto span = obs::Tracer::instance().start("referee.distinct_count");
   const int m = parties.front()->instances();
   for (const DistinctParty* p : parties) {
     assert(p->instances() == m);
     (void)p;
   }
 
+  std::uint64_t msgs = 0, bytes = 0;
   std::vector<std::vector<core::DistinctSnapshot>> by_party;
   by_party.reserve(parties.size());
   for (const DistinctParty* p : parties) {
     by_party.push_back(p->snapshots(n));
-    if (stats != nullptr) {
-      for (const auto& s : by_party.back()) {
+    for (const auto& s : by_party.back()) {
+      ++msgs;
+      bytes += wire_bytes(s);
+      if (stats != nullptr) {
         stats->add(wire_bytes(s),
                    paper_bits(s, p->instance(0).top_level(),
                               p->instance(0).top_level()));
@@ -79,6 +133,7 @@ core::Estimate distinct_count(
             inst, n, parties.front()->instance(i).hash(), predicate)
             .value);
   }
+  finish_round(metrics, span, parties.size(), msgs, bytes, 0);
   return core::Estimate{core::median(std::move(per_instance)), false, n};
 }
 
@@ -89,26 +144,33 @@ namespace waves::distributed {
 core::Estimate union_count_wire(std::span<const CountParty* const> parties,
                                 std::uint64_t n, WireStats* stats) {
   assert(!parties.empty());
+  static const RoundMetrics metrics =
+      RoundMetrics::make("protocol=\"union\",transport=\"wire\"");
+  auto span = obs::Tracer::instance().start("referee.union_count_wire");
   const int m = parties.front()->instances();
 
   // Party side: snapshot, encode, "send".
+  std::uint64_t msgs = 0, bytes = 0;
   std::vector<std::vector<Bytes>> inflight;
   inflight.reserve(parties.size());
   for (const CountParty* p : parties) {
     auto snaps = p->snapshots(n);
-    std::vector<Bytes> msgs;
-    msgs.reserve(snaps.size());
+    std::vector<Bytes> out;
+    out.reserve(snaps.size());
     for (const auto& s : snaps) {
-      msgs.push_back(encode(s));
+      out.push_back(encode(s));
+      ++msgs;
+      bytes += out.back().size();
       if (stats != nullptr) {
-        stats->add(msgs.back().size(),
-                   static_cast<double>(msgs.back().size()) * 8.0);
+        stats->add(out.back().size(),
+                   static_cast<double>(out.back().size()) * 8.0);
       }
     }
-    inflight.push_back(std::move(msgs));
+    inflight.push_back(std::move(out));
   }
 
   // Referee side: decode, combine per instance, median.
+  std::uint64_t decode_failures = 0;
   std::vector<double> per_instance;
   per_instance.reserve(static_cast<std::size_t>(m));
   std::vector<core::RandWaveSnapshot> inst(parties.size());
@@ -116,13 +178,14 @@ core::Estimate union_count_wire(std::span<const CountParty* const> parties,
     for (std::size_t j = 0; j < parties.size(); ++j) {
       const bool ok =
           decode(inflight[j][static_cast<std::size_t>(i)], inst[j]);
+      if (!ok) ++decode_failures;
       assert(ok && "wire round-trip must succeed");
-      (void)ok;
     }
     per_instance.push_back(
         core::referee_union_count(inst, n, parties.front()->instance(i).hash())
             .value);
   }
+  finish_round(metrics, span, parties.size(), msgs, bytes, decode_failures);
   return core::Estimate{core::median(std::move(per_instance)), false, n};
 }
 
@@ -130,24 +193,31 @@ core::Estimate distinct_count_wire(
     std::span<const DistinctParty* const> parties, std::uint64_t n,
     WireStats* stats, const std::function<bool(std::uint64_t)>& predicate) {
   assert(!parties.empty());
+  static const RoundMetrics metrics =
+      RoundMetrics::make("protocol=\"distinct\",transport=\"wire\"");
+  auto span = obs::Tracer::instance().start("referee.distinct_count_wire");
   const int m = parties.front()->instances();
 
+  std::uint64_t msgs = 0, bytes = 0;
   std::vector<std::vector<Bytes>> inflight;
   inflight.reserve(parties.size());
   for (const DistinctParty* p : parties) {
     auto snaps = p->snapshots(n);
-    std::vector<Bytes> msgs;
-    msgs.reserve(snaps.size());
+    std::vector<Bytes> out;
+    out.reserve(snaps.size());
     for (const auto& s : snaps) {
-      msgs.push_back(encode(s));
+      out.push_back(encode(s));
+      ++msgs;
+      bytes += out.back().size();
       if (stats != nullptr) {
-        stats->add(msgs.back().size(),
-                   static_cast<double>(msgs.back().size()) * 8.0);
+        stats->add(out.back().size(),
+                   static_cast<double>(out.back().size()) * 8.0);
       }
     }
-    inflight.push_back(std::move(msgs));
+    inflight.push_back(std::move(out));
   }
 
+  std::uint64_t decode_failures = 0;
   std::vector<double> per_instance;
   per_instance.reserve(static_cast<std::size_t>(m));
   std::vector<core::DistinctSnapshot> inst(parties.size());
@@ -155,14 +225,15 @@ core::Estimate distinct_count_wire(
     for (std::size_t j = 0; j < parties.size(); ++j) {
       const bool ok =
           decode(inflight[j][static_cast<std::size_t>(i)], inst[j]);
+      if (!ok) ++decode_failures;
       assert(ok && "wire round-trip must succeed");
-      (void)ok;
     }
     per_instance.push_back(
         core::referee_distinct_count(
             inst, n, parties.front()->instance(i).hash(), predicate)
             .value);
   }
+  finish_round(metrics, span, parties.size(), msgs, bytes, decode_failures);
   return core::Estimate{core::median(std::move(per_instance)), false, n};
 }
 

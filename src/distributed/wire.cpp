@@ -1,8 +1,24 @@
 #include "distributed/wire.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace waves::distributed {
+
+namespace {
+
+// Every decode failure is counted; the referee's per-round span carries the
+// same signal as a decode_failures attribute.
+bool decode_fail() {
+  static const obs::Counter& errors =
+      obs::Registry::instance().counter("waves_wire_decode_errors_total");
+  errors.add();
+  return false;
+}
+
+}  // namespace
 
 void put_varint(Bytes& out, std::uint64_t v) {
   while (v >= 0x80) {
@@ -39,26 +55,30 @@ Bytes encode(const core::RandWaveSnapshot& s) {
 }
 
 bool decode(const Bytes& in, core::RandWaveSnapshot& out) {
+  // Decode into a scratch snapshot so a truncated or corrupt message never
+  // leaves a partial result in `out`.
+  core::RandWaveSnapshot tmp;
   std::size_t at = 0;
   std::uint64_t level = 0, count = 0;
-  if (!get_varint(in, at, level)) return false;
-  if (!get_varint(in, at, out.stream_len)) return false;
-  if (!get_varint(in, at, count)) return false;
+  if (!get_varint(in, at, level)) return decode_fail();
+  if (!get_varint(in, at, tmp.stream_len)) return decode_fail();
+  if (!get_varint(in, at, count)) return decode_fail();
   // Every position costs at least one byte: reject counts the remaining
   // input cannot possibly hold (also bounds the reserve below, so corrupt
   // input cannot trigger huge allocations).
-  if (count > in.size() - at) return false;
-  out.level = static_cast<int>(level);
-  out.positions.clear();
-  out.positions.reserve(count);
+  if (count > in.size() - at) return decode_fail();
+  tmp.level = static_cast<int>(level);
+  tmp.positions.reserve(count);
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t d = 0;
-    if (!get_varint(in, at, d)) return false;
+    if (!get_varint(in, at, d)) return decode_fail();
     prev += d;
-    out.positions.push_back(prev);
+    tmp.positions.push_back(prev);
   }
-  return at == in.size();
+  if (at != in.size()) return decode_fail();
+  out = std::move(tmp);
+  return true;
 }
 
 Bytes encode(const core::DistinctSnapshot& s) {
@@ -77,25 +97,27 @@ Bytes encode(const core::DistinctSnapshot& s) {
 }
 
 bool decode(const Bytes& in, core::DistinctSnapshot& out) {
+  core::DistinctSnapshot tmp;
   std::size_t at = 0;
   std::uint64_t level = 0, count = 0;
-  if (!get_varint(in, at, level)) return false;
-  if (!get_varint(in, at, out.stream_len)) return false;
-  if (!get_varint(in, at, count)) return false;
+  if (!get_varint(in, at, level)) return decode_fail();
+  if (!get_varint(in, at, tmp.stream_len)) return decode_fail();
+  if (!get_varint(in, at, count)) return decode_fail();
   // Each item costs at least two bytes (delta + value varints).
-  if (count > (in.size() - at) / 2) return false;
-  out.level = static_cast<int>(level);
-  out.items.clear();
-  out.items.reserve(count);
+  if (count > (in.size() - at) / 2) return decode_fail();
+  tmp.level = static_cast<int>(level);
+  tmp.items.reserve(count);
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t d = 0, value = 0;
-    if (!get_varint(in, at, d)) return false;
-    if (!get_varint(in, at, value)) return false;
+    if (!get_varint(in, at, d)) return decode_fail();
+    if (!get_varint(in, at, value)) return decode_fail();
     prev += d;
-    out.items.emplace_back(value, prev);
+    tmp.items.emplace_back(value, prev);
   }
-  return at == in.size();
+  if (at != in.size()) return decode_fail();
+  out = std::move(tmp);
+  return true;
 }
 
 }  // namespace waves::distributed

@@ -1,0 +1,240 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace waves::obs {
+
+#if WAVES_OBS_ENABLED
+
+namespace {
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string fmt_d(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+/// `family{labels} value\n`, omitting the braces when labels are empty.
+void prom_line(std::string& out, std::string_view family,
+               std::string_view labels, const std::string& value) {
+  out.append(family);
+  if (!labels.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  out.append(value);
+  out.push_back('\n');
+}
+
+// `last_family` must own its string: the sample vectors this is called
+// over are per-section temporaries, and a dangling view into a freed (and
+// reused) buffer can spuriously compare equal, swallowing a # TYPE line.
+void prom_type(std::string& out, std::string_view family,
+               std::string_view type, std::string* last_family) {
+  if (*last_family == family) return;
+  *last_family = family;
+  out.append("# TYPE ");
+  out.append(family);
+  out.push_back(' ');
+  out.append(type);
+  out.push_back('\n');
+}
+
+/// Join labels with the `le` bound for histogram bucket lines.
+std::string with_le(std::string_view labels, const std::string& le) {
+  std::string out(labels);
+  if (!out.empty()) out.push_back(',');
+  out.append("le=\"");
+  out.append(le);
+  out.append("\"");
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+/// Labels are registry-controlled `k="v",k2="v2"` strings; re-emit them as
+/// a JSON object.
+std::string labels_json(std::string_view labels) {
+  std::string out = "{";
+  std::size_t at = 0;
+  bool first = true;
+  while (at < labels.size()) {
+    const std::size_t eq = labels.find('=', at);
+    if (eq == std::string_view::npos) break;
+    const std::size_t open = labels.find('"', eq);
+    const std::size_t close =
+        open == std::string_view::npos ? open : labels.find('"', open + 1);
+    if (close == std::string_view::npos) break;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(json_escape(labels.substr(at, eq - at)));
+    out.append("\":\"");
+    out.append(json_escape(labels.substr(open + 1, close - open - 1)));
+    out.push_back('"');
+    at = close + 1;
+    if (at < labels.size() && labels[at] == ',') ++at;
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Most recent span per name, insertion-ordered by last occurrence.
+std::vector<SpanRecord> last_span_per_name() {
+  std::map<std::string, SpanRecord> by_name;
+  for (auto& rec : Tracer::instance().recent()) {
+    by_name[rec.name] = std::move(rec);
+  }
+  std::vector<SpanRecord> out;
+  out.reserve(by_name.size());
+  for (auto& [name, rec] : by_name) out.push_back(std::move(rec));
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  const Registry& reg = Registry::instance();
+  std::string out;
+  std::string last_family;
+
+  for (const auto& c : reg.counters()) {
+    prom_type(out, c.family, "counter", &last_family);
+    prom_line(out, c.family, c.labels, fmt_u64(c.value));
+  }
+  for (const auto& g : reg.gauges()) {
+    prom_type(out, g.family, "gauge", &last_family);
+    prom_line(out, g.family, g.labels, fmt_d(g.value));
+  }
+  for (const auto& h : reg.histograms()) {
+    prom_type(out, h.family, "histogram", &last_family);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      prom_line(out, h.family + "_bucket", with_le(h.labels, fmt_d(h.bounds[i])),
+                fmt_u64(cum));
+    }
+    prom_line(out, h.family + "_bucket", with_le(h.labels, "+Inf"),
+              fmt_u64(h.count));
+    prom_line(out, h.family + "_sum", h.labels, fmt_d(h.sum));
+    prom_line(out, h.family + "_count", h.labels, fmt_u64(h.count));
+  }
+
+  // Most recent referee-round (and other) spans, as gauges so standard
+  // Prometheus tooling can scrape "what did the last round cost".
+  const auto spans = last_span_per_name();
+  if (!spans.empty()) {
+    out.append("# TYPE waves_span_last_duration_seconds gauge\n");
+    for (const auto& s : spans) {
+      prom_line(out, "waves_span_last_duration_seconds",
+                "span=\"" + s.name + "\"", fmt_d(s.duration_seconds));
+    }
+    out.append("# TYPE waves_span_last_attr gauge\n");
+    for (const auto& s : spans) {
+      for (const auto& [key, value] : s.attrs) {
+        prom_line(out, "waves_span_last_attr",
+                  "span=\"" + s.name + "\",attr=\"" + key + "\"",
+                  fmt_d(value));
+      }
+    }
+  }
+  return out;
+}
+
+std::string json_text() {
+  const Registry& reg = Registry::instance();
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& c : reg.counters()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"" + json_escape(c.family) +
+               "\",\"labels\":" + labels_json(c.labels) +
+               ",\"value\":" + fmt_u64(c.value) + "}");
+  }
+  out.append("],\"gauges\":[");
+  first = true;
+  for (const auto& g : reg.gauges()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"" + json_escape(g.family) +
+               "\",\"labels\":" + labels_json(g.labels) +
+               ",\"value\":" + fmt_d(g.value) + "}");
+  }
+  out.append("],\"histograms\":[");
+  first = true;
+  for (const auto& h : reg.histograms()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"" + json_escape(h.family) +
+               "\",\"labels\":" + labels_json(h.labels) + ",\"bounds\":[");
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out.push_back(',');
+      out.append(fmt_d(h.bounds[i]));
+    }
+    out.append("],\"counts\":[");
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out.push_back(',');
+      out.append(fmt_u64(h.counts[i]));
+    }
+    out.append("],\"sum\":" + fmt_d(h.sum) +
+               ",\"count\":" + fmt_u64(h.count) + "}");
+  }
+  out.append("],\"spans\":[");
+  first = true;
+  for (const auto& s : Tracer::instance().recent()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"id\":" + fmt_u64(s.id) + ",\"name\":\"" +
+               json_escape(s.name) +
+               "\",\"duration_seconds\":" + fmt_d(s.duration_seconds) +
+               ",\"attrs\":{");
+    for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+      if (i) out.push_back(',');
+      out.append("\"" + json_escape(s.attrs[i].first) +
+                 "\":" + fmt_d(s.attrs[i].second));
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+#else  // WAVES_OBS_ENABLED == 0
+
+std::string prometheus_text() {
+  return "# waves observability compiled out (WAVES_OBS=OFF)\n";
+}
+
+std::string json_text() {
+  return "{\"disabled\":true,\"counters\":[],\"gauges\":[],\"histograms\":[],"
+         "\"spans\":[]}";
+}
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace waves::obs

@@ -1,0 +1,20 @@
+// Exporters over the metrics registry and span tracer.
+//
+// Two formats, same data:
+//   * Prometheus text exposition (counters/gauges/histograms, plus the most
+//     recent span per name surfaced as waves_span_* gauges);
+//   * JSON — one object with "counters"/"gauges"/"histograms"/"spans"
+//     arrays, for trajectory recording and programmatic consumption.
+//
+// With WAVES_OBS=OFF both return a single comment/stub noting the layer is
+// compiled out.
+#pragma once
+
+#include <string>
+
+namespace waves::obs {
+
+[[nodiscard]] std::string prometheus_text();
+[[nodiscard]] std::string json_text();
+
+}  // namespace waves::obs

@@ -1,0 +1,211 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace waves::obs {
+
+namespace {
+
+constexpr double kLatencyBuckets[] = {1e-6, 1e-5, 1e-4, 1e-3,
+                                      1e-2, 1e-1, 1.0,  10.0};
+constexpr double kBytesBuckets[] = {64,    256,    1024,    4096,   16384,
+                                    65536, 262144, 1048576, 4194304};
+constexpr double kSizeBuckets[] = {1,    4,    16,    64,    256,
+                                   1024, 4096, 16384, 65536, 262144};
+
+}  // namespace
+
+std::span<const double> latency_buckets() { return kLatencyBuckets; }
+std::span<const double> bytes_buckets() { return kBytesBuckets; }
+std::span<const double> size_buckets() { return kSizeBuckets; }
+
+#if WAVES_OBS_ENABLED
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), counts_(bounds.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double v) const noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not yet everywhere: CAS loop.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+HistogramSample Histogram::sample() const {
+  HistogramSample s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.sum = sum();
+  s.count = count();
+  return s;
+}
+
+void Histogram::reset() const noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+Counter& Registry::counter(std::string_view family, std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{std::string(family), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view family, std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key{std::string(family), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view family,
+                               std::string_view labels,
+                               std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key{std::string(family), std::string(labels)}];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+std::vector<CounterSample> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) {
+    out.push_back(CounterSample{key.first, key.second, c->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    out.push_back(GaugeSample{key.first, key.second, g->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    HistogramSample s = h->sample();
+    s.family = key.first;
+    s.labels = key.second;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::string wave_label(const char* wave) {
+  return std::string("wave=\"") + wave + "\"";
+}
+
+}  // namespace
+
+WaveIngestObs::WaveIngestObs(const char* wave) {
+  Registry& reg = Registry::instance();
+  const std::string labels = wave_label(wave);
+  items_c_ = &reg.counter("waves_ingest_items_total", labels);
+  promotions_c_ = &reg.counter("waves_level_promotions_total", labels);
+  expiries_c_ = &reg.counter("waves_expiries_total", labels);
+  evictions_c_ = &reg.counter("waves_evictions_total", labels);
+  refreshes_c_ = &reg.counter("waves_value_refreshes_total", labels);
+  snapshot_h_ =
+      &reg.histogram("waves_snapshot_items", labels, size_buckets());
+}
+
+void WaveIngestObs::flush(std::uint64_t items_observed) const {
+  // Deltas, not absolutes: many waves of the same kind share each counter.
+  items_c_->add(items_observed - flushed_items_);
+  promotions_c_->add(promotions_ - flushed_promotions_);
+  expiries_c_->add(expiries_ - flushed_expiries_);
+  evictions_c_->add(evictions_ - flushed_evictions_);
+  refreshes_c_->add(refreshes_ - flushed_refreshes_);
+  flushed_items_ = items_observed;
+  flushed_promotions_ = promotions_;
+  flushed_expiries_ = expiries_;
+  flushed_evictions_ = evictions_;
+  flushed_refreshes_ = refreshes_;
+}
+
+void WaveIngestObs::observe_snapshot_size(std::size_t n) const {
+  snapshot_h_->observe(static_cast<double>(n));
+}
+
+namespace {
+
+int next_party_id() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+PartyObs::PartyObs(const char* kind) : id_(next_party_id()) {
+  Registry& reg = Registry::instance();
+  const std::string labels = std::string("kind=\"") + kind + "\",party=\"" +
+                             std::to_string(id_) + "\"";
+  items_c_ = &reg.counter("waves_party_items_total", labels);
+  contended_c_ = &reg.counter("waves_party_lock_contended_total", labels);
+  wait_h_ = &reg.histogram("waves_party_lock_wait_seconds", labels,
+                           latency_buckets());
+  space_g_ = &reg.gauge("waves_party_space_bits", labels);
+}
+
+void PartyObs::lock_waited(double seconds) const {
+  contended_c_->add();
+  wait_h_->observe(seconds);
+}
+
+void PartyObs::flush(std::uint64_t items_observed,
+                     std::uint64_t space_bits) const {
+  items_c_->add(items_observed - flushed_items_);
+  flushed_items_ = items_observed;
+  space_g_->set(static_cast<double>(space_bits));
+}
+
+#else  // WAVES_OBS_ENABLED == 0
+
+Registry& Registry::instance() {
+  static Registry reg;
+  return reg;
+}
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace waves::obs

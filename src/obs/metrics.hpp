@@ -1,0 +1,259 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with relaxed-atomic hot paths and zero heap allocation per
+// update. Continuous-monitoring systems over distributed sliding windows
+// treat per-round communication and per-party state as first-class measured
+// quantities; this layer gives libwaves the same footing without touching
+// the paper-faithful space/time accounting: configure with -DWAVES_OBS=OFF
+// and every hook below compiles to a no-op (verified by CI).
+//
+// Layering: obs depends on nothing but the standard library. The waves keep
+// *plain* (non-atomic) pending tallies — they are single-writer under the
+// party lock — and flush deltas into the shared atomic counters at query /
+// snapshot boundaries, so the per-item ingest cost is an ordinary integer
+// increment (<3% overhead, see bench_obs / docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef WAVES_OBS_ENABLED
+#define WAVES_OBS_ENABLED 1
+#endif
+
+namespace waves::obs {
+
+inline constexpr bool kEnabled = WAVES_OBS_ENABLED != 0;
+
+/// Shared bucket layouts (upper bounds; +Inf is implicit).
+[[nodiscard]] std::span<const double> latency_buckets();  // 1us .. 10s
+[[nodiscard]] std::span<const double> bytes_buckets();    // 64B .. 4MiB
+[[nodiscard]] std::span<const double> size_buckets();     // 1 .. 262144 items
+
+/// Point-in-time copies handed to the exporters.
+struct CounterSample {
+  std::string family, labels;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string family, labels;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string family, labels;
+  std::vector<double> bounds;          // finite upper bounds
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last = +Inf)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+#if WAVES_OBS_ENABLED
+
+/// Monotonic event count. Thread-safe; add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) const noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() const noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (space bits, feed rates).
+class Gauge {
+ public:
+  void set(double v) const noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() const noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. observe() is a short bound scan plus relaxed
+/// adds — no allocation, no locks. Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v) const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] HistogramSample sample() const;
+  void reset() const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::vector<std::atomic<std::uint64_t>> counts_;  // bounds+1
+  mutable std::atomic<std::uint64_t> count_{0};
+  mutable std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide registry. Registration (name lookup) takes a mutex and is
+/// meant to happen once per call site — cache the returned reference.
+/// Returned references stay valid for the registry's lifetime; reset_values
+/// zeroes values but never invalidates them.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view family, std::string_view labels = {});
+  Gauge& gauge(std::string_view family, std::string_view labels = {});
+  Histogram& histogram(std::string_view family, std::string_view labels,
+                       std::span<const double> bounds);
+
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::vector<GaugeSample> gauges() const;
+  [[nodiscard]] std::vector<HistogramSample> histograms() const;
+
+  /// Zero every value, keeping all registrations (test isolation).
+  void reset_values();
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (family, labels)
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Wave-local ingest tally. The owning wave is single-writer (its party
+/// holds a lock during update), so the pending fields are plain integers;
+/// flush() pushes deltas into the global counters. All methods are const so
+/// const query/snapshot paths can flush; the fields are mutable for the
+/// same reason — the synchronization story is the owner's, not this
+/// struct's.
+class WaveIngestObs {
+ public:
+  /// @param wave label value for the waves_ingest_* families, e.g. "det".
+  explicit WaveIngestObs(const char* wave);
+
+  void on_promotion(std::uint64_t n = 1) const noexcept { promotions_ += n; }
+  void on_expiry(std::uint64_t n = 1) const noexcept { expiries_ += n; }
+  void on_eviction(std::uint64_t n = 1) const noexcept { evictions_ += n; }
+  void on_refresh(std::uint64_t n = 1) const noexcept { refreshes_ += n; }
+
+  /// Push pending deltas; `items_observed` is the wave's position counter.
+  void flush(std::uint64_t items_observed) const;
+  /// Record a party->referee snapshot's element count.
+  void observe_snapshot_size(std::size_t n) const;
+
+ private:
+  const Counter* items_c_;
+  const Counter* promotions_c_;
+  const Counter* expiries_c_;
+  const Counter* evictions_c_;
+  const Counter* refreshes_c_;
+  const Histogram* snapshot_h_;
+  mutable std::uint64_t promotions_ = 0, expiries_ = 0, evictions_ = 0,
+                        refreshes_ = 0;
+  mutable std::uint64_t flushed_items_ = 0, flushed_promotions_ = 0,
+                        flushed_expiries_ = 0, flushed_evictions_ = 0,
+                        flushed_refreshes_ = 0;
+};
+
+/// Per-party instruments: item throughput, lock contention, and the space
+/// gauge. Each construction takes a fresh process-wide party id so the
+/// label answers "what is party 3 doing".
+class PartyObs {
+ public:
+  /// @param kind label value, "count" or "distinct".
+  explicit PartyObs(const char* kind);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  /// Record a contended lock acquisition that waited `seconds`.
+  void lock_waited(double seconds) const;
+  /// Update the cumulative item counter and the space-bits gauge.
+  void flush(std::uint64_t items_observed, std::uint64_t space_bits) const;
+
+ private:
+  int id_;
+  const Counter* items_c_;
+  const Counter* contended_c_;
+  const Histogram* wait_h_;
+  const Gauge* space_g_;
+  mutable std::uint64_t flushed_items_ = 0;
+};
+
+#else  // WAVES_OBS_ENABLED == 0: every hook is an inline no-op.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) const noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() const noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) const noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  void reset() const noexcept {}
+};
+
+class Histogram {
+ public:
+  void observe(double) const noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] double sum() const noexcept { return 0.0; }
+  [[nodiscard]] HistogramSample sample() const { return {}; }
+  void reset() const noexcept {}
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+  Counter& counter(std::string_view, std::string_view = {}) { return c_; }
+  Gauge& gauge(std::string_view, std::string_view = {}) { return g_; }
+  Histogram& histogram(std::string_view, std::string_view,
+                       std::span<const double>) {
+    return h_;
+  }
+  [[nodiscard]] std::vector<CounterSample> counters() const { return {}; }
+  [[nodiscard]] std::vector<GaugeSample> gauges() const { return {}; }
+  [[nodiscard]] std::vector<HistogramSample> histograms() const { return {}; }
+  void reset_values() {}
+
+ private:
+  Counter c_;
+  Gauge g_;
+  Histogram h_;
+};
+
+class WaveIngestObs {
+ public:
+  explicit WaveIngestObs(const char*) {}
+  void on_promotion(std::uint64_t = 1) const noexcept {}
+  void on_expiry(std::uint64_t = 1) const noexcept {}
+  void on_eviction(std::uint64_t = 1) const noexcept {}
+  void on_refresh(std::uint64_t = 1) const noexcept {}
+  void flush(std::uint64_t) const noexcept {}
+  void observe_snapshot_size(std::size_t) const noexcept {}
+};
+
+class PartyObs {
+ public:
+  explicit PartyObs(const char*) {}
+  [[nodiscard]] int id() const noexcept { return 0; }
+  void lock_waited(double) const noexcept {}
+  void flush(std::uint64_t, std::uint64_t) const noexcept {}
+};
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace waves::obs

@@ -1,0 +1,41 @@
+#include "obs/trace.hpp"
+
+namespace waves::obs {
+
+#if WAVES_OBS_ENABLED
+
+double Span::end() {
+  if (owner_ == nullptr) return 0.0;
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  rec_.duration_seconds = dt;
+  std::exchange(owner_, nullptr)->record(std::move(rec_));
+  return dt;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::record(SpanRecord&& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.id = next_id_++;
+  ring_.push_back(std::move(rec));
+  if (ring_.size() > kKeep) ring_.pop_front();
+}
+
+std::vector<SpanRecord> Tracer::recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace waves::obs

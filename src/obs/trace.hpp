@@ -1,0 +1,112 @@
+// Lightweight span tracer for referee query rounds.
+//
+// A Span measures one bounded operation (steady-clock duration) and carries
+// a small set of numeric attributes (parties contacted, messages, encoded
+// bytes, decode failures). Finished spans land in a fixed-size ring of
+// recent records that the exporters read — answering "what did the last
+// referee round cost" without a debugger. Spans are for the cold query
+// path: recording one takes a mutex; never put a Span on a per-item path.
+//
+// Compiled to no-ops when WAVES_OBS_ENABLED is 0 (see obs/metrics.hpp).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace waves::obs {
+
+/// A finished span as stored in the tracer ring.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  double duration_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> attrs;
+};
+
+#if WAVES_OBS_ENABLED
+
+class Tracer;
+
+/// Live span handle. end() (or destruction) records it with the tracer and
+/// returns the measured duration in seconds.
+class Span {
+ public:
+  Span(Span&& o) noexcept
+      : owner_(std::exchange(o.owner_, nullptr)),
+        t0_(o.t0_),
+        rec_(std::move(o.rec_)) {}
+  Span& operator=(Span&&) = delete;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void set(std::string_view key, double value) {
+    rec_.attrs.emplace_back(std::string(key), value);
+  }
+  /// Idempotent; returns the duration (0 if already ended or disowned).
+  double end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* owner, std::string_view name) : owner_(owner) {
+    rec_.name = name;
+    t0_ = std::chrono::steady_clock::now();
+  }
+
+  Tracer* owner_;
+  std::chrono::steady_clock::time_point t0_;
+  SpanRecord rec_;
+};
+
+/// Process-wide ring of recent spans.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  [[nodiscard]] Span start(std::string_view name) { return Span(this, name); }
+
+  /// Up to `kKeep` most recent finished spans, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> recent() const;
+  void clear();
+
+  static constexpr std::size_t kKeep = 64;
+
+ private:
+  friend class Span;
+  void record(SpanRecord&& rec);
+
+  mutable std::mutex mu_;
+  std::deque<SpanRecord> ring_;
+  std::uint64_t next_id_ = 1;
+};
+
+#else  // WAVES_OBS_ENABLED == 0
+
+class Span {
+ public:
+  void set(std::string_view, double) {}
+  double end() { return 0.0; }
+};
+
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+  [[nodiscard]] Span start(std::string_view) { return Span{}; }
+  [[nodiscard]] std::vector<SpanRecord> recent() const { return {}; }
+  void clear() {}
+};
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace waves::obs

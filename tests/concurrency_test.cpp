@@ -13,6 +13,7 @@
 #include "distributed/alignment.hpp"
 #include "distributed/party.hpp"
 #include "distributed/referee.hpp"
+#include "obs/metrics.hpp"
 #include "stream/generators.hpp"
 
 namespace waves::distributed {
@@ -73,6 +74,49 @@ TEST(Concurrency, QueriesDuringIngestion) {
   EXPECT_GE(est, 0.0);
   EXPECT_LE(est, static_cast<double>(window) * 1.5);
 }
+
+#if WAVES_OBS_ENABLED
+
+// Hammer the shared obs instruments from 8 writer threads: the relaxed
+// atomics must lose no updates. (A plain uint64_t here fails within a few
+// runs; this is the canary the TSan CI leg also executes.)
+TEST(Concurrency, ObsHammerLosesNoUpdates) {
+  obs::Registry& reg = obs::Registry::instance();
+  const obs::Counter& c = reg.counter("obstest_hammer_counter");
+  const obs::Gauge& g = reg.gauge("obstest_hammer_gauge");
+  const obs::Histogram& h = reg.histogram(
+      "obstest_hammer_hist", "", obs::size_buckets());
+  c.reset();
+  g.reset();
+  h.reset();
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          c.add();
+          if ((i & 1023u) == 0) g.set(static_cast<double>(t));
+          h.observe(static_cast<double>(i & 0xFFu));
+        }
+      });
+    }
+  }  // join
+
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  const auto s = h.sample();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t n : s.counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  // The gauge holds whichever thread wrote last — any valid id.
+  EXPECT_GE(g.value(), 0.0);
+  EXPECT_LT(g.value(), static_cast<double>(kThreads));
+}
+
+#endif  // WAVES_OBS_ENABLED
 
 }  // namespace
 }  // namespace waves::distributed

@@ -1,0 +1,177 @@
+// Unit tests for the observability layer: primitive correctness (counter,
+// gauge, histogram bucket placement), registry identity, exporter output
+// against golden Prometheus lines and JSON fragments, and the span tracer.
+// Families are prefixed obstest_ so instrumented-library metrics registered
+// by other tests in this binary cannot collide.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace waves::obs {
+namespace {
+
+#if WAVES_OBS_ENABLED
+
+TEST(ObsCounter, AddAndReset) {
+  const Counter& c = Registry::instance().counter("obstest_counter_basic");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  const Gauge& g = Registry::instance().gauge("obstest_gauge_basic");
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketPlacement) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  const Histogram& h =
+      Registry::instance().histogram("obstest_hist_buckets", "", bounds);
+  h.reset();
+  h.observe(0.5);    // bucket 0 (le=1)
+  h.observe(1.0);    // bucket 0 (le is inclusive)
+  h.observe(5.0);    // bucket 1 (le=10)
+  h.observe(99.0);   // bucket 2 (le=100)
+  h.observe(1e6);    // +Inf bucket
+  const HistogramSample s = h.sample();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);  // +Inf
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 5.0 + 99.0 + 1e6);
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(ObsRegistry, SameKeySameInstrument) {
+  Counter& a = Registry::instance().counter("obstest_identity", "x=\"1\"");
+  Counter& b = Registry::instance().counter("obstest_identity", "x=\"1\"");
+  Counter& c = Registry::instance().counter("obstest_identity", "x=\"2\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.reset();
+  c.reset();
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, ResetValuesKeepsReferences) {
+  Counter& a = Registry::instance().counter("obstest_reset_keep");
+  a.add(5);
+  Registry::instance().reset_values();
+  EXPECT_EQ(a.value(), 0u);
+  a.add(2);  // the pre-reset reference must still be live
+  EXPECT_EQ(Registry::instance().counter("obstest_reset_keep").value(), 2u);
+}
+
+TEST(ObsExport, PrometheusGoldenLines) {
+  Registry::instance().counter("obstest_prom_c", "k=\"v\"").add(3);
+  Registry::instance().gauge("obstest_prom_g").set(2.5);
+  const double bounds[] = {10.0};
+  const Histogram& h =
+      Registry::instance().histogram("obstest_prom_h", "", bounds);
+  h.reset();
+  h.observe(4.0);
+  h.observe(40.0);
+  const std::string text = prometheus_text();
+  EXPECT_NE(text.find("# TYPE obstest_prom_c counter\n"), std::string::npos);
+  EXPECT_NE(text.find("obstest_prom_c{k=\"v\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obstest_prom_g gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("obstest_prom_g 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obstest_prom_h histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obstest_prom_h_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  // Cumulative: the +Inf bucket carries the total count.
+  EXPECT_NE(text.find("obstest_prom_h_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obstest_prom_h_sum 44\n"), std::string::npos);
+  EXPECT_NE(text.find("obstest_prom_h_count 2\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonCarriesSameData) {
+  Registry::instance().counter("obstest_json_c", "k=\"v\"").add(9);
+  const std::string text = json_text();
+  EXPECT_NE(text.find("\"name\":\"obstest_json_c\""), std::string::npos);
+  EXPECT_NE(text.find("\"labels\":{\"k\":\"v\"}"), std::string::npos);
+  // The counter value appears as a bare number after the labels object.
+  EXPECT_NE(text.find("\"labels\":{\"k\":\"v\"},\"value\":9"),
+            std::string::npos);
+  // Top-level structure: all four sections present.
+  EXPECT_NE(text.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(text.find("\"spans\":["), std::string::npos);
+}
+
+TEST(ObsTracer, RecordsFinishedSpans) {
+  Tracer::instance().clear();
+  {
+    auto span = Tracer::instance().start("obstest.span");
+    span.set("parties", 4.0);
+    const double dt = span.end();
+    EXPECT_GE(dt, 0.0);
+    EXPECT_DOUBLE_EQ(span.end(), 0.0);  // idempotent
+  }
+  const auto recent = Tracer::instance().recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent.back().name, "obstest.span");
+  ASSERT_EQ(recent.back().attrs.size(), 1u);
+  EXPECT_EQ(recent.back().attrs[0].first, "parties");
+  EXPECT_DOUBLE_EQ(recent.back().attrs[0].second, 4.0);
+}
+
+TEST(ObsTracer, RingKeepsMostRecent) {
+  Tracer::instance().clear();
+  for (std::size_t i = 0; i < Tracer::kKeep + 10; ++i) {
+    auto span = Tracer::instance().start("obstest.ring");
+    span.end();
+  }
+  EXPECT_EQ(Tracer::instance().recent().size(), Tracer::kKeep);
+}
+
+TEST(ObsTracer, DroppedSpanRecordsOnDestruction) {
+  Tracer::instance().clear();
+  { auto span = Tracer::instance().start("obstest.raii"); }
+  ASSERT_EQ(Tracer::instance().recent().size(), 1u);
+  EXPECT_EQ(Tracer::instance().recent().back().name, "obstest.raii");
+}
+
+#else  // WAVES_OBS_ENABLED == 0: the whole layer must be inert.
+
+TEST(ObsDisabled, EverythingIsNoop) {
+  const Counter& c = Registry::instance().counter("obstest_off");
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  const Histogram& h =
+      Registry::instance().histogram("obstest_off_h", "", {});
+  h.observe(1.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(Registry::instance().counters().empty());
+  auto span = Tracer::instance().start("obstest.off");
+  EXPECT_DOUBLE_EQ(span.end(), 0.0);
+  EXPECT_TRUE(Tracer::instance().recent().empty());
+  // Exporters still link and emit their "compiled out" stubs.
+  EXPECT_NE(prometheus_text().find("compiled out"), std::string::npos);
+  EXPECT_NE(json_text().find("\"disabled\":true"), std::string::npos);
+}
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace
+}  // namespace waves::obs

@@ -5,6 +5,7 @@
 #include "distributed/party.hpp"
 #include "distributed/referee.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "obs/metrics.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
@@ -165,6 +166,75 @@ TEST(Wire, RandomBytesNeverCrashDistinctDecode) {
   }
   SUCCEED();
 }
+
+// A sentinel snapshot that any successful decode would visibly overwrite.
+core::RandWaveSnapshot count_sentinel() {
+  core::RandWaveSnapshot s;
+  s.level = -7;
+  s.stream_len = 0xDEADBEEF;
+  s.positions = {1, 2, 3};
+  return s;
+}
+
+TEST(Wire, TruncatedPrefixesFailWithoutPartialOutput) {
+  // Every strict prefix of a valid encoding must decode false AND leave
+  // `out` exactly as it was — a referee must never act on half a snapshot.
+  core::RandWaveSnapshot s;
+  s.level = 4;
+  s.stream_len = 70000;
+  for (std::uint64_t p = 65000; p < 65200; p += 3) s.positions.push_back(p);
+  const Bytes clean = encode(s);
+  for (std::size_t cut = 0; cut < clean.size(); ++cut) {
+    const Bytes prefix(clean.begin(),
+                       clean.begin() + static_cast<long>(cut));
+    core::RandWaveSnapshot out = count_sentinel();
+    ASSERT_FALSE(decode(prefix, out)) << "prefix length " << cut;
+    EXPECT_EQ(out.level, -7);
+    EXPECT_EQ(out.stream_len, 0xDEADBEEFu);
+    EXPECT_EQ(out.positions, count_sentinel().positions);
+  }
+}
+
+TEST(Wire, TruncatedDistinctPrefixesFailWithoutPartialOutput) {
+  core::DistinctSnapshot s;
+  s.level = 2;
+  s.stream_len = 5000;
+  s.items = {{900, 10}, {17, 600}, {1u << 30, 4999}};
+  const Bytes clean = encode(s);
+  for (std::size_t cut = 0; cut < clean.size(); ++cut) {
+    const Bytes prefix(clean.begin(),
+                       clean.begin() + static_cast<long>(cut));
+    core::DistinctSnapshot out;
+    out.level = -7;
+    out.stream_len = 0xDEADBEEF;
+    out.items = {{5, 5}};
+    ASSERT_FALSE(decode(prefix, out)) << "prefix length " << cut;
+    EXPECT_EQ(out.level, -7);
+    EXPECT_EQ(out.stream_len, 0xDEADBEEFu);
+    ASSERT_EQ(out.items.size(), 1u);
+  }
+}
+
+#if WAVES_OBS_ENABLED
+
+TEST(Wire, DecodeFailuresIncrementErrorCounter) {
+  const obs::Counter& errors =
+      obs::Registry::instance().counter("waves_wire_decode_errors_total");
+  core::RandWaveSnapshot s;
+  s.positions = {1, 5, 9};
+  Bytes b = encode(s);
+  b.pop_back();  // truncate
+  const std::uint64_t before = errors.value();
+  core::RandWaveSnapshot out;
+  EXPECT_FALSE(decode(b, out));
+  EXPECT_EQ(errors.value(), before + 1);
+  // A clean decode leaves the counter alone.
+  const Bytes good = encode(s);
+  EXPECT_TRUE(decode(good, out));
+  EXPECT_EQ(errors.value(), before + 1);
+}
+
+#endif  // WAVES_OBS_ENABLED
 
 }  // namespace
 }  // namespace waves::distributed

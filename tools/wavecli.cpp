@@ -4,22 +4,36 @@
 //   wavecli sum      [--eps E] [--window N] [--max-value R]
 //   wavecli distinct [--eps E] [--window N] [--max-value R] [--seed S]
 //   wavecli nth-one  [--eps E] [--span M] [--nth K]
+//   wavecli metrics  [--format prom|json] [--parties T] [--instances K]
+//                    [--eps E] [--window N] [--items M] [--seed S]
 //
-// Prints "<items>\t<estimate>" every --every items (default 10000) and a
-// final line on EOF. Exit code 2 on usage errors, 3 on malformed input.
+// Stream modes print "<items>\t<estimate>" every --every items (default
+// 10000) and a final line on EOF. The metrics mode runs a small built-in
+// distributed simulation (union counting + distinct values over the wire
+// transport) and dumps the observability registry in Prometheus text
+// exposition or JSON. Exit code 2 on usage errors, 3 on malformed input.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/det_wave.hpp"
 #include "core/distinct_wave.hpp"
 #include "core/extensions/nth_one.hpp"
 #include "core/sum_wave.hpp"
+#include "distributed/ingest_driver.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
 #include "gf2/gf2.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "obs/export.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "stream/value_streams.hpp"
 
 namespace {
 
@@ -27,18 +41,27 @@ struct Options {
   std::string mode;
   std::uint64_t inv_eps = 20;  // eps = 0.05
   std::uint64_t window = 100000;
+  bool window_set = false;
   std::uint64_t max_value = 1000000;
   std::uint64_t seed = 1;
   std::uint64_t every = 10000;
   std::uint64_t nth = 1;
   std::uint64_t span = 1 << 20;
+  // metrics mode only:
+  std::string format = "prom";
+  int parties = 4;
+  int instances = 3;
+  std::uint64_t items = 20000;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: wavecli count|sum|distinct|nth-one [--eps E] "
                "[--window N]\n               [--max-value R] [--seed S] "
-               "[--every K] [--nth K] [--span M]\n");
+               "[--every K] [--nth K] [--span M]\n       wavecli metrics "
+               "[--format prom|json] [--parties T] [--instances K]\n"
+               "               [--eps E] [--window N] [--items M] [--seed "
+               "S]\n");
   return 2;
 }
 
@@ -56,6 +79,7 @@ std::optional<Options> parse(int argc, char** argv) {
       if (o.inv_eps < 1) o.inv_eps = 1;
     } else if (flag == "--window") {
       o.window = std::strtoull(val, nullptr, 10);
+      o.window_set = true;
     } else if (flag == "--max-value") {
       o.max_value = std::strtoull(val, nullptr, 10);
     } else if (flag == "--seed") {
@@ -66,12 +90,85 @@ std::optional<Options> parse(int argc, char** argv) {
       o.nth = std::strtoull(val, nullptr, 10);
     } else if (flag == "--span") {
       o.span = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--format") {
+      o.format = val;
+    } else if (flag == "--parties") {
+      o.parties = std::atoi(val);
+    } else if (flag == "--instances") {
+      o.instances = std::atoi(val);
+    } else if (flag == "--items") {
+      o.items = std::strtoull(val, nullptr, 10);
     } else {
       return std::nullopt;
     }
   }
+  if (o.mode == "metrics") {
+    // The built-in simulation only needs a small window to light up every
+    // metric family; keep the default cheap unless the user asks.
+    if (!o.window_set) o.window = 4096;
+    if (o.format != "prom" && o.format != "json") return std::nullopt;
+    if (o.parties < 1 || o.instances < 1 || o.items < 1) return std::nullopt;
+  }
   if (o.window < 1 || o.every < 1) return std::nullopt;
   return o;
+}
+
+/// Runs a small two-protocol distributed simulation so every layer of the
+/// observability registry has data, then dumps it in the requested format.
+int run_metrics(const Options& o) {
+  using namespace waves;
+  const double eps = 1.0 / static_cast<double>(o.inv_eps);
+
+  // Union counting over the wire transport.
+  {
+    stream::BernoulliBits base_gen(0.2, o.seed);
+    const auto base = stream::take(base_gen, o.items);
+    const auto streams =
+        stream::correlated_streams(base, o.parties, 0.05, o.seed + 1);
+    std::vector<std::unique_ptr<distributed::CountParty>> owners;
+    std::vector<distributed::CountParty*> feed;
+    std::vector<const distributed::CountParty*> query;
+    for (int j = 0; j < o.parties; ++j) {
+      owners.push_back(std::make_unique<distributed::CountParty>(
+          core::RandWave::Params{.eps = eps, .window = o.window, .c = 36},
+          o.instances, o.seed + 99));
+      feed.push_back(owners.back().get());
+      query.push_back(owners.back().get());
+    }
+    (void)distributed::parallel_feed(feed, streams);
+    (void)distributed::union_count_wire(query, o.window, nullptr);
+  }
+
+  // Distinct values over the wire transport.
+  {
+    const std::uint64_t value_space = 1u << 16;
+    core::DistinctWave::Params p{.eps = eps,
+                                 .window = o.window,
+                                 .max_value = value_space,
+                                 .c = 36};
+    std::vector<std::unique_ptr<distributed::DistinctParty>> owners;
+    std::vector<distributed::DistinctParty*> feed;
+    std::vector<const distributed::DistinctParty*> query;
+    for (int j = 0; j < o.parties; ++j) {
+      owners.push_back(std::make_unique<distributed::DistinctParty>(
+          p, o.instances, o.seed + 7));
+      feed.push_back(owners.back().get());
+      query.push_back(owners.back().get());
+    }
+    std::vector<std::vector<std::uint64_t>> streams;
+    for (int j = 0; j < o.parties; ++j) {
+      stream::ZipfValues gen(value_space, 1.2,
+                             o.seed + static_cast<std::uint64_t>(j));
+      streams.push_back(stream::take(gen, o.items));
+    }
+    (void)distributed::parallel_feed(feed, streams);
+    (void)distributed::distinct_count_wire(query, o.window, nullptr, {});
+  }
+
+  const std::string text =
+      o.format == "json" ? obs::json_text() : obs::prometheus_text();
+  std::fputs(text.c_str(), stdout);
+  return 0;
 }
 
 /// Reads uint64 lines; calls consume(v) per item and flush(items) at every
@@ -104,6 +201,7 @@ int main(int argc, char** argv) {
   if (!opts) return usage();
   const Options& o = *opts;
 
+  if (o.mode == "metrics") return run_metrics(o);
   if (o.mode == "count") {
     waves::core::DetWave w(o.inv_eps, o.window);
     return pump(

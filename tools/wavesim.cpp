@@ -6,7 +6,14 @@
 //
 //   wavesim [--parties T] [--items M] [--window N] [--eps E]
 //           [--instances K] [--density P] [--noise Q] [--seed S]
-//           [--mode union|distinct]
+//           [--mode union|distinct] [--metrics prom|json]
+//           [--metrics-every-ms K]
+//
+// --metrics dumps the observability registry to stderr after the run;
+// --metrics-every-ms additionally streams periodic JSON dumps to stderr
+// while ingestion is in flight.
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -14,11 +21,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "distributed/ingest_driver.hpp"
 #include "distributed/party.hpp"
 #include "distributed/referee.hpp"
+#include "obs/export.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
@@ -35,15 +44,45 @@ struct Options {
   double noise = 0.05;
   std::uint64_t seed = 42;
   std::string mode = "union";
+  std::string metrics;  // "", "prom", or "json"
+  std::uint64_t metrics_every_ms = 0;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: wavesim [--parties T] [--items M] [--window N] "
                "[--eps E]\n               [--instances K] [--density P] "
-               "[--noise Q] [--seed S] [--mode union|distinct]\n");
+               "[--noise Q] [--seed S] [--mode union|distinct]\n"
+               "               [--metrics prom|json] [--metrics-every-ms "
+               "K]\n");
   return 2;
 }
+
+/// Streams a JSON registry dump to stderr every `period_ms` for as long as
+/// the returned guard is alive. Dump cadence is wall-clock driven, so slow
+/// ingests produce more frames — each frame is one line, tail-able live.
+class MetricsWatcher {
+ public:
+  explicit MetricsWatcher(std::uint64_t period_ms) {
+    if (period_ms == 0) return;
+    worker_ = std::thread([this, period_ms] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+        if (stop_.load(std::memory_order_relaxed)) break;
+        std::fputs(waves::obs::json_text().c_str(), stderr);
+        std::fputc('\n', stderr);
+      }
+    });
+  }
+  ~MetricsWatcher() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread worker_;
+};
 
 std::optional<Options> parse(int argc, char** argv) {
   Options o;
@@ -68,12 +107,17 @@ std::optional<Options> parse(int argc, char** argv) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (flag == "--mode") {
       o.mode = v;
+    } else if (flag == "--metrics") {
+      o.metrics = v;
+    } else if (flag == "--metrics-every-ms") {
+      o.metrics_every_ms = std::strtoull(v, nullptr, 10);
     } else {
       return std::nullopt;
     }
   }
   if (o.parties < 1 || o.eps <= 0 || o.eps >= 1 || o.instances < 1 ||
-      o.window < 1 || (o.mode != "union" && o.mode != "distinct")) {
+      o.window < 1 || (o.mode != "union" && o.mode != "distinct") ||
+      (!o.metrics.empty() && o.metrics != "prom" && o.metrics != "json")) {
     return std::nullopt;
   }
   return o;
@@ -173,5 +217,16 @@ int run_distinct(const Options& o) {
 int main(int argc, char** argv) {
   const auto opts = parse(argc, argv);
   if (!opts) return usage();
-  return opts->mode == "union" ? run_union(*opts) : run_distinct(*opts);
+  int rc;
+  {
+    MetricsWatcher watcher(opts->metrics_every_ms);
+    rc = opts->mode == "union" ? run_union(*opts) : run_distinct(*opts);
+  }
+  if (!opts->metrics.empty()) {
+    const std::string text = opts->metrics == "json"
+                                 ? waves::obs::json_text()
+                                 : waves::obs::prometheus_text();
+    std::fputs(text.c_str(), stderr);
+  }
+  return rc;
 }
