@@ -47,7 +47,9 @@ int main() {
   }
 
   // One ingestion thread per router — the streams are physically parallel.
-  const auto fed = distributed::parallel_feed(feed_ptrs, flags);
+  // Packed words feed the batch ingest path (observe_words).
+  const auto fed =
+      distributed::parallel_feed(feed_ptrs, util::pack_streams(flags));
   std::printf("ingested %llu slot observations on %d router threads "
               "(%.2f Mitems/s)\n",
               static_cast<unsigned long long>(fed.items), kRouters,

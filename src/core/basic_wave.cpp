@@ -32,6 +32,39 @@ void BasicWave::update(bool bit) {
   }
 }
 
+void BasicWave::update_words(std::span<const std::uint64_t> words,
+                             std::uint64_t count) {
+  assert(count <= words.size() * 64);
+  std::uint64_t promotions = 0, evictions = 0;
+  std::size_t wi = 0;
+  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
+    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
+    const std::uint64_t base = pos_;
+    while (w != 0) {
+      const int b = util::lsb_index(w);
+      w &= w - 1;
+      pos_ = base + static_cast<std::uint64_t>(b) + 1;
+      ++rank_;
+      for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (rank_ % (std::uint64_t{1} << i) == 0) {
+          auto& q = levels_[i];
+          q.emplace_back(pos_, rank_);
+          ++promotions;
+          if (q.size() > cap_) {
+            q.pop_front();
+            ++evictions;
+          }
+        }
+      }
+    }
+    pos_ = base + static_cast<std::uint64_t>(valid);
+    remaining -= static_cast<std::uint64_t>(valid);
+  }
+  obs_.on_promotion(promotions);
+  obs_.on_eviction(evictions);
+}
+
 Estimate BasicWave::query(std::uint64_t n) const {
   assert(n >= 1 && n <= window_);
   obs_.flush(pos_);

@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "core/wave_common.hpp"
 #include "obs/metrics.hpp"
+#include "util/packed_bits.hpp"
 
 namespace waves::core {
 
@@ -28,6 +30,14 @@ class BasicWave {
   BasicWave(std::uint64_t inv_eps, std::uint64_t window);
 
   void update(bool bit);
+
+  /// Process `count` bits packed 64 per word, LSB first. Bit-exact with
+  /// `count` update() calls; zero runs cost nothing (the basic wave keeps
+  /// no expiry state — 0-bits only advance the position).
+  void update_words(std::span<const std::uint64_t> words, std::uint64_t count);
+  void update_batch(const util::PackedBitStream& bits) {
+    update_words(bits.words(), bits.size());
+  }
 
   /// Estimate the number of 1s among the last n <= N items (Sec. 3.1).
   [[nodiscard]] Estimate query(std::uint64_t n) const;

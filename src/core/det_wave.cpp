@@ -36,18 +36,19 @@ DetWave::DetWave(std::uint64_t inv_eps, std::uint64_t window,
 }
 
 void DetWave::update(bool bit) {
-  ++pos_;
-  // Step 2 of Fig. 4: expire the head of the list if it left the window.
-  // Positions advance by one per update, so at most one entry expires.
-  if (!pool_.empty()) {
-    const Entry& head = pool_.entry(pool_.head());
-    if (head.pos + window_ <= pos_) {
-      const Entry gone = pool_.pop_oldest();
-      discarded_rank_ = gone.rank;
-      obs_.on_expiry();
-    }
+  if (!bit) {
+    // A 0-bit only moves the window; route it through the same unified
+    // expiry scan as skip_zeros (the ruler advances per 1-rank, not per
+    // position). At most one entry expires when positions advance by one.
+    skip_zeros(1);
+    return;
   }
-  if (!bit) return;  // the ruler advances per 1-rank, not per position
+  ++pos_;
+  // Step 2 of Fig. 4: expire whatever left the window.
+  expire_through(pool_, pos_, window_, [this](const Entry& gone) {
+    discarded_rank_ = gone.rank;
+    obs_.on_expiry();
+  });
   // Step 3: place the new 1 at its maximum level.
   ++rank_;
   int j;
@@ -67,13 +68,50 @@ void DetWave::skip_zeros(std::uint64_t count) {
   pos_ += count;
   // Expire every entry the jump passed; at most all stored entries, each
   // O(1), and each was paid for by its own insertion.
-  while (!pool_.empty()) {
-    const Entry& head = pool_.entry(pool_.head());
-    if (head.pos + window_ > pos_) break;
-    const Entry gone = pool_.pop_oldest();
+  expire_through(pool_, pos_, window_, [this](const Entry& gone) {
     discarded_rank_ = gone.rank;
     obs_.on_expiry();
+  });
+}
+
+void DetWave::update_words(std::span<const std::uint64_t> words,
+                           std::uint64_t count) {
+  assert(count <= words.size() * 64);
+  const auto discard = [this](const Entry& gone) {
+    discarded_rank_ = gone.rank;
+    obs_.on_expiry();
+  };
+  std::uint64_t promotions = 0;
+  std::size_t wi = 0;
+  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
+    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
+    const std::uint64_t base = pos_;  // position before this word's bits
+    while (w != 0) {
+      const int b = util::lsb_index(w);
+      w &= w - 1;
+      // Jump straight to the 1-bit; the zeros in between only need one
+      // expiry scan, exactly as in skip_zeros.
+      pos_ = base + static_cast<std::uint64_t>(b) + 1;
+      expire_through(pool_, pos_, window_, discard);
+      ++rank_;
+      int j;
+      if (ruler_) {
+        j = ruler_->next();
+        const int top = pool_.levels() - 1;
+        if (j > top) j = top;
+        assert(j == level_of(rank_));
+      } else {
+        j = level_of(rank_);
+      }
+      pool_.insert(j, Entry{pos_, rank_});
+      ++promotions;
+    }
+    pos_ = base + static_cast<std::uint64_t>(valid);  // trailing zeros
+    remaining -= static_cast<std::uint64_t>(valid);
   }
+  expire_through(pool_, pos_, window_, discard);
+  obs_.on_promotion(promotions);
 }
 
 Estimate DetWave::query() const { return query(window_); }

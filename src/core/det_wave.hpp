@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -28,6 +29,7 @@
 #include "obs/metrics.hpp"
 #include "util/bitops.hpp"
 #include "util/level_pool.hpp"
+#include "util/packed_bits.hpp"
 #include "util/weak_bitops.hpp"
 
 namespace waves::core {
@@ -48,6 +50,16 @@ class DetWave {
   /// update(false) `count` times but costs O(#entries expired), not
   /// O(count) — the fast path for sparse streams (events + long gaps).
   void skip_zeros(std::uint64_t count);
+
+  /// Process `count` stream bits packed 64 per word, LSB first (bit i of
+  /// the batch is words[i/64] >> (i%64)). Bit-exact with `count` update()
+  /// calls — same pos/rank, same level contents, same estimates — but
+  /// costs O(#ones + #expired) plus one pass over the words: 1-bits are
+  /// located by ctz, zero runs never touch the pool.
+  void update_words(std::span<const std::uint64_t> words, std::uint64_t count);
+  void update_batch(const util::PackedBitStream& bits) {
+    update_words(bits.words(), bits.size());
+  }
 
   /// Count estimate over the full window of N items. O(1) worst case.
   [[nodiscard]] Estimate query() const;

@@ -61,6 +61,13 @@ class DistinctWave {
   /// Process one value. O(1) expected.
   void update(std::uint64_t value);
 
+  /// Process a run of values. State-identical to calling update() on each
+  /// in order; the win is upstream (one party-lock acquisition, one obs
+  /// flush per batch), not in the wave itself.
+  void update_batch(std::span<const std::uint64_t> values) {
+    for (const std::uint64_t v : values) update(v);
+  }
+
   [[nodiscard]] DistinctSnapshot snapshot(std::uint64_t n) const;
 
   /// Convenience single-party estimate.

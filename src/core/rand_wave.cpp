@@ -71,6 +71,59 @@ void RandWave::update(bool bit) {
   }
 }
 
+void RandWave::update_words(std::span<const std::uint64_t> words,
+                            std::uint64_t count) {
+  assert(count <= words.size() * 64);
+  // Bit-exactness with the per-bit path hinges on one invariant of update():
+  // after processing position p, no queue holds a position <= p - N (each
+  // expired position q is swept at levels 0..h(q) — exactly where it was
+  // stored — on the update at p = q + N). So a queue's live contents are
+  // fully determined by (inserts so far, current position). The batch path
+  // reproduces that state by cleaning a level's expired tail right before
+  // each insert touching it — making capacity-eviction decisions (and the
+  // evicted bounds) identical — and sweeping all levels once at batch end.
+  std::uint64_t promotions = 0;
+  std::size_t wi = 0;
+  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
+    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
+    const std::uint64_t base = pos_;
+    while (w != 0) {
+      const int b = util::lsb_index(w);
+      w &= w - 1;
+      pos_ = base + static_cast<std::uint64_t>(b) + 1;
+      const std::uint64_t pexp =
+          pos_ > params_.window ? pos_ - params_.window : 0;
+      const int hl = level_of_position(pos_);
+      promotions += static_cast<std::uint64_t>(hl) + 1;
+      for (int l = 0; l <= hl; ++l) {
+        auto& q = queues_[static_cast<std::size_t>(l)];
+        while (!q.empty() && q.tail() <= pexp) {
+          q.pop_tail();
+          obs_.on_expiry();
+        }
+        if (auto evicted = q.push_head(pos_)) {
+          obs_.on_eviction();
+          auto& bound = evicted_bound_[static_cast<std::size_t>(l)];
+          if (*evicted > bound) bound = *evicted;
+        }
+      }
+    }
+    pos_ = base + static_cast<std::uint64_t>(valid);
+    remaining -= static_cast<std::uint64_t>(valid);
+  }
+  obs_.on_promotion(promotions);
+  if (pos_ > params_.window) {
+    const std::uint64_t pexp = pos_ - params_.window;
+    for (auto& q : queues_) {
+      while (!q.empty() && q.tail() <= pexp) {
+        q.pop_tail();
+        obs_.on_expiry();
+      }
+    }
+  }
+}
+
 RandWaveSnapshot RandWave::snapshot(std::uint64_t n) const {
   assert(n >= 1 && n <= params_.window);
   const std::uint64_t s = pos_ > n ? pos_ - n + 1 : 1;

@@ -24,6 +24,7 @@
 #include "gf2/hash.hpp"
 #include "gf2/shared_randomness.hpp"
 #include "obs/metrics.hpp"
+#include "util/packed_bits.hpp"
 #include "util/ring_buffer.hpp"
 
 namespace waves::core {
@@ -52,6 +53,15 @@ class RandWave {
   /// Process one stream bit. O(1) expected (a position lands in an expected
   /// < 2 levels; expiring its mirror costs the same in expectation).
   void update(bool bit);
+
+  /// Process `count` bits packed 64 per word, LSB first. Bit-exact with
+  /// `count` update() calls (same queues, same eviction bounds); the hash
+  /// is evaluated only for 1-bit positions — zero runs cost nothing until
+  /// the per-batch expiry sweep.
+  void update_words(std::span<const std::uint64_t> words, std::uint64_t count);
+  void update_batch(const util::PackedBitStream& bits) {
+    update_words(bits.words(), bits.size());
+  }
 
   /// Party-side half of a query for a window of n <= N items.
   [[nodiscard]] RandWaveSnapshot snapshot(std::uint64_t n) const;

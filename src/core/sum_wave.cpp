@@ -45,15 +45,14 @@ int SumWave::level_for(std::uint64_t value) const noexcept {
 
 void SumWave::update(std::uint64_t value) {
   assert(value <= max_value_);
-  ++pos_;
-  if (!pool_.empty()) {
-    const Entry& head = pool_.entry(pool_.head());
-    if (head.pos + window_ <= pos_) {
-      const Entry gone = pool_.pop_oldest();
-      discarded_z_ = gone.z;
-    }
+  if (value == 0) {
+    // Zero-valued items only move the window: the unified skip_zeros scan.
+    skip_zeros(1);
+    return;
   }
-  if (value == 0) return;
+  ++pos_;
+  expire_through(pool_, pos_, window_,
+                 [this](const Entry& gone) { discarded_z_ = gone.z; });
   const int j = level_for(value);
   total_ += value;
   pool_.insert(j, Entry{pos_, value, total_});
@@ -61,12 +60,32 @@ void SumWave::update(std::uint64_t value) {
 
 void SumWave::skip_zeros(std::uint64_t count) {
   pos_ += count;
-  while (!pool_.empty()) {
-    const Entry& head = pool_.entry(pool_.head());
-    if (head.pos + window_ > pos_) break;
-    const Entry gone = pool_.pop_oldest();
-    discarded_z_ = gone.z;
+  expire_through(pool_, pos_, window_,
+                 [this](const Entry& gone) { discarded_z_ = gone.z; });
+}
+
+void SumWave::update_words(std::span<const std::uint64_t> words,
+                           std::uint64_t count) {
+  assert(count <= words.size() * 64);
+  const auto discard = [this](const Entry& gone) { discarded_z_ = gone.z; };
+  std::size_t wi = 0;
+  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
+    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
+    const std::uint64_t base = pos_;
+    while (w != 0) {
+      const int b = util::lsb_index(w);
+      w &= w - 1;
+      pos_ = base + static_cast<std::uint64_t>(b) + 1;
+      expire_through(pool_, pos_, window_, discard);
+      const int j = level_for(1);
+      total_ += 1;
+      pool_.insert(j, Entry{pos_, 1, total_});
+    }
+    pos_ = base + static_cast<std::uint64_t>(valid);
+    remaining -= static_cast<std::uint64_t>(valid);
   }
+  expire_through(pool_, pos_, window_, discard);
 }
 
 Estimate SumWave::query() const { return query(window_); }

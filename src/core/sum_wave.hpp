@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/wave_common.hpp"
 #include "util/bitops.hpp"
 #include "util/level_pool.hpp"
+#include "util/packed_bits.hpp"
 
 namespace waves::core {
 
@@ -35,6 +37,14 @@ class SumWave {
 
   /// Process a run of `count` zero-valued items in O(#entries expired).
   void skip_zeros(std::uint64_t count);
+
+  /// Process `count` 0/1-valued items packed 64 per word, LSB first (a sum
+  /// wave over a bit stream counts its 1s). Bit-exact with `count` update()
+  /// calls; costs O(#ones + #expired) plus one pass over the words.
+  void update_words(std::span<const std::uint64_t> words, std::uint64_t count);
+  void update_batch(const util::PackedBitStream& bits) {
+    update_words(bits.words(), bits.size());
+  }
 
   /// Sum estimate over the full window of N items. O(1).
   [[nodiscard]] Estimate query() const;

@@ -131,6 +131,13 @@ void TsSumWave::update(std::uint64_t pos, std::uint64_t value) {
   mark_inserted(idx, pos_);
 }
 
+void TsSumWave::skip_zeros(std::uint64_t count) {
+  pos_ += count;
+  while (!pool_.empty() && pool_.entry(pool_.head()).pos + window_ <= pos_) {
+    expire_position();
+  }
+}
+
 Estimate TsSumWave::query(std::uint64_t n) const {
   assert(n >= 1 && n <= window_);
   if (n >= pos_) {

@@ -36,6 +36,12 @@ class TsSumWave {
   /// when positions advance by at most one.
   void update(std::uint64_t pos, std::uint64_t value);
 
+  /// Advance the clock by `count` positions with no items — a timestamp
+  /// gap. Equivalent to update(current_position() + count, 0) and to any
+  /// sequence of zero-valued items over those positions; costs
+  /// O(#positions expired), not O(count).
+  void skip_zeros(std::uint64_t count);
+
   /// Sum estimate over the last n <= N positions.
   [[nodiscard]] Estimate query(std::uint64_t n) const;
   [[nodiscard]] Estimate query() const { return query(window_); }

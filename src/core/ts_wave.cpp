@@ -128,6 +128,40 @@ void TsWave::update(std::uint64_t pos, bool bit) {
   mark_inserted(idx, pos_);
 }
 
+void TsWave::update_words(std::span<const std::uint64_t> words,
+                          std::uint64_t count) {
+  assert(count <= words.size() * 64);
+  std::size_t wi = 0;
+  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
+    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
+    const std::uint64_t base = pos_;
+    while (w != 0) {
+      const int b = util::lsb_index(w);
+      w &= w - 1;
+      pos_ = base + static_cast<std::uint64_t>(b) + 1;
+      while (!pool_.empty() &&
+             pool_.entry(pool_.head()).pos + window_ <= pos_) {
+        expire_position();
+      }
+      ++rank_;
+      int j = util::rank_level(rank_);
+      const int top = pool_.levels() - 1;
+      if (j > top) j = top;
+      if (pool_.victim_in_list(j)) {
+        splice_first_bookkeeping(pool_.peek_victim(j));
+      }
+      const std::int32_t idx = pool_.insert(j, Entry{pos_, rank_});
+      mark_inserted(idx, pos_);
+    }
+    pos_ = base + static_cast<std::uint64_t>(valid);
+    remaining -= static_cast<std::uint64_t>(valid);
+  }
+  while (!pool_.empty() && pool_.entry(pool_.head()).pos + window_ <= pos_) {
+    expire_position();
+  }
+}
+
 Estimate TsWave::query() const { return query(window_); }
 
 Estimate TsWave::query(std::uint64_t n) const {

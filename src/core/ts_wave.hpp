@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/wave_common.hpp"
 #include "util/bitops.hpp"
 #include "util/level_pool.hpp"
+#include "util/packed_bits.hpp"
 
 namespace waves::core {
 
@@ -30,6 +32,15 @@ class TsWave {
   /// Process one (position, bit) item; `pos` must be >= the previous
   /// position. O(1) worst case when positions advance by at most one.
   void update(std::uint64_t pos, bool bit);
+
+  /// Process `count` bits packed 64 per word, LSB first, at consecutive
+  /// positions current_position()+1 .. current_position()+count (one item
+  /// per position). Bit-exact with the equivalent update() calls; zero
+  /// runs cost O(#positions expired), not O(run length).
+  void update_words(std::span<const std::uint64_t> words, std::uint64_t count);
+  void update_batch(const util::PackedBitStream& bits) {
+    update_words(bits.words(), bits.size());
+  }
 
   /// Count estimate over the last N positions. O(1).
   [[nodiscard]] Estimate query() const;

@@ -1,7 +1,10 @@
-// Shared types for the wave synopses.
+// Shared types and helpers for the wave synopses.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+
+#include "util/level_pool.hpp"
 
 namespace waves::core {
 
@@ -13,5 +16,22 @@ struct Estimate {
   bool exact = false;
   std::uint64_t window = 0;
 };
+
+/// Fig. 4/5 step 2, unified: pop every pool entry whose position has left
+/// the window ending at `pos`, oldest first, handing each to `on_discard`
+/// (which retains r1/z1). This one loop serves the per-bit path (at most
+/// one entry expires when positions advance by one), skip_zeros, and the
+/// word-at-a-time batch path; cost is O(#expired), each expiry paid for by
+/// its own insertion. Only for pools with unique positions — the timestamp
+/// waves expire whole position runs via their segment lists instead.
+template <class Entry, class OnDiscard>
+inline void expire_through(util::LevelPool<Entry>& pool, std::uint64_t pos,
+                           std::uint64_t window, OnDiscard&& on_discard) {
+  while (!pool.empty()) {
+    const Entry& head = pool.entry(pool.head());
+    if (head.pos + window > pos) break;
+    on_discard(pool.pop_oldest());
+  }
+}
 
 }  // namespace waves::core

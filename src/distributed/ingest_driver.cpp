@@ -1,5 +1,6 @@
 #include "distributed/ingest_driver.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <string>
@@ -11,9 +12,17 @@ namespace waves::distributed {
 
 namespace {
 
-template <class Party, class Item>
+// Lock-hold bound per observe_* call: a Referee querying mid-feed waits at
+// most one chunk, not the whole stream.
+constexpr std::uint64_t kChunkBits = 64 * 1024;       // 1024 words
+constexpr std::size_t kChunkValues = 64 * 1024;
+
+// Runs `feed(party, stream)` for each (party, stream) pair on its own
+// thread, timing each; `size(stream)` items are credited to that party.
+template <class Party, class Stream, class FeedFn, class SizeFn>
 FeedResult feed_impl(std::span<Party* const> parties,
-                     const std::vector<std::vector<Item>>& streams) {
+                     const std::vector<Stream>& streams, FeedFn feed,
+                     SizeFn size) {
   assert(parties.size() == streams.size());
   FeedResult r;
   r.per_party.resize(parties.size());
@@ -23,10 +32,11 @@ FeedResult feed_impl(std::span<Party* const> parties,
     threads.reserve(parties.size());
     for (std::size_t i = 0; i < parties.size(); ++i) {
       threads.emplace_back(
-          [p = parties[i], &s = streams[i], &pp = r.per_party[i]] {
+          [p = parties[i], &s = streams[i], &pp = r.per_party[i], feed,
+           size] {
             const auto f0 = std::chrono::steady_clock::now();
-            for (const auto& item : s) p->observe(item);
-            pp.items = s.size();
+            feed(p, s);
+            pp.items = size(s);
             pp.seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - f0)
                              .count();
@@ -66,14 +76,34 @@ double FeedResult::rate_skew() const noexcept {
 }
 
 FeedResult parallel_feed(std::span<CountParty* const> parties,
-                         const std::vector<std::vector<bool>>& streams) {
-  return feed_impl(parties, streams);
+                         const std::vector<util::PackedBitStream>& streams) {
+  return feed_impl(
+      parties, streams,
+      [](CountParty* p, const util::PackedBitStream& s) {
+        const std::span<const std::uint64_t> words = s.words();
+        for (std::uint64_t off = 0; off < s.size(); off += kChunkBits) {
+          const std::uint64_t nbits = std::min(kChunkBits, s.size() - off);
+          p->observe_words(words.subspan(off / 64, (nbits + 63) / 64), nbits);
+        }
+      },
+      [](const util::PackedBitStream& s) { return s.size(); });
 }
 
 FeedResult parallel_feed(
     std::span<DistinctParty* const> parties,
     const std::vector<std::vector<std::uint64_t>>& streams) {
-  return feed_impl(parties, streams);
+  return feed_impl(
+      parties, streams,
+      [](DistinctParty* p, const std::vector<std::uint64_t>& s) {
+        const std::span<const std::uint64_t> vals(s);
+        for (std::size_t off = 0; off < s.size(); off += kChunkValues) {
+          p->observe_batch(
+              vals.subspan(off, std::min(kChunkValues, s.size() - off)));
+        }
+      },
+      [](const std::vector<std::uint64_t>& s) {
+        return static_cast<std::uint64_t>(s.size());
+      });
 }
 
 }  // namespace waves::distributed

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "distributed/party.hpp"
+#include "util/packed_bits.hpp"
 
 namespace waves::distributed {
 
@@ -36,14 +37,18 @@ struct FeedResult {
   [[nodiscard]] double rate_skew() const noexcept;
 };
 
-/// Feed bit stream i into party i, all parties in parallel; returns wall
-/// time, total items, and per-party timings. Streams must be
+/// Feed packed bit stream i into party i, all parties in parallel; returns
+/// wall time, total items, and per-party timings. Streams must be
 /// pre-materialized and equal-length for positionwise alignment
-/// (Scenario 3 queries need aligned lengths).
+/// (Scenario 3 queries need aligned lengths). Each thread feeds its party
+/// through observe_words in word-aligned chunks of ~64Ki bits, so a Referee
+/// querying concurrently acquires the party lock between chunks rather than
+/// once per bit (or never, if the whole stream were one batch).
 FeedResult parallel_feed(std::span<CountParty* const> parties,
-                         const std::vector<std::vector<bool>>& streams);
+                         const std::vector<util::PackedBitStream>& streams);
 
-/// Same for value streams into distinct-values parties.
+/// Same for value streams into distinct-values parties; chunked through
+/// observe_batch (64Ki values per lock acquisition).
 FeedResult parallel_feed(std::span<DistinctParty* const> parties,
                          const std::vector<std::vector<std::uint64_t>>& streams);
 

@@ -59,6 +59,16 @@ void CountParty::observe(bool bit) {
   }
 }
 
+void CountParty::observe_words(std::span<const std::uint64_t> words,
+                               std::uint64_t count) {
+  if (count == 0) return;
+  const auto lock = lock_tracked(mu_, obs_);
+  for (core::RandWave& w : waves_) w.update_words(words, count);
+  if constexpr (obs::kEnabled) {
+    obs_.flush(waves_.front().pos(), space_bits_locked());
+  }
+}
+
 std::vector<core::RandWaveSnapshot> CountParty::snapshots(
     std::uint64_t n) const {
   const auto lock = lock_tracked(mu_, obs_);
@@ -101,6 +111,15 @@ void DistinctParty::observe(std::uint64_t value) {
   if constexpr (obs::kEnabled) {
     const std::uint64_t n = waves_.front().pos();
     if ((n & kFlushMask) == 0) obs_.flush(n, space_bits_locked());
+  }
+}
+
+void DistinctParty::observe_batch(std::span<const std::uint64_t> values) {
+  if (values.empty()) return;
+  const auto lock = lock_tracked(mu_, obs_);
+  for (core::DistinctWave& w : waves_) w.update_batch(values);
+  if constexpr (obs::kEnabled) {
+    obs_.flush(waves_.front().pos(), space_bits_locked());
   }
 }
 

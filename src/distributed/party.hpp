@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/distinct_wave.hpp"
@@ -18,6 +19,7 @@
 #include "gf2/gf2.hpp"
 #include "gf2/shared_randomness.hpp"
 #include "obs/metrics.hpp"
+#include "util/packed_bits.hpp"
 
 namespace waves::distributed {
 
@@ -28,6 +30,17 @@ class CountParty {
              std::uint64_t shared_seed);
 
   void observe(bool bit);
+
+  /// Observe `count` bits packed 64 per word, LSB first, under a single
+  /// lock acquisition with one obs flush at the end. State-identical to
+  /// `count` observe() calls. Large batches hold the lock for their whole
+  /// duration — feed via bounded chunks (see ingest_driver) when a Referee
+  /// must interleave queries.
+  void observe_words(std::span<const std::uint64_t> words,
+                     std::uint64_t count);
+  void observe_batch(const util::PackedBitStream& bits) {
+    observe_words(bits.words(), bits.size());
+  }
 
   /// Per-instance snapshots for a window of n items.
   [[nodiscard]] std::vector<core::RandWaveSnapshot> snapshots(
@@ -61,6 +74,10 @@ class DistinctParty {
                 std::uint64_t shared_seed);
 
   void observe(std::uint64_t value);
+
+  /// Observe a run of values under a single lock acquisition with one obs
+  /// flush at the end. State-identical to per-value observe() calls.
+  void observe_batch(std::span<const std::uint64_t> values);
 
   [[nodiscard]] std::vector<core::DistinctSnapshot> snapshots(
       std::uint64_t n) const;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/bitops.hpp"
+
 namespace waves::stream {
 
 namespace {
@@ -43,12 +45,36 @@ std::vector<bool> take(BitStream& s, std::size_t n) {
   return out;
 }
 
+util::PackedBitStream take_packed(BitStream& s, std::size_t n) {
+  util::PackedBitStream out;
+  for (std::size_t i = 0; i < n; ++i) out.append(s.next());
+  return out;
+}
+
 std::uint64_t exact_ones_in_window(const std::vector<bool>& bits,
                                    std::size_t window) {
   std::uint64_t n = 0;
   const std::size_t start = bits.size() > window ? bits.size() - window : 0;
   for (std::size_t i = start; i < bits.size(); ++i) {
     if (bits[i]) ++n;
+  }
+  return n;
+}
+
+std::uint64_t exact_ones_in_window(const util::PackedBitStream& bits,
+                                   std::size_t window) {
+  const std::uint64_t size = bits.size();
+  const std::uint64_t start = size > window ? size - window : 0;
+  const auto words = bits.words();
+  std::uint64_t n = 0;
+  auto wi = static_cast<std::size_t>(start / 64);
+  if (wi < words.size()) {
+    // Bits past size() in the last word are zero by the BitVec contract.
+    n += static_cast<std::uint64_t>(util::popcount(
+        words[wi] & ~util::low_bits_mask(static_cast<int>(start % 64))));
+    for (++wi; wi < words.size(); ++wi) {
+      n += static_cast<std::uint64_t>(util::popcount(words[wi]));
+    }
   }
   return n;
 }

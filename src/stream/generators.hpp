@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gf2/shared_randomness.hpp"
+#include "util/packed_bits.hpp"
 
 namespace waves::stream {
 
@@ -73,8 +74,17 @@ class PeriodicBits final : public BitStream {
 /// Materialize the next n bits of a stream.
 [[nodiscard]] std::vector<bool> take(BitStream& s, std::size_t n);
 
+/// Materialize the next n bits of a stream into packed 64-bit words — the
+/// input format of the batch ingest path (update_words / observe_words).
+/// Draws the same bits as take() would.
+[[nodiscard]] util::PackedBitStream take_packed(BitStream& s, std::size_t n);
+
 /// Exact count of 1s in the last `window` entries of `bits` (ground truth).
 [[nodiscard]] std::uint64_t exact_ones_in_window(const std::vector<bool>& bits,
                                                  std::size_t window);
+
+/// Same ground truth for a packed stream (popcount over whole words).
+[[nodiscard]] std::uint64_t exact_ones_in_window(
+    const util::PackedBitStream& bits, std::size_t window);
 
 }  // namespace waves::stream

@@ -48,6 +48,27 @@ namespace waves::util {
   return lsb_index(rank);
 }
 
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Mask with the low `n` bits set (0 <= n <= 64).
+[[nodiscard]] constexpr std::uint64_t low_bits_mask(int n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Visit the 0-based index of every set bit of `word`, ascending. This is
+/// the ctz iteration the batch ingest paths are built on: cost is
+/// O(popcount(word)), independent of where the bits sit.
+template <class Fn>
+constexpr void for_each_set_bit(std::uint64_t word, Fn&& fn) {
+  while (word != 0) {
+    fn(lsb_index(word));
+    word &= word - 1;  // clear the lowest set bit
+  }
+}
+
 /// Number of levels in a deterministic wave: ceil(log2(2*eps*N)) clamped to
 /// at least 1 (Sec. 3.1). `inv_eps` is 1/eps as an integer.
 [[nodiscard]] int det_wave_levels(std::uint64_t inv_eps, std::uint64_t window);

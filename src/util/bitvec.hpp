@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace waves::util {
@@ -22,6 +23,12 @@ class BitVec {
   [[nodiscard]] std::uint64_t read(std::size_t at, int width) const;
 
   [[nodiscard]] std::size_t bit_size() const noexcept { return bits_; }
+
+  /// The backing 64-bit words, LSB-first within each word. Bits at or past
+  /// bit_size() are zero (append masks its value to `width`).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
   void clear() noexcept {
     words_.clear();
     bits_ = 0;

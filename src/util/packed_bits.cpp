@@ -1,0 +1,53 @@
+#include "util/packed_bits.hpp"
+
+#include "util/bitops.hpp"
+
+namespace waves::util {
+
+void PackedBitStream::append_zeros(std::uint64_t count) {
+  while (count >= 64) {
+    bits_.append(0, 64);
+    count -= 64;
+  }
+  if (count > 0) bits_.append(0, static_cast<int>(count));
+}
+
+std::uint64_t PackedBitStream::ones() const noexcept {
+  // Bits past size() are zero by the BitVec append contract, so no tail
+  // masking is needed.
+  std::uint64_t n = 0;
+  for (std::uint64_t w : bits_.words()) {
+    n += static_cast<std::uint64_t>(popcount(w));
+  }
+  return n;
+}
+
+PackedBitStream PackedBitStream::from_bools(const std::vector<bool>& bits) {
+  PackedBitStream out;
+  std::size_t i = 0;
+  for (; i + 64 <= bits.size(); i += 64) {
+    std::uint64_t w = 0;
+    for (int b = 0; b < 64; ++b) {
+      if (bits[i + static_cast<std::size_t>(b)]) w |= std::uint64_t{1} << b;
+    }
+    out.append_word(w);
+  }
+  for (; i < bits.size(); ++i) out.append(bits[i]);
+  return out;
+}
+
+std::vector<bool> PackedBitStream::to_bools() const {
+  std::vector<bool> out(size());
+  for (std::uint64_t i = 0; i < size(); ++i) out[i] = bit(i);
+  return out;
+}
+
+std::vector<PackedBitStream> pack_streams(
+    const std::vector<std::vector<bool>>& streams) {
+  std::vector<PackedBitStream> out;
+  out.reserve(streams.size());
+  for (const auto& s : streams) out.push_back(PackedBitStream::from_bools(s));
+  return out;
+}
+
+}  // namespace waves::util

@@ -1,0 +1,73 @@
+// Bit-packed stream buffer: 64 stream bits per machine word.
+//
+// The per-bit ingest path pays one call (and, behind a party, one lock
+// round-trip) per stream position, so dense call overhead — not the
+// algorithm — dominates measured throughput. PackedBitStream is the batch
+// currency that fixes this: producers (stream/generators) materialize bits
+// 64 at a time into util::BitVec words, and the waves' update_words /
+// update_batch paths consume whole words, jumping 1-bit-to-1-bit via ctz
+// (util::for_each_set_bit) and skipping zero words entirely. Bit order is
+// LSB-first within each word: bit i of the stream is word i/64, bit i%64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace waves::util {
+
+class PackedBitStream {
+ public:
+  PackedBitStream() = default;
+
+  /// Append one stream bit.
+  void append(bool bit) { bits_.append(bit ? 1 : 0, 1); }
+
+  /// Append a run of `count` 0-bits.
+  void append_zeros(std::uint64_t count);
+
+  /// Append the low `nbits` of `word` (stream order = LSB first),
+  /// 0 < nbits <= 64.
+  void append_word(std::uint64_t word, int nbits = 64) {
+    bits_.append(word, nbits);
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return bits_.bit_size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return bits_.bit_size() == 0; }
+
+  /// The backing words; bits at or past size() in the last word are zero.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return bits_.words();
+  }
+
+  /// Read one bit. Precondition: i < size().
+  [[nodiscard]] bool bit(std::uint64_t i) const {
+    return bits_.read(i, 1) != 0;
+  }
+
+  /// Total number of 1-bits (word-at-a-time popcount).
+  [[nodiscard]] std::uint64_t ones() const noexcept;
+
+  void clear() noexcept { bits_.clear(); }
+
+  /// Pack an unpacked bit vector (compatibility with the splitters and the
+  /// Sec. 3.1 example stream, which stay byte-per-bit).
+  [[nodiscard]] static PackedBitStream from_bools(
+      const std::vector<bool>& bits);
+
+  /// Unpack, oldest bit first.
+  [[nodiscard]] std::vector<bool> to_bools() const;
+
+ private:
+  BitVec bits_;
+};
+
+/// Pack each stream of a multi-party deployment.
+[[nodiscard]] std::vector<PackedBitStream> pack_streams(
+    const std::vector<std::vector<bool>>& streams);
+
+}  // namespace waves::util

@@ -75,6 +75,61 @@ TEST(Concurrency, QueriesDuringIngestion) {
   EXPECT_LE(est, static_cast<double>(window) * 1.5);
 }
 
+// Same soak through the batch path: feeders push packed chunks via
+// observe_batch while the Referee snapshots. The batch path holds the
+// party lock for a whole chunk, so snapshots must land between chunks and
+// still see internally consistent state.
+TEST(Concurrency, QueriesDuringBatchedIngestion) {
+  const std::uint64_t window = 4096;
+  const int parties = 3;
+  std::vector<std::unique_ptr<CountParty>> owners;
+  std::vector<const CountParty*> ps;
+  for (int j = 0; j < parties; ++j) {
+    owners.push_back(std::make_unique<CountParty>(
+        core::RandWave::Params{.eps = 0.3, .window = window, .c = 8}, 3,
+        1234));
+    ps.push_back(owners.back().get());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> feeders;
+  for (int j = 0; j < parties; ++j) {
+    feeders.emplace_back([&, j] {
+      stream::BernoulliBits gen(0.3, static_cast<std::uint64_t>(j) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Word-unaligned chunk sizes on purpose: the lock is taken once
+        // per chunk regardless of alignment.
+        const auto chunk = stream::take_packed(gen, 321 + 64 * (j + 1));
+        owners[static_cast<std::size_t>(j)]->observe_batch(chunk);
+      }
+    });
+  }
+
+  for (int q = 0; q < 300; ++q) {
+    for (const CountParty* p : ps) {
+      const auto snaps = p->snapshots(window);
+      for (const auto& s : snaps) {
+        for (std::size_t i = 1; i < s.positions.size(); ++i) {
+          ASSERT_LT(s.positions[i - 1], s.positions[i]);
+        }
+        for (std::uint64_t pos : s.positions) {
+          ASSERT_LE(pos, s.stream_len);
+          ASSERT_GT(pos + window, s.stream_len);
+        }
+      }
+    }
+  }
+  stop.store(true);
+  feeders.clear();  // join
+
+  std::vector<CountParty*> mut;
+  for (auto& o : owners) mut.push_back(o.get());
+  pad_to_alignment(mut);
+  const double est = union_count(ps, window).value;
+  EXPECT_GE(est, 0.0);
+  EXPECT_LE(est, static_cast<double>(window) * 1.5);
+}
+
 #if WAVES_OBS_ENABLED
 
 // Hammer the shared obs instruments from 8 writer threads: the relaxed

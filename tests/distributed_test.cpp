@@ -185,10 +185,10 @@ TEST(IngestDriver, ParallelFeedAlignsAndCounts) {
         31415));
     ps.push_back(owners.back().get());
   }
-  std::vector<std::vector<bool>> streams;
+  std::vector<util::PackedBitStream> streams;
   for (int j = 0; j < parties; ++j) {
     stream::BernoulliBits gen(0.3, static_cast<std::uint64_t>(j) + 1);
-    streams.push_back(stream::take(gen, 20000));
+    streams.push_back(stream::take_packed(gen, 20000));
   }
   const FeedResult r = parallel_feed(ps, streams);
   EXPECT_EQ(r.items, 60000u);

@@ -5,6 +5,7 @@
 
 #include "core/det_wave.hpp"
 #include "core/sum_wave.hpp"
+#include "core/ts_sum_wave.hpp"
 #include "gf2/shared_randomness.hpp"
 
 namespace waves::core {
@@ -70,6 +71,51 @@ TEST(SkipZeros, SumWaveEquivalentToUnitUpdates) {
           << "round " << round << " step " << step;
     }
   }
+}
+
+TEST(SkipZeros, TsSumWaveEquivalentToZeroItems) {
+  gf2::SplitMix64 rng(29);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint64_t inv_eps = 1 + rng.next() % 8;
+    const std::uint64_t window = 4 + rng.next() % 100;
+    const std::uint64_t R = 1 + rng.next() % 100;
+    const std::uint64_t U = 4 * window;  // runs of <= 3 items per position
+    TsSumWave slow(inv_eps, window, U, R), fast(inv_eps, window, U, R);
+    std::uint64_t spos = 0;
+    for (int step = 0; step < 120; ++step) {
+      if (rng.next() % 3 != 0) {
+        ++spos;
+        const std::uint64_t run = 1 + rng.next() % 3;
+        for (std::uint64_t i = 0; i < run; ++i) {
+          const std::uint64_t v = rng.next() % (R + 1);
+          slow.update(spos, v);
+          fast.update(spos, v);
+        }
+      } else {
+        // A timestamp gap: the slow side walks it as zero-valued items,
+        // the fast side jumps it.
+        const std::uint64_t k = rng.next() % (2 * window);
+        for (std::uint64_t i = 1; i <= k; ++i) slow.update(spos + i, 0);
+        spos += k;
+        fast.skip_zeros(k);
+      }
+      ASSERT_EQ(slow.current_position(), fast.current_position());
+      ASSERT_EQ(slow.total(), fast.total());
+      ASSERT_DOUBLE_EQ(slow.query().value, fast.query().value)
+          << "round " << round << " step " << step;
+    }
+  }
+}
+
+TEST(SkipZeros, TsSumWaveGiantJumpExpiresEverything) {
+  TsSumWave w(4, 32, 64, 10);
+  for (std::uint64_t p = 1; p <= 20; ++p) w.update(p, 3);
+  w.skip_zeros(1000000);
+  const Estimate e = w.query();
+  EXPECT_TRUE(e.exact);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  w.update(w.current_position() + 1, 7);
+  EXPECT_DOUBLE_EQ(w.query().value, 7.0);
 }
 
 }  // namespace

@@ -135,7 +135,7 @@ int run_metrics(const Options& o) {
       feed.push_back(owners.back().get());
       query.push_back(owners.back().get());
     }
-    (void)distributed::parallel_feed(feed, streams);
+    (void)distributed::parallel_feed(feed, util::pack_streams(streams));
     (void)distributed::union_count_wire(query, o.window, nullptr);
   }
 

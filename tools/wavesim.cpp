@@ -141,7 +141,7 @@ int run_union(const Options& o) {
     feed.push_back(owners.back().get());
     query.push_back(owners.back().get());
   }
-  const auto fed = distributed::parallel_feed(feed, streams);
+  const auto fed = distributed::parallel_feed(feed, util::pack_streams(streams));
   std::printf("ingested %" PRIu64 " items on %d threads: %.2f Mitems/s\n",
               fed.items, o.parties, fed.items_per_sec() / 1e6);
 
