@@ -3,12 +3,18 @@
 // stream split across parties — accuracy across party counts and split
 // policies.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
 #include "distributed/scenarios.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
+#include "util/packed_bits.hpp"
 
 namespace {
 
@@ -115,10 +121,99 @@ void scenario2_table() {
       "broadcast window).\n");
 }
 
+// E16: what does the network cost the referee? The same union-counting
+// fleet is queried through the in-process wire-encoded path and through
+// loopback TCP (embedded PartyServers + NetworkCountSource). Estimates are
+// bit-identical by construction; the JSON lines record latency and bytes
+// per referee round so CI can watch the transport overhead.
+void net_referee_table() {
+  bench::header("E16: referee transport — in-process vs loopback TCP");
+  bench::row_line({"t", "transport", "ms_per_round", "bytes_per_round",
+                   "estimate"});
+  const std::uint64_t window = 4096;
+  const int instances = 3;
+  const std::uint64_t seed = 4242;
+  const core::RandWave::Params params{.eps = 0.1, .window = window, .c = 36};
+  const int rounds = 20;
+
+  for (int t : {4, 16}) {
+    stream::BernoulliBits base_gen(0.2, 9);
+    const auto base = stream::take(base_gen, 20000);
+    const auto packed =
+        util::pack_streams(stream::correlated_streams(base, t, 0.05, 10));
+    std::vector<std::unique_ptr<distributed::CountParty>> owners;
+    std::vector<const distributed::CountParty*> ps;
+    for (int j = 0; j < t; ++j) {
+      owners.push_back(std::make_unique<distributed::CountParty>(
+          params, instances, seed));
+      owners.back()->observe_batch(packed[static_cast<std::size_t>(j)]);
+      ps.push_back(owners.back().get());
+    }
+
+    const auto emit = [&](const char* transport, double ms_per_round,
+                          double bytes_per_round, double estimate) {
+      bench::row_line({std::to_string(t), transport,
+                       bench::fmt(ms_per_round, 3),
+                       bench::fmt(bytes_per_round, 0),
+                       bench::fmt(estimate, 1)});
+      bench::JsonLine("e16_net_referee")
+          .field("parties", static_cast<std::uint64_t>(t))
+          .field("transport", transport)
+          .field("ms_per_round", ms_per_round)
+          .field("bytes_per_round", bytes_per_round)
+          .field("estimate", estimate)
+          .emit();
+    };
+
+    distributed::WireStats in_stats;
+    double in_est = 0.0;
+    bench::Stopwatch sw_in;
+    sw_in.start();
+    for (int r = 0; r < rounds; ++r) {
+      in_est = distributed::union_count_wire(ps, window, &in_stats).value;
+    }
+    emit("inproc", sw_in.seconds() * 1000.0 / rounds,
+         static_cast<double>(in_stats.bytes) / rounds, in_est);
+
+    std::vector<std::unique_ptr<net::PartyServer>> servers;
+    std::vector<net::Endpoint> endpoints;
+    for (int j = 0; j < t; ++j) {
+      servers.push_back(std::make_unique<net::PartyServer>(
+          net::ServerConfig{}, owners[static_cast<std::size_t>(j)].get()));
+      if (!servers.back()->start()) {
+        std::printf("E16: bind failed, skipping TCP leg\n");
+        return;
+      }
+      endpoints.push_back({"127.0.0.1", servers.back()->port()});
+    }
+    net::NetworkCountSource source(endpoints, params, instances, seed);
+    (void)distributed::union_count(source, window);  // warm-up round
+    distributed::WireStats tcp_stats;
+    double tcp_est = 0.0;
+    bench::Stopwatch sw_tcp;
+    sw_tcp.start();
+    for (int r = 0; r < rounds; ++r) {
+      tcp_est = distributed::union_count(source, window, &tcp_stats)
+                    .estimate.value;
+    }
+    emit("tcp", sw_tcp.seconds() * 1000.0 / rounds,
+         static_cast<double>(tcp_stats.bytes) / rounds, tcp_est);
+    if (tcp_est != in_est) {
+      std::printf("E16: WARNING transport parity broken (%.17g vs %.17g)\n",
+                  tcp_est, in_est);
+    }
+  }
+  std::printf(
+      "Expected shape: identical estimates on both transports; TCP adds "
+      "connection\nand framing latency but the same order of snapshot "
+      "bytes.\n");
+}
+
 }  // namespace
 
 int main() {
   scenario1_table();
   scenario2_table();
+  net_referee_table();
   return 0;
 }

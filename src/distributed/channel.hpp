@@ -6,6 +6,7 @@
 // query protocol under concurrency.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -29,6 +30,17 @@ class Channel {
     return true;
   }
 
+  /// Non-blocking send: false when full or closed, and `value` is left
+  /// intact so the caller can retry (or drop) after checking its own stop
+  /// condition — a producer whose consumer died must not block forever.
+  [[nodiscard]] bool try_send(T& value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || q_.size() >= cap_) return false;
+    q_.push_back(std::move(value));
+    cv_recv_.notify_one();
+    return true;
+  }
+
   /// Blocking receive; nullopt once closed and drained.
   std::optional<T> recv() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -40,6 +52,28 @@ class Channel {
     return out;
   }
 
+  /// Receive with a timeout: nullopt on timeout or once closed and
+  /// drained (disambiguate with drained()). Lets a consumer poll its stop
+  /// flag between waits instead of blocking indefinitely on a producer
+  /// that went quiet.
+  std::optional<T> recv_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_recv_.wait_for(lock, timeout,
+                      [this] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T out = std::move(q_.front());
+    q_.pop_front();
+    cv_send_.notify_one();
+    return out;
+  }
+
+  /// True once the channel is closed and every queued value consumed —
+  /// the "no more data will ever arrive" signal recv_for cannot convey.
+  [[nodiscard]] bool drained() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && q_.empty();
+  }
+
   void close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
@@ -49,7 +83,7 @@ class Channel {
 
  private:
   std::size_t cap_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_send_, cv_recv_;
   std::deque<T> q_;
   bool closed_ = false;

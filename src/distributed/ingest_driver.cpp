@@ -89,6 +89,55 @@ FeedResult parallel_feed(std::span<CountParty* const> parties,
       [](const util::PackedBitStream& s) { return s.size(); });
 }
 
+namespace {
+
+// Shared recv_for drain loop: one wait per tick, stop honored between
+// batches, exit once the channel reports drained (closed + empty).
+template <class Batch, class Party, class FeedFn, class SizeFn>
+std::uint64_t channel_feed_impl(Channel<Batch>& ch, Party& party,
+                                const std::atomic<bool>& stop,
+                                std::chrono::milliseconds tick, FeedFn feed,
+                                SizeFn size) {
+  std::uint64_t items = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::optional<Batch> batch = ch.recv_for(tick);
+    if (!batch) {
+      if (ch.drained()) break;
+      continue;  // timeout: poll `stop` and wait again
+    }
+    feed(party, *batch);
+    items += size(*batch);
+  }
+  return items;
+}
+
+}  // namespace
+
+std::uint64_t channel_feed(Channel<util::PackedBitStream>& ch,
+                           CountParty& party, const std::atomic<bool>& stop,
+                           std::chrono::milliseconds tick) {
+  return channel_feed_impl(
+      ch, party, stop, tick,
+      [](CountParty& p, const util::PackedBitStream& b) {
+        p.observe_batch(b);
+      },
+      [](const util::PackedBitStream& b) { return b.size(); });
+}
+
+std::uint64_t channel_feed(Channel<std::vector<std::uint64_t>>& ch,
+                           DistinctParty& party,
+                           const std::atomic<bool>& stop,
+                           std::chrono::milliseconds tick) {
+  return channel_feed_impl(
+      ch, party, stop, tick,
+      [](DistinctParty& p, const std::vector<std::uint64_t>& b) {
+        p.observe_batch(b);
+      },
+      [](const std::vector<std::uint64_t>& b) {
+        return static_cast<std::uint64_t>(b.size());
+      });
+}
+
 FeedResult parallel_feed(
     std::span<DistinctParty* const> parties,
     const std::vector<std::vector<std::uint64_t>>& streams) {

@@ -6,10 +6,13 @@
 // the same numbers feed the waves_feed_* metrics (obs/metrics.hpp).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "distributed/channel.hpp"
 #include "distributed/party.hpp"
 #include "util/packed_bits.hpp"
 
@@ -51,5 +54,20 @@ FeedResult parallel_feed(std::span<CountParty* const> parties,
 /// observe_batch (64Ki values per lock acquisition).
 FeedResult parallel_feed(std::span<DistinctParty* const> parties,
                          const std::vector<std::vector<std::uint64_t>>& streams);
+
+/// Streaming ingest off a channel (the `waved` daemon's stdin path): drain
+/// batches into the party until the channel closes and empties or `stop`
+/// becomes true. Waits at most `tick` per recv_for, so a shutdown request
+/// is honored within one tick even when the producer goes quiet without
+/// ever closing the channel. Returns the number of items ingested.
+std::uint64_t channel_feed(
+    Channel<util::PackedBitStream>& ch, CountParty& party,
+    const std::atomic<bool>& stop,
+    std::chrono::milliseconds tick = std::chrono::milliseconds(50));
+
+std::uint64_t channel_feed(
+    Channel<std::vector<std::uint64_t>>& ch, DistinctParty& party,
+    const std::atomic<bool>& stop,
+    std::chrono::milliseconds tick = std::chrono::milliseconds(50));
 
 }  // namespace waves::distributed

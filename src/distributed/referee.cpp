@@ -1,6 +1,7 @@
 #include "distributed/referee.hpp"
 
 #include <cassert>
+#include <utility>
 #include <vector>
 
 #include "core/median_estimator.hpp"
@@ -12,16 +13,17 @@ namespace waves::distributed {
 
 namespace {
 
-// Per-protocol/transport instruments, fetched once per combination. The
-// span tracer keeps the per-round story (parties contacted, messages,
-// encoded bytes, decode failures, latency); these aggregate across rounds.
+// Per-protocol/transport instruments. The span tracer keeps the per-round
+// story (parties contacted, messages, encoded bytes, decode failures,
+// latency); these aggregate across rounds. Registration is a mutexed name
+// lookup — fine on the cold query path.
 struct RoundMetrics {
   const obs::Counter& rounds;
   const obs::Counter& messages;
   const obs::Histogram& bytes_h;
   const obs::Histogram& seconds_h;
 
-  static RoundMetrics make(const char* labels) {
+  static RoundMetrics make(const std::string& labels) {
     obs::Registry& reg = obs::Registry::instance();
     return RoundMetrics{
         reg.counter("waves_referee_rounds_total", labels),
@@ -34,207 +36,268 @@ struct RoundMetrics {
 };
 
 void finish_round(const RoundMetrics& m, obs::Span& span, std::size_t parties,
-                  std::uint64_t msgs, std::uint64_t bytes,
-                  std::uint64_t decode_failures) {
+                  const CollectStats& info) {
   span.set("parties", static_cast<double>(parties));
-  span.set("messages", static_cast<double>(msgs));
-  span.set("bytes", static_cast<double>(bytes));
-  span.set("decode_failures", static_cast<double>(decode_failures));
+  span.set("messages", static_cast<double>(info.messages));
+  span.set("bytes", static_cast<double>(info.bytes));
+  span.set("decode_failures", static_cast<double>(info.decode_failures));
   const double dt = span.end();
   m.rounds.add();
-  m.messages.add(msgs);
-  m.bytes_h.observe(static_cast<double>(bytes));
+  m.messages.add(info.messages);
+  m.bytes_h.observe(static_cast<double>(info.bytes));
   m.seconds_h.observe(dt);
+}
+
+// Span names stay what they were before the SnapshotSource refactor:
+// referee.union_count / referee.union_count_wire / ...; tcp rounds get
+// their own _tcp suffix.
+std::string span_suffix(const char* transport) {
+  return std::string(transport) == "direct" ? std::string{}
+                                            : "_" + std::string(transport);
+}
+
+std::string quorum_error(const char* protocol,
+                         const std::vector<std::size_t>& missing) {
+  std::string msg = std::string(protocol) +
+                    " fails closed under partial quorum; missing parties:";
+  for (std::size_t j : missing) msg += " " + std::to_string(j);
+  return msg;
+}
+
+// Fig. 6 steps 2-3 / Sec. 5 levelwise union, per instance, then the
+// median over instances — identical for every transport.
+template <class Snapshot, class Combine>
+core::Estimate combine_median(
+    const std::vector<std::vector<Snapshot>>& by_party, int m,
+    std::uint64_t n, Combine&& combine) {
+  std::vector<double> per_instance;
+  per_instance.reserve(static_cast<std::size_t>(m));
+  std::vector<Snapshot> inst(by_party.size());
+  for (int i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < by_party.size(); ++j) {
+      inst[j] = by_party[j][static_cast<std::size_t>(i)];
+    }
+    per_instance.push_back(combine(inst, i));
+  }
+  return core::Estimate{core::median(std::move(per_instance)), false, n};
 }
 
 }  // namespace
 
-core::Estimate union_count(std::span<const CountParty* const> parties,
-                           std::uint64_t n, WireStats* stats) {
-  assert(!parties.empty());
-  static const RoundMetrics metrics =
-      RoundMetrics::make("protocol=\"union\",transport=\"direct\"");
-  auto span = obs::Tracer::instance().start("referee.union_count");
-  const int m = parties.front()->instances();
-  for (const CountParty* p : parties) {
-    assert(p->instances() == m);
+InProcessCountSource::InProcessCountSource(
+    std::span<const CountParty* const> parties, bool via_wire)
+    : parties_(parties), via_wire_(via_wire) {
+  assert(!parties_.empty());
+  for (const CountParty* p : parties_) {
+    assert(p->instances() == parties_.front()->instances());
     (void)p;
   }
+}
 
-  // Gather all messages first (one round, as in the model), then combine.
-  std::uint64_t msgs = 0, bytes = 0;
+std::size_t InProcessCountSource::party_count() const {
+  return parties_.size();
+}
+
+int InProcessCountSource::instances() const {
+  return parties_.front()->instances();
+}
+
+const gf2::ExpHash& InProcessCountSource::hash(int instance) const {
+  return parties_.front()->instance(instance).hash();
+}
+
+const char* InProcessCountSource::transport() const {
+  return via_wire_ ? "wire" : "direct";
+}
+
+std::vector<std::vector<core::RandWaveSnapshot>>
+InProcessCountSource::collect(std::uint64_t n, std::vector<std::size_t>&,
+                              WireStats* stats, CollectStats& info) {
   std::vector<std::vector<core::RandWaveSnapshot>> by_party;
-  by_party.reserve(parties.size());
-  for (const CountParty* p : parties) {
-    by_party.push_back(p->snapshots(n));
-    for (const auto& s : by_party.back()) {
-      ++msgs;
-      bytes += wire_bytes(s);
-      if (stats != nullptr) {
-        stats->add(wire_bytes(s),
-                   paper_bits(s, p->instance(0).top_level()));
+  by_party.reserve(parties_.size());
+  for (const CountParty* p : parties_) {
+    auto snaps = p->snapshots(n);
+    if (!via_wire_) {
+      for (const auto& s : snaps) {
+        ++info.messages;
+        const std::uint64_t b = wire_bytes(s);
+        info.bytes += b;
+        if (stats != nullptr) {
+          stats->add(b, paper_bits(s, p->instance(0).top_level()));
+        }
       }
+      by_party.push_back(std::move(snaps));
+    } else {
+      std::vector<core::RandWaveSnapshot> decoded(snaps.size());
+      for (std::size_t i = 0; i < snaps.size(); ++i) {
+        const Bytes enc = encode(snaps[i]);
+        ++info.messages;
+        info.bytes += enc.size();
+        if (stats != nullptr) {
+          stats->add(enc.size(), static_cast<double>(enc.size()) * 8.0);
+        }
+        const bool ok = decode(enc, decoded[i]);
+        if (!ok) ++info.decode_failures;
+        assert(ok && "wire round-trip must succeed");
+      }
+      by_party.push_back(std::move(decoded));
     }
   }
+  return by_party;
+}
 
-  std::vector<double> per_instance;
-  per_instance.reserve(static_cast<std::size_t>(m));
-  std::vector<core::RandWaveSnapshot> inst(parties.size());
-  for (int i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < parties.size(); ++j) {
-      inst[j] = by_party[j][static_cast<std::size_t>(i)];
-    }
-    per_instance.push_back(
-        core::referee_union_count(inst, n, parties.front()->instance(i).hash())
-            .value);
+InProcessDistinctSource::InProcessDistinctSource(
+    std::span<const DistinctParty* const> parties, bool via_wire)
+    : parties_(parties), via_wire_(via_wire) {
+  assert(!parties_.empty());
+  for (const DistinctParty* p : parties_) {
+    assert(p->instances() == parties_.front()->instances());
+    (void)p;
   }
-  finish_round(metrics, span, parties.size(), msgs, bytes, 0);
-  return core::Estimate{core::median(std::move(per_instance)), false, n};
+}
+
+std::size_t InProcessDistinctSource::party_count() const {
+  return parties_.size();
+}
+
+int InProcessDistinctSource::instances() const {
+  return parties_.front()->instances();
+}
+
+const gf2::ExpHash& InProcessDistinctSource::hash(int instance) const {
+  return parties_.front()->instance(instance).hash();
+}
+
+const char* InProcessDistinctSource::transport() const {
+  return via_wire_ ? "wire" : "direct";
+}
+
+std::vector<std::vector<core::DistinctSnapshot>>
+InProcessDistinctSource::collect(std::uint64_t n, std::vector<std::size_t>&,
+                                 WireStats* stats, CollectStats& info) {
+  std::vector<std::vector<core::DistinctSnapshot>> by_party;
+  by_party.reserve(parties_.size());
+  for (const DistinctParty* p : parties_) {
+    auto snaps = p->snapshots(n);
+    if (!via_wire_) {
+      for (const auto& s : snaps) {
+        ++info.messages;
+        const std::uint64_t b = wire_bytes(s);
+        info.bytes += b;
+        if (stats != nullptr) {
+          stats->add(b, paper_bits(s, p->instance(0).top_level(),
+                                   p->instance(0).top_level()));
+        }
+      }
+      by_party.push_back(std::move(snaps));
+    } else {
+      std::vector<core::DistinctSnapshot> decoded(snaps.size());
+      for (std::size_t i = 0; i < snaps.size(); ++i) {
+        const Bytes enc = encode(snaps[i]);
+        ++info.messages;
+        info.bytes += enc.size();
+        if (stats != nullptr) {
+          stats->add(enc.size(), static_cast<double>(enc.size()) * 8.0);
+        }
+        const bool ok = decode(enc, decoded[i]);
+        if (!ok) ++info.decode_failures;
+        assert(ok && "wire round-trip must succeed");
+      }
+      by_party.push_back(std::move(decoded));
+    }
+  }
+  return by_party;
+}
+
+QueryResult union_count(CountSnapshotSource& source, std::uint64_t n,
+                        WireStats* stats) {
+  const RoundMetrics metrics = RoundMetrics::make(
+      "protocol=\"union\",transport=\"" + std::string(source.transport()) +
+      "\"");
+  auto span = obs::Tracer::instance().start("referee.union_count" +
+                                            span_suffix(source.transport()));
+  QueryResult r;
+  if (source.party_count() == 0) {
+    r.error = "union counting: no parties configured";
+    return r;
+  }
+  CollectStats info;
+  auto by_party = source.collect(n, r.missing, stats, info);
+  span.set("missing", static_cast<double>(r.missing.size()));
+  if (!r.missing.empty()) {
+    finish_round(metrics, span, source.party_count(), info);
+    r.error = quorum_error("union counting", r.missing);
+    r.estimate = core::Estimate{0.0, false, n};
+    return r;
+  }
+  r.estimate = combine_median(
+      by_party, source.instances(), n,
+      [&](std::span<const core::RandWaveSnapshot> inst, int i) {
+        return core::referee_union_count(inst, n, source.hash(i)).value;
+      });
+  r.status = QueryStatus::kOk;
+  finish_round(metrics, span, source.party_count(), info);
+  return r;
+}
+
+QueryResult distinct_count(DistinctSnapshotSource& source, std::uint64_t n,
+                           WireStats* stats,
+                           const std::function<bool(std::uint64_t)>& predicate) {
+  const RoundMetrics metrics = RoundMetrics::make(
+      "protocol=\"distinct\",transport=\"" + std::string(source.transport()) +
+      "\"");
+  auto span = obs::Tracer::instance().start("referee.distinct_count" +
+                                            span_suffix(source.transport()));
+  QueryResult r;
+  if (source.party_count() == 0) {
+    r.error = "distinct values: no parties configured";
+    return r;
+  }
+  CollectStats info;
+  auto by_party = source.collect(n, r.missing, stats, info);
+  span.set("missing", static_cast<double>(r.missing.size()));
+  if (!r.missing.empty()) {
+    finish_round(metrics, span, source.party_count(), info);
+    r.error = quorum_error("distinct values", r.missing);
+    r.estimate = core::Estimate{0.0, false, n};
+    return r;
+  }
+  r.estimate = combine_median(
+      by_party, source.instances(), n,
+      [&](std::span<const core::DistinctSnapshot> inst, int i) {
+        return core::referee_distinct_count(inst, n, source.hash(i),
+                                            predicate)
+            .value;
+      });
+  r.status = QueryStatus::kOk;
+  finish_round(metrics, span, source.party_count(), info);
+  return r;
+}
+
+core::Estimate union_count(std::span<const CountParty* const> parties,
+                           std::uint64_t n, WireStats* stats) {
+  InProcessCountSource source(parties, /*via_wire=*/false);
+  return union_count(source, n, stats).estimate;
 }
 
 core::Estimate distinct_count(
     std::span<const DistinctParty* const> parties, std::uint64_t n,
     WireStats* stats, const std::function<bool(std::uint64_t)>& predicate) {
-  assert(!parties.empty());
-  static const RoundMetrics metrics =
-      RoundMetrics::make("protocol=\"distinct\",transport=\"direct\"");
-  auto span = obs::Tracer::instance().start("referee.distinct_count");
-  const int m = parties.front()->instances();
-  for (const DistinctParty* p : parties) {
-    assert(p->instances() == m);
-    (void)p;
-  }
-
-  std::uint64_t msgs = 0, bytes = 0;
-  std::vector<std::vector<core::DistinctSnapshot>> by_party;
-  by_party.reserve(parties.size());
-  for (const DistinctParty* p : parties) {
-    by_party.push_back(p->snapshots(n));
-    for (const auto& s : by_party.back()) {
-      ++msgs;
-      bytes += wire_bytes(s);
-      if (stats != nullptr) {
-        stats->add(wire_bytes(s),
-                   paper_bits(s, p->instance(0).top_level(),
-                              p->instance(0).top_level()));
-      }
-    }
-  }
-
-  std::vector<double> per_instance;
-  per_instance.reserve(static_cast<std::size_t>(m));
-  std::vector<core::DistinctSnapshot> inst(parties.size());
-  for (int i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < parties.size(); ++j) {
-      inst[j] = by_party[j][static_cast<std::size_t>(i)];
-    }
-    per_instance.push_back(
-        core::referee_distinct_count(
-            inst, n, parties.front()->instance(i).hash(), predicate)
-            .value);
-  }
-  finish_round(metrics, span, parties.size(), msgs, bytes, 0);
-  return core::Estimate{core::median(std::move(per_instance)), false, n};
+  InProcessDistinctSource source(parties, /*via_wire=*/false);
+  return distinct_count(source, n, stats, predicate).estimate;
 }
-
-}  // namespace waves::distributed
-
-namespace waves::distributed {
 
 core::Estimate union_count_wire(std::span<const CountParty* const> parties,
                                 std::uint64_t n, WireStats* stats) {
-  assert(!parties.empty());
-  static const RoundMetrics metrics =
-      RoundMetrics::make("protocol=\"union\",transport=\"wire\"");
-  auto span = obs::Tracer::instance().start("referee.union_count_wire");
-  const int m = parties.front()->instances();
-
-  // Party side: snapshot, encode, "send".
-  std::uint64_t msgs = 0, bytes = 0;
-  std::vector<std::vector<Bytes>> inflight;
-  inflight.reserve(parties.size());
-  for (const CountParty* p : parties) {
-    auto snaps = p->snapshots(n);
-    std::vector<Bytes> out;
-    out.reserve(snaps.size());
-    for (const auto& s : snaps) {
-      out.push_back(encode(s));
-      ++msgs;
-      bytes += out.back().size();
-      if (stats != nullptr) {
-        stats->add(out.back().size(),
-                   static_cast<double>(out.back().size()) * 8.0);
-      }
-    }
-    inflight.push_back(std::move(out));
-  }
-
-  // Referee side: decode, combine per instance, median.
-  std::uint64_t decode_failures = 0;
-  std::vector<double> per_instance;
-  per_instance.reserve(static_cast<std::size_t>(m));
-  std::vector<core::RandWaveSnapshot> inst(parties.size());
-  for (int i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < parties.size(); ++j) {
-      const bool ok =
-          decode(inflight[j][static_cast<std::size_t>(i)], inst[j]);
-      if (!ok) ++decode_failures;
-      assert(ok && "wire round-trip must succeed");
-    }
-    per_instance.push_back(
-        core::referee_union_count(inst, n, parties.front()->instance(i).hash())
-            .value);
-  }
-  finish_round(metrics, span, parties.size(), msgs, bytes, decode_failures);
-  return core::Estimate{core::median(std::move(per_instance)), false, n};
+  InProcessCountSource source(parties, /*via_wire=*/true);
+  return union_count(source, n, stats).estimate;
 }
 
 core::Estimate distinct_count_wire(
     std::span<const DistinctParty* const> parties, std::uint64_t n,
     WireStats* stats, const std::function<bool(std::uint64_t)>& predicate) {
-  assert(!parties.empty());
-  static const RoundMetrics metrics =
-      RoundMetrics::make("protocol=\"distinct\",transport=\"wire\"");
-  auto span = obs::Tracer::instance().start("referee.distinct_count_wire");
-  const int m = parties.front()->instances();
-
-  std::uint64_t msgs = 0, bytes = 0;
-  std::vector<std::vector<Bytes>> inflight;
-  inflight.reserve(parties.size());
-  for (const DistinctParty* p : parties) {
-    auto snaps = p->snapshots(n);
-    std::vector<Bytes> out;
-    out.reserve(snaps.size());
-    for (const auto& s : snaps) {
-      out.push_back(encode(s));
-      ++msgs;
-      bytes += out.back().size();
-      if (stats != nullptr) {
-        stats->add(out.back().size(),
-                   static_cast<double>(out.back().size()) * 8.0);
-      }
-    }
-    inflight.push_back(std::move(out));
-  }
-
-  std::uint64_t decode_failures = 0;
-  std::vector<double> per_instance;
-  per_instance.reserve(static_cast<std::size_t>(m));
-  std::vector<core::DistinctSnapshot> inst(parties.size());
-  for (int i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < parties.size(); ++j) {
-      const bool ok =
-          decode(inflight[j][static_cast<std::size_t>(i)], inst[j]);
-      if (!ok) ++decode_failures;
-      assert(ok && "wire round-trip must succeed");
-    }
-    per_instance.push_back(
-        core::referee_distinct_count(
-            inst, n, parties.front()->instance(i).hash(), predicate)
-            .value);
-  }
-  finish_round(metrics, span, parties.size(), msgs, bytes, decode_failures);
-  return core::Estimate{core::median(std::move(per_instance)), false, n};
+  InProcessDistinctSource source(parties, /*via_wire=*/true);
+  return distinct_count(source, n, stats, predicate).estimate;
 }
 
 }  // namespace waves::distributed

@@ -28,6 +28,31 @@ core::Estimate Scenario1Counter::estimate(std::uint64_t n) const {
   return core::Estimate{total, exact, n};
 }
 
+Scenario1Summer::Scenario1Summer(int parties, std::uint64_t inv_eps,
+                                 std::uint64_t window,
+                                 std::uint64_t max_value) {
+  assert(parties >= 1);
+  waves_.reserve(static_cast<std::size_t>(parties));
+  for (int i = 0; i < parties; ++i) {
+    waves_.emplace_back(inv_eps, window, max_value);
+  }
+}
+
+void Scenario1Summer::observe(int party, std::uint64_t value) {
+  waves_[static_cast<std::size_t>(party)].update(value);
+}
+
+core::Estimate Scenario1Summer::estimate(std::uint64_t n) const {
+  double total = 0.0;
+  bool exact = true;
+  for (const core::SumWave& w : waves_) {
+    const core::Estimate e = w.query(n);
+    total += e.value;
+    exact = exact && e.exact;
+  }
+  return core::Estimate{total, exact, n};
+}
+
 Scenario2Counter::Scenario2Counter(int parties, std::uint64_t inv_eps,
                                    std::uint64_t window)
     : window_(window) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/det_wave.hpp"
+#include "core/sum_wave.hpp"
 #include "core/ts_wave.hpp"
 #include "core/wave_common.hpp"
 #include "stream/types.hpp"
@@ -42,6 +43,28 @@ class Scenario1Counter {
 
  private:
   std::vector<core::DetWave> waves_;
+};
+
+/// Scenario 1 for sums (Theorem 3 per party): t independent value streams,
+/// each with its own window; the Referee adds the per-stream sum-wave
+/// estimates, so the total is within eps as well. This is the in-process
+/// reference for the network "sum" role (net::SumPartyState + NetReferee).
+class Scenario1Summer {
+ public:
+  Scenario1Summer(int parties, std::uint64_t inv_eps, std::uint64_t window,
+                  std::uint64_t max_value);
+
+  void observe(int party, std::uint64_t value);
+
+  /// Sum of the per-stream window sums (window of n <= N per stream).
+  [[nodiscard]] core::Estimate estimate(std::uint64_t n) const;
+
+  [[nodiscard]] const core::SumWave& party(int i) const {
+    return waves_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<core::SumWave> waves_;
 };
 
 /// Scenario 2: one logical stream of N-item windows, split across parties.

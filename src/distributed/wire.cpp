@@ -29,15 +29,42 @@ void put_varint(Bytes& out, std::uint64_t v) {
 }
 
 bool get_varint(const Bytes& in, std::size_t& at, std::uint64_t& v) {
+  // A canonical 64-bit varint spans at most 10 bytes; the 10th (shift 63)
+  // may carry only the single remaining bit. Non-canonical input — overlong
+  // zero-padding or overflow bits past 64 — is a decode failure, not a
+  // silent truncation: the value a sender meant and the value we'd compute
+  // would differ, which for snapshot positions means a wrong estimate.
   v = 0;
-  int shift = 0;
-  while (at < in.size() && shift < 64) {
-    const std::uint8_t b = in[at++];
+  std::size_t p = at;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (p >= in.size()) return decode_fail();  // truncated
+    const std::uint8_t b = in[p++];
+    if (shift == 63 && (b & 0xFEu) != 0) return decode_fail();  // overflow
     v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
-    if ((b & 0x80u) == 0) return true;
-    shift += 7;
+    if ((b & 0x80u) == 0) {
+      if (b == 0 && shift != 0) return decode_fail();  // overlong padding
+      at = p;
+      return true;
+    }
   }
-  return false;
+  return decode_fail();  // continuation bit set on the 10th byte
+}
+
+void put_fixed64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool get_fixed64(const Bytes& in, std::size_t& at, std::uint64_t& v) {
+  if (in.size() - at < 8 || at > in.size()) return decode_fail();
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  at += 8;
+  return true;
 }
 
 Bytes encode(const core::RandWaveSnapshot& s) {
@@ -56,13 +83,14 @@ Bytes encode(const core::RandWaveSnapshot& s) {
 
 bool decode(const Bytes& in, core::RandWaveSnapshot& out) {
   // Decode into a scratch snapshot so a truncated or corrupt message never
-  // leaves a partial result in `out`.
+  // leaves a partial result in `out`. Varint failures are already counted
+  // by get_varint; only failures it cannot see count here.
   core::RandWaveSnapshot tmp;
   std::size_t at = 0;
   std::uint64_t level = 0, count = 0;
-  if (!get_varint(in, at, level)) return decode_fail();
-  if (!get_varint(in, at, tmp.stream_len)) return decode_fail();
-  if (!get_varint(in, at, count)) return decode_fail();
+  if (!get_varint(in, at, level)) return false;
+  if (!get_varint(in, at, tmp.stream_len)) return false;
+  if (!get_varint(in, at, count)) return false;
   // Every position costs at least one byte: reject counts the remaining
   // input cannot possibly hold (also bounds the reserve below, so corrupt
   // input cannot trigger huge allocations).
@@ -72,7 +100,7 @@ bool decode(const Bytes& in, core::RandWaveSnapshot& out) {
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t d = 0;
-    if (!get_varint(in, at, d)) return decode_fail();
+    if (!get_varint(in, at, d)) return false;
     prev += d;
     tmp.positions.push_back(prev);
   }
@@ -100,9 +128,9 @@ bool decode(const Bytes& in, core::DistinctSnapshot& out) {
   core::DistinctSnapshot tmp;
   std::size_t at = 0;
   std::uint64_t level = 0, count = 0;
-  if (!get_varint(in, at, level)) return decode_fail();
-  if (!get_varint(in, at, tmp.stream_len)) return decode_fail();
-  if (!get_varint(in, at, count)) return decode_fail();
+  if (!get_varint(in, at, level)) return false;
+  if (!get_varint(in, at, tmp.stream_len)) return false;
+  if (!get_varint(in, at, count)) return false;
   // Each item costs at least two bytes (delta + value varints).
   if (count > (in.size() - at) / 2) return decode_fail();
   tmp.level = static_cast<int>(level);
@@ -110,14 +138,72 @@ bool decode(const Bytes& in, core::DistinctSnapshot& out) {
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t d = 0, value = 0;
-    if (!get_varint(in, at, d)) return decode_fail();
-    if (!get_varint(in, at, value)) return decode_fail();
+    if (!get_varint(in, at, d)) return false;
+    if (!get_varint(in, at, value)) return false;
     prev += d;
     tmp.items.emplace_back(value, prev);
   }
   if (at != in.size()) return decode_fail();
   out = std::move(tmp);
   return true;
+}
+
+namespace {
+
+// Shared shape of the two snapshot-vector codecs: count, then each
+// instance's single-snapshot encoding behind a length prefix.
+template <class Snapshot>
+Bytes encode_vec(std::span<const Snapshot> snaps) {
+  Bytes out;
+  put_varint(out, snaps.size());
+  for (const Snapshot& s : snaps) {
+    const Bytes one = encode(s);
+    put_varint(out, one.size());
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+template <class Snapshot>
+bool decode_vec(const Bytes& in, std::vector<Snapshot>& out) {
+  std::size_t at = 0;
+  std::uint64_t count = 0;
+  if (!get_varint(in, at, count)) return false;
+  // Each instance costs at least one length byte.
+  if (count > in.size() - at) return decode_fail();
+  std::vector<Snapshot> tmp(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    if (!get_varint(in, at, len)) return false;
+    if (len > in.size() - at) return decode_fail();
+    const Bytes one(in.begin() + static_cast<std::ptrdiff_t>(at),
+                    in.begin() + static_cast<std::ptrdiff_t>(at + len));
+    if (!decode(one, tmp[static_cast<std::size_t>(i)])) return false;
+    at += len;
+  }
+  if (at != in.size()) return decode_fail();
+  out = std::move(tmp);
+  return true;
+}
+
+}  // namespace
+
+Bytes encode(std::span<const core::RandWaveSnapshot> snaps) {
+  return encode_vec(snaps);
+}
+
+bool decode_snapshots(const Bytes& in,
+                      std::vector<core::RandWaveSnapshot>& out) {
+  return decode_vec(in, out);
+}
+
+Bytes encode(std::span<const core::DistinctSnapshot> snaps) {
+  return encode_vec(snaps);
+}
+
+bool decode_snapshots(const Bytes& in,
+                      std::vector<core::DistinctSnapshot>& out) {
+  return decode_vec(in, out);
 }
 
 }  // namespace waves::distributed

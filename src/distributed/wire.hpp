@@ -5,10 +5,19 @@
 // varints, positions delta-encoded within a message (they are sorted,
 // oldest first, so deltas are small — the same observation behind the
 // compact wave). Round-trips are exact; encoded sizes back the WireStats
-// accounting and the E8/E12 communication measurements.
+// accounting and the E8/E12 communication measurements. The TCP transport
+// (src/net/) frames these same encodings, so bytes-on-the-wire equals
+// bytes-accounted plus a fixed per-message header.
+//
+// Varints are canonical: a decoder rejects overlong encodings (a non-final
+// 0x80.. prefix padding) and any 10th byte carrying bits past the 64th, so
+// every value has exactly one accepted byte representation. Non-canonical
+// or truncated input fails the decode (counted in
+// waves_wire_decode_errors_total) instead of silently truncating bits.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/distinct_wave.hpp"
@@ -18,15 +27,34 @@ namespace waves::distributed {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// LEB128-style unsigned varint.
+/// LEB128-style unsigned varint (canonical form: minimal length).
 void put_varint(Bytes& out, std::uint64_t v);
-/// Reads a varint at `at`, advancing it. Returns false on truncation.
+/// Reads a varint at `at`, advancing it only on success. Returns false —
+/// and counts waves_wire_decode_errors_total — on truncation, overlong
+/// (non-canonical) encodings, and 10th-byte overflow past 64 bits.
 bool get_varint(const Bytes& in, std::size_t& at, std::uint64_t& v);
+
+/// Little-endian fixed-width 64-bit field (doubles cross the wire as bit
+/// patterns through these, keeping network answers bit-identical to
+/// in-process ones).
+void put_fixed64(Bytes& out, std::uint64_t v);
+bool get_fixed64(const Bytes& in, std::size_t& at, std::uint64_t& v);
 
 [[nodiscard]] Bytes encode(const core::RandWaveSnapshot& s);
 [[nodiscard]] bool decode(const Bytes& in, core::RandWaveSnapshot& out);
 
 [[nodiscard]] Bytes encode(const core::DistinctSnapshot& s);
 [[nodiscard]] bool decode(const Bytes& in, core::DistinctSnapshot& out);
+
+/// One party's full answer to a referee snapshot request: all median-
+/// estimator instances, each length-prefixed. Decode is all-or-nothing
+/// (no partial output on failure), like the single-snapshot codecs.
+[[nodiscard]] Bytes encode(std::span<const core::RandWaveSnapshot> snaps);
+[[nodiscard]] bool decode_snapshots(const Bytes& in,
+                                    std::vector<core::RandWaveSnapshot>& out);
+
+[[nodiscard]] Bytes encode(std::span<const core::DistinctSnapshot> snaps);
+[[nodiscard]] bool decode_snapshots(const Bytes& in,
+                                    std::vector<core::DistinctSnapshot>& out);
 
 }  // namespace waves::distributed

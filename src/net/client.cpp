@@ -1,0 +1,384 @@
+#include "net/client.hpp"
+
+#include <charconv>
+#include <thread>
+#include <utility>
+
+#include "net/frame.hpp"
+#include "obs/net_obs.hpp"
+#include "obs/trace.hpp"
+
+namespace waves::net {
+
+bool parse_endpoint(const std::string& s, Endpoint& out) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  unsigned port = 0;
+  const char* first = s.data() + colon + 1;
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, port);
+  if (ec != std::errc{} || ptr != last || port == 0 || port > 65535) {
+    return false;
+  }
+  out.host = s.substr(0, colon);
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+RefereeClient::RefereeClient(std::vector<Endpoint> parties, ClientConfig cfg)
+    : parties_(std::move(parties)), cfg_(cfg) {}
+
+namespace {
+
+// Expected reply frame type for a request of the given role.
+MsgType reply_type_for(PartyRole role) {
+  switch (role) {
+    case PartyRole::kCount:
+      return MsgType::kCountReply;
+    case PartyRole::kDistinct:
+      return MsgType::kDistinctReply;
+    case PartyRole::kBasic:
+    case PartyRole::kSum:
+      return MsgType::kTotalReply;
+  }
+  return MsgType::kErr;
+}
+
+}  // namespace
+
+Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
+                             std::uint64_t n) const {
+  Fetch f;
+  const Endpoint& ep = parties_[party];
+  const Deadline dl = deadline_in(cfg_.request_deadline);
+
+  bool connect_timed_out = false;
+  Socket sock = tcp_connect(ep.host, ep.port, dl, &connect_timed_out);
+  if (!sock.valid()) {
+    f.status =
+        connect_timed_out ? FetchStatus::kTimeout : FetchStatus::kConnectError;
+    f.error = (connect_timed_out ? "connect timeout: " : "connect failed: ") +
+              ep.host + ":" + std::to_string(ep.port);
+    return f;
+  }
+
+  auto send_msg = [&](MsgType type, const Bytes& payload) {
+    if (!write_frame(sock, type, payload, dl)) return false;
+    f.bytes_sent += kHeaderSize + payload.size();
+    return true;
+  };
+  // Reads one frame and classifies transport failures into the Fetch.
+  auto read_msg = [&](Frame& frame) {
+    const ReadStatus rs = read_frame(sock, frame, dl);
+    switch (rs) {
+      case ReadStatus::kOk:
+        f.bytes_received += kHeaderSize + frame.payload.size();
+        return true;
+      case ReadStatus::kTimeout:
+        f.status = FetchStatus::kTimeout;
+        f.error = "reply deadline exceeded";
+        return false;
+      case ReadStatus::kClosed:
+        // Peer died mid-round; retryable like a failed connect.
+        f.status = FetchStatus::kConnectError;
+        f.error = "connection closed mid-request";
+        return false;
+      case ReadStatus::kMalformed:
+        f.status = FetchStatus::kProtocolError;
+        f.error = "malformed reply frame";
+        return false;
+    }
+    return false;
+  };
+
+  // Handshake: Hello -> HelloAck. Confirms liveness, protocol version (the
+  // frame header carries it), and the party's role before the real request.
+  if (!send_msg(MsgType::kHello, Hello{cfg_.client_id}.encode())) {
+    f.status = FetchStatus::kConnectError;
+    f.error = "hello send failed";
+    return f;
+  }
+  Frame frame;
+  if (!read_msg(frame)) return f;
+  HelloAck ack;
+  if (frame.type != MsgType::kHelloAck ||
+      !HelloAck::decode(frame.payload, ack)) {
+    f.status = FetchStatus::kProtocolError;
+    f.error = "bad hello ack";
+    return f;
+  }
+  if (ack.role != role) {
+    f.status = FetchStatus::kRemoteError;
+    f.error = std::string("party serves role ") + role_name(ack.role) +
+              ", wanted " + role_name(role);
+    return f;
+  }
+
+  SnapshotRequest req;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.role = role;
+  req.n = n;
+  if (!send_msg(MsgType::kSnapshotRequest, req.encode())) {
+    f.status = FetchStatus::kConnectError;
+    f.error = "request send failed";
+    return f;
+  }
+  if (!read_msg(frame)) return f;
+
+  if (frame.type == MsgType::kErr) {
+    ErrReply err;
+    f.status = FetchStatus::kRemoteError;
+    f.error = ErrReply::decode(frame.payload, err)
+                  ? "party error: " + err.message
+                  : "party error (undecodable)";
+    return f;
+  }
+  if (frame.type != reply_type_for(role)) {
+    f.status = FetchStatus::kProtocolError;
+    f.error = "unexpected reply type";
+    return f;
+  }
+
+  switch (role) {
+    case PartyRole::kCount: {
+      CountReply r;
+      if (!CountReply::decode(frame.payload, r) ||
+          r.request_id != req.request_id) {
+        f.status = FetchStatus::kProtocolError;
+        f.error = "bad count reply";
+        return f;
+      }
+      f.count_snapshots = std::move(r.snapshots);
+      break;
+    }
+    case PartyRole::kDistinct: {
+      DistinctReply r;
+      if (!DistinctReply::decode(frame.payload, r) ||
+          r.request_id != req.request_id) {
+        f.status = FetchStatus::kProtocolError;
+        f.error = "bad distinct reply";
+        return f;
+      }
+      f.distinct_snapshots = std::move(r.snapshots);
+      break;
+    }
+    case PartyRole::kBasic:
+    case PartyRole::kSum: {
+      TotalReply r;
+      if (!TotalReply::decode(frame.payload, r) ||
+          r.request_id != req.request_id) {
+        f.status = FetchStatus::kProtocolError;
+        f.error = "bad total reply";
+        return f;
+      }
+      f.total = r;
+      break;
+    }
+  }
+  f.status = FetchStatus::kOk;
+  return f;
+}
+
+Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
+                           std::uint64_t n) const {
+  const auto& obs = obs::NetClientObs::instance();
+  obs.requests.add();
+  const auto t0 = Clock::now();
+
+  Fetch result;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  int attempts = 0;
+  for (int a = 1; a <= cfg_.max_attempts; ++a) {
+    if (a > 1) {
+      obs.retries.add();
+      auto backoff = cfg_.backoff_base * (1 << (a - 2));
+      if (backoff > cfg_.backoff_max) backoff = cfg_.backoff_max;
+      std::this_thread::sleep_for(backoff);
+    }
+    obs.attempts.add();
+    attempts = a;
+    result = attempt(party, role, n);
+    sent += result.bytes_sent;
+    received += result.bytes_received;
+    if (result.status == FetchStatus::kTimeout) {
+      obs.timeouts.add();
+      continue;  // retryable
+    }
+    if (result.status == FetchStatus::kConnectError) {
+      obs.connect_errors.add();
+      continue;  // retryable
+    }
+    break;  // kOk, kRemoteError, kProtocolError: terminal
+  }
+  if (result.status == FetchStatus::kProtocolError) obs.protocol_errors.add();
+
+  result.attempts = attempts;
+  result.bytes_sent = sent;
+  result.bytes_received = received;
+  obs.bytes_sent.add(sent);
+  obs.bytes_received.add(received);
+  obs.request_seconds.observe(
+      std::chrono::duration<double>(Clock::now() - t0).count());
+  return result;
+}
+
+std::vector<Fetch> RefereeClient::fetch_all(PartyRole role,
+                                            std::uint64_t n) const {
+  auto span = obs::Tracer::instance().start("net.fanout");
+  std::vector<Fetch> results(parties_.size());
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(parties_.size());
+    for (std::size_t i = 0; i < parties_.size(); ++i) {
+      threads.emplace_back(
+          [this, &results, i, role, n] { results[i] = fetch(i, role, n); });
+    }
+  }  // join
+  std::size_t ok = 0;
+  std::uint64_t bytes = 0;
+  for (const Fetch& f : results) {
+    if (f.ok()) ++ok;
+    bytes += f.bytes_received;
+  }
+  span.set("parties", static_cast<double>(parties_.size()));
+  span.set("ok", static_cast<double>(ok));
+  span.set("bytes_received", static_cast<double>(bytes));
+  return results;
+}
+
+NetworkCountSource::NetworkCountSource(std::vector<Endpoint> parties,
+                                       const core::RandWave::Params& params,
+                                       int instances,
+                                       std::uint64_t shared_seed,
+                                       ClientConfig cfg)
+    : client_(std::move(parties), cfg),
+      reference_(params, instances, shared_seed) {}
+
+std::size_t NetworkCountSource::party_count() const {
+  return client_.party_count();
+}
+
+int NetworkCountSource::instances() const { return reference_.instances(); }
+
+const gf2::ExpHash& NetworkCountSource::hash(int instance) const {
+  return reference_.instance(instance).hash();
+}
+
+std::vector<std::vector<core::RandWaveSnapshot>> NetworkCountSource::collect(
+    std::uint64_t n, std::vector<std::size_t>& missing,
+    distributed::WireStats* stats, distributed::CollectStats& info) {
+  std::vector<Fetch> fetches = client_.fetch_all(PartyRole::kCount, n);
+  std::vector<std::vector<core::RandWaveSnapshot>> by_party(fetches.size());
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    Fetch& f = fetches[i];
+    info.bytes += f.bytes_received;
+    if (!f.ok()) {
+      if (f.status == FetchStatus::kProtocolError) ++info.decode_failures;
+      missing.push_back(i);
+      continue;
+    }
+    info.messages += f.count_snapshots.size();
+    if (stats != nullptr) {
+      stats->add(f.bytes_received,
+                 static_cast<double>(f.bytes_received) * 8.0);
+    }
+    by_party[i] = std::move(f.count_snapshots);
+  }
+  return by_party;
+}
+
+NetworkDistinctSource::NetworkDistinctSource(
+    std::vector<Endpoint> parties, const core::DistinctWave::Params& params,
+    int instances, std::uint64_t shared_seed, ClientConfig cfg)
+    : client_(std::move(parties), cfg),
+      reference_(params, instances, shared_seed) {}
+
+std::size_t NetworkDistinctSource::party_count() const {
+  return client_.party_count();
+}
+
+int NetworkDistinctSource::instances() const {
+  return reference_.instances();
+}
+
+const gf2::ExpHash& NetworkDistinctSource::hash(int instance) const {
+  return reference_.instance(instance).hash();
+}
+
+std::vector<std::vector<core::DistinctSnapshot>>
+NetworkDistinctSource::collect(std::uint64_t n,
+                               std::vector<std::size_t>& missing,
+                               distributed::WireStats* stats,
+                               distributed::CollectStats& info) {
+  std::vector<Fetch> fetches = client_.fetch_all(PartyRole::kDistinct, n);
+  std::vector<std::vector<core::DistinctSnapshot>> by_party(fetches.size());
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    Fetch& f = fetches[i];
+    info.bytes += f.bytes_received;
+    if (!f.ok()) {
+      if (f.status == FetchStatus::kProtocolError) ++info.decode_failures;
+      missing.push_back(i);
+      continue;
+    }
+    info.messages += f.distinct_snapshots.size();
+    if (stats != nullptr) {
+      stats->add(f.bytes_received,
+                 static_cast<double>(f.bytes_received) * 8.0);
+    }
+    by_party[i] = std::move(f.distinct_snapshots);
+  }
+  return by_party;
+}
+
+distributed::QueryResult total_query(const RefereeClient& client,
+                                     PartyRole role, std::uint64_t n,
+                                     std::uint64_t max_value) {
+  auto span = obs::Tracer::instance().start(
+      role == PartyRole::kSum ? "referee.total_sum_tcp"
+                              : "referee.total_count_tcp");
+  distributed::QueryResult r;
+  if (client.party_count() == 0) {
+    r.error = "total query: no parties configured";
+    return r;
+  }
+
+  std::vector<Fetch> fetches = client.fetch_all(role, n);
+
+  double sum = 0.0;
+  bool all_exact = true;
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    const Fetch& f = fetches[i];
+    if (!f.ok()) {
+      r.missing.push_back(i);
+      if (r.error.empty()) r.error = f.error;
+      continue;
+    }
+    sum += f.total.value;
+    all_exact = all_exact && f.total.exact;
+  }
+  span.set("parties", static_cast<double>(client.party_count()));
+  span.set("missing", static_cast<double>(r.missing.size()));
+
+  if (r.missing.size() == fetches.size()) {
+    r.status = distributed::QueryStatus::kFailed;
+    r.error = "total query: no party answered (" + r.error + ")";
+    return r;
+  }
+  r.estimate = core::Estimate{sum, all_exact && r.missing.empty(), n};
+  if (r.missing.empty()) {
+    r.status = distributed::QueryStatus::kOk;
+    r.error.clear();
+  } else {
+    // Each unreachable party could hold up to n items of value at most
+    // max_value in its window — the answer interval widens by that much.
+    r.status = distributed::QueryStatus::kDegraded;
+    r.error_slack = static_cast<double>(r.missing.size()) *
+                    static_cast<double>(n) * static_cast<double>(max_value);
+  }
+  return r;
+}
+
+}  // namespace waves::net

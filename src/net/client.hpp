@@ -1,0 +1,167 @@
+// The referee side of the TCP transport.
+//
+// RefereeClient talks to a fixed set of party endpoints. Every fetch opens
+// a fresh connection (Hello handshake, then one request/reply), enforces a
+// per-request deadline, and retries with bounded exponential backoff —
+// but only on timeouts and connect failures; a party that *answers* with
+// an error or garbage is terminal for the round (retrying can't fix a
+// wrong-role or protocol bug). Fan-out is one thread per party, so a round
+// costs max-latency, not sum.
+//
+// NetworkCountSource / NetworkDistinctSource adapt the client to the
+// referee's SnapshotSource interface: the snapshot bytes come off the
+// network while the shared hashes are re-derived locally from the
+// deployment seed (stored coins — the parties and the referee flipped them
+// together at setup, Sec. 2). total_query() covers Scenario 1, where
+// partial quorum degrades instead of failing: responders' totals still sum,
+// and the missing parties' unknown contribution is bounded by
+// missing * n * max_value and reported as error_slack.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distinct_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace waves::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (IPv4 literal). False on malformed input.
+[[nodiscard]] bool parse_endpoint(const std::string& s, Endpoint& out);
+
+struct ClientConfig {
+  std::chrono::milliseconds request_deadline{1000};  // per attempt
+  int max_attempts = 3;
+  std::chrono::milliseconds backoff_base{25};
+  std::chrono::milliseconds backoff_max{400};
+  std::uint64_t client_id = 0;
+};
+
+enum class FetchStatus {
+  kOk,
+  kTimeout,        // every attempt hit the deadline
+  kConnectError,   // every attempt failed to connect
+  kRemoteError,    // party answered with an Err message (terminal)
+  kProtocolError,  // malformed/unexpected reply (terminal)
+};
+
+/// Outcome of one party fetch (after retries).
+struct Fetch {
+  FetchStatus status = FetchStatus::kConnectError;
+  int attempts = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::string error;
+
+  // Exactly one of these is meaningful, per the request type.
+  std::vector<core::RandWaveSnapshot> count_snapshots;
+  std::vector<core::DistinctSnapshot> distinct_snapshots;
+  TotalReply total;
+
+  [[nodiscard]] bool ok() const noexcept { return status == FetchStatus::kOk; }
+};
+
+class RefereeClient {
+ public:
+  explicit RefereeClient(std::vector<Endpoint> parties,
+                         ClientConfig cfg = {});
+
+  [[nodiscard]] std::size_t party_count() const noexcept {
+    return parties_.size();
+  }
+  [[nodiscard]] const Endpoint& endpoint(std::size_t i) const {
+    return parties_[i];
+  }
+  [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
+
+  /// Fetch from one party, synchronously, with retries.
+  [[nodiscard]] Fetch fetch(std::size_t party, PartyRole role,
+                            std::uint64_t n) const;
+
+  /// Fan out one request per party concurrently; returns per-party results
+  /// in endpoint order. Wall time is the slowest party's, bounded by
+  /// max_attempts * request_deadline + backoff.
+  [[nodiscard]] std::vector<Fetch> fetch_all(PartyRole role,
+                                             std::uint64_t n) const;
+
+ private:
+  [[nodiscard]] Fetch attempt(std::size_t party, PartyRole role,
+                              std::uint64_t n) const;
+
+  std::vector<Endpoint> parties_;
+  ClientConfig cfg_;
+  mutable std::atomic<std::uint64_t> next_request_id_{1};
+};
+
+/// Union-counting snapshot source over TCP. The hashes come from a local
+/// never-fed reference party built from the same (params, instances, seed)
+/// as the deployment — stored shared coins, not communication.
+class NetworkCountSource final : public distributed::CountSnapshotSource {
+ public:
+  NetworkCountSource(std::vector<Endpoint> parties,
+                     const core::RandWave::Params& params, int instances,
+                     std::uint64_t shared_seed, ClientConfig cfg = {});
+
+  [[nodiscard]] std::size_t party_count() const override;
+  [[nodiscard]] int instances() const override;
+  [[nodiscard]] const gf2::ExpHash& hash(int instance) const override;
+  [[nodiscard]] const char* transport() const override { return "tcp"; }
+  std::vector<std::vector<core::RandWaveSnapshot>> collect(
+      std::uint64_t n, std::vector<std::size_t>& missing,
+      distributed::WireStats* stats,
+      distributed::CollectStats& info) override;
+
+  [[nodiscard]] RefereeClient& client() noexcept { return client_; }
+
+ private:
+  RefereeClient client_;
+  distributed::CountParty reference_;  // hash oracle; never observes items
+};
+
+class NetworkDistinctSource final
+    : public distributed::DistinctSnapshotSource {
+ public:
+  NetworkDistinctSource(std::vector<Endpoint> parties,
+                        const core::DistinctWave::Params& params,
+                        int instances, std::uint64_t shared_seed,
+                        ClientConfig cfg = {});
+
+  [[nodiscard]] std::size_t party_count() const override;
+  [[nodiscard]] int instances() const override;
+  [[nodiscard]] const gf2::ExpHash& hash(int instance) const override;
+  [[nodiscard]] const char* transport() const override { return "tcp"; }
+  std::vector<std::vector<core::DistinctSnapshot>> collect(
+      std::uint64_t n, std::vector<std::size_t>& missing,
+      distributed::WireStats* stats,
+      distributed::CollectStats& info) override;
+
+  [[nodiscard]] RefereeClient& client() noexcept { return client_; }
+
+ private:
+  RefereeClient client_;
+  distributed::DistinctParty reference_;
+};
+
+/// Scenario-1 total over the network: sums TotalReply values across
+/// parties. Full quorum -> kOk. Partial quorum -> kDegraded with
+/// error_slack = missing * n * max_value (pass max_value 1 for Basic
+/// Counting) — the most the unreachable parties could add. No responders
+/// -> kFailed.
+[[nodiscard]] distributed::QueryResult total_query(
+    const RefereeClient& client, PartyRole role, std::uint64_t n,
+    std::uint64_t max_value = 1);
+
+}  // namespace waves::net

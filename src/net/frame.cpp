@@ -1,0 +1,84 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace waves::net {
+
+bool valid_msg_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint8_t>(MsgType::kErr);
+}
+
+std::array<std::uint8_t, kHeaderSize> put_header(MsgType type,
+                                                 std::uint32_t payload_len) {
+  std::array<std::uint8_t, kHeaderSize> h{};
+  std::memcpy(h.data(), kMagic.data(), kMagic.size());
+  h[4] = kProtocolVersion;
+  h[5] = static_cast<std::uint8_t>(type);
+  h[6] = static_cast<std::uint8_t>(payload_len & 0xFFu);
+  h[7] = static_cast<std::uint8_t>((payload_len >> 8) & 0xFFu);
+  h[8] = static_cast<std::uint8_t>((payload_len >> 16) & 0xFFu);
+  h[9] = static_cast<std::uint8_t>((payload_len >> 24) & 0xFFu);
+  return h;
+}
+
+bool parse_header(const std::uint8_t* buf, MsgType& type, std::uint32_t& len) {
+  if (std::memcmp(buf, kMagic.data(), kMagic.size()) != 0) return false;
+  if (buf[4] != kProtocolVersion) return false;
+  if (!valid_msg_type(buf[5])) return false;
+  const std::uint32_t n = static_cast<std::uint32_t>(buf[6]) |
+                          (static_cast<std::uint32_t>(buf[7]) << 8) |
+                          (static_cast<std::uint32_t>(buf[8]) << 16) |
+                          (static_cast<std::uint32_t>(buf[9]) << 24);
+  if (n > kMaxPayload) return false;
+  type = static_cast<MsgType>(buf[5]);
+  len = n;
+  return true;
+}
+
+bool write_frame(Socket& sock, MsgType type,
+                 const std::vector<std::uint8_t>& payload, Deadline dl) {
+  std::vector<std::uint8_t> buf(kHeaderSize + payload.size());
+  const auto h = put_header(type, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(buf.data(), h.data(), kHeaderSize);
+  if (!payload.empty()) {
+    std::memcpy(buf.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  return sock.send_all(buf.data(), buf.size(), dl);
+}
+
+ReadStatus read_frame(Socket& sock, Frame& out, Deadline dl) {
+  std::array<std::uint8_t, kHeaderSize> hdr;
+  switch (sock.recv_exact(hdr.data(), hdr.size(), dl)) {
+    case IoResult::kOk:
+      break;
+    case IoResult::kTimeout:
+      return ReadStatus::kTimeout;
+    case IoResult::kClosed:
+      return ReadStatus::kClosed;
+    case IoResult::kError:
+      return ReadStatus::kClosed;
+  }
+
+  MsgType type{};
+  std::uint32_t len = 0;
+  if (!parse_header(hdr.data(), type, len)) return ReadStatus::kMalformed;
+
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) {
+    switch (sock.recv_exact(payload.data(), payload.size(), dl)) {
+      case IoResult::kOk:
+        break;
+      case IoResult::kTimeout:
+        return ReadStatus::kTimeout;
+      case IoResult::kClosed:
+      case IoResult::kError:
+        return ReadStatus::kClosed;
+    }
+  }
+  out.type = type;
+  out.payload = std::move(payload);
+  return ReadStatus::kOk;
+}
+
+}  // namespace waves::net

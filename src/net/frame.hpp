@@ -1,0 +1,75 @@
+// Length-prefixed message framing for the waves TCP protocol.
+//
+// Every message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic "WAVE"
+//   4       1     protocol version (kProtocolVersion)
+//   5       1     message type (MsgType)
+//   6       4     payload length, u32 little-endian (<= kMaxPayload)
+//   10      len   payload — a distributed::wire / net::protocol encoding
+//
+// The 10-byte header is read first and validated before any payload byte is
+// accepted, so a malformed peer costs at most one header read; reads honor
+// the caller's deadline end to end. read_frame never returns a partially
+// filled Frame: on any non-kOk status `out` is untouched.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace waves::net {
+
+inline constexpr std::array<std::uint8_t, 4> kMagic{'W', 'A', 'V', 'E'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 10;
+// Generous bound: an eps=0.01 distinct snapshot set is ~MBs; 64 MiB leaves
+// room while keeping a hostile length prefix from allocating gigabytes.
+inline constexpr std::uint32_t kMaxPayload = 1u << 26;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kSnapshotRequest = 3,
+  kCountReply = 4,
+  kDistinctReply = 5,
+  kTotalReply = 6,
+  kErr = 7,
+};
+
+[[nodiscard]] bool valid_msg_type(std::uint8_t t);
+
+struct Frame {
+  MsgType type = MsgType::kErr;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize a header for `type` + `payload_len` into a 10-byte buffer.
+[[nodiscard]] std::array<std::uint8_t, kHeaderSize> put_header(
+    MsgType type, std::uint32_t payload_len);
+
+/// Validate a header buffer: magic, version, known type, length bound.
+/// On success fills type/len and returns true; on failure touches nothing.
+[[nodiscard]] bool parse_header(const std::uint8_t* buf, MsgType& type,
+                                std::uint32_t& len);
+
+/// Header + payload in one send_all (single buffer, one syscall in the
+/// common case). False on timeout or connection error.
+[[nodiscard]] bool write_frame(Socket& sock, MsgType type,
+                               const std::vector<std::uint8_t>& payload,
+                               Deadline dl);
+
+enum class ReadStatus {
+  kOk,
+  kTimeout,
+  kClosed,     // clean EOF at a frame boundary (or mid-frame: peer gone)
+  kMalformed,  // bad magic/version/type or oversized length
+};
+
+[[nodiscard]] ReadStatus read_frame(Socket& sock, Frame& out, Deadline dl);
+
+}  // namespace waves::net

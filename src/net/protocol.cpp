@@ -1,0 +1,203 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace waves::net {
+
+namespace {
+
+using distributed::get_fixed64;
+using distributed::get_varint;
+using distributed::put_fixed64;
+using distributed::put_varint;
+
+// Decoders parse into a scratch value and require full consumption, so a
+// failed decode leaves `out` untouched and trailing garbage is rejected.
+bool consumed(const Bytes& in, std::size_t at) { return at == in.size(); }
+
+}  // namespace
+
+const char* role_name(PartyRole r) {
+  switch (r) {
+    case PartyRole::kCount:
+      return "count";
+    case PartyRole::kDistinct:
+      return "distinct";
+    case PartyRole::kBasic:
+      return "basic";
+    case PartyRole::kSum:
+      return "sum";
+  }
+  return "unknown";
+}
+
+bool role_from_name(const std::string& name, PartyRole& out) {
+  if (name == "count") out = PartyRole::kCount;
+  else if (name == "distinct") out = PartyRole::kDistinct;
+  else if (name == "basic") out = PartyRole::kBasic;
+  else if (name == "sum") out = PartyRole::kSum;
+  else return false;
+  return true;
+}
+
+bool valid_role(std::uint8_t r) {
+  return r >= static_cast<std::uint8_t>(PartyRole::kCount) &&
+         r <= static_cast<std::uint8_t>(PartyRole::kSum);
+}
+
+Bytes Hello::encode() const {
+  Bytes out;
+  put_varint(out, client_id);
+  return out;
+}
+
+bool Hello::decode(const Bytes& in, Hello& out) {
+  Hello h;
+  std::size_t at = 0;
+  if (!get_varint(in, at, h.client_id) || !consumed(in, at)) return false;
+  out = h;
+  return true;
+}
+
+Bytes HelloAck::encode() const {
+  Bytes out;
+  put_varint(out, static_cast<std::uint64_t>(role));
+  put_varint(out, party_id);
+  put_varint(out, instances);
+  put_varint(out, window);
+  put_varint(out, items_observed);
+  return out;
+}
+
+bool HelloAck::decode(const Bytes& in, HelloAck& out) {
+  HelloAck a;
+  std::size_t at = 0;
+  std::uint64_t role = 0;
+  if (!get_varint(in, at, role) || role > 0xFF ||
+      !valid_role(static_cast<std::uint8_t>(role)) ||
+      !get_varint(in, at, a.party_id) || !get_varint(in, at, a.instances) ||
+      !get_varint(in, at, a.window) ||
+      !get_varint(in, at, a.items_observed) || !consumed(in, at)) {
+    return false;
+  }
+  a.role = static_cast<PartyRole>(role);
+  out = a;
+  return true;
+}
+
+Bytes SnapshotRequest::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_varint(out, static_cast<std::uint64_t>(role));
+  put_varint(out, n);
+  return out;
+}
+
+bool SnapshotRequest::decode(const Bytes& in, SnapshotRequest& out) {
+  SnapshotRequest r;
+  std::size_t at = 0;
+  std::uint64_t role = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, role) ||
+      role > 0xFF || !valid_role(static_cast<std::uint8_t>(role)) ||
+      !get_varint(in, at, r.n) || !consumed(in, at)) {
+    return false;
+  }
+  r.role = static_cast<PartyRole>(role);
+  out = r;
+  return true;
+}
+
+Bytes CountReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  const Bytes snaps = distributed::encode(
+      std::span<const core::RandWaveSnapshot>(snapshots));
+  out.insert(out.end(), snaps.begin(), snaps.end());
+  return out;
+}
+
+bool CountReply::decode(const Bytes& in, CountReply& out) {
+  CountReply r;
+  std::size_t at = 0;
+  if (!get_varint(in, at, r.request_id)) return false;
+  // decode_snapshots consumes a whole buffer, so hand it the remainder.
+  const Bytes rest(in.begin() + static_cast<std::ptrdiff_t>(at), in.end());
+  if (!distributed::decode_snapshots(rest, r.snapshots)) return false;
+  out = std::move(r);
+  return true;
+}
+
+Bytes DistinctReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  const Bytes snaps = distributed::encode(
+      std::span<const core::DistinctSnapshot>(snapshots));
+  out.insert(out.end(), snaps.begin(), snaps.end());
+  return out;
+}
+
+bool DistinctReply::decode(const Bytes& in, DistinctReply& out) {
+  DistinctReply r;
+  std::size_t at = 0;
+  if (!get_varint(in, at, r.request_id)) return false;
+  const Bytes rest(in.begin() + static_cast<std::ptrdiff_t>(at), in.end());
+  if (!distributed::decode_snapshots(rest, r.snapshots)) return false;
+  out = std::move(r);
+  return true;
+}
+
+Bytes TotalReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_fixed64(out, std::bit_cast<std::uint64_t>(value));
+  put_varint(out, exact ? 1 : 0);
+  put_varint(out, items_observed);
+  return out;
+}
+
+bool TotalReply::decode(const Bytes& in, TotalReply& out) {
+  TotalReply r;
+  std::size_t at = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t exact = 0;
+  if (!get_varint(in, at, r.request_id) || !get_fixed64(in, at, bits) ||
+      !get_varint(in, at, exact) || exact > 1 ||
+      !get_varint(in, at, r.items_observed) || !consumed(in, at)) {
+    return false;
+  }
+  r.value = std::bit_cast<double>(bits);
+  r.exact = exact == 1;
+  out = r;
+  return true;
+}
+
+Bytes ErrReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_varint(out, static_cast<std::uint64_t>(code));
+  put_varint(out, message.size());
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+bool ErrReply::decode(const Bytes& in, ErrReply& out) {
+  ErrReply e;
+  std::size_t at = 0;
+  std::uint64_t code = 0;
+  std::uint64_t len = 0;
+  if (!get_varint(in, at, e.request_id) || !get_varint(in, at, code) ||
+      code < 1 || code > 4 || !get_varint(in, at, len) ||
+      len > in.size() - at) {
+    return false;
+  }
+  e.message.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                   in.begin() + static_cast<std::ptrdiff_t>(at + len));
+  at += len;
+  if (!consumed(in, at)) return false;
+  e.code = static_cast<ErrCode>(code);
+  out = std::move(e);
+  return true;
+}
+
+}  // namespace waves::net

@@ -1,0 +1,110 @@
+// Message bodies for the waves TCP protocol (the payload side of
+// net/frame.hpp). Each struct has an encode/decode pair built on the
+// distributed::wire varint/fixed64 primitives; decoders are all-or-nothing
+// (on failure `out` is untouched) and reject trailing garbage, mirroring
+// the wire-codec contract the fuzz tests rely on.
+//
+// Session shape (client = referee, server = party daemon):
+//   client: Hello            -> server: HelloAck (or Err)
+//   client: SnapshotRequest  -> server: CountReply | DistinctReply |
+//                                        TotalReply | Err
+// A connection serves any number of requests; either side may close it at a
+// frame boundary. Totals (Scenario 1) cross as fixed64 double bit patterns
+// so a networked answer is bit-identical to the in-process one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distinct_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "distributed/wire.hpp"
+
+namespace waves::net {
+
+using distributed::Bytes;
+
+/// What a party daemon serves: which estimator family it runs.
+enum class PartyRole : std::uint8_t {
+  kCount = 1,     // Scenario 3 union counting (RandWave snapshots)
+  kDistinct = 2,  // distinct values (DistinctSnapshot)
+  kBasic = 3,     // Scenario 1 Basic Counting total (DetWave)
+  kSum = 4,       // Scenario 1 Sum total (SumWave)
+};
+
+[[nodiscard]] const char* role_name(PartyRole r);
+/// False on an unknown name; `out` untouched.
+[[nodiscard]] bool role_from_name(const std::string& name, PartyRole& out);
+[[nodiscard]] bool valid_role(std::uint8_t r);
+
+enum class ErrCode : std::uint8_t {
+  kBadRequest = 1,  // undecodable payload or unexpected message type
+  kWrongRole = 2,   // request's role doesn't match the serving party
+  kShutdown = 3,    // server is draining; retry elsewhere
+  kInternal = 4,
+};
+
+struct Hello {
+  std::uint64_t client_id = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, Hello& out);
+};
+
+struct HelloAck {
+  PartyRole role = PartyRole::kCount;
+  std::uint64_t party_id = 0;
+  std::uint64_t instances = 0;  // median-estimator instances (0 for totals)
+  std::uint64_t window = 0;
+  std::uint64_t items_observed = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, HelloAck& out);
+};
+
+struct SnapshotRequest {
+  std::uint64_t request_id = 0;
+  PartyRole role = PartyRole::kCount;  // client's expectation, server-checked
+  std::uint64_t n = 0;                 // window size queried
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, SnapshotRequest& out);
+};
+
+struct CountReply {
+  std::uint64_t request_id = 0;
+  std::vector<core::RandWaveSnapshot> snapshots;  // one per instance
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, CountReply& out);
+};
+
+struct DistinctReply {
+  std::uint64_t request_id = 0;
+  std::vector<core::DistinctSnapshot> snapshots;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, DistinctReply& out);
+};
+
+struct TotalReply {
+  std::uint64_t request_id = 0;
+  double value = 0.0;  // crosses as a fixed64 bit pattern
+  bool exact = false;
+  std::uint64_t items_observed = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, TotalReply& out);
+};
+
+struct ErrReply {
+  std::uint64_t request_id = 0;  // 0 when no request could be parsed
+  ErrCode code = ErrCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, ErrReply& out);
+};
+
+}  // namespace waves::net

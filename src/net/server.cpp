@@ -1,0 +1,262 @@
+#include "net/server.hpp"
+
+#include <utility>
+
+#include "obs/net_obs.hpp"
+
+namespace waves::net {
+
+void BasicPartyState::observe(bool bit) {
+  std::lock_guard lk(mu_);
+  wave_.update(bit);
+  ++items_;
+}
+
+void BasicPartyState::observe_batch(const util::PackedBitStream& bits) {
+  std::lock_guard lk(mu_);
+  wave_.update_batch(bits);
+  items_ += bits.size();
+}
+
+core::Estimate BasicPartyState::query(std::uint64_t n) const {
+  std::lock_guard lk(mu_);
+  return wave_.query(n);
+}
+
+std::uint64_t BasicPartyState::items() const {
+  std::lock_guard lk(mu_);
+  return items_;
+}
+
+void SumPartyState::observe(std::uint64_t value) {
+  std::lock_guard lk(mu_);
+  wave_.update(value);
+  ++items_;
+}
+
+void SumPartyState::observe_batch(std::span<const std::uint64_t> values) {
+  std::lock_guard lk(mu_);
+  for (const std::uint64_t v : values) wave_.update(v);
+  items_ += values.size();
+}
+
+core::Estimate SumPartyState::query(std::uint64_t n) const {
+  std::lock_guard lk(mu_);
+  return wave_.query(n);
+}
+
+std::uint64_t SumPartyState::items() const {
+  std::lock_guard lk(mu_);
+  return items_;
+}
+
+PartyServer::PartyServer(ServerConfig cfg, distributed::CountParty* party)
+    : cfg_(std::move(cfg)), role_(PartyRole::kCount), count_(party) {}
+
+PartyServer::PartyServer(ServerConfig cfg, distributed::DistinctParty* party)
+    : cfg_(std::move(cfg)), role_(PartyRole::kDistinct), distinct_(party) {}
+
+PartyServer::PartyServer(ServerConfig cfg, BasicPartyState* party)
+    : cfg_(std::move(cfg)), role_(PartyRole::kBasic), basic_(party) {}
+
+PartyServer::PartyServer(ServerConfig cfg, SumPartyState* party)
+    : cfg_(std::move(cfg)), role_(PartyRole::kSum), sum_(party) {}
+
+PartyServer::~PartyServer() { stop(); }
+
+bool PartyServer::start() {
+  if (!listener_.listen_on(cfg_.host, cfg_.port)) return false;
+  accept_thread_ =
+      std::jthread([this](const std::stop_token& st) { accept_loop(st); });
+  return true;
+}
+
+void PartyServer::stop() {
+  if (accept_thread_.joinable()) {
+    accept_thread_.request_stop();
+    accept_thread_.join();
+  }
+  {
+    std::lock_guard lk(conns_mu_);
+    for (Conn& c : conns_) c.thread.request_stop();
+  }
+  // Handler jthreads honor the stop token within one io_deadline tick; join
+  // them by clearing the list (jthread dtor joins).
+  std::lock_guard lk(conns_mu_);
+  conns_.clear();
+  listener_.close();
+}
+
+void PartyServer::reap_finished() {
+  std::lock_guard lk(conns_mu_);
+  std::erase_if(conns_, [](Conn& c) {
+    return c.done->load(std::memory_order_acquire);
+  });
+}
+
+void PartyServer::accept_loop(const std::stop_token& st) {
+  const auto& obs = obs::NetServerObs::instance();
+  while (!st.stop_requested()) {
+    Socket sock =
+        listener_.accept_one(deadline_in(std::chrono::milliseconds(100)));
+    if (!sock.valid()) {
+      reap_finished();
+      continue;
+    }
+    obs.connections.add();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::jthread handler(
+        [this, done](const std::stop_token& hst, Socket s) {
+          serve_connection(std::move(s), hst);
+          done->store(true, std::memory_order_release);
+        },
+        std::move(sock));
+    {
+      std::lock_guard lk(conns_mu_);
+      conns_.push_back(Conn{std::move(handler), std::move(done)});
+    }
+    reap_finished();
+  }
+}
+
+HelloAck PartyServer::hello_ack() const {
+  HelloAck ack;
+  ack.role = role_;
+  ack.party_id = cfg_.party_id;
+  switch (role_) {
+    case PartyRole::kCount:
+      ack.instances = static_cast<std::uint64_t>(count_->instances());
+      ack.items_observed = count_->items_observed();
+      break;
+    case PartyRole::kDistinct:
+      ack.instances = static_cast<std::uint64_t>(distinct_->instances());
+      ack.items_observed = distinct_->items_observed();
+      break;
+    case PartyRole::kBasic:
+      ack.window = basic_->window();
+      ack.items_observed = basic_->items();
+      break;
+    case PartyRole::kSum:
+      ack.window = sum_->window();
+      ack.items_observed = sum_->items();
+      break;
+  }
+  return ack;
+}
+
+void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
+                         Deadline dl) {
+  const auto& obs = obs::NetServerObs::instance();
+  auto send = [&](MsgType type, const Bytes& payload) {
+    if (write_frame(sock, type, payload, dl)) {
+      obs.bytes_sent.add(kHeaderSize + payload.size());
+    }
+  };
+
+  if (req.role != role_) {
+    ErrReply err{req.request_id, ErrCode::kWrongRole,
+                 std::string("party serves role ") + role_name(role_)};
+    send(MsgType::kErr, err.encode());
+    return;
+  }
+
+  switch (role_) {
+    case PartyRole::kCount: {
+      CountReply r;
+      r.request_id = req.request_id;
+      r.snapshots = count_->snapshots(req.n);
+      send(MsgType::kCountReply, r.encode());
+      return;
+    }
+    case PartyRole::kDistinct: {
+      DistinctReply r;
+      r.request_id = req.request_id;
+      r.snapshots = distinct_->snapshots(req.n);
+      send(MsgType::kDistinctReply, r.encode());
+      return;
+    }
+    case PartyRole::kBasic: {
+      const core::Estimate est = basic_->query(req.n);
+      TotalReply r{req.request_id, est.value, est.exact, basic_->items()};
+      send(MsgType::kTotalReply, r.encode());
+      return;
+    }
+    case PartyRole::kSum: {
+      const core::Estimate est = sum_->query(req.n);
+      TotalReply r{req.request_id, est.value, est.exact, sum_->items()};
+      send(MsgType::kTotalReply, r.encode());
+      return;
+    }
+  }
+}
+
+void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
+  const auto& obs = obs::NetServerObs::instance();
+  while (!st.stop_requested()) {
+    // Idle-wait in short ticks so a stop request is honored promptly even
+    // on a silent connection; the io_deadline only applies once bytes flow.
+    if (!sock.wait_readable(deadline_in(std::chrono::milliseconds(100)))) {
+      continue;
+    }
+    const Deadline dl = deadline_in(cfg_.io_deadline);
+    Frame frame;
+    const ReadStatus rs = read_frame(sock, frame, dl);
+    if (rs == ReadStatus::kClosed) return;
+    if (rs == ReadStatus::kTimeout) continue;
+    if (rs == ReadStatus::kMalformed) {
+      obs.frame_errors.add();
+      ErrReply err{0, ErrCode::kBadRequest, "malformed frame"};
+      const Bytes payload = err.encode();
+      if (write_frame(sock, MsgType::kErr, payload, dl)) {
+        obs.bytes_sent.add(kHeaderSize + payload.size());
+      }
+      return;  // framing is lost; drop the connection
+    }
+    obs.bytes_received.add(kHeaderSize + frame.payload.size());
+
+    switch (frame.type) {
+      case MsgType::kHello: {
+        Hello hello;
+        if (!Hello::decode(frame.payload, hello)) {
+          obs.frame_errors.add();
+          ErrReply err{0, ErrCode::kBadRequest, "bad hello"};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          return;
+        }
+        const Bytes payload = hello_ack().encode();
+        if (!write_frame(sock, MsgType::kHelloAck, payload, dl)) return;
+        obs.bytes_sent.add(kHeaderSize + payload.size());
+        break;
+      }
+      case MsgType::kSnapshotRequest: {
+        obs.requests.add();
+        SnapshotRequest req;
+        if (!SnapshotRequest::decode(frame.payload, req)) {
+          obs.frame_errors.add();
+          ErrReply err{0, ErrCode::kBadRequest, "bad snapshot request"};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          return;
+        }
+        answer(sock, req, dl);
+        break;
+      }
+      default: {
+        obs.frame_errors.add();
+        ErrReply err{0, ErrCode::kBadRequest, "unexpected message type"};
+        const Bytes payload = err.encode();
+        if (write_frame(sock, MsgType::kErr, payload, dl)) {
+          obs.bytes_sent.add(kHeaderSize + payload.size());
+        }
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace waves::net

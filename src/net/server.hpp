@@ -1,0 +1,131 @@
+// The party side of the TCP transport: PartyServer wraps one synopsis
+// backend (a distributed::CountParty / DistinctParty, or the Scenario-1
+// totals states below) behind a listening socket and answers framed
+// Hello / SnapshotRequest messages. The `waved` daemon is a thin CLI shell
+// around this class; tests and benches embed it in-process.
+//
+// Concurrency: one accept loop thread plus one short-lived thread per
+// connection. Backends are internally locked (the parties) or locked here
+// (the totals states), so an ingestion thread may keep feeding while the
+// referee queries — the model's "parties observe, referee asks" split.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/det_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "distributed/party.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace waves::net {
+
+/// Scenario-1 Basic Counting backend: a DetWave plus the lock the bare core
+/// class doesn't carry (parties bring their own; the totals wrappers need
+/// one here to let ingestion overlap queries).
+class BasicPartyState {
+ public:
+  BasicPartyState(std::uint64_t inv_eps, std::uint64_t window)
+      : wave_(inv_eps, window), window_(window) {}
+
+  void observe(bool bit);
+  void observe_batch(const util::PackedBitStream& bits);
+  [[nodiscard]] core::Estimate query(std::uint64_t n) const;
+  [[nodiscard]] std::uint64_t items() const;
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+
+ private:
+  mutable std::mutex mu_;
+  core::DetWave wave_;
+  std::uint64_t window_;
+  std::uint64_t items_ = 0;
+};
+
+/// Scenario-1 Sum backend (SumWave over integer values in [0..max_value]).
+class SumPartyState {
+ public:
+  SumPartyState(std::uint64_t inv_eps, std::uint64_t window,
+                std::uint64_t max_value)
+      : wave_(inv_eps, window, max_value), window_(window) {}
+
+  void observe(std::uint64_t value);
+  void observe_batch(std::span<const std::uint64_t> values);
+  [[nodiscard]] core::Estimate query(std::uint64_t n) const;
+  [[nodiscard]] std::uint64_t items() const;
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+
+ private:
+  mutable std::mutex mu_;
+  core::SumWave wave_;
+  std::uint64_t window_;
+  std::uint64_t items_ = 0;
+};
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0: ephemeral; read back via port()
+  std::uint64_t party_id = 0;
+  // Per-I/O-op deadline on connection handlers; a stalled peer can hold a
+  // handler thread at most this long per frame.
+  std::chrono::milliseconds io_deadline{5000};
+};
+
+/// One party daemon: serves exactly one role, determined by which backend
+/// the constructor receives (backends are borrowed, not owned — the caller
+/// keeps them alive and may keep feeding them).
+class PartyServer {
+ public:
+  PartyServer(ServerConfig cfg, distributed::CountParty* party);
+  PartyServer(ServerConfig cfg, distributed::DistinctParty* party);
+  PartyServer(ServerConfig cfg, BasicPartyState* party);
+  PartyServer(ServerConfig cfg, SumPartyState* party);
+  ~PartyServer();
+
+  PartyServer(const PartyServer&) = delete;
+  PartyServer& operator=(const PartyServer&) = delete;
+
+  /// Bind + listen + start the accept loop. False if the bind fails.
+  [[nodiscard]] bool start();
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+  [[nodiscard]] PartyRole role() const noexcept { return role_; }
+  /// Stop accepting, join all threads, close the listener. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop(const std::stop_token& st);
+  void serve_connection(Socket sock, const std::stop_token& st);
+  [[nodiscard]] HelloAck hello_ack() const;
+  /// Builds the role-appropriate reply (or Err) for a decoded request.
+  void answer(Socket& sock, const SnapshotRequest& req, Deadline dl);
+  void reap_finished();
+
+  ServerConfig cfg_;
+  PartyRole role_;
+  distributed::CountParty* count_ = nullptr;
+  distributed::DistinctParty* distinct_ = nullptr;
+  BasicPartyState* basic_ = nullptr;
+  SumPartyState* sum_ = nullptr;
+
+  Listener listener_;
+  std::jthread accept_thread_;
+
+  struct Conn {
+    std::jthread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex conns_mu_;
+  std::vector<Conn> conns_;
+};
+
+}  // namespace waves::net

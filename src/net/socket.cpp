@@ -1,0 +1,191 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace waves::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Remaining whole milliseconds until `dl`, clamped to [0, INT_MAX] for
+// poll(2). Rounds up so a 0.5ms remainder polls for 1ms instead of spinning.
+int poll_budget_ms(Deadline dl) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      dl - Clock::now() + std::chrono::microseconds(999));
+  if (left.count() <= 0) return 0;
+  constexpr long kMax = 60'000;  // re-check even if a caller passes "forever"
+  return static_cast<int>(left.count() < kMax ? left.count() : kMax);
+}
+
+// Wait for `events` on fd until the deadline. True iff the event arrived.
+bool poll_until(int fd, short events, Deadline dl) {
+  while (true) {
+    const int budget = poll_budget_ms(dl);
+    if (budget <= 0 && Clock::now() >= dl) return false;
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return true;
+    if (rc < 0 && errno != EINTR) return false;
+    // rc == 0 (or EINTR): loop re-checks the deadline.
+  }
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(const void* data, std::size_t len, Deadline dl) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!poll_until(fd_, POLLOUT, dl)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone or hard error
+  }
+  return true;
+}
+
+IoResult Socket::recv_exact(void* data, std::size_t len, Deadline dl) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_until(fd_, POLLIN, dl)) return IoResult::kTimeout;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+  return IoResult::kOk;
+}
+
+bool Socket::wait_readable(Deadline dl) {
+  return poll_until(fd_, POLLIN, dl);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port, Deadline dl,
+                   bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return Socket{};
+
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid() || !set_nonblocking(s.fd())) return Socket{};
+
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  const int rc =
+      ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Socket{};
+    if (!poll_until(s.fd(), POLLOUT, dl)) {
+      if (timed_out != nullptr) *timed_out = true;
+      return Socket{};
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Socket{};
+    }
+  }
+  return s;
+}
+
+bool Listener::listen_on(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid() || !set_nonblocking(s.fd())) return false;
+
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(s.fd(), SOMAXCONN) != 0) {
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  sock_ = std::move(s);
+  return true;
+}
+
+Socket Listener::accept_one(Deadline dl) {
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      if (!set_nonblocking(s.fd())) return Socket{};
+      const int one = 1;
+      ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return s;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!poll_until(sock_.fd(), POLLIN, dl)) return Socket{};
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Socket{};
+  }
+}
+
+}  // namespace waves::net

@@ -1,0 +1,31 @@
+#include "obs/net_obs.hpp"
+
+namespace waves::obs {
+
+const NetClientObs& NetClientObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const NetClientObs o{
+      reg.counter("waves_net_requests_total"),
+      reg.counter("waves_net_attempts_total"),
+      reg.counter("waves_net_retries_total"),
+      reg.counter("waves_net_timeouts_total"),
+      reg.counter("waves_net_connect_errors_total"),
+      reg.counter("waves_net_protocol_errors_total"),
+      reg.counter("waves_net_bytes_sent_total"),
+      reg.counter("waves_net_bytes_received_total"),
+      reg.histogram("waves_net_request_seconds", {}, latency_buckets())};
+  return o;
+}
+
+const NetServerObs& NetServerObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const NetServerObs o{
+      reg.counter("waves_net_server_connections_total"),
+      reg.counter("waves_net_server_requests_total"),
+      reg.counter("waves_net_server_frame_errors_total"),
+      reg.counter("waves_net_server_bytes_sent_total"),
+      reg.counter("waves_net_server_bytes_received_total")};
+  return o;
+}
+
+}  // namespace waves::obs

@@ -1,0 +1,54 @@
+// Instrument bundles for the TCP transport (src/net/).
+//
+// The metric families live here, next to the rest of the schema, so the
+// exporters and docs/observability.md have one home for names; src/net/
+// fetches the cached bundle and bumps plain counter references on its hot
+// paths. With WAVES_OBS=OFF every member is the no-op Counter/Histogram
+// from obs/metrics.hpp and the whole layer compiles away.
+//
+// Client families (the referee side):
+//   waves_net_requests_total        logical fetches (one per party, round)
+//   waves_net_attempts_total        connection attempts incl. retries
+//   waves_net_retries_total         attempts after the first
+//   waves_net_timeouts_total        attempts lost to the deadline
+//   waves_net_connect_errors_total  refused/failed connects
+//   waves_net_protocol_errors_total malformed or unexpected replies
+//   waves_net_bytes_sent_total / waves_net_bytes_received_total
+//   waves_net_request_seconds       per-fetch latency histogram
+//
+// Server families (each waved / PartyServer):
+//   waves_net_server_connections_total
+//   waves_net_server_requests_total
+//   waves_net_server_frame_errors_total  malformed frames from peers
+//   waves_net_server_bytes_sent_total / waves_net_server_bytes_received_total
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace waves::obs {
+
+struct NetClientObs {
+  const Counter& requests;
+  const Counter& attempts;
+  const Counter& retries;
+  const Counter& timeouts;
+  const Counter& connect_errors;
+  const Counter& protocol_errors;
+  const Counter& bytes_sent;
+  const Counter& bytes_received;
+  const Histogram& request_seconds;
+
+  static const NetClientObs& instance();
+};
+
+struct NetServerObs {
+  const Counter& connections;
+  const Counter& requests;
+  const Counter& frame_errors;
+  const Counter& bytes_sent;
+  const Counter& bytes_received;
+
+  static const NetServerObs& instance();
+};
+
+}  // namespace waves::obs

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "distributed/channel.hpp"
@@ -24,6 +27,61 @@ TEST(Channel, SendRecvClose) {
   ch.close();
   EXPECT_FALSE(ch.send(3));
   EXPECT_FALSE(ch.recv().has_value());
+}
+
+TEST(Channel, TrySendNeverBlocksAndKeepsValueOnFailure) {
+  Channel<std::vector<int>> ch(1);
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_TRUE(ch.try_send(batch));  // moved out on success
+  std::vector<int> second{4, 5};
+  EXPECT_FALSE(ch.try_send(second));  // full: immediate false, no block
+  EXPECT_EQ(second, (std::vector<int>{4, 5}));  // value intact for retry
+  EXPECT_EQ(ch.recv(), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(ch.try_send(second));
+  ch.close();
+  std::vector<int> after_close{6};
+  EXPECT_FALSE(ch.try_send(after_close));
+  EXPECT_EQ(after_close, (std::vector<int>{6}));
+}
+
+TEST(Channel, RecvForTimesOutThenDelivers) {
+  Channel<int> ch(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.recv_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(25));
+  EXPECT_FALSE(ch.drained());  // open and empty, not drained
+  EXPECT_TRUE(ch.send(7));
+  EXPECT_EQ(ch.recv_for(std::chrono::milliseconds(1000)), 7);
+  ch.close();
+  // Closed + empty: recv_for returns immediately, and drained() reports it.
+  EXPECT_FALSE(ch.recv_for(std::chrono::milliseconds(1000)).has_value());
+  EXPECT_TRUE(ch.drained());
+}
+
+TEST(Channel, ChannelFeedDrainsIntoParty) {
+  // Stream batches through the daemon ingest path and check the party saw
+  // every bit, then that a referee query over the fed window answers.
+  const std::uint64_t window = 1024;
+  CountParty party(core::RandWave::Params{.eps = 0.25, .window = window},
+                   3, 7);
+  Channel<util::PackedBitStream> ch(4);
+  std::atomic<bool> stop{false};
+  std::uint64_t fed = 0;
+  std::jthread feeder([&] {
+    fed = channel_feed(ch, party, stop, std::chrono::milliseconds(5));
+  });
+  stream::BernoulliBits gen(0.3, 11);
+  std::uint64_t sent = 0;
+  for (int b = 0; b < 8; ++b) {
+    auto batch = stream::take_packed(gen, 512);
+    sent += batch.size();
+    ASSERT_TRUE(ch.send(std::move(batch)));
+  }
+  ch.close();
+  feeder.join();
+  EXPECT_EQ(fed, sent);
+  EXPECT_EQ(party.items_observed(), sent);
 }
 
 TEST(WireAccounting, SnapshotSizes) {

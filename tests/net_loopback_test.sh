@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Multi-process loopback acceptance test for the TCP transport.
+#
+# Launches four real `waved` daemons per query mode (count / distinct /
+# basic / sum), points `wavecli query --connect` at them, and diffs the
+# output byte-for-byte against `wavecli query --local` over the identical
+# feed — the networked referee must answer bit-identically to the
+# in-process one. Then kills a party and checks the documented partial-
+# quorum behavior: totals degrade (exit 0, "degraded ... missing=1"),
+# union counting fails closed (exit 4) — promptly, never a hang.
+#
+# Usage: net_loopback_test.sh <path-to-waved> <path-to-wavecli>
+#
+# Feed parameters below must stay in lockstep with tools/feed_config.hpp
+# defaults where not passed explicitly; we pass everything explicitly to
+# both binaries so there is nothing to drift.
+set -u -o pipefail
+
+WAVED=${1:?usage: net_loopback_test.sh <waved> <wavecli>}
+WAVECLI=${2:?usage: net_loopback_test.sh <waved> <wavecli>}
+
+TMP=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+PARTIES=4
+# Identical stream/synopsis parameters for daemons and the local referee.
+COMMON=(--parties "$PARTIES" --eps 0.1 --window 4096 --instances 3
+        --seed 99 --items 20000 --stream-seed 1 --density 0.2 --noise 0.05
+        --value-space 65536 --skew 1.2 --max-value 1000)
+
+# start_daemons <role>: launches $PARTIES waved processes on ephemeral
+# ports, waits for their READY lines, fills $ENDPOINTS and $PIDS.
+start_daemons() {
+  local role=$1 j log port
+  PIDS=()
+  ENDPOINTS=""
+  for ((j = 0; j < PARTIES; ++j)); do
+    log="$TMP/waved_${role}_${j}.log"
+    "$WAVED" --role "$role" --party-id "$j" --port 0 "${COMMON[@]}" \
+      >"$log" 2>&1 &
+    PIDS+=("$!")
+  done
+  for ((j = 0; j < PARTIES; ++j)); do
+    log="$TMP/waved_${role}_${j}.log"
+    port=""
+    for _ in $(seq 1 200); do
+      port=$(sed -n 's/.*WAVED READY .*port=\([0-9][0-9]*\).*/\1/p' "$log")
+      [[ -n "$port" ]] && break
+      sleep 0.05
+    done
+    if [[ -z "$port" ]]; then
+      cat "$log" >&2
+      fail "party $j (role=$role) never printed READY"
+    fi
+    ENDPOINTS="${ENDPOINTS:+$ENDPOINTS,}127.0.0.1:$port"
+  done
+}
+
+stop_daemons() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+}
+
+# --- Parity: every query mode, networked vs in-process, byte-for-byte. ---
+for mode in count distinct basic sum; do
+  start_daemons "$mode"
+  "$WAVECLI" query --mode "$mode" --connect "$ENDPOINTS" "${COMMON[@]}" \
+    >"$TMP/net_$mode.out" ||
+    fail "networked $mode query exited $?"
+  "$WAVECLI" query --mode "$mode" --local "${COMMON[@]}" \
+    >"$TMP/local_$mode.out" ||
+    fail "local $mode query exited $?"
+  diff -u "$TMP/local_$mode.out" "$TMP/net_$mode.out" >&2 ||
+    fail "$mode: networked answer differs from in-process answer"
+  echo "PARITY $mode: $(cat "$TMP/net_$mode.out")"
+  stop_daemons
+done
+
+# --- Kill a party: totals degrade with widened error, exit 0. ---
+start_daemons basic
+kill "${PIDS[3]}" 2>/dev/null || true
+wait "${PIDS[3]}" 2>/dev/null || true
+start_s=$SECONDS
+"$WAVECLI" query --mode basic --connect "$ENDPOINTS" "${COMMON[@]}" \
+  --deadline-ms 300 --attempts 2 >"$TMP/degraded.out" ||
+  fail "degraded basic query should still exit 0 (got $?)"
+elapsed=$((SECONDS - start_s))
+grep -q '^degraded	' "$TMP/degraded.out" ||
+  fail "expected a 'degraded' line, got: $(cat "$TMP/degraded.out")"
+grep -q 'missing=1' "$TMP/degraded.out" ||
+  fail "expected missing=1, got: $(cat "$TMP/degraded.out")"
+[[ $elapsed -le 30 ]] || fail "degraded query took ${elapsed}s — not bounded"
+echo "DEGRADED basic: $(cat "$TMP/degraded.out") (${elapsed}s)"
+stop_daemons
+
+# --- Kill a party: union counting fails closed, exit 4, no hang. ---
+start_daemons count
+kill "${PIDS[3]}" 2>/dev/null || true
+wait "${PIDS[3]}" 2>/dev/null || true
+start_s=$SECONDS
+set +e
+"$WAVECLI" query --mode count --connect "$ENDPOINTS" "${COMMON[@]}" \
+  --deadline-ms 300 --attempts 2 >"$TMP/failed.out" 2>"$TMP/failed.err"
+rc=$?
+set -e
+elapsed=$((SECONDS - start_s))
+[[ $rc -eq 4 ]] || fail "union count with a dead party must exit 4, got $rc"
+grep -q 'fails closed' "$TMP/failed.err" ||
+  fail "expected a 'fails closed' diagnostic, got: $(cat "$TMP/failed.err")"
+[[ $elapsed -le 30 ]] || fail "failed query took ${elapsed}s — not bounded"
+echo "FAIL-CLOSED count: rc=4 '$(cat "$TMP/failed.err")' (${elapsed}s)"
+stop_daemons
+
+echo "net_loopback_test: all checks passed"

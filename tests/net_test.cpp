@@ -1,0 +1,549 @@
+// TCP transport tests: frame/protocol codecs (round-trip, fuzz,
+// no-partial-output), live PartyServer behavior against malformed peers,
+// loopback parity with the in-process referee, and partial-quorum
+// semantics. Everything runs on 127.0.0.1 with ephemeral ports; test names
+// start with Net so the TSan CI leg (-R "...|Net") picks them up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/net_obs.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "stream/value_streams.hpp"
+#include "util/packed_bits.hpp"
+
+namespace waves::net {
+namespace {
+
+Deadline soon() { return deadline_in(std::chrono::milliseconds(2000)); }
+
+/// Loopback socket pair via a throwaway listener.
+struct Pair {
+  Listener listener;
+  Socket client;
+  Socket server;
+};
+
+Pair make_pair_() {
+  Pair p;
+  EXPECT_TRUE(p.listener.listen_on("127.0.0.1", 0));
+  p.client = tcp_connect("127.0.0.1", p.listener.port(), soon());
+  EXPECT_TRUE(p.client.valid());
+  p.server = p.listener.accept_one(soon());
+  EXPECT_TRUE(p.server.valid());
+  return p;
+}
+
+TEST(NetFrame, HeaderRoundTrip) {
+  for (const MsgType t :
+       {MsgType::kHello, MsgType::kHelloAck, MsgType::kSnapshotRequest,
+        MsgType::kCountReply, MsgType::kDistinctReply, MsgType::kTotalReply,
+        MsgType::kErr}) {
+    const auto h = put_header(t, 12345);
+    MsgType type{};
+    std::uint32_t len = 0;
+    ASSERT_TRUE(parse_header(h.data(), type, len));
+    EXPECT_EQ(type, t);
+    EXPECT_EQ(len, 12345u);
+  }
+}
+
+TEST(NetFrame, HeaderRejectsCorruption) {
+  const auto good = put_header(MsgType::kHello, 10);
+  MsgType type{};
+  std::uint32_t len = 0;
+
+  auto bad = good;
+  bad[0] = 'X';  // magic
+  EXPECT_FALSE(parse_header(bad.data(), type, len));
+
+  bad = good;
+  bad[4] = kProtocolVersion + 1;  // version
+  EXPECT_FALSE(parse_header(bad.data(), type, len));
+
+  bad = good;
+  bad[5] = 0;  // type below range
+  EXPECT_FALSE(parse_header(bad.data(), type, len));
+  bad[5] = 99;  // type above range
+  EXPECT_FALSE(parse_header(bad.data(), type, len));
+
+  // Oversized payload length.
+  bad = put_header(MsgType::kHello, kMaxPayload);
+  EXPECT_TRUE(parse_header(bad.data(), type, len));
+  bad[6] = 0xFF;
+  bad[7] = 0xFF;
+  bad[8] = 0xFF;
+  bad[9] = 0xFF;
+  EXPECT_FALSE(parse_header(bad.data(), type, len));
+}
+
+TEST(NetFrame, SocketRoundTrip) {
+  Pair p = make_pair_();
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  ASSERT_TRUE(write_frame(p.client, MsgType::kSnapshotRequest, payload,
+                          soon()));
+  Frame f;
+  ASSERT_EQ(read_frame(p.server, f, soon()), ReadStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kSnapshotRequest);
+  EXPECT_EQ(f.payload, payload);
+
+  // Empty payload frames work too.
+  ASSERT_TRUE(write_frame(p.server, MsgType::kErr, {}, soon()));
+  ASSERT_EQ(read_frame(p.client, f, soon()), ReadStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kErr);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(NetFrame, TruncatedFramesNeverYieldPartialOutput) {
+  // Send every strict prefix of a valid frame, then close. The reader must
+  // report kClosed (peer died mid-frame) and leave `out` untouched.
+  std::vector<std::uint8_t> whole;
+  const std::vector<std::uint8_t> payload{9, 8, 7, 6};
+  const auto h = put_header(MsgType::kHello, 4);
+  whole.insert(whole.end(), h.begin(), h.end());
+  whole.insert(whole.end(), payload.begin(), payload.end());
+
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    Pair p = make_pair_();
+    ASSERT_TRUE(p.client.send_all(whole.data(), cut, soon()));
+    p.client.close();
+    Frame f;
+    f.type = MsgType::kTotalReply;  // sentinel
+    f.payload = {0xAB};
+    EXPECT_EQ(read_frame(p.server, f, soon()), ReadStatus::kClosed);
+    EXPECT_EQ(f.type, MsgType::kTotalReply);
+    EXPECT_EQ(f.payload, std::vector<std::uint8_t>{0xAB});
+  }
+}
+
+TEST(NetFrame, MalformedHeaderDetectedBeforePayload) {
+  Pair p = make_pair_();
+  std::uint8_t junk[kHeaderSize];
+  std::memset(junk, 0x5A, sizeof junk);
+  ASSERT_TRUE(p.client.send_all(junk, sizeof junk, soon()));
+  Frame f;
+  EXPECT_EQ(read_frame(p.server, f, soon()), ReadStatus::kMalformed);
+}
+
+TEST(NetProtocol, StructsRoundTrip) {
+  {
+    Hello in{42};
+    Hello out;
+    ASSERT_TRUE(Hello::decode(in.encode(), out));
+    EXPECT_EQ(out.client_id, 42u);
+  }
+  {
+    HelloAck in{PartyRole::kDistinct, 3, 5, 4096, 123456};
+    HelloAck out;
+    ASSERT_TRUE(HelloAck::decode(in.encode(), out));
+    EXPECT_EQ(out.role, PartyRole::kDistinct);
+    EXPECT_EQ(out.party_id, 3u);
+    EXPECT_EQ(out.instances, 5u);
+    EXPECT_EQ(out.window, 4096u);
+    EXPECT_EQ(out.items_observed, 123456u);
+  }
+  {
+    SnapshotRequest in{7, PartyRole::kSum, 2048};
+    SnapshotRequest out;
+    ASSERT_TRUE(SnapshotRequest::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 7u);
+    EXPECT_EQ(out.role, PartyRole::kSum);
+    EXPECT_EQ(out.n, 2048u);
+  }
+  {
+    CountReply in;
+    in.request_id = 9;
+    in.snapshots.resize(2);
+    in.snapshots[0].level = 3;
+    in.snapshots[0].stream_len = 500;
+    in.snapshots[0].positions = {400, 410, 499};
+    in.snapshots[1].level = 1;
+    in.snapshots[1].stream_len = 500;
+    CountReply out;
+    ASSERT_TRUE(CountReply::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 9u);
+    ASSERT_EQ(out.snapshots.size(), 2u);
+    EXPECT_EQ(out.snapshots[0].positions, in.snapshots[0].positions);
+    EXPECT_EQ(out.snapshots[1].level, 1);
+  }
+  {
+    TotalReply in{11, 1234.5625, true, 9999};
+    TotalReply out;
+    ASSERT_TRUE(TotalReply::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 11u);
+    EXPECT_EQ(out.value, 1234.5625);  // bit pattern crossed exactly
+    EXPECT_TRUE(out.exact);
+    EXPECT_EQ(out.items_observed, 9999u);
+  }
+  {
+    ErrReply in{13, ErrCode::kWrongRole, "nope"};
+    ErrReply out;
+    ASSERT_TRUE(ErrReply::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 13u);
+    EXPECT_EQ(out.code, ErrCode::kWrongRole);
+    EXPECT_EQ(out.message, "nope");
+  }
+}
+
+TEST(NetProtocol, TruncationAndGarbageRejectedNoPartialOutput) {
+  HelloAck ack{PartyRole::kCount, 1, 3, 1024, 777};
+  const Bytes enc = ack.encode();
+  for (std::size_t cut = 0; cut < enc.size(); ++cut) {
+    const Bytes prefix(enc.begin(),
+                       enc.begin() + static_cast<std::ptrdiff_t>(cut));
+    HelloAck out{PartyRole::kSum, 99, 99, 99, 99};  // sentinel
+    EXPECT_FALSE(HelloAck::decode(prefix, out));
+    EXPECT_EQ(out.party_id, 99u);  // untouched
+  }
+  Bytes garbage = enc;
+  garbage.push_back(0x01);
+  HelloAck out;
+  EXPECT_FALSE(HelloAck::decode(garbage, out));
+
+  // Random byte fuzz must never crash and must fail or fully parse.
+  gf2::SplitMix64 rng(2024);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes noise(rng.next() % 40);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next());
+    SnapshotRequest req;
+    (void)SnapshotRequest::decode(noise, req);
+    TotalReply total;
+    (void)TotalReply::decode(noise, total);
+    ErrReply err;
+    (void)ErrReply::decode(noise, err);
+    CountReply count;
+    (void)CountReply::decode(noise, count);
+    DistinctReply distinct;
+    (void)DistinctReply::decode(noise, distinct);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server tests.
+
+constexpr double kEps = 0.25;
+constexpr std::uint64_t kWindow = 1024;
+constexpr int kInstances = 3;
+constexpr std::uint64_t kSeed = 77;
+constexpr int kParties = 4;
+constexpr std::uint64_t kItems = 6000;
+
+core::RandWave::Params count_params() {
+  return {.eps = kEps, .window = kWindow, .c = 36};
+}
+
+core::DistinctWave::Params distinct_params() {
+  return {.eps = kEps,
+          .window = kWindow,
+          .max_value = 1u << 12,
+          .c = 36,
+          .universe_hint = kWindow * kParties};
+}
+
+std::vector<util::PackedBitStream> test_bit_streams() {
+  stream::BernoulliBits base_gen(0.2, 5);
+  const auto base = stream::take(base_gen, kItems);
+  return util::pack_streams(
+      stream::correlated_streams(base, kParties, 0.05, 6));
+}
+
+TEST(NetServer, MalformedFrameGetsTypedErrorThenClose) {
+  distributed::CountParty party(count_params(), kInstances, kSeed);
+  PartyServer server(ServerConfig{}, &party);
+  ASSERT_TRUE(server.start());
+
+  // A hostile/broken peer sends garbage: the server must answer with a
+  // typed Err frame and drop the connection, never hang or crash.
+  Socket sock = tcp_connect("127.0.0.1", server.port(), soon());
+  ASSERT_TRUE(sock.valid());
+  std::uint8_t junk[32];
+  std::memset(junk, 0x77, sizeof junk);
+  ASSERT_TRUE(sock.send_all(junk, sizeof junk, soon()));
+  Frame f;
+  ASSERT_EQ(read_frame(sock, f, soon()), ReadStatus::kOk);
+  EXPECT_EQ(f.type, MsgType::kErr);
+  ErrReply err;
+  ASSERT_TRUE(ErrReply::decode(f.payload, err));
+  EXPECT_EQ(err.code, ErrCode::kBadRequest);
+  // Connection is closed after the error.
+  EXPECT_EQ(read_frame(sock, f, soon()), ReadStatus::kClosed);
+
+  // The server still answers a healthy client afterwards.
+  RefereeClient client({{"127.0.0.1", server.port()}});
+  const Fetch fetch = client.fetch(0, PartyRole::kCount, kWindow);
+  EXPECT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.count_snapshots.size(),
+            static_cast<std::size_t>(kInstances));
+}
+
+TEST(NetServer, WrongRoleRequestGetsTypedError) {
+  distributed::CountParty party(count_params(), kInstances, kSeed);
+  PartyServer server(ServerConfig{}, &party);
+  ASSERT_TRUE(server.start());
+
+  RefereeClient client({{"127.0.0.1", server.port()}});
+  const Fetch fetch = client.fetch(0, PartyRole::kDistinct, kWindow);
+  EXPECT_EQ(fetch.status, FetchStatus::kRemoteError);
+  EXPECT_EQ(fetch.attempts, 1);  // terminal: no retry can fix a wrong role
+}
+
+TEST(NetLoopback, CountParityWithInProcessReferee) {
+  const auto streams = test_bit_streams();
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<const distributed::CountParty*> query;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  for (int j = 0; j < kParties; ++j) {
+    owners.push_back(std::make_unique<distributed::CountParty>(
+        count_params(), kInstances, kSeed));
+    owners.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+    query.push_back(owners.back().get());
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    owners.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+
+  const core::Estimate direct = distributed::union_count(query, kWindow);
+
+  NetworkCountSource source(endpoints, count_params(), kInstances, kSeed);
+  distributed::WireStats stats;
+  const distributed::QueryResult tcp =
+      distributed::union_count(source, kWindow, &stats);
+
+  ASSERT_EQ(tcp.status, distributed::QueryStatus::kOk);
+  EXPECT_EQ(tcp.estimate.value, direct.value);  // bit-identical
+  EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(kParties));
+  EXPECT_GT(stats.bytes, 0u);
+
+  // Sub-window queries agree too.
+  const core::Estimate direct_half =
+      distributed::union_count(query, kWindow / 2);
+  const distributed::QueryResult tcp_half =
+      distributed::union_count(source, kWindow / 2);
+  ASSERT_EQ(tcp_half.status, distributed::QueryStatus::kOk);
+  EXPECT_EQ(tcp_half.estimate.value, direct_half.value);
+}
+
+TEST(NetLoopback, DistinctParityWithInProcessReferee) {
+  std::vector<std::unique_ptr<distributed::DistinctParty>> owners;
+  std::vector<const distributed::DistinctParty*> query;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  for (int j = 0; j < kParties; ++j) {
+    owners.push_back(std::make_unique<distributed::DistinctParty>(
+        distinct_params(), kInstances, kSeed));
+    stream::ZipfValues gen(1u << 12, 1.2,
+                           100 + static_cast<std::uint64_t>(j));
+    owners.back()->observe_batch(stream::take(gen, kItems));
+    query.push_back(owners.back().get());
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    owners.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+
+  const core::Estimate direct = distributed::distinct_count(query, kWindow);
+
+  NetworkDistinctSource source(endpoints, distinct_params(), kInstances,
+                               kSeed);
+  const distributed::QueryResult tcp =
+      distributed::distinct_count(source, kWindow);
+
+  ASSERT_EQ(tcp.status, distributed::QueryStatus::kOk);
+  EXPECT_EQ(tcp.estimate.value, direct.value);
+}
+
+TEST(NetLoopback, TotalsParityAndConcurrentFanout) {
+  // Scenario 1 over TCP: four sum parties; the referee's total must equal
+  // the sum of the parties' own window estimates, bit for bit.
+  constexpr std::uint64_t kMaxValue = 200;
+  std::vector<std::unique_ptr<SumPartyState>> states;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  double expected = 0.0;
+  for (int j = 0; j < kParties; ++j) {
+    states.push_back(std::make_unique<SumPartyState>(4, kWindow, kMaxValue));
+    stream::UniformValues gen(0, kMaxValue,
+                              300 + static_cast<std::uint64_t>(j));
+    const auto values = stream::take(gen, kItems);
+    states.back()->observe_batch(values);
+    expected += states.back()->query(kWindow).value;
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    states.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+
+  const RefereeClient client(endpoints);
+  const distributed::QueryResult r =
+      total_query(client, PartyRole::kSum, kWindow, kMaxValue);
+  ASSERT_EQ(r.status, distributed::QueryStatus::kOk);
+  EXPECT_EQ(r.estimate.value, expected);
+  EXPECT_TRUE(r.missing.empty());
+  EXPECT_EQ(r.error_slack, 0.0);
+}
+
+TEST(NetQuorum, UnionFailsClosedWhenPartyUnreachable) {
+  const auto streams = test_bit_streams();
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  for (int j = 0; j < kParties - 1; ++j) {
+    owners.push_back(std::make_unique<distributed::CountParty>(
+        count_params(), kInstances, kSeed));
+    owners.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    owners.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  // Fourth party is down: grab a port that refuses connections by binding
+  // and immediately closing a listener.
+  std::uint16_t dead_port = 0;
+  {
+    Listener l;
+    ASSERT_TRUE(l.listen_on("127.0.0.1", 0));
+    dead_port = l.port();
+  }
+  endpoints.push_back({"127.0.0.1", dead_port});
+
+  ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(150);
+  cfg.max_attempts = 2;
+  cfg.backoff_base = std::chrono::milliseconds(5);
+  NetworkCountSource source(endpoints, count_params(), kInstances, kSeed,
+                            cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const distributed::QueryResult r =
+      distributed::union_count(source, kWindow);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(r.status, distributed::QueryStatus::kFailed);
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], static_cast<std::size_t>(kParties - 1));
+  EXPECT_NE(r.error.find("fails closed"), std::string::npos);
+  // Bounded: attempts * deadline + backoff, with slack. Never a hang.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(NetQuorum, TotalsDegradeWithWidenedError) {
+  std::vector<std::unique_ptr<BasicPartyState>> states;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  const auto streams = test_bit_streams();
+  double responders_sum = 0.0;
+  for (int j = 0; j < kParties - 1; ++j) {
+    states.push_back(std::make_unique<BasicPartyState>(4, kWindow));
+    states.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+    responders_sum += states.back()->query(kWindow).value;
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    states.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  std::uint16_t dead_port = 0;
+  {
+    Listener l;
+    ASSERT_TRUE(l.listen_on("127.0.0.1", 0));
+    dead_port = l.port();
+  }
+  endpoints.push_back({"127.0.0.1", dead_port});
+
+  ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(150);
+  cfg.max_attempts = 2;
+  cfg.backoff_base = std::chrono::milliseconds(5);
+  const RefereeClient client(endpoints, cfg);
+
+#if WAVES_OBS_ENABLED
+  const auto& cobs = obs::NetClientObs::instance();
+  const std::uint64_t retries_before = cobs.retries.value();
+  const std::uint64_t conn_errors_before = cobs.connect_errors.value();
+#endif
+
+  const distributed::QueryResult r =
+      total_query(client, PartyRole::kBasic, kWindow);
+
+  ASSERT_EQ(r.status, distributed::QueryStatus::kDegraded);
+  EXPECT_EQ(r.estimate.value, responders_sum);
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], static_cast<std::size_t>(kParties - 1));
+  // One missing party, Basic Counting: slack = 1 * n * 1.
+  EXPECT_EQ(r.error_slack, static_cast<double>(kWindow));
+
+#if WAVES_OBS_ENABLED
+  // The failed party cost at least one retry and one connect error, and
+  // both are visible in the metrics registry.
+  EXPECT_GT(cobs.retries.value(), retries_before);
+  EXPECT_GT(cobs.connect_errors.value(), conn_errors_before);
+#endif
+}
+
+TEST(NetClient, SilentServerHitsDeadlineNotHang) {
+  // A listener that accepts but never replies: every attempt must end at
+  // the deadline and the fetch must report timeout, not block forever.
+  Listener l;
+  ASSERT_TRUE(l.listen_on("127.0.0.1", 0));
+  std::jthread sink([&l](const std::stop_token& st) {
+    std::vector<Socket> held;
+    while (!st.stop_requested()) {
+      Socket s = l.accept_one(deadline_in(std::chrono::milliseconds(50)));
+      if (s.valid()) held.push_back(std::move(s));
+    }
+  });
+
+  ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(100);
+  cfg.max_attempts = 2;
+  cfg.backoff_base = std::chrono::milliseconds(5);
+  RefereeClient client({{"127.0.0.1", l.port()}}, cfg);
+
+#if WAVES_OBS_ENABLED
+  const auto& cobs = obs::NetClientObs::instance();
+  const std::uint64_t timeouts_before = cobs.timeouts.value();
+#endif
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Fetch f = client.fetch(0, PartyRole::kCount, kWindow);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(f.status, FetchStatus::kTimeout);
+  EXPECT_EQ(f.attempts, 2);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(200));  // both deadlines
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+
+#if WAVES_OBS_ENABLED
+  EXPECT_GE(cobs.timeouts.value(), timeouts_before + 2);
+#endif
+}
+
+TEST(NetClient, ParseEndpoint) {
+  Endpoint ep;
+  ASSERT_TRUE(parse_endpoint("127.0.0.1:8080", ep));
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 8080);
+  EXPECT_FALSE(parse_endpoint("127.0.0.1", ep));
+  EXPECT_FALSE(parse_endpoint(":8080", ep));
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:", ep));
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:0", ep));
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:99999", ep));
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:12ab", ep));
+}
+
+}  // namespace
+}  // namespace waves::net

@@ -236,5 +236,113 @@ TEST(Wire, DecodeFailuresIncrementErrorCounter) {
 
 #endif  // WAVES_OBS_ENABLED
 
+TEST(Varint, RejectsOverlongEncodings) {
+  // 1 padded to two bytes: 0x81 0x00 would decode to 1 in a permissive
+  // LEB128 reader; the canonical decoder must reject it so every value has
+  // exactly one accepted byte form.
+  for (const Bytes& overlong :
+       {Bytes{0x81, 0x00}, Bytes{0xFF, 0x80, 0x00}, Bytes{0x80, 0x00}}) {
+    std::size_t at = 0;
+    std::uint64_t v = 0;
+    EXPECT_FALSE(get_varint(overlong, at, v));
+    EXPECT_EQ(at, 0u);  // cursor untouched on failure
+  }
+}
+
+TEST(Varint, RejectsTenthByteOverflow) {
+  // Nine continuation bytes carry 63 bits; the 10th may only contribute
+  // bit 63. 0x02 there would be bit 64 — overflow, not silent truncation.
+  Bytes b(9, 0xFF);
+  b.push_back(0x02);
+  std::size_t at = 0;
+  std::uint64_t v = 0;
+  EXPECT_FALSE(get_varint(b, at, v));
+
+  // A continuation bit on the 10th byte can never terminate: reject.
+  Bytes cont(10, 0xFF);
+  at = 0;
+  EXPECT_FALSE(get_varint(cont, at, v));
+
+  // The canonical encoding of 2^64-1 (9 x 0xFF + 0x01) still decodes.
+  Bytes max(9, 0xFF);
+  max.push_back(0x01);
+  at = 0;
+  ASSERT_TRUE(get_varint(max, at, v));
+  EXPECT_EQ(v, ~std::uint64_t{0});
+  EXPECT_EQ(at, max.size());
+}
+
+TEST(Wire, Fixed64RoundTrip) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0},
+        std::uint64_t{0x0123456789ABCDEF}}) {
+    Bytes b;
+    put_fixed64(b, v);
+    ASSERT_EQ(b.size(), 8u);
+    std::size_t at = 0;
+    std::uint64_t out = 0;
+    ASSERT_TRUE(get_fixed64(b, at, out));
+    EXPECT_EQ(out, v);
+  }
+  Bytes short_buf(7, 0xAA);
+  std::size_t at = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(get_fixed64(short_buf, at, out));
+}
+
+TEST(Wire, SnapshotVectorRoundTripAndNoPartialOutput) {
+  std::vector<core::RandWaveSnapshot> snaps(3);
+  for (int i = 0; i < 3; ++i) {
+    auto& s = snaps[static_cast<std::size_t>(i)];
+    s.level = i;
+    s.stream_len = 1000 + static_cast<std::uint64_t>(i);
+    for (std::uint64_t p = 0; p < 20; ++p) s.positions.push_back(900 + p);
+  }
+  const Bytes enc = encode(std::span<const core::RandWaveSnapshot>(snaps));
+
+  std::vector<core::RandWaveSnapshot> out;
+  ASSERT_TRUE(decode_snapshots(enc, out));
+  ASSERT_EQ(out.size(), snaps.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_EQ(out[i].level, snaps[i].level);
+    EXPECT_EQ(out[i].positions, snaps[i].positions);
+  }
+
+  // Any truncation must leave previously decoded output untouched — the
+  // all-or-nothing contract the network referee depends on.
+  for (std::size_t cut = 0; cut < enc.size(); ++cut) {
+    Bytes truncated(enc.begin(),
+                    enc.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<core::RandWaveSnapshot> sentinel(1);
+    sentinel[0].level = -7;
+    std::vector<core::RandWaveSnapshot> probe = sentinel;
+    EXPECT_FALSE(decode_snapshots(truncated, probe));
+    EXPECT_EQ(probe.size(), sentinel.size());
+    EXPECT_EQ(probe[0].level, -7);
+  }
+}
+
+TEST(Wire, DistinctSnapshotVectorRoundTrip) {
+  std::vector<core::DistinctSnapshot> snaps(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    snaps[i].level = static_cast<int>(i);
+    snaps[i].stream_len = 500;
+    for (std::uint64_t v = 0; v < 10; ++v) {
+      snaps[i].items.push_back({v * 3 + i, 400 + v});
+    }
+  }
+  const Bytes enc = encode(std::span<const core::DistinctSnapshot>(snaps));
+  std::vector<core::DistinctSnapshot> out;
+  ASSERT_TRUE(decode_snapshots(enc, out));
+  ASSERT_EQ(out.size(), snaps.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    ASSERT_EQ(out[i].items, snaps[i].items);
+  }
+  // Trailing garbage after the vector is rejected.
+  Bytes garbage = enc;
+  garbage.push_back(0x00);
+  EXPECT_FALSE(decode_snapshots(garbage, out));
+}
+
 }  // namespace
 }  // namespace waves::distributed

@@ -1,0 +1,77 @@
+// Deterministic stream families shared by `waved` and `wavecli query
+// --local`. A loopback deployment is validated by byte-for-bit comparison
+// against an in-process referee over the *same* data, so both sides must
+// generate party i's stream identically from (role, stream-seed, party
+// count, item count). Keep any change here in lockstep with
+// tests/net_loopback_test.sh, which relies on that equality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distinct_wave.hpp"
+#include "core/rand_wave.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "stream/value_streams.hpp"
+#include "util/packed_bits.hpp"
+
+namespace waves::tools {
+
+struct FeedSpec {
+  int parties = 4;
+  std::uint64_t items = 20000;
+  std::uint64_t stream_seed = 1;
+  double density = 0.2;              // count/basic: base bit density
+  double noise = 0.05;               // count/basic: per-party extra 1s
+  std::uint64_t value_space = 1u << 16;  // distinct: values in [0..space]
+  double skew = 1.2;                 // distinct: Zipf exponent
+  std::uint64_t max_value = 1000;    // sum: values in [0..max_value]
+};
+
+/// Count/basic bit streams for every party (correlated around a shared
+/// Bernoulli base — the Scenario 3 shape). waved feeds index party_id.
+inline std::vector<util::PackedBitStream> bit_streams(const FeedSpec& spec) {
+  stream::BernoulliBits base_gen(spec.density, spec.stream_seed);
+  const std::vector<bool> base = stream::take(base_gen, spec.items);
+  return util::pack_streams(stream::correlated_streams(
+      base, spec.parties, spec.noise, spec.stream_seed + 1));
+}
+
+/// Distinct-values stream for one party (party-seeded Zipf).
+inline std::vector<std::uint64_t> value_stream(const FeedSpec& spec,
+                                               int party) {
+  stream::ZipfValues gen(spec.value_space, spec.skew,
+                         spec.stream_seed + static_cast<std::uint64_t>(party));
+  return stream::take(gen, spec.items);
+}
+
+/// Sum stream for one party (party-seeded uniform in [0..max_value]).
+inline std::vector<std::uint64_t> sum_stream(const FeedSpec& spec,
+                                             int party) {
+  stream::UniformValues gen(
+      0, spec.max_value,
+      spec.stream_seed + 31 + static_cast<std::uint64_t>(party));
+  return stream::take(gen, spec.items);
+}
+
+/// Synopsis parameters, derived the same way on both sides so the referee's
+/// locally rebuilt hash functions match the daemons' (same params + same
+/// shared seed => same stored coins).
+inline core::RandWave::Params count_params(double eps, std::uint64_t window) {
+  return core::RandWave::Params{.eps = eps, .window = window, .c = 36};
+}
+
+inline core::DistinctWave::Params distinct_params(double eps,
+                                                  std::uint64_t window,
+                                                  std::uint64_t value_space,
+                                                  int parties) {
+  return core::DistinctWave::Params{
+      .eps = eps,
+      .window = window,
+      .max_value = value_space,
+      .c = 36,
+      .universe_hint = window * static_cast<std::uint64_t>(parties)};
+}
+
+}  // namespace waves::tools

@@ -6,12 +6,32 @@
 //   wavecli nth-one  [--eps E] [--span M] [--nth K]
 //   wavecli metrics  [--format prom|json] [--parties T] [--instances K]
 //                    [--eps E] [--window N] [--items M] [--seed S]
+//   wavecli query    --mode count|distinct|basic|sum
+//                    (--connect host:port,host:port,... | --local)
+//                    [--eps E] [--window N] [--n W] [--parties T]
+//                    [--instances K] [--seed S] [--items M]
+//                    [--stream-seed S2] [--density D] [--noise X]
+//                    [--value-space V] [--skew Z] [--max-value R]
+//                    [--deadline-ms MS] [--attempts A]
 //
 // Stream modes print "<items>\t<estimate>" every --every items (default
 // 10000) and a final line on EOF. The metrics mode runs a small built-in
 // distributed simulation (union counting + distinct values over the wire
 // transport) and dumps the observability registry in Prometheus text
-// exposition or JSON. Exit code 2 on usage errors, 3 on malformed input.
+// exposition or JSON.
+//
+// The query mode is the referee of a waved deployment: --connect fans out
+// over TCP to the listed party daemons; --local rebuilds the same
+// deployment in-process from the shared feed_config streams and answers
+// without any networking. Both print the same "<status>\t<estimate>" line
+// (%.17g), so a loopback deployment is validated by literal string
+// comparison. Degraded Scenario-1 answers append missing=K slack=S; failed
+// queries (union/distinct under partial quorum) print the typed error to
+// stderr and exit 4.
+//
+// Exit code 2 on usage errors, 3 on malformed input, 4 on failed queries.
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -28,8 +48,11 @@
 #include "distributed/ingest_driver.hpp"
 #include "distributed/party.hpp"
 #include "distributed/referee.hpp"
+#include "feed_config.hpp"
 #include "gf2/gf2.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
@@ -52,6 +75,19 @@ struct Options {
   int parties = 4;
   int instances = 3;
   std::uint64_t items = 20000;
+  // query mode only:
+  double eps_raw = 0.05;  // eps before inv_eps rounding (params want it)
+  std::string qmode = "count";
+  std::string connect;
+  bool local = false;
+  std::uint64_t n = 0;  // query window; 0 = full --window
+  std::uint64_t deadline_ms = 1000;
+  int attempts = 3;
+  std::uint64_t stream_seed = 1;
+  double density = 0.2;
+  double noise = 0.05;
+  std::uint64_t value_space = 1u << 16;
+  double skew = 1.2;
 };
 
 int usage() {
@@ -61,7 +97,13 @@ int usage() {
                "[--every K] [--nth K] [--span M]\n       wavecli metrics "
                "[--format prom|json] [--parties T] [--instances K]\n"
                "               [--eps E] [--window N] [--items M] [--seed "
-               "S]\n");
+               "S]\n       wavecli query --mode count|distinct|basic|sum\n"
+               "               (--connect host:port,... | --local)\n"
+               "               [--eps E] [--window N] [--n W] [--parties T]"
+               "\n               [--instances K] [--seed S] [--items M] "
+               "[--stream-seed S2]\n               [--density D] [--noise "
+               "X] [--value-space V] [--skew Z]\n               "
+               "[--max-value R] [--deadline-ms MS] [--attempts A]\n");
   return 2;
 }
 
@@ -69,12 +111,22 @@ std::optional<Options> parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Options o;
   o.mode = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  int i = 2;
+  while (i < argc) {
     const std::string flag = argv[i];
+    // Boolean flags first; everything else takes one value.
+    if (flag == "--local") {
+      o.local = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
     const char* val = argv[i + 1];
+    i += 2;
     if (flag == "--eps") {
       const double e = std::atof(val);
       if (e <= 0.0 || e >= 1.0) return std::nullopt;
+      o.eps_raw = e;
       o.inv_eps = static_cast<std::uint64_t>(1.0 / e + 0.5);
       if (o.inv_eps < 1) o.inv_eps = 1;
     } else if (flag == "--window") {
@@ -98,7 +150,40 @@ std::optional<Options> parse(int argc, char** argv) {
       o.instances = std::atoi(val);
     } else if (flag == "--items") {
       o.items = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--mode") {
+      o.qmode = val;
+    } else if (flag == "--connect") {
+      o.connect = val;
+    } else if (flag == "--n") {
+      o.n = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--deadline-ms") {
+      o.deadline_ms = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--attempts") {
+      o.attempts = std::atoi(val);
+    } else if (flag == "--stream-seed") {
+      o.stream_seed = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--density") {
+      o.density = std::atof(val);
+    } else if (flag == "--noise") {
+      o.noise = std::atof(val);
+    } else if (flag == "--value-space") {
+      o.value_space = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--skew") {
+      o.skew = std::atof(val);
     } else {
+      return std::nullopt;
+    }
+  }
+  if (o.mode == "query") {
+    if (!o.window_set) o.window = 4096;
+    if (o.qmode != "count" && o.qmode != "distinct" && o.qmode != "basic" &&
+        o.qmode != "sum") {
+      return std::nullopt;
+    }
+    // Exactly one referee flavor: in-process reference or TCP deployment.
+    if (o.local == !o.connect.empty()) return std::nullopt;
+    if (o.parties < 1 || o.instances < 1 || o.attempts < 1 ||
+        o.deadline_ms < 1) {
       return std::nullopt;
     }
   }
@@ -171,6 +256,144 @@ int run_metrics(const Options& o) {
   return 0;
 }
 
+waves::tools::FeedSpec feed_spec(const Options& o) {
+  waves::tools::FeedSpec f;
+  f.parties = o.parties;
+  f.items = o.items;
+  f.stream_seed = o.stream_seed;
+  f.density = o.density;
+  f.noise = o.noise;
+  f.value_space = o.value_space;
+  f.skew = o.skew;
+  f.max_value = o.max_value;
+  return f;
+}
+
+/// Prints the query outcome in the format the loopback parity test diffs:
+/// "ok\t<estimate>" / "degraded\t<estimate>\tmissing=K\tslack=S". %.17g
+/// round-trips doubles exactly, so equal values mean equal lines.
+int print_result(const waves::distributed::QueryResult& r) {
+  using QS = waves::distributed::QueryStatus;
+  if (r.status == QS::kFailed) {
+    std::fprintf(stderr, "wavecli: query failed: %s\n", r.error.c_str());
+    return 4;
+  }
+  if (r.status == QS::kDegraded) {
+    std::printf("degraded\t%.17g\tmissing=%zu\tslack=%.17g\n",
+                r.estimate.value, r.missing.size(), r.error_slack);
+  } else {
+    std::printf("ok\t%.17g\n", r.estimate.value);
+  }
+  return 0;
+}
+
+/// The referee of a waved deployment (--connect) or its in-process
+/// reference answer over the identical feed_config streams (--local).
+int run_query(const Options& o) {
+  using namespace waves;
+  const tools::FeedSpec feed = feed_spec(o);
+  const std::uint64_t n = o.n != 0 ? o.n : o.window;
+  const std::uint64_t inv_eps = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(1.0 / o.eps_raw + 0.5));
+
+  if (o.local) {
+    if (o.qmode == "count") {
+      const auto params = tools::count_params(o.eps_raw, o.window);
+      const auto streams = tools::bit_streams(feed);
+      std::vector<std::unique_ptr<distributed::CountParty>> owners;
+      std::vector<const distributed::CountParty*> query;
+      for (int j = 0; j < o.parties; ++j) {
+        owners.push_back(std::make_unique<distributed::CountParty>(
+            params, o.instances, o.seed));
+        owners.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+        query.push_back(owners.back().get());
+      }
+      distributed::InProcessCountSource source(query, /*via_wire=*/true);
+      return print_result(distributed::union_count(source, n));
+    }
+    if (o.qmode == "distinct") {
+      const auto params = tools::distinct_params(o.eps_raw, o.window,
+                                                 o.value_space, o.parties);
+      std::vector<std::unique_ptr<distributed::DistinctParty>> owners;
+      std::vector<const distributed::DistinctParty*> query;
+      for (int j = 0; j < o.parties; ++j) {
+        owners.push_back(std::make_unique<distributed::DistinctParty>(
+            params, o.instances, o.seed));
+        owners.back()->observe_batch(tools::value_stream(feed, j));
+        query.push_back(owners.back().get());
+      }
+      distributed::InProcessDistinctSource source(query, /*via_wire=*/true);
+      return print_result(distributed::distinct_count(source, n));
+    }
+    // Scenario-1 totals: sum per-party window estimates.
+    double sum = 0.0;
+    bool exact = true;
+    if (o.qmode == "basic") {
+      const auto streams = tools::bit_streams(feed);
+      for (int j = 0; j < o.parties; ++j) {
+        net::BasicPartyState st(inv_eps, o.window);
+        st.observe_batch(streams[static_cast<std::size_t>(j)]);
+        const core::Estimate est = st.query(n);
+        sum += est.value;
+        exact = exact && est.exact;
+      }
+    } else {
+      for (int j = 0; j < o.parties; ++j) {
+        net::SumPartyState st(inv_eps, o.window, o.max_value);
+        st.observe_batch(tools::sum_stream(feed, j));
+        const core::Estimate est = st.query(n);
+        sum += est.value;
+        exact = exact && est.exact;
+      }
+    }
+    distributed::QueryResult r;
+    r.status = distributed::QueryStatus::kOk;
+    r.estimate = core::Estimate{sum, exact, n};
+    return print_result(r);
+  }
+
+  // TCP referee: one endpoint per party, comma-separated.
+  std::vector<net::Endpoint> endpoints;
+  std::string rest = o.connect;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string one = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string{}
+                                      : rest.substr(comma + 1);
+    net::Endpoint ep;
+    if (!net::parse_endpoint(one, ep)) {
+      std::fprintf(stderr, "wavecli: bad endpoint '%s'\n", one.c_str());
+      return 2;
+    }
+    endpoints.push_back(std::move(ep));
+  }
+  if (endpoints.empty()) return usage();
+
+  net::ClientConfig ccfg;
+  ccfg.request_deadline = std::chrono::milliseconds(o.deadline_ms);
+  ccfg.max_attempts = o.attempts;
+
+  if (o.qmode == "count") {
+    net::NetworkCountSource source(std::move(endpoints),
+                                   tools::count_params(o.eps_raw, o.window),
+                                   o.instances, o.seed, ccfg);
+    return print_result(distributed::union_count(source, n));
+  }
+  if (o.qmode == "distinct") {
+    net::NetworkDistinctSource source(
+        std::move(endpoints),
+        tools::distinct_params(o.eps_raw, o.window, o.value_space, o.parties),
+        o.instances, o.seed, ccfg);
+    return print_result(distributed::distinct_count(source, n));
+  }
+  const net::RefereeClient client(std::move(endpoints), ccfg);
+  if (o.qmode == "basic") {
+    return print_result(net::total_query(client, net::PartyRole::kBasic, n));
+  }
+  return print_result(
+      net::total_query(client, net::PartyRole::kSum, n, o.max_value));
+}
+
 /// Reads uint64 lines; calls consume(v) per item and flush(items) at every
 /// --every boundary and once at EOF.
 template <class Consume, class Flush>
@@ -202,6 +425,7 @@ int main(int argc, char** argv) {
   const Options& o = *opts;
 
   if (o.mode == "metrics") return run_metrics(o);
+  if (o.mode == "query") return run_query(o);
   if (o.mode == "count") {
     waves::core::DetWave w(o.inv_eps, o.window);
     return pump(

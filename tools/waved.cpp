@@ -1,0 +1,197 @@
+// waved — one party of a distributed-streams deployment as a standalone
+// TCP daemon.
+//
+//   waved --role count|distinct|basic|sum --party-id I --parties T
+//         [--port P]            listen port (default 0 = ephemeral)
+//         [--host H]            bind address (default 127.0.0.1)
+//         [--eps E] [--window N] [--instances K] [--seed S]
+//         [--items M] [--stream-seed S2] [--density D] [--noise X]
+//         [--value-space V] [--skew Z] [--max-value R]
+//         [--serve-seconds SEC] exit after SEC seconds (default: run until
+//                               SIGINT/SIGTERM)
+//
+// The daemon builds its synopsis with the deployment's shared seed (--seed;
+// the referee derives the same hash functions from it), ingests its
+// deterministic share of the feed_config stream family, prints
+//
+//   WAVED READY role=<role> party=<I> port=<P> items=<M>
+//
+// on stdout (the loopback test and any orchestrator parse this line to
+// learn the ephemeral port), then serves snapshot requests until told to
+// stop. Exit code 2 on usage errors, 1 if the listener cannot bind.
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "distributed/party.hpp"
+#include "feed_config.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  std::string role;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int party_id = 0;
+  double eps = 0.1;
+  std::uint64_t window = 4096;
+  int instances = 3;
+  std::uint64_t seed = 99;
+  double serve_seconds = 0.0;  // 0: until signaled
+  waves::tools::FeedSpec feed;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: waved --role count|distinct|basic|sum --party-id I "
+      "--parties T\n"
+      "             [--port P] [--host H] [--eps E] [--window N]\n"
+      "             [--instances K] [--seed S] [--items M] "
+      "[--stream-seed S2]\n"
+      "             [--density D] [--noise X] [--value-space V] [--skew Z]\n"
+      "             [--max-value R] [--serve-seconds SEC]\n");
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "--role") {
+      o.role = val;
+    } else if (flag == "--host") {
+      o.host = val;
+    } else if (flag == "--port") {
+      o.port = static_cast<std::uint16_t>(std::strtoul(val, nullptr, 10));
+    } else if (flag == "--party-id") {
+      o.party_id = std::atoi(val);
+    } else if (flag == "--parties") {
+      o.feed.parties = std::atoi(val);
+    } else if (flag == "--eps") {
+      o.eps = std::atof(val);
+    } else if (flag == "--window") {
+      o.window = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--instances") {
+      o.instances = std::atoi(val);
+    } else if (flag == "--seed") {
+      o.seed = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--items") {
+      o.feed.items = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--stream-seed") {
+      o.feed.stream_seed = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--density") {
+      o.feed.density = std::atof(val);
+    } else if (flag == "--noise") {
+      o.feed.noise = std::atof(val);
+    } else if (flag == "--value-space") {
+      o.feed.value_space = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--skew") {
+      o.feed.skew = std::atof(val);
+    } else if (flag == "--max-value") {
+      o.feed.max_value = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--serve-seconds") {
+      o.serve_seconds = std::atof(val);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (o.role != "count" && o.role != "distinct" && o.role != "basic" &&
+      o.role != "sum") {
+    return std::nullopt;
+  }
+  if (o.eps <= 0.0 || o.eps >= 1.0 || o.window < 1 || o.instances < 1 ||
+      o.feed.parties < 1 || o.party_id < 0 ||
+      o.party_id >= o.feed.parties) {
+    return std::nullopt;
+  }
+  return o;
+}
+
+int serve(const Options& o, waves::net::PartyServer& server,
+          std::uint64_t items) {
+  if (!server.start()) {
+    std::fprintf(stderr, "waved: cannot listen on %s:%u\n", o.host.c_str(),
+                 o.port);
+    return 1;
+  }
+  std::printf("WAVED READY role=%s party=%d port=%u items=%llu\n",
+              o.role.c_str(), o.party_id, server.port(),
+              static_cast<unsigned long long>(items));
+  std::fflush(stdout);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (o.serve_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= o.serve_seconds) {
+      break;
+    }
+  }
+  server.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) return usage();
+  const Options& o = *opts;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  using namespace waves;
+  net::ServerConfig cfg;
+  cfg.host = o.host;
+  cfg.port = o.port;
+  cfg.party_id = static_cast<std::uint64_t>(o.party_id);
+
+  if (o.role == "count") {
+    distributed::CountParty party(tools::count_params(o.eps, o.window),
+                                  o.instances, o.seed);
+    const auto streams = tools::bit_streams(o.feed);
+    party.observe_batch(streams[static_cast<std::size_t>(o.party_id)]);
+    net::PartyServer server(cfg, &party);
+    return serve(o, server, party.items_observed());
+  }
+  if (o.role == "distinct") {
+    distributed::DistinctParty party(
+        tools::distinct_params(o.eps, o.window, o.feed.value_space,
+                               o.feed.parties),
+        o.instances, o.seed);
+    const auto values = tools::value_stream(o.feed, o.party_id);
+    party.observe_batch(values);
+    net::PartyServer server(cfg, &party);
+    return serve(o, server, party.items_observed());
+  }
+
+  const std::uint64_t inv_eps =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(1.0 / o.eps + 0.5));
+  if (o.role == "basic") {
+    net::BasicPartyState party(inv_eps, o.window);
+    const auto streams = tools::bit_streams(o.feed);
+    party.observe_batch(streams[static_cast<std::size_t>(o.party_id)]);
+    net::PartyServer server(cfg, &party);
+    return serve(o, server, party.items());
+  }
+  // sum
+  net::SumPartyState party(inv_eps, o.window, o.feed.max_value);
+  const auto values = tools::sum_stream(o.feed, o.party_id);
+  party.observe_batch(values);
+  net::PartyServer server(cfg, &party);
+  return serve(o, server, party.items());
+}
