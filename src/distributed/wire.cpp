@@ -169,16 +169,22 @@ bool decode_vec(const Bytes& in, std::vector<Snapshot>& out) {
   std::size_t at = 0;
   std::uint64_t count = 0;
   if (!get_varint(in, at, count)) return false;
-  // Each instance costs at least one length byte.
+  // Each instance costs at least one length byte. That only caps `count`
+  // at the payload size (up to the 64 MiB frame limit), so grow the vector
+  // as entries actually decode instead of preallocating `count` snapshots —
+  // a corrupt count must not buy a multi-GB allocation up front.
   if (count > in.size() - at) return decode_fail();
-  std::vector<Snapshot> tmp(count);
+  std::vector<Snapshot> tmp;
+  tmp.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, 64)));
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t len = 0;
     if (!get_varint(in, at, len)) return false;
     if (len > in.size() - at) return decode_fail();
     const Bytes one(in.begin() + static_cast<std::ptrdiff_t>(at),
                     in.begin() + static_cast<std::ptrdiff_t>(at + len));
-    if (!decode(one, tmp[static_cast<std::size_t>(i)])) return false;
+    Snapshot s;
+    if (!decode(one, s)) return false;
+    tmp.push_back(std::move(s));
     at += len;
   }
   if (at != in.size()) return decode_fail();

@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <thread>
 #include <utility>
@@ -44,6 +45,11 @@ MsgType reply_type_for(PartyRole role) {
       return MsgType::kTotalReply;
   }
   return MsgType::kErr;
+}
+
+ClientConfig with_instances(ClientConfig cfg, int instances) {
+  cfg.expected_instances = instances;
+  return cfg;
 }
 
 }  // namespace
@@ -115,6 +121,14 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
               ", wanted " + role_name(role);
     return f;
   }
+  const auto expected =
+      static_cast<std::uint64_t>(std::max(cfg_.expected_instances, 0));
+  if (expected > 0 && ack.instances != expected) {
+    f.status = FetchStatus::kProtocolError;
+    f.error = "party runs " + std::to_string(ack.instances) +
+              " instances, wanted " + std::to_string(expected);
+    return f;
+  }
 
   SnapshotRequest req;
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -150,6 +164,12 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
         f.error = "bad count reply";
         return f;
       }
+      if (expected > 0 && r.snapshots.size() != expected) {
+        f.status = FetchStatus::kProtocolError;
+        f.error = "count reply has " + std::to_string(r.snapshots.size()) +
+                  " snapshots, wanted " + std::to_string(expected);
+        return f;
+      }
       f.count_snapshots = std::move(r.snapshots);
       break;
     }
@@ -159,6 +179,12 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
           r.request_id != req.request_id) {
         f.status = FetchStatus::kProtocolError;
         f.error = "bad distinct reply";
+        return f;
+      }
+      if (expected > 0 && r.snapshots.size() != expected) {
+        f.status = FetchStatus::kProtocolError;
+        f.error = "distinct reply has " + std::to_string(r.snapshots.size()) +
+                  " snapshots, wanted " + std::to_string(expected);
         return f;
       }
       f.distinct_snapshots = std::move(r.snapshots);
@@ -191,12 +217,14 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   int attempts = 0;
+  // Doubling with saturation, not a shift: --attempts is user-settable and
+  // a shift exponent past 30 is UB.
+  auto backoff = std::min(cfg_.backoff_base, cfg_.backoff_max);
   for (int a = 1; a <= cfg_.max_attempts; ++a) {
     if (a > 1) {
       obs.retries.add();
-      auto backoff = cfg_.backoff_base * (1 << (a - 2));
-      if (backoff > cfg_.backoff_max) backoff = cfg_.backoff_max;
       std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, cfg_.backoff_max);
     }
     obs.attempts.add();
     attempts = a;
@@ -254,7 +282,7 @@ NetworkCountSource::NetworkCountSource(std::vector<Endpoint> parties,
                                        int instances,
                                        std::uint64_t shared_seed,
                                        ClientConfig cfg)
-    : client_(std::move(parties), cfg),
+    : client_(std::move(parties), with_instances(cfg, instances)),
       reference_(params, instances, shared_seed) {}
 
 std::size_t NetworkCountSource::party_count() const {
@@ -280,6 +308,14 @@ std::vector<std::vector<core::RandWaveSnapshot>> NetworkCountSource::collect(
       missing.push_back(i);
       continue;
     }
+    // combine_median indexes every party's vector at [0, instances);
+    // a short reply must land in `missing`, never out-of-bounds there.
+    if (f.count_snapshots.size() !=
+        static_cast<std::size_t>(instances())) {
+      ++info.decode_failures;
+      missing.push_back(i);
+      continue;
+    }
     info.messages += f.count_snapshots.size();
     if (stats != nullptr) {
       stats->add(f.bytes_received,
@@ -293,7 +329,7 @@ std::vector<std::vector<core::RandWaveSnapshot>> NetworkCountSource::collect(
 NetworkDistinctSource::NetworkDistinctSource(
     std::vector<Endpoint> parties, const core::DistinctWave::Params& params,
     int instances, std::uint64_t shared_seed, ClientConfig cfg)
-    : client_(std::move(parties), cfg),
+    : client_(std::move(parties), with_instances(cfg, instances)),
       reference_(params, instances, shared_seed) {}
 
 std::size_t NetworkDistinctSource::party_count() const {
@@ -320,6 +356,12 @@ NetworkDistinctSource::collect(std::uint64_t n,
     info.bytes += f.bytes_received;
     if (!f.ok()) {
       if (f.status == FetchStatus::kProtocolError) ++info.decode_failures;
+      missing.push_back(i);
+      continue;
+    }
+    if (f.distinct_snapshots.size() !=
+        static_cast<std::size_t>(instances())) {
+      ++info.decode_failures;
       missing.push_back(i);
       continue;
     }

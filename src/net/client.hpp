@@ -48,6 +48,12 @@ struct ClientConfig {
   std::chrono::milliseconds backoff_base{25};
   std::chrono::milliseconds backoff_max{400};
   std::uint64_t client_id = 0;
+  // When > 0, a party whose HelloAck or snapshot reply carries a different
+  // instance count is a protocol error: combine_median indexes every
+  // party's vector at [0, instances), so a short reply that decoded fine
+  // (e.g. a daemon launched with a different --instances) must fail typed
+  // here, not out-of-bounds there. Totals (Scenario 1) leave this at 0.
+  int expected_instances = 0;
 };
 
 enum class FetchStatus {

@@ -441,6 +441,31 @@ TEST(NetQuorum, UnionFailsClosedWhenPartyUnreachable) {
   EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
+TEST(NetQuorum, InstanceCountMismatchFailsClosed) {
+  // A daemon launched with a different --instances than the referee's
+  // answers with a shorter (still well-formed) snapshot vector. That must
+  // surface as a typed protocol error and a fail-closed query — never as
+  // out-of-bounds indexing inside the median combine.
+  const auto streams = test_bit_streams();
+  distributed::CountParty party(count_params(), kInstances, kSeed);
+  party.observe_batch(streams[0]);
+  PartyServer server(ServerConfig{}, &party);
+  ASSERT_TRUE(server.start());
+  std::vector<Endpoint> endpoints{{"127.0.0.1", server.port()}};
+
+  NetworkCountSource source(endpoints, count_params(), kInstances + 2,
+                            kSeed);
+  const distributed::QueryResult r =
+      distributed::union_count(source, kWindow);
+  EXPECT_EQ(r.status, distributed::QueryStatus::kFailed);
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_NE(r.error.find("fails closed"), std::string::npos);
+
+  const Fetch fetch = source.client().fetch(0, PartyRole::kCount, kWindow);
+  EXPECT_EQ(fetch.status, FetchStatus::kProtocolError);
+  EXPECT_EQ(fetch.attempts, 1);  // terminal: retrying can't change config
+}
+
 TEST(NetQuorum, TotalsDegradeWithWidenedError) {
   std::vector<std::unique_ptr<BasicPartyState>> states;
   std::vector<std::unique_ptr<PartyServer>> servers;

@@ -66,6 +66,7 @@ struct Options {
   std::uint64_t window = 100000;
   bool window_set = false;
   std::uint64_t max_value = 1000000;
+  bool max_value_set = false;
   std::uint64_t seed = 1;
   std::uint64_t every = 10000;
   std::uint64_t nth = 1;
@@ -134,6 +135,7 @@ std::optional<Options> parse(int argc, char** argv) {
       o.window_set = true;
     } else if (flag == "--max-value") {
       o.max_value = std::strtoull(val, nullptr, 10);
+      o.max_value_set = true;
     } else if (flag == "--seed") {
       o.seed = std::strtoull(val, nullptr, 10);
     } else if (flag == "--every") {
@@ -265,7 +267,11 @@ waves::tools::FeedSpec feed_spec(const Options& o) {
   f.noise = o.noise;
   f.value_space = o.value_space;
   f.skew = o.skew;
-  f.max_value = o.max_value;
+  // Options.max_value defaults to the legacy stream-mode value (1e6);
+  // query mode must default to FeedSpec's, which waved also uses — a
+  // default-flag --connect and --local run have to generate the same sum
+  // streams (and error_slack) on both sides.
+  if (o.max_value_set) f.max_value = o.max_value;
   return f;
 }
 
@@ -339,7 +345,7 @@ int run_query(const Options& o) {
       }
     } else {
       for (int j = 0; j < o.parties; ++j) {
-        net::SumPartyState st(inv_eps, o.window, o.max_value);
+        net::SumPartyState st(inv_eps, o.window, feed.max_value);
         st.observe_batch(tools::sum_stream(feed, j));
         const core::Estimate est = st.query(n);
         sum += est.value;
@@ -391,7 +397,7 @@ int run_query(const Options& o) {
     return print_result(net::total_query(client, net::PartyRole::kBasic, n));
   }
   return print_result(
-      net::total_query(client, net::PartyRole::kSum, n, o.max_value));
+      net::total_query(client, net::PartyRole::kSum, n, feed.max_value));
 }
 
 /// Reads uint64 lines; calls consume(v) per item and flush(items) at every

@@ -42,11 +42,13 @@ struct Options {
   std::string role;
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  // Defaults mirror `wavecli query` so an all-default deployment keeps the
+  // byte-for-byte --connect/--local parity (feed defaults live in FeedSpec).
   int party_id = 0;
-  double eps = 0.1;
+  double eps = 0.05;
   std::uint64_t window = 4096;
   int instances = 3;
-  std::uint64_t seed = 99;
+  std::uint64_t seed = 1;
   double serve_seconds = 0.0;  // 0: until signaled
   waves::tools::FeedSpec feed;
 };
@@ -66,7 +68,10 @@ int usage() {
 
 std::optional<Options> parse(int argc, char** argv) {
   Options o;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; i += 2) {
+    // Every flag takes a value; a trailing flag without one is a usage
+    // error, not something to silently default.
+    if (i + 1 >= argc) return std::nullopt;
     const std::string flag = argv[i];
     const char* val = argv[i + 1];
     if (flag == "--role") {
