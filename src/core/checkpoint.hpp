@@ -43,4 +43,39 @@ struct DistinctWaveCheckpoint {
   std::vector<std::uint64_t> evicted_bounds;
 };
 
+/// One stored nonzero item of a sum-type wave: position, value, and the
+/// running total z through it. The entry's level is not stored — it is
+/// recomputable at restore time from the total before the item (z - value)
+/// with the same Theorem 3 bit trick used at insert time.
+struct SumEntryCheckpoint {
+  std::uint64_t pos = 0;
+  std::uint64_t value = 0;
+  std::uint64_t z = 0;
+};
+
+struct SumWaveCheckpoint {
+  std::uint64_t pos = 0;
+  std::uint64_t total = 0;
+  std::uint64_t discarded_z = 0;  // z1 of Fig. 5
+  /// Live entries in increasing position order.
+  std::vector<SumEntryCheckpoint> entries;
+};
+
+struct TsWaveCheckpoint {
+  std::uint64_t pos = 0;
+  std::uint64_t rank = 0;
+  std::uint64_t discarded_rank = 0;
+  /// Live (position, rank) pairs in list (rank) order; positions are
+  /// nondecreasing with possible repetitions. Replaying them in order
+  /// rebuilds the first-item segment list as a side effect.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+};
+
+struct TsSumWaveCheckpoint {
+  std::uint64_t pos = 0;
+  std::uint64_t total = 0;
+  std::uint64_t discarded_z = 0;
+  std::vector<SumEntryCheckpoint> entries;
+};
+
 }  // namespace waves::core

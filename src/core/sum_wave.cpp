@@ -32,9 +32,10 @@ SumWave::SumWave(std::uint64_t inv_eps, std::uint64_t window,
   mask_ = np - 1;
 }
 
-int SumWave::level_for(std::uint64_t value) const noexcept {
+int SumWave::level_at(std::uint64_t prior_total,
+                      std::uint64_t value) const noexcept {
   const int top = pool_.levels() - 1;
-  const std::uint64_t t = total_ & mask_;
+  const std::uint64_t t = prior_total & mask_;
   const std::uint64_t g = t + value;
   if (g > mask_) return top;  // crossed a multiple of N' = 2^d: level >= d
   const std::uint64_t h = (~t) & g & mask_;
@@ -126,6 +127,32 @@ Estimate SumWave::query(std::uint64_t n) const {
                        static_cast<double>(v2)) /
                           2.0,
                   false, n};
+}
+
+SumWaveCheckpoint SumWave::checkpoint() const {
+  SumWaveCheckpoint ck{pos_, total_, discarded_z_, {}};
+  pool_.for_each([&ck](const Entry& e) {
+    ck.entries.push_back(SumEntryCheckpoint{e.pos, e.value, e.z});
+  });
+  return ck;
+}
+
+SumWave SumWave::restore(std::uint64_t inv_eps, std::uint64_t window,
+                         std::uint64_t max_value, const SumWaveCheckpoint& ck,
+                         bool use_weak_model) {
+  SumWave w(inv_eps, window, max_value, use_weak_model);
+  w.pos_ = ck.pos;
+  w.total_ = ck.total;
+  w.discarded_z_ = ck.discarded_z;
+  // Each entry's level depends on the running total *before* the item,
+  // which the checkpoint carries implicitly as z - value; replaying in
+  // position order rebuilds every level's most-recent survivors (counts
+  // never exceed capacity, so no entry is spliced during the replay).
+  for (const SumEntryCheckpoint& e : ck.entries) {
+    w.pool_.insert(w.level_at(e.z - e.value, e.value),
+                   Entry{e.pos, e.value, e.z});
+  }
+  return w;
 }
 
 std::uint64_t SumWave::space_bits() const noexcept {

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/wave_common.hpp"
 #include "util/bitops.hpp"
 #include "util/level_pool.hpp"
@@ -63,6 +64,17 @@ class SumWave {
   /// O(log N + log R) bits.
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
 
+  /// Capture the full queryable state (cheap: O((1/eps) log(eps NR))).
+  [[nodiscard]] SumWaveCheckpoint checkpoint() const;
+
+  /// Rebuild a wave that behaves identically to the checkpointed one under
+  /// any continuation of the stream. Parameters must match the original's.
+  [[nodiscard]] static SumWave restore(std::uint64_t inv_eps,
+                                       std::uint64_t window,
+                                       std::uint64_t max_value,
+                                       const SumWaveCheckpoint& ck,
+                                       bool use_weak_model = false);
+
  private:
   struct Entry {
     std::uint64_t pos;
@@ -70,7 +82,11 @@ class SumWave {
     std::uint64_t z;  // running total through this item
   };
 
-  [[nodiscard]] int level_for(std::uint64_t value) const noexcept;
+  [[nodiscard]] int level_at(std::uint64_t prior_total,
+                             std::uint64_t value) const noexcept;
+  [[nodiscard]] int level_for(std::uint64_t value) const noexcept {
+    return level_at(total_, value);
+  }
 
   std::uint64_t inv_eps_;
   std::uint64_t window_;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/wave_common.hpp"
 #include "util/bitops.hpp"
 #include "util/level_pool.hpp"
@@ -51,6 +52,17 @@ class TsSumWave {
   [[nodiscard]] int levels() const noexcept { return pool_.levels(); }
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
 
+  /// Capture the full queryable state (cheap: O((1/eps) log(eps UR))).
+  [[nodiscard]] TsSumWaveCheckpoint checkpoint() const;
+
+  /// Rebuild a wave that behaves identically to the checkpointed one under
+  /// any continuation of the stream. Parameters must match the original's.
+  [[nodiscard]] static TsSumWave restore(std::uint64_t inv_eps,
+                                         std::uint64_t window,
+                                         std::uint64_t max_per_window,
+                                         std::uint64_t max_value,
+                                         const TsSumWaveCheckpoint& ck);
+
  private:
   struct Entry {
     std::uint64_t pos;
@@ -59,7 +71,11 @@ class TsSumWave {
   };
   static constexpr std::int32_t kNil = util::LevelPool<Entry>::kNil;
 
-  [[nodiscard]] int level_for(std::uint64_t value) const noexcept;
+  [[nodiscard]] int level_at(std::uint64_t prior_total,
+                             std::uint64_t value) const noexcept;
+  [[nodiscard]] int level_for(std::uint64_t value) const noexcept {
+    return level_at(total_, value);
+  }
   void expire_position();
   void splice_first_bookkeeping(std::int32_t victim);
   void mark_inserted(std::int32_t idx, std::uint64_t pos);

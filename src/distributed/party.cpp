@@ -94,6 +94,23 @@ std::uint64_t CountParty::space_bits() const noexcept {
   return space_bits_locked();
 }
 
+CountPartyCheckpoint CountParty::checkpoint() const {
+  const auto lock = lock_tracked(mu_, obs_);
+  CountPartyCheckpoint ck;
+  ck.cursor = waves_.empty() ? 0 : waves_.front().pos();
+  ck.waves.reserve(waves_.size());
+  for (const core::RandWave& w : waves_) ck.waves.push_back(w.checkpoint());
+  return ck;
+}
+
+void CountParty::restore(const CountPartyCheckpoint& ck) {
+  const auto lock = lock_tracked(mu_, obs_);
+  assert(ck.waves.size() == waves_.size());
+  for (std::size_t i = 0; i < waves_.size(); ++i) {
+    waves_[i].restore(ck.waves[i]);
+  }
+}
+
 DistinctParty::DistinctParty(const core::DistinctWave::Params& params,
                              int instances, std::uint64_t shared_seed)
     : field_(core::DistinctWave::field_dimension(params)) {
@@ -146,6 +163,23 @@ std::uint64_t DistinctParty::space_bits_locked() const noexcept {
 
 std::uint64_t DistinctParty::space_bits() const noexcept {
   return space_bits_locked();
+}
+
+DistinctPartyCheckpoint DistinctParty::checkpoint() const {
+  const auto lock = lock_tracked(mu_, obs_);
+  DistinctPartyCheckpoint ck;
+  ck.cursor = waves_.empty() ? 0 : waves_.front().pos();
+  ck.waves.reserve(waves_.size());
+  for (const core::DistinctWave& w : waves_) ck.waves.push_back(w.checkpoint());
+  return ck;
+}
+
+void DistinctParty::restore(const DistinctPartyCheckpoint& ck) {
+  const auto lock = lock_tracked(mu_, obs_);
+  assert(ck.waves.size() == waves_.size());
+  for (std::size_t i = 0; i < waves_.size(); ++i) {
+    waves_[i].restore(ck.waves[i]);
+  }
 }
 
 }  // namespace waves::distributed

@@ -23,6 +23,21 @@
 
 namespace waves::distributed {
 
+/// Full queryable state of a party: per-instance wave checkpoints plus the
+/// stream cursor (items consumed from the party's deterministic feed). The
+/// cursor lets a restarted daemon resume ingestion differentially — replay
+/// items [cursor, end) of the same stream and the party is behaviorally
+/// identical to one that never crashed.
+struct CountPartyCheckpoint {
+  std::uint64_t cursor = 0;
+  std::vector<core::RandWaveCheckpoint> waves;  // one per instance
+};
+
+struct DistinctPartyCheckpoint {
+  std::uint64_t cursor = 0;
+  std::vector<core::DistinctWaveCheckpoint> waves;
+};
+
 /// Scenario-3 party for Union Counting (randomized waves).
 class CountParty {
  public:
@@ -58,6 +73,15 @@ class CountParty {
   /// waves_party_* series.
   [[nodiscard]] int obs_id() const noexcept { return obs_.id(); }
 
+  /// Capture every instance plus the stream cursor (cheap: the whole party
+  /// is O(instances * (1/eps) log^2 N) bits — the point of the paper).
+  [[nodiscard]] CountPartyCheckpoint checkpoint() const;
+
+  /// Load into a freshly constructed party (same params, instances, and
+  /// shared seed — the coins replay identically). Precondition: no items
+  /// observed yet and ck.waves.size() == instances().
+  void restore(const CountPartyCheckpoint& ck);
+
  private:
   [[nodiscard]] std::uint64_t space_bits_locked() const noexcept;
 
@@ -91,6 +115,10 @@ class DistinctParty {
   [[nodiscard]] std::uint64_t items_observed() const noexcept;
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
   [[nodiscard]] int obs_id() const noexcept { return obs_.id(); }
+
+  [[nodiscard]] DistinctPartyCheckpoint checkpoint() const;
+  /// Same contract as CountParty::restore.
+  void restore(const DistinctPartyCheckpoint& ck);
 
  private:
   [[nodiscard]] std::uint64_t space_bits_locked() const noexcept;

@@ -7,6 +7,7 @@
 
 #include "net/frame.hpp"
 #include "obs/net_obs.hpp"
+#include "obs/recovery_obs.hpp"
 #include "obs/trace.hpp"
 
 namespace waves::net {
@@ -115,6 +116,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     f.error = "bad hello ack";
     return f;
   }
+  f.generation = ack.generation;
   if (ack.role != role) {
     f.status = FetchStatus::kRemoteError;
     f.error = std::string("party serves role ") + role_name(ack.role) +
@@ -155,6 +157,18 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     return f;
   }
 
+  // A reply stamped with a different epoch than the handshake means the
+  // party restarted between the two frames; its snapshot is stale.
+  auto stale = [&](std::uint64_t reply_gen) {
+    if (reply_gen == ack.generation) return false;
+    f.status = FetchStatus::kStaleGeneration;
+    f.error = "party generation moved mid-request (" +
+              std::to_string(ack.generation) + " -> " +
+              std::to_string(reply_gen) + ")";
+    f.generation = reply_gen;
+    return true;
+  };
+
   switch (role) {
     case PartyRole::kCount: {
       CountReply r;
@@ -164,6 +178,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
         f.error = "bad count reply";
         return f;
       }
+      if (stale(r.generation)) return f;
       if (expected > 0 && r.snapshots.size() != expected) {
         f.status = FetchStatus::kProtocolError;
         f.error = "count reply has " + std::to_string(r.snapshots.size()) +
@@ -181,6 +196,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
         f.error = "bad distinct reply";
         return f;
       }
+      if (stale(r.generation)) return f;
       if (expected > 0 && r.snapshots.size() != expected) {
         f.status = FetchStatus::kProtocolError;
         f.error = "distinct reply has " + std::to_string(r.snapshots.size()) +
@@ -199,6 +215,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
         f.error = "bad total reply";
         return f;
       }
+      if (stale(r.generation)) return f;
       f.total = r;
       break;
     }
@@ -217,6 +234,12 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   int attempts = 0;
+  // Generation seen on the first attempt that completed a handshake. A
+  // later attempt answering under a different epoch means the party
+  // restarted mid-fetch — its recovered state replayed the feed
+  // independently, so its snapshot is treated as stale rather than merged.
+  std::uint64_t first_generation = 0;
+  bool saw_generation = false;
   // Doubling with saturation, not a shift: --attempts is user-settable and
   // a shift exponent past 30 is UB.
   auto backoff = std::min(cfg_.backoff_base, cfg_.backoff_max);
@@ -231,6 +254,19 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
     result = attempt(party, role, n);
     sent += result.bytes_sent;
     received += result.bytes_received;
+    if (result.generation != 0 || result.status == FetchStatus::kOk) {
+      if (saw_generation && result.generation != first_generation) {
+        result.status = FetchStatus::kStaleGeneration;
+        result.error = "party restarted between attempts (generation " +
+                       std::to_string(first_generation) + " -> " +
+                       std::to_string(result.generation) + ")";
+        break;
+      }
+      if (!saw_generation) {
+        first_generation = result.generation;
+        saw_generation = true;
+      }
+    }
     if (result.status == FetchStatus::kTimeout) {
       obs.timeouts.add();
       continue;  // retryable
@@ -239,9 +275,12 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
       obs.connect_errors.add();
       continue;  // retryable
     }
-    break;  // kOk, kRemoteError, kProtocolError: terminal
+    break;  // kOk, kRemoteError, kProtocolError, kStaleGeneration: terminal
   }
   if (result.status == FetchStatus::kProtocolError) obs.protocol_errors.add();
+  if (result.status == FetchStatus::kStaleGeneration) {
+    obs::RecoveryObs::instance().generation_mismatches.add();
+  }
 
   result.attempts = attempts;
   result.bytes_sent = sent;

@@ -62,6 +62,13 @@ enum class FetchStatus {
   kConnectError,   // every attempt failed to connect
   kRemoteError,    // party answered with an Err message (terminal)
   kProtocolError,  // malformed/unexpected reply (terminal)
+  // The party's generation changed mid-fetch (it restarted between
+  // attempts, or between handshake and reply). Its answer describes a
+  // recovered replay state the round didn't ask about — stale, terminal,
+  // counted in waves_recovery_generation_mismatch_total. The caller's
+  // quorum rules apply: totals degrade with error_slack, union/distinct
+  // fail closed.
+  kStaleGeneration,
 };
 
 /// Outcome of one party fetch (after retries).
@@ -70,6 +77,8 @@ struct Fetch {
   int attempts = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  // Party epoch from the last HelloAck seen (0 if none arrived).
+  std::uint64_t generation = 0;
   std::string error;
 
   // Exactly one of these is meaningful, per the request type.

@@ -1,0 +1,221 @@
+#include "net/fault.hpp"
+
+#if WAVES_FAULTS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/recovery_obs.hpp"
+
+namespace waves::net {
+
+namespace {
+
+struct Plan {
+  bool armed = false;
+  std::uint64_t seed = 0;
+  double drop = 0.0;
+  double delay = 0.0;
+  std::uint32_t delay_ms = 0;
+  double truncate = 0.0;
+  double corrupt = 0.0;
+  double reset = 0.0;
+};
+
+std::mutex g_mu;
+Plan g_plan;                      // guarded by g_mu for (re)arming
+std::atomic<bool> g_armed{false}; // fast-path gate, set after g_plan is final
+std::atomic<std::uint64_t> g_event{0};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool parse_prob(const std::string& v, double& out) {
+  char* end = nullptr;
+  const double p = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || p < 0.0 || p > 1.0) return false;
+  out = p;
+  return true;
+}
+
+// "seed=S,drop=P,delay=P:MS,truncate=P,corrupt=P,reset=P" — keys optional,
+// any order; unknown keys reject the whole spec so typos fail loudly.
+bool parse_spec(const char* spec, Plan& out) {
+  Plan p;
+  std::string s(spec);
+  std::size_t at = 0;
+  while (at < s.size()) {
+    std::size_t comma = s.find(',', at);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string field = s.substr(at, comma - at);
+    at = comma + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      p.seed = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0') return false;
+    } else if (key == "drop") {
+      if (!parse_prob(val, p.drop)) return false;
+    } else if (key == "delay") {
+      const std::size_t colon = val.find(':');
+      if (!parse_prob(val.substr(0, colon), p.delay)) return false;
+      if (colon != std::string::npos) {
+        char* end = nullptr;
+        const unsigned long ms = std::strtoul(val.c_str() + colon + 1, &end, 10);
+        if (end == val.c_str() + colon + 1 || *end != '\0' || ms > 60'000) {
+          return false;
+        }
+        p.delay_ms = static_cast<std::uint32_t>(ms);
+      } else {
+        p.delay_ms = 10;
+      }
+    } else if (key == "truncate") {
+      if (!parse_prob(val, p.truncate)) return false;
+    } else if (key == "corrupt") {
+      if (!parse_prob(val, p.corrupt)) return false;
+    } else if (key == "reset") {
+      if (!parse_prob(val, p.reset)) return false;
+    } else {
+      return false;
+    }
+  }
+  p.armed = p.drop > 0 || p.delay > 0 || p.truncate > 0 || p.corrupt > 0 ||
+            p.reset > 0;
+  out = p;
+  return true;
+}
+
+void load_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* spec = std::getenv("WAVES_FAULTS");
+    if (spec == nullptr || *spec == '\0') return;
+    std::lock_guard<std::mutex> lk(g_mu);
+    Plan p;
+    if (parse_spec(spec, p) && p.armed) {
+      g_plan = p;
+      g_armed.store(true, std::memory_order_release);
+    }
+  });
+}
+
+Plan snapshot() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_plan;
+}
+
+void count(FaultAction a) {
+  const obs::FaultObs& fo = obs::FaultObs::instance();
+  switch (a) {
+    case FaultAction::kDrop:
+      fo.drop.add();
+      break;
+    case FaultAction::kDelay:
+      fo.delay.add();
+      break;
+    case FaultAction::kTruncate:
+      fo.truncate.add();
+      break;
+    case FaultAction::kCorrupt:
+      fo.corrupt.add();
+      break;
+    case FaultAction::kReset:
+      fo.reset.add();
+      break;
+    case FaultAction::kNone:
+      break;
+  }
+}
+
+// One draw decides the event: the kinds partition [0,1) in priority order,
+// so at most one fault fires per event and the outcome is a pure function
+// of (seed, event#).
+FaultDecision decide(const Plan& p, std::size_t len, bool allow_data_faults) {
+  const std::uint64_t word =
+      splitmix64(p.seed ^ g_event.fetch_add(1, std::memory_order_relaxed));
+  const double r = unit(word);
+  FaultDecision d;
+  double edge = p.reset;
+  if (r < edge) {
+    d.action = FaultAction::kReset;
+  } else if (r < (edge += p.drop)) {
+    d.action = FaultAction::kDrop;
+  } else if (allow_data_faults && r < (edge += p.truncate)) {
+    d.action = FaultAction::kTruncate;
+    d.offset = len > 1 ? (splitmix64(word) % (len - 1)) + 1 : 0;
+    if (len <= 1) d.action = FaultAction::kDrop;  // nothing to truncate to
+  } else if (allow_data_faults && r < (edge += p.corrupt)) {
+    d.action = FaultAction::kCorrupt;
+    d.offset = len > 0 ? splitmix64(word) % len : 0;
+    d.xor_mask = static_cast<std::uint8_t>((splitmix64(word + 1) % 255) + 1);
+    if (len == 0) d.action = FaultAction::kNone;
+  } else if (r < edge + p.delay) {
+    d.action = FaultAction::kDelay;
+  }
+  count(d.action);
+  if (d.action == FaultAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(p.delay_ms));
+    d.action = FaultAction::kNone;
+  }
+  return d;
+}
+
+}  // namespace
+
+bool arm_faults(const char* spec) {
+  load_env_once();
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (spec == nullptr || *spec == '\0') {
+    g_plan = Plan{};
+    g_armed.store(false, std::memory_order_release);
+    return true;
+  }
+  Plan p;
+  if (!parse_spec(spec, p)) return false;
+  g_plan = p;
+  g_event.store(0, std::memory_order_relaxed);
+  g_armed.store(p.armed, std::memory_order_release);
+  return true;
+}
+
+bool faults_armed() {
+  load_env_once();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+FaultDecision next_send_fault(std::size_t len) {
+  if (!faults_armed()) return {};
+  return decide(snapshot(), len, /*allow_data_faults=*/true);
+}
+
+FaultDecision next_recv_fault() {
+  if (!faults_armed()) return {};
+  return decide(snapshot(), 0, /*allow_data_faults=*/false);
+}
+
+bool next_connect_drop() {
+  if (!faults_armed()) return false;
+  const FaultDecision d = decide(snapshot(), 0, /*allow_data_faults=*/false);
+  return d.action != FaultAction::kNone;
+}
+
+}  // namespace waves::net
+
+#endif  // WAVES_FAULTS_ENABLED

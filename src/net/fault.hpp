@@ -1,0 +1,78 @@
+// Deterministic fault injection at the socket boundary.
+//
+// A FaultPlan is a seeded schedule of socket-level misbehavior — dropped
+// sends, delays, truncations, bit corruption, connection resets — armed at
+// runtime from the WAVES_FAULTS environment variable:
+//
+//   WAVES_FAULTS="seed=42,drop=0.1,delay=0.2:50,truncate=0.05,corrupt=0.05,reset=0.02"
+//
+// Each key is a probability in [0,1]; `delay` takes `prob:millis`. Every
+// I/O event draws one 64-bit word from splitmix64(seed ^ event#) and tests
+// the kinds in fixed priority order (reset > drop > truncate > corrupt >
+// delay), so the full schedule is a pure function of the seed and the
+// event sequence. Concurrent connections interleave event numbers
+// nondeterministically — single-threaded tests get exact replay, and chaos
+// scripts use probability 1.0 so every interleaving sees the same faults.
+//
+// Faults model a hostile network, not a hostile kernel: they fire before
+// bytes reach the fd (send) or before the read begins (recv), and each
+// injection is counted in waves_faults_injected_total{kind=...}.
+//
+// Compiled out entirely under -DWAVES_FAULTS=OFF (hooks become constant
+// no-ops and dead-branch away), mirroring WAVES_OBS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef WAVES_FAULTS_ENABLED
+#define WAVES_FAULTS_ENABLED 1
+#endif
+
+namespace waves::net {
+
+inline constexpr bool kFaultsEnabled = WAVES_FAULTS_ENABLED != 0;
+
+enum class FaultAction : std::uint8_t {
+  kNone,
+  kDrop,      // send: fail without writing; recv: fail without reading
+  kDelay,     // sleep delay_ms, then proceed normally
+  kTruncate,  // send a strict prefix, then fail (peer sees a short frame)
+  kCorrupt,   // flip one byte, deliver the rest intact (peer sees bad CRC)
+  kReset,     // hard-close the socket mid-operation
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  std::size_t offset = 0;     // kTruncate: bytes to send; kCorrupt: byte index
+  std::uint8_t xor_mask = 0;  // kCorrupt: nonzero mask to flip
+};
+
+#if WAVES_FAULTS_ENABLED
+
+/// Parse and arm a schedule for this process (overrides any earlier plan,
+/// including the WAVES_FAULTS env). Empty spec disarms. False on a
+/// malformed spec (plan left disarmed).
+bool arm_faults(const char* spec);
+
+/// True once a nonempty plan is armed (env is consulted on first call).
+[[nodiscard]] bool faults_armed();
+
+/// Decide the fate of one send of `len` bytes / one recv / one connect.
+/// Counts the chosen kind and performs kDelay's sleep internally (the
+/// returned action is then kNone).
+[[nodiscard]] FaultDecision next_send_fault(std::size_t len);
+[[nodiscard]] FaultDecision next_recv_fault();
+[[nodiscard]] bool next_connect_drop();
+
+#else  // hooks vanish; every call site dead-branches on kNone/false.
+
+inline bool arm_faults(const char*) { return true; }
+[[nodiscard]] inline bool faults_armed() { return false; }
+[[nodiscard]] inline FaultDecision next_send_fault(std::size_t) { return {}; }
+[[nodiscard]] inline FaultDecision next_recv_fault() { return {}; }
+[[nodiscard]] inline bool next_connect_drop() { return false; }
+
+#endif  // WAVES_FAULTS_ENABLED
+
+}  // namespace waves::net

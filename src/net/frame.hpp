@@ -25,7 +25,9 @@
 namespace waves::net {
 
 inline constexpr std::array<std::uint8_t, 4> kMagic{'W', 'A', 'V', 'E'};
-inline constexpr std::uint8_t kProtocolVersion = 1;
+// v2: HelloAck and every reply carry the party's generation (epoch) so a
+// referee can spot a mid-round restart. v1 peers are rejected at the header.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 10;
 // Generous bound: an eps=0.01 distinct snapshot set is ~MBs; 64 MiB leaves
 // room while keeping a hostile length prefix from allocating gigabytes.

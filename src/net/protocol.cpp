@@ -67,6 +67,7 @@ Bytes HelloAck::encode() const {
   put_varint(out, instances);
   put_varint(out, window);
   put_varint(out, items_observed);
+  put_varint(out, generation);
   return out;
 }
 
@@ -78,7 +79,8 @@ bool HelloAck::decode(const Bytes& in, HelloAck& out) {
       !valid_role(static_cast<std::uint8_t>(role)) ||
       !get_varint(in, at, a.party_id) || !get_varint(in, at, a.instances) ||
       !get_varint(in, at, a.window) ||
-      !get_varint(in, at, a.items_observed) || !consumed(in, at)) {
+      !get_varint(in, at, a.items_observed) ||
+      !get_varint(in, at, a.generation) || !consumed(in, at)) {
     return false;
   }
   a.role = static_cast<PartyRole>(role);
@@ -111,6 +113,7 @@ bool SnapshotRequest::decode(const Bytes& in, SnapshotRequest& out) {
 Bytes CountReply::encode() const {
   Bytes out;
   put_varint(out, request_id);
+  put_varint(out, generation);
   const Bytes snaps = distributed::encode(
       std::span<const core::RandWaveSnapshot>(snapshots));
   out.insert(out.end(), snaps.begin(), snaps.end());
@@ -120,7 +123,9 @@ Bytes CountReply::encode() const {
 bool CountReply::decode(const Bytes& in, CountReply& out) {
   CountReply r;
   std::size_t at = 0;
-  if (!get_varint(in, at, r.request_id)) return false;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, r.generation)) {
+    return false;
+  }
   // decode_snapshots consumes a whole buffer, so hand it the remainder.
   const Bytes rest(in.begin() + static_cast<std::ptrdiff_t>(at), in.end());
   if (!distributed::decode_snapshots(rest, r.snapshots)) return false;
@@ -131,6 +136,7 @@ bool CountReply::decode(const Bytes& in, CountReply& out) {
 Bytes DistinctReply::encode() const {
   Bytes out;
   put_varint(out, request_id);
+  put_varint(out, generation);
   const Bytes snaps = distributed::encode(
       std::span<const core::DistinctSnapshot>(snapshots));
   out.insert(out.end(), snaps.begin(), snaps.end());
@@ -140,7 +146,9 @@ Bytes DistinctReply::encode() const {
 bool DistinctReply::decode(const Bytes& in, DistinctReply& out) {
   DistinctReply r;
   std::size_t at = 0;
-  if (!get_varint(in, at, r.request_id)) return false;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, r.generation)) {
+    return false;
+  }
   const Bytes rest(in.begin() + static_cast<std::ptrdiff_t>(at), in.end());
   if (!distributed::decode_snapshots(rest, r.snapshots)) return false;
   out = std::move(r);
@@ -150,6 +158,7 @@ bool DistinctReply::decode(const Bytes& in, DistinctReply& out) {
 Bytes TotalReply::encode() const {
   Bytes out;
   put_varint(out, request_id);
+  put_varint(out, generation);
   put_fixed64(out, std::bit_cast<std::uint64_t>(value));
   put_varint(out, exact ? 1 : 0);
   put_varint(out, items_observed);
@@ -161,7 +170,8 @@ bool TotalReply::decode(const Bytes& in, TotalReply& out) {
   std::size_t at = 0;
   std::uint64_t bits = 0;
   std::uint64_t exact = 0;
-  if (!get_varint(in, at, r.request_id) || !get_fixed64(in, at, bits) ||
+  if (!get_varint(in, at, r.request_id) ||
+      !get_varint(in, at, r.generation) || !get_fixed64(in, at, bits) ||
       !get_varint(in, at, exact) || exact > 1 ||
       !get_varint(in, at, r.items_observed) || !consumed(in, at)) {
     return false;

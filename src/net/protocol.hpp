@@ -58,6 +58,10 @@ struct HelloAck {
   std::uint64_t instances = 0;  // median-estimator instances (0 for totals)
   std::uint64_t window = 0;
   std::uint64_t items_observed = 0;
+  // The daemon's epoch: bumped (and persisted) on every process start. A
+  // referee that sees it change between messages knows the party restarted
+  // and anything fetched under the old generation is stale.
+  std::uint64_t generation = 0;
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static bool decode(const Bytes& in, HelloAck& out);
@@ -74,6 +78,7 @@ struct SnapshotRequest {
 
 struct CountReply {
   std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;  // party epoch when this snapshot was taken
   std::vector<core::RandWaveSnapshot> snapshots;  // one per instance
 
   [[nodiscard]] Bytes encode() const;
@@ -82,6 +87,7 @@ struct CountReply {
 
 struct DistinctReply {
   std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;
   std::vector<core::DistinctSnapshot> snapshots;
 
   [[nodiscard]] Bytes encode() const;
@@ -90,6 +96,7 @@ struct DistinctReply {
 
 struct TotalReply {
   std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;
   double value = 0.0;  // crosses as a fixed64 bit pattern
   bool exact = false;
   std::uint64_t items_observed = 0;

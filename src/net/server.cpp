@@ -28,6 +28,17 @@ std::uint64_t BasicPartyState::items() const {
   return items_;
 }
 
+recovery::BasicPartyCheckpoint BasicPartyState::checkpoint() const {
+  std::lock_guard lk(mu_);
+  return recovery::BasicPartyCheckpoint{items_, wave_.checkpoint()};
+}
+
+void BasicPartyState::restore(const recovery::BasicPartyCheckpoint& ck) {
+  std::lock_guard lk(mu_);
+  wave_ = core::DetWave::restore(inv_eps_, window_, ck.wave);
+  items_ = ck.cursor;
+}
+
 void SumPartyState::observe(std::uint64_t value) {
   std::lock_guard lk(mu_);
   wave_.update(value);
@@ -48,6 +59,17 @@ core::Estimate SumPartyState::query(std::uint64_t n) const {
 std::uint64_t SumPartyState::items() const {
   std::lock_guard lk(mu_);
   return items_;
+}
+
+recovery::SumPartyCheckpoint SumPartyState::checkpoint() const {
+  std::lock_guard lk(mu_);
+  return recovery::SumPartyCheckpoint{items_, wave_.checkpoint()};
+}
+
+void SumPartyState::restore(const recovery::SumPartyCheckpoint& ck) {
+  std::lock_guard lk(mu_);
+  wave_ = core::SumWave::restore(inv_eps_, window_, max_value_, ck.wave);
+  items_ = ck.cursor;
 }
 
 PartyServer::PartyServer(ServerConfig cfg, distributed::CountParty* party)
@@ -119,10 +141,33 @@ void PartyServer::accept_loop(const std::stop_token& st) {
   }
 }
 
+void PartyServer::drain(std::chrono::milliseconds grace) {
+  // No new connections from here on.
+  if (accept_thread_.joinable()) {
+    accept_thread_.request_stop();
+    accept_thread_.join();
+  }
+  listener_.close();
+  // Let in-flight exchanges complete: handlers that are idle-waiting notice
+  // a stop within one 100ms tick; ones mid-reply finish their write.
+  const Deadline dl = deadline_in(grace);
+  for (;;) {
+    reap_finished();
+    {
+      std::lock_guard lk(conns_mu_);
+      if (conns_.empty()) break;
+    }
+    if (Clock::now() >= dl) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop();  // stragglers past the grace window are stopped the hard way
+}
+
 HelloAck PartyServer::hello_ack() const {
   HelloAck ack;
   ack.role = role_;
   ack.party_id = cfg_.party_id;
+  ack.generation = cfg_.generation;
   switch (role_) {
     case PartyRole::kCount:
       ack.instances = static_cast<std::uint64_t>(count_->instances());
@@ -164,6 +209,7 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
     case PartyRole::kCount: {
       CountReply r;
       r.request_id = req.request_id;
+      r.generation = cfg_.generation;
       r.snapshots = count_->snapshots(req.n);
       send(MsgType::kCountReply, r.encode());
       return;
@@ -171,19 +217,22 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
     case PartyRole::kDistinct: {
       DistinctReply r;
       r.request_id = req.request_id;
+      r.generation = cfg_.generation;
       r.snapshots = distinct_->snapshots(req.n);
       send(MsgType::kDistinctReply, r.encode());
       return;
     }
     case PartyRole::kBasic: {
       const core::Estimate est = basic_->query(req.n);
-      TotalReply r{req.request_id, est.value, est.exact, basic_->items()};
+      TotalReply r{req.request_id, cfg_.generation, est.value, est.exact,
+                   basic_->items()};
       send(MsgType::kTotalReply, r.encode());
       return;
     }
     case PartyRole::kSum: {
       const core::Estimate est = sum_->query(req.n);
-      TotalReply r{req.request_id, est.value, est.exact, sum_->items()};
+      TotalReply r{req.request_id, cfg_.generation, est.value, est.exact,
+                   sum_->items()};
       send(MsgType::kTotalReply, r.encode());
       return;
     }

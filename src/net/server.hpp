@@ -26,6 +26,7 @@
 #include "net/frame.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "recovery/checkpoint.hpp"
 
 namespace waves::net {
 
@@ -35,7 +36,7 @@ namespace waves::net {
 class BasicPartyState {
  public:
   BasicPartyState(std::uint64_t inv_eps, std::uint64_t window)
-      : wave_(inv_eps, window), window_(window) {}
+      : wave_(inv_eps, window), inv_eps_(inv_eps), window_(window) {}
 
   void observe(bool bit);
   void observe_batch(const util::PackedBitStream& bits);
@@ -43,9 +44,15 @@ class BasicPartyState {
   [[nodiscard]] std::uint64_t items() const;
   [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
 
+  [[nodiscard]] recovery::BasicPartyCheckpoint checkpoint() const;
+  /// Replace the wave with the checkpointed state (parameters must match
+  /// this state's construction).
+  void restore(const recovery::BasicPartyCheckpoint& ck);
+
  private:
   mutable std::mutex mu_;
   core::DetWave wave_;
+  std::uint64_t inv_eps_;
   std::uint64_t window_;
   std::uint64_t items_ = 0;
 };
@@ -55,7 +62,10 @@ class SumPartyState {
  public:
   SumPartyState(std::uint64_t inv_eps, std::uint64_t window,
                 std::uint64_t max_value)
-      : wave_(inv_eps, window, max_value), window_(window) {}
+      : wave_(inv_eps, window, max_value),
+        inv_eps_(inv_eps),
+        window_(window),
+        max_value_(max_value) {}
 
   void observe(std::uint64_t value);
   void observe_batch(std::span<const std::uint64_t> values);
@@ -63,10 +73,16 @@ class SumPartyState {
   [[nodiscard]] std::uint64_t items() const;
   [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
 
+  [[nodiscard]] recovery::SumPartyCheckpoint checkpoint() const;
+  /// Same contract as BasicPartyState::restore.
+  void restore(const recovery::SumPartyCheckpoint& ck);
+
  private:
   mutable std::mutex mu_;
   core::SumWave wave_;
+  std::uint64_t inv_eps_;
   std::uint64_t window_;
+  std::uint64_t max_value_;
   std::uint64_t items_ = 0;
 };
 
@@ -74,6 +90,9 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  // 0: ephemeral; read back via port()
   std::uint64_t party_id = 0;
+  // The daemon's epoch, advertised in HelloAck and stamped on every reply;
+  // a StateStore-backed daemon bumps and persists it at startup.
+  std::uint64_t generation = 0;
   // Per-I/O-op deadline on connection handlers; a stalled peer can hold a
   // handler thread at most this long per frame.
   std::chrono::milliseconds io_deadline{5000};
@@ -101,6 +120,10 @@ class PartyServer {
   [[nodiscard]] PartyRole role() const noexcept { return role_; }
   /// Stop accepting, join all threads, close the listener. Idempotent.
   void stop();
+  /// Graceful shutdown: stop accepting new connections immediately, then
+  /// give in-flight handlers up to `grace` to finish their current exchange
+  /// before stopping them. Used by waved's SIGTERM drain.
+  void drain(std::chrono::milliseconds grace);
 
  private:
   void accept_loop(const std::stop_token& st);

@@ -1,6 +1,9 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <vector>
+
+#include "net/fault.hpp"
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -67,6 +70,30 @@ void Socket::close() noexcept {
 
 bool Socket::send_all(const void* data, std::size_t len, Deadline dl) {
   const auto* p = static_cast<const std::uint8_t*>(data);
+  std::vector<std::uint8_t> mangled;  // only allocated when a fault fires
+  bool fail_after = false;
+  if constexpr (kFaultsEnabled) {
+    const FaultDecision f = next_send_fault(len);
+    switch (f.action) {
+      case FaultAction::kDrop:
+        return false;
+      case FaultAction::kReset:
+        close();
+        return false;
+      case FaultAction::kTruncate:
+        len = f.offset;  // deliver a strict prefix, then report failure
+        fail_after = true;
+        break;
+      case FaultAction::kCorrupt:
+        mangled.assign(p, p + len);
+        mangled[f.offset] ^= f.xor_mask;
+        p = mangled.data();
+        break;
+      case FaultAction::kDelay:
+      case FaultAction::kNone:
+        break;
+    }
+  }
   std::size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
@@ -81,11 +108,19 @@ bool Socket::send_all(const void* data, std::size_t len, Deadline dl) {
     if (n < 0 && errno == EINTR) continue;
     return false;  // peer gone or hard error
   }
-  return true;
+  return !fail_after;
 }
 
 IoResult Socket::recv_exact(void* data, std::size_t len, Deadline dl) {
   auto* p = static_cast<std::uint8_t*>(data);
+  if constexpr (kFaultsEnabled) {
+    const FaultDecision f = next_recv_fault();
+    if (f.action == FaultAction::kDrop) return IoResult::kError;
+    if (f.action == FaultAction::kReset) {
+      close();
+      return IoResult::kError;
+    }
+  }
   std::size_t got = 0;
   while (got < len) {
     const ssize_t n = ::recv(fd_, p + got, len - got, 0);
@@ -111,6 +146,9 @@ bool Socket::wait_readable(Deadline dl) {
 Socket tcp_connect(const std::string& host, std::uint16_t port, Deadline dl,
                    bool* timed_out) {
   if (timed_out != nullptr) *timed_out = false;
+  if constexpr (kFaultsEnabled) {
+    if (next_connect_drop()) return Socket{};
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

@@ -1,0 +1,27 @@
+#include "obs/recovery_obs.hpp"
+
+namespace waves::obs {
+
+const RecoveryObs& RecoveryObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const RecoveryObs o{
+      reg.counter("waves_recovery_checkpoints_written_total"),
+      reg.counter("waves_recovery_checkpoints_restored_total"),
+      reg.counter("waves_recovery_checkpoints_rejected_total"),
+      reg.counter("waves_recovery_checkpoint_bytes_total"),
+      reg.counter("waves_recovery_generation_mismatch_total")};
+  return o;
+}
+
+const FaultObs& FaultObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const FaultObs o{
+      reg.counter("waves_faults_injected_total", "kind=\"drop\""),
+      reg.counter("waves_faults_injected_total", "kind=\"delay\""),
+      reg.counter("waves_faults_injected_total", "kind=\"truncate\""),
+      reg.counter("waves_faults_injected_total", "kind=\"corrupt\""),
+      reg.counter("waves_faults_injected_total", "kind=\"reset\"")};
+  return o;
+}
+
+}  // namespace waves::obs

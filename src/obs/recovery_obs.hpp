@@ -1,0 +1,42 @@
+// Instrument bundles for crash recovery (src/recovery/) and the fault-
+// injection layer (src/net/fault.hpp).
+//
+// Families (all no-ops under WAVES_OBS=OFF, like the rest of the schema):
+//   waves_recovery_checkpoints_written_total   sealed checkpoints persisted
+//   waves_recovery_checkpoints_restored_total  successful restores
+//   waves_recovery_checkpoints_rejected_total  envelopes failing magic/
+//                                              version/kind/CRC validation
+//   waves_recovery_checkpoint_bytes_total      sealed bytes written
+//   waves_recovery_generation_mismatch_total   snapshots discarded because
+//                                              the party's generation moved
+//                                              mid-round (stale state)
+//   waves_faults_injected_total{kind="..."}    injected socket faults, by
+//                                              kind (drop/delay/truncate/
+//                                              corrupt/reset)
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace waves::obs {
+
+struct RecoveryObs {
+  const Counter& checkpoints_written;
+  const Counter& checkpoints_restored;
+  const Counter& checkpoints_rejected;
+  const Counter& checkpoint_bytes;
+  const Counter& generation_mismatches;
+
+  static const RecoveryObs& instance();
+};
+
+struct FaultObs {
+  const Counter& drop;
+  const Counter& delay;
+  const Counter& truncate;
+  const Counter& corrupt;
+  const Counter& reset;
+
+  static const FaultObs& instance();
+};
+
+}  // namespace waves::obs

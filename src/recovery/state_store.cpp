@@ -1,0 +1,163 @@
+#include "recovery/state_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "obs/recovery_obs.hpp"
+
+namespace waves::recovery {
+
+namespace {
+
+constexpr const char* kCheckpointName = "checkpoint.bin";
+constexpr const char* kGenerationName = "generation";
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Read a whole file. Returns false with `missing` set when it does not
+// exist; false with `missing` clear on a real I/O error.
+bool read_file(const std::string& path, Bytes& out, bool& missing) {
+  missing = false;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    missing = errno == ENOENT;
+    return false;
+  }
+  out.clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+StateStore::StateStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string StateStore::checkpoint_path() const {
+  return dir_ + "/" + kCheckpointName;
+}
+
+bool StateStore::prepare() {
+  if (::mkdir(dir_.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  error_ = errno_string("mkdir");
+  return false;
+}
+
+bool StateStore::write_atomic(const std::string& name, const Bytes& data) {
+  const std::string tmp = dir_ + "/" + name + ".tmp";
+  const std::string dst = dir_ + "/" + name;
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    error_ = errno_string("open tmp");
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = errno_string("write");
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    error_ = errno_string("fsync");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), dst.c_str()) != 0) {
+    error_ = errno_string("rename");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (!fsync_dir(dir_)) {
+    error_ = errno_string("fsync dir");
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t StateStore::bump_generation() {
+  std::uint64_t prev = 0;
+  Bytes raw;
+  bool missing = false;
+  if (read_file(dir_ + "/" + kGenerationName, raw, missing) && !raw.empty()) {
+    const char* first = reinterpret_cast<const char*>(raw.data());
+    // Trailing newline (or any junk) just ends the parse; an unreadable
+    // file restarts the epoch at 1, which is still a change of generation.
+    (void)std::from_chars(first, first + raw.size(), prev);
+  }
+  const std::uint64_t next = prev + 1;
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, next);
+  (void)ec;
+  Bytes text(reinterpret_cast<const std::uint8_t*>(buf),
+             reinterpret_cast<const std::uint8_t*>(end));
+  text.push_back('\n');
+  (void)write_atomic(kGenerationName, text);
+  return next;
+}
+
+bool StateStore::save(StateKind kind, std::uint64_t generation,
+                      const Bytes& body) {
+  const Bytes sealed = seal_envelope(kind, generation, body);
+  if (!write_atomic(kCheckpointName, sealed)) return false;
+  const obs::RecoveryObs& ro = obs::RecoveryObs::instance();
+  ro.checkpoints_written.add();
+  ro.checkpoint_bytes.add(sealed.size());
+  return true;
+}
+
+StateStore::LoadStatus StateStore::load(StateKind expected,
+                                        std::uint64_t& generation, Bytes& body,
+                                        OpenStatus* why) {
+  Bytes sealed;
+  bool missing = false;
+  if (!read_file(checkpoint_path(), sealed, missing)) {
+    if (missing) return LoadStatus::kMissing;
+    error_ = errno_string("read checkpoint");
+    return LoadStatus::kIoError;
+  }
+  const OpenStatus s = open_envelope(sealed, expected, generation, body);
+  if (why != nullptr) *why = s;
+  if (s != OpenStatus::kOk) {
+    error_ = std::string("checkpoint rejected: ") + open_status_name(s);
+    return LoadStatus::kRejected;
+  }
+  obs::RecoveryObs::instance().checkpoints_restored.add();
+  return LoadStatus::kOk;
+}
+
+}  // namespace waves::recovery

@@ -1,0 +1,68 @@
+// Durable on-disk home for a party daemon's checkpoint and generation.
+//
+// Layout under --state-dir:
+//   generation       ASCII decimal, rewritten atomically on every bump
+//   checkpoint.bin   one sealed envelope (see checkpoint.hpp)
+//
+// Every write is atomic and durable: write to `<name>.tmp`, fsync the file,
+// rename over the target, fsync the directory. A crash at any point leaves
+// either the old file or the new one — never a torn mix — and whatever does
+// land is still CRC-guarded, so the worst outcome of any failure is a
+// rejected checkpoint and a restart from the empty state.
+//
+// The generation number is the daemon's epoch: bumped (and persisted)
+// once per process start, advertised in HelloAck, and embedded in every
+// sealed checkpoint. A referee that sees the generation move mid-round
+// knows the party restarted and its earlier snapshot may describe a
+// different replay state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "recovery/checkpoint.hpp"
+
+namespace waves::recovery {
+
+class StateStore {
+ public:
+  explicit StateStore(std::string dir);
+
+  /// Create the directory if needed. False on I/O failure (errno in
+  /// error()); all later operations will also fail.
+  [[nodiscard]] bool prepare();
+
+  /// Read the persisted generation (0 when absent), durably write its
+  /// successor, and return it. Call once at process start.
+  [[nodiscard]] std::uint64_t bump_generation();
+
+  /// Seal `body` and atomically persist it as checkpoint.bin. Counts
+  /// waves_recovery_checkpoints_written_total / _bytes_total on success.
+  [[nodiscard]] bool save(StateKind kind, std::uint64_t generation,
+                          const Bytes& body);
+
+  enum class LoadStatus {
+    kOk,        // body/generation filled, restore counter bumped
+    kMissing,   // no checkpoint.bin — fresh start, not an error
+    kRejected,  // file exists but failed envelope validation (see why)
+    kIoError,   // read failed mid-flight
+  };
+
+  /// Read and validate checkpoint.bin. On kRejected, `why` (if non-null)
+  /// holds the envelope verdict and the rejection has been counted.
+  [[nodiscard]] LoadStatus load(StateKind expected, std::uint64_t& generation,
+                                Bytes& body, OpenStatus* why = nullptr);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string checkpoint_path() const;
+  /// Human-readable description of the last failure ("" if none).
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  [[nodiscard]] bool write_atomic(const std::string& name, const Bytes& data);
+
+  std::string dir_;
+  mutable std::string error_;
+};
+
+}  // namespace waves::recovery

@@ -8,6 +8,9 @@
 #include "core/det_wave.hpp"
 #include "core/distinct_wave.hpp"
 #include "core/rand_wave.hpp"
+#include "core/sum_wave.hpp"
+#include "core/ts_sum_wave.hpp"
+#include "core/ts_wave.hpp"
 #include "gf2/shared_randomness.hpp"
 #include "stream/generators.hpp"
 #include "stream/value_streams.hpp"
@@ -109,6 +112,118 @@ TEST(DistinctWaveCheckpointTest, ReplayAfterRestoreMatchesOriginal) {
       ASSERT_DOUBLE_EQ(restored.estimate(200).value,
                        original.estimate(200).value)
           << i;
+    }
+  }
+}
+
+class SumWaveCheckpointTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 bool>> {};
+
+TEST_P(SumWaveCheckpointTest, ReplayAfterRestoreMatchesOriginal) {
+  const auto [inv_eps, window, weak] = GetParam();
+  const std::uint64_t max_value = 50;
+  stream::UniformValues gen(0, max_value, inv_eps * 11 + window);
+  SumWave original(inv_eps, window, max_value, weak);
+  for (std::uint64_t i = 0; i < 5 * window + 13; ++i) {
+    original.update(gen.next());
+  }
+  SumWave restored = SumWave::restore(inv_eps, window, max_value,
+                                      original.checkpoint(), weak);
+  for (std::uint64_t n = 1; n <= window; n += window / 9 + 1) {
+    ASSERT_DOUBLE_EQ(restored.query(n).value, original.query(n).value);
+  }
+  for (std::uint64_t i = 0; i < 4 * window; ++i) {
+    const std::uint64_t v = gen.next();
+    original.update(v);
+    restored.update(v);
+    if (i % 23 == 0) {
+      for (std::uint64_t n : {std::uint64_t{1}, window / 2 + 1, window}) {
+        ASSERT_DOUBLE_EQ(restored.query(n).value, original.query(n).value)
+            << "i=" << i << " n=" << n;
+        ASSERT_EQ(restored.query(n).exact, original.query(n).exact);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SumWaveCheckpointTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 4, 15),
+                       ::testing::Values<std::uint64_t>(17, 64, 300),
+                       ::testing::Bool()));
+
+TEST(SumWaveCheckpointTest, EmptyAndYoungWaves) {
+  SumWave w(5, 100, 10);
+  SumWave r0 = SumWave::restore(5, 100, 10, w.checkpoint());
+  EXPECT_DOUBLE_EQ(r0.query(100).value, 0.0);
+  for (int i = 0; i < 10; ++i) w.update(7);
+  SumWave r1 = SumWave::restore(5, 100, 10, w.checkpoint());
+  EXPECT_DOUBLE_EQ(r1.query(100).value, 70.0);
+  EXPECT_EQ(r1.total(), 70u);
+}
+
+// Timestamp streams: positions advance by 0..2 per item, so positions
+// repeat; U = 4 * N safely bounds the items any window holds.
+TEST(TsWaveCheckpointTest, ReplayAfterRestoreMatchesOriginal) {
+  const std::uint64_t window = 64;
+  const std::uint64_t max_per = 4 * window;
+  stream::UniformValues step(0, 2, 17);
+  stream::BernoulliBits bits(0.6, 23);
+  TsWave original(4, window, max_per);
+  std::uint64_t pos = 1;
+  for (std::uint64_t i = 0; i < 10 * window; ++i) {
+    pos += step.next();
+    original.update(pos, bits.next());
+  }
+  TsWave restored =
+      TsWave::restore(4, window, max_per, original.checkpoint());
+  for (std::uint64_t n = 1; n <= window; n += 7) {
+    ASSERT_DOUBLE_EQ(restored.query(n).value, original.query(n).value);
+  }
+  for (std::uint64_t i = 0; i < 8 * window; ++i) {
+    pos += step.next();
+    const bool b = bits.next();
+    original.update(pos, b);
+    restored.update(pos, b);
+    if (i % 13 == 0) {
+      for (std::uint64_t n : {std::uint64_t{1}, window / 2 + 1, window}) {
+        ASSERT_DOUBLE_EQ(restored.query(n).value, original.query(n).value)
+            << "i=" << i << " n=" << n;
+        ASSERT_EQ(restored.query(n).exact, original.query(n).exact);
+      }
+    }
+  }
+}
+
+TEST(TsSumWaveCheckpointTest, ReplayAfterRestoreMatchesOriginal) {
+  const std::uint64_t window = 64;
+  const std::uint64_t max_per = 4 * window;
+  const std::uint64_t max_value = 30;
+  stream::UniformValues step(0, 2, 29);
+  stream::UniformValues vals(0, max_value, 31);
+  TsSumWave original(4, window, max_per, max_value);
+  std::uint64_t pos = 1;
+  for (std::uint64_t i = 0; i < 10 * window; ++i) {
+    pos += step.next();
+    original.update(pos, vals.next());
+  }
+  TsSumWave restored =
+      TsSumWave::restore(4, window, max_per, max_value, original.checkpoint());
+  for (std::uint64_t n = 1; n <= window; n += 7) {
+    ASSERT_DOUBLE_EQ(restored.query(n).value, original.query(n).value);
+  }
+  for (std::uint64_t i = 0; i < 8 * window; ++i) {
+    pos += step.next();
+    const std::uint64_t v = vals.next();
+    original.update(pos, v);
+    restored.update(pos, v);
+    if (i % 13 == 0) {
+      for (std::uint64_t n : {std::uint64_t{1}, window / 2 + 1, window}) {
+        ASSERT_DOUBLE_EQ(restored.query(n).value, original.query(n).value)
+            << "i=" << i << " n=" << n;
+        ASSERT_EQ(restored.query(n).exact, original.query(n).exact);
+      }
     }
   }
 }

@@ -9,6 +9,12 @@
 # quorum behavior: totals degrade (exit 0, "degraded ... missing=1"),
 # union counting fails closed (exit 4) — promptly, never a hang.
 #
+# Crash-safety legs (PR 4): SIGTERM drain exits 0 after a final durable
+# checkpoint; kill -9 mid-ingest recovers from --state-dir with parity
+# intact; a corrupt checkpoint.bin is rejected by CRC and full replay keeps
+# parity; a WAVES_FAULTS total partition fails closed and the deployment
+# answers bit-identically once faults subside.
+#
 # Usage: net_loopback_test.sh <path-to-waved> <path-to-wavecli>
 #
 # Feed parameters below must stay in lockstep with tools/feed_config.hpp
@@ -128,6 +134,123 @@ grep -q 'fails closed' "$TMP/failed.err" ||
   fail "expected a 'fails closed' diagnostic, got: $(cat "$TMP/failed.err")"
 [[ $elapsed -le 30 ]] || fail "failed query took ${elapsed}s — not bounded"
 echo "FAIL-CLOSED count: rc=4 '$(cat "$TMP/failed.err")' (${elapsed}s)"
+stop_daemons
+
+# --- Crash safety: SIGTERM drains gracefully and persists a checkpoint. ---
+STATE="$TMP/state"
+mkdir -p "$STATE"
+log="$TMP/drain.log"
+"$WAVED" --role basic --party-id 0 "${COMMON[@]}" --state-dir "$STATE/p0" \
+  >"$log" 2>&1 &
+pid=$!
+for _ in $(seq 1 200); do
+  grep -q 'WAVED READY' "$log" && break
+  sleep 0.05
+done
+grep -q 'WAVED READY' "$log" || { cat "$log" >&2; fail "drain: no READY"; }
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+[[ $rc -eq 0 ]] || fail "SIGTERM drain must exit 0, got $rc"
+grep -q 'WAVED DRAINED' "$log" || fail "drain: no DRAINED line"
+[[ -s "$STATE/p0/checkpoint.bin" ]] || fail "drain: no checkpoint written"
+echo "DRAIN basic: exit 0, checkpoint $(stat -c%s "$STATE/p0/checkpoint.bin") bytes"
+
+# --- kill -9 mid-ingest: restart recovers from the checkpoint and the ---
+# --- recovered deployment stays byte-identical to the in-process referee. ---
+rm -rf "$STATE/p0"
+log="$TMP/crash.log"
+"$WAVED" --role basic --party-id 0 "${COMMON[@]}" --state-dir "$STATE/p0" \
+  --ingest-chunk 1000 --ingest-delay-ms 100 --checkpoint-every-items 2000 \
+  >"$log" 2>&1 &
+pid=$!
+for _ in $(seq 1 200); do
+  [[ -s "$STATE/p0/checkpoint.bin" ]] && break
+  sleep 0.05
+done
+[[ -s "$STATE/p0/checkpoint.bin" ]] || fail "crash: no mid-ingest checkpoint"
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+grep -q 'WAVED READY' "$log" &&
+  fail "crash: party finished ingest before kill -9 — pacing too fast"
+
+# start_basic_with_state: four basic daemons, party 0 restarting from the
+# crashed state dir (differential replay), the rest fresh.
+start_basic_with_state() {
+  local j log port
+  PIDS=()
+  ENDPOINTS=""
+  for ((j = 0; j < PARTIES; ++j)); do
+    log="$TMP/waved_recover_${j}.log"
+    extra=()
+    [[ $j -eq 0 ]] && extra=(--state-dir "$STATE/p0")
+    "$WAVED" --role basic --party-id "$j" --port 0 "${COMMON[@]}" \
+      "${extra[@]}" >"$log" 2>&1 &
+    PIDS+=("$!")
+  done
+  for ((j = 0; j < PARTIES; ++j)); do
+    log="$TMP/waved_recover_${j}.log"
+    port=""
+    for _ in $(seq 1 200); do
+      port=$(sed -n 's/.*WAVED READY .*port=\([0-9][0-9]*\).*/\1/p' "$log")
+      [[ -n "$port" ]] && break
+      sleep 0.05
+    done
+    if [[ -z "$port" ]]; then
+      cat "$log" >&2
+      fail "recovery party $j never printed READY"
+    fi
+    ENDPOINTS="${ENDPOINTS:+$ENDPOINTS,}127.0.0.1:$port"
+  done
+}
+
+start_basic_with_state
+grep -q 'WAVED RESTORED' "$TMP/waved_recover_0.log" ||
+  fail "restarted party 0 did not restore its checkpoint"
+cursor=$(sed -n 's/.*WAVED RESTORED .*cursor=\([0-9][0-9]*\).*/\1/p' \
+  "$TMP/waved_recover_0.log")
+[[ "$cursor" -gt 0 && "$cursor" -lt 20000 ]] ||
+  fail "restored cursor $cursor should be mid-stream"
+"$WAVECLI" query --mode basic --connect "$ENDPOINTS" "${COMMON[@]}" \
+  >"$TMP/recovered.out" || fail "recovered basic query exited $?"
+diff -u "$TMP/local_basic.out" "$TMP/recovered.out" >&2 ||
+  fail "recovered deployment differs from the in-process answer"
+echo "RECOVERED basic: cursor=$cursor, parity holds"
+stop_daemons
+
+# --- Corrupt checkpoint: CRC rejects it, full replay keeps parity. ---
+printf '\xff' | dd of="$STATE/p0/checkpoint.bin" bs=1 seek=24 count=1 \
+  conv=notrunc 2>/dev/null
+start_basic_with_state
+grep -q 'WAVED CHECKPOINT REJECTED reason=bad-crc' \
+  "$TMP/waved_recover_0.log" ||
+  fail "corrupt checkpoint must be rejected with reason=bad-crc: \
+$(cat "$TMP/waved_recover_0.log")"
+"$WAVECLI" query --mode basic --connect "$ENDPOINTS" "${COMMON[@]}" \
+  >"$TMP/replayed.out" || fail "post-corruption basic query exited $?"
+diff -u "$TMP/local_basic.out" "$TMP/replayed.out" >&2 ||
+  fail "full-replay fallback differs from the in-process answer"
+echo "CORRUPT-FALLBACK basic: rejected via CRC, parity holds"
+stop_daemons
+
+# --- Fault injection: total partition fails closed; once the faults ---
+# --- subside the same daemons answer bit-identically again. ---
+start_daemons count
+set +e
+WAVES_FAULTS="seed=5,drop=1.0" \
+  "$WAVECLI" query --mode count --connect "$ENDPOINTS" "${COMMON[@]}" \
+  --deadline-ms 300 --attempts 2 >"$TMP/faulted.out" 2>"$TMP/faulted.err"
+rc=$?
+set -e
+[[ $rc -eq 4 ]] ||
+  fail "union count under drop=1.0 must fail closed with exit 4, got $rc"
+grep -q 'fails closed' "$TMP/faulted.err" ||
+  fail "expected a 'fails closed' diagnostic, got: $(cat "$TMP/faulted.err")"
+"$WAVECLI" query --mode count --connect "$ENDPOINTS" "${COMMON[@]}" \
+  >"$TMP/healed.out" || fail "post-fault count query exited $?"
+diff -u "$TMP/local_count.out" "$TMP/healed.out" >&2 ||
+  fail "answer after faults subside differs from the in-process answer"
+echo "FAULTS count: partition fails closed (rc=4), parity after healing"
 stop_daemons
 
 echo "net_loopback_test: all checks passed"

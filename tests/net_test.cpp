@@ -180,10 +180,11 @@ TEST(NetProtocol, StructsRoundTrip) {
     EXPECT_EQ(out.snapshots[1].level, 1);
   }
   {
-    TotalReply in{11, 1234.5625, true, 9999};
+    TotalReply in{11, 3, 1234.5625, true, 9999};
     TotalReply out;
     ASSERT_TRUE(TotalReply::decode(in.encode(), out));
     EXPECT_EQ(out.request_id, 11u);
+    EXPECT_EQ(out.generation, 3u);
     EXPECT_EQ(out.value, 1234.5625);  // bit pattern crossed exactly
     EXPECT_TRUE(out.exact);
     EXPECT_EQ(out.items_observed, 9999u);

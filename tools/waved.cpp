@@ -7,6 +7,10 @@
 //         [--eps E] [--window N] [--instances K] [--seed S]
 //         [--items M] [--stream-seed S2] [--density D] [--noise X]
 //         [--value-space V] [--skew Z] [--max-value R]
+//         [--state-dir DIR]     durable checkpoints + generation (epoch)
+//         [--checkpoint-every-items N]  checkpoint cadence during ingest
+//         [--ingest-chunk N]    feed N items at a time (default: all)
+//         [--ingest-delay-ms MS] pause between chunks (crash-test pacing)
 //         [--serve-seconds SEC] exit after SEC seconds (default: run until
 //                               SIGINT/SIGTERM)
 //
@@ -14,23 +18,39 @@
 // the referee derives the same hash functions from it), ingests its
 // deterministic share of the feed_config stream family, prints
 //
-//   WAVED READY role=<role> party=<I> port=<P> items=<M>
+//   WAVED READY role=<role> party=<I> port=<P> items=<M> generation=<G>
 //
 // on stdout (the loopback test and any orchestrator parse this line to
 // learn the ephemeral port), then serves snapshot requests until told to
-// stop. Exit code 2 on usage errors, 1 if the listener cannot bind.
+// stop. Exit code 2 on usage errors, 1 if the listener cannot bind or the
+// state dir is unusable.
+//
+// Crash safety: with --state-dir the daemon bumps and persists a generation
+// number at startup, restores the newest valid checkpoint (replaying only
+// items [cursor, M) of the deterministic feed — the synopsis is the state,
+// Theorems 2/5-7), checkpoints periodically and at ingest completion, and
+// on SIGTERM drains connections gracefully, writes a final checkpoint, and
+// exits 0. A corrupt or truncated checkpoint is rejected by its CRC
+// envelope (WAVED CHECKPOINT REJECTED on stdout, counted in
+// waves_recovery_checkpoints_rejected_total) and the daemon falls back to
+// replaying the feed from scratch — same answers, just a longer start.
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 
 #include "distributed/party.hpp"
 #include "feed_config.hpp"
 #include "net/server.hpp"
+#include "obs/recovery_obs.hpp"
+#include "obs/trace.hpp"
+#include "recovery/state_store.hpp"
 
 namespace {
 
@@ -50,6 +70,10 @@ struct Options {
   int instances = 3;
   std::uint64_t seed = 1;
   double serve_seconds = 0.0;  // 0: until signaled
+  std::string state_dir;       // empty: no durability
+  std::uint64_t checkpoint_every = 0;  // 0: only at ingest end / drain
+  std::uint64_t ingest_chunk = 0;      // 0: one batch
+  std::uint64_t ingest_delay_ms = 0;
   waves::tools::FeedSpec feed;
 };
 
@@ -62,7 +86,9 @@ int usage() {
       "             [--instances K] [--seed S] [--items M] "
       "[--stream-seed S2]\n"
       "             [--density D] [--noise X] [--value-space V] [--skew Z]\n"
-      "             [--max-value R] [--serve-seconds SEC]\n");
+      "             [--max-value R] [--state-dir DIR]\n"
+      "             [--checkpoint-every-items N] [--ingest-chunk N]\n"
+      "             [--ingest-delay-ms MS] [--serve-seconds SEC]\n");
   return 2;
 }
 
@@ -106,6 +132,14 @@ std::optional<Options> parse(int argc, char** argv) {
       o.feed.skew = std::atof(val);
     } else if (flag == "--max-value") {
       o.feed.max_value = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--state-dir") {
+      o.state_dir = val;
+    } else if (flag == "--checkpoint-every-items") {
+      o.checkpoint_every = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--ingest-chunk") {
+      o.ingest_chunk = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--ingest-delay-ms") {
+      o.ingest_delay_ms = std::strtoull(val, nullptr, 10);
     } else if (flag == "--serve-seconds") {
       o.serve_seconds = std::atof(val);
     } else {
@@ -124,16 +158,101 @@ std::optional<Options> parse(int argc, char** argv) {
   return o;
 }
 
+using waves::recovery::StateKind;
+using waves::recovery::StateStore;
+
+// The daemon's durability context. When --state-dir is absent every method
+// is a cheap no-op, keeping the ephemeral path identical to before.
+struct Durability {
+  std::optional<StateStore> store;
+  StateKind kind = StateKind::kCount;
+  std::uint64_t generation = 0;
+
+  [[nodiscard]] bool enabled() const { return store.has_value(); }
+};
+
+// Load + validate the checkpoint body for the daemon's role; on success
+// calls `apply(body)` which returns the restored cursor (or nullopt when
+// the body is structurally incompatible, e.g. wrong instance count).
+// Returns the items already accounted for (0 on any fallback-to-empty).
+template <typename Apply>
+std::uint64_t try_restore(Durability& dur, Apply apply) {
+  if (!dur.enabled()) return 0;
+  std::uint64_t ck_generation = 0;
+  waves::recovery::Bytes body;
+  waves::recovery::OpenStatus why{};
+  const auto status = dur.store->load(dur.kind, ck_generation, body, &why);
+  if (status == StateStore::LoadStatus::kMissing) return 0;
+  if (status != StateStore::LoadStatus::kOk) {
+    std::printf("WAVED CHECKPOINT REJECTED reason=%s\n",
+                status == StateStore::LoadStatus::kRejected
+                    ? waves::recovery::open_status_name(why)
+                    : "io-error");
+    std::fflush(stdout);
+    return 0;
+  }
+  auto span = waves::obs::Tracer::instance().start("recovery.restore");
+  const std::optional<std::uint64_t> cursor = apply(body);
+  if (!cursor) {
+    // The envelope was intact but the body doesn't fit this deployment
+    // shape (different --instances / a decode bug): same fallback as
+    // corruption, and counted the same way.
+    waves::obs::RecoveryObs::instance().checkpoints_rejected.add();
+    std::printf("WAVED CHECKPOINT REJECTED reason=bad-body\n");
+    std::fflush(stdout);
+    return 0;
+  }
+  span.set("generation", static_cast<double>(ck_generation));
+  span.set("cursor", static_cast<double>(*cursor));
+  std::printf("WAVED RESTORED generation=%llu cursor=%llu\n",
+              static_cast<unsigned long long>(ck_generation),
+              static_cast<unsigned long long>(*cursor));
+  std::fflush(stdout);
+  return *cursor;
+}
+
+// Feed items [cursor, total) through `observe(from, n)`, checkpointing via
+// `save()` every checkpoint_every items, pacing with the chunk/delay knobs.
+// A SIGTERM mid-ingest stops early after a final checkpoint; the caller
+// re-checks g_stop.
+template <typename Observe, typename Save>
+void ingest(const Options& o, std::uint64_t cursor, std::uint64_t total,
+            Observe observe, Save save) {
+  const std::uint64_t chunk =
+      o.ingest_chunk == 0 ? (total > cursor ? total - cursor : 0)
+                          : o.ingest_chunk;
+  std::uint64_t done = cursor;
+  std::uint64_t since_save = 0;
+  while (done < total && g_stop == 0) {
+    const std::uint64_t n = std::min(chunk, total - done);
+    observe(done, n);
+    done += n;
+    since_save += n;
+    if (o.checkpoint_every > 0 && since_save >= o.checkpoint_every) {
+      save();
+      since_save = 0;
+    }
+    if (o.ingest_delay_ms > 0 && done < total) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(o.ingest_delay_ms));
+    }
+  }
+  save();
+}
+
 int serve(const Options& o, waves::net::PartyServer& server,
-          std::uint64_t items) {
+          std::uint64_t items, std::uint64_t generation,
+          const std::function<void()>& save) {
   if (!server.start()) {
     std::fprintf(stderr, "waved: cannot listen on %s:%u\n", o.host.c_str(),
                  o.port);
     return 1;
   }
-  std::printf("WAVED READY role=%s party=%d port=%u items=%llu\n",
+  std::printf("WAVED READY role=%s party=%d port=%u items=%llu "
+              "generation=%llu\n",
               o.role.c_str(), o.party_id, server.port(),
-              static_cast<unsigned long long>(items));
+              static_cast<unsigned long long>(items),
+              static_cast<unsigned long long>(generation));
   std::fflush(stdout);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -145,8 +264,68 @@ int serve(const Options& o, waves::net::PartyServer& server,
       break;
     }
   }
-  server.stop();
+  // Graceful drain: no new connections, in-flight exchanges get one
+  // io-deadline tick to finish, then a final durable checkpoint.
+  server.drain(std::chrono::milliseconds(5000));
+  save();
+  std::printf("WAVED DRAINED role=%s party=%d\n", o.role.c_str(),
+              o.party_id);
+  std::fflush(stdout);
   return 0;
+}
+
+// Shared per-role driver: restore, differentially replay, serve.
+//   kind          which StateKind the role persists
+//   encode_ck     () -> sealed body bytes of the backend's current state
+//   apply_ck      (body) -> restored cursor, nullopt if incompatible
+//   observe       (from, n) feed items [from, from+n)
+//   items_now     () -> backend's item count (for the READY line)
+template <typename EncodeCk, typename ApplyCk, typename Observe,
+          typename ItemsNow>
+int run_role(const Options& o, waves::net::ServerConfig cfg,
+             waves::net::PartyServer& server, StateKind kind,
+             EncodeCk encode_ck, ApplyCk apply_ck, Observe observe,
+             ItemsNow items_now) {
+  Durability dur;
+  dur.kind = kind;
+  if (!o.state_dir.empty()) {
+    dur.store.emplace(o.state_dir);
+    if (!dur.store->prepare()) {
+      std::fprintf(stderr, "waved: state dir unusable: %s\n",
+                   dur.store->error().c_str());
+      return 1;
+    }
+    // peek_generation() already bumped and persisted the epoch; reuse it so
+    // checkpoints are sealed under the same generation HelloAck advertises.
+    dur.generation = cfg.generation;
+  }
+
+  const std::function<void()> save = [&dur, &encode_ck] {
+    if (!dur.enabled()) return;
+    if (!dur.store->save(dur.kind, dur.generation, encode_ck())) {
+      std::fprintf(stderr, "waved: checkpoint write failed: %s\n",
+                   dur.store->error().c_str());
+    }
+  };
+
+  const std::uint64_t cursor = try_restore(dur, apply_ck);
+  ingest(o, cursor, o.feed.items, observe, save);
+  if (g_stop != 0) {
+    std::printf("WAVED DRAINED role=%s party=%d\n", o.role.c_str(),
+                o.party_id);
+    std::fflush(stdout);
+    return 0;  // SIGTERM during ingest: state saved, never went READY
+  }
+  return serve(o, server, items_now(), dur.generation, save);
+}
+
+// Reads the generation before server construction so the ServerConfig can
+// carry it (the PartyServer is built by the caller of run_role).
+std::uint64_t peek_generation(const Options& o) {
+  if (o.state_dir.empty()) return 0;
+  StateStore store(o.state_dir);
+  if (!store.prepare()) return 0;
+  return store.bump_generation();
 }
 
 }  // namespace
@@ -169,9 +348,34 @@ int main(int argc, char** argv) {
     distributed::CountParty party(tools::count_params(o.eps, o.window),
                                   o.instances, o.seed);
     const auto streams = tools::bit_streams(o.feed);
-    party.observe_batch(streams[static_cast<std::size_t>(o.party_id)]);
-    net::PartyServer server(cfg, &party);
-    return serve(o, server, party.items_observed());
+    const auto& bits = streams[static_cast<std::size_t>(o.party_id)];
+    net::ServerConfig role_cfg = cfg;
+    role_cfg.generation = peek_generation(o);
+    net::PartyServer server(role_cfg, &party);
+    return run_role(
+        o, role_cfg, server, recovery::StateKind::kCount,
+        [&party] { return recovery::encode(party.checkpoint()); },
+        [&party](const recovery::Bytes& body)
+            -> std::optional<std::uint64_t> {
+          distributed::CountPartyCheckpoint ck;
+          if (!recovery::decode(body, ck) ||
+              ck.waves.size() !=
+                  static_cast<std::size_t>(party.instances())) {
+            return std::nullopt;
+          }
+          party.restore(ck);
+          return ck.cursor;
+        },
+        [&party, &bits](std::uint64_t from, std::uint64_t n) {
+          if (from == 0 && n == bits.size()) {
+            party.observe_batch(bits);
+            return;
+          }
+          for (std::uint64_t i = from; i < from + n; ++i) {
+            party.observe(bits.bit(i));
+          }
+        },
+        [&party] { return party.items_observed(); });
   }
   if (o.role == "distinct") {
     distributed::DistinctParty party(
@@ -179,9 +383,28 @@ int main(int argc, char** argv) {
                                o.feed.parties),
         o.instances, o.seed);
     const auto values = tools::value_stream(o.feed, o.party_id);
-    party.observe_batch(values);
-    net::PartyServer server(cfg, &party);
-    return serve(o, server, party.items_observed());
+    net::ServerConfig role_cfg = cfg;
+    role_cfg.generation = peek_generation(o);
+    net::PartyServer server(role_cfg, &party);
+    return run_role(
+        o, role_cfg, server, recovery::StateKind::kDistinct,
+        [&party] { return recovery::encode(party.checkpoint()); },
+        [&party](const recovery::Bytes& body)
+            -> std::optional<std::uint64_t> {
+          distributed::DistinctPartyCheckpoint ck;
+          if (!recovery::decode(body, ck) ||
+              ck.waves.size() !=
+                  static_cast<std::size_t>(party.instances())) {
+            return std::nullopt;
+          }
+          party.restore(ck);
+          return ck.cursor;
+        },
+        [&party, &values](std::uint64_t from, std::uint64_t n) {
+          party.observe_batch(std::span<const std::uint64_t>(
+              values.data() + from, static_cast<std::size_t>(n)));
+        },
+        [&party] { return party.items_observed(); });
   }
 
   const std::uint64_t inv_eps =
@@ -189,14 +412,50 @@ int main(int argc, char** argv) {
   if (o.role == "basic") {
     net::BasicPartyState party(inv_eps, o.window);
     const auto streams = tools::bit_streams(o.feed);
-    party.observe_batch(streams[static_cast<std::size_t>(o.party_id)]);
-    net::PartyServer server(cfg, &party);
-    return serve(o, server, party.items());
+    const auto& bits = streams[static_cast<std::size_t>(o.party_id)];
+    net::ServerConfig role_cfg = cfg;
+    role_cfg.generation = peek_generation(o);
+    net::PartyServer server(role_cfg, &party);
+    return run_role(
+        o, role_cfg, server, recovery::StateKind::kBasic,
+        [&party] { return recovery::encode(party.checkpoint()); },
+        [&party](const recovery::Bytes& body)
+            -> std::optional<std::uint64_t> {
+          recovery::BasicPartyCheckpoint ck;
+          if (!recovery::decode(body, ck)) return std::nullopt;
+          party.restore(ck);
+          return ck.cursor;
+        },
+        [&party, &bits](std::uint64_t from, std::uint64_t n) {
+          if (from == 0 && n == bits.size()) {
+            party.observe_batch(bits);
+            return;
+          }
+          for (std::uint64_t i = from; i < from + n; ++i) {
+            party.observe(bits.bit(i));
+          }
+        },
+        [&party] { return party.items(); });
   }
   // sum
   net::SumPartyState party(inv_eps, o.window, o.feed.max_value);
   const auto values = tools::sum_stream(o.feed, o.party_id);
-  party.observe_batch(values);
-  net::PartyServer server(cfg, &party);
-  return serve(o, server, party.items());
+  net::ServerConfig role_cfg = cfg;
+  role_cfg.generation = peek_generation(o);
+  net::PartyServer server(role_cfg, &party);
+  return run_role(
+      o, role_cfg, server, recovery::StateKind::kSum,
+      [&party] { return recovery::encode(party.checkpoint()); },
+      [&party](const recovery::Bytes& body)
+          -> std::optional<std::uint64_t> {
+        recovery::SumPartyCheckpoint ck;
+        if (!recovery::decode(body, ck)) return std::nullopt;
+        party.restore(ck);
+        return ck.cursor;
+      },
+      [&party, &values](std::uint64_t from, std::uint64_t n) {
+        party.observe_batch(std::span<const std::uint64_t>(
+            values.data() + from, static_cast<std::size_t>(n)));
+      },
+      [&party] { return party.items(); });
 }
