@@ -1,0 +1,258 @@
+// E18 — fast query path: steady-state delta snapshots vs full snapshots
+// over the real TCP transport, at t=4 and t=16 parties.
+//
+// The claim under test: once a referee has queried a deployment, the next
+// round only needs the *edit* since its mirror — bytes proportional to the
+// items ingested between rounds (Theorems 5-7 charge the synopsis transfer
+// per query; the delta path amortizes it across rounds) — plus persistent
+// connections, a decoded-snapshot cache, and parallel combine on the
+// referee. Every round is asserted bit-identical across the delta client,
+// the full (v2) client, and the in-process referee; CI checks parity == 1
+// and byte_ratio >= 5 at t=16.
+//
+// Allocation counts come from a global operator new override: the scratch-
+// buffer reuse in frame/wire/protocol should make a steady-state delta
+// round allocate strictly less than a full-snapshot round.
+//
+// JSON lines:
+//   e18_query_path    {parties, mode, rounds, bytes_per_query, query_ms,
+//                      allocs_per_query, parity}
+//   e18_delta_vs_full {parties, full_bytes, delta_bytes, byte_ratio,
+//                      full_ms, delta_ms, full_allocs, delta_allocs,
+//                      parity}
+//   e18_encode_alloc  {ops, fresh_allocs_per_op, reused_allocs_per_op}
+//
+// `--smoke` shrinks rounds and stream sizes for CI.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rand_wave.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "stream/generators.hpp"
+
+// -- allocation counting ----------------------------------------------------
+// Counts every operator new in the process; deltas across a query round
+// give allocations-per-query. Relaxed atomics: the counter is read only
+// between rounds, never raced against for exactness.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace waves {
+namespace {
+
+constexpr std::uint64_t kWindow = 1 << 14;  // matches E12b for comparability
+constexpr int kInstances = 5;
+constexpr std::uint64_t kSeed = 7;
+
+struct ModeResult {
+  double bytes_per_query = 0.0;
+  double query_ms = 0.0;
+  double allocs_per_query = 0.0;
+  bool parity = true;
+};
+
+/// One steady-state measurement: `rounds` queries against live servers,
+/// a small ingest chunk between rounds, parity checked against the
+/// in-process referee every round.
+ModeResult run_rounds(net::NetworkCountSource& source,
+                      std::vector<std::unique_ptr<distributed::CountParty>>&
+                          owners,
+                      const std::vector<const distributed::CountParty*>& ps,
+                      stream::BernoulliBits& gen, int rounds, int chunk) {
+  ModeResult res;
+  std::uint64_t bytes = 0;
+  std::uint64_t allocs = 0;
+  double seconds = 0.0;
+  bench::Stopwatch sw;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < chunk; ++i) {
+      const bool b = gen.next();
+      for (auto& o : owners) o->observe(b);
+    }
+    const core::Estimate direct = distributed::union_count(ps, kWindow);
+    distributed::WireStats stats;
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    sw.start();
+    const distributed::QueryResult q =
+        distributed::union_count(source, kWindow, &stats);
+    seconds += sw.seconds();
+    allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+    bytes += stats.bytes;
+    res.parity = res.parity &&
+                 q.status == distributed::QueryStatus::kOk &&
+                 q.estimate.value == direct.value;  // bit-identical
+  }
+  res.bytes_per_query =
+      static_cast<double>(bytes) / static_cast<double>(rounds);
+  res.query_ms = seconds * 1e3 / rounds;
+  res.allocs_per_query =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  return res;
+}
+
+void emit_mode(int t, const char* mode, int rounds, const ModeResult& r) {
+  bench::JsonLine("e18_query_path")
+      .field("parties", static_cast<std::uint64_t>(t))
+      .field("mode", mode)
+      .field("rounds", static_cast<std::uint64_t>(rounds))
+      .field("bytes_per_query", r.bytes_per_query)
+      .field("query_ms", r.query_ms)
+      .field("allocs_per_query", r.allocs_per_query)
+      .field("parity", static_cast<std::uint64_t>(r.parity ? 1 : 0))
+      .emit();
+  bench::row_line({std::to_string(t), mode, bench::fmt(r.bytes_per_query, 0),
+                   bench::fmt(r.query_ms, 3),
+                   bench::fmt(r.allocs_per_query, 0),
+                   r.parity ? "1" : "0"});
+}
+
+void e18_for_parties(int t, bool smoke) {
+  const core::RandWave::Params params{.eps = 0.2, .window = kWindow, .c = 36};
+  const std::uint64_t backlog = smoke ? kWindow : 2 * kWindow;
+  const int rounds = smoke ? 10 : 50;
+  const int chunk = 32;  // items per party between rounds: the steady state
+
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<const distributed::CountParty*> ps;
+  std::vector<std::unique_ptr<net::PartyServer>> servers;
+  std::vector<net::Endpoint> endpoints;
+  for (int j = 0; j < t; ++j) {
+    owners.push_back(
+        std::make_unique<distributed::CountParty>(params, kInstances, kSeed));
+    ps.push_back(owners.back().get());
+    servers.push_back(std::make_unique<net::PartyServer>(net::ServerConfig{},
+                                                         owners.back().get()));
+    if (!servers.back()->start()) {
+      std::fprintf(stderr, "e18: failed to start party server %d\n", j);
+      std::exit(1);
+    }
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  stream::BernoulliBits gen(0.4, 3);
+  for (std::uint64_t i = 0; i < backlog; ++i) {
+    const bool b = gen.next();
+    for (auto& o : owners) o->observe(b);
+  }
+
+  net::ClientConfig full_cfg;
+  full_cfg.delta_snapshots = false;
+  net::NetworkCountSource full(endpoints, params, kInstances, kSeed,
+                               full_cfg);
+  net::NetworkCountSource delta(endpoints, params, kInstances, kSeed);
+
+  // Warm both paths: connections established, the delta mirror bootstrapped
+  // with its one-time full fetch. Steady state starts after this.
+  (void)distributed::union_count(full, kWindow);
+  (void)distributed::union_count(delta, kWindow);
+
+  const ModeResult rf = run_rounds(full, owners, ps, gen, rounds, chunk);
+  emit_mode(t, "full", rounds, rf);
+  const ModeResult rd = run_rounds(delta, owners, ps, gen, rounds, chunk);
+  emit_mode(t, "delta", rounds, rd);
+
+  bench::JsonLine("e18_delta_vs_full")
+      .field("parties", static_cast<std::uint64_t>(t))
+      .field("full_bytes", rf.bytes_per_query)
+      .field("delta_bytes", rd.bytes_per_query)
+      .field("byte_ratio", rf.bytes_per_query /
+                               (rd.bytes_per_query > 0.0 ? rd.bytes_per_query
+                                                         : 1.0))
+      .field("full_ms", rf.query_ms)
+      .field("delta_ms", rd.query_ms)
+      .field("full_allocs", rf.allocs_per_query)
+      .field("delta_allocs", rd.allocs_per_query)
+      .field("parity",
+             static_cast<std::uint64_t>(rf.parity && rd.parity ? 1 : 0))
+      .emit();
+}
+
+// Direct evidence for the encode-buffer reuse in wire.cpp: serializing the
+// same snapshots into a fresh Bytes per call vs appending into a reused
+// buffer via encode_into. Steady state, the reused path should allocate
+// (near) nothing per op once the buffer and the per-instance scratch have
+// grown to size.
+void e18_encode_alloc() {
+  const core::RandWave::Params params{.eps = 0.2, .window = kWindow, .c = 36};
+  distributed::CountParty party(params, kInstances, kSeed);
+  stream::BernoulliBits gen(0.4, 3);
+  for (std::uint64_t i = 0; i < kWindow; ++i) party.observe(gen.next());
+  const auto snaps = party.snapshots(kWindow);
+  constexpr int kOps = 1000;
+
+  const auto measure = [&](auto&& op) {
+    op();  // warm up: scratch buffers reach steady-state capacity
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < kOps; ++i) op();
+    return static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
+                               a0) /
+           kOps;
+  };
+
+  const double fresh = measure([&] {
+    const distributed::Bytes b = distributed::encode(
+        std::span<const core::RandWaveSnapshot>(snaps));
+    if (b.empty()) std::exit(1);  // keep the encode observable
+  });
+  distributed::Bytes reused_buf;
+  const double reused = measure([&] {
+    reused_buf.clear();
+    distributed::encode_into(
+        reused_buf, std::span<const core::RandWaveSnapshot>(snaps));
+    if (reused_buf.empty()) std::exit(1);
+  });
+
+  bench::JsonLine("e18_encode_alloc")
+      .field("ops", static_cast<std::uint64_t>(kOps))
+      .field("fresh_allocs_per_op", fresh)
+      .field("reused_allocs_per_op", reused)
+      .emit();
+  bench::row_line({"encode", "fresh", bench::fmt(fresh, 2)});
+  bench::row_line({"encode", "reused", bench::fmt(reused, 2)});
+}
+
+}  // namespace
+}  // namespace waves
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  waves::bench::header(
+      "E18 fast query path: steady-state delta vs full snapshots over TCP "
+      "(t, mode, bytes/query, query_ms, allocs/query, parity)");
+  waves::bench::row_line(
+      {"t", "mode", "bytes/query", "query_ms", "allocs/query", "parity"});
+  waves::e18_for_parties(4, smoke);
+  waves::e18_for_parties(16, smoke);
+  waves::e18_encode_alloc();
+  std::printf(
+      "Expected shape: delta bytes/query track the between-round ingest "
+      "(chunk * entry cost), not the synopsis; full bytes/query match "
+      "E12b's per-query transfer. Parity must be 1 everywhere.\n");
+  return 0;
+}

@@ -14,8 +14,11 @@
 //   e17_checkpoint_size  {kind, items, checkpoint_bytes, synopsis_bits}
 //   e17_recovery_time    {kind, items, replayed_items, recover_ms,
 //                         cold_ms, parity}
+//
+// `--smoke` shrinks stream sizes for CI.
 #include <cstdio>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -31,10 +34,11 @@ namespace waves {
 namespace {
 
 constexpr std::uint64_t kWindow = 4096;
-constexpr std::uint64_t kItems = 200'000;
-constexpr std::uint64_t kCut = 150'000;  // checkpoint taken here
 constexpr std::uint64_t kSeed = 99;
 constexpr int kInstances = 3;
+// Shrunk by --smoke for CI; the size/time claims hold at either scale.
+std::uint64_t kItems = 200'000;
+std::uint64_t kCut = 150'000;  // checkpoint taken here
 
 void emit_size(const char* kind, std::uint64_t items, std::size_t sealed,
                std::uint64_t synopsis_bits) {
@@ -194,7 +198,13 @@ void e17_distinct() {
 }  // namespace
 }  // namespace waves
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      waves::kItems = 40'000;
+      waves::kCut = 30'000;
+    }
+  }
   waves::bench::header(
       "E17 checkpoint size (kind, items, sealed bytes, synopsis bits, "
       "bytes*8/bits)");

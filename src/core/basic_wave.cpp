@@ -16,6 +16,7 @@ BasicWave::BasicWave(std::uint64_t inv_eps, std::uint64_t window)
 }
 
 void BasicWave::update(bool bit) {
+  ++change_cursor_;
   ++pos_;
   if (!bit) return;
   ++rank_;
@@ -35,6 +36,7 @@ void BasicWave::update(bool bit) {
 void BasicWave::update_words(std::span<const std::uint64_t> words,
                              std::uint64_t count) {
   assert(count <= words.size() * 64);
+  ++change_cursor_;
   std::uint64_t promotions = 0, evictions = 0;
   std::size_t wi = 0;
   for (std::uint64_t remaining = count; remaining > 0; ++wi) {

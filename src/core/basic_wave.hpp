@@ -48,6 +48,12 @@ class BasicWave {
     return static_cast<int>(levels_.size());
   }
 
+  /// Monotone mutation counter: advances on every state-changing call, so
+  /// "state unchanged since cursor C" is detectable with one comparison.
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
+
   /// (position, 1-rank) pairs stored at a level, oldest first; the dummy
   /// (0, 0) entry is represented implicitly (see level_has_dummy).
   [[nodiscard]] const std::deque<std::pair<std::uint64_t, std::uint64_t>>&
@@ -64,6 +70,7 @@ class BasicWave {
   std::size_t cap_;  // 1/eps + 1
   std::uint64_t pos_ = 0;
   std::uint64_t rank_ = 0;
+  std::uint64_t change_cursor_ = 0;
   std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> levels_;
   obs::WaveIngestObs obs_{"basic"};
 };

@@ -27,6 +27,8 @@ struct DetWaveCheckpoint {
   std::uint64_t discarded_rank = 0;
   /// Live (position, rank) pairs in increasing position order.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+
+  bool operator==(const DetWaveCheckpoint&) const = default;
 };
 
 struct RandWaveCheckpoint {
@@ -34,6 +36,8 @@ struct RandWaveCheckpoint {
   /// queues[l]: positions at level l, oldest first.
   std::vector<std::vector<std::uint64_t>> queues;
   std::vector<std::uint64_t> evicted_bounds;
+
+  bool operator==(const RandWaveCheckpoint&) const = default;
 };
 
 struct DistinctWaveCheckpoint {
@@ -41,6 +45,8 @@ struct DistinctWaveCheckpoint {
   /// levels[l]: (value, latest position) pairs, oldest position first.
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> levels;
   std::vector<std::uint64_t> evicted_bounds;
+
+  bool operator==(const DistinctWaveCheckpoint&) const = default;
 };
 
 /// One stored nonzero item of a sum-type wave: position, value, and the
@@ -51,6 +57,8 @@ struct SumEntryCheckpoint {
   std::uint64_t pos = 0;
   std::uint64_t value = 0;
   std::uint64_t z = 0;
+
+  bool operator==(const SumEntryCheckpoint&) const = default;
 };
 
 struct SumWaveCheckpoint {
@@ -59,6 +67,8 @@ struct SumWaveCheckpoint {
   std::uint64_t discarded_z = 0;  // z1 of Fig. 5
   /// Live entries in increasing position order.
   std::vector<SumEntryCheckpoint> entries;
+
+  bool operator==(const SumWaveCheckpoint&) const = default;
 };
 
 struct TsWaveCheckpoint {
@@ -69,6 +79,8 @@ struct TsWaveCheckpoint {
   /// nondecreasing with possible repetitions. Replaying them in order
   /// rebuilds the first-item segment list as a side effect.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+
+  bool operator==(const TsWaveCheckpoint&) const = default;
 };
 
 struct TsSumWaveCheckpoint {
@@ -76,6 +88,8 @@ struct TsSumWaveCheckpoint {
   std::uint64_t total = 0;
   std::uint64_t discarded_z = 0;
   std::vector<SumEntryCheckpoint> entries;
+
+  bool operator==(const TsSumWaveCheckpoint&) const = default;
 };
 
 }  // namespace waves::core

@@ -36,6 +36,7 @@ DetWave::DetWave(std::uint64_t inv_eps, std::uint64_t window,
 }
 
 void DetWave::update(bool bit) {
+  ++change_cursor_;
   if (!bit) {
     // A 0-bit only moves the window; route it through the same unified
     // expiry scan as skip_zeros (the ruler advances per 1-rank, not per
@@ -65,6 +66,7 @@ void DetWave::update(bool bit) {
 }
 
 void DetWave::skip_zeros(std::uint64_t count) {
+  ++change_cursor_;
   pos_ += count;
   // Expire every entry the jump passed; at most all stored entries, each
   // O(1), and each was paid for by its own insertion.
@@ -77,6 +79,7 @@ void DetWave::skip_zeros(std::uint64_t count) {
 void DetWave::update_words(std::span<const std::uint64_t> words,
                            std::uint64_t count) {
   assert(count <= words.size() * 64);
+  ++change_cursor_;
   const auto discard = [this](const Entry& gone) {
     discarded_rank_ = gone.rank;
     obs_.on_expiry();
@@ -201,6 +204,7 @@ DetWave DetWave::restore(std::uint64_t inv_eps, std::uint64_t window,
     w.pool_.insert(w.level_of(r), Entry{p, r});
   }
   if (w.ruler_) w.ruler_->seek(ck.rank);
+  ++w.change_cursor_;
   return w;
 }
 

@@ -75,6 +75,13 @@ class DetWave {
     return discarded_rank_;
   }
 
+  /// Monotone mutation counter: advances on every state-changing call
+  /// (update / skip_zeros / update_words / restore), so delta encoders can
+  /// detect "nothing changed since cursor C" with one comparison.
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
+
   /// Live (position, rank) pairs at a level, oldest first — introspection
   /// for the Fig. 3 reproduction test. O(stored).
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
@@ -116,6 +123,7 @@ class DetWave {
   std::uint64_t pos_ = 0;
   std::uint64_t rank_ = 0;
   std::uint64_t discarded_rank_ = 0;  // r1 of Fig. 4
+  std::uint64_t change_cursor_ = 0;
   util::LevelPool<Entry> pool_;
   std::optional<util::RulerLevels> ruler_;
   std::vector<std::int32_t> slot_level_;  // slot index -> level (snapshots)

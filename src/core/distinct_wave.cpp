@@ -51,6 +51,7 @@ void DistinctWave::drop_expired(Level& lv) const {
 
 void DistinctWave::update(std::uint64_t value) {
   assert(value <= params_.max_value);
+  ++change_cursor_;
   ++pos_;
   const int hl = level_of_value(value);
   for (int l = 0; l <= hl; ++l) {
@@ -106,6 +107,37 @@ Estimate DistinctWave::estimate(std::uint64_t n) const {
   return referee_distinct_count(snap, n, hash_);
 }
 
+DistinctSnapshot snapshot_from_checkpoint(const DistinctWaveCheckpoint& ck,
+                                          std::uint64_t n,
+                                          std::uint64_t window) {
+  assert(!ck.levels.empty() && ck.levels.size() == ck.evicted_bounds.size());
+  const std::uint64_t s = ck.pos > n ? ck.pos - n + 1 : 1;
+  // checkpoint() keeps lazily-expired fronts, so the expiry rule of
+  // drop_expired is applied here instead; evicted bounds track capacity
+  // evictions only and are unaffected by expiry, so level choice matches
+  // a live wave that swept first.
+  const auto expired = [&ck, window](std::uint64_t p) {
+    return p + window <= ck.pos;
+  };
+  const int top = static_cast<int>(ck.levels.size()) - 1;
+  int lj = top;
+  for (int l = 0; l <= top; ++l) {
+    if (ck.evicted_bounds[static_cast<std::size_t>(l)] < s) {
+      lj = l;
+      break;
+    }
+  }
+  DistinctSnapshot out;
+  out.level = lj;
+  out.stream_len = ck.pos;
+  const auto& items = ck.levels[static_cast<std::size_t>(lj)];
+  out.items.reserve(items.size());
+  for (const auto& [value, p] : items) {
+    if (!expired(p)) out.items.emplace_back(value, p);
+  }
+  return out;
+}
+
 std::uint64_t DistinctWave::space_bits() const noexcept {
   const auto pos_bits = static_cast<std::uint64_t>(
       util::floor_log2(util::next_pow2_at_least(2 * params_.window)));
@@ -148,6 +180,7 @@ void DistinctWave::restore(const DistinctWaveCheckpoint& ck) {
     }
     lv.evicted_bound = ck.evicted_bounds[l];
   }
+  ++change_cursor_;
 }
 
 Estimate referee_distinct_count(

@@ -74,7 +74,13 @@ class DistinctWave {
   [[nodiscard]] Estimate estimate(std::uint64_t n) const;
 
   [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return params_.window; }
   [[nodiscard]] int top_level() const noexcept { return d_; }
+
+  /// Monotone mutation counter (see DetWave::change_cursor).
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
   [[nodiscard]] const gf2::ExpHash& hash() const noexcept { return hash_; }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return cap_; }
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
@@ -108,9 +114,18 @@ class DistinctWave {
   std::size_t cap_;
   gf2::ExpHash hash_;
   std::uint64_t pos_ = 0;
+  std::uint64_t change_cursor_ = 0;
   mutable std::vector<Level> levels_;  // expired fronts swept lazily
   obs::WaveIngestObs obs_{"distinct"};
 };
+
+/// Snapshot computed from a checkpoint — bit-identical to what
+/// `DistinctWave::snapshot(n)` would return for a wave in the checkpointed
+/// state. `checkpoint()` does not sweep lazily-expired fronts, so this
+/// applies the same expiry rule (`pos + window <= ck.pos`) both when picking
+/// the level and when emitting items.
+[[nodiscard]] DistinctSnapshot snapshot_from_checkpoint(
+    const DistinctWaveCheckpoint& ck, std::uint64_t n, std::uint64_t window);
 
 /// Referee half: levelwise union scaled by 2^l*. `predicate`, when set,
 /// restricts the count to values satisfying it (selectivity-alpha queries

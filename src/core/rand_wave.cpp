@@ -42,6 +42,7 @@ RandWave::RandWave(const Params& params, const gf2::Field& field,
 }
 
 void RandWave::update(bool bit) {
+  ++change_cursor_;
   ++pos_;
   // Fig. 6 step 2: eagerly drop the expiring position from the levels it
   // occupied (expected < 2 of them). Older expired stragglers at those
@@ -74,6 +75,7 @@ void RandWave::update(bool bit) {
 void RandWave::update_words(std::span<const std::uint64_t> words,
                             std::uint64_t count) {
   assert(count <= words.size() * 64);
+  ++change_cursor_;
   // Bit-exactness with the per-bit path hinges on one invariant of update():
   // after processing position p, no queue holds a position <= p - N (each
   // expired position q is swept at levels 0..h(q) — exactly where it was
@@ -153,6 +155,25 @@ Estimate RandWave::estimate(std::uint64_t n) const {
   return referee_union_count(snap, n, hash_);
 }
 
+RandWaveSnapshot snapshot_from_checkpoint(const RandWaveCheckpoint& ck,
+                                          std::uint64_t n) {
+  assert(!ck.queues.empty() && ck.queues.size() == ck.evicted_bounds.size());
+  const std::uint64_t s = ck.pos > n ? ck.pos - n + 1 : 1;
+  const int top = static_cast<int>(ck.queues.size()) - 1;
+  int lj = top;
+  for (int l = 0; l <= top; ++l) {
+    if (ck.evicted_bounds[static_cast<std::size_t>(l)] < s) {
+      lj = l;
+      break;
+    }
+  }
+  RandWaveSnapshot out;
+  out.level = lj;
+  out.stream_len = ck.pos;
+  out.positions = ck.queues[static_cast<std::size_t>(lj)];
+  return out;
+}
+
 std::uint64_t RandWave::space_bits() const noexcept {
   const auto pos_bits = static_cast<std::uint64_t>(d_);
   const auto nlevels = static_cast<std::uint64_t>(d_) + 1;
@@ -184,6 +205,7 @@ void RandWave::restore(const RandWaveCheckpoint& ck) {
     for (std::uint64_t p : ck.queues[l]) queues_[l].push_head(p);
   }
   evicted_bound_ = ck.evicted_bounds;
+  ++change_cursor_;
 }
 
 Estimate referee_union_count(std::span<const RandWaveSnapshot> snapshots,

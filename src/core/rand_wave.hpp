@@ -72,6 +72,11 @@ class RandWave {
   [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
   [[nodiscard]] std::uint64_t window() const noexcept { return params_.window; }
   [[nodiscard]] int top_level() const noexcept { return d_; }
+
+  /// Monotone mutation counter (see DetWave::change_cursor).
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
   [[nodiscard]] const gf2::ExpHash& hash() const noexcept { return hash_; }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return cap_; }
 
@@ -99,10 +104,18 @@ class RandWave {
   std::size_t cap_;
   gf2::ExpHash hash_;
   std::uint64_t pos_ = 0;
+  std::uint64_t change_cursor_ = 0;
   std::vector<util::RingBuffer<std::uint64_t>> queues_;   // levels 0..d
   std::vector<std::uint64_t> evicted_bound_;              // per level
   obs::WaveIngestObs obs_{"rand"};
 };
+
+/// Party-side snapshot computed from a checkpoint instead of a live wave —
+/// bit-identical to what `RandWave::snapshot(n)` would return for a wave in
+/// the checkpointed state. Lets a referee that mirrors party checkpoints
+/// (the delta query path) answer without rebuilding wave objects.
+[[nodiscard]] RandWaveSnapshot snapshot_from_checkpoint(
+    const RandWaveCheckpoint& ck, std::uint64_t n);
 
 /// Referee half of the protocol (Fig. 6 steps 2-3): snapshots from t
 /// parties with equal stream lengths, window of n items, and the shared

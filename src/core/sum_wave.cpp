@@ -46,6 +46,7 @@ int SumWave::level_at(std::uint64_t prior_total,
 
 void SumWave::update(std::uint64_t value) {
   assert(value <= max_value_);
+  ++change_cursor_;
   if (value == 0) {
     // Zero-valued items only move the window: the unified skip_zeros scan.
     skip_zeros(1);
@@ -60,6 +61,7 @@ void SumWave::update(std::uint64_t value) {
 }
 
 void SumWave::skip_zeros(std::uint64_t count) {
+  ++change_cursor_;
   pos_ += count;
   expire_through(pool_, pos_, window_,
                  [this](const Entry& gone) { discarded_z_ = gone.z; });
@@ -68,6 +70,7 @@ void SumWave::skip_zeros(std::uint64_t count) {
 void SumWave::update_words(std::span<const std::uint64_t> words,
                            std::uint64_t count) {
   assert(count <= words.size() * 64);
+  ++change_cursor_;
   const auto discard = [this](const Entry& gone) { discarded_z_ = gone.z; };
   std::size_t wi = 0;
   for (std::uint64_t remaining = count; remaining > 0; ++wi) {
@@ -152,6 +155,7 @@ SumWave SumWave::restore(std::uint64_t inv_eps, std::uint64_t window,
     w.pool_.insert(w.level_at(e.z - e.value, e.value),
                    Entry{e.pos, e.value, e.z});
   }
+  ++w.change_cursor_;
   return w;
 }
 

@@ -60,6 +60,11 @@ class SumWave {
     return discarded_z_;
   }
 
+  /// Monotone mutation counter (see DetWave::change_cursor).
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
+
   /// Theorem 3 accounting: O((1/eps)(log N + log R)) words of
   /// O(log N + log R) bits.
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
@@ -96,6 +101,7 @@ class SumWave {
   std::uint64_t pos_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t discarded_z_ = 0;  // z1 of Fig. 5
+  std::uint64_t change_cursor_ = 0;
   util::LevelPool<Entry> pool_;
 };
 

@@ -117,6 +117,7 @@ void TsSumWave::mark_inserted(std::int32_t idx, std::uint64_t pos) {
 void TsSumWave::update(std::uint64_t pos, std::uint64_t value) {
   assert(pos >= pos_ && "positions must be nondecreasing");
   assert(value <= max_value_);
+  ++change_cursor_;
   pos_ = pos;
   while (!pool_.empty() &&
          pool_.entry(pool_.head()).pos + window_ <= pos_) {
@@ -133,6 +134,7 @@ void TsSumWave::update(std::uint64_t pos, std::uint64_t value) {
 }
 
 void TsSumWave::skip_zeros(std::uint64_t count) {
+  ++change_cursor_;
   pos_ += count;
   while (!pool_.empty() && pool_.entry(pool_.head()).pos + window_ <= pos_) {
     expire_position();
@@ -200,6 +202,7 @@ TsSumWave TsSumWave::restore(std::uint64_t inv_eps, std::uint64_t window,
                                             Entry{e.pos, e.value, e.z});
     w.mark_inserted(idx, e.pos);
   }
+  ++w.change_cursor_;
   return w;
 }
 

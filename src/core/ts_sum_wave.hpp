@@ -52,6 +52,11 @@ class TsSumWave {
   [[nodiscard]] int levels() const noexcept { return pool_.levels(); }
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
 
+  /// Monotone mutation counter (see DetWave::change_cursor).
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
+
   /// Capture the full queryable state (cheap: O((1/eps) log(eps UR))).
   [[nodiscard]] TsSumWaveCheckpoint checkpoint() const;
 
@@ -87,6 +92,7 @@ class TsSumWave {
   std::uint64_t pos_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t discarded_z_ = 0;
+  std::uint64_t change_cursor_ = 0;
   util::LevelPool<Entry> pool_;
   std::vector<std::int32_t> fprev_, fnext_;
   std::vector<bool> is_first_;

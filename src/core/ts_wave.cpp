@@ -108,6 +108,7 @@ void TsWave::mark_inserted(std::int32_t idx, std::uint64_t pos) {
 
 void TsWave::update(std::uint64_t pos, bool bit) {
   assert(pos >= pos_ && "positions must be nondecreasing");
+  ++change_cursor_;
   pos_ = pos;
   // Expire whole positions that left the window. With consecutive
   // positions at most one position expires per item (O(1) worst case);
@@ -131,6 +132,7 @@ void TsWave::update(std::uint64_t pos, bool bit) {
 void TsWave::update_words(std::span<const std::uint64_t> words,
                           std::uint64_t count) {
   assert(count <= words.size() * 64);
+  ++change_cursor_;
   std::size_t wi = 0;
   for (std::uint64_t remaining = count; remaining > 0; ++wi) {
     const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
@@ -229,6 +231,7 @@ TsWave TsWave::restore(std::uint64_t inv_eps, std::uint64_t window,
     const std::int32_t idx = w.pool_.insert(j, Entry{p, r});
     w.mark_inserted(idx, p);
   }
+  ++w.change_cursor_;
   return w;
 }
 

@@ -58,6 +58,11 @@ class TsWave {
   }
   [[nodiscard]] std::uint64_t space_bits() const noexcept;
 
+  /// Monotone mutation counter (see DetWave::change_cursor).
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
+
   /// Capture the full queryable state (cheap: O((1/eps) log(eps U))).
   [[nodiscard]] TsWaveCheckpoint checkpoint() const;
 
@@ -86,6 +91,7 @@ class TsWave {
   std::uint64_t pos_ = 0;   // current (latest) position
   std::uint64_t rank_ = 0;  // number of 1-items seen
   std::uint64_t discarded_rank_ = 0;
+  std::uint64_t change_cursor_ = 0;
   util::LevelPool<Entry> pool_;
   // Segment list across the first listed item of each position.
   std::vector<std::int32_t> fprev_, fnext_;

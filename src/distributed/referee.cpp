@@ -1,6 +1,9 @@
 #include "distributed/referee.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +25,9 @@ struct RoundMetrics {
   const obs::Counter& messages;
   const obs::Histogram& bytes_h;
   const obs::Histogram& seconds_h;
+  // Worker-threads used by the parallel combine, summed over rounds;
+  // divided by rounds_total it reads as average combine parallelism.
+  const obs::Counter& combine_workers;
 
   static RoundMetrics make(const std::string& labels) {
     obs::Registry& reg = obs::Registry::instance();
@@ -31,7 +37,8 @@ struct RoundMetrics {
         reg.histogram("waves_referee_round_bytes", labels,
                       obs::bytes_buckets()),
         reg.histogram("waves_referee_round_seconds", labels,
-                      obs::latency_buckets())};
+                      obs::latency_buckets()),
+        reg.counter("waves_referee_combine_workers_total", labels)};
   }
 };
 
@@ -64,20 +71,49 @@ std::string quorum_error(const char* protocol,
   return msg;
 }
 
+// Worker count for the parallel combine: instances are independent, so up
+// to 4 threads split them. Below 4 instances the spawn cost outweighs the
+// work and the loop runs inline.
+int combine_workers(int m) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cap = static_cast<int>(std::max(1u, hw));
+  return std::min({4, m >= 4 ? m : 1, cap});
+}
+
 // Fig. 6 steps 2-3 / Sec. 5 levelwise union, per instance, then the
-// median over instances — identical for every transport.
+// median over instances — identical for every transport. Instances touch
+// disjoint per_instance slots and only read by_party and the (stateless,
+// const) combine inputs, so they parallelize over a small worker pool; slot
+// i always holds instance i's value, keeping the median deterministic
+// regardless of scheduling.
 template <class Snapshot, class Combine>
 core::Estimate combine_median(
     const std::vector<std::vector<Snapshot>>& by_party, int m,
-    std::uint64_t n, Combine&& combine) {
-  std::vector<double> per_instance;
-  per_instance.reserve(static_cast<std::size_t>(m));
-  std::vector<Snapshot> inst(by_party.size());
-  for (int i = 0; i < m; ++i) {
+    std::uint64_t n, int workers, Combine&& combine) {
+  std::vector<double> per_instance(static_cast<std::size_t>(m), 0.0);
+  auto run = [&](std::vector<Snapshot>& inst, int i) {
     for (std::size_t j = 0; j < by_party.size(); ++j) {
       inst[j] = by_party[j][static_cast<std::size_t>(i)];
     }
-    per_instance.push_back(combine(inst, i));
+    per_instance[static_cast<std::size_t>(i)] = combine(inst, i);
+  };
+  if (workers <= 1) {
+    std::vector<Snapshot> inst(by_party.size());
+    for (int i = 0; i < m; ++i) run(inst, i);
+  } else {
+    std::atomic<int> next{0};
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        std::vector<Snapshot> inst(by_party.size());
+        for (int i = next.fetch_add(1, std::memory_order_relaxed); i < m;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          run(inst, i);
+        }
+      });
+    }
+    pool.clear();  // join
   }
   return core::Estimate{core::median(std::move(per_instance)), false, n};
 }
@@ -230,11 +266,14 @@ QueryResult union_count(CountSnapshotSource& source, std::uint64_t n,
     r.estimate = core::Estimate{0.0, false, n};
     return r;
   }
+  const int workers = combine_workers(source.instances());
   r.estimate = combine_median(
-      by_party, source.instances(), n,
+      by_party, source.instances(), n, workers,
       [&](std::span<const core::RandWaveSnapshot> inst, int i) {
         return core::referee_union_count(inst, n, source.hash(i)).value;
       });
+  span.set("combine_workers", static_cast<double>(workers));
+  metrics.combine_workers.add(static_cast<std::uint64_t>(workers));
   r.status = QueryStatus::kOk;
   finish_round(metrics, span, source.party_count(), info);
   return r;
@@ -262,13 +301,16 @@ QueryResult distinct_count(DistinctSnapshotSource& source, std::uint64_t n,
     r.estimate = core::Estimate{0.0, false, n};
     return r;
   }
+  const int workers = combine_workers(source.instances());
   r.estimate = combine_median(
-      by_party, source.instances(), n,
+      by_party, source.instances(), n, workers,
       [&](std::span<const core::DistinctSnapshot> inst, int i) {
         return core::referee_distinct_count(inst, n, source.hash(i),
                                             predicate)
             .value;
       });
+  span.set("combine_workers", static_cast<double>(workers));
+  metrics.combine_workers.add(static_cast<std::uint64_t>(workers));
   r.status = QueryStatus::kOk;
   finish_round(metrics, span, source.party_count(), info);
   return r;

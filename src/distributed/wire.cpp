@@ -67,8 +67,7 @@ bool get_fixed64(const Bytes& in, std::size_t& at, std::uint64_t& v) {
   return true;
 }
 
-Bytes encode(const core::RandWaveSnapshot& s) {
-  Bytes out;
+void encode_into(Bytes& out, const core::RandWaveSnapshot& s) {
   put_varint(out, static_cast<std::uint64_t>(s.level));
   put_varint(out, s.stream_len);
   put_varint(out, s.positions.size());
@@ -78,6 +77,11 @@ Bytes encode(const core::RandWaveSnapshot& s) {
     put_varint(out, p - prev);
     prev = p;
   }
+}
+
+Bytes encode(const core::RandWaveSnapshot& s) {
+  Bytes out;
+  encode_into(out, s);
   return out;
 }
 
@@ -109,8 +113,7 @@ bool decode(const Bytes& in, core::RandWaveSnapshot& out) {
   return true;
 }
 
-Bytes encode(const core::DistinctSnapshot& s) {
-  Bytes out;
+void encode_into(Bytes& out, const core::DistinctSnapshot& s) {
   put_varint(out, static_cast<std::uint64_t>(s.level));
   put_varint(out, s.stream_len);
   put_varint(out, s.items.size());
@@ -121,6 +124,11 @@ Bytes encode(const core::DistinctSnapshot& s) {
     prev = pos;
     put_varint(out, value);
   }
+}
+
+Bytes encode(const core::DistinctSnapshot& s) {
+  Bytes out;
+  encode_into(out, s);
   return out;
 }
 
@@ -151,17 +159,19 @@ bool decode(const Bytes& in, core::DistinctSnapshot& out) {
 namespace {
 
 // Shared shape of the two snapshot-vector codecs: count, then each
-// instance's single-snapshot encoding behind a length prefix.
+// instance's single-snapshot encoding behind a length prefix. The scratch
+// for one instance's encoding is per-thread so steady-state queries stop
+// allocating once its capacity covers the largest instance seen.
 template <class Snapshot>
-Bytes encode_vec(std::span<const Snapshot> snaps) {
-  Bytes out;
+void encode_vec_into(Bytes& out, std::span<const Snapshot> snaps) {
+  static thread_local Bytes one;
   put_varint(out, snaps.size());
   for (const Snapshot& s : snaps) {
-    const Bytes one = encode(s);
+    one.clear();
+    encode_into(one, s);
     put_varint(out, one.size());
     out.insert(out.end(), one.begin(), one.end());
   }
-  return out;
 }
 
 template <class Snapshot>
@@ -194,8 +204,18 @@ bool decode_vec(const Bytes& in, std::vector<Snapshot>& out) {
 
 }  // namespace
 
+void encode_into(Bytes& out, std::span<const core::RandWaveSnapshot> snaps) {
+  encode_vec_into(out, snaps);
+}
+
+void encode_into(Bytes& out, std::span<const core::DistinctSnapshot> snaps) {
+  encode_vec_into(out, snaps);
+}
+
 Bytes encode(std::span<const core::RandWaveSnapshot> snaps) {
-  return encode_vec(snaps);
+  Bytes out;
+  encode_vec_into(out, snaps);
+  return out;
 }
 
 bool decode_snapshots(const Bytes& in,
@@ -204,7 +224,9 @@ bool decode_snapshots(const Bytes& in,
 }
 
 Bytes encode(std::span<const core::DistinctSnapshot> snaps) {
-  return encode_vec(snaps);
+  Bytes out;
+  encode_vec_into(out, snaps);
+  return out;
 }
 
 bool decode_snapshots(const Bytes& in,

@@ -46,6 +46,15 @@ bool get_fixed64(const Bytes& in, std::size_t& at, std::uint64_t& v);
 [[nodiscard]] Bytes encode(const core::DistinctSnapshot& s);
 [[nodiscard]] bool decode(const Bytes& in, core::DistinctSnapshot& out);
 
+/// Append-in-place variants of the encoders above: write into an existing
+/// buffer so per-query hot paths can reuse one allocation (and its
+/// high-water capacity) across rounds instead of materialising a fresh
+/// Bytes per message. encode() is a thin wrapper over these.
+void encode_into(Bytes& out, const core::RandWaveSnapshot& s);
+void encode_into(Bytes& out, const core::DistinctSnapshot& s);
+void encode_into(Bytes& out, std::span<const core::RandWaveSnapshot> snaps);
+void encode_into(Bytes& out, std::span<const core::DistinctSnapshot> snaps);
+
 /// One party's full answer to a referee snapshot request: all median-
 /// estimator instances, each length-prefixed. Decode is all-or-nothing
 /// (no partial output on failure), like the single-snapshot codecs.

@@ -9,6 +9,8 @@
 #include "obs/net_obs.hpp"
 #include "obs/recovery_obs.hpp"
 #include "obs/trace.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/delta.hpp"
 
 namespace waves::net {
 
@@ -30,7 +32,19 @@ bool parse_endpoint(const std::string& s, Endpoint& out) {
 }
 
 RefereeClient::RefereeClient(std::vector<Endpoint> parties, ClientConfig cfg)
-    : parties_(std::move(parties)), cfg_(cfg) {}
+    : parties_(std::move(parties)), cfg_(cfg) {
+  links_.reserve(parties_.size());
+  for (std::size_t i = 0; i < parties_.size(); ++i) {
+    links_.push_back(std::make_unique<PartyLink>());
+  }
+}
+
+void RefereeClient::disconnect_all() const {
+  for (const auto& link : links_) {
+    std::lock_guard lk(link->mu);
+    link->sock.close();
+  }
+}
 
 namespace {
 
@@ -53,82 +67,187 @@ ClientConfig with_instances(ClientConfig cfg, int instances) {
   return cfg;
 }
 
+// Folds a decoded DeltaReply into the party's mirror and produces the
+// decoded per-instance snapshots through the (cursor, n) cache. `since` is
+// the since_cursor the request carried; `make_snap` derives one snapshot
+// from one wave checkpoint (count: (ck, n); distinct adds the window).
+// False on any cursor/codec mismatch — the caller treats it as a protocol
+// error and drops the connection.
+template <class Checkpoint, class Snapshot, class MakeSnap>
+bool apply_delta_reply(const DeltaReply& r, std::uint64_t since,
+                       std::uint64_t generation, std::uint64_t n,
+                       DeltaMirror<Checkpoint, Snapshot>& m,
+                       std::vector<Snapshot>& out, Fetch& f, std::string& err,
+                       MakeSnap&& make_snap) {
+  const auto& obs = obs::NetClientObs::instance();
+  if (r.body.empty()) {
+    // "Unchanged" echo: only meaningful against the cursor we asked about.
+    if (since == 0 || r.cursor != since || r.base_cursor != since ||
+        m.cursor != since) {
+      err = "empty delta body without a matching cursor";
+      return false;
+    }
+  } else if (r.base_cursor == 0) {
+    // Self-contained full body: bootstrap, stale cursor, or server restart.
+    Checkpoint now;
+    if (!recovery::decode(r.body, now)) {
+      err = "undecodable full checkpoint body";
+      return false;
+    }
+    m.base = std::move(now);
+    m.cursor = r.cursor;
+    m.generation = generation;
+    m.cache_valid = false;
+    obs.delta_full.add();
+  } else if (since != 0 && r.base_cursor == since && m.cursor == since) {
+    Checkpoint now;
+    if (!recovery::apply_delta(m.base, r.body, now)) {
+      err = "undecodable delta body";
+      return false;
+    }
+    m.base = std::move(now);
+    m.cursor = r.cursor;
+    m.cache_valid = false;
+    f.delta_applied = true;
+    obs.delta_replies.add();
+  } else {
+    err = "delta reply against a cursor we do not hold";
+    return false;
+  }
+
+  if (m.cache_valid && m.cache_cursor == m.cursor && m.cache_n == n) {
+    obs.snapshot_cache_hits.add();
+    f.cache_hit = true;
+    out = m.cache;
+    return true;
+  }
+  obs.snapshot_cache_misses.add();
+  out.clear();
+  out.reserve(m.base.waves.size());
+  for (const auto& w : m.base.waves) out.push_back(make_snap(w));
+  m.cache = out;
+  m.cache_cursor = m.cursor;
+  m.cache_n = n;
+  m.cache_valid = true;
+  return true;
+}
+
 }  // namespace
 
 Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
                              std::uint64_t n) const {
   Fetch f;
   const Endpoint& ep = parties_[party];
+  PartyLink& link = *links_[party];
+  // Fetches to the same party serialize here; the per-party fan-out threads
+  // never contend. Held across the whole exchange so the mirror and the
+  // socket stream can't interleave between two requests.
+  std::lock_guard lk(link.mu);
   const Deadline dl = deadline_in(cfg_.request_deadline);
+  const auto& obs = obs::NetClientObs::instance();
 
-  bool connect_timed_out = false;
-  Socket sock = tcp_connect(ep.host, ep.port, dl, &connect_timed_out);
-  if (!sock.valid()) {
-    f.status =
-        connect_timed_out ? FetchStatus::kTimeout : FetchStatus::kConnectError;
-    f.error = (connect_timed_out ? "connect timeout: " : "connect failed: ") +
-              ep.host + ":" + std::to_string(ep.port);
-    return f;
+  // Any transport or protocol failure leaves the byte stream unusable (a
+  // late reply would desync the next request), so every failure path closes
+  // the link; the next attempt reconnects.
+  auto fail = [&](FetchStatus s, std::string msg) {
+    link.sock.close();
+    f.status = s;
+    f.error = std::move(msg);
+  };
+
+  if (link.sock.valid()) {
+    f.reused_connection = true;
+  } else {
+    bool connect_timed_out = false;
+    Socket sock = tcp_connect(ep.host, ep.port, dl, &connect_timed_out);
+    if (!sock.valid()) {
+      f.status = connect_timed_out ? FetchStatus::kTimeout
+                                   : FetchStatus::kConnectError;
+      f.error = (connect_timed_out ? "connect timeout: " : "connect failed: ") +
+                ep.host + ":" + std::to_string(ep.port);
+      return f;
+    }
+    link.sock = std::move(sock);
+    if (link.ever_connected) obs.reconnects.add();
+    link.ever_connected = true;
   }
 
   auto send_msg = [&](MsgType type, const Bytes& payload) {
-    if (!write_frame(sock, type, payload, dl)) return false;
+    if (!write_frame(link.sock, type, payload, dl)) return false;
     f.bytes_sent += kHeaderSize + payload.size();
     return true;
   };
   // Reads one frame and classifies transport failures into the Fetch.
   auto read_msg = [&](Frame& frame) {
-    const ReadStatus rs = read_frame(sock, frame, dl);
+    const ReadStatus rs = read_frame(link.sock, frame, dl);
     switch (rs) {
       case ReadStatus::kOk:
         f.bytes_received += kHeaderSize + frame.payload.size();
         return true;
       case ReadStatus::kTimeout:
-        f.status = FetchStatus::kTimeout;
-        f.error = "reply deadline exceeded";
+        fail(FetchStatus::kTimeout, "reply deadline exceeded");
         return false;
       case ReadStatus::kClosed:
-        // Peer died mid-round; retryable like a failed connect.
-        f.status = FetchStatus::kConnectError;
-        f.error = "connection closed mid-request";
+        // Peer died (or dropped an idle keep-alive link); retryable like a
+        // failed connect.
+        fail(FetchStatus::kConnectError, "connection closed mid-request");
         return false;
       case ReadStatus::kMalformed:
-        f.status = FetchStatus::kProtocolError;
-        f.error = "malformed reply frame";
+        fail(FetchStatus::kProtocolError, "malformed reply frame");
         return false;
     }
     return false;
   };
 
-  // Handshake: Hello -> HelloAck. Confirms liveness, protocol version (the
-  // frame header carries it), and the party's role before the real request.
-  if (!send_msg(MsgType::kHello, Hello{cfg_.client_id}.encode())) {
-    f.status = FetchStatus::kConnectError;
-    f.error = "hello send failed";
-    return f;
-  }
   Frame frame;
-  if (!read_msg(frame)) return f;
-  HelloAck ack;
-  if (frame.type != MsgType::kHelloAck ||
-      !HelloAck::decode(frame.payload, ack)) {
-    f.status = FetchStatus::kProtocolError;
-    f.error = "bad hello ack";
-    return f;
+  if (!f.reused_connection) {
+    // Handshake, once per connection: Hello -> HelloAck. Confirms liveness,
+    // protocol version (the frame header carries it), and the party's role
+    // before the real request.
+    if (!send_msg(MsgType::kHello, Hello{cfg_.client_id}.encode())) {
+      fail(FetchStatus::kConnectError, "hello send failed");
+      return f;
+    }
+    if (!read_msg(frame)) return f;
+    HelloAck ack;
+    if (frame.type != MsgType::kHelloAck ||
+        !HelloAck::decode(frame.payload, ack)) {
+      fail(FetchStatus::kProtocolError, "bad hello ack");
+      return f;
+    }
+    // A generation the mirror doesn't know means the party restarted since
+    // the baseline was taken: the server-side delta state died with it, so
+    // drop ours and bootstrap with a full fetch. Not an error — the round
+    // proceeds normally.
+    if (link.count.cursor != 0 && ack.generation != link.count.generation) {
+      link.count = {};
+    }
+    if (link.distinct.cursor != 0 &&
+        ack.generation != link.distinct.generation) {
+      link.distinct = {};
+    }
+    link.ack = ack;
   }
-  f.generation = ack.generation;
+  const HelloAck& ack = link.ack;
+  // Report the generation only once this attempt has live evidence of it: a
+  // fresh handshake, or (on a reused link) any reply — a surviving
+  // connection proves the process behind it survived. A reused socket that
+  // dies before answering says nothing about the party's epoch, and must
+  // not trip the cross-attempt restart guard in fetch() when the reconnect
+  // finds a legitimately new generation.
+  if (!f.reused_connection) f.generation = ack.generation;
   if (ack.role != role) {
-    f.status = FetchStatus::kRemoteError;
-    f.error = std::string("party serves role ") + role_name(ack.role) +
-              ", wanted " + role_name(role);
+    fail(FetchStatus::kRemoteError,
+         std::string("party serves role ") + role_name(ack.role) +
+             ", wanted " + role_name(role));
     return f;
   }
   const auto expected =
       static_cast<std::uint64_t>(std::max(cfg_.expected_instances, 0));
   if (expected > 0 && ack.instances != expected) {
-    f.status = FetchStatus::kProtocolError;
-    f.error = "party runs " + std::to_string(ack.instances) +
-              " instances, wanted " + std::to_string(expected);
+    fail(FetchStatus::kProtocolError,
+         "party runs " + std::to_string(ack.instances) +
+             " instances, wanted " + std::to_string(expected));
     return f;
   }
 
@@ -136,14 +255,24 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   req.role = role;
   req.n = n;
+  const bool wants_delta =
+      cfg_.delta_snapshots &&
+      (role == PartyRole::kCount || role == PartyRole::kDistinct);
+  if (wants_delta) {
+    req.delta_capable = true;
+    req.since_cursor = role == PartyRole::kCount ? link.count.cursor
+                                                 : link.distinct.cursor;
+  }
   if (!send_msg(MsgType::kSnapshotRequest, req.encode())) {
-    f.status = FetchStatus::kConnectError;
-    f.error = "request send failed";
+    fail(FetchStatus::kConnectError, "request send failed");
     return f;
   }
   if (!read_msg(frame)) return f;
+  f.generation = ack.generation;
 
   if (frame.type == MsgType::kErr) {
+    // A clean Err frame leaves the stream at a frame boundary; keep the
+    // connection for whatever the caller tries next.
     ErrReply err;
     f.status = FetchStatus::kRemoteError;
     f.error = ErrReply::decode(frame.payload, err)
@@ -151,9 +280,10 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
                   : "party error (undecodable)";
     return f;
   }
-  if (frame.type != reply_type_for(role)) {
-    f.status = FetchStatus::kProtocolError;
-    f.error = "unexpected reply type";
+  const bool is_delta_reply =
+      wants_delta && frame.type == MsgType::kDeltaReply;
+  if (frame.type != reply_type_for(role) && !is_delta_reply) {
+    fail(FetchStatus::kProtocolError, "unexpected reply type");
     return f;
   }
 
@@ -161,28 +291,69 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
   // party restarted between the two frames; its snapshot is stale.
   auto stale = [&](std::uint64_t reply_gen) {
     if (reply_gen == ack.generation) return false;
-    f.status = FetchStatus::kStaleGeneration;
-    f.error = "party generation moved mid-request (" +
-              std::to_string(ack.generation) + " -> " +
-              std::to_string(reply_gen) + ")";
+    const std::string msg = "party generation moved mid-request (" +
+                            std::to_string(ack.generation) + " -> " +
+                            std::to_string(reply_gen) + ")";
+    fail(FetchStatus::kStaleGeneration, msg);
     f.generation = reply_gen;
     return true;
   };
+
+  if (is_delta_reply) {
+    DeltaReply r;
+    if (!DeltaReply::decode(frame.payload, r) ||
+        r.request_id != req.request_id || r.role != role) {
+      fail(FetchStatus::kProtocolError, "bad delta reply");
+      return f;
+    }
+    if (stale(r.generation)) return f;
+    f.delta_reply = true;
+    std::string err;
+    bool ok = false;
+    std::size_t got = 0;
+    if (role == PartyRole::kCount) {
+      ok = apply_delta_reply(r, req.since_cursor, ack.generation, n,
+                             link.count, f.count_snapshots, f, err,
+                             [&](const core::RandWaveCheckpoint& ck) {
+                               return core::snapshot_from_checkpoint(ck, n);
+                             });
+      got = f.count_snapshots.size();
+    } else {
+      ok = apply_delta_reply(r, req.since_cursor, ack.generation, n,
+                             link.distinct, f.distinct_snapshots, f, err,
+                             [&](const core::DistinctWaveCheckpoint& ck) {
+                               return core::snapshot_from_checkpoint(
+                                   ck, n, ack.window);
+                             });
+      got = f.distinct_snapshots.size();
+    }
+    if (!ok) {
+      fail(FetchStatus::kProtocolError, std::move(err));
+      return f;
+    }
+    if (expected > 0 && got != expected) {
+      fail(FetchStatus::kProtocolError,
+           "delta reply carries " + std::to_string(got) +
+               " instances, wanted " + std::to_string(expected));
+      return f;
+    }
+    f.status = FetchStatus::kOk;
+    return f;
+  }
 
   switch (role) {
     case PartyRole::kCount: {
       CountReply r;
       if (!CountReply::decode(frame.payload, r) ||
           r.request_id != req.request_id) {
-        f.status = FetchStatus::kProtocolError;
-        f.error = "bad count reply";
+        fail(FetchStatus::kProtocolError, "bad count reply");
         return f;
       }
       if (stale(r.generation)) return f;
       if (expected > 0 && r.snapshots.size() != expected) {
-        f.status = FetchStatus::kProtocolError;
-        f.error = "count reply has " + std::to_string(r.snapshots.size()) +
-                  " snapshots, wanted " + std::to_string(expected);
+        fail(FetchStatus::kProtocolError,
+             "count reply has " + std::to_string(r.snapshots.size()) +
+                 " snapshots, wanted " + std::to_string(expected));
         return f;
       }
       f.count_snapshots = std::move(r.snapshots);
@@ -192,15 +363,14 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
       DistinctReply r;
       if (!DistinctReply::decode(frame.payload, r) ||
           r.request_id != req.request_id) {
-        f.status = FetchStatus::kProtocolError;
-        f.error = "bad distinct reply";
+        fail(FetchStatus::kProtocolError, "bad distinct reply");
         return f;
       }
       if (stale(r.generation)) return f;
       if (expected > 0 && r.snapshots.size() != expected) {
-        f.status = FetchStatus::kProtocolError;
-        f.error = "distinct reply has " + std::to_string(r.snapshots.size()) +
-                  " snapshots, wanted " + std::to_string(expected);
+        fail(FetchStatus::kProtocolError,
+             "distinct reply has " + std::to_string(r.snapshots.size()) +
+                 " snapshots, wanted " + std::to_string(expected));
         return f;
       }
       f.distinct_snapshots = std::move(r.snapshots);
@@ -211,8 +381,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
       TotalReply r;
       if (!TotalReply::decode(frame.payload, r) ||
           r.request_id != req.request_id) {
-        f.status = FetchStatus::kProtocolError;
-        f.error = "bad total reply";
+        fail(FetchStatus::kProtocolError, "bad total reply");
         return f;
       }
       if (stale(r.generation)) return f;

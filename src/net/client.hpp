@@ -1,12 +1,25 @@
 // The referee side of the TCP transport.
 //
-// RefereeClient talks to a fixed set of party endpoints. Every fetch opens
-// a fresh connection (Hello handshake, then one request/reply), enforces a
-// per-request deadline, and retries with bounded exponential backoff —
-// but only on timeouts and connect failures; a party that *answers* with
-// an error or garbage is terminal for the round (retrying can't fix a
-// wrong-role or protocol bug). Fan-out is one thread per party, so a round
-// costs max-latency, not sum.
+// RefereeClient talks to a fixed set of party endpoints over persistent
+// keep-alive connections: the first fetch to a party connects and
+// handshakes (Hello -> HelloAck); later fetches reuse the socket and skip
+// the handshake. Any socket or protocol failure drops the link — the next
+// attempt reconnects (counted in waves_net_reconnects_total) — and a
+// per-request deadline plus bounded exponential backoff still bound every
+// round. Retries happen only on timeouts and connect failures; a party
+// that *answers* with an error or garbage is terminal for the round
+// (retrying can't fix a wrong-role or protocol bug). Fan-out is one thread
+// per party, so a round costs max-latency, not sum.
+//
+// Fast query path (count/distinct roles, ClientConfig::delta_snapshots):
+// the client mirrors each party's last checkpoint and asks for protocol-v3
+// delta replies against it, so steady-state rounds transfer the *edit*
+// since the previous round instead of the full synopsis. Decoded
+// per-instance snapshots are cached keyed (party generation, cursor, n);
+// an "unchanged" reply is a cache hit that decodes nothing. A generation
+// bump at handshake (the party restarted) silently drops the mirror and
+// bootstraps with a full fetch; a server with delta disabled just answers
+// v2 full replies and everything still works.
 //
 // NetworkCountSource / NetworkDistinctSource adapt the client to the
 // referee's SnapshotSource interface: the snapshot bytes come off the
@@ -54,6 +67,10 @@ struct ClientConfig {
   // (e.g. a daemon launched with a different --instances) must fail typed
   // here, not out-of-bounds there. Totals (Scenario 1) leave this at 0.
   int expected_instances = 0;
+  // Request v3 delta snapshots for count/distinct fetches and maintain the
+  // per-party mirror they apply to. Off, every fetch is a v2 full snapshot
+  // (the --delta off / differential-test configuration).
+  bool delta_snapshots = true;
 };
 
 enum class FetchStatus {
@@ -79,6 +96,11 @@ struct Fetch {
   std::uint64_t bytes_received = 0;
   // Party epoch from the last HelloAck seen (0 if none arrived).
   std::uint64_t generation = 0;
+  // How the fetch was served — the knobs E18 and the delta tests assert on.
+  bool reused_connection = false;  // keep-alive socket, no new handshake
+  bool delta_reply = false;        // server answered under the v3 framing
+  bool delta_applied = false;      // body was a diff applied to the mirror
+  bool cache_hit = false;          // snapshots came from the decoded cache
   std::string error;
 
   // Exactly one of these is meaningful, per the request type.
@@ -87,6 +109,21 @@ struct Fetch {
   TotalReply total;
 
   [[nodiscard]] bool ok() const noexcept { return status == FetchStatus::kOk; }
+};
+
+/// Client-side delta state for one party and one checkpoint flavor: the
+/// mirrored baseline the server diffs against, plus the decoded snapshots
+/// derived from it, cached under the (cursor, n) they were built for. The
+/// owning PartyLink's generation handling invalidates both on restart.
+template <class Checkpoint, class Snapshot>
+struct DeltaMirror {
+  std::uint64_t cursor = 0;      // server cursor of `base`; 0 = no baseline
+  std::uint64_t generation = 0;  // party epoch the mirror belongs to
+  Checkpoint base;
+  bool cache_valid = false;
+  std::uint64_t cache_cursor = 0;
+  std::uint64_t cache_n = 0;
+  std::vector<Snapshot> cache;
 };
 
 class RefereeClient {
@@ -112,12 +149,33 @@ class RefereeClient {
   [[nodiscard]] std::vector<Fetch> fetch_all(PartyRole role,
                                              std::uint64_t n) const;
 
+  /// Drop every keep-alive socket (the next fetch per party reconnects).
+  /// Mirrors and caches survive — they are invalidated by generation, not
+  /// by connection lifetime.
+  void disconnect_all() const;
+
  private:
+  // One party's persistent connection plus its delta state. Fetches to the
+  // same party serialize on `mu`; fan-out across parties stays parallel.
+  struct PartyLink {
+    std::mutex mu;
+    Socket sock;  // invalid between connections
+    bool ever_connected = false;
+    HelloAck ack;  // handshake of the live connection
+    DeltaMirror<distributed::CountPartyCheckpoint, core::RandWaveSnapshot>
+        count;
+    DeltaMirror<distributed::DistinctPartyCheckpoint, core::DistinctSnapshot>
+        distinct;
+  };
+
   [[nodiscard]] Fetch attempt(std::size_t party, PartyRole role,
                               std::uint64_t n) const;
 
   std::vector<Endpoint> parties_;
   ClientConfig cfg_;
+  // unique_ptr: PartyLink holds a mutex, and links must stay put while
+  // fetch_all threads hold references.
+  mutable std::vector<std::unique_ptr<PartyLink>> links_;
   mutable std::atomic<std::uint64_t> next_request_id_{1};
 };
 

@@ -6,7 +6,7 @@ namespace waves::net {
 
 bool valid_msg_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint8_t>(MsgType::kErr);
+         t <= static_cast<std::uint8_t>(MsgType::kDeltaReply);
 }
 
 std::array<std::uint8_t, kHeaderSize> put_header(MsgType type,
@@ -24,7 +24,7 @@ std::array<std::uint8_t, kHeaderSize> put_header(MsgType type,
 
 bool parse_header(const std::uint8_t* buf, MsgType& type, std::uint32_t& len) {
   if (std::memcmp(buf, kMagic.data(), kMagic.size()) != 0) return false;
-  if (buf[4] != kProtocolVersion) return false;
+  if (buf[4] < kMinProtocolVersion || buf[4] > kProtocolVersion) return false;
   if (!valid_msg_type(buf[5])) return false;
   const std::uint32_t n = static_cast<std::uint32_t>(buf[6]) |
                           (static_cast<std::uint32_t>(buf[7]) << 8) |
@@ -38,7 +38,10 @@ bool parse_header(const std::uint8_t* buf, MsgType& type, std::uint32_t& len) {
 
 bool write_frame(Socket& sock, MsgType type,
                  const std::vector<std::uint8_t>& payload, Deadline dl) {
-  std::vector<std::uint8_t> buf(kHeaderSize + payload.size());
+  // Per-thread scratch: steady-state queries reuse the high-water capacity
+  // instead of allocating header+payload per frame.
+  static thread_local std::vector<std::uint8_t> buf;
+  buf.resize(kHeaderSize + payload.size());
   const auto h = put_header(type, static_cast<std::uint32_t>(payload.size()));
   std::memcpy(buf.data(), h.data(), kHeaderSize);
   if (!payload.empty()) {
@@ -64,7 +67,13 @@ ReadStatus read_frame(Socket& sock, Frame& out, Deadline dl) {
   std::uint32_t len = 0;
   if (!parse_header(hdr.data(), type, len)) return ReadStatus::kMalformed;
 
-  std::vector<std::uint8_t> payload(len);
+  // Read into per-thread scratch, then assign into the caller's Frame: the
+  // contract ("out untouched on any non-kOk status") survives, and a caller
+  // that reuses its Frame across rounds pays zero steady-state allocations
+  // (assign reuses out.payload's capacity; scratch keeps its high-water
+  // mark).
+  static thread_local std::vector<std::uint8_t> payload;
+  payload.resize(len);
   if (len > 0) {
     switch (sock.recv_exact(payload.data(), payload.size(), dl)) {
       case IoResult::kOk:
@@ -77,7 +86,7 @@ ReadStatus read_frame(Socket& sock, Frame& out, Deadline dl) {
     }
   }
   out.type = type;
-  out.payload = std::move(payload);
+  out.payload.assign(payload.begin(), payload.end());
   return ReadStatus::kOk;
 }
 

@@ -27,7 +27,11 @@ namespace waves::net {
 inline constexpr std::array<std::uint8_t, 4> kMagic{'W', 'A', 'V', 'E'};
 // v2: HelloAck and every reply carry the party's generation (epoch) so a
 // referee can spot a mid-round restart. v1 peers are rejected at the header.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+// v3: SnapshotRequest may carry a delta cursor and servers may answer with
+// kDeltaReply. v2 frames are still accepted on read (the extension is
+// opt-in per request), so v2 peers interoperate on the full-snapshot path.
+inline constexpr std::uint8_t kProtocolVersion = 3;
+inline constexpr std::uint8_t kMinProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 10;
 // Generous bound: an eps=0.01 distinct snapshot set is ~MBs; 64 MiB leaves
 // room while keeping a hostile length prefix from allocating gigabytes.
@@ -41,6 +45,7 @@ enum class MsgType : std::uint8_t {
   kDistinctReply = 5,
   kTotalReply = 6,
   kErr = 7,
+  kDeltaReply = 8,  // v3: party-checkpoint delta against a cursored baseline
 };
 
 [[nodiscard]] bool valid_msg_type(std::uint8_t t);

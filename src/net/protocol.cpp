@@ -88,11 +88,19 @@ bool HelloAck::decode(const Bytes& in, HelloAck& out) {
   return true;
 }
 
-Bytes SnapshotRequest::encode() const {
-  Bytes out;
+void SnapshotRequest::encode_into(Bytes& out) const {
   put_varint(out, request_id);
   put_varint(out, static_cast<std::uint64_t>(role));
   put_varint(out, n);
+  if (delta_capable) {
+    put_varint(out, 1);
+    put_varint(out, since_cursor);
+  }
+}
+
+Bytes SnapshotRequest::encode() const {
+  Bytes out;
+  encode_into(out);
   return out;
 }
 
@@ -102,21 +110,33 @@ bool SnapshotRequest::decode(const Bytes& in, SnapshotRequest& out) {
   std::uint64_t role = 0;
   if (!get_varint(in, at, r.request_id) || !get_varint(in, at, role) ||
       role > 0xFF || !valid_role(static_cast<std::uint8_t>(role)) ||
-      !get_varint(in, at, r.n) || !consumed(in, at)) {
+      !get_varint(in, at, r.n)) {
     return false;
+  }
+  // v2 form ends here; the v3 form appends exactly `1, since_cursor`.
+  if (!consumed(in, at)) {
+    std::uint64_t capable = 0;
+    if (!get_varint(in, at, capable) || capable != 1 ||
+        !get_varint(in, at, r.since_cursor) || !consumed(in, at)) {
+      return false;
+    }
+    r.delta_capable = true;
   }
   r.role = static_cast<PartyRole>(role);
   out = r;
   return true;
 }
 
-Bytes CountReply::encode() const {
-  Bytes out;
+void CountReply::encode_into(Bytes& out) const {
   put_varint(out, request_id);
   put_varint(out, generation);
-  const Bytes snaps = distributed::encode(
-      std::span<const core::RandWaveSnapshot>(snapshots));
-  out.insert(out.end(), snaps.begin(), snaps.end());
+  distributed::encode_into(out,
+                           std::span<const core::RandWaveSnapshot>(snapshots));
+}
+
+Bytes CountReply::encode() const {
+  Bytes out;
+  encode_into(out);
   return out;
 }
 
@@ -133,13 +153,16 @@ bool CountReply::decode(const Bytes& in, CountReply& out) {
   return true;
 }
 
-Bytes DistinctReply::encode() const {
-  Bytes out;
+void DistinctReply::encode_into(Bytes& out) const {
   put_varint(out, request_id);
   put_varint(out, generation);
-  const Bytes snaps = distributed::encode(
-      std::span<const core::DistinctSnapshot>(snapshots));
-  out.insert(out.end(), snaps.begin(), snaps.end());
+  distributed::encode_into(out,
+                           std::span<const core::DistinctSnapshot>(snapshots));
+}
+
+Bytes DistinctReply::encode() const {
+  Bytes out;
+  encode_into(out);
   return out;
 }
 
@@ -179,6 +202,43 @@ bool TotalReply::decode(const Bytes& in, TotalReply& out) {
   r.value = std::bit_cast<double>(bits);
   r.exact = exact == 1;
   out = r;
+  return true;
+}
+
+void DeltaReply::encode_into(Bytes& out) const {
+  put_varint(out, request_id);
+  put_varint(out, generation);
+  put_varint(out, static_cast<std::uint64_t>(role));
+  put_varint(out, base_cursor);
+  put_varint(out, cursor);
+  put_varint(out, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+Bytes DeltaReply::encode() const {
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+bool DeltaReply::decode(const Bytes& in, DeltaReply& out) {
+  DeltaReply r;
+  std::size_t at = 0;
+  std::uint64_t role = 0;
+  std::uint64_t len = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, r.generation) ||
+      !get_varint(in, at, role) || role > 0xFF ||
+      !valid_role(static_cast<std::uint8_t>(role)) ||
+      !get_varint(in, at, r.base_cursor) || !get_varint(in, at, r.cursor) ||
+      !get_varint(in, at, len) || len > in.size() - at) {
+    return false;
+  }
+  r.body.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                in.begin() + static_cast<std::ptrdiff_t>(at + len));
+  at += len;
+  if (!consumed(in, at)) return false;
+  r.role = static_cast<PartyRole>(role);
+  out = std::move(r);
   return true;
 }
 

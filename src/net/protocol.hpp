@@ -72,7 +72,18 @@ struct SnapshotRequest {
   PartyRole role = PartyRole::kCount;  // client's expectation, server-checked
   std::uint64_t n = 0;                 // window size queried
 
+  // v3 extension, opt-in per request: when delta_capable the client will
+  // accept a kDeltaReply and (if since_cursor != 0) holds a baseline party
+  // checkpoint cursored at since_cursor; since_cursor == 0 asks for a full
+  // body under the delta framing — the mirror bootstrap. Encoded as two
+  // trailing varints a v2 request simply omits; decoders here accept both
+  // forms. A server may always answer with the v2 reply kinds instead
+  // (delta disabled), so a delta_capable client handles either.
+  bool delta_capable = false;
+  std::uint64_t since_cursor = 0;
+
   [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
   [[nodiscard]] static bool decode(const Bytes& in, SnapshotRequest& out);
 };
 
@@ -82,6 +93,7 @@ struct CountReply {
   std::vector<core::RandWaveSnapshot> snapshots;  // one per instance
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
   [[nodiscard]] static bool decode(const Bytes& in, CountReply& out);
 };
 
@@ -91,6 +103,7 @@ struct DistinctReply {
   std::vector<core::DistinctSnapshot> snapshots;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
   [[nodiscard]] static bool decode(const Bytes& in, DistinctReply& out);
 };
 
@@ -103,6 +116,29 @@ struct TotalReply {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static bool decode(const Bytes& in, TotalReply& out);
+};
+
+// v3 fast-path reply to a delta_capable SnapshotRequest (count/distinct
+// roles). `body` is a recovery party-checkpoint encoding:
+//   base_cursor == 0 — self-contained: recovery::encode of the full party
+//     checkpoint (mirror bootstrap, stale-cursor fallback, server restart);
+//   base_cursor != 0 — recovery::encode_delta against the baseline the
+//     client holds under that cursor (matches the request's since_cursor);
+//   empty body with base_cursor == cursor == since_cursor — "unchanged":
+//     the party ingested nothing since the baseline, reuse it as-is.
+// `cursor` names the post-reply baseline; the client echoes it as the next
+// request's since_cursor.
+struct DeltaReply {
+  std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;
+  PartyRole role = PartyRole::kCount;
+  std::uint64_t base_cursor = 0;
+  std::uint64_t cursor = 0;
+  Bytes body;
+
+  [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
+  [[nodiscard]] static bool decode(const Bytes& in, DeltaReply& out);
 };
 
 struct ErrReply {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/net_obs.hpp"
+#include "recovery/delta.hpp"
 
 namespace waves::net {
 
@@ -172,10 +173,15 @@ HelloAck PartyServer::hello_ack() const {
     case PartyRole::kCount:
       ack.instances = static_cast<std::uint64_t>(count_->instances());
       ack.items_observed = count_->items_observed();
+      // All instances share the window parameter; a delta-capable client
+      // needs it to derive snapshots from mirrored checkpoints.
+      ack.window = count_->instances() > 0 ? count_->instance(0).window() : 0;
       break;
     case PartyRole::kDistinct:
       ack.instances = static_cast<std::uint64_t>(distinct_->instances());
       ack.items_observed = distinct_->items_observed();
+      ack.window =
+          distinct_->instances() > 0 ? distinct_->instance(0).window() : 0;
       break;
     case PartyRole::kBasic:
       ack.window = basic_->window();
@@ -187,6 +193,41 @@ HelloAck PartyServer::hello_ack() const {
       break;
   }
   return ack;
+}
+
+template <class Party, class Checkpoint>
+void PartyServer::delta_answer(Party* party, DeltaState<Checkpoint>& st,
+                               const SnapshotRequest& req,
+                               DeltaReply& r) const {
+  const auto& obs = obs::NetServerObs::instance();
+  std::lock_guard lk(st.mu);
+  // Unchanged fast-path: the client's baseline is our current one and the
+  // party ingested nothing since it was taken — echo the cursor, empty
+  // body, no checkpoint walk at all.
+  if (req.since_cursor != 0 && req.since_cursor == st.serial &&
+      party->items_observed() == st.base.cursor) {
+    r.base_cursor = st.serial;
+    r.cursor = st.serial;
+    obs.delta_unchanged.add();
+    return;
+  }
+  Checkpoint now = party->checkpoint();
+  const std::uint64_t next = st.serial + 1;
+  if (req.since_cursor != 0 && req.since_cursor == st.serial) {
+    r.base_cursor = st.serial;
+    r.body = recovery::encode_delta(st.base, now);
+    obs.delta_replies.add();
+  } else {
+    // Bootstrap (since_cursor 0) or a cursor we no longer hold (another
+    // client advanced the baseline, or this process restarted): ship a
+    // self-contained full body. base_cursor 0 tells the client so.
+    r.base_cursor = 0;
+    r.body = recovery::encode(now);
+    obs.delta_full.add();
+  }
+  r.cursor = next;
+  st.serial = next;
+  st.base = std::move(now);
 }
 
 void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
@@ -205,8 +246,21 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
     return;
   }
 
+  const bool delta = req.delta_capable && cfg_.enable_delta &&
+                     (role_ == PartyRole::kCount ||
+                      role_ == PartyRole::kDistinct);
+
   switch (role_) {
     case PartyRole::kCount: {
+      if (delta) {
+        DeltaReply r;
+        r.request_id = req.request_id;
+        r.generation = cfg_.generation;
+        r.role = role_;
+        delta_answer(count_, count_delta_, req, r);
+        send(MsgType::kDeltaReply, r.encode());
+        return;
+      }
       CountReply r;
       r.request_id = req.request_id;
       r.generation = cfg_.generation;
@@ -215,6 +269,15 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
       return;
     }
     case PartyRole::kDistinct: {
+      if (delta) {
+        DeltaReply r;
+        r.request_id = req.request_id;
+        r.generation = cfg_.generation;
+        r.role = role_;
+        delta_answer(distinct_, distinct_delta_, req, r);
+        send(MsgType::kDeltaReply, r.encode());
+        return;
+      }
       DistinctReply r;
       r.request_id = req.request_id;
       r.generation = cfg_.generation;
@@ -241,6 +304,10 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
 
 void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
   const auto& obs = obs::NetServerObs::instance();
+  // One Frame for the whole connection: read_frame assigns into it, so a
+  // multi-round keep-alive client reuses the payload's high-water capacity
+  // instead of allocating per request.
+  Frame frame;
   while (!st.stop_requested()) {
     // Idle-wait in short ticks so a stop request is honored promptly even
     // on a silent connection; the io_deadline only applies once bytes flow.
@@ -248,7 +315,6 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
       continue;
     }
     const Deadline dl = deadline_in(cfg_.io_deadline);
-    Frame frame;
     const ReadStatus rs = read_frame(sock, frame, dl);
     if (rs == ReadStatus::kClosed) return;
     if (rs == ReadStatus::kTimeout) continue;

@@ -96,6 +96,11 @@ struct ServerConfig {
   // Per-I/O-op deadline on connection handlers; a stalled peer can hold a
   // handler thread at most this long per frame.
   std::chrono::milliseconds io_deadline{5000};
+  // Answer delta-capable SnapshotRequests (count/distinct roles) with
+  // kDeltaReply bodies diffed against the last checkpoint this server
+  // handed out. Off, every request gets the v2 full reply — the knob the
+  // loopback test and `waved --delta off` use to exercise degradation.
+  bool enable_delta = true;
 };
 
 /// One party daemon: serves exactly one role, determined by which backend
@@ -128,9 +133,25 @@ class PartyServer {
  private:
   void accept_loop(const std::stop_token& st);
   void serve_connection(Socket sock, const std::stop_token& st);
+  // Delta baseline: the party checkpoint most recently shipped to *any*
+  // delta-capable client, cursored by an always-bumping serial. The serial
+  // (not the party's item count) is the wire cursor, so two clients
+  // interleaving requests can never hold different baselines under the same
+  // cursor value — a since_cursor that isn't the current serial simply
+  // falls back to a full reply. Only the role's matching state is used.
+  template <class Checkpoint>
+  struct DeltaState {
+    std::mutex mu;
+    std::uint64_t serial = 0;  // 0 = no baseline handed out yet
+    Checkpoint base;
+  };
+
   [[nodiscard]] HelloAck hello_ack() const;
   /// Builds the role-appropriate reply (or Err) for a decoded request.
   void answer(Socket& sock, const SnapshotRequest& req, Deadline dl);
+  template <class Party, class Checkpoint>
+  void delta_answer(Party* party, DeltaState<Checkpoint>& st,
+                    const SnapshotRequest& req, DeltaReply& r) const;
   void reap_finished();
 
   ServerConfig cfg_;
@@ -139,6 +160,9 @@ class PartyServer {
   distributed::DistinctParty* distinct_ = nullptr;
   BasicPartyState* basic_ = nullptr;
   SumPartyState* sum_ = nullptr;
+
+  mutable DeltaState<distributed::CountPartyCheckpoint> count_delta_;
+  mutable DeltaState<distributed::DistinctPartyCheckpoint> distinct_delta_;
 
   Listener listener_;
   std::jthread accept_thread_;

@@ -13,7 +13,12 @@ const NetClientObs& NetClientObs::instance() {
       reg.counter("waves_net_protocol_errors_total"),
       reg.counter("waves_net_bytes_sent_total"),
       reg.counter("waves_net_bytes_received_total"),
-      reg.histogram("waves_net_request_seconds", {}, latency_buckets())};
+      reg.histogram("waves_net_request_seconds", {}, latency_buckets()),
+      reg.counter("waves_net_reconnects_total"),
+      reg.counter("waves_net_delta_replies_total"),
+      reg.counter("waves_net_delta_full_total"),
+      reg.counter("waves_net_snapshot_cache_hits_total"),
+      reg.counter("waves_net_snapshot_cache_misses_total")};
   return o;
 }
 
@@ -24,7 +29,10 @@ const NetServerObs& NetServerObs::instance() {
       reg.counter("waves_net_server_requests_total"),
       reg.counter("waves_net_server_frame_errors_total"),
       reg.counter("waves_net_server_bytes_sent_total"),
-      reg.counter("waves_net_server_bytes_received_total")};
+      reg.counter("waves_net_server_bytes_received_total"),
+      reg.counter("waves_net_server_delta_replies_total"),
+      reg.counter("waves_net_server_delta_full_total"),
+      reg.counter("waves_net_server_delta_unchanged_total")};
   return o;
 }
 

@@ -15,12 +15,23 @@
 //   waves_net_protocol_errors_total malformed or unexpected replies
 //   waves_net_bytes_sent_total / waves_net_bytes_received_total
 //   waves_net_request_seconds       per-fetch latency histogram
+//   waves_net_reconnects_total      keep-alive links re-established after
+//                                   a socket error or server restart
+//   waves_net_delta_replies_total   kDeltaReply answers applied to a mirror
+//   waves_net_delta_full_total      delta-capable requests answered full
+//                                   (bootstrap, stale cursor, or v2 server)
+//   waves_net_snapshot_cache_hits_total / waves_net_snapshot_cache_misses_total
+//                                   referee-side decoded-snapshot cache,
+//                                   keyed (party, generation, cursor, n)
 //
 // Server families (each waved / PartyServer):
 //   waves_net_server_connections_total
 //   waves_net_server_requests_total
 //   waves_net_server_frame_errors_total  malformed frames from peers
 //   waves_net_server_bytes_sent_total / waves_net_server_bytes_received_total
+//   waves_net_server_delta_replies_total     diff bodies served
+//   waves_net_server_delta_full_total        full bodies under delta framing
+//   waves_net_server_delta_unchanged_total   empty-body "unchanged" replies
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -37,6 +48,11 @@ struct NetClientObs {
   const Counter& bytes_sent;
   const Counter& bytes_received;
   const Histogram& request_seconds;
+  const Counter& reconnects;
+  const Counter& delta_replies;
+  const Counter& delta_full;
+  const Counter& snapshot_cache_hits;
+  const Counter& snapshot_cache_misses;
 
   static const NetClientObs& instance();
 };
@@ -47,6 +63,9 @@ struct NetServerObs {
   const Counter& frame_errors;
   const Counter& bytes_sent;
   const Counter& bytes_received;
+  const Counter& delta_replies;
+  const Counter& delta_full;
+  const Counter& delta_unchanged;
 
   static const NetServerObs& instance();
 };

@@ -49,15 +49,17 @@ COMMON=(--parties "$PARTIES" --eps 0.1 --window 4096 --instances 3
         --seed 99 --items 20000 --stream-seed 1 --density 0.2 --noise 0.05
         --value-space 65536 --skew 1.2 --max-value 1000)
 
-# start_daemons <role>: launches $PARTIES waved processes on ephemeral
-# ports, waits for their READY lines, fills $ENDPOINTS and $PIDS.
+# start_daemons <role> [extra waved flags...]: launches $PARTIES waved
+# processes on ephemeral ports, waits for their READY lines, fills
+# $ENDPOINTS and $PIDS.
 start_daemons() {
   local role=$1 j log port
+  shift
   PIDS=()
   ENDPOINTS=""
   for ((j = 0; j < PARTIES; ++j)); do
     log="$TMP/waved_${role}_${j}.log"
-    "$WAVED" --role "$role" --party-id "$j" --port 0 "${COMMON[@]}" \
+    "$WAVED" --role "$role" --party-id "$j" --port 0 "${COMMON[@]}" "$@" \
       >"$log" 2>&1 &
     PIDS+=("$!")
   done
@@ -98,6 +100,40 @@ for mode in count distinct basic sum; do
   diff -u "$TMP/local_$mode.out" "$TMP/net_$mode.out" >&2 ||
     fail "$mode: networked answer differs from in-process answer"
   echo "PARITY $mode: $(cat "$TMP/net_$mode.out")"
+  stop_daemons
+done
+
+# --- Keep-alive + delta steady state: 5 rounds over one client must ---
+# --- print 5 identical lines, matching --local, for both delta roles. ---
+# Round 1 bootstraps a full snapshot; rounds 2-5 ride the persistent
+# connection and the v3 delta/cache path, so this leg diffs the fast query
+# path — not just the bootstrap fetch — against the in-process referee.
+ROUNDS=5
+for mode in count distinct; do
+  start_daemons "$mode"
+  "$WAVECLI" query --mode "$mode" --connect "$ENDPOINTS" "${COMMON[@]}" \
+    --rounds "$ROUNDS" >"$TMP/net_ka_$mode.out" ||
+    fail "multi-round networked $mode query exited $?"
+  "$WAVECLI" query --mode "$mode" --local "${COMMON[@]}" \
+    --rounds "$ROUNDS" >"$TMP/local_ka_$mode.out" ||
+    fail "multi-round local $mode query exited $?"
+  [[ $(wc -l <"$TMP/net_ka_$mode.out") -eq $ROUNDS ]] ||
+    fail "$mode: expected $ROUNDS result lines, got \
+$(wc -l <"$TMP/net_ka_$mode.out")"
+  diff -u "$TMP/local_ka_$mode.out" "$TMP/net_ka_$mode.out" >&2 ||
+    fail "$mode: keep-alive rounds differ from the in-process answer"
+  echo "KEEP-ALIVE $mode: $ROUNDS rounds identical"
+
+  # Degradation: a daemon with deltas disabled serves the same delta-
+  # capable client with v2 full replies — answers must not change.
+  stop_daemons
+  start_daemons "$mode" --delta off
+  "$WAVECLI" query --mode "$mode" --connect "$ENDPOINTS" "${COMMON[@]}" \
+    --rounds "$ROUNDS" >"$TMP/net_nodelta_$mode.out" ||
+    fail "multi-round $mode query against --delta off daemons exited $?"
+  diff -u "$TMP/local_ka_$mode.out" "$TMP/net_nodelta_$mode.out" >&2 ||
+    fail "$mode: --delta off daemons differ from the in-process answer"
+  echo "DELTA-OFF $mode: $ROUNDS rounds identical"
   stop_daemons
 done
 

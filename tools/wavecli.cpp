@@ -13,6 +13,7 @@
 //                    [--stream-seed S2] [--density D] [--noise X]
 //                    [--value-space V] [--skew Z] [--max-value R]
 //                    [--deadline-ms MS] [--attempts A]
+//                    [--rounds K] [--delta on|off]
 //
 // Stream modes print "<items>\t<estimate>" every --every items (default
 // 10000) and a final line on EOF. The metrics mode runs a small built-in
@@ -25,9 +26,13 @@
 // deployment in-process from the shared feed_config streams and answers
 // without any networking. Both print the same "<status>\t<estimate>" line
 // (%.17g), so a loopback deployment is validated by literal string
-// comparison. Degraded Scenario-1 answers append missing=K slack=S; failed
-// queries (union/distinct under partial quorum) print the typed error to
-// stderr and exit 4.
+// comparison. --rounds K repeats the query K times over the same client —
+// round 2+ of a --connect run rides the keep-alive socket and (with
+// --delta on, the default) the v3 delta path, so diffing K rounds against
+// --local validates the fast query path, not just the bootstrap fetch.
+// Degraded Scenario-1 answers append missing=K slack=S; failed queries
+// (union/distinct under partial quorum) print the typed error to stderr
+// and exit 4.
 //
 // Exit code 2 on usage errors, 3 on malformed input, 4 on failed queries.
 #include <algorithm>
@@ -89,6 +94,8 @@ struct Options {
   double noise = 0.05;
   std::uint64_t value_space = 1u << 16;
   double skew = 1.2;
+  int rounds = 1;
+  bool delta = true;
 };
 
 int usage() {
@@ -104,7 +111,8 @@ int usage() {
                "\n               [--instances K] [--seed S] [--items M] "
                "[--stream-seed S2]\n               [--density D] [--noise "
                "X] [--value-space V] [--skew Z]\n               "
-               "[--max-value R] [--deadline-ms MS] [--attempts A]\n");
+               "[--max-value R] [--deadline-ms MS] [--attempts A]\n"
+               "               [--rounds K] [--delta on|off]\n");
   return 2;
 }
 
@@ -172,6 +180,12 @@ std::optional<Options> parse(int argc, char** argv) {
       o.value_space = std::strtoull(val, nullptr, 10);
     } else if (flag == "--skew") {
       o.skew = std::atof(val);
+    } else if (flag == "--rounds") {
+      o.rounds = std::atoi(val);
+    } else if (flag == "--delta") {
+      const std::string v = val;
+      if (v != "on" && v != "off") return std::nullopt;
+      o.delta = v == "on";
     } else {
       return std::nullopt;
     }
@@ -185,7 +199,7 @@ std::optional<Options> parse(int argc, char** argv) {
     // Exactly one referee flavor: in-process reference or TCP deployment.
     if (o.local == !o.connect.empty()) return std::nullopt;
     if (o.parties < 1 || o.instances < 1 || o.attempts < 1 ||
-        o.deadline_ms < 1) {
+        o.deadline_ms < 1 || o.rounds < 1) {
       return std::nullopt;
     }
   }
@@ -293,6 +307,20 @@ int print_result(const waves::distributed::QueryResult& r) {
   return 0;
 }
 
+/// Runs the query --rounds times against the same source/client and prints
+/// one line per round. The parties are quiescent while wavecli queries, so
+/// every round must print the identical line; over TCP, round 2+ rides the
+/// keep-alive socket and the delta mirror, which is exactly what the
+/// loopback test's multi-round leg diffs against --local.
+template <class Query>
+int run_rounds(int rounds, Query&& query) {
+  for (int r = 0; r < rounds; ++r) {
+    const int rc = print_result(query());
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
 /// The referee of a waved deployment (--connect) or its in-process
 /// reference answer over the identical feed_config streams (--local).
 int run_query(const Options& o) {
@@ -315,7 +343,8 @@ int run_query(const Options& o) {
         query.push_back(owners.back().get());
       }
       distributed::InProcessCountSource source(query, /*via_wire=*/true);
-      return print_result(distributed::union_count(source, n));
+      return run_rounds(o.rounds,
+                        [&] { return distributed::union_count(source, n); });
     }
     if (o.qmode == "distinct") {
       const auto params = tools::distinct_params(o.eps_raw, o.window,
@@ -329,7 +358,8 @@ int run_query(const Options& o) {
         query.push_back(owners.back().get());
       }
       distributed::InProcessDistinctSource source(query, /*via_wire=*/true);
-      return print_result(distributed::distinct_count(source, n));
+      return run_rounds(
+          o.rounds, [&] { return distributed::distinct_count(source, n); });
     }
     // Scenario-1 totals: sum per-party window estimates.
     double sum = 0.0;
@@ -355,7 +385,7 @@ int run_query(const Options& o) {
     distributed::QueryResult r;
     r.status = distributed::QueryStatus::kOk;
     r.estimate = core::Estimate{sum, exact, n};
-    return print_result(r);
+    return run_rounds(o.rounds, [&] { return r; });
   }
 
   // TCP referee: one endpoint per party, comma-separated.
@@ -378,26 +408,32 @@ int run_query(const Options& o) {
   net::ClientConfig ccfg;
   ccfg.request_deadline = std::chrono::milliseconds(o.deadline_ms);
   ccfg.max_attempts = o.attempts;
+  ccfg.delta_snapshots = o.delta;
 
   if (o.qmode == "count") {
     net::NetworkCountSource source(std::move(endpoints),
                                    tools::count_params(o.eps_raw, o.window),
                                    o.instances, o.seed, ccfg);
-    return print_result(distributed::union_count(source, n));
+    return run_rounds(o.rounds,
+                      [&] { return distributed::union_count(source, n); });
   }
   if (o.qmode == "distinct") {
     net::NetworkDistinctSource source(
         std::move(endpoints),
         tools::distinct_params(o.eps_raw, o.window, o.value_space, o.parties),
         o.instances, o.seed, ccfg);
-    return print_result(distributed::distinct_count(source, n));
+    return run_rounds(o.rounds,
+                      [&] { return distributed::distinct_count(source, n); });
   }
   const net::RefereeClient client(std::move(endpoints), ccfg);
   if (o.qmode == "basic") {
-    return print_result(net::total_query(client, net::PartyRole::kBasic, n));
+    return run_rounds(o.rounds, [&] {
+      return net::total_query(client, net::PartyRole::kBasic, n);
+    });
   }
-  return print_result(
-      net::total_query(client, net::PartyRole::kSum, n, feed.max_value));
+  return run_rounds(o.rounds, [&] {
+    return net::total_query(client, net::PartyRole::kSum, n, feed.max_value);
+  });
 }
 
 /// Reads uint64 lines; calls consume(v) per item and flush(items) at every

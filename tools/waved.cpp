@@ -13,6 +13,8 @@
 //         [--ingest-delay-ms MS] pause between chunks (crash-test pacing)
 //         [--serve-seconds SEC] exit after SEC seconds (default: run until
 //                               SIGINT/SIGTERM)
+//         [--delta on|off]      answer v3 delta snapshot requests
+//                               (default on; off forces full v2 replies)
 //
 // The daemon builds its synopsis with the deployment's shared seed (--seed;
 // the referee derives the same hash functions from it), ingests its
@@ -74,6 +76,7 @@ struct Options {
   std::uint64_t checkpoint_every = 0;  // 0: only at ingest end / drain
   std::uint64_t ingest_chunk = 0;      // 0: one batch
   std::uint64_t ingest_delay_ms = 0;
+  bool delta = true;
   waves::tools::FeedSpec feed;
 };
 
@@ -88,7 +91,8 @@ int usage() {
       "             [--density D] [--noise X] [--value-space V] [--skew Z]\n"
       "             [--max-value R] [--state-dir DIR]\n"
       "             [--checkpoint-every-items N] [--ingest-chunk N]\n"
-      "             [--ingest-delay-ms MS] [--serve-seconds SEC]\n");
+      "             [--ingest-delay-ms MS] [--serve-seconds SEC]\n"
+      "             [--delta on|off]\n");
   return 2;
 }
 
@@ -142,6 +146,10 @@ std::optional<Options> parse(int argc, char** argv) {
       o.ingest_delay_ms = std::strtoull(val, nullptr, 10);
     } else if (flag == "--serve-seconds") {
       o.serve_seconds = std::atof(val);
+    } else if (flag == "--delta") {
+      const std::string v = val;
+      if (v != "on" && v != "off") return std::nullopt;
+      o.delta = v == "on";
     } else {
       return std::nullopt;
     }
@@ -343,6 +351,7 @@ int main(int argc, char** argv) {
   cfg.host = o.host;
   cfg.port = o.port;
   cfg.party_id = static_cast<std::uint64_t>(o.party_id);
+  cfg.enable_delta = o.delta;
 
   if (o.role == "count") {
     distributed::CountParty party(tools::count_params(o.eps, o.window),
