@@ -10,56 +10,49 @@
 // the full (v2) client, and the in-process referee; CI checks parity == 1
 // and byte_ratio >= 5 at t=16.
 //
-// Allocation counts come from a global operator new override: the scratch-
-// buffer reuse in frame/wire/protocol should make a steady-state delta
-// round allocate strictly less than a full-snapshot round.
+// Allocation counts come from the shared counting allocator
+// (tools/alloc_hook.hpp + obs::alloc_count(), the same hook wavecli
+// installs): the scratch-buffer reuse in frame/wire/protocol should make a
+// steady-state delta round allocate strictly less than a full-snapshot
+// round. Per-phase durations come from the client's flight recorder
+// (obs/flight.hpp): where a query's wall time goes, split into
+// connect/send/wait/decode/apply per party fetch. Both are zero under
+// WAVES_OBS=OFF.
 //
 // JSON lines:
 //   e18_query_path    {parties, mode, rounds, bytes_per_query, query_ms,
-//                      allocs_per_query, parity}
+//                      allocs_per_query, fetch_connect_ms, fetch_send_ms,
+//                      fetch_wait_ms, fetch_decode_ms, fetch_apply_ms,
+//                      fetch_total_ms, fetch_allocs, fetch_records, parity}
 //   e18_delta_vs_full {parties, full_bytes, delta_bytes, byte_ratio,
 //                      full_ms, delta_ms, full_allocs, delta_allocs,
-//                      parity}
+//                      full_fetch_allocs, delta_fetch_allocs, parity}
 //   e18_encode_alloc  {ops, fresh_allocs_per_op, reused_allocs_per_op}
 //
+// The fetch_* fields are means per party fetch (over the flight records the
+// ring kept for that mode's rounds), not per query: a query fans out to t
+// parties in parallel, so per-query wall time tracks the slowest fetch, not
+// the sum.
+//
 // `--smoke` shrinks rounds and stream sizes for CI.
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <new>
 #include <string_view>
 #include <vector>
 
+// The process-wide counting operator new/delete (no-op under
+// WAVES_OBS=OFF). Must precede any allocation we want counted.
+#include "alloc_hook.hpp"
 #include "bench_common.hpp"
 #include "core/rand_wave.hpp"
 #include "distributed/party.hpp"
 #include "distributed/referee.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/alloc.hpp"
+#include "obs/flight.hpp"
 #include "stream/generators.hpp"
-
-// -- allocation counting ----------------------------------------------------
-// Counts every operator new in the process; deltas across a query round
-// give allocations-per-query. Relaxed atomics: the counter is read only
-// between rounds, never raced against for exactness.
-
-namespace {
-std::atomic<std::uint64_t> g_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace waves {
 namespace {
@@ -72,6 +65,16 @@ struct ModeResult {
   double bytes_per_query = 0.0;
   double query_ms = 0.0;
   double allocs_per_query = 0.0;
+  // Flight-recorder aggregates: means per party fetch over the records the
+  // ring kept for this mode's rounds (zero under WAVES_OBS=OFF).
+  double fetch_connect_ms = 0.0;
+  double fetch_send_ms = 0.0;
+  double fetch_wait_ms = 0.0;
+  double fetch_decode_ms = 0.0;
+  double fetch_apply_ms = 0.0;
+  double fetch_total_ms = 0.0;
+  double fetch_allocs = 0.0;
+  std::uint64_t fetch_records = 0;
   bool parity = true;
 };
 
@@ -88,6 +91,7 @@ ModeResult run_rounds(net::NetworkCountSource& source,
   std::uint64_t allocs = 0;
   double seconds = 0.0;
   bench::Stopwatch sw;
+  obs::FlightRecorder::instance().clear();  // keep only this mode's records
   for (int r = 0; r < rounds; ++r) {
     for (int i = 0; i < chunk; ++i) {
       const bool b = gen.next();
@@ -95,12 +99,12 @@ ModeResult run_rounds(net::NetworkCountSource& source,
     }
     const core::Estimate direct = distributed::union_count(ps, kWindow);
     distributed::WireStats stats;
-    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t a0 = obs::alloc_count();
     sw.start();
     const distributed::QueryResult q =
         distributed::union_count(source, kWindow, &stats);
     seconds += sw.seconds();
-    allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+    allocs += obs::alloc_count() - a0;
     bytes += stats.bytes;
     res.parity = res.parity &&
                  q.status == distributed::QueryStatus::kOk &&
@@ -111,6 +115,26 @@ ModeResult run_rounds(net::NetworkCountSource& source,
   res.query_ms = seconds * 1e3 / rounds;
   res.allocs_per_query =
       static_cast<double>(allocs) / static_cast<double>(rounds);
+  for (const auto& rec : obs::FlightRecorder::instance().recent()) {
+    res.fetch_connect_ms += rec.connect_s * 1e3;
+    res.fetch_send_ms += rec.send_s * 1e3;
+    res.fetch_wait_ms += rec.wait_s * 1e3;
+    res.fetch_decode_ms += rec.decode_s * 1e3;
+    res.fetch_apply_ms += rec.apply_s * 1e3;
+    res.fetch_total_ms += rec.total_s * 1e3;
+    res.fetch_allocs += static_cast<double>(rec.allocs);
+    ++res.fetch_records;
+  }
+  if (res.fetch_records > 0) {
+    const double n = static_cast<double>(res.fetch_records);
+    res.fetch_connect_ms /= n;
+    res.fetch_send_ms /= n;
+    res.fetch_wait_ms /= n;
+    res.fetch_decode_ms /= n;
+    res.fetch_apply_ms /= n;
+    res.fetch_total_ms /= n;
+    res.fetch_allocs /= n;
+  }
   return res;
 }
 
@@ -122,6 +146,14 @@ void emit_mode(int t, const char* mode, int rounds, const ModeResult& r) {
       .field("bytes_per_query", r.bytes_per_query)
       .field("query_ms", r.query_ms)
       .field("allocs_per_query", r.allocs_per_query)
+      .field("fetch_connect_ms", r.fetch_connect_ms)
+      .field("fetch_send_ms", r.fetch_send_ms)
+      .field("fetch_wait_ms", r.fetch_wait_ms)
+      .field("fetch_decode_ms", r.fetch_decode_ms)
+      .field("fetch_apply_ms", r.fetch_apply_ms)
+      .field("fetch_total_ms", r.fetch_total_ms)
+      .field("fetch_allocs", r.fetch_allocs)
+      .field("fetch_records", r.fetch_records)
       .field("parity", static_cast<std::uint64_t>(r.parity ? 1 : 0))
       .emit();
   bench::row_line({std::to_string(t), mode, bench::fmt(r.bytes_per_query, 0),
@@ -185,6 +217,8 @@ void e18_for_parties(int t, bool smoke) {
       .field("delta_ms", rd.query_ms)
       .field("full_allocs", rf.allocs_per_query)
       .field("delta_allocs", rd.allocs_per_query)
+      .field("full_fetch_allocs", rf.fetch_allocs)
+      .field("delta_fetch_allocs", rd.fetch_allocs)
       .field("parity",
              static_cast<std::uint64_t>(rf.parity && rd.parity ? 1 : 0))
       .emit();
@@ -205,11 +239,9 @@ void e18_encode_alloc() {
 
   const auto measure = [&](auto&& op) {
     op();  // warm up: scratch buffers reach steady-state capacity
-    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t a0 = obs::alloc_count();
     for (int i = 0; i < kOps; ++i) op();
-    return static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
-                               a0) /
-           kOps;
+    return static_cast<double>(obs::alloc_count() - a0) / kOps;
   };
 
   const double fresh = measure([&] {

@@ -107,9 +107,9 @@ Estimate DistinctWave::estimate(std::uint64_t n) const {
   return referee_distinct_count(snap, n, hash_);
 }
 
-DistinctSnapshot snapshot_from_checkpoint(const DistinctWaveCheckpoint& ck,
-                                          std::uint64_t n,
-                                          std::uint64_t window) {
+void snapshot_from_checkpoint_into(const DistinctWaveCheckpoint& ck,
+                                   std::uint64_t n, std::uint64_t window,
+                                   DistinctSnapshot& out) {
   assert(!ck.levels.empty() && ck.levels.size() == ck.evicted_bounds.size());
   const std::uint64_t s = ck.pos > n ? ck.pos - n + 1 : 1;
   // checkpoint() keeps lazily-expired fronts, so the expiry rule of
@@ -127,14 +127,22 @@ DistinctSnapshot snapshot_from_checkpoint(const DistinctWaveCheckpoint& ck,
       break;
     }
   }
-  DistinctSnapshot out;
   out.level = lj;
   out.stream_len = ck.pos;
   const auto& items = ck.levels[static_cast<std::size_t>(lj)];
+  // clear + push_back reuses out.items' capacity across rounds.
+  out.items.clear();
   out.items.reserve(items.size());
   for (const auto& [value, p] : items) {
     if (!expired(p)) out.items.emplace_back(value, p);
   }
+}
+
+DistinctSnapshot snapshot_from_checkpoint(const DistinctWaveCheckpoint& ck,
+                                          std::uint64_t n,
+                                          std::uint64_t window) {
+  DistinctSnapshot out;
+  snapshot_from_checkpoint_into(ck, n, window, out);
   return out;
 }
 

@@ -127,6 +127,12 @@ class DistinctWave {
 [[nodiscard]] DistinctSnapshot snapshot_from_checkpoint(
     const DistinctWaveCheckpoint& ck, std::uint64_t n, std::uint64_t window);
 
+/// Same result written into `out`, reusing its items capacity (see
+/// rand_wave.hpp's counterpart).
+void snapshot_from_checkpoint_into(const DistinctWaveCheckpoint& ck,
+                                   std::uint64_t n, std::uint64_t window,
+                                   DistinctSnapshot& out);
+
 /// Referee half: levelwise union scaled by 2^l*. `predicate`, when set,
 /// restricts the count to values satisfying it (selectivity-alpha queries
 /// need queues of size c/(alpha eps^2); see extensions/predicate_sample).

@@ -155,8 +155,8 @@ Estimate RandWave::estimate(std::uint64_t n) const {
   return referee_union_count(snap, n, hash_);
 }
 
-RandWaveSnapshot snapshot_from_checkpoint(const RandWaveCheckpoint& ck,
-                                          std::uint64_t n) {
+void snapshot_from_checkpoint_into(const RandWaveCheckpoint& ck,
+                                   std::uint64_t n, RandWaveSnapshot& out) {
   assert(!ck.queues.empty() && ck.queues.size() == ck.evicted_bounds.size());
   const std::uint64_t s = ck.pos > n ? ck.pos - n + 1 : 1;
   const int top = static_cast<int>(ck.queues.size()) - 1;
@@ -167,10 +167,16 @@ RandWaveSnapshot snapshot_from_checkpoint(const RandWaveCheckpoint& ck,
       break;
     }
   }
-  RandWaveSnapshot out;
   out.level = lj;
   out.stream_len = ck.pos;
+  // Copy-assign reuses out.positions' capacity across rounds.
   out.positions = ck.queues[static_cast<std::size_t>(lj)];
+}
+
+RandWaveSnapshot snapshot_from_checkpoint(const RandWaveCheckpoint& ck,
+                                          std::uint64_t n) {
+  RandWaveSnapshot out;
+  snapshot_from_checkpoint_into(ck, n, out);
   return out;
 }
 

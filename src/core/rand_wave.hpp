@@ -117,6 +117,12 @@ class RandWave {
 [[nodiscard]] RandWaveSnapshot snapshot_from_checkpoint(
     const RandWaveCheckpoint& ck, std::uint64_t n);
 
+/// Same result written into `out`, reusing its positions capacity — the
+/// steady-state form for callers that rebuild snapshots every round (the
+/// referee's decoded-snapshot cache).
+void snapshot_from_checkpoint_into(const RandWaveCheckpoint& ck,
+                                   std::uint64_t n, RandWaveSnapshot& out);
+
 /// Referee half of the protocol (Fig. 6 steps 2-3): snapshots from t
 /// parties with equal stream lengths, window of n items, and the shared
 /// hash. Returns 2^l* * |union of filtered queues|.

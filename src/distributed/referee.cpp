@@ -250,8 +250,12 @@ QueryResult union_count(CountSnapshotSource& source, std::uint64_t n,
   const RoundMetrics metrics = RoundMetrics::make(
       "protocol=\"union\",transport=\"" + std::string(source.transport()) +
       "\"");
-  auto span = obs::Tracer::instance().start("referee.union_count" +
-                                            span_suffix(source.transport()));
+  // The round span roots the query's trace (or joins an enclosing one);
+  // the ambient scope lets the transport's fan-out — and, over TCP, the
+  // parties' server-side spans — stitch under it.
+  auto span = obs::Tracer::instance().start_auto("referee.union_count" +
+                                                 span_suffix(source.transport()));
+  const obs::TraceScope trace_scope(span.context());
   QueryResult r;
   if (source.party_count() == 0) {
     r.error = "union counting: no parties configured";
@@ -285,8 +289,9 @@ QueryResult distinct_count(DistinctSnapshotSource& source, std::uint64_t n,
   const RoundMetrics metrics = RoundMetrics::make(
       "protocol=\"distinct\",transport=\"" + std::string(source.transport()) +
       "\"");
-  auto span = obs::Tracer::instance().start("referee.distinct_count" +
-                                            span_suffix(source.transport()));
+  auto span = obs::Tracer::instance().start_auto(
+      "referee.distinct_count" + span_suffix(source.transport()));
+  const obs::TraceScope trace_scope(span.context());
   QueryResult r;
   if (source.party_count() == 0) {
     r.error = "distinct values: no parties configured";

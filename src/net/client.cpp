@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "net/frame.hpp"
+#include "obs/alloc.hpp"
+#include "obs/flight.hpp"
 #include "obs/net_obs.hpp"
 #include "obs/recovery_obs.hpp"
 #include "obs/trace.hpp"
@@ -69,16 +71,17 @@ ClientConfig with_instances(ClientConfig cfg, int instances) {
 
 // Folds a decoded DeltaReply into the party's mirror and produces the
 // decoded per-instance snapshots through the (cursor, n) cache. `since` is
-// the since_cursor the request carried; `make_snap` derives one snapshot
-// from one wave checkpoint (count: (ck, n); distinct adds the window).
-// False on any cursor/codec mismatch — the caller treats it as a protocol
-// error and drops the connection.
-template <class Checkpoint, class Snapshot, class MakeSnap>
+// the since_cursor the request carried; `snap_into` derives one snapshot
+// from one wave checkpoint in place (count: (ck, out); distinct adds the
+// window), reusing the cache entry's buffers across rounds. False on any
+// cursor/codec mismatch — the caller treats it as a protocol error and
+// drops the connection.
+template <class Checkpoint, class Snapshot, class SnapInto>
 bool apply_delta_reply(const DeltaReply& r, std::uint64_t since,
                        std::uint64_t generation, std::uint64_t n,
                        DeltaMirror<Checkpoint, Snapshot>& m,
                        std::vector<Snapshot>& out, Fetch& f, std::string& err,
-                       MakeSnap&& make_snap) {
+                       SnapInto&& snap_into) {
   const auto& obs = obs::NetClientObs::instance();
   if (r.body.empty()) {
     // "Unchanged" echo: only meaningful against the cursor we asked about.
@@ -100,12 +103,14 @@ bool apply_delta_reply(const DeltaReply& r, std::uint64_t since,
     m.cache_valid = false;
     obs.delta_full.add();
   } else if (since != 0 && r.base_cursor == since && m.cursor == since) {
-    Checkpoint now;
-    if (!recovery::apply_delta(m.base, r.body, now)) {
+    // Steady-state path: apply into the mirror's scratch and swap, so the
+    // retired baseline's vectors carry their capacity into next round. On
+    // failure scratch is garbage but unread; base stays the valid mirror.
+    if (!recovery::apply_delta_into(m.base, r.body, m.scratch)) {
       err = "undecodable delta body";
       return false;
     }
-    m.base = std::move(now);
+    std::swap(m.base, m.scratch);
     m.cursor = r.cursor;
     m.cache_valid = false;
     f.delta_applied = true;
@@ -122,20 +127,26 @@ bool apply_delta_reply(const DeltaReply& r, std::uint64_t since,
     return true;
   }
   obs.snapshot_cache_misses.add();
-  out.clear();
-  out.reserve(m.base.waves.size());
-  for (const auto& w : m.base.waves) out.push_back(make_snap(w));
-  m.cache = out;
+  // Rebuild the decoded-snapshot cache in place — each entry keeps its
+  // buffer capacity from the previous round — then hand the caller a copy
+  // (the Fetch owns its vector; the cache must survive for the next hit).
+  // Building into the cache instead of building fresh and copying into it
+  // halves the snapshot allocations of a steady-state delta round (E18).
+  m.cache.resize(m.base.waves.size());
+  for (std::size_t i = 0; i < m.base.waves.size(); ++i) {
+    snap_into(m.base.waves[i], m.cache[i]);
+  }
   m.cache_cursor = m.cursor;
   m.cache_n = n;
   m.cache_valid = true;
+  out = m.cache;
   return true;
 }
 
 }  // namespace
 
 Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
-                             std::uint64_t n) const {
+                             std::uint64_t n, obs::TraceContext ctx) const {
   Fetch f;
   const Endpoint& ep = parties_[party];
   PartyLink& link = *links_[party];
@@ -145,6 +156,16 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
   std::lock_guard lk(link.mu);
   const Deadline dl = deadline_in(cfg_.request_deadline);
   const auto& obs = obs::NetClientObs::instance();
+  // Flight-recorder phase clock: each lap closes one phase. Phases are
+  // disjoint by construction — every stretch of the attempt is attributed
+  // to exactly one of them.
+  auto phase_t = Clock::now();
+  auto lap = [&phase_t] {
+    const auto now = Clock::now();
+    const double d = std::chrono::duration<double>(now - phase_t).count();
+    phase_t = now;
+    return d;
+  };
 
   // Any transport or protocol failure leaves the byte stream unusable (a
   // late reply would desync the next request), so every failure path closes
@@ -165,6 +186,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
                                    : FetchStatus::kConnectError;
       f.error = (connect_timed_out ? "connect timeout: " : "connect failed: ") +
                 ep.host + ":" + std::to_string(ep.port);
+      f.connect_s += lap();
       return f;
     }
     link.sock = std::move(sock);
@@ -199,20 +221,27 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     return false;
   };
 
-  Frame frame;
+  // Per-link reused Frame: read_frame assigns into it, so steady-state
+  // keep-alive rounds reuse its payload capacity instead of allocating.
+  Frame& frame = link.frame;
   if (!f.reused_connection) {
     // Handshake, once per connection: Hello -> HelloAck. Confirms liveness,
     // protocol version (the frame header carries it), and the party's role
     // before the real request.
     if (!send_msg(MsgType::kHello, Hello{cfg_.client_id}.encode())) {
       fail(FetchStatus::kConnectError, "hello send failed");
+      f.connect_s += lap();
       return f;
     }
-    if (!read_msg(frame)) return f;
+    if (!read_msg(frame)) {
+      f.connect_s += lap();
+      return f;
+    }
     HelloAck ack;
     if (frame.type != MsgType::kHelloAck ||
         !HelloAck::decode(frame.payload, ack)) {
       fail(FetchStatus::kProtocolError, "bad hello ack");
+      f.connect_s += lap();
       return f;
     }
     // A generation the mirror doesn't know means the party restarted since
@@ -248,8 +277,10 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     fail(FetchStatus::kProtocolError,
          "party runs " + std::to_string(ack.instances) +
              " instances, wanted " + std::to_string(expected));
+    f.connect_s += lap();
     return f;
   }
+  f.connect_s += lap();
 
   SnapshotRequest req;
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -263,11 +294,23 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     req.since_cursor = role == PartyRole::kCount ? link.count.cursor
                                                  : link.distinct.cursor;
   }
-  if (!send_msg(MsgType::kSnapshotRequest, req.encode())) {
+  // Trace context rides the request (extension tag 2): the party's
+  // server-side spans join this fetch's trace.
+  req.trace_id = ctx.trace_id;
+  req.parent_span_id = ctx.parent_span_id;
+  link.request_scratch.clear();
+  req.encode_into(link.request_scratch);
+  if (!send_msg(MsgType::kSnapshotRequest, link.request_scratch)) {
     fail(FetchStatus::kConnectError, "request send failed");
+    f.send_s += lap();
     return f;
   }
-  if (!read_msg(frame)) return f;
+  f.send_s += lap();
+  if (!read_msg(frame)) {
+    f.wait_s += lap();
+    return f;
+  }
+  f.wait_s += lap();
   f.generation = ack.generation;
 
   if (frame.type == MsgType::kErr) {
@@ -278,12 +321,14 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     f.error = ErrReply::decode(frame.payload, err)
                   ? "party error: " + err.message
                   : "party error (undecodable)";
+    f.decode_s += lap();
     return f;
   }
   const bool is_delta_reply =
       wants_delta && frame.type == MsgType::kDeltaReply;
   if (frame.type != reply_type_for(role) && !is_delta_reply) {
     fail(FetchStatus::kProtocolError, "unexpected reply type");
+    f.decode_s += lap();
     return f;
   }
 
@@ -300,44 +345,57 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
   };
 
   if (is_delta_reply) {
-    DeltaReply r;
+    // Per-link scratch reply: decode assigns the body in place, reusing
+    // its capacity across rounds.
+    DeltaReply& r = link.delta_scratch;
     if (!DeltaReply::decode(frame.payload, r) ||
         r.request_id != req.request_id || r.role != role) {
       fail(FetchStatus::kProtocolError, "bad delta reply");
+      f.decode_s += lap();
       return f;
     }
-    if (stale(r.generation)) return f;
+    if (stale(r.generation)) {
+      f.decode_s += lap();
+      return f;
+    }
     f.delta_reply = true;
+    f.decode_s += lap();
     std::string err;
     bool ok = false;
     std::size_t got = 0;
     if (role == PartyRole::kCount) {
       ok = apply_delta_reply(r, req.since_cursor, ack.generation, n,
                              link.count, f.count_snapshots, f, err,
-                             [&](const core::RandWaveCheckpoint& ck) {
-                               return core::snapshot_from_checkpoint(ck, n);
+                             [&](const core::RandWaveCheckpoint& ck,
+                                 core::RandWaveSnapshot& snap) {
+                               core::snapshot_from_checkpoint_into(ck, n,
+                                                                   snap);
                              });
       got = f.count_snapshots.size();
     } else {
       ok = apply_delta_reply(r, req.since_cursor, ack.generation, n,
                              link.distinct, f.distinct_snapshots, f, err,
-                             [&](const core::DistinctWaveCheckpoint& ck) {
-                               return core::snapshot_from_checkpoint(
-                                   ck, n, ack.window);
+                             [&](const core::DistinctWaveCheckpoint& ck,
+                                 core::DistinctSnapshot& snap) {
+                               core::snapshot_from_checkpoint_into(
+                                   ck, n, ack.window, snap);
                              });
       got = f.distinct_snapshots.size();
     }
     if (!ok) {
       fail(FetchStatus::kProtocolError, std::move(err));
+      f.apply_s += lap();
       return f;
     }
     if (expected > 0 && got != expected) {
       fail(FetchStatus::kProtocolError,
            "delta reply carries " + std::to_string(got) +
                " instances, wanted " + std::to_string(expected));
+      f.apply_s += lap();
       return f;
     }
     f.status = FetchStatus::kOk;
+    f.apply_s += lap();
     return f;
   }
 
@@ -390,19 +448,38 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
     }
   }
   f.status = FetchStatus::kOk;
+  f.decode_s += lap();
   return f;
 }
 
-Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
-                           std::uint64_t n) const {
+Fetch RefereeClient::fetch(std::size_t party, PartyRole role, std::uint64_t n,
+                           obs::TraceContext ctx) const {
   const auto& obs = obs::NetClientObs::instance();
   obs.requests.add();
   const auto t0 = Clock::now();
+  // One span per fetch: child of the caller's context (the fan-out span)
+  // when given one, else of the ambient trace, else a fresh root. The
+  // party's server-side spans parent under this one via the request's
+  // trace extension.
+  auto span = ctx ? obs::Tracer::instance().start("net.fetch", ctx)
+                  : obs::Tracer::instance().start_auto("net.fetch");
+  span.set("party", static_cast<double>(party));
+  // Allocation delta across the whole fetch — nonzero only in binaries
+  // that install tools/alloc_hook.hpp.
+  const obs::AllocScope alloc_scope;
 
   Fetch result;
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   int attempts = 0;
+  // Phase durations accumulate across attempts, like the byte counters:
+  // the record describes the fetch, not just its final attempt.
+  double connect_s = 0.0;
+  double send_s = 0.0;
+  double wait_s = 0.0;
+  double decode_s = 0.0;
+  double apply_s = 0.0;
+  double backoff_s = 0.0;
   // Generation seen on the first attempt that completed a handshake. A
   // later attempt answering under a different epoch means the party
   // restarted mid-fetch — its recovered state replayed the feed
@@ -415,14 +492,22 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
   for (int a = 1; a <= cfg_.max_attempts; ++a) {
     if (a > 1) {
       obs.retries.add();
+      const auto sleep_t0 = Clock::now();
       std::this_thread::sleep_for(backoff);
+      backoff_s +=
+          std::chrono::duration<double>(Clock::now() - sleep_t0).count();
       backoff = std::min(backoff * 2, cfg_.backoff_max);
     }
     obs.attempts.add();
     attempts = a;
-    result = attempt(party, role, n);
+    result = attempt(party, role, n, span.context());
     sent += result.bytes_sent;
     received += result.bytes_received;
+    connect_s += result.connect_s;
+    send_s += result.send_s;
+    wait_s += result.wait_s;
+    decode_s += result.decode_s;
+    apply_s += result.apply_s;
     if (result.generation != 0 || result.status == FetchStatus::kOk) {
       if (saw_generation && result.generation != first_generation) {
         result.status = FetchStatus::kStaleGeneration;
@@ -454,23 +539,64 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role,
   result.attempts = attempts;
   result.bytes_sent = sent;
   result.bytes_received = received;
+  result.trace_id = span.trace_id();
+  result.allocs = alloc_scope.allocs();
+  result.connect_s = connect_s;
+  result.send_s = send_s;
+  result.wait_s = wait_s;
+  result.decode_s = decode_s;
+  result.apply_s = apply_s;
+  result.backoff_s = backoff_s;
+  result.total_s = std::chrono::duration<double>(Clock::now() - t0).count();
   obs.bytes_sent.add(sent);
   obs.bytes_received.add(received);
-  obs.request_seconds.observe(
-      std::chrono::duration<double>(Clock::now() - t0).count());
+  obs.request_seconds.observe(result.total_s);
+  span.set("ok", result.ok() ? 1.0 : 0.0);
+  span.set("attempts", static_cast<double>(attempts));
+  span.set("bytes_received", static_cast<double>(received));
+
+  obs::FlightRecord rec;
+  rec.trace_id = result.trace_id;
+  rec.party = static_cast<std::uint32_t>(party);
+  rec.role = role_name(role);
+  rec.ok = result.ok();
+  rec.attempts = static_cast<std::uint32_t>(attempts);
+  rec.bytes = received;
+  rec.allocs = result.allocs;
+  rec.reused_connection = result.reused_connection;
+  rec.delta_reply = result.delta_reply;
+  rec.delta_applied = result.delta_applied;
+  rec.cache_hit = result.cache_hit;
+  rec.connect_s = connect_s;
+  rec.send_s = send_s;
+  rec.wait_s = wait_s;
+  rec.decode_s = decode_s;
+  rec.apply_s = apply_s;
+  rec.backoff_s = backoff_s;
+  rec.total_s = result.total_s;
+  obs::FlightRecorder::instance().record(std::move(rec));
   return result;
 }
 
 std::vector<Fetch> RefereeClient::fetch_all(PartyRole role,
                                             std::uint64_t n) const {
-  auto span = obs::Tracer::instance().start("net.fanout");
+  // Joins the calling thread's ambient trace (the referee round installs
+  // one via obs::TraceScope) or roots a fresh one. The per-party fetch
+  // threads have no ambient context of their own, so the fan-out span's
+  // context rides into them explicitly.
+  auto span = obs::Tracer::instance().start_auto("net.fanout");
+  const obs::TraceContext fan_ctx = span.context();
+  if (fan_ctx) {
+    last_trace_id_.store(fan_ctx.trace_id, std::memory_order_relaxed);
+  }
   std::vector<Fetch> results(parties_.size());
   {
     std::vector<std::jthread> threads;
     threads.reserve(parties_.size());
     for (std::size_t i = 0; i < parties_.size(); ++i) {
-      threads.emplace_back(
-          [this, &results, i, role, n] { results[i] = fetch(i, role, n); });
+      threads.emplace_back([this, &results, i, role, n, fan_ctx] {
+        results[i] = fetch(i, role, n, fan_ctx);
+      });
     }
   }  // join
   std::size_t ok = 0;
@@ -629,6 +755,61 @@ distributed::QueryResult total_query(const RefereeClient& client,
                     static_cast<double>(n) * static_cast<double>(max_value);
   }
   return r;
+}
+
+bool scrape_metrics(const Endpoint& ep, MetricsFormat format,
+                    std::uint64_t trace_filter,
+                    std::chrono::milliseconds deadline, MetricsReply& out,
+                    std::string& error) {
+  const Deadline dl = deadline_in(deadline);
+  bool connect_timed_out = false;
+  Socket sock = tcp_connect(ep.host, ep.port, dl, &connect_timed_out);
+  if (!sock.valid()) {
+    error = (connect_timed_out ? "connect timeout: " : "connect failed: ") +
+            ep.host + ":" + std::to_string(ep.port);
+    return false;
+  }
+  MetricsRequest req;
+  req.request_id = 1;
+  req.format = format;
+  req.trace_filter = trace_filter;
+  if (!write_frame(sock, MsgType::kMetricsRequest, req.encode(), dl)) {
+    error = "metrics request send failed";
+    return false;
+  }
+  Frame frame;
+  switch (read_frame(sock, frame, dl)) {
+    case ReadStatus::kOk:
+      break;
+    case ReadStatus::kTimeout:
+      error = "metrics reply deadline exceeded";
+      return false;
+    case ReadStatus::kClosed:
+      error = "connection closed before metrics reply";
+      return false;
+    case ReadStatus::kMalformed:
+      error = "malformed metrics reply frame";
+      return false;
+  }
+  if (frame.type == MsgType::kErr) {
+    ErrReply err;
+    error = ErrReply::decode(frame.payload, err)
+                ? "party error: " + err.message
+                : "party error (undecodable)";
+    return false;
+  }
+  if (frame.type != MsgType::kMetricsReply) {
+    error = "unexpected reply type to metrics request";
+    return false;
+  }
+  MetricsReply r;
+  if (!MetricsReply::decode(frame.payload, r) || r.request_id != req.request_id ||
+      r.format != format) {
+    error = "bad metrics reply";
+    return false;
+  }
+  out = std::move(r);
+  return true;
 }
 
 }  // namespace waves::net

@@ -42,8 +42,10 @@
 #include "core/rand_wave.hpp"
 #include "distributed/party.hpp"
 #include "distributed/referee.hpp"
+#include "net/frame.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 
 namespace waves::net {
 
@@ -103,6 +105,21 @@ struct Fetch {
   bool cache_hit = false;          // snapshots came from the decoded cache
   std::string error;
 
+  // Flight-recorder facts: the trace this fetch joined, allocations during
+  // it (0 unless the binary installs tools/alloc_hook.hpp), and disjoint
+  // per-phase wall-clock durations summed across attempts. total_s is
+  // measured independently around the whole fetch; the phase sum tracks it
+  // to within the untimed bookkeeping between phases.
+  std::uint64_t trace_id = 0;
+  std::uint64_t allocs = 0;
+  double connect_s = 0.0;  // TCP connect + Hello/HelloAck handshake
+  double send_s = 0.0;     // request encode + write
+  double wait_s = 0.0;     // blocked on the reply frame (server + wire)
+  double decode_s = 0.0;   // reply payload -> structs
+  double apply_s = 0.0;    // delta apply + snapshot materialization
+  double backoff_s = 0.0;  // retry sleeps
+  double total_s = 0.0;
+
   // Exactly one of these is meaningful, per the request type.
   std::vector<core::RandWaveSnapshot> count_snapshots;
   std::vector<core::DistinctSnapshot> distinct_snapshots;
@@ -120,6 +137,9 @@ struct DeltaMirror {
   std::uint64_t cursor = 0;      // server cursor of `base`; 0 = no baseline
   std::uint64_t generation = 0;  // party epoch the mirror belongs to
   Checkpoint base;
+  // apply_delta_into destination, ping-ponged with `base` via swap so the
+  // retired baseline's vectors become next round's capacity.
+  Checkpoint scratch;
   bool cache_valid = false;
   std::uint64_t cache_cursor = 0;
   std::uint64_t cache_n = 0;
@@ -139,15 +159,25 @@ class RefereeClient {
   }
   [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
 
-  /// Fetch from one party, synchronously, with retries.
-  [[nodiscard]] Fetch fetch(std::size_t party, PartyRole role,
-                            std::uint64_t n) const;
+  /// Fetch from one party, synchronously, with retries. `ctx` (optional)
+  /// joins the fetch — and, via the request's trace extension, the party's
+  /// server-side spans — to an existing trace.
+  [[nodiscard]] Fetch fetch(std::size_t party, PartyRole role, std::uint64_t n,
+                            obs::TraceContext ctx = {}) const;
 
   /// Fan out one request per party concurrently; returns per-party results
   /// in endpoint order. Wall time is the slowest party's, bounded by
-  /// max_attempts * request_deadline + backoff.
+  /// max_attempts * request_deadline + backoff. The fan-out span joins the
+  /// calling thread's ambient trace context (obs::TraceScope) when one is
+  /// installed, else roots a fresh trace; read it back via last_trace_id().
   [[nodiscard]] std::vector<Fetch> fetch_all(PartyRole role,
                                              std::uint64_t n) const;
+
+  /// Trace id of the most recent fetch_all round (0 before the first, or
+  /// with WAVES_OBS=OFF). What `wavecli query --trace` scrapes parties for.
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    return last_trace_id_.load(std::memory_order_relaxed);
+  }
 
   /// Drop every keep-alive socket (the next fetch per party reconnects).
   /// Mirrors and caches survive — they are invalidated by generation, not
@@ -166,10 +196,17 @@ class RefereeClient {
         count;
     DeltaMirror<distributed::DistinctPartyCheckpoint, core::DistinctSnapshot>
         distinct;
+    // Round-to-round scratch, all guarded by `mu`: the reply frame, the
+    // encoded request, and the decoded delta reply keep their high-water
+    // capacities so a steady-state keep-alive fetch allocates almost
+    // nothing on the transport path (E18).
+    Frame frame;
+    Bytes request_scratch;
+    DeltaReply delta_scratch;
   };
 
   [[nodiscard]] Fetch attempt(std::size_t party, PartyRole role,
-                              std::uint64_t n) const;
+                              std::uint64_t n, obs::TraceContext ctx) const;
 
   std::vector<Endpoint> parties_;
   ClientConfig cfg_;
@@ -177,6 +214,7 @@ class RefereeClient {
   // fetch_all threads hold references.
   mutable std::vector<std::unique_ptr<PartyLink>> links_;
   mutable std::atomic<std::uint64_t> next_request_id_{1};
+  mutable std::atomic<std::uint64_t> last_trace_id_{0};
 };
 
 /// Union-counting snapshot source over TCP. The hashes come from a local
@@ -236,5 +274,16 @@ class NetworkDistinctSource final
 [[nodiscard]] distributed::QueryResult total_query(
     const RefereeClient& client, PartyRole role, std::uint64_t n,
     std::uint64_t max_value = 1);
+
+/// One-shot remote scrape of a daemon's obs registry (kMetricsRequest).
+/// Standalone — no Hello handshake, no RefereeClient: connects, asks for
+/// `format` (trace_filter applies to MetricsFormat::kTrace only), validates
+/// the reply (type, echoed request id and format), and fails closed on
+/// anything else: error frames, truncated/hostile payloads, timeouts.
+/// False on failure with a diagnostic in `error`; `out` untouched.
+[[nodiscard]] bool scrape_metrics(const Endpoint& ep, MetricsFormat format,
+                                  std::uint64_t trace_filter,
+                                  std::chrono::milliseconds deadline,
+                                  MetricsReply& out, std::string& error);
 
 }  // namespace waves::net

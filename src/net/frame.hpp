@@ -30,6 +30,12 @@ inline constexpr std::array<std::uint8_t, 4> kMagic{'W', 'A', 'V', 'E'};
 // v3: SnapshotRequest may carry a delta cursor and servers may answer with
 // kDeltaReply. v2 frames are still accepted on read (the extension is
 // opt-in per request), so v2 peers interoperate on the full-snapshot path.
+// Still v3: SnapshotRequest's trailing extension is generalized to tagged
+// blocks (tag 1 = delta cursor, tag 2 = trace context) and two additive
+// message types carry metrics scrapes (kMetricsRequest/kMetricsReply).
+// Both are opt-in per request and never sent unsolicited, so older v3
+// peers that don't know them interoperate on every existing path; see
+// docs/networking.md for the exact compatibility rule.
 inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 10;
@@ -46,6 +52,8 @@ enum class MsgType : std::uint8_t {
   kTotalReply = 6,
   kErr = 7,
   kDeltaReply = 8,  // v3: party-checkpoint delta against a cursored baseline
+  kMetricsRequest = 9,  // v3 additive: remote scrape of the obs registry
+  kMetricsReply = 10,
 };
 
 [[nodiscard]] bool valid_msg_type(std::uint8_t t);

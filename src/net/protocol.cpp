@@ -92,9 +92,15 @@ void SnapshotRequest::encode_into(Bytes& out) const {
   put_varint(out, request_id);
   put_varint(out, static_cast<std::uint64_t>(role));
   put_varint(out, n);
+  // Extension tags in strictly increasing order (canonical form).
   if (delta_capable) {
     put_varint(out, 1);
     put_varint(out, since_cursor);
+  }
+  if (trace_id != 0) {
+    put_varint(out, 2);
+    put_varint(out, trace_id);
+    put_varint(out, parent_span_id);
   }
 }
 
@@ -113,14 +119,26 @@ bool SnapshotRequest::decode(const Bytes& in, SnapshotRequest& out) {
       !get_varint(in, at, r.n)) {
     return false;
   }
-  // v2 form ends here; the v3 form appends exactly `1, since_cursor`.
-  if (!consumed(in, at)) {
-    std::uint64_t capable = 0;
-    if (!get_varint(in, at, capable) || capable != 1 ||
-        !get_varint(in, at, r.since_cursor) || !consumed(in, at)) {
+  // v2 form ends here; v3 appends tagged extension blocks, tags strictly
+  // increasing. The original v3 delta form (`1, since_cursor`) is the
+  // lone-tag-1 case. Unknown tags fail the decode: extensions are only
+  // sent to peers expected to understand them (see protocol.hpp).
+  std::uint64_t last_tag = 0;
+  while (!consumed(in, at)) {
+    std::uint64_t tag = 0;
+    if (!get_varint(in, at, tag) || tag <= last_tag) return false;
+    last_tag = tag;
+    if (tag == 1) {
+      if (!get_varint(in, at, r.since_cursor)) return false;
+      r.delta_capable = true;
+    } else if (tag == 2) {
+      if (!get_varint(in, at, r.trace_id) || r.trace_id == 0 ||
+          !get_varint(in, at, r.parent_span_id)) {
+        return false;
+      }
+    } else {
       return false;
     }
-    r.delta_capable = true;
   }
   r.role = static_cast<PartyRole>(role);
   out = r;
@@ -222,6 +240,10 @@ Bytes DeltaReply::encode() const {
 }
 
 bool DeltaReply::decode(const Bytes& in, DeltaReply& out) {
+  // Fields land in locals until everything (including full consumption) is
+  // validated, then the body is assigned into out — so the all-or-nothing
+  // contract holds AND a caller that reuses one DeltaReply across rounds
+  // keeps its body's high-water capacity (the client's per-link scratch).
   DeltaReply r;
   std::size_t at = 0;
   std::uint64_t role = 0;
@@ -230,15 +252,17 @@ bool DeltaReply::decode(const Bytes& in, DeltaReply& out) {
       !get_varint(in, at, role) || role > 0xFF ||
       !valid_role(static_cast<std::uint8_t>(role)) ||
       !get_varint(in, at, r.base_cursor) || !get_varint(in, at, r.cursor) ||
-      !get_varint(in, at, len) || len > in.size() - at) {
+      !get_varint(in, at, len) || len > in.size() - at ||
+      !consumed(in, at + len)) {
     return false;
   }
-  r.body.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
-                in.begin() + static_cast<std::ptrdiff_t>(at + len));
-  at += len;
-  if (!consumed(in, at)) return false;
-  r.role = static_cast<PartyRole>(role);
-  out = std::move(r);
+  out.request_id = r.request_id;
+  out.generation = r.generation;
+  out.role = static_cast<PartyRole>(role);
+  out.base_cursor = r.base_cursor;
+  out.cursor = r.cursor;
+  out.body.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                  in.begin() + static_cast<std::ptrdiff_t>(at + len));
   return true;
 }
 
@@ -249,6 +273,67 @@ Bytes ErrReply::encode() const {
   put_varint(out, message.size());
   out.insert(out.end(), message.begin(), message.end());
   return out;
+}
+
+bool valid_metrics_format(std::uint8_t f) {
+  return f >= static_cast<std::uint8_t>(MetricsFormat::kProm) &&
+         f <= static_cast<std::uint8_t>(MetricsFormat::kTrace);
+}
+
+Bytes MetricsRequest::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_varint(out, static_cast<std::uint64_t>(format));
+  put_varint(out, trace_filter);
+  return out;
+}
+
+bool MetricsRequest::decode(const Bytes& in, MetricsRequest& out) {
+  MetricsRequest r;
+  std::size_t at = 0;
+  std::uint64_t format = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, format) ||
+      format > 0xFF || !valid_metrics_format(static_cast<std::uint8_t>(format)) ||
+      !get_varint(in, at, r.trace_filter) || !consumed(in, at)) {
+    return false;
+  }
+  r.format = static_cast<MetricsFormat>(format);
+  out = r;
+  return true;
+}
+
+void MetricsReply::encode_into(Bytes& out) const {
+  put_varint(out, request_id);
+  put_varint(out, generation);
+  put_varint(out, static_cast<std::uint64_t>(format));
+  put_varint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+Bytes MetricsReply::encode() const {
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+bool MetricsReply::decode(const Bytes& in, MetricsReply& out) {
+  MetricsReply r;
+  std::size_t at = 0;
+  std::uint64_t format = 0;
+  std::uint64_t len = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, r.generation) ||
+      !get_varint(in, at, format) || format > 0xFF ||
+      !valid_metrics_format(static_cast<std::uint8_t>(format)) ||
+      !get_varint(in, at, len) || len > in.size() - at) {
+    return false;
+  }
+  r.text.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                in.begin() + static_cast<std::ptrdiff_t>(at + len));
+  at += len;
+  if (!consumed(in, at)) return false;
+  r.format = static_cast<MetricsFormat>(format);
+  out = std::move(r);
+  return true;
 }
 
 bool ErrReply::decode(const Bytes& in, ErrReply& out) {

@@ -72,15 +72,28 @@ struct SnapshotRequest {
   PartyRole role = PartyRole::kCount;  // client's expectation, server-checked
   std::uint64_t n = 0;                 // window size queried
 
-  // v3 extension, opt-in per request: when delta_capable the client will
-  // accept a kDeltaReply and (if since_cursor != 0) holds a baseline party
-  // checkpoint cursored at since_cursor; since_cursor == 0 asks for a full
-  // body under the delta framing — the mirror bootstrap. Encoded as two
-  // trailing varints a v2 request simply omits; decoders here accept both
-  // forms. A server may always answer with the v2 reply kinds instead
-  // (delta disabled), so a delta_capable client handles either.
+  // v3 trailing extensions, opt-in per request. The fixed fields may be
+  // followed by extension blocks, each a tag varint plus tag-specific
+  // payload, tags strictly increasing (canonical: no duplicates, no
+  // reordering). Unknown tags are rejected — an extension is only sent to
+  // a peer expected to understand it. A v2 request omits all of them, and
+  // the original v3 delta form (`1, since_cursor`) parses unchanged as the
+  // tag-1 block.
+  //
+  // Tag 1 — delta: the client accepts a kDeltaReply; since_cursor != 0
+  // names the baseline party checkpoint it holds, 0 asks for a full body
+  // under the delta framing (mirror bootstrap). Servers may always answer
+  // with the v2 reply kinds instead (delta disabled), so a delta_capable
+  // client handles either.
   bool delta_capable = false;
   std::uint64_t since_cursor = 0;
+
+  // Tag 2 — trace context: the client's trace id and the span the server's
+  // work should hang under. The server tags its handling spans with the
+  // same trace id, so a later format=trace scrape stitches one
+  // cross-process trace. trace_id == 0 means "no trace" and is not sent.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 
   [[nodiscard]] Bytes encode() const;
   void encode_into(Bytes& out) const;
@@ -148,6 +161,42 @@ struct ErrReply {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static bool decode(const Bytes& in, ErrReply& out);
+};
+
+/// Export format carried by a metrics scrape.
+enum class MetricsFormat : std::uint8_t {
+  kProm = 1,   // Prometheus text exposition (obs::prometheus_text)
+  kJson = 2,   // obs::json_text
+  kTrace = 3,  // obs::trace_text — one line per retained span
+};
+
+[[nodiscard]] bool valid_metrics_format(std::uint8_t f);
+
+// v3 additive message pair: ask a daemon (or networked referee) for its
+// process-local obs registry. No Hello handshake required — a scrape-only
+// connection may send this as its first frame, so operators can point
+// `wavecli metrics --connect` at any waved without disturbing query
+// sessions. Servers answer with kMetricsReply (or kErr on a malformed
+// request) and keep the connection open for more requests.
+struct MetricsRequest {
+  std::uint64_t request_id = 0;
+  MetricsFormat format = MetricsFormat::kProm;
+  // kTrace only: return just this trace's spans (0 = all retained spans).
+  std::uint64_t trace_filter = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, MetricsRequest& out);
+};
+
+struct MetricsReply {
+  std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;  // serving process epoch (0 for referees)
+  MetricsFormat format = MetricsFormat::kProm;
+  std::string text;  // exporter output; bounded by kMaxPayload framing
+
+  [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
+  [[nodiscard]] static bool decode(const Bytes& in, MetricsReply& out);
 };
 
 }  // namespace waves::net

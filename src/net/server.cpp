@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "obs/export.hpp"
 #include "obs/net_obs.hpp"
+#include "obs/trace.hpp"
 #include "recovery/delta.hpp"
 
 namespace waves::net {
@@ -233,7 +235,16 @@ void PartyServer::delta_answer(Party* party, DeltaState<Checkpoint>& st,
 void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
                          Deadline dl) {
   const auto& obs = obs::NetServerObs::instance();
+  // Server-side handling span. When the request carries a trace context
+  // (extension tag 2) this joins the client's trace: a later format=trace
+  // scrape of this process returns it under the same trace id, and
+  // `wavecli query --trace` stitches it below the client's per-party span.
+  auto span = obs::Tracer::instance().start(
+      "party.answer", obs::TraceContext{req.trace_id, req.parent_span_id});
+  span.set("party", static_cast<double>(cfg_.party_id));
+  span.set("n", static_cast<double>(req.n));
   auto send = [&](MsgType type, const Bytes& payload) {
+    span.set("reply_bytes", static_cast<double>(payload.size()));
     if (write_frame(sock, type, payload, dl)) {
       obs.bytes_sent.add(kHeaderSize + payload.size());
     }
@@ -257,14 +268,26 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
         r.request_id = req.request_id;
         r.generation = cfg_.generation;
         r.role = role_;
-        delta_answer(count_, count_delta_, req, r);
+        {
+          // Covers the checkpoint walk (which contends with the ingest
+          // lock) and the delta diff — the "interference" phase.
+          auto d = obs::Tracer::instance().start("party.delta",
+                                                 span.context());
+          delta_answer(count_, count_delta_, req, r);
+          d.set("body_bytes", static_cast<double>(r.body.size()));
+          d.set("full", r.base_cursor == 0 ? 1.0 : 0.0);
+        }
         send(MsgType::kDeltaReply, r.encode());
         return;
       }
       CountReply r;
       r.request_id = req.request_id;
       r.generation = cfg_.generation;
-      r.snapshots = count_->snapshots(req.n);
+      {
+        auto s = obs::Tracer::instance().start("party.snapshot",
+                                               span.context());
+        r.snapshots = count_->snapshots(req.n);
+      }
       send(MsgType::kCountReply, r.encode());
       return;
     }
@@ -274,14 +297,24 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
         r.request_id = req.request_id;
         r.generation = cfg_.generation;
         r.role = role_;
-        delta_answer(distinct_, distinct_delta_, req, r);
+        {
+          auto d = obs::Tracer::instance().start("party.delta",
+                                                 span.context());
+          delta_answer(distinct_, distinct_delta_, req, r);
+          d.set("body_bytes", static_cast<double>(r.body.size()));
+          d.set("full", r.base_cursor == 0 ? 1.0 : 0.0);
+        }
         send(MsgType::kDeltaReply, r.encode());
         return;
       }
       DistinctReply r;
       r.request_id = req.request_id;
       r.generation = cfg_.generation;
-      r.snapshots = distinct_->snapshots(req.n);
+      {
+        auto s = obs::Tracer::instance().start("party.snapshot",
+                                               span.context());
+        r.snapshots = distinct_->snapshots(req.n);
+      }
       send(MsgType::kDistinctReply, r.encode());
       return;
     }
@@ -359,6 +392,40 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
           return;
         }
         answer(sock, req, dl);
+        break;
+      }
+      case MsgType::kMetricsRequest: {
+        // Scrape of this process's obs registry. No Hello required: a
+        // scrape-only connection (wavecli metrics --connect, the CI schema
+        // check) sends this as its first frame.
+        MetricsRequest req;
+        if (!MetricsRequest::decode(frame.payload, req)) {
+          obs.frame_errors.add();
+          ErrReply err{0, ErrCode::kBadRequest, "bad metrics request"};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          return;
+        }
+        MetricsReply r;
+        r.request_id = req.request_id;
+        r.generation = cfg_.generation;
+        r.format = req.format;
+        switch (req.format) {
+          case MetricsFormat::kProm:
+            r.text = obs::prometheus_text();
+            break;
+          case MetricsFormat::kJson:
+            r.text = obs::json_text();
+            break;
+          case MetricsFormat::kTrace:
+            r.text = obs::trace_text(req.trace_filter);
+            break;
+        }
+        const Bytes payload = r.encode();
+        if (!write_frame(sock, MsgType::kMetricsReply, payload, dl)) return;
+        obs.bytes_sent.add(kHeaderSize + payload.size());
         break;
       }
       default: {

@@ -1,0 +1,80 @@
+// Opt-in allocation counting for profiling the query path.
+//
+// The obs library itself never overrides operator new — that would force
+// the hook on every binary linking waves. Instead, binaries that want
+// allocation profiling (wavecli, bench_query) include tools/alloc_hook.hpp,
+// whose global operator new/delete overrides call note_alloc(). Library
+// code measures windows with AllocScope; in a binary without the hook the
+// count stays 0 and every scope reads 0 — a recognizable "not wired up"
+// value rather than a misleading one.
+//
+// note_alloc() is called from inside operator new: it must not allocate,
+// lock, or touch anything but the relaxed atomic.
+//
+// Compiled to no-ops when WAVES_OBS_ENABLED is 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace waves::obs {
+
+#if WAVES_OBS_ENABLED
+
+namespace detail {
+// C++20 constinit inline variables: zero-initialized before any dynamic
+// init, so hooks firing during static construction are safe. The global
+// counter feeds process-wide deltas (bench loops); the thread-local one
+// lets AllocScope attribute allocations to the calling thread even while
+// fetch_all's worker threads allocate concurrently.
+inline constinit std::atomic<std::uint64_t> g_alloc_count{0};
+inline constinit thread_local std::uint64_t t_alloc_count = 0;
+}  // namespace detail
+
+/// Called by the opt-in operator new hook on every allocation.
+inline void note_alloc() noexcept {
+  detail::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  ++detail::t_alloc_count;
+}
+
+/// Process-wide allocation count since start (0 if no hook is installed).
+[[nodiscard]] inline std::uint64_t alloc_count() noexcept {
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// This thread's allocation count since thread start (0 without the hook).
+[[nodiscard]] inline std::uint64_t thread_alloc_count() noexcept {
+  return detail::t_alloc_count;
+}
+
+/// RAII window over the *calling thread's* allocation counter, so a
+/// per-fetch measurement stays honest while sibling fanout threads
+/// allocate concurrently. Construct and read on the same thread.
+class AllocScope {
+ public:
+  AllocScope() noexcept : start_(thread_alloc_count()) {}
+  /// Allocations on this thread since construction.
+  [[nodiscard]] std::uint64_t allocs() const noexcept {
+    return thread_alloc_count() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+#else  // WAVES_OBS_ENABLED == 0
+
+inline void note_alloc() noexcept {}
+[[nodiscard]] inline std::uint64_t alloc_count() noexcept { return 0; }
+[[nodiscard]] inline std::uint64_t thread_alloc_count() noexcept { return 0; }
+
+class AllocScope {
+ public:
+  [[nodiscard]] std::uint64_t allocs() const noexcept { return 0; }
+};
+
+#endif  // WAVES_OBS_ENABLED
+
+}  // namespace waves::obs

@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <map>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -103,16 +102,10 @@ std::string labels_json(std::string_view labels) {
   return out;
 }
 
-/// Most recent span per name, insertion-ordered by last occurrence.
-std::vector<SpanRecord> last_span_per_name() {
-  std::map<std::string, SpanRecord> by_name;
-  for (auto& rec : Tracer::instance().recent()) {
-    by_name[rec.name] = std::move(rec);
-  }
-  std::vector<SpanRecord> out;
-  out.reserve(by_name.size());
-  for (auto& [name, rec] : by_name) out.push_back(std::move(rec));
-  return out;
+std::string fmt_hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
 }
 
 }  // namespace
@@ -145,8 +138,10 @@ std::string prometheus_text() {
   }
 
   // Most recent referee-round (and other) spans, as gauges so standard
-  // Prometheus tooling can scrape "what did the last round cost".
-  const auto spans = last_span_per_name();
+  // Prometheus tooling can scrape "what did the last round cost". The
+  // per-name table is maintained by the tracer itself, so a burst of
+  // concurrent rounds evicting the ring cannot drop a name from here.
+  const auto spans = Tracer::instance().latest_per_name();
   if (!spans.empty()) {
     out.append("# TYPE waves_span_last_duration_seconds gauge\n");
     for (const auto& s : spans) {
@@ -209,8 +204,9 @@ std::string json_text() {
   for (const auto& s : Tracer::instance().recent()) {
     if (!first) out.push_back(',');
     first = false;
-    out.append("{\"id\":" + fmt_u64(s.id) + ",\"name\":\"" +
-               json_escape(s.name) +
+    out.append("{\"id\":" + fmt_u64(s.id) + ",\"trace_id\":\"" +
+               fmt_hex16(s.trace_id) + "\",\"parent_id\":" +
+               fmt_u64(s.parent_id) + ",\"name\":\"" + json_escape(s.name) +
                "\",\"duration_seconds\":" + fmt_d(s.duration_seconds) +
                ",\"attrs\":{");
     for (std::size_t i = 0; i < s.attrs.size(); ++i) {
@@ -224,9 +220,30 @@ std::string json_text() {
   return out;
 }
 
+std::string trace_text(std::uint64_t trace_id) {
+  const auto spans = trace_id == 0 ? Tracer::instance().recent()
+                                   : Tracer::instance().for_trace(trace_id);
+  std::string out;
+  for (const auto& s : spans) {
+    out.append("span trace=" + fmt_hex16(s.trace_id) +
+               " id=" + fmt_u64(s.id) + " parent=" + fmt_u64(s.parent_id) +
+               " name=" + s.name +
+               " dur_s=" + fmt_d(s.duration_seconds));
+    for (const auto& [key, value] : s.attrs) {
+      out.append(" attr." + key + "=" + fmt_d(value));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
 #else  // WAVES_OBS_ENABLED == 0
 
 std::string prometheus_text() {
+  return "# waves observability compiled out (WAVES_OBS=OFF)\n";
+}
+
+std::string trace_text(std::uint64_t) {
   return "# waves observability compiled out (WAVES_OBS=OFF)\n";
 }
 

@@ -5,16 +5,25 @@
 //     recent span per name surfaced as waves_span_* gauges);
 //   * JSON — one object with "counters"/"gauges"/"histograms"/"spans"
 //     arrays, for trajectory recording and programmatic consumption.
+//   * trace text — one line per retained span (key=value pairs), optionally
+//     filtered to a single trace id; this is what a kMetricsRequest with
+//     format=trace returns, and what `wavecli query --trace` stitches.
 //
-// With WAVES_OBS=OFF both return a single comment/stub noting the layer is
+// With WAVES_OBS=OFF all return a single comment/stub noting the layer is
 // compiled out.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace waves::obs {
 
 [[nodiscard]] std::string prometheus_text();
 [[nodiscard]] std::string json_text();
+
+/// One `span trace=<hex16> id=<n> parent=<n> name=<name> dur_s=<secs>
+/// [attr.<key>=<value>...]` line per retained span, oldest first.
+/// trace_id == 0 returns every retained span; otherwise only that trace's.
+[[nodiscard]] std::string trace_text(std::uint64_t trace_id);
 
 }  // namespace waves::obs

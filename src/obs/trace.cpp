@@ -1,8 +1,23 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+
 namespace waves::obs {
 
 #if WAVES_OBS_ENABLED
+
+namespace {
+
+// splitmix64 finalizer — cheap, well-mixed; good enough to make trace ids
+// from different processes started in the same millisecond distinct.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 double Span::end() {
   if (owner_ == nullptr) return 0.0;
@@ -14,26 +29,88 @@ double Span::end() {
   return dt;
 }
 
+std::vector<SpanRecord> SpanLog::latest_per_name() const {
+  std::vector<SpanRecord> out;
+  out.reserve(latest_by_name_.size());
+  for (const auto& [name, rec] : latest_by_name_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 Tracer& Tracer::instance() {
   static Tracer t;
   return t;
 }
 
+Span Tracer::start(std::string_view name, TraceContext ctx) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+  return Span(this, name, id, ctx);
+}
+
+Span Tracer::start_trace(std::string_view name) {
+  return start(name, TraceContext{new_trace_id(), 0});
+}
+
+namespace {
+thread_local TraceContext tl_current{};
+}  // namespace
+
+Span Tracer::start_auto(std::string_view name) {
+  const TraceContext ctx = current();
+  return ctx ? start(name, ctx) : start_trace(name);
+}
+
+TraceContext Tracer::current() noexcept { return tl_current; }
+
+void Tracer::set_current(TraceContext ctx) noexcept { tl_current = ctx; }
+
+std::uint64_t Tracer::new_trace_id() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_seed_ == 0) {
+    // Per-process seed: wall-clock ticks mixed with this Tracer's address
+    // (ASLR) so two clients started together still mint distinct traces.
+    const auto ticks = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    trace_seed_ = mix64(ticks ^ reinterpret_cast<std::uintptr_t>(this));
+  }
+  std::uint64_t id = 0;
+  do {
+    id = mix64(trace_seed_++);
+  } while (id == 0);
+  return id;
+}
+
 void Tracer::record(SpanRecord&& rec) {
   std::lock_guard<std::mutex> lock(mu_);
-  rec.id = next_id_++;
-  ring_.push_back(std::move(rec));
-  if (ring_.size() > kKeep) ring_.pop_front();
+  if (rec.id == 0) rec.id = next_id_++;
+  log_.push(std::move(rec));
 }
 
 std::vector<SpanRecord> Tracer::recent() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return {ring_.begin(), ring_.end()};
+  return log_.recent();
+}
+
+std::vector<SpanRecord> Tracer::for_trace(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.for_trace(trace_id);
+}
+
+std::vector<SpanRecord> Tracer::latest_per_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.latest_per_name();
 }
 
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  ring_.clear();
+  log_.clear();
 }
 
 #endif  // WAVES_OBS_ENABLED

@@ -2,10 +2,17 @@
 //
 // A Span measures one bounded operation (steady-clock duration) and carries
 // a small set of numeric attributes (parties contacted, messages, encoded
-// bytes, decode failures). Finished spans land in a fixed-size ring of
-// recent records that the exporters read — answering "what did the last
-// referee round cost" without a debugger. Spans are for the cold query
-// path: recording one takes a mutex; never put a Span on a per-item path.
+// bytes, decode failures). Finished spans land in a bounded SpanLog ring
+// that the exporters read — answering "what did the last referee round
+// cost" without a debugger. Spans are for the cold query path: starting or
+// recording one takes a mutex; never put a Span on a per-item path.
+//
+// Cross-process traces: a span may join a trace via a TraceContext — a
+// 64-bit trace id plus the parent span's id. The referee client mints a
+// trace id per query round and carries the context over the wire (see
+// net/protocol.hpp, SnapshotRequest extension tag 2), so party-side server
+// spans land in their local SpanLog tagged with the same trace id and can
+// be stitched back together by `wavecli query --trace`.
 //
 // Compiled to no-ops when WAVES_OBS_ENABLED is 0 (see obs/metrics.hpp).
 #pragma once
@@ -16,6 +23,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -23,9 +31,21 @@
 
 namespace waves::obs {
 
-/// A finished span as stored in the tracer ring.
+/// Identifies a position in a (possibly cross-process) trace: the trace a
+/// span belongs to and the span it hangs under. trace_id == 0 means "no
+/// trace" — the span is a local root. Plain data in both build modes so
+/// protocol code can carry it unconditionally.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  explicit operator bool() const noexcept { return trace_id != 0; }
+};
+
+/// A finished span as stored in the span log.
 struct SpanRecord {
-  std::uint64_t id = 0;
+  std::uint64_t id = 0;        // span id, unique within this process
+  std::uint64_t trace_id = 0;  // 0 = not part of a propagated trace
+  std::uint64_t parent_id = 0; // parent span id, 0 = root
   std::string name;
   double duration_seconds = 0.0;
   std::vector<std::pair<std::string, double>> attrs;
@@ -51,13 +71,26 @@ class Span {
   void set(std::string_view key, double value) {
     rec_.attrs.emplace_back(std::string(key), value);
   }
+  /// Context for child spans (same trace — or none — parented here). Valid
+  /// from construction: span ids are assigned at start, not at end.
+  [[nodiscard]] TraceContext context() const noexcept {
+    return {rec_.trace_id, rec_.id};
+  }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept {
+    return rec_.trace_id;
+  }
   /// Idempotent; returns the duration (0 if already ended or disowned).
   double end();
 
  private:
   friend class Tracer;
-  Span(Tracer* owner, std::string_view name) : owner_(owner) {
+  Span(Tracer* owner, std::string_view name, std::uint64_t id,
+       TraceContext ctx)
+      : owner_(owner) {
     rec_.name = name;
+    rec_.id = id;
+    rec_.trace_id = ctx.trace_id;
+    rec_.parent_id = ctx.parent_span_id;
     t0_ = std::chrono::steady_clock::now();
   }
 
@@ -66,26 +99,92 @@ class Span {
   SpanRecord rec_;
 };
 
-/// Process-wide ring of recent spans.
+/// Bounded ring of finished spans plus two indexes that survive ring
+/// eviction: a per-name "latest" table (feeding the waves_span_* gauges —
+/// concurrent rounds can no longer push each other's names out) and
+/// trace-id lookup over the ring. Not thread-safe by itself; Tracer wraps
+/// every access in its mutex.
+class SpanLog {
+ public:
+  static constexpr std::size_t kKeep = 256;
+
+  void push(SpanRecord&& rec) {
+    latest_by_name_[rec.name] = rec;
+    ring_.push_back(std::move(rec));
+    if (ring_.size() > kKeep) ring_.pop_front();
+  }
+
+  [[nodiscard]] std::vector<SpanRecord> recent() const {
+    return {ring_.begin(), ring_.end()};
+  }
+
+  /// All retained spans of one trace, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> for_trace(
+      std::uint64_t trace_id) const {
+    std::vector<SpanRecord> out;
+    for (const auto& r : ring_)
+      if (r.trace_id == trace_id) out.push_back(r);
+    return out;
+  }
+
+  /// Most recent finished span per name, sorted by name. Maintained
+  /// incrementally: immune to ring eviction and interleaving.
+  [[nodiscard]] std::vector<SpanRecord> latest_per_name() const;
+
+  void clear() {
+    ring_.clear();
+    latest_by_name_.clear();
+  }
+
+ private:
+  std::deque<SpanRecord> ring_;
+  std::unordered_map<std::string, SpanRecord> latest_by_name_;
+};
+
+/// Process-wide span log.
 class Tracer {
  public:
   static Tracer& instance();
 
-  [[nodiscard]] Span start(std::string_view name) { return Span(this, name); }
+  /// Root span outside any trace.
+  [[nodiscard]] Span start(std::string_view name) {
+    return start(name, TraceContext{});
+  }
+  /// Span joining an existing trace (or none, if ctx is empty).
+  [[nodiscard]] Span start(std::string_view name, TraceContext ctx);
+  /// Root span of a fresh trace: mints a new non-zero trace id.
+  [[nodiscard]] Span start_trace(std::string_view name);
+  /// Child of the calling thread's current context when one is installed
+  /// (see TraceScope), otherwise the root of a fresh trace.
+  [[nodiscard]] Span start_auto(std::string_view name);
+
+  /// The calling thread's ambient trace context (empty when none).
+  [[nodiscard]] static TraceContext current() noexcept;
+  static void set_current(TraceContext ctx) noexcept;
+
+  /// Mint a trace id without starting a span (unique within the process,
+  /// seeded per-process so concurrent clients rarely collide).
+  [[nodiscard]] std::uint64_t new_trace_id();
 
   /// Up to `kKeep` most recent finished spans, oldest first.
   [[nodiscard]] std::vector<SpanRecord> recent() const;
+  /// Retained spans of one trace, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> for_trace(
+      std::uint64_t trace_id) const;
+  /// Most recent span per distinct name (survives ring eviction).
+  [[nodiscard]] std::vector<SpanRecord> latest_per_name() const;
   void clear();
 
-  static constexpr std::size_t kKeep = 64;
+  static constexpr std::size_t kKeep = SpanLog::kKeep;
 
  private:
   friend class Span;
   void record(SpanRecord&& rec);
 
   mutable std::mutex mu_;
-  std::deque<SpanRecord> ring_;
+  SpanLog log_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_seed_ = 0;
 };
 
 #else  // WAVES_OBS_ENABLED == 0
@@ -93,6 +192,8 @@ class Tracer {
 class Span {
  public:
   void set(std::string_view, double) {}
+  [[nodiscard]] TraceContext context() const noexcept { return {}; }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return 0; }
   double end() { return 0.0; }
 };
 
@@ -103,10 +204,37 @@ class Tracer {
     return t;
   }
   [[nodiscard]] Span start(std::string_view) { return Span{}; }
+  [[nodiscard]] Span start(std::string_view, TraceContext) { return Span{}; }
+  [[nodiscard]] Span start_trace(std::string_view) { return Span{}; }
+  [[nodiscard]] Span start_auto(std::string_view) { return Span{}; }
+  [[nodiscard]] static TraceContext current() noexcept { return {}; }
+  static void set_current(TraceContext) noexcept {}
+  [[nodiscard]] std::uint64_t new_trace_id() { return 0; }
   [[nodiscard]] std::vector<SpanRecord> recent() const { return {}; }
+  [[nodiscard]] std::vector<SpanRecord> for_trace(std::uint64_t) const {
+    return {};
+  }
+  [[nodiscard]] std::vector<SpanRecord> latest_per_name() const { return {}; }
   void clear() {}
 };
 
 #endif  // WAVES_OBS_ENABLED
+
+/// RAII guard installing an ambient trace context for the calling thread:
+/// spans started with Tracer::start_auto inside the scope become children
+/// of `ctx` instead of roots of fresh traces. With WAVES_OBS=OFF the guard
+/// is inert. Thread-scoped: hand the context to worker threads explicitly.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx) : prev_(Tracer::current()) {
+    Tracer::set_current(ctx);
+  }
+  ~TraceScope() { Tracer::set_current(prev_); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
 
 }  // namespace waves::obs

@@ -261,26 +261,29 @@ bool diff_rand(Bytes& out, const core::RandWaveCheckpoint& base,
   return true;
 }
 
+// Builds into `out` in place, reassigning its per-level vectors so their
+// capacity survives across rounds (the client's ping-pong scratch). `out`
+// is unspecified on failure and must not alias `base` — both hold at every
+// call site (fresh locals, or DeltaMirror's distinct base/scratch members).
 bool apply_rand(const Bytes& in, std::size_t& at,
                 const core::RandWaveCheckpoint& base,
                 core::RandWaveCheckpoint& out) {
-  core::RandWaveCheckpoint ck;
   std::uint64_t nq = 0;
-  if (!get_varint(in, at, ck.pos) || !get_varint(in, at, nq) ||
+  if (!get_varint(in, at, out.pos) || !get_varint(in, at, nq) ||
       nq != base.queues.size() || nq != base.evicted_bounds.size()) {
     return false;
   }
-  ck.queues.reserve(nq);
-  ck.evicted_bounds.reserve(nq);
+  out.queues.resize(nq);
+  out.evicted_bounds.resize(nq);
   for (std::size_t l = 0; l < nq; ++l) {
     std::uint64_t drop = 0, appends = 0;
     if (!get_varint(in, at, drop) || drop > base.queues[l].size() ||
         !get_varint(in, at, appends) || appends > in.size() - at) {
       return false;
     }
-    std::vector<std::uint64_t> q(
-        base.queues[l].begin() + static_cast<std::ptrdiff_t>(drop),
-        base.queues[l].end());
+    std::vector<std::uint64_t>& q = out.queues[l];
+    q.assign(base.queues[l].begin() + static_cast<std::ptrdiff_t>(drop),
+             base.queues[l].end());
     q.reserve(q.size() + std::min<std::size_t>(appends, kReserveCap));
     std::uint64_t prev = q.empty() ? 0 : q.back();
     for (std::uint64_t j = 0; j < appends; ++j) {
@@ -291,10 +294,8 @@ bool apply_rand(const Bytes& in, std::size_t& at,
     }
     std::uint64_t dbound = 0;
     if (!get_varint(in, at, dbound)) return false;
-    ck.queues.push_back(std::move(q));
-    ck.evicted_bounds.push_back(base.evicted_bounds[l] + dbound);
+    out.evicted_bounds[l] = base.evicted_bounds[l] + dbound;
   }
-  out = std::move(ck);
   return true;
 }
 
@@ -340,19 +341,22 @@ bool diff_distinct(Bytes& out, const core::DistinctWaveCheckpoint& base,
   return true;
 }
 
+// In-place like apply_rand: `out` unspecified on failure, must not alias
+// `base`, per-level vectors keep their capacity across rounds.
 bool apply_distinct(const Bytes& in, std::size_t& at,
                     const core::DistinctWaveCheckpoint& base,
                     core::DistinctWaveCheckpoint& out) {
-  core::DistinctWaveCheckpoint ck;
   std::uint64_t nl = 0;
-  if (!get_varint(in, at, ck.pos) || !get_varint(in, at, nl) ||
+  if (!get_varint(in, at, out.pos) || !get_varint(in, at, nl) ||
       nl != base.levels.size() || nl != base.evicted_bounds.size()) {
     return false;
   }
-  ck.levels.reserve(nl);
-  ck.evicted_bounds.reserve(nl);
+  out.levels.resize(nl);
+  out.evicted_bounds.resize(nl);
   for (std::size_t l = 0; l < nl; ++l) {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> level;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& level =
+        out.levels[l];
+    level.clear();  // apply_runs appends
     if (!apply_runs(in, at, base.levels[l], level)) return false;
     std::uint64_t appends = 0;
     if (!get_varint(in, at, appends) || appends > in.size() - at) return false;
@@ -366,10 +370,8 @@ bool apply_distinct(const Bytes& in, std::size_t& at,
     }
     std::uint64_t dbound = 0;
     if (!get_varint(in, at, dbound)) return false;
-    ck.levels.push_back(std::move(level));
-    ck.evicted_bounds.push_back(base.evicted_bounds[l] + dbound);
+    out.evicted_bounds[l] = base.evicted_bounds[l] + dbound;
   }
-  out = std::move(ck);
   return true;
 }
 
@@ -503,25 +505,45 @@ Bytes encode_party_delta(const PartyCk& base, const PartyCk& now) {
   return out;
 }
 
+// Decodes straight into `out`, reusing its wave slots (and their nested
+// vectors, via the in-place wave appliers) so a steady-state round touches
+// the allocator only when a level genuinely outgrows its capacity. `out`
+// is unspecified on failure and must not alias `base`. The wave count is
+// attacker-controlled, so never resize() up to it — shrink to it, then
+// grow one decoded wave at a time (truncated input fails fast).
 template <typename PartyCk>
-bool apply_party_delta(const PartyCk& base, const Bytes& in, PartyCk& out) {
+bool apply_party_delta_into(const PartyCk& base, const Bytes& in,
+                            PartyCk& out) {
   using WaveCk = typename std::decay_t<decltype(out.waves)>::value_type;
   const WaveCk empty{};
-  PartyCk ck;
   std::size_t at = 0;
   std::uint64_t count = 0;
-  if (!get_varint(in, at, ck.cursor) || !get_varint(in, at, count) ||
+  if (!get_varint(in, at, out.cursor) || !get_varint(in, at, count) ||
       count > in.size() - at) {
     return false;
   }
-  ck.waves.reserve(std::min<std::size_t>(count, kReserveCap));
+  if (count < out.waves.size()) out.waves.resize(count);
+  out.waves.reserve(std::min<std::size_t>(count, kReserveCap));
   for (std::uint64_t i = 0; i < count; ++i) {
     const WaveCk& b = i < base.waves.size() ? base.waves[i] : empty;
-    WaveCk w;
-    if (!get_delta(in, at, b, w)) return false;
-    ck.waves.push_back(std::move(w));
+    if (i < out.waves.size()) {
+      if (!get_delta(in, at, b, out.waves[i])) return false;
+    } else {
+      WaveCk w;
+      if (!get_delta(in, at, b, w)) return false;
+      out.waves.push_back(std::move(w));
+    }
   }
   if (at != in.size()) return false;
+  return true;
+}
+
+// All-or-nothing wrapper: decode into a fresh checkpoint so `out` stays
+// untouched when the body is rejected.
+template <typename PartyCk>
+bool apply_party_delta(const PartyCk& base, const Bytes& in, PartyCk& out) {
+  PartyCk ck;
+  if (!apply_party_delta_into(base, in, ck)) return false;
   out = std::move(ck);
   return true;
 }
@@ -546,6 +568,18 @@ bool apply_delta(const distributed::CountPartyCheckpoint& base,
 bool apply_delta(const distributed::DistinctPartyCheckpoint& base,
                  const Bytes& in, distributed::DistinctPartyCheckpoint& out) {
   return apply_party_delta(base, in, out);
+}
+
+bool apply_delta_into(const distributed::CountPartyCheckpoint& base,
+                      const Bytes& in,
+                      distributed::CountPartyCheckpoint& out) {
+  return apply_party_delta_into(base, in, out);
+}
+
+bool apply_delta_into(const distributed::DistinctPartyCheckpoint& base,
+                      const Bytes& in,
+                      distributed::DistinctPartyCheckpoint& out) {
+  return apply_party_delta_into(base, in, out);
 }
 
 }  // namespace waves::recovery

@@ -289,4 +289,98 @@ diff -u "$TMP/local_count.out" "$TMP/healed.out" >&2 ||
 echo "FAULTS count: partition fails closed (rc=4), parity after healing"
 stop_daemons
 
+# --- Observability: remote scrape, aggregate top, trace stitch, flight ---
+# --- recorder. A WAVES_OBS=OFF build still answers the scrape (with the ---
+# --- "compiled out" stub), so only the content assertions are ON-only. ---
+start_daemons count
+first_ep=${ENDPOINTS%%,*}
+"$WAVECLI" metrics --connect "$first_ep" >"$TMP/scrape_one.out" ||
+  fail "metrics scrape of a live daemon exited $?"
+if grep -q 'compiled out' "$TMP/scrape_one.out"; then
+  echo "SCRAPE count: OBS-OFF stub answered; skipping content legs"
+  stop_daemons
+else
+  "$WAVECLI" metrics --connect "$ENDPOINTS" >"$TMP/scrape_all.out" ||
+    fail "multi-endpoint metrics scrape exited $?"
+  grep -q '^waves_party_generation ' "$TMP/scrape_all.out" ||
+    fail "scrape lacks waves_party_generation: $(head "$TMP/scrape_all.out")"
+  [[ $(grep -c '^# party ' "$TMP/scrape_all.out") -eq $PARTIES ]] ||
+    fail "expected $PARTIES '# party' headers in the multi-endpoint scrape"
+  "$WAVECLI" metrics --connect "$ENDPOINTS" --format json \
+    >"$TMP/scrape.json" || fail "json scrape exited $?"
+  grep -q '"counters"' "$TMP/scrape.json" || fail "json scrape has no counters"
+  "$WAVECLI" top --connect "$ENDPOINTS" >"$TMP/top.out" ||
+    fail "wavecli top exited $?"
+  grep -q "parties=$PARTIES" "$TMP/top.out" ||
+    fail "top merged no family across all parties: $(head "$TMP/top.out")"
+  echo "SCRAPE count: prom+json+top over $PARTIES daemons"
+
+  # One query, one stitched trace: the client's fanout/fetch spans and all
+  # four parties' server spans under a single trace id, plus one flight-
+  # recorder line per fetch (round 2 must ride the delta path).
+  "$WAVECLI" query --mode count --connect "$ENDPOINTS" "${COMMON[@]}" \
+    --rounds 2 --trace --flight-recorder >"$TMP/traced.out" ||
+    fail "traced query exited $?"
+  trace=$(sed -n 's/^TRACE \([0-9a-f]\{16\}\)$/\1/p' "$TMP/traced.out")
+  [[ -n "$trace" ]] || fail "no TRACE line in: $(head "$TMP/traced.out")"
+  [[ $(grep -c "^span trace=$trace .* name=party.answer" "$TMP/traced.out") \
+     -ge $PARTIES ]] ||
+    fail "stitched trace misses party.answer spans: $(cat "$TMP/traced.out")"
+  grep -q "^span trace=$trace .* name=net.fanout" "$TMP/traced.out" ||
+    fail "stitched trace misses the client fanout span"
+  [[ $(grep -c '^span trace=' "$TMP/traced.out") \
+     -eq $(grep -c "^span trace=$trace" "$TMP/traced.out") ]] ||
+    fail "span dump mixes trace ids"
+  [[ $(grep -c '^fetch trace=' "$TMP/traced.out") -ge $PARTIES ]] ||
+    fail "flight recorder has fewer than $PARTIES fetch lines"
+  # Ingest finished before the query, so round 2's delta reply is the
+  # "unchanged" echo: delta path taken, nothing to apply, cache hit.
+  grep -q '^fetch .* reused=1 delta=1 .*cache_hit=1' "$TMP/traced.out" ||
+    fail "round 2 should ride the delta path on a reused connection"
+  echo "TRACE count: one trace ($trace), $PARTIES party spans, flight ok"
+  stop_daemons
+
+  # --- Scrape survives kill -9: the restarted daemon reports a higher ---
+  # --- generation and exports its recovery.restore span. ---
+  OBS_STATE="$TMP/obs_state"
+  rm -rf "$OBS_STATE"
+  start_obs_daemon() {
+    local log=$1
+    "$WAVED" --role count --party-id 0 --port 0 "${COMMON[@]}" \
+      --state-dir "$OBS_STATE" >"$log" 2>&1 &
+    OBS_PID=$!
+    OBS_PORT=""
+    local _i
+    for _i in $(seq 1 200); do
+      OBS_PORT=$(sed -n 's/.*WAVED READY .*port=\([0-9][0-9]*\).*/\1/p' \
+        "$log")
+      [[ -n "$OBS_PORT" ]] && break
+      sleep 0.05
+    done
+    [[ -n "$OBS_PORT" ]] || { cat "$log" >&2; fail "obs daemon never READY"; }
+  }
+  start_obs_daemon "$TMP/waved_obs_gen1.log"
+  "$WAVECLI" metrics --connect "127.0.0.1:$OBS_PORT" >"$TMP/gen1.out" ||
+    fail "pre-crash scrape exited $?"
+  gen1=$(sed -n 's/^waves_party_generation \([0-9][0-9]*\)$/\1/p' \
+    "$TMP/gen1.out")
+  [[ -n "$gen1" ]] || fail "no waves_party_generation in pre-crash scrape"
+  kill -9 "$OBS_PID" 2>/dev/null || true
+  wait "$OBS_PID" 2>/dev/null || true
+  start_obs_daemon "$TMP/waved_obs_gen2.log"
+  grep -q 'WAVED RESTORED' "$TMP/waved_obs_gen2.log" ||
+    fail "restarted obs daemon did not restore its checkpoint"
+  "$WAVECLI" metrics --connect "127.0.0.1:$OBS_PORT" >"$TMP/gen2.out" ||
+    fail "post-crash scrape exited $?"
+  gen2=$(sed -n 's/^waves_party_generation \([0-9][0-9]*\)$/\1/p' \
+    "$TMP/gen2.out")
+  [[ -n "$gen2" && "$gen2" -gt "$gen1" ]] ||
+    fail "generation must bump across kill -9 (before=$gen1 after=$gen2)"
+  grep -q 'span="recovery.restore"' "$TMP/gen2.out" ||
+    fail "post-crash scrape lacks the recovery.restore span"
+  kill -9 "$OBS_PID" 2>/dev/null || true
+  wait "$OBS_PID" 2>/dev/null || true
+  echo "SCRAPE-SURVIVES-CRASH count: generation $gen1 -> $gen2, restore span"
+fi
+
 echo "net_loopback_test: all checks passed"

@@ -20,6 +20,7 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "obs/net_obs.hpp"
+#include "obs/trace.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
@@ -229,6 +230,195 @@ TEST(NetProtocol, TruncationAndGarbageRejectedNoPartialOutput) {
     (void)CountReply::decode(noise, count);
     DistinctReply distinct;
     (void)DistinctReply::decode(noise, distinct);
+  }
+}
+
+TEST(NetProtocol, SnapshotRequestExtensionsRoundTrip) {
+  {  // v2 form: no extension blocks at all
+    SnapshotRequest in{7, PartyRole::kSum, 2048};
+    SnapshotRequest out;
+    ASSERT_TRUE(SnapshotRequest::decode(in.encode(), out));
+    EXPECT_FALSE(out.delta_capable);
+    EXPECT_EQ(out.trace_id, 0u);
+  }
+  {  // tag 1 alone (the original v3 delta form)
+    SnapshotRequest in{7, PartyRole::kCount, 2048};
+    in.delta_capable = true;
+    in.since_cursor = 31;
+    SnapshotRequest out;
+    ASSERT_TRUE(SnapshotRequest::decode(in.encode(), out));
+    EXPECT_TRUE(out.delta_capable);
+    EXPECT_EQ(out.since_cursor, 31u);
+    EXPECT_EQ(out.trace_id, 0u);
+  }
+  {  // tag 2 alone: trace context without delta
+    SnapshotRequest in{9, PartyRole::kCount, 512};
+    in.trace_id = 0xDEADBEEF;
+    in.parent_span_id = 5;
+    SnapshotRequest out;
+    ASSERT_TRUE(SnapshotRequest::decode(in.encode(), out));
+    EXPECT_FALSE(out.delta_capable);
+    EXPECT_EQ(out.trace_id, 0xDEADBEEFu);
+    EXPECT_EQ(out.parent_span_id, 5u);
+  }
+  {  // both tags together
+    SnapshotRequest in{11, PartyRole::kDistinct, 1024};
+    in.delta_capable = true;
+    in.since_cursor = 0;  // delta framing, bootstrap cursor
+    in.trace_id = 42;
+    in.parent_span_id = 7;
+    SnapshotRequest out;
+    ASSERT_TRUE(SnapshotRequest::decode(in.encode(), out));
+    EXPECT_TRUE(out.delta_capable);
+    EXPECT_EQ(out.since_cursor, 0u);
+    EXPECT_EQ(out.trace_id, 42u);
+    EXPECT_EQ(out.parent_span_id, 7u);
+  }
+}
+
+TEST(NetProtocol, SnapshotRequestHostileExtensionsRejected) {
+  using distributed::put_varint;
+  // Fixed fields of a valid request, built by hand so each case can append
+  // a non-canonical extension sequence.
+  const auto fixed = [] {
+    Bytes b;
+    put_varint(b, 1);  // request_id
+    put_varint(b, static_cast<std::uint64_t>(PartyRole::kCount));
+    put_varint(b, 64);  // n
+    return b;
+  };
+  const auto rejected = [](const Bytes& enc) {
+    SnapshotRequest out{99, PartyRole::kSum, 99};  // sentinel
+    EXPECT_FALSE(SnapshotRequest::decode(enc, out));
+    EXPECT_EQ(out.request_id, 99u);  // untouched
+  };
+  {  // duplicate tag 1
+    Bytes b = fixed();
+    put_varint(b, 1);
+    put_varint(b, 5);
+    put_varint(b, 1);
+    put_varint(b, 6);
+    rejected(b);
+  }
+  {  // decreasing tag order: 2 then 1
+    Bytes b = fixed();
+    put_varint(b, 2);
+    put_varint(b, 42);  // trace id
+    put_varint(b, 7);   // parent span
+    put_varint(b, 1);
+    put_varint(b, 5);
+    rejected(b);
+  }
+  {  // unknown tag
+    Bytes b = fixed();
+    put_varint(b, 3);
+    put_varint(b, 0);
+    rejected(b);
+  }
+  {  // zero trace id under tag 2 (the "no trace" value is never sent)
+    Bytes b = fixed();
+    put_varint(b, 2);
+    put_varint(b, 0);
+    put_varint(b, 7);
+    rejected(b);
+  }
+  {  // truncated tag-2 block: trace id present, parent span missing
+    Bytes b = fixed();
+    put_varint(b, 2);
+    put_varint(b, 42);
+    rejected(b);
+  }
+  {  // bare tag with no payload
+    Bytes b = fixed();
+    put_varint(b, 1);
+    rejected(b);
+  }
+}
+
+TEST(NetProtocol, MetricsStructsRoundTrip) {
+  {
+    MetricsRequest in{21, MetricsFormat::kJson, 0};
+    MetricsRequest out;
+    ASSERT_TRUE(MetricsRequest::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 21u);
+    EXPECT_EQ(out.format, MetricsFormat::kJson);
+    EXPECT_EQ(out.trace_filter, 0u);
+  }
+  {  // trace scrape narrowed to one trace id
+    MetricsRequest in{22, MetricsFormat::kTrace, 0xFEED};
+    MetricsRequest out;
+    ASSERT_TRUE(MetricsRequest::decode(in.encode(), out));
+    EXPECT_EQ(out.format, MetricsFormat::kTrace);
+    EXPECT_EQ(out.trace_filter, 0xFEEDu);
+  }
+  {
+    MetricsReply in{31, 4, MetricsFormat::kProm,
+                    "# TYPE waves_up gauge\nwaves_up 1\n"};
+    MetricsReply out;
+    ASSERT_TRUE(MetricsReply::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 31u);
+    EXPECT_EQ(out.generation, 4u);
+    EXPECT_EQ(out.format, MetricsFormat::kProm);
+    EXPECT_EQ(out.text, in.text);
+  }
+  {  // empty exporter output is legal
+    MetricsReply in{32, 0, MetricsFormat::kJson, ""};
+    MetricsReply out;
+    ASSERT_TRUE(MetricsReply::decode(in.encode(), out));
+    EXPECT_TRUE(out.text.empty());
+  }
+}
+
+TEST(NetProtocol, MetricsStructsRejectHostileInput) {
+  using distributed::put_varint;
+  {  // invalid format enum
+    Bytes b;
+    put_varint(b, 1);
+    put_varint(b, 99);
+    put_varint(b, 0);
+    MetricsRequest out{7, MetricsFormat::kProm, 7};
+    EXPECT_FALSE(MetricsRequest::decode(b, out));
+    EXPECT_EQ(out.request_id, 7u);
+  }
+  {  // reply whose text length overruns the payload
+    Bytes b;
+    put_varint(b, 1);   // request_id
+    put_varint(b, 0);   // generation
+    put_varint(b, 1);   // kProm
+    put_varint(b, 50);  // length > remaining bytes
+    b.push_back('x');
+    MetricsReply out;
+    out.text = "sentinel";
+    EXPECT_FALSE(MetricsReply::decode(b, out));
+    EXPECT_EQ(out.text, "sentinel");
+  }
+  {  // every strict prefix of a valid reply fails, output untouched
+    const MetricsReply whole{5, 2, MetricsFormat::kJson, "{\"a\":1}"};
+    const Bytes enc = whole.encode();
+    for (std::size_t cut = 0; cut < enc.size(); ++cut) {
+      const Bytes prefix(enc.begin(),
+                         enc.begin() + static_cast<std::ptrdiff_t>(cut));
+      MetricsReply out;
+      out.request_id = 123;
+      EXPECT_FALSE(MetricsReply::decode(prefix, out));
+      EXPECT_EQ(out.request_id, 123u);
+    }
+  }
+  {  // trailing garbage after a valid reply
+    Bytes enc = MetricsReply{5, 2, MetricsFormat::kProm, "hi"}.encode();
+    enc.push_back(0x00);
+    MetricsReply out;
+    EXPECT_FALSE(MetricsReply::decode(enc, out));
+  }
+  // Byte fuzz: decode must fail or fully parse, never crash.
+  gf2::SplitMix64 rng(4242);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes noise(rng.next() % 48);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next());
+    MetricsRequest req;
+    (void)MetricsRequest::decode(noise, req);
+    MetricsReply rep;
+    (void)MetricsReply::decode(noise, rep);
   }
 }
 
@@ -557,6 +747,216 @@ TEST(NetClient, SilentServerHitsDeadlineNotHang) {
   EXPECT_GE(cobs.timeouts.value(), timeouts_before + 2);
 #endif
 }
+
+TEST(NetMetrics, ScrapeLiveServer) {
+  distributed::CountParty party(count_params(), kInstances, kSeed);
+  PartyServer server(ServerConfig{}, &party);
+  ASSERT_TRUE(server.start());
+  const Endpoint ep{"127.0.0.1", server.port()};
+  const auto deadline = std::chrono::milliseconds(2000);
+
+  // A scrape-only connection: no Hello handshake, first frame is the
+  // metrics request.
+  MetricsReply prom;
+  std::string err;
+  ASSERT_TRUE(scrape_metrics(ep, MetricsFormat::kProm, 0, deadline, prom,
+                             err))
+      << err;
+  EXPECT_EQ(prom.format, MetricsFormat::kProm);
+  EXPECT_FALSE(prom.text.empty());  // OBS=OFF still serves the stub text
+
+  MetricsReply json;
+  ASSERT_TRUE(scrape_metrics(ep, MetricsFormat::kJson, 0, deadline, json,
+                             err))
+      << err;
+  EXPECT_EQ(json.format, MetricsFormat::kJson);
+  EXPECT_NE(json.text, prom.text);
+
+#if WAVES_OBS_ENABLED
+  // Query traffic is visible in a subsequent scrape.
+  RefereeClient client({ep});
+  ASSERT_TRUE(client.fetch(0, PartyRole::kCount, kWindow).ok());
+  MetricsReply after;
+  ASSERT_TRUE(scrape_metrics(ep, MetricsFormat::kProm, 0, deadline, after,
+                             err))
+      << err;
+  EXPECT_NE(after.text.find("waves_net_server_requests_total"),
+            std::string::npos);
+#endif
+
+  // Dead endpoint: fails closed, diagnostics set, output untouched.
+  std::uint16_t dead_port = 0;
+  {
+    Listener l;
+    ASSERT_TRUE(l.listen_on("127.0.0.1", 0));
+    dead_port = l.port();
+  }
+  MetricsReply out;
+  out.request_id = 77;
+  err.clear();
+  EXPECT_FALSE(scrape_metrics({"127.0.0.1", dead_port},
+                              MetricsFormat::kProm, 0,
+                              std::chrono::milliseconds(300), out, err));
+  EXPECT_EQ(out.request_id, 77u);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(NetMetrics, HostileMetricsReplyFailsClosed) {
+  const auto deadline = std::chrono::milliseconds(2000);
+  // A server that answers the scrape with garbage under a well-formed
+  // kMetricsReply frame header.
+  {
+    Listener l;
+    ASSERT_TRUE(l.listen_on("127.0.0.1", 0));
+    std::jthread evil([&l, deadline] {
+      Socket s = l.accept_one(deadline_in(deadline));
+      if (!s.valid()) return;
+      Frame f;
+      if (read_frame(s, f, deadline_in(deadline)) != ReadStatus::kOk) return;
+      (void)write_frame(s, MsgType::kMetricsReply, {0xFF, 0xFF, 0xFF},
+                        deadline_in(deadline));
+    });
+    MetricsReply out;
+    out.request_id = 77;
+    std::string err;
+    EXPECT_FALSE(scrape_metrics({"127.0.0.1", l.port()},
+                                MetricsFormat::kProm, 0, deadline, out,
+                                err));
+    EXPECT_EQ(out.request_id, 77u);
+    EXPECT_FALSE(err.empty());
+  }
+  // A server that echoes a well-formed reply with the wrong format: the
+  // client asked for Prometheus text and must not accept anything else.
+  {
+    Listener l;
+    ASSERT_TRUE(l.listen_on("127.0.0.1", 0));
+    std::jthread evil([&l, deadline] {
+      Socket s = l.accept_one(deadline_in(deadline));
+      if (!s.valid()) return;
+      Frame f;
+      if (read_frame(s, f, deadline_in(deadline)) != ReadStatus::kOk) return;
+      MetricsRequest req;
+      if (!MetricsRequest::decode(f.payload, req)) return;
+      const MetricsReply lie{req.request_id, 1, MetricsFormat::kJson, "{}"};
+      (void)write_frame(s, MsgType::kMetricsReply, lie.encode(),
+                        deadline_in(deadline));
+    });
+    MetricsReply out;
+    std::string err;
+    EXPECT_FALSE(scrape_metrics({"127.0.0.1", l.port()},
+                                MetricsFormat::kProm, 0, deadline, out,
+                                err));
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+#if WAVES_OBS_ENABLED
+// The server's handling span records at scope exit, *after* the reply
+// frame is written — so the client can see the reply a beat before the
+// span lands in the log. Poll briefly instead of asserting immediately.
+std::vector<obs::SpanRecord> await_trace_spans(std::uint64_t trace,
+                                               const char* name,
+                                               int want) {
+  for (int i = 0; i < 200; ++i) {
+    const auto spans = obs::Tracer::instance().for_trace(trace);
+    int got = 0;
+    for (const auto& s : spans)
+      if (s.name == name) ++got;
+    if (got >= want) return spans;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return obs::Tracer::instance().for_trace(trace);
+}
+
+TEST(NetTrace, RequestCarriesTraceAcrossTheWire) {
+  // Client and server share this process, so both sides' spans land in the
+  // same tracer — the wire crossing is still real: the server only learns
+  // the trace id from the SnapshotRequest's tag-2 extension.
+  distributed::CountParty party(count_params(), kInstances, kSeed);
+  PartyServer server(ServerConfig{}, &party);
+  ASSERT_TRUE(server.start());
+  RefereeClient client({{"127.0.0.1", server.port()}});
+
+  auto& tracer = obs::Tracer::instance();
+  tracer.clear();
+  const std::uint64_t trace = tracer.new_trace_id();
+  ASSERT_NE(trace, 0u);
+  const Fetch f =
+      client.fetch(0, PartyRole::kCount, kWindow, obs::TraceContext{trace, 0});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.trace_id, trace);
+
+  std::uint64_t fetch_id = 0;
+  bool answer_seen = false;
+  const auto spans = await_trace_spans(trace, "party.answer", 1);
+  for (const auto& s : spans)
+    if (s.name == "net.fetch") fetch_id = s.id;
+  ASSERT_NE(fetch_id, 0u);
+  for (const auto& s : spans) {
+    if (s.name == "party.answer") {
+      answer_seen = true;
+      EXPECT_EQ(s.parent_id, fetch_id);  // server span hangs under the fetch
+    }
+  }
+  EXPECT_TRUE(answer_seen);
+
+  // A format=trace scrape narrowed to this trace returns exactly its spans.
+  MetricsReply r;
+  std::string err;
+  ASSERT_TRUE(scrape_metrics({"127.0.0.1", server.port()},
+                             MetricsFormat::kTrace, trace,
+                             std::chrono::milliseconds(2000), r, err))
+      << err;
+  EXPECT_NE(r.text.find("party.answer"), std::string::npos);
+  EXPECT_NE(r.text.find("net.fetch"), std::string::npos);
+
+  MetricsReply none;
+  ASSERT_TRUE(scrape_metrics({"127.0.0.1", server.port()},
+                             MetricsFormat::kTrace, trace ^ 0x1,
+                             std::chrono::milliseconds(2000), none, err))
+      << err;
+  EXPECT_EQ(none.text.find("party.answer"), std::string::npos);
+}
+
+TEST(NetTrace, FanoutStitchesOnePerQueryTrace) {
+  // One fetch_all over several parties: every per-party fetch span and
+  // every server answer span must share a single trace id.
+  const auto streams = test_bit_streams();
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  for (int j = 0; j < kParties; ++j) {
+    owners.push_back(std::make_unique<distributed::CountParty>(
+        count_params(), kInstances, kSeed));
+    owners.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    owners.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+  RefereeClient client(endpoints);
+
+  obs::Tracer::instance().clear();
+  const auto fetches = client.fetch_all(PartyRole::kCount, kWindow);
+  ASSERT_EQ(fetches.size(), static_cast<std::size_t>(kParties));
+  const std::uint64_t trace = client.last_trace_id();
+  ASSERT_NE(trace, 0u);
+  for (const auto& f : fetches) {
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f.trace_id, trace);
+  }
+  const auto spans = await_trace_spans(trace, "party.answer", kParties);
+  int fetch_spans = 0, answer_spans = 0, fanout_spans = 0;
+  for (const auto& s : spans) {
+    if (s.name == "net.fetch") ++fetch_spans;
+    if (s.name == "party.answer") ++answer_spans;
+    if (s.name == "net.fanout") ++fanout_spans;
+  }
+  EXPECT_EQ(fetch_spans, kParties);
+  EXPECT_EQ(answer_spans, kParties);
+  EXPECT_EQ(fanout_spans, 1);
+}
+#endif  // WAVES_OBS_ENABLED
 
 TEST(NetClient, ParseEndpoint) {
   Endpoint ep;

@@ -5,9 +5,11 @@
 // by other tests in this binary cannot collide.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -150,6 +152,112 @@ TEST(ObsTracer, DroppedSpanRecordsOnDestruction) {
   { auto span = Tracer::instance().start("obstest.raii"); }
   ASSERT_EQ(Tracer::instance().recent().size(), 1u);
   EXPECT_EQ(Tracer::instance().recent().back().name, "obstest.raii");
+}
+
+TEST(ObsTracer, LatestPerNameSurvivesRingEviction) {
+  // The per-name export must not lose a name just because a flood of other
+  // spans (concurrent referee rounds) pushed it out of the ring.
+  Tracer::instance().clear();
+  {
+    auto s = Tracer::instance().start("obstest.evicted");
+    s.set("k", 1.0);
+  }
+  for (std::size_t i = 0; i < Tracer::kKeep + 10; ++i) {
+    auto s = Tracer::instance().start("obstest.flood");
+    s.end();
+  }
+  bool in_ring = false;
+  for (const auto& r : Tracer::instance().recent())
+    if (r.name == "obstest.evicted") in_ring = true;
+  ASSERT_FALSE(in_ring);  // precondition: genuinely evicted
+  const auto latest = Tracer::instance().latest_per_name();
+  ASSERT_EQ(latest.size(), 2u);  // sorted by name
+  EXPECT_EQ(latest[0].name, "obstest.evicted");
+  ASSERT_EQ(latest[0].attrs.size(), 1u);
+  EXPECT_EQ(latest[0].attrs[0].first, "k");
+  EXPECT_EQ(latest[1].name, "obstest.flood");
+}
+
+TEST(ObsTracer, ContextLinksChildToParentTrace) {
+  Tracer::instance().clear();
+  auto root = Tracer::instance().start_trace("obstest.root");
+  const std::uint64_t trace = root.trace_id();
+  ASSERT_NE(trace, 0u);
+  const TraceContext ctx = root.context();
+  EXPECT_EQ(ctx.trace_id, trace);
+  {
+    auto child = Tracer::instance().start("obstest.child", ctx);
+    EXPECT_EQ(child.trace_id(), trace);
+  }
+  root.end();
+  const auto spans = Tracer::instance().for_trace(trace);
+  ASSERT_EQ(spans.size(), 2u);  // child finished first
+  EXPECT_EQ(spans[0].name, "obstest.child");
+  EXPECT_EQ(spans[0].parent_id, ctx.parent_span_id);
+  EXPECT_EQ(spans[1].name, "obstest.root");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST(ObsTracer, AmbientScopeMakesAutoSpansChildren) {
+  Tracer::instance().clear();
+  // No installed scope: start_auto roots a fresh trace.
+  std::uint64_t fresh = 0;
+  {
+    auto s = Tracer::instance().start_auto("obstest.auto_root");
+    fresh = s.trace_id();
+  }
+  EXPECT_NE(fresh, 0u);
+  const TraceContext ctx{0xABCD, 77};
+  {
+    TraceScope scope(ctx);
+    auto s = Tracer::instance().start_auto("obstest.auto_child");
+    EXPECT_EQ(s.trace_id(), ctx.trace_id);
+  }
+  EXPECT_FALSE(Tracer::current());  // scope restored on exit
+  const auto spans = Tracer::instance().for_trace(0xABCD);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_id, 77u);
+}
+
+TEST(ObsFlight, RingKeepsMostRecentRecords) {
+  auto& fr = FlightRecorder::instance();
+  fr.clear();
+  for (std::uint32_t i = 0; i < FlightRecorder::kKeep + 5; ++i) {
+    FlightRecord rec;
+    rec.party = i;
+    fr.record(std::move(rec));
+  }
+  const auto recent = fr.recent();
+  ASSERT_EQ(recent.size(), FlightRecorder::kKeep);
+  EXPECT_EQ(recent.front().party, 5u);  // oldest five dropped
+  EXPECT_EQ(recent.back().party,
+            static_cast<std::uint32_t>(FlightRecorder::kKeep) + 4);
+  fr.clear();
+  EXPECT_TRUE(fr.recent().empty());
+}
+
+TEST(ObsFlight, LineCarriesKeyFields) {
+  FlightRecord rec;
+  rec.trace_id = 0x1234;
+  rec.party = 3;
+  rec.role = "count";
+  rec.ok = true;
+  rec.attempts = 2;
+  rec.bytes = 908;
+  rec.allocs = 12;
+  rec.delta_applied = true;
+  rec.total_s = 0.25;
+  const std::string line = flight_line(rec);
+  EXPECT_EQ(line.rfind("fetch ", 0), 0u);
+  EXPECT_NE(line.find("trace=0000000000001234"), std::string::npos);
+  EXPECT_NE(line.find("party=3"), std::string::npos);
+  EXPECT_NE(line.find("role=count"), std::string::npos);
+  EXPECT_NE(line.find("ok=1"), std::string::npos);
+  EXPECT_NE(line.find("attempts=2"), std::string::npos);
+  EXPECT_NE(line.find("bytes=908"), std::string::npos);
+  EXPECT_NE(line.find("allocs=12"), std::string::npos);
+  EXPECT_NE(line.find("applied=1"), std::string::npos);
+  EXPECT_NE(line.find("total_s="), std::string::npos);
 }
 
 #else  // WAVES_OBS_ENABLED == 0: the whole layer must be inert.

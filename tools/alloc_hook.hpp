@@ -1,0 +1,36 @@
+// Global operator new/delete overrides feeding waves::obs::note_alloc().
+//
+// Include this from exactly one translation unit of a binary that wants
+// allocation profiling (wavecli, bench_query). It is deliberately NOT part
+// of the waves libraries: overriding global new belongs to the final
+// binary, never to a library that others link.
+//
+// With WAVES_OBS=OFF this header defines nothing — the binary keeps the
+// default allocator untouched.
+#pragma once
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/alloc.hpp"
+
+#if WAVES_OBS_ENABLED
+
+void* operator new(std::size_t size) {
+  waves::obs::note_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  waves::obs::note_alloc();
+  return std::malloc(size ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // WAVES_OBS_ENABLED

@@ -6,6 +6,8 @@
 //   wavecli nth-one  [--eps E] [--span M] [--nth K]
 //   wavecli metrics  [--format prom|json] [--parties T] [--instances K]
 //                    [--eps E] [--window N] [--items M] [--seed S]
+//                    [--connect host:port,...] [--deadline-ms MS]
+//   wavecli top      --connect host:port,... [--deadline-ms MS]
 //   wavecli query    --mode count|distinct|basic|sum
 //                    (--connect host:port,host:port,... | --local)
 //                    [--eps E] [--window N] [--n W] [--parties T]
@@ -14,12 +16,23 @@
 //                    [--value-space V] [--skew Z] [--max-value R]
 //                    [--deadline-ms MS] [--attempts A]
 //                    [--rounds K] [--delta on|off]
+//                    [--trace] [--flight-recorder]
 //
 // Stream modes print "<items>\t<estimate>" every --every items (default
 // 10000) and a final line on EOF. The metrics mode runs a small built-in
 // distributed simulation (union counting + distinct values over the wire
 // transport) and dumps the observability registry in Prometheus text
-// exposition or JSON.
+// exposition or JSON; with --connect it instead scrapes each listed waved
+// daemon over the wire (kMetricsRequest) and dumps the daemons' registries,
+// separated by `# party <i> ...` headers. The top mode scrapes every
+// endpoint and prints one merged view: per-party generation headers, then
+// every sample summed across parties, largest first.
+//
+// Query-mode observability (--connect only): --trace prints, after the
+// result lines, `TRACE <hex16>` followed by the client's spans for the last
+// round's trace and each party's spans scraped for the same trace id — one
+// stitched cross-process trace. --flight-recorder dumps one `fetch ...`
+// line per recorded party fetch (see obs/flight.hpp).
 //
 // The query mode is the referee of a waved deployment: --connect fans out
 // over TCP to the listed party daemons; --local rebuilds the same
@@ -41,11 +54,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+// Installs the counting operator new/delete (no-op when WAVES_OBS=OFF), so
+// query-mode flight records carry real allocation counts.
+#include "alloc_hook.hpp"
 #include "core/det_wave.hpp"
 #include "core/distinct_wave.hpp"
 #include "core/extensions/nth_one.hpp"
@@ -59,6 +77,8 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
@@ -96,6 +116,8 @@ struct Options {
   double skew = 1.2;
   int rounds = 1;
   bool delta = true;
+  bool trace = false;
+  bool flight = false;
 };
 
 int usage() {
@@ -112,7 +134,9 @@ int usage() {
                "[--stream-seed S2]\n               [--density D] [--noise "
                "X] [--value-space V] [--skew Z]\n               "
                "[--max-value R] [--deadline-ms MS] [--attempts A]\n"
-               "               [--rounds K] [--delta on|off]\n");
+               "               [--rounds K] [--delta on|off] [--trace] "
+               "[--flight-recorder]\n       wavecli top --connect "
+               "host:port,... [--deadline-ms MS]\n");
   return 2;
 }
 
@@ -126,6 +150,16 @@ std::optional<Options> parse(int argc, char** argv) {
     // Boolean flags first; everything else takes one value.
     if (flag == "--local") {
       o.local = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--trace") {
+      o.trace = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--flight-recorder") {
+      o.flight = true;
       ++i;
       continue;
     }
@@ -202,6 +236,9 @@ std::optional<Options> parse(int argc, char** argv) {
         o.deadline_ms < 1 || o.rounds < 1) {
       return std::nullopt;
     }
+    // The stitched trace and the flight recorder describe networked
+    // fetches; --local has neither a client nor parties to scrape.
+    if ((o.trace || o.flight) && o.local) return std::nullopt;
   }
   if (o.mode == "metrics") {
     // The built-in simulation only needs a small window to light up every
@@ -209,9 +246,108 @@ std::optional<Options> parse(int argc, char** argv) {
     if (!o.window_set) o.window = 4096;
     if (o.format != "prom" && o.format != "json") return std::nullopt;
     if (o.parties < 1 || o.instances < 1 || o.items < 1) return std::nullopt;
+    if (o.deadline_ms < 1) return std::nullopt;
+  }
+  if (o.mode == "top") {
+    if (o.connect.empty() || o.deadline_ms < 1) return std::nullopt;
   }
   if (o.window < 1 || o.every < 1) return std::nullopt;
   return o;
+}
+
+/// Parses "h:p,h:p,..." into endpoints. False (with a stderr diagnostic) on
+/// any malformed element or an empty list.
+bool parse_endpoints(const std::string& list,
+                     std::vector<waves::net::Endpoint>& out) {
+  std::string rest = list;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string one = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string{} : rest.substr(comma + 1);
+    waves::net::Endpoint ep;
+    if (!waves::net::parse_endpoint(one, ep)) {
+      std::fprintf(stderr, "wavecli: bad endpoint '%s'\n", one.c_str());
+      return false;
+    }
+    out.push_back(std::move(ep));
+  }
+  return !out.empty();
+}
+
+/// Remote scrape: dump each daemon's registry verbatim, with a
+/// `# party <i> <host>:<port> generation=<g>` header between parties so the
+/// concatenation stays parseable (headers are exposition-format comments).
+int run_metrics_remote(const Options& o) {
+  using namespace waves;
+  std::vector<net::Endpoint> endpoints;
+  if (!parse_endpoints(o.connect, endpoints)) return 2;
+  const auto fmt = o.format == "json" ? net::MetricsFormat::kJson
+                                      : net::MetricsFormat::kProm;
+  const auto deadline = std::chrono::milliseconds(o.deadline_ms);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    net::MetricsReply reply;
+    std::string err;
+    if (!net::scrape_metrics(endpoints[i], fmt, 0, deadline, reply, err)) {
+      std::fprintf(stderr, "wavecli: scrape %s:%u failed: %s\n",
+                   endpoints[i].host.c_str(), endpoints[i].port, err.c_str());
+      return 4;
+    }
+    if (endpoints.size() > 1) {
+      std::printf("# party %zu %s:%u generation=%llu\n", i,
+                  endpoints[i].host.c_str(), endpoints[i].port,
+                  static_cast<unsigned long long>(reply.generation));
+    }
+    std::fputs(reply.text.c_str(), stdout);
+  }
+  return 0;
+}
+
+/// Aggregate scrape: one header line per party, then every Prometheus
+/// sample summed across the parties that report it, largest value first —
+/// the "what is the deployment doing" view.
+int run_top(const Options& o) {
+  using namespace waves;
+  std::vector<net::Endpoint> endpoints;
+  if (!parse_endpoints(o.connect, endpoints)) return 2;
+  const auto deadline = std::chrono::milliseconds(o.deadline_ms);
+  // sample line ("family{labels}") -> (summed value, reporting parties)
+  std::map<std::string, std::pair<double, int>> merged;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    net::MetricsReply reply;
+    std::string err;
+    if (!net::scrape_metrics(endpoints[i], net::MetricsFormat::kProm, 0,
+                             deadline, reply, err)) {
+      std::printf("party %zu %s:%u DOWN (%s)\n", i,
+                  endpoints[i].host.c_str(), endpoints[i].port, err.c_str());
+      continue;
+    }
+    std::printf("party %zu %s:%u generation=%llu\n", i,
+                endpoints[i].host.c_str(), endpoints[i].port,
+                static_cast<unsigned long long>(reply.generation));
+    // Exposition format: `<name>[{labels}] <value>` per non-comment line.
+    std::size_t start = 0;
+    while (start < reply.text.size()) {
+      std::size_t end = reply.text.find('\n', start);
+      if (end == std::string::npos) end = reply.text.size();
+      const std::string line = reply.text.substr(start, end - start);
+      start = end + 1;
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t sp = line.rfind(' ');
+      if (sp == std::string::npos || sp == 0) continue;
+      auto& [sum, parties] = merged[line.substr(0, sp)];
+      sum += std::atof(line.c_str() + sp + 1);
+      ++parties;
+    }
+  }
+  std::vector<std::pair<std::string, std::pair<double, int>>> rows(
+      merged.begin(), merged.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.first > b.second.first;
+  });
+  for (const auto& [name, vp] : rows) {
+    std::printf("%.17g\tparties=%d\t%s\n", vp.first, vp.second, name.c_str());
+  }
+  return 0;
 }
 
 /// Runs a small two-protocol distributed simulation so every layer of the
@@ -321,6 +457,40 @@ int run_rounds(int rounds, Query&& query) {
   return 0;
 }
 
+/// After the result lines: the flight-recorder dump and/or the stitched
+/// trace (--flight-recorder / --trace). The trace section prints the
+/// client-side spans of the last round's trace, then scrapes every party
+/// for its spans under the same trace id — one cross-process trace on
+/// stdout. Scrape failures are reported inline, not fatal: the query
+/// already succeeded.
+void dump_query_obs(const Options& o, const waves::net::RefereeClient& client,
+                    const std::vector<waves::net::Endpoint>& endpoints) {
+  using namespace waves;
+  if (o.flight) {
+    for (const auto& rec : obs::FlightRecorder::instance().recent()) {
+      std::printf("%s\n", obs::flight_line(rec).c_str());
+    }
+  }
+  if (!o.trace) return;
+  const std::uint64_t id = client.last_trace_id();
+  std::printf("TRACE %016llx\n", static_cast<unsigned long long>(id));
+  std::fputs(obs::trace_text(id).c_str(), stdout);
+  const auto deadline = std::chrono::milliseconds(o.deadline_ms);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    net::MetricsReply reply;
+    std::string err;
+    if (!net::scrape_metrics(endpoints[i], net::MetricsFormat::kTrace, id,
+                             deadline, reply, err)) {
+      std::printf("# party %zu %s:%u scrape failed: %s\n", i,
+                  endpoints[i].host.c_str(), endpoints[i].port, err.c_str());
+      continue;
+    }
+    std::printf("# party %zu %s:%u\n", i, endpoints[i].host.c_str(),
+                endpoints[i].port);
+    std::fputs(reply.text.c_str(), stdout);
+  }
+}
+
 /// The referee of a waved deployment (--connect) or its in-process
 /// reference answer over the identical feed_config streams (--local).
 int run_query(const Options& o) {
@@ -388,22 +558,10 @@ int run_query(const Options& o) {
     return run_rounds(o.rounds, [&] { return r; });
   }
 
-  // TCP referee: one endpoint per party, comma-separated.
+  // TCP referee: one endpoint per party, comma-separated. The list is
+  // copied into the client and kept — dump_query_obs scrapes it afterward.
   std::vector<net::Endpoint> endpoints;
-  std::string rest = o.connect;
-  while (!rest.empty()) {
-    const std::size_t comma = rest.find(',');
-    const std::string one = rest.substr(0, comma);
-    rest = comma == std::string::npos ? std::string{}
-                                      : rest.substr(comma + 1);
-    net::Endpoint ep;
-    if (!net::parse_endpoint(one, ep)) {
-      std::fprintf(stderr, "wavecli: bad endpoint '%s'\n", one.c_str());
-      return 2;
-    }
-    endpoints.push_back(std::move(ep));
-  }
-  if (endpoints.empty()) return usage();
+  if (!parse_endpoints(o.connect, endpoints)) return 2;
 
   net::ClientConfig ccfg;
   ccfg.request_deadline = std::chrono::milliseconds(o.deadline_ms);
@@ -411,29 +569,37 @@ int run_query(const Options& o) {
   ccfg.delta_snapshots = o.delta;
 
   if (o.qmode == "count") {
-    net::NetworkCountSource source(std::move(endpoints),
+    net::NetworkCountSource source(endpoints,
                                    tools::count_params(o.eps_raw, o.window),
                                    o.instances, o.seed, ccfg);
-    return run_rounds(o.rounds,
-                      [&] { return distributed::union_count(source, n); });
+    const int rc = run_rounds(
+        o.rounds, [&] { return distributed::union_count(source, n); });
+    dump_query_obs(o, source.client(), endpoints);
+    return rc;
   }
   if (o.qmode == "distinct") {
     net::NetworkDistinctSource source(
-        std::move(endpoints),
+        endpoints,
         tools::distinct_params(o.eps_raw, o.window, o.value_space, o.parties),
         o.instances, o.seed, ccfg);
-    return run_rounds(o.rounds,
-                      [&] { return distributed::distinct_count(source, n); });
+    const int rc = run_rounds(
+        o.rounds, [&] { return distributed::distinct_count(source, n); });
+    dump_query_obs(o, source.client(), endpoints);
+    return rc;
   }
-  const net::RefereeClient client(std::move(endpoints), ccfg);
+  const net::RefereeClient client(endpoints, ccfg);
+  int rc = 0;
   if (o.qmode == "basic") {
-    return run_rounds(o.rounds, [&] {
+    rc = run_rounds(o.rounds, [&] {
       return net::total_query(client, net::PartyRole::kBasic, n);
     });
+  } else {
+    rc = run_rounds(o.rounds, [&] {
+      return net::total_query(client, net::PartyRole::kSum, n, feed.max_value);
+    });
   }
-  return run_rounds(o.rounds, [&] {
-    return net::total_query(client, net::PartyRole::kSum, n, feed.max_value);
-  });
+  dump_query_obs(o, client, endpoints);
+  return rc;
 }
 
 /// Reads uint64 lines; calls consume(v) per item and flush(items) at every
@@ -466,7 +632,10 @@ int main(int argc, char** argv) {
   if (!opts) return usage();
   const Options& o = *opts;
 
-  if (o.mode == "metrics") return run_metrics(o);
+  if (o.mode == "metrics") {
+    return o.connect.empty() ? run_metrics(o) : run_metrics_remote(o);
+  }
+  if (o.mode == "top") return run_top(o);
   if (o.mode == "query") return run_query(o);
   if (o.mode == "count") {
     waves::core::DetWave w(o.inv_eps, o.window);

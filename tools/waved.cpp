@@ -50,6 +50,7 @@
 #include "distributed/party.hpp"
 #include "feed_config.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recovery_obs.hpp"
 #include "obs/trace.hpp"
 #include "recovery/state_store.hpp"
@@ -256,6 +257,15 @@ int serve(const Options& o, waves::net::PartyServer& server,
                  o.port);
     return 1;
   }
+  // Exported so a remote scrape (wavecli metrics --connect) can observe the
+  // epoch directly — the kill -9 recovery test diffs this gauge across a
+  // restart.
+  waves::obs::Registry::instance()
+      .gauge("waves_party_generation")
+      .set(static_cast<double>(generation));
+  waves::obs::Registry::instance()
+      .gauge("waves_party_id")
+      .set(static_cast<double>(o.party_id));
   std::printf("WAVED READY role=%s party=%d port=%u items=%llu "
               "generation=%llu\n",
               o.role.c_str(), o.party_id, server.port(),
