@@ -1,0 +1,206 @@
+// Experiment E19: the SIMD story, measured end to end.
+//
+// Three layers, innermost first:
+//   e19_kernel_simd — raw kernel rates (popcount prefix is the one the
+//     bulk wave rebuild leans on) under forced scalar vs the detected set.
+//   e19_wave_simd   — BasicWave::update_words throughput at three stream
+//     densities, scalar vs detected, with a bit-exactness parity check
+//     (identical rank and query estimate under both dispatches).
+//   e19_agg_ingest  — the two-stacks aggregation engine: per-item update()
+//     vs bulk update_bulk(), scalar vs detected, per op, with the bulk and
+//     per-item results compared for parity.
+//
+// Parity fields are 1 when the kernel-set A/B produced identical results;
+// CI asserts parity == 1 on every row and a >= 2x wave-level simd_speedup
+// at 50% density whenever a vector set is present (simd_set != "scalar").
+// `--smoke` shrinks stream sizes for CI.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "agg/agg_wave.hpp"
+#include "core/basic_wave.hpp"
+#include "gf2/shared_randomness.hpp"
+#include "stream/generators.hpp"
+#include "util/packed_bits.hpp"
+#include "util/simd.hpp"
+
+namespace {
+
+using namespace waves;
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  gf2::SplitMix64 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int64_t>(rng.next() % 100000) - 50000;
+  }
+  return v;
+}
+
+void kernel_table(bool smoke) {
+  bench::header("E19a: kernel rates, forced scalar vs detected set");
+  bench::row_line({"kernel", "density", "scalar_Mi/s", "simd_Mi/s",
+                   "speedup"});
+  const std::size_t n = smoke ? (1u << 16) : (1u << 21);
+  const int reps = smoke ? 3 : 8;
+  for (const double density : {0.01, 0.1, 0.5}) {
+    stream::BernoulliBits gen(density, 11);
+    const util::PackedBitStream packed = stream::take_packed(gen, n * 64);
+    const auto words = packed.words();
+    std::vector<std::uint64_t> prefix(n + 1);
+    double rate[2] = {0, 0};
+    std::uint64_t check[2] = {0, 0};
+    const util::simd::KernelSet sets[2] = {util::simd::KernelSet::kScalar,
+                                           util::simd::detected()};
+    for (int s = 0; s < 2; ++s) {
+      util::simd::force(sets[s]);
+      bench::Stopwatch sw;
+      sw.start();
+      for (int r = 0; r < reps; ++r) {
+        util::simd::popcount_prefix_words(words.data(), n, prefix.data());
+        check[s] = prefix[n];
+      }
+      rate[s] = static_cast<double>(n) * reps / sw.seconds() / 1e6;
+    }
+    util::simd::force(util::simd::detected());
+    bench::row_line({"popcount_prefix", bench::fmt(density, 2),
+                     bench::fmt(rate[0], 0), bench::fmt(rate[1], 0),
+                     bench::fmt(rate[1] / rate[0], 2)});
+    bench::JsonLine("e19_kernel_simd")
+        .field("kernel", "popcount_prefix")
+        .field("density", density)
+        .field("scalar_mwords_per_sec", rate[0])
+        .field("simd_mwords_per_sec", rate[1])
+        .field("simd_speedup", rate[1] / rate[0])
+        .field("parity", std::uint64_t{check[0] == check[1]})
+        .field("simd_set", util::simd::name(util::simd::detected()))
+        .emit();
+  }
+}
+
+void wave_table(bool smoke) {
+  bench::header(
+      "E19b: BasicWave batched ingest, forced scalar vs detected set");
+  bench::row_line({"density", "scalar_Mi/s", "simd_Mi/s", "speedup",
+                   "parity"});
+  const std::uint64_t window = 1 << 14;
+  const std::uint64_t total = smoke ? (1u << 19) : (1u << 23);
+  const std::uint64_t batch_bits = 65536;
+  for (const double density : {0.01, 0.1, 0.5}) {
+    stream::BernoulliBits gen(density, 29);
+    const util::PackedBitStream packed =
+        stream::take_packed(gen, static_cast<std::size_t>(total));
+    const auto words = packed.words();
+    double rate[2] = {0, 0};
+    std::uint64_t ranks[2] = {0, 0};
+    double estimates[2] = {0, 0};
+    const util::simd::KernelSet sets[2] = {util::simd::KernelSet::kScalar,
+                                           util::simd::detected()};
+    for (int s = 0; s < 2; ++s) {
+      util::simd::force(sets[s]);
+      core::BasicWave w(8, window);
+      bench::Stopwatch sw;
+      sw.start();
+      for (std::uint64_t off = 0; off < total; off += batch_bits) {
+        const std::uint64_t nbits = std::min(batch_bits, total - off);
+        w.update_words(words.subspan(off / 64, (nbits + 63) / 64), nbits);
+      }
+      rate[s] = static_cast<double>(total) / sw.seconds() / 1e6;
+      ranks[s] = w.rank();
+      estimates[s] = w.query(window).value;
+    }
+    util::simd::force(util::simd::detected());
+    const bool parity =
+        ranks[0] == ranks[1] && estimates[0] == estimates[1];
+    bench::row_line({bench::fmt(density, 2), bench::fmt(rate[0], 1),
+                     bench::fmt(rate[1], 1),
+                     bench::fmt(rate[1] / rate[0], 2),
+                     parity ? "1" : "0"});
+    bench::JsonLine("e19_wave_simd")
+        .field("wave", "basic")
+        .field("density", density)
+        .field("scalar_mitems_per_sec", rate[0])
+        .field("simd_mitems_per_sec", rate[1])
+        .field("simd_speedup", rate[1] / rate[0])
+        .field("parity", std::uint64_t{parity})
+        .field("simd_set", util::simd::name(util::simd::detected()))
+        .emit();
+  }
+}
+
+void agg_table(bool smoke) {
+  bench::header(
+      "E19c: two-stacks aggregation engine — per-item vs bulk, scalar vs "
+      "detected set");
+  bench::row_line({"op", "mode", "scalar_Mi/s", "simd_Mi/s", "speedup",
+                   "parity"});
+  const std::uint64_t window = 1 << 12;
+  const std::size_t total = smoke ? (1u << 18) : (1u << 22);
+  const std::size_t chunk = 1 << 10;
+  const auto values = random_values(total, 77);
+  const agg::AggOp ops[3] = {agg::AggOp::kSum, agg::AggOp::kMin,
+                             agg::AggOp::kMax};
+  for (const agg::AggOp op : ops) {
+    for (const bool bulk : {false, true}) {
+      double rate[2] = {0, 0};
+      std::int64_t results[2] = {0, 0};
+      const util::simd::KernelSet sets[2] = {util::simd::KernelSet::kScalar,
+                                             util::simd::detected()};
+      for (int s = 0; s < 2; ++s) {
+        util::simd::force(sets[s]);
+        agg::AggWave w(op, window);
+        bench::Stopwatch sw;
+        sw.start();
+        if (bulk) {
+          for (std::size_t off = 0; off < total; off += chunk) {
+            const std::size_t k = std::min(chunk, total - off);
+            w.update_bulk({values.data() + off, k});
+          }
+        } else {
+          for (const std::int64_t v : values) w.update(v);
+        }
+        rate[s] = static_cast<double>(total) / sw.seconds() / 1e6;
+        results[s] = w.value();
+      }
+      util::simd::force(util::simd::detected());
+      const bool parity = results[0] == results[1];
+      bench::row_line({agg::agg_op_name(op), bulk ? "bulk" : "per_item",
+                       bench::fmt(rate[0], 1), bench::fmt(rate[1], 1),
+                       bench::fmt(rate[1] / rate[0], 2),
+                       parity ? "1" : "0"});
+      bench::JsonLine("e19_agg_ingest")
+          .field("op", agg::agg_op_name(op))
+          .field("mode", bulk ? "bulk" : "per_item")
+          .field("scalar_mitems_per_sec", rate[0])
+          .field("simd_mitems_per_sec", rate[1])
+          .field("simd_speedup", rate[1] / rate[0])
+          .field("parity", std::uint64_t{parity})
+          .field("simd_set", util::simd::name(util::simd::detected()))
+          .emit();
+    }
+  }
+  std::printf(
+      "Expected shape: bulk beats per-item (stack flips amortize across "
+      "the chunk);\nthe vector set helps most where the flip's suffix scan "
+      "and the rebuild's\npopcount prefix dominate — dense streams and "
+      "bulk mode.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  std::printf("simd: detected=%s\n",
+              util::simd::name(util::simd::detected()));
+  kernel_table(smoke);
+  wave_table(smoke);
+  agg_table(smoke);
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "distributed/referee.hpp"
 #include "stream/generators.hpp"
 #include "util/bitops.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -224,6 +225,50 @@ void batched_ingest_table(bool smoke) {
       "amortized)\nand falls with density (the batch path pays per set "
       "bit; zero words cost one\npopcount). Both paths are bit-exact "
       "equivalent (tests/batch_ingest_test).\n");
+
+  // E15b: the same batched path, forced scalar kernels vs the detected
+  // vector set. The dispatch layer guarantees bit-exactness, so the only
+  // difference is time; parity confirms it by comparing a window query.
+  bench::header("E15b: batched ingest, scalar vs detected SIMD kernel set");
+  bench::row_line({"density", "scalar_Mi/s", "simd_Mi/s", "simd_speedup",
+                   "parity"});
+  const std::uint64_t batch_bits = 65536;
+  for (double density : {0.01, 0.1, 0.5}) {
+    stream::BernoulliBits gen(density, 43);
+    const util::PackedBitStream packed =
+        stream::take_packed(gen, static_cast<std::size_t>(total));
+    const auto words = packed.words();
+    double rate[2] = {0, 0};
+    double answers[2] = {0, 0};
+    const util::simd::KernelSet sets[2] = {util::simd::KernelSet::kScalar,
+                                           util::simd::detected()};
+    for (int s = 0; s < 2; ++s) {
+      util::simd::force(sets[s]);
+      distributed::CountParty p(params, 5, 7);
+      bench::Stopwatch sw;
+      sw.start();
+      for (std::uint64_t off = 0; off < total; off += batch_bits) {
+        const std::uint64_t nbits = std::min(batch_bits, total - off);
+        p.observe_words(words.subspan(off / 64, (nbits + 63) / 64), nbits);
+      }
+      rate[s] = static_cast<double>(total) / sw.seconds() / 1e6;
+      const distributed::CountParty* one[] = {&p};
+      answers[s] = distributed::union_count({one, 1}, window).value;
+    }
+    util::simd::force(util::simd::detected());
+    const bool parity = answers[0] == answers[1];
+    bench::row_line({bench::fmt(density, 2), bench::fmt(rate[0], 1),
+                     bench::fmt(rate[1], 1),
+                     bench::fmt(rate[1] / rate[0], 2), parity ? "1" : "0"});
+    bench::JsonLine("e15_simd_ingest")
+        .field("density", density)
+        .field("scalar_mitems_per_sec", rate[0])
+        .field("simd_mitems_per_sec", rate[1])
+        .field("simd_speedup", rate[1] / rate[0])
+        .field("parity", std::uint64_t{parity})
+        .field("simd_set", util::simd::name(util::simd::detected()))
+        .emit();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+#include "agg/agg_wave.hpp"
+
+#include <cassert>
+
+namespace waves::agg {
+
+const char* agg_op_name(AggOp op) noexcept {
+  switch (op) {
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+bool valid_agg_op(std::uint8_t raw) noexcept { return raw <= 2; }
+
+AggWave::Engine AggWave::make_engine(AggOp op, std::uint64_t window) {
+  const auto w = static_cast<std::size_t>(window);
+  switch (op) {
+    case AggOp::kMin:
+      return Engine{std::in_place_type<SlidingAgg<MinOp>>, w};
+    case AggOp::kMax:
+      return Engine{std::in_place_type<SlidingAgg<MaxOp>>, w};
+    case AggOp::kSum:
+      break;
+  }
+  return Engine{std::in_place_type<SlidingAgg<SumOp>>, w};
+}
+
+AggWave::AggWave(AggOp op, std::uint64_t window)
+    : op_(op), window_(window), engine_(make_engine(op, window)) {
+  assert(window >= 1);
+}
+
+void AggWave::update(std::int64_t value) {
+  ++change_cursor_;
+  const bool evicts = pos_ >= window_;
+  ++pos_;
+  std::visit([value](auto& eng) { eng.insert(value); }, engine_);
+  obs_.on_promotion();
+  if (evicts) obs_.on_eviction();
+}
+
+void AggWave::update_bulk(std::span<const std::int64_t> values) {
+  if (values.empty()) return;
+  ++change_cursor_;
+  const std::uint64_t stored = items();
+  pos_ += values.size();
+  std::visit(
+      [&values](auto& eng) { eng.insert_bulk(values.data(), values.size()); },
+      engine_);
+  obs_.on_promotion(values.size());
+  const std::uint64_t fits = window_ - stored;
+  if (values.size() > fits) obs_.on_eviction(values.size() - fits);
+}
+
+std::int64_t AggWave::value() const noexcept {
+  return std::visit([](const auto& eng) { return eng.query(); }, engine_);
+}
+
+core::Estimate AggWave::query() const noexcept {
+  return core::Estimate{static_cast<double>(value()), true, window_};
+}
+
+std::uint64_t AggWave::items() const noexcept {
+  return pos_ < window_ ? pos_ : window_;
+}
+
+std::uint64_t AggWave::space_bits() const noexcept {
+  // Worst-case resident: front originals + front suffix aggregates + back
+  // values (each up to W words of 64 bits) plus the counters.
+  return 64 * (3 * window_ + 4);
+}
+
+AggWaveCheckpoint AggWave::checkpoint() const {
+  obs_.flush(pos_);
+  AggWaveCheckpoint ck;
+  ck.pos = pos_;
+  ck.values.reserve(static_cast<std::size_t>(items()));
+  std::visit([&ck](const auto& eng) { eng.values_into(ck.values); }, engine_);
+  assert(ck.values.size() == items());
+  return ck;
+}
+
+AggWave AggWave::restore(AggOp op, std::uint64_t window,
+                         const AggWaveCheckpoint& ck) {
+  assert(ck.values.size() <= window);
+  AggWave w(op, window);
+  std::visit(
+      [&ck](auto& eng) { eng.insert_bulk(ck.values.data(), ck.values.size()); },
+      w.engine_);
+  w.pos_ = ck.pos;
+  ++w.change_cursor_;
+  return w;
+}
+
+}  // namespace waves::agg

@@ -1,0 +1,90 @@
+// AggWave: the two-stacks engine dressed as a wave, so exact MIN/MAX/SUM
+// windows plug into the same party / referee / checkpoint / transport
+// machinery as the paper's approximate synopses.
+//
+// Contrast with the waves proper: an AggWave stores the full window (O(W)
+// words, not the paper's polylog bits) and answers exactly. It exists for
+// the deployments that track a handful of exact aggregates next to the
+// sketches; the shared plumbing (checkpoint codec, delta protocol, TCP
+// roles) treats it as just another synopsis kind.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "agg/sliding_agg.hpp"
+#include "core/wave_common.hpp"
+#include "obs/metrics.hpp"
+
+namespace waves::agg {
+
+enum class AggOp : std::uint8_t { kSum = 0, kMin = 1, kMax = 2 };
+
+[[nodiscard]] const char* agg_op_name(AggOp op) noexcept;
+[[nodiscard]] bool valid_agg_op(std::uint8_t raw) noexcept;
+
+/// Canonical queryable state: the live window contents, oldest first, plus
+/// the item count. Deliberately *not* the stack split — per-item and bulk
+/// ingest may split differently while agreeing on every query, and the
+/// canonical form makes checkpoints taken through either path identical.
+struct AggWaveCheckpoint {
+  std::uint64_t pos = 0;
+  std::vector<std::int64_t> values;
+
+  bool operator==(const AggWaveCheckpoint&) const = default;
+};
+
+class AggWave {
+ public:
+  AggWave(AggOp op, std::uint64_t window);
+
+  /// Process one value. Amortized O(1).
+  void update(std::int64_t value);
+
+  /// Process a block; query-identical to per-item updates (the mutation
+  /// counter advances once per batch, like the bit waves' update_words).
+  void update_bulk(std::span<const std::int64_t> values);
+
+  /// Exact aggregate over the last min(pos, window) items; the op's
+  /// identity (0 / INT64_MAX / INT64_MIN) when no items arrived yet.
+  [[nodiscard]] std::int64_t value() const noexcept;
+
+  /// Estimate-shaped view for symmetry with the waves: always exact. Note
+  /// the double mantissa — use value() when |aggregate| can exceed 2^53.
+  [[nodiscard]] core::Estimate query() const noexcept;
+
+  [[nodiscard]] AggOp op() const noexcept { return op_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  /// Items observed over the wave's lifetime.
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  /// Items currently stored: min(pos, window).
+  [[nodiscard]] std::uint64_t items() const noexcept;
+  [[nodiscard]] std::uint64_t space_bits() const noexcept;
+
+  /// Monotone mutation counter (see DetWave::change_cursor).
+  [[nodiscard]] std::uint64_t change_cursor() const noexcept {
+    return change_cursor_;
+  }
+
+  [[nodiscard]] AggWaveCheckpoint checkpoint() const;
+
+  /// Rebuild from a checkpoint; op and window must match the original's.
+  [[nodiscard]] static AggWave restore(AggOp op, std::uint64_t window,
+                                       const AggWaveCheckpoint& ck);
+
+ private:
+  using Engine =
+      std::variant<SlidingAgg<SumOp>, SlidingAgg<MinOp>, SlidingAgg<MaxOp>>;
+  static Engine make_engine(AggOp op, std::uint64_t window);
+
+  AggOp op_;
+  std::uint64_t window_;
+  std::uint64_t pos_ = 0;
+  std::uint64_t change_cursor_ = 0;
+  Engine engine_;
+  obs::WaveIngestObs obs_{"agg"};
+};
+
+}  // namespace waves::agg

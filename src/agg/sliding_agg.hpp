@@ -1,0 +1,182 @@
+// Exact sliding-window aggregation via the two-stacks scheme.
+//
+// The waves answer *approximate* counts and sums in sublinear space; many
+// deployments also want a small number of *exact* aggregates (MIN/MAX/SUM
+// over the last W items) next to them, and are willing to pay O(W) words
+// for it. The classic two-stacks trick (also the core of HammerSlide) gets
+// amortized O(1) per item for any associative op: a back stack accumulates
+// a running aggregate as items arrive, and when the front stack runs dry
+// the back is "flipped" into a suffix-aggregate array so evictions are a
+// cursor bump and queries are one combine of the two partial aggregates.
+//
+// Both halves of the work vectorize, and that is why this lives on the
+// SIMD kernel layer: a bulk insert folds its block with one reduce kernel
+// call instead of per-item combines, and the flip is exactly the suffix
+// scan kernel. The scalar/SSE2/AVX2 bodies are bit-exact against each
+// other (sums wrap modulo 2^64), so per-item and bulk ingest agree on
+// every query result no matter which kernel set is active.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace waves::agg {
+
+// Aggregation ops. `combine` must be associative with `identity` as a
+// neutral element, and must match the corresponding reduce/suffix kernels
+// bit for bit (sum: two's-complement wrap).
+
+struct SumOp {
+  static constexpr std::int64_t identity = 0;
+  static std::int64_t combine(std::int64_t a, std::int64_t b) noexcept {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+  }
+  static std::int64_t reduce(const std::int64_t* v, std::size_t n) noexcept {
+    return util::simd::reduce_sum_i64(v, n);
+  }
+  static void suffix(const std::int64_t* v, std::int64_t* out,
+                     std::size_t n) noexcept {
+    util::simd::suffix_sum_i64(v, out, n);
+  }
+};
+
+struct MinOp {
+  static constexpr std::int64_t identity =
+      std::numeric_limits<std::int64_t>::max();
+  static std::int64_t combine(std::int64_t a, std::int64_t b) noexcept {
+    return b < a ? b : a;
+  }
+  static std::int64_t reduce(const std::int64_t* v, std::size_t n) noexcept {
+    return util::simd::reduce_min_i64(v, n);
+  }
+  static void suffix(const std::int64_t* v, std::int64_t* out,
+                     std::size_t n) noexcept {
+    util::simd::suffix_min_i64(v, out, n);
+  }
+};
+
+struct MaxOp {
+  static constexpr std::int64_t identity =
+      std::numeric_limits<std::int64_t>::min();
+  static std::int64_t combine(std::int64_t a, std::int64_t b) noexcept {
+    return b > a ? b : a;
+  }
+  static std::int64_t reduce(const std::int64_t* v, std::size_t n) noexcept {
+    return util::simd::reduce_max_i64(v, n);
+  }
+  static void suffix(const std::int64_t* v, std::int64_t* out,
+                     std::size_t n) noexcept {
+    util::simd::suffix_max_i64(v, out, n);
+  }
+};
+
+/// Exact aggregate of the last `window` inserted values. Amortized O(1)
+/// per item (each value is flipped at most once); query is O(1).
+/// Per-item insert() and insert_bulk() produce identical query results —
+/// the internal stack split may differ, but every query reads exact
+/// aggregates of the same live multiset.
+template <class Op>
+class SlidingAgg {
+ public:
+  explicit SlidingAgg(std::size_t window) : window_(window) {
+    assert(window >= 1);
+    front_vals_.reserve(window);
+    front_agg_.reserve(window);
+    back_vals_.reserve(window);
+  }
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return (front_agg_.size() - front_cursor_) + back_vals_.size();
+  }
+
+  /// Insert one value, evicting the oldest when the window is full.
+  void insert(std::int64_t v) {
+    if (size() == window_) evict_one();
+    back_vals_.push_back(v);
+    back_agg_ = Op::combine(back_agg_, v);
+  }
+
+  /// Insert a block. Equivalent to insert() per element; the block's
+  /// aggregate folds in with one reduce kernel call, and when the block
+  /// alone fills the window the stale state is dropped wholesale.
+  void insert_bulk(const std::int64_t* v, std::size_t n) {
+    if (n == 0) return;
+    if (n >= window_) {
+      const std::int64_t* last = v + (n - window_);
+      clear();
+      back_vals_.assign(last, last + window_);
+      back_agg_ = Op::reduce(last, window_);
+      return;
+    }
+    const std::size_t have = size();
+    std::size_t overflow = have + n > window_ ? have + n - window_ : 0;
+    while (overflow > 0) {
+      if (front_cursor_ == front_agg_.size()) flip();
+      const std::size_t live = front_agg_.size() - front_cursor_;
+      const std::size_t k = live < overflow ? live : overflow;
+      front_cursor_ += k;
+      overflow -= k;
+    }
+    back_vals_.insert(back_vals_.end(), v, v + n);
+    back_agg_ = Op::combine(back_agg_, Op::reduce(v, n));
+  }
+
+  /// Aggregate over the stored values; Op::identity when empty.
+  [[nodiscard]] std::int64_t query() const noexcept {
+    const std::int64_t f = front_cursor_ < front_agg_.size()
+                               ? front_agg_[front_cursor_]
+                               : Op::identity;
+    return Op::combine(f, back_agg_);
+  }
+
+  /// Append the live values, oldest first, to `out`.
+  void values_into(std::vector<std::int64_t>& out) const {
+    out.insert(out.end(), front_vals_.begin() + static_cast<std::ptrdiff_t>(
+                                                    front_cursor_),
+               front_vals_.end());
+    out.insert(out.end(), back_vals_.begin(), back_vals_.end());
+  }
+
+  void clear() noexcept {
+    front_vals_.clear();
+    front_agg_.clear();
+    front_cursor_ = 0;
+    back_vals_.clear();
+    back_agg_ = Op::identity;
+  }
+
+ private:
+  void evict_one() {
+    if (front_cursor_ == front_agg_.size()) flip();
+    ++front_cursor_;
+  }
+
+  /// Move the back stack into the front: one suffix-scan kernel call turns
+  /// the values into per-position "aggregate from here to newest", so each
+  /// later eviction is a cursor bump and the front query one array read.
+  void flip() {
+    assert(!back_vals_.empty());
+    front_vals_.swap(back_vals_);
+    front_cursor_ = 0;
+    front_agg_.resize(front_vals_.size());
+    Op::suffix(front_vals_.data(), front_agg_.data(), front_vals_.size());
+    back_vals_.clear();
+    back_agg_ = Op::identity;
+  }
+
+  std::size_t window_;
+  std::vector<std::int64_t> front_vals_;  // originals (checkpoint source)
+  std::vector<std::int64_t> front_agg_;   // suffix aggregates of front_vals_
+  std::size_t front_cursor_ = 0;          // first live front index
+  std::vector<std::int64_t> back_vals_;
+  std::int64_t back_agg_ = Op::identity;
+};
+
+}  // namespace waves::agg

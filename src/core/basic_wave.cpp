@@ -1,8 +1,10 @@
 #include "core/basic_wave.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/bitops.hpp"
+#include "util/simd.hpp"
 
 namespace waves::core {
 
@@ -37,31 +39,72 @@ void BasicWave::update_words(std::span<const std::uint64_t> words,
                              std::uint64_t count) {
   assert(count <= words.size() * 64);
   ++change_cursor_;
-  std::uint64_t promotions = 0, evictions = 0;
-  std::size_t wi = 0;
-  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
-    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
-    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
-    const std::uint64_t base = pos_;
-    while (w != 0) {
-      const int b = util::lsb_index(w);
-      w &= w - 1;
-      pos_ = base + static_cast<std::uint64_t>(b) + 1;
-      ++rank_;
-      for (std::size_t i = 0; i < levels_.size(); ++i) {
-        if (rank_ % (std::uint64_t{1} << i) == 0) {
-          auto& q = levels_[i];
-          q.emplace_back(pos_, rank_);
-          ++promotions;
-          if (q.size() > cap_) {
-            q.pop_front();
-            ++evictions;
-          }
-        }
+  const std::size_t ell = levels_.size();
+  assert(ell >= 1);
+  const std::size_t nfull = static_cast<std::size_t>(count / 64);
+  const int tail_bits = static_cast<int>(count % 64);
+  const std::uint64_t tail_word =
+      tail_bits != 0 ? words[nfull] & util::low_bits_mask(tail_bits) : 0;
+
+  // Each level holds at most cap_ entries, so a batch of K set bits leaves
+  // only the last min(ni, cap_) of a level's ni new multiples of 2^i alive
+  // no matter how large K is. Rebuild every level directly from that
+  // arithmetic instead of replaying all ~2K per-bit insert/evict pairs:
+  // one SIMD popcount-prefix pass over the words turns a surviving rank
+  // into its batch offset with a binary search plus an in-word select.
+  batch_prefix_.resize(nfull + 1);
+  util::simd::popcount_prefix_words(words.data(), nfull, batch_prefix_.data());
+  const std::uint64_t k_full = batch_prefix_[nfull];
+  const std::uint64_t k_total =
+      k_full + static_cast<std::uint64_t>(util::popcount(tail_word));
+
+  const std::uint64_t rank0 = rank_;
+  const std::uint64_t pos0 = pos_;
+  rank_ += k_total;
+  pos_ += count;
+  if (k_total == 0) return;
+
+  // Batch offset (0-based) of the t-th (1-based) set bit.
+  const auto offset_of = [&](std::uint64_t t) -> std::uint64_t {
+    if (t > k_full) {
+      const unsigned j = static_cast<unsigned>(t - k_full - 1);
+      return static_cast<std::uint64_t>(nfull) * 64 +
+             util::simd::select_in_word(tail_word, j);
+    }
+    std::size_t lo = 0;  // invariant: prefix[lo] < t <= prefix[hi]
+    std::size_t hi = nfull;
+    while (hi - lo > 1) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (batch_prefix_[mid] < t) {
+        lo = mid;
+      } else {
+        hi = mid;
       }
     }
-    pos_ = base + static_cast<std::uint64_t>(valid);
-    remaining -= static_cast<std::uint64_t>(valid);
+    const unsigned j = static_cast<unsigned>(t - batch_prefix_[lo] - 1);
+    return static_cast<std::uint64_t>(lo) * 64 +
+           util::simd::select_in_word(words[lo], j);
+  };
+
+  std::uint64_t promotions = 0, evictions = 0;
+  for (std::size_t i = 0; i < ell; ++i) {
+    // New entries at level i: the multiples of 2^i in (rank0, rank0+K].
+    const std::uint64_t ni = ((rank0 + k_total) >> i) - (rank0 >> i);
+    promotions += ni;
+    auto& q = levels_[i];
+    const std::uint64_t old_size = q.size();
+    const std::uint64_t final_size =
+        std::min<std::uint64_t>(old_size + ni, cap_);
+    const std::uint64_t surv_new = std::min(ni, final_size);
+    const std::uint64_t surv_old = final_size - surv_new;
+    evictions += old_size + ni - final_size;
+    while (q.size() > surv_old) q.pop_front();
+    if (surv_new == 0) continue;
+    const std::uint64_t top_rank = ((rank0 + k_total) >> i) << i;
+    for (std::uint64_t k = surv_new; k-- > 0;) {
+      const std::uint64_t r = top_rank - (k << i);
+      q.emplace_back(pos0 + offset_of(r - rank0) + 1, r);
+    }
   }
   obs_.on_promotion(promotions);
   obs_.on_eviction(evictions);

@@ -72,6 +72,7 @@ class BasicWave {
   std::uint64_t rank_ = 0;
   std::uint64_t change_cursor_ = 0;
   std::vector<std::deque<std::pair<std::uint64_t, std::uint64_t>>> levels_;
+  std::vector<std::uint64_t> batch_prefix_;  // update_words select scratch
   obs::WaveIngestObs obs_{"basic"};
 };
 

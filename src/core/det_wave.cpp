@@ -1,6 +1,9 @@
 #include "core/det_wave.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "util/simd.hpp"
 
 namespace waves::core {
 
@@ -85,11 +88,33 @@ void DetWave::update_words(std::span<const std::uint64_t> words,
     obs_.on_expiry();
   };
   std::uint64_t promotions = 0;
+  const int top = pool_.levels() - 1;
   std::size_t wi = 0;
-  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    // Whole-word zero runs only advance the cursor; the single expiry scan
+    // they owe is folded into the per-batch sweep below (exactly as in
+    // skip_zeros). One vector scan finds where the next 1-bit's word is.
+    if (remaining >= 64) {
+      const std::size_t zw =
+          util::simd::zero_prefix_words(words.data() + wi, remaining / 64);
+      wi += zw;
+      pos_ += zw * 64;
+      remaining -= zw * 64;
+      if (remaining == 0) break;
+    }
     const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
     std::uint64_t w = words[wi] & util::low_bits_mask(valid);
     const std::uint64_t base = pos_;  // position before this word's bits
+    // Fig. 4 step 3a level of rank r is min(ctz(r), top); the word's 1-bits
+    // take consecutive ranks, so one kernel call levels them all. The weak
+    // machine model instead draws levels from the stateful ruler per bit.
+    std::uint8_t lvl[64];
+    if (!ruler_) {
+      util::simd::ctz_run(rank_ + 1, lvl,
+                          static_cast<std::size_t>(util::popcount(w)));
+    }
+    std::size_t li = 0;
     while (w != 0) {
       const int b = util::lsb_index(w);
       w &= w - 1;
@@ -101,17 +126,18 @@ void DetWave::update_words(std::span<const std::uint64_t> words,
       int j;
       if (ruler_) {
         j = ruler_->next();
-        const int top = pool_.levels() - 1;
         if (j > top) j = top;
         assert(j == level_of(rank_));
       } else {
-        j = level_of(rank_);
+        j = std::min(static_cast<int>(lvl[li++]), top);
+        assert(j == level_of(rank_));
       }
       pool_.insert(j, Entry{pos_, rank_});
       ++promotions;
     }
     pos_ = base + static_cast<std::uint64_t>(valid);  // trailing zeros
     remaining -= static_cast<std::uint64_t>(valid);
+    ++wi;
   }
   expire_through(pool_, pos_, window_, discard);
   obs_.on_promotion(promotions);

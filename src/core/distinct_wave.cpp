@@ -50,8 +50,18 @@ void DistinctWave::drop_expired(Level& lv) const {
 }
 
 void DistinctWave::update(std::uint64_t value) {
-  assert(value <= params_.max_value);
   ++change_cursor_;
+  update_one(value);
+}
+
+void DistinctWave::update_batch(std::span<const std::uint64_t> values) {
+  if (values.empty()) return;
+  ++change_cursor_;
+  for (const std::uint64_t v : values) update_one(v);
+}
+
+void DistinctWave::update_one(std::uint64_t value) {
+  assert(value <= params_.max_value);
   ++pos_;
   const int hl = level_of_value(value);
   for (int l = 0; l <= hl; ++l) {

@@ -61,12 +61,12 @@ class DistinctWave {
   /// Process one value. O(1) expected.
   void update(std::uint64_t value);
 
-  /// Process a run of values. State-identical to calling update() on each
-  /// in order; the win is upstream (one party-lock acquisition, one obs
-  /// flush per batch), not in the wave itself.
-  void update_batch(std::span<const std::uint64_t> values) {
-    for (const std::uint64_t v : values) update(v);
-  }
+  /// Process a run of values. Sample-state identical to calling update() on
+  /// each in order (the mutation counter advances once per batch, like the
+  /// bit waves' update_words). Distinct ingest is hash- and pointer-bound,
+  /// so the batch win is amortized bookkeeping — one party-lock
+  /// acquisition, one cursor bump, bulk obs counters — not vectorization.
+  void update_batch(std::span<const std::uint64_t> values);
 
   [[nodiscard]] DistinctSnapshot snapshot(std::uint64_t n) const;
 
@@ -108,6 +108,7 @@ class DistinctWave {
     return l > d_ ? d_ : l;
   }
   void drop_expired(Level& lv) const;
+  void update_one(std::uint64_t value);
 
   Params params_;
   int d_;  // top level

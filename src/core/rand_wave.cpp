@@ -6,10 +6,30 @@
 #include <unordered_set>
 
 #include "util/bitops.hpp"
+#include "util/simd.hpp"
 
 namespace waves::core {
 
 namespace {
+
+/// Drop q's expired prefix (oldest-first positions <= pexp) and return how
+/// many were dropped. Positions ascend oldest->newest, so the expired run
+/// is a prefix; the ring exposes it as at most two contiguous segments,
+/// each scanned with one vector call.
+std::size_t drop_expired(util::RingBuffer<std::uint64_t>& q,
+                         std::uint64_t pexp) {
+  std::size_t dropped = 0;
+  for (;;) {
+    const std::span<const std::uint64_t> seg = q.tail_segment();
+    if (seg.empty()) break;
+    const std::size_t k =
+        util::simd::expired_prefix(seg.data(), seg.size(), pexp);
+    q.pop_tail_n(k);
+    dropped += k;
+    if (k < seg.size()) break;
+  }
+  return dropped;
+}
 
 std::size_t queue_cap(double eps, std::uint64_t c) {
   assert(eps > 0.0 && eps < 1.0);
@@ -84,9 +104,21 @@ void RandWave::update_words(std::span<const std::uint64_t> words,
   // reproduces that state by cleaning a level's expired tail right before
   // each insert touching it — making capacity-eviction decisions (and the
   // evicted bounds) identical — and sweeping all levels once at batch end.
-  std::uint64_t promotions = 0;
+  std::uint64_t promotions = 0, expiries = 0, evictions = 0;
   std::size_t wi = 0;
-  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    // Zero bits only advance the cursor (their expiries are covered by the
+    // next insert's cleanup or the batch-end sweep): swallow whole-word
+    // zero runs with one vector scan.
+    if (remaining >= 64) {
+      const std::size_t zw =
+          util::simd::zero_prefix_words(words.data() + wi, remaining / 64);
+      wi += zw;
+      pos_ += zw * 64;
+      remaining -= zw * 64;
+      if (remaining == 0) break;
+    }
     const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
     std::uint64_t w = words[wi] & util::low_bits_mask(valid);
     const std::uint64_t base = pos_;
@@ -100,12 +132,9 @@ void RandWave::update_words(std::span<const std::uint64_t> words,
       promotions += static_cast<std::uint64_t>(hl) + 1;
       for (int l = 0; l <= hl; ++l) {
         auto& q = queues_[static_cast<std::size_t>(l)];
-        while (!q.empty() && q.tail() <= pexp) {
-          q.pop_tail();
-          obs_.on_expiry();
-        }
+        expiries += drop_expired(q, pexp);
         if (auto evicted = q.push_head(pos_)) {
-          obs_.on_eviction();
+          ++evictions;
           auto& bound = evicted_bound_[static_cast<std::size_t>(l)];
           if (*evicted > bound) bound = *evicted;
         }
@@ -113,17 +142,15 @@ void RandWave::update_words(std::span<const std::uint64_t> words,
     }
     pos_ = base + static_cast<std::uint64_t>(valid);
     remaining -= static_cast<std::uint64_t>(valid);
+    ++wi;
   }
-  obs_.on_promotion(promotions);
   if (pos_ > params_.window) {
     const std::uint64_t pexp = pos_ - params_.window;
-    for (auto& q : queues_) {
-      while (!q.empty() && q.tail() <= pexp) {
-        q.pop_tail();
-        obs_.on_expiry();
-      }
-    }
+    for (auto& q : queues_) expiries += drop_expired(q, pexp);
   }
+  obs_.on_promotion(promotions);
+  obs_.on_expiry(expiries);
+  obs_.on_eviction(evictions);
 }
 
 RandWaveSnapshot RandWave::snapshot(std::uint64_t n) const {

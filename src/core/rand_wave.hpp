@@ -80,6 +80,22 @@ class RandWave {
   [[nodiscard]] const gf2::ExpHash& hash() const noexcept { return hash_; }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return cap_; }
 
+  /// Live read access to the per-level rings, for the O(change) delta
+  /// encoder (recovery/delta_live). Rings only drop at the tail and append
+  /// at the head, so a past checkpoint's surviving entries are always a
+  /// prefix of from_oldest order — that invariant is what the encoder
+  /// diffs against without copying the queues.
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return queues_.size();
+  }
+  [[nodiscard]] const util::RingBuffer<std::uint64_t>& level_queue(
+      std::size_t l) const noexcept {
+    return queues_[l];
+  }
+  [[nodiscard]] std::uint64_t evicted_bound(std::size_t l) const noexcept {
+    return evicted_bound_[l];
+  }
+
   /// Theorem 5 accounting: (d+1) queues of cap positions at log N' bits
   /// each, plus the two hash seeds and two counters.
   [[nodiscard]] std::uint64_t space_bits() const noexcept;

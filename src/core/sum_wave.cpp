@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/simd.hpp"
 #include "util/weak_bitops.hpp"
 
 namespace waves::core {
@@ -72,22 +73,46 @@ void SumWave::update_words(std::span<const std::uint64_t> words,
   assert(count <= words.size() * 64);
   ++change_cursor_;
   const auto discard = [this](const Entry& gone) { discarded_z_ = gone.z; };
+  // For a 0/1 stream the Theorem 3 carry mask degenerates: with value 1,
+  // level_at(t, 1) is ctz(t+1) capped at top, except that a carry out of
+  // the d low bits (ctz >= d) is "crossed a multiple of N'" and pins the
+  // top level. Totals are consecutive across the word's 1-bits, so one ctz
+  // kernel call levels the whole word; the assert checks the identity
+  // against the reference computation.
+  const int top = pool_.levels() - 1;
+  const int d = util::popcount(mask_);
   std::size_t wi = 0;
-  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    if (remaining >= 64) {
+      const std::size_t zw =
+          util::simd::zero_prefix_words(words.data() + wi, remaining / 64);
+      wi += zw;
+      pos_ += zw * 64;
+      remaining -= zw * 64;
+      if (remaining == 0) break;
+    }
     const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
     std::uint64_t w = words[wi] & util::low_bits_mask(valid);
     const std::uint64_t base = pos_;
+    std::uint8_t lvl[64];
+    util::simd::ctz_run(total_ + 1, lvl,
+                        static_cast<std::size_t>(util::popcount(w)));
+    std::size_t li = 0;
     while (w != 0) {
       const int b = util::lsb_index(w);
       w &= w - 1;
       pos_ = base + static_cast<std::uint64_t>(b) + 1;
       expire_through(pool_, pos_, window_, discard);
-      const int j = level_for(1);
+      const int c = static_cast<int>(lvl[li++]);
+      const int j = c >= d ? top : (c > top ? top : c);
+      assert(j == level_for(1));
       total_ += 1;
       pool_.insert(j, Entry{pos_, 1, total_});
     }
     pos_ = base + static_cast<std::uint64_t>(valid);
     remaining -= static_cast<std::uint64_t>(valid);
+    ++wi;
   }
   expire_through(pool_, pos_, window_, discard);
 }

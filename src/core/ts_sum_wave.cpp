@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/simd.hpp"
+
 namespace waves::core {
 
 namespace {
@@ -136,6 +138,63 @@ void TsSumWave::update(std::uint64_t pos, std::uint64_t value) {
 void TsSumWave::skip_zeros(std::uint64_t count) {
   ++change_cursor_;
   pos_ += count;
+  while (!pool_.empty() && pool_.entry(pool_.head()).pos + window_ <= pos_) {
+    expire_position();
+  }
+}
+
+void TsSumWave::update_words(std::span<const std::uint64_t> words,
+                             std::uint64_t count) {
+  assert(count <= words.size() * 64);
+  ++change_cursor_;
+  // 0/1 streams specialize Theorem 3's carry mask exactly as in
+  // SumWave::update_words: level_at(t, 1) = min(ctz(t+1), top), except that
+  // a carry out of the d = log2(N') low bits pins the top level. Totals are
+  // consecutive across the word's 1-bits, so one ctz kernel call levels the
+  // whole word; zero runs expire lazily at the next 1-bit or batch end,
+  // which discards the same positions in the same order as per-item calls.
+  const int top = pool_.levels() - 1;
+  const int d = util::popcount(mask_);
+  std::size_t wi = 0;
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    if (remaining >= 64) {
+      const std::size_t zw =
+          util::simd::zero_prefix_words(words.data() + wi, remaining / 64);
+      wi += zw;
+      pos_ += zw * 64;
+      remaining -= zw * 64;
+      if (remaining == 0) break;
+    }
+    const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
+    std::uint64_t w = words[wi] & util::low_bits_mask(valid);
+    const std::uint64_t base = pos_;
+    std::uint8_t lvl[64];
+    util::simd::ctz_run(total_ + 1, lvl,
+                        static_cast<std::size_t>(util::popcount(w)));
+    std::size_t li = 0;
+    while (w != 0) {
+      const int b = util::lsb_index(w);
+      w &= w - 1;
+      pos_ = base + static_cast<std::uint64_t>(b) + 1;
+      while (!pool_.empty() &&
+             pool_.entry(pool_.head()).pos + window_ <= pos_) {
+        expire_position();
+      }
+      const int c = static_cast<int>(lvl[li++]);
+      const int j = c >= d ? top : (c > top ? top : c);
+      assert(j == level_for(1));
+      total_ += 1;
+      if (pool_.victim_in_list(j)) {
+        splice_first_bookkeeping(pool_.peek_victim(j));
+      }
+      const std::int32_t idx = pool_.insert(j, Entry{pos_, 1, total_});
+      mark_inserted(idx, pos_);
+    }
+    pos_ = base + static_cast<std::uint64_t>(valid);
+    remaining -= static_cast<std::uint64_t>(valid);
+    ++wi;
+  }
   while (!pool_.empty() && pool_.entry(pool_.head()).pos + window_ <= pos_) {
     expire_position();
   }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -42,6 +43,13 @@ class TsSumWave {
   /// sequence of zero-valued items over those positions; costs
   /// O(#positions expired), not O(count).
   void skip_zeros(std::uint64_t count);
+
+  /// Process `count` unit-spaced 0/1-valued items packed 64 per word (LSB
+  /// first): bit i means one item of value 1 at position
+  /// current_position() + i + 1; a clear bit is a positions-only tick.
+  /// State-identical to the equivalent update()/skip_zeros() sequence; zero
+  /// runs cost one vector scan per word.
+  void update_words(std::span<const std::uint64_t> words, std::uint64_t count);
 
   /// Sum estimate over the last n <= N positions.
   [[nodiscard]] Estimate query(std::uint64_t n) const;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/simd.hpp"
+
 namespace waves::core {
 
 namespace {
@@ -133,11 +135,30 @@ void TsWave::update_words(std::span<const std::uint64_t> words,
                           std::uint64_t count) {
   assert(count <= words.size() * 64);
   ++change_cursor_;
+  const int top = pool_.levels() - 1;
   std::size_t wi = 0;
-  for (std::uint64_t remaining = count; remaining > 0; ++wi) {
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    // Zero positions only advance the clock; their expiries are covered by
+    // the next 1-bit's scan (or the trailing sweep), so whole-zero words
+    // are swallowed by one vector scan.
+    if (remaining >= 64) {
+      const std::size_t zw =
+          util::simd::zero_prefix_words(words.data() + wi, remaining / 64);
+      wi += zw;
+      pos_ += zw * 64;
+      remaining -= zw * 64;
+      if (remaining == 0) break;
+    }
     const int valid = remaining < 64 ? static_cast<int>(remaining) : 64;
     std::uint64_t w = words[wi] & util::low_bits_mask(valid);
     const std::uint64_t base = pos_;
+    // Ranks are consecutive across the word's 1-bits: level the whole word
+    // with one ctz kernel call (level of rank r = min(ctz(r), top)).
+    std::uint8_t lvl[64];
+    util::simd::ctz_run(rank_ + 1, lvl,
+                        static_cast<std::size_t>(util::popcount(w)));
+    std::size_t li = 0;
     while (w != 0) {
       const int b = util::lsb_index(w);
       w &= w - 1;
@@ -147,9 +168,10 @@ void TsWave::update_words(std::span<const std::uint64_t> words,
         expire_position();
       }
       ++rank_;
-      int j = util::rank_level(rank_);
-      const int top = pool_.levels() - 1;
+      int j = static_cast<int>(lvl[li++]);
       if (j > top) j = top;
+      assert(j == (util::rank_level(rank_) > top ? top
+                                                 : util::rank_level(rank_)));
       if (pool_.victim_in_list(j)) {
         splice_first_bookkeeping(pool_.peek_victim(j));
       }
@@ -158,6 +180,7 @@ void TsWave::update_words(std::span<const std::uint64_t> words,
     }
     pos_ = base + static_cast<std::uint64_t>(valid);
     remaining -= static_cast<std::uint64_t>(valid);
+    ++wi;
   }
   while (!pool_.empty() && pool_.entry(pool_.head()).pos + window_ <= pos_) {
     expire_position();

@@ -82,6 +82,16 @@ class CountParty {
   /// observed yet and ck.waves.size() == instances().
   void restore(const CountPartyCheckpoint& ck);
 
+  /// Run `fn(std::span<const core::RandWave>)` under the party lock. The
+  /// O(change) delta encoder reads ring contents in place instead of paying
+  /// a full checkpoint copy per request. `fn` must not retain references
+  /// past the call and must not re-enter the party.
+  template <class Fn>
+  auto visit_locked(Fn&& fn) const {
+    std::lock_guard lk(mu_);
+    return fn(std::span<const core::RandWave>(waves_.data(), waves_.size()));
+  }
+
  private:
   [[nodiscard]] std::uint64_t space_bits_locked() const noexcept;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -60,6 +61,8 @@ MsgType reply_type_for(PartyRole role) {
     case PartyRole::kBasic:
     case PartyRole::kSum:
       return MsgType::kTotalReply;
+    case PartyRole::kAgg:
+      return MsgType::kAggReply;
   }
   return MsgType::kErr;
 }
@@ -446,6 +449,17 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
       f.total = r;
       break;
     }
+    case PartyRole::kAgg: {
+      AggReply r;
+      if (!AggReply::decode(frame.payload, r) ||
+          r.request_id != req.request_id) {
+        fail(FetchStatus::kProtocolError, "bad agg reply");
+        return f;
+      }
+      if (stale(r.generation)) return f;
+      f.agg = r;
+      break;
+    }
   }
   f.status = FetchStatus::kOk;
   f.decode_s += lap();
@@ -753,6 +767,74 @@ distributed::QueryResult total_query(const RefereeClient& client,
     r.status = distributed::QueryStatus::kDegraded;
     r.error_slack = static_cast<double>(r.missing.size()) *
                     static_cast<double>(n) * static_cast<double>(max_value);
+  }
+  return r;
+}
+
+AggQueryResult agg_query(const RefereeClient& client, agg::AggOp op,
+                         std::uint64_t n, std::uint64_t max_abs_value) {
+  auto span = obs::Tracer::instance().start("referee.agg_tcp");
+  AggQueryResult r;
+  r.op = op;
+  if (client.party_count() == 0) {
+    r.error = "agg query: no parties configured";
+    return r;
+  }
+
+  std::vector<Fetch> fetches = client.fetch_all(PartyRole::kAgg, n);
+
+  // Combine exactly the way one AggWave would: SUM wraps mod 2^64, MIN/MAX
+  // fold from the op identity.
+  std::uint64_t sum = 0;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < fetches.size(); ++i) {
+    const Fetch& f = fetches[i];
+    if (!f.ok() || f.agg.op != op) {
+      r.missing.push_back(i);
+      if (r.error.empty()) {
+        r.error = f.ok() ? std::string("party echoed op ") +
+                               agg::agg_op_name(f.agg.op) + ", wanted " +
+                               agg::agg_op_name(op)
+                         : f.error;
+      }
+      continue;
+    }
+    ++answered;
+    sum += static_cast<std::uint64_t>(f.agg.value);
+    lo = std::min(lo, f.agg.value);
+    hi = std::max(hi, f.agg.value);
+  }
+  span.set("parties", static_cast<double>(client.party_count()));
+  span.set("missing", static_cast<double>(r.missing.size()));
+
+  if (answered == 0) {
+    r.status = distributed::QueryStatus::kFailed;
+    r.error = "agg query: no party answered (" + r.error + ")";
+    return r;
+  }
+  switch (op) {
+    case agg::AggOp::kSum:
+      r.value = static_cast<std::int64_t>(sum);
+      break;
+    case agg::AggOp::kMin:
+      r.value = lo;
+      break;
+    case agg::AggOp::kMax:
+      r.value = hi;
+      break;
+  }
+  if (r.missing.empty()) {
+    r.status = distributed::QueryStatus::kOk;
+    r.error.clear();
+  } else {
+    r.status = distributed::QueryStatus::kDegraded;
+    if (op == agg::AggOp::kSum) {
+      r.error_slack = static_cast<double>(r.missing.size()) *
+                      static_cast<double>(n) *
+                      static_cast<double>(max_abs_value);
+    }
   }
   return r;
 }

@@ -124,6 +124,7 @@ struct Fetch {
   std::vector<core::RandWaveSnapshot> count_snapshots;
   std::vector<core::DistinctSnapshot> distinct_snapshots;
   TotalReply total;
+  AggReply agg;
 
   [[nodiscard]] bool ok() const noexcept { return status == FetchStatus::kOk; }
 };
@@ -274,6 +275,35 @@ class NetworkDistinctSource final
 [[nodiscard]] distributed::QueryResult total_query(
     const RefereeClient& client, PartyRole role, std::uint64_t n,
     std::uint64_t max_value = 1);
+
+/// Distributed exact aggregate (agg role). Keeps the int64 exact instead of
+/// round-tripping through QueryResult's double estimate: sums past 2^53
+/// must not round on the referee hop when every party answered exactly.
+struct AggQueryResult {
+  distributed::QueryStatus status = distributed::QueryStatus::kFailed;
+  agg::AggOp op = agg::AggOp::kSum;
+  // SUM: responders' values summed (mod 2^64, like a single AggWave fed the
+  // concatenation). MIN/MAX: min/max over responders — with parties missing
+  // this is only an upper (resp. lower) bound on the true answer.
+  std::int64_t value = 0;
+  std::vector<std::size_t> missing;  // endpoint indices with no answer
+  // SUM only: |true - value| <= missing * n * max_abs_value, the analogue
+  // of total_query's slack. 0 for MIN/MAX (the bound is one-sided, not an
+  // interval — see `value`).
+  double error_slack = 0.0;
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == distributed::QueryStatus::kOk;
+  }
+};
+
+/// Same quorum rule as total_query: full quorum -> kOk, partial -> kDegraded
+/// (responders still combine), none -> kFailed. A party echoing a different
+/// op than requested is a protocol error and counts as missing.
+[[nodiscard]] AggQueryResult agg_query(const RefereeClient& client,
+                                       agg::AggOp op, std::uint64_t n,
+                                       std::uint64_t max_abs_value = 1);
 
 /// One-shot remote scrape of a daemon's obs registry (kMetricsRequest).
 /// Standalone — no Hello handshake, no RefereeClient: connects, asks for

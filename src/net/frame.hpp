@@ -54,6 +54,7 @@ enum class MsgType : std::uint8_t {
   kDeltaReply = 8,  // v3: party-checkpoint delta against a cursored baseline
   kMetricsRequest = 9,  // v3 additive: remote scrape of the obs registry
   kMetricsReply = 10,
+  kAggReply = 11,  // v3 additive: exact aggregate from an agg-role party
 };
 
 [[nodiscard]] bool valid_msg_type(std::uint8_t t);

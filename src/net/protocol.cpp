@@ -28,6 +28,8 @@ const char* role_name(PartyRole r) {
       return "basic";
     case PartyRole::kSum:
       return "sum";
+    case PartyRole::kAgg:
+      return "agg";
   }
   return "unknown";
 }
@@ -37,13 +39,14 @@ bool role_from_name(const std::string& name, PartyRole& out) {
   else if (name == "distinct") out = PartyRole::kDistinct;
   else if (name == "basic") out = PartyRole::kBasic;
   else if (name == "sum") out = PartyRole::kSum;
+  else if (name == "agg") out = PartyRole::kAgg;
   else return false;
   return true;
 }
 
 bool valid_role(std::uint8_t r) {
   return r >= static_cast<std::uint8_t>(PartyRole::kCount) &&
-         r <= static_cast<std::uint8_t>(PartyRole::kSum);
+         r <= static_cast<std::uint8_t>(PartyRole::kAgg);
 }
 
 Bytes Hello::encode() const {
@@ -219,6 +222,35 @@ bool TotalReply::decode(const Bytes& in, TotalReply& out) {
   }
   r.value = std::bit_cast<double>(bits);
   r.exact = exact == 1;
+  out = r;
+  return true;
+}
+
+Bytes AggReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_varint(out, generation);
+  put_varint(out, static_cast<std::uint64_t>(op));
+  put_fixed64(out, std::bit_cast<std::uint64_t>(value));
+  put_varint(out, items_observed);
+  put_varint(out, window);
+  return out;
+}
+
+bool AggReply::decode(const Bytes& in, AggReply& out) {
+  AggReply r;
+  std::size_t at = 0;
+  std::uint64_t op = 0;
+  std::uint64_t bits = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, r.generation) ||
+      !get_varint(in, at, op) || op > 0xFF ||
+      !agg::valid_agg_op(static_cast<std::uint8_t>(op)) ||
+      !get_fixed64(in, at, bits) || !get_varint(in, at, r.items_observed) ||
+      !get_varint(in, at, r.window) || !consumed(in, at)) {
+    return false;
+  }
+  r.op = static_cast<agg::AggOp>(op);
+  r.value = std::bit_cast<std::int64_t>(bits);
   out = r;
   return true;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "agg/agg_wave.hpp"
 #include "core/distinct_wave.hpp"
 #include "core/rand_wave.hpp"
 #include "distributed/wire.hpp"
@@ -31,6 +32,7 @@ enum class PartyRole : std::uint8_t {
   kDistinct = 2,  // distinct values (DistinctSnapshot)
   kBasic = 3,     // Scenario 1 Basic Counting total (DetWave)
   kSum = 4,       // Scenario 1 Sum total (SumWave)
+  kAgg = 5,       // exact two-stacks aggregate (agg::AggWave)
 };
 
 [[nodiscard]] const char* role_name(PartyRole r);
@@ -129,6 +131,22 @@ struct TotalReply {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static bool decode(const Bytes& in, TotalReply& out);
+};
+
+/// Reply of an agg-role party (exact MIN/MAX/SUM over the window). The
+/// aggregate crosses as the int64's fixed64 bit pattern — a double mantissa
+/// would round sums past 2^53 — so a networked answer is bit-identical to
+/// the in-process one. The op is echoed for client-side validation.
+struct AggReply {
+  std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;
+  agg::AggOp op = agg::AggOp::kSum;
+  std::int64_t value = 0;
+  std::uint64_t items_observed = 0;
+  std::uint64_t window = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, AggReply& out);
 };
 
 // v3 fast-path reply to a delta_capable SnapshotRequest (count/distinct

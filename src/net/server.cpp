@@ -75,6 +75,39 @@ void SumPartyState::restore(const recovery::SumPartyCheckpoint& ck) {
   items_ = ck.cursor;
 }
 
+void AggPartyState::observe(std::int64_t value) {
+  std::lock_guard lk(mu_);
+  wave_.update(value);
+  ++items_;
+}
+
+void AggPartyState::observe_batch(std::span<const std::int64_t> values) {
+  std::lock_guard lk(mu_);
+  wave_.update_bulk(values);
+  items_ += values.size();
+}
+
+std::int64_t AggPartyState::value() const {
+  std::lock_guard lk(mu_);
+  return wave_.value();
+}
+
+std::uint64_t AggPartyState::items() const {
+  std::lock_guard lk(mu_);
+  return items_;
+}
+
+recovery::AggPartyCheckpoint AggPartyState::checkpoint() const {
+  std::lock_guard lk(mu_);
+  return recovery::AggPartyCheckpoint{items_, wave_.checkpoint()};
+}
+
+void AggPartyState::restore(const recovery::AggPartyCheckpoint& ck) {
+  std::lock_guard lk(mu_);
+  wave_ = agg::AggWave::restore(wave_.op(), wave_.window(), ck.wave);
+  items_ = ck.cursor;
+}
+
 PartyServer::PartyServer(ServerConfig cfg, distributed::CountParty* party)
     : cfg_(std::move(cfg)), role_(PartyRole::kCount), count_(party) {}
 
@@ -86,6 +119,9 @@ PartyServer::PartyServer(ServerConfig cfg, BasicPartyState* party)
 
 PartyServer::PartyServer(ServerConfig cfg, SumPartyState* party)
     : cfg_(std::move(cfg)), role_(PartyRole::kSum), sum_(party) {}
+
+PartyServer::PartyServer(ServerConfig cfg, AggPartyState* party)
+    : cfg_(std::move(cfg)), role_(PartyRole::kAgg), agg_(party) {}
 
 PartyServer::~PartyServer() { stop(); }
 
@@ -193,6 +229,10 @@ HelloAck PartyServer::hello_ack() const {
       ack.window = sum_->window();
       ack.items_observed = sum_->items();
       break;
+    case PartyRole::kAgg:
+      ack.window = agg_->window();
+      ack.items_observed = agg_->items();
+      break;
   }
   return ack;
 }
@@ -230,6 +270,67 @@ void PartyServer::delta_answer(Party* party, DeltaState<Checkpoint>& st,
   r.cursor = next;
   st.serial = next;
   st.base = std::move(now);
+}
+
+void PartyServer::count_delta_answer(const SnapshotRequest& req,
+                                     DeltaReply& r) const {
+  const auto& obs = obs::NetServerObs::instance();
+  CountDeltaState& st = count_delta_;
+  std::lock_guard lk(st.mu);
+  // Unchanged fast-path: the client's baseline is our current one and the
+  // party ingested nothing since it was taken — echo the cursor, empty
+  // body, no synopsis walk at all.
+  if (req.since_cursor != 0 && req.since_cursor == st.serial &&
+      st.baseline.valid && count_->items_observed() == st.baseline.cursor) {
+    r.base_cursor = st.serial;
+    r.cursor = st.serial;
+    obs.delta_unchanged.add();
+    return;
+  }
+  // Retry cache: same since_cursor as the previous reply and nothing
+  // ingested since it was encoded — the client never applied it (timeout,
+  // reconnect), so the identical body is still the right answer even
+  // though the baseline has moved past req.since_cursor.
+  if (st.cache_valid && req.since_cursor == st.cached_since &&
+      req.since_cursor != 0 && count_->items_observed() == st.cached_items) {
+    r.base_cursor = st.cached_base_cursor;
+    r.cursor = st.cached_cursor;
+    r.body = st.cached_body;
+    if (r.base_cursor != 0) {
+      obs.delta_replies.add();
+    } else {
+      obs.delta_full.add();
+    }
+    return;
+  }
+  const std::uint64_t next = st.serial + 1;
+  r.body.clear();
+  if (req.since_cursor != 0 && req.since_cursor == st.serial &&
+      st.baseline.valid &&
+      recovery::encode_delta_live(*count_, st.baseline, r.body)) {
+    // O(change) diff straight out of the live rings; the baseline summary
+    // now describes the state just encoded.
+    r.base_cursor = st.serial;
+    obs.delta_replies.add();
+  } else {
+    // Bootstrap (since_cursor 0), a cursor we no longer hold (another
+    // client advanced the baseline, or this process restarted), or a live
+    // shape the diff form can't express: ship a self-contained full body.
+    // base_cursor 0 tells the client so.
+    distributed::CountPartyCheckpoint now = count_->checkpoint();
+    r.base_cursor = 0;
+    r.body = recovery::encode(now);
+    recovery::baseline_from_checkpoint(now, st.baseline);
+    obs.delta_full.add();
+  }
+  r.cursor = next;
+  st.serial = next;
+  st.cache_valid = true;
+  st.cached_since = req.since_cursor;
+  st.cached_items = st.baseline.cursor;
+  st.cached_base_cursor = r.base_cursor;
+  st.cached_cursor = r.cursor;
+  st.cached_body = r.body;
 }
 
 void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
@@ -273,7 +374,7 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
           // lock) and the delta diff — the "interference" phase.
           auto d = obs::Tracer::instance().start("party.delta",
                                                  span.context());
-          delta_answer(count_, count_delta_, req, r);
+          count_delta_answer(req, r);
           d.set("body_bytes", static_cast<double>(r.body.size()));
           d.set("full", r.base_cursor == 0 ? 1.0 : 0.0);
         }
@@ -330,6 +431,17 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
       TotalReply r{req.request_id, cfg_.generation, est.value, est.exact,
                    sum_->items()};
       send(MsgType::kTotalReply, r.encode());
+      return;
+    }
+    case PartyRole::kAgg: {
+      AggReply r;
+      r.request_id = req.request_id;
+      r.generation = cfg_.generation;
+      r.op = agg_->op();
+      r.value = agg_->value();
+      r.items_observed = agg_->items();
+      r.window = agg_->window();
+      send(MsgType::kAggReply, r.encode());
       return;
     }
   }

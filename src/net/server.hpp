@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "agg/agg_wave.hpp"
 #include "core/det_wave.hpp"
 #include "core/sum_wave.hpp"
 #include "distributed/party.hpp"
@@ -27,6 +28,7 @@
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "recovery/checkpoint.hpp"
+#include "recovery/delta_live.hpp"
 
 namespace waves::net {
 
@@ -86,6 +88,32 @@ class SumPartyState {
   std::uint64_t items_ = 0;
 };
 
+/// Exact-aggregate backend (agg::AggWave over signed int64 values). Same
+/// locking contract as the totals states; batch ingest rides the SIMD bulk
+/// path.
+class AggPartyState {
+ public:
+  AggPartyState(agg::AggOp op, std::uint64_t window) : wave_(op, window) {}
+
+  void observe(std::int64_t value);
+  void observe_batch(std::span<const std::int64_t> values);
+  [[nodiscard]] std::int64_t value() const;
+  [[nodiscard]] std::uint64_t items() const;
+  [[nodiscard]] std::uint64_t window() const noexcept {
+    return wave_.window();
+  }
+  [[nodiscard]] agg::AggOp op() const noexcept { return wave_.op(); }
+
+  [[nodiscard]] recovery::AggPartyCheckpoint checkpoint() const;
+  /// Same contract as BasicPartyState::restore.
+  void restore(const recovery::AggPartyCheckpoint& ck);
+
+ private:
+  mutable std::mutex mu_;
+  agg::AggWave wave_;
+  std::uint64_t items_ = 0;
+};
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  // 0: ephemeral; read back via port()
@@ -112,6 +140,7 @@ class PartyServer {
   PartyServer(ServerConfig cfg, distributed::DistinctParty* party);
   PartyServer(ServerConfig cfg, BasicPartyState* party);
   PartyServer(ServerConfig cfg, SumPartyState* party);
+  PartyServer(ServerConfig cfg, AggPartyState* party);
   ~PartyServer();
 
   PartyServer(const PartyServer&) = delete;
@@ -146,12 +175,34 @@ class PartyServer {
     Checkpoint base;
   };
 
+  // Count-role delta state: instead of a full baseline checkpoint, keep
+  // the O(instances * levels) shape summary the live encoder diffs
+  // against (recovery/delta_live.hpp), plus a retry cache. A client that
+  // timed out and retries the same since_cursor would otherwise miss the
+  // (already advanced) baseline and force a full resync; as long as
+  // nothing was ingested in between, re-shipping the previous body verbatim
+  // is exactly equivalent.
+  struct CountDeltaState {
+    std::mutex mu;
+    std::uint64_t serial = 0;  // 0 = no baseline handed out yet
+    recovery::CountDeltaBaseline baseline;
+    bool cache_valid = false;
+    std::uint64_t cached_since = 0;        // request's since_cursor
+    std::uint64_t cached_items = 0;        // items_observed at encode time
+    std::uint64_t cached_base_cursor = 0;  // reply fields, verbatim
+    std::uint64_t cached_cursor = 0;
+    Bytes cached_body;
+  };
+
   [[nodiscard]] HelloAck hello_ack() const;
   /// Builds the role-appropriate reply (or Err) for a decoded request.
   void answer(Socket& sock, const SnapshotRequest& req, Deadline dl);
   template <class Party, class Checkpoint>
   void delta_answer(Party* party, DeltaState<Checkpoint>& st,
                     const SnapshotRequest& req, DeltaReply& r) const;
+  /// Count-role replacement for delta_answer: O(change) live diff plus a
+  /// retry cache (see CountDeltaState).
+  void count_delta_answer(const SnapshotRequest& req, DeltaReply& r) const;
   void reap_finished();
 
   ServerConfig cfg_;
@@ -160,8 +211,9 @@ class PartyServer {
   distributed::DistinctParty* distinct_ = nullptr;
   BasicPartyState* basic_ = nullptr;
   SumPartyState* sum_ = nullptr;
+  AggPartyState* agg_ = nullptr;
 
-  mutable DeltaState<distributed::CountPartyCheckpoint> count_delta_;
+  mutable CountDeltaState count_delta_;
   mutable DeltaState<distributed::DistinctPartyCheckpoint> distinct_delta_;
 
   Listener listener_;

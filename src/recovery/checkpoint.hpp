@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "agg/agg_wave.hpp"
 #include "core/checkpoint.hpp"
 #include "distributed/party.hpp"
 #include "distributed/wire.hpp"
@@ -50,6 +51,14 @@ struct SumPartyCheckpoint {
   core::SumWaveCheckpoint wave;
 };
 
+/// Exact-aggregate daemon state (net::AggPartyState). Unlike the waves,
+/// the body is O(window) words — still KBs for the windows this role is
+/// meant for, and the envelope/CRC machinery is size-agnostic.
+struct AggPartyCheckpoint {
+  std::uint64_t cursor = 0;
+  agg::AggWaveCheckpoint wave;
+};
+
 /// CRC-64/XZ (ECMA-182 polynomial, reflected, init/xorout ~0). Table-driven;
 /// checkpoints are KBs, so one pass is negligible next to the fsync.
 [[nodiscard]] std::uint64_t crc64(std::span<const std::uint8_t> data);
@@ -66,6 +75,7 @@ void put_checkpoint(Bytes& out, const core::TsWaveCheckpoint& ck);
 void put_checkpoint(Bytes& out, const core::TsSumWaveCheckpoint& ck);
 void put_checkpoint(Bytes& out, const core::RandWaveCheckpoint& ck);
 void put_checkpoint(Bytes& out, const core::DistinctWaveCheckpoint& ck);
+void put_checkpoint(Bytes& out, const agg::AggWaveCheckpoint& ck);
 
 [[nodiscard]] bool get_checkpoint(const Bytes& in, std::size_t& at,
                                   core::DetWaveCheckpoint& out);
@@ -79,12 +89,15 @@ void put_checkpoint(Bytes& out, const core::DistinctWaveCheckpoint& ck);
                                   core::RandWaveCheckpoint& out);
 [[nodiscard]] bool get_checkpoint(const Bytes& in, std::size_t& at,
                                   core::DistinctWaveCheckpoint& out);
+[[nodiscard]] bool get_checkpoint(const Bytes& in, std::size_t& at,
+                                  agg::AggWaveCheckpoint& out);
 
 // Party-level bodies: stream cursor + the per-instance wave checkpoints.
 [[nodiscard]] Bytes encode(const distributed::CountPartyCheckpoint& ck);
 [[nodiscard]] Bytes encode(const distributed::DistinctPartyCheckpoint& ck);
 [[nodiscard]] Bytes encode(const BasicPartyCheckpoint& ck);
 [[nodiscard]] Bytes encode(const SumPartyCheckpoint& ck);
+[[nodiscard]] Bytes encode(const AggPartyCheckpoint& ck);
 
 /// All-or-nothing: `out` untouched on failure; trailing garbage rejected.
 [[nodiscard]] bool decode(const Bytes& in,
@@ -93,6 +106,7 @@ void put_checkpoint(Bytes& out, const core::DistinctWaveCheckpoint& ck);
                           distributed::DistinctPartyCheckpoint& out);
 [[nodiscard]] bool decode(const Bytes& in, BasicPartyCheckpoint& out);
 [[nodiscard]] bool decode(const Bytes& in, SumPartyCheckpoint& out);
+[[nodiscard]] bool decode(const Bytes& in, AggPartyCheckpoint& out);
 
 // -- Envelope --------------------------------------------------------------
 
@@ -103,6 +117,7 @@ enum class StateKind : std::uint8_t {
   kDistinct = 2,
   kBasic = 3,
   kSum = 4,
+  kAgg = 5,
 };
 
 inline constexpr std::uint64_t kEnvelopeVersion = 1;

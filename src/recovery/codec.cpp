@@ -299,6 +299,36 @@ bool get_checkpoint(const Bytes& in, std::size_t& at,
   return true;
 }
 
+void put_checkpoint(Bytes& out, const agg::AggWaveCheckpoint& ck) {
+  put_varint(out, ck.pos);
+  put_varint(out, ck.values.size());
+  // Window values are arbitrary signed int64s: zigzag so small magnitudes
+  // of either sign stay short.
+  for (const std::int64_t v : ck.values) {
+    put_varint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                        static_cast<std::uint64_t>(v >> 63));
+  }
+}
+
+bool get_checkpoint(const Bytes& in, std::size_t& at,
+                    agg::AggWaveCheckpoint& out) {
+  agg::AggWaveCheckpoint ck;
+  std::uint64_t count = 0;
+  if (!get_varint(in, at, ck.pos) || !get_varint(in, at, count) ||
+      count > in.size() - at) {
+    return false;
+  }
+  ck.values.reserve(std::min<std::size_t>(count, kReserveCap));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t u = 0;
+    if (!get_varint(in, at, u)) return false;
+    ck.values.push_back(
+        static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1)));
+  }
+  out = std::move(ck);
+  return true;
+}
+
 // -- Party bodies ----------------------------------------------------------
 
 namespace {
@@ -354,6 +384,13 @@ Bytes encode(const SumPartyCheckpoint& ck) {
   return out;
 }
 
+Bytes encode(const AggPartyCheckpoint& ck) {
+  Bytes out;
+  put_varint(out, ck.cursor);
+  put_checkpoint(out, ck.wave);
+  return out;
+}
+
 bool decode(const Bytes& in, distributed::CountPartyCheckpoint& out) {
   distributed::CountPartyCheckpoint ck;
   if (!decode_party(in, ck.cursor, ck.waves)) return false;
@@ -390,6 +427,17 @@ bool decode(const Bytes& in, SumPartyCheckpoint& out) {
   return true;
 }
 
+bool decode(const Bytes& in, AggPartyCheckpoint& out) {
+  AggPartyCheckpoint ck;
+  std::size_t at = 0;
+  if (!get_varint(in, at, ck.cursor) || !get_checkpoint(in, at, ck.wave) ||
+      !consumed(in, at)) {
+    return false;
+  }
+  out = std::move(ck);
+  return true;
+}
+
 // -- Envelope --------------------------------------------------------------
 
 namespace {
@@ -398,7 +446,7 @@ constexpr std::array<std::uint8_t, 4> kMagic = {'W', 'V', 'C', 'K'};
 
 bool valid_kind(std::uint64_t k) {
   return k >= static_cast<std::uint64_t>(StateKind::kCount) &&
-         k <= static_cast<std::uint64_t>(StateKind::kSum);
+         k <= static_cast<std::uint64_t>(StateKind::kAgg);
 }
 
 OpenStatus reject(OpenStatus s) {

@@ -448,6 +448,15 @@ void put_delta(Bytes& out, const core::DistinctWaveCheckpoint& base,
   put_delta_checked(out, base, now, diff_distinct, apply_distinct);
 }
 
+void put_delta(Bytes& out, const agg::AggWaveCheckpoint& base,
+               const agg::AggWaveCheckpoint& now) {
+  // Always the full form: the window contents roll over item by item, so a
+  // runs-over-baseline diff would cost as much as the body it replaces.
+  (void)base;
+  put_varint(out, kFlagFull);
+  put_checkpoint(out, now);
+}
+
 bool get_delta(const Bytes& in, std::size_t& at,
                const core::DetWaveCheckpoint& base,
                core::DetWaveCheckpoint& out) {
@@ -485,6 +494,17 @@ bool get_delta(const Bytes& in, std::size_t& at,
                const core::DistinctWaveCheckpoint& base,
                core::DistinctWaveCheckpoint& out) {
   return get_delta_impl(in, at, base, out, apply_distinct);
+}
+
+bool get_delta(const Bytes& in, std::size_t& at,
+               const agg::AggWaveCheckpoint& base,
+               agg::AggWaveCheckpoint& out) {
+  // The encoder only ships the full form, but accept the standard framing:
+  // a diff-form body for this type is simply unknown → reject.
+  std::uint64_t flags = 0;
+  if (!get_varint(in, at, flags) || flags != kFlagFull) return false;
+  (void)base;
+  return get_checkpoint(in, at, out);
 }
 
 // -- Party-level ------------------------------------------------------------

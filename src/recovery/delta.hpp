@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "agg/agg_wave.hpp"
 #include "core/checkpoint.hpp"
 #include "distributed/party.hpp"
 #include "distributed/wire.hpp"
@@ -50,6 +51,12 @@ void put_delta(Bytes& out, const core::RandWaveCheckpoint& base,
                const core::RandWaveCheckpoint& now);
 void put_delta(Bytes& out, const core::DistinctWaveCheckpoint& base,
                const core::DistinctWaveCheckpoint& now);
+// AggWave's canonical checkpoint is the raw window contents, which turn
+// over wholesale between rounds — no append-mostly structure to diff — so
+// its delta body is always the full form. Shipping it under the delta
+// framing keeps the one checkpoint codec per role invariant.
+void put_delta(Bytes& out, const agg::AggWaveCheckpoint& base,
+               const agg::AggWaveCheckpoint& now);
 
 [[nodiscard]] bool get_delta(const Bytes& in, std::size_t& at,
                              const core::DetWaveCheckpoint& base,
@@ -69,6 +76,9 @@ void put_delta(Bytes& out, const core::DistinctWaveCheckpoint& base,
 [[nodiscard]] bool get_delta(const Bytes& in, std::size_t& at,
                              const core::DistinctWaveCheckpoint& base,
                              core::DistinctWaveCheckpoint& out);
+[[nodiscard]] bool get_delta(const Bytes& in, std::size_t& at,
+                             const agg::AggWaveCheckpoint& base,
+                             agg::AggWaveCheckpoint& out);
 
 // -- Party-level deltas -----------------------------------------------------
 // Body shipped in a v3 DeltaReply: varint cursor, varint wave count, one

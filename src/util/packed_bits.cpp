@@ -1,6 +1,7 @@
 #include "util/packed_bits.hpp"
 
 #include "util/bitops.hpp"
+#include "util/simd.hpp"
 
 namespace waves::util {
 
@@ -15,11 +16,8 @@ void PackedBitStream::append_zeros(std::uint64_t count) {
 std::uint64_t PackedBitStream::ones() const noexcept {
   // Bits past size() are zero by the BitVec append contract, so no tail
   // masking is needed.
-  std::uint64_t n = 0;
-  for (std::uint64_t w : bits_.words()) {
-    n += static_cast<std::uint64_t>(popcount(w));
-  }
-  return n;
+  const std::span<const std::uint64_t> w = bits_.words();
+  return simd::popcount_words(w.data(), w.size());
 }
 
 PackedBitStream PackedBitStream::from_bools(const std::vector<bool>& bits) {

@@ -6,10 +6,12 @@
 // push/evict/pop plus oldest-first iteration for query snapshots.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace waves::util {
@@ -58,6 +60,20 @@ class RingBuffer {
   /// i-th element from the oldest (0 = tail). Precondition: i < size().
   [[nodiscard]] const T& from_oldest(std::size_t i) const noexcept {
     return buf_[index(i)];
+  }
+
+  /// Longest contiguous oldest-first run starting at the tail; the queue's
+  /// contents are this segment followed by the wrapped remainder (at most
+  /// one more segment, reachable after pop_tail_n(segment.size())).
+  [[nodiscard]] std::span<const T> tail_segment() const noexcept {
+    return {buf_.data() + tail_, std::min(size_, buf_.size() - tail_)};
+  }
+
+  /// Remove the n oldest elements. Precondition: n <= size().
+  void pop_tail_n(std::size_t n) noexcept {
+    assert(n <= size_);
+    tail_ = (tail_ + n) % buf_.size();
+    size_ -= n;
   }
 
   template <class Fn>

@@ -1,0 +1,371 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <bit>
+
+#include "util/simd_impl.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace waves::util::simd {
+
+namespace detail {
+
+namespace {
+
+// -- Scalar reference bodies ------------------------------------------------
+// Every vector body is measured against these in simd_kernels_test.cpp;
+// they are also what a WAVES_SIMD=OFF build runs.
+
+std::uint64_t popcount_words_scalar(const std::uint64_t* words,
+                                    std::size_t n) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+std::size_t zero_prefix_words_scalar(const std::uint64_t* words,
+                                     std::size_t n) noexcept {
+  std::size_t i = 0;
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+void popcount_prefix_words_scalar(const std::uint64_t* words, std::size_t n,
+                                  std::uint64_t* prefix) noexcept {
+  std::uint64_t acc = 0;
+  prefix[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::uint64_t>(std::popcount(words[i]));
+    prefix[i + 1] = acc;
+  }
+}
+
+unsigned select_in_word_scalar(std::uint64_t w, unsigned j) noexcept {
+  for (; j > 0; --j) w &= w - 1;
+  return static_cast<unsigned>(std::countr_zero(w));
+}
+
+void ctz_run_scalar(std::uint64_t start, std::uint8_t* out,
+                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(std::countr_zero(start + i));
+  }
+}
+
+std::size_t expired_prefix_scalar(const std::uint64_t* v, std::size_t n,
+                                  std::uint64_t bound) noexcept {
+  std::size_t i = 0;
+  while (i < n && v[i] <= bound) ++i;
+  return i;
+}
+
+std::int64_t reduce_sum_i64_scalar(const std::int64_t* v,
+                                   std::size_t n) noexcept {
+  // Accumulate unsigned so overflow is defined (two's-complement wrap),
+  // matching the paddq/vpaddq wrap of the vector bodies bit for bit.
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += static_cast<std::uint64_t>(v[i]);
+  return static_cast<std::int64_t>(acc);
+}
+
+std::int64_t reduce_min_i64_scalar(const std::int64_t* v,
+                                   std::size_t n) noexcept {
+  std::int64_t acc = INT64_MAX;
+  for (std::size_t i = 0; i < n; ++i) acc = v[i] < acc ? v[i] : acc;
+  return acc;
+}
+
+std::int64_t reduce_max_i64_scalar(const std::int64_t* v,
+                                   std::size_t n) noexcept {
+  std::int64_t acc = INT64_MIN;
+  for (std::size_t i = 0; i < n; ++i) acc = v[i] > acc ? v[i] : acc;
+  return acc;
+}
+
+void suffix_sum_i64_scalar(const std::int64_t* v, std::int64_t* out,
+                           std::size_t n) noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    acc += static_cast<std::uint64_t>(v[i]);
+    out[i] = static_cast<std::int64_t>(acc);
+  }
+}
+
+void suffix_min_i64_scalar(const std::int64_t* v, std::int64_t* out,
+                           std::size_t n) noexcept {
+  std::int64_t acc = INT64_MAX;
+  for (std::size_t i = n; i-- > 0;) {
+    acc = v[i] < acc ? v[i] : acc;
+    out[i] = acc;
+  }
+}
+
+void suffix_max_i64_scalar(const std::int64_t* v, std::int64_t* out,
+                           std::size_t n) noexcept {
+  std::int64_t acc = INT64_MIN;
+  for (std::size_t i = n; i-- > 0;) {
+    acc = v[i] > acc ? v[i] : acc;
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+
+#if defined(__SSE2__) && !defined(WAVES_SIMD_DISABLED)
+
+namespace {
+
+// ctz over consecutive integers is the ruler sequence: periodic with
+// period 256 except at multiples of 256. The vector sets fill the run by
+// copying from a doubled period table (memcpy-speed) and patch the
+// <= n/256 exceptional entries with a real countr_zero. No vector
+// instructions, but several times faster than the per-element tzcnt
+// loop — this was the kernel that made dense-batch ingest *slower*
+// under AVX2 when it emulated ctz with per-lane popcounts.
+struct CtzTable {
+  std::uint8_t doubled[512];
+  constexpr CtzTable() : doubled() {
+    for (int i = 0; i < 512; ++i) {
+      const int v = i & 255;
+      int c = 0;
+      if (v == 0) {
+        c = 8;  // placeholder; multiples of 256 are patched per run
+      } else {
+        while (((v >> c) & 1) == 0) ++c;
+      }
+      doubled[i] = static_cast<std::uint8_t>(c);
+    }
+  }
+};
+constexpr CtzTable kCtzTable;
+
+}  // namespace
+
+// Shared by the SSE2 and AVX2 tables; declared in simd_impl.hpp.
+void ctz_run_table(std::uint64_t start, std::uint8_t* out,
+                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  const std::size_t phase = static_cast<std::size_t>(start & 255);
+  while (i < n) {
+    const std::size_t chunk = n - i < 256 ? n - i : 256;
+    __builtin_memcpy(out + i, kCtzTable.doubled + ((phase + i) & 255), chunk);
+    i += chunk;
+  }
+  // Patch the entries where start + i is a multiple of 256.
+  std::uint64_t next = (start + 255) & ~std::uint64_t{255};
+  for (; next - start < n; next += 256) {
+    out[next - start] = static_cast<std::uint8_t>(std::countr_zero(next));
+  }
+}
+
+#endif  // __SSE2__ && !WAVES_SIMD_DISABLED
+
+const Kernels kScalarKernels = {
+    popcount_words_scalar,        zero_prefix_words_scalar,
+    popcount_prefix_words_scalar, select_in_word_scalar,
+    ctz_run_scalar,               expired_prefix_scalar,
+    reduce_sum_i64_scalar,        reduce_min_i64_scalar,
+    reduce_max_i64_scalar,        suffix_sum_i64_scalar,
+    suffix_min_i64_scalar,        suffix_max_i64_scalar,
+};
+
+#if defined(__SSE2__) && !defined(WAVES_SIMD_DISABLED)
+
+namespace {
+
+// -- SSE2 bodies ------------------------------------------------------------
+// SSE2 is the x86-64 baseline, so these compile without extra flags. It
+// has no 64-bit compares, so only the zero scan and the additive kernels
+// beat scalar; the rest stay on the reference bodies.
+
+std::size_t zero_prefix_words_sse2(const std::uint64_t* words,
+                                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+        words + i));
+    // Word == 0 iff both 32-bit halves compare equal to zero.
+    const __m128i z = _mm_cmpeq_epi32(v, _mm_setzero_si128());
+    const int mask = _mm_movemask_epi8(z);
+    if (mask != 0xFFFF) {
+      return i + ((mask & 0x00FF) == 0x00FF ? 1 : 0);
+    }
+  }
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+std::int64_t reduce_sum_i64_sse2(const std::int64_t* v,
+                                 std::size_t n) noexcept {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_epi64(
+        acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)));
+  }
+  alignas(16) std::int64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::uint64_t total = static_cast<std::uint64_t>(lanes[0]) +
+                        static_cast<std::uint64_t>(lanes[1]);
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(v[i]);
+  return static_cast<std::int64_t>(total);
+}
+
+}  // namespace
+
+static const Kernels kSse2Kernels = {
+    popcount_words_scalar,        zero_prefix_words_sse2,
+    popcount_prefix_words_scalar, select_in_word_scalar,
+    ctz_run_table,                expired_prefix_scalar,
+    reduce_sum_i64_sse2,          reduce_min_i64_scalar,
+    reduce_max_i64_scalar,        suffix_sum_i64_scalar,
+    suffix_min_i64_scalar,        suffix_max_i64_scalar,
+};
+
+#endif  // __SSE2__ && !WAVES_SIMD_DISABLED
+
+namespace {
+
+const Kernels* table_for(KernelSet set) noexcept {
+  switch (set) {
+#if defined(WAVES_SIMD_AVX2)
+    case KernelSet::kAVX2:
+      return &kAvx2Kernels;
+#endif
+#if defined(__SSE2__) && !defined(WAVES_SIMD_DISABLED)
+    case KernelSet::kSSE2:
+      return &kSse2Kernels;
+#endif
+    default:
+      return &kScalarKernels;
+  }
+}
+
+KernelSet detect() noexcept {
+#if defined(WAVES_SIMD_DISABLED)
+  return KernelSet::kScalar;
+#else
+#if defined(WAVES_SIMD_AVX2)
+  // BMI2 ships with every AVX2 core (Haswell+ / Zen+); the select kernel
+  // leans on pdep, so require both rather than split the set.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2")) {
+    return KernelSet::kAVX2;
+  }
+#endif
+#if defined(__SSE2__)
+  return KernelSet::kSSE2;
+#else
+  return KernelSet::kScalar;
+#endif
+#endif
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+std::atomic<int> g_active_set{-1};
+
+const Kernels* active_table() noexcept {
+  const Kernels* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  const KernelSet det = detect();
+  g_active_set.store(static_cast<int>(det), std::memory_order_relaxed);
+  t = table_for(det);
+  g_active.store(t, std::memory_order_release);
+  return t;
+}
+
+}  // namespace
+
+}  // namespace detail
+
+KernelSet detected() noexcept { return detail::detect(); }
+
+KernelSet active() noexcept {
+  detail::active_table();  // ensure initialized
+  return static_cast<KernelSet>(
+      detail::g_active_set.load(std::memory_order_relaxed));
+}
+
+void force(KernelSet set) noexcept {
+  KernelSet clamped = set;
+  if (static_cast<int>(clamped) > static_cast<int>(detail::detect())) {
+    clamped = detail::detect();
+  }
+  detail::g_active_set.store(static_cast<int>(clamped),
+                             std::memory_order_relaxed);
+  detail::g_active.store(detail::table_for(clamped),
+                         std::memory_order_release);
+}
+
+const char* name(KernelSet set) noexcept {
+  switch (set) {
+    case KernelSet::kAVX2:
+      return "avx2";
+    case KernelSet::kSSE2:
+      return "sse2";
+    case KernelSet::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+std::uint64_t popcount_words(const std::uint64_t* words,
+                             std::size_t n) noexcept {
+  return detail::active_table()->popcount_words(words, n);
+}
+
+std::size_t zero_prefix_words(const std::uint64_t* words,
+                              std::size_t n) noexcept {
+  return detail::active_table()->zero_prefix_words(words, n);
+}
+
+void popcount_prefix_words(const std::uint64_t* words, std::size_t n,
+                           std::uint64_t* prefix) noexcept {
+  detail::active_table()->popcount_prefix_words(words, n, prefix);
+}
+
+unsigned select_in_word(std::uint64_t w, unsigned j) noexcept {
+  return detail::active_table()->select_in_word(w, j);
+}
+
+void ctz_run(std::uint64_t start, std::uint8_t* out, std::size_t n) noexcept {
+  detail::active_table()->ctz_run(start, out, n);
+}
+
+std::size_t expired_prefix(const std::uint64_t* v, std::size_t n,
+                           std::uint64_t bound) noexcept {
+  return detail::active_table()->expired_prefix(v, n, bound);
+}
+
+std::int64_t reduce_sum_i64(const std::int64_t* v, std::size_t n) noexcept {
+  return detail::active_table()->reduce_sum_i64(v, n);
+}
+
+std::int64_t reduce_min_i64(const std::int64_t* v, std::size_t n) noexcept {
+  return detail::active_table()->reduce_min_i64(v, n);
+}
+
+std::int64_t reduce_max_i64(const std::int64_t* v, std::size_t n) noexcept {
+  return detail::active_table()->reduce_max_i64(v, n);
+}
+
+void suffix_sum_i64(const std::int64_t* v, std::int64_t* out,
+                    std::size_t n) noexcept {
+  detail::active_table()->suffix_sum_i64(v, out, n);
+}
+
+void suffix_min_i64(const std::int64_t* v, std::int64_t* out,
+                    std::size_t n) noexcept {
+  detail::active_table()->suffix_min_i64(v, out, n);
+}
+
+void suffix_max_i64(const std::int64_t* v, std::int64_t* out,
+                    std::size_t n) noexcept {
+  detail::active_table()->suffix_max_i64(v, out, n);
+}
+
+}  // namespace waves::util::simd

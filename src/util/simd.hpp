@@ -1,0 +1,98 @@
+// Runtime-dispatched SIMD kernels for the ingest hot paths.
+//
+// Every wave's batch path spends its time in the same handful of loops:
+// popcounting words, scanning for the end of a zero run, computing the
+// level of consecutive 1-ranks (a ctz), finding how many queued positions
+// a window edge has expired, and (for the aggregation engine) reducing or
+// suffix-scanning a block of values. This header names those loops once;
+// the implementation picks an AVX2, SSE2, or scalar body at startup from
+// CPUID and every caller inherits the choice. The contract for each kernel
+// is *bit-exactness*: all three bodies compute the identical result, so a
+// wave built on them is state-identical to the scalar reference no matter
+// which set is active (tests/simd_kernels_test.cpp runs the differential).
+//
+// Dispatch can be pinned for A/B measurement (`force`) and the whole layer
+// collapses to the scalar bodies when configured with -DWAVES_SIMD=OFF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace waves::util::simd {
+
+enum class KernelSet : int {
+  kScalar = 0,
+  kSSE2 = 1,
+  kAVX2 = 2,
+};
+
+/// Best set this binary can run: compile gate (WAVES_SIMD=OFF builds report
+/// scalar) intersected with CPUID at first call. Stable for process life.
+[[nodiscard]] KernelSet detected() noexcept;
+
+/// The set kernels currently dispatch to; defaults to detected().
+[[nodiscard]] KernelSet active() noexcept;
+
+/// Pin dispatch to `set`, clamped to detected() — forcing AVX2 on a machine
+/// without it silently yields the best available set. Not thread-safe
+/// against concurrent kernel calls; intended for startup and benches.
+void force(KernelSet set) noexcept;
+
+[[nodiscard]] const char* name(KernelSet set) noexcept;
+
+/// Total set bits in words[0..n).
+[[nodiscard]] std::uint64_t popcount_words(const std::uint64_t* words,
+                                           std::size_t n) noexcept;
+
+/// Length of the all-zero prefix of words[0..n) in words: the index of the
+/// first word containing a set bit, or n. The zero-run scan every
+/// update_words loop leads with.
+[[nodiscard]] std::size_t zero_prefix_words(const std::uint64_t* words,
+                                            std::size_t n) noexcept;
+
+/// out[i] = countr_zero(start + i) for i in [0, n). The level kernel: a
+/// basic/sum wave inserting k consecutive 1-ranks needs exactly the ctz of
+/// k consecutive integers. Precondition: start >= 1 (start + i never 0).
+/// Results are exact for any n (no wraparound past 2^64 in practice: ranks
+/// are stream positions).
+void ctz_run(std::uint64_t start, std::uint8_t* out, std::size_t n) noexcept;
+
+/// prefix[i] = total set bits in words[0..i) for i in [0, n]; prefix[0] is
+/// always 0. The select index the bulk rebuild path binary-searches to map
+/// a 1-rank back to its stream position.
+void popcount_prefix_words(const std::uint64_t* words, std::size_t n,
+                           std::uint64_t* prefix) noexcept;
+
+/// Bit index of the j-th (0-based) set bit of w. Precondition:
+/// j < popcount(w). The in-word half of rank->position selection (BMI2
+/// pdep under the AVX2 set, a clear-lowest-bit walk under scalar).
+[[nodiscard]] unsigned select_in_word(std::uint64_t w, unsigned j) noexcept;
+
+/// Length of the maximal prefix of v[0..n) with v[i] <= bound. On the
+/// ascending per-level queues this is "how many entries the window edge
+/// expired" — the expiry scan of the rand wave and the delta diff.
+[[nodiscard]] std::size_t expired_prefix(const std::uint64_t* v,
+                                         std::size_t n,
+                                         std::uint64_t bound) noexcept;
+
+// -- Aggregation-engine kernels (src/agg) -----------------------------------
+// Reductions and suffix scans over int64 blocks: the bulk-insert and
+// stack-flip halves of the two-stacks engine. Sum wraps modulo 2^64
+// (two's complement) in all three bodies, so overflow is still bit-exact.
+
+[[nodiscard]] std::int64_t reduce_sum_i64(const std::int64_t* v,
+                                          std::size_t n) noexcept;
+[[nodiscard]] std::int64_t reduce_min_i64(const std::int64_t* v,
+                                          std::size_t n) noexcept;
+[[nodiscard]] std::int64_t reduce_max_i64(const std::int64_t* v,
+                                          std::size_t n) noexcept;
+
+/// out[i] = op(v[i], v[i+1], ..., v[n-1]). In-place allowed (out == v).
+void suffix_sum_i64(const std::int64_t* v, std::int64_t* out,
+                    std::size_t n) noexcept;
+void suffix_min_i64(const std::int64_t* v, std::int64_t* out,
+                    std::size_t n) noexcept;
+void suffix_max_i64(const std::int64_t* v, std::int64_t* out,
+                    std::size_t n) noexcept;
+
+}  // namespace waves::util::simd

@@ -1,0 +1,337 @@
+// AVX2 kernel bodies. This is the only translation unit compiled with
+// -mavx2 (see src/CMakeLists.txt); nothing here runs unless CPUID reported
+// AVX2, so the rest of the library stays runnable on baseline x86-64.
+//
+// Bit-exactness notes, per kernel, against the scalar references:
+//  - popcount / popcount prefix: positional nibble lookup (vpshufb) +
+//    vpsadbw, the standard Mula harley-seal-free form; integer exact.
+//  - select: pdep deposits bit j of an all-ones source into the j-th set
+//    bit of the mask; tzcnt of the result is the select, by definition of
+//    pdep. This set requires BMI2 (detect() gates on avx2 && bmi2).
+//  - ctz_run: the shared ruler-table body from simd.cpp — consecutive
+//    integers' ctz values are periodic mod 256 except at multiples of 256,
+//    which get patched with a real countr_zero. (An earlier per-lane
+//    popcount emulation was 2x *slower* than scalar tzcnt.)
+//  - expired/zero scans: early-exit block compares; the first failing lane
+//    index is recovered from the movemask, so the returned prefix length
+//    is identical to the scalar walk.
+//  - sums wrap modulo 2^64 (vpaddq), matching the scalar unsigned
+//    accumulation; min/max use signed compare+blend (AVX2 has no vpminsq).
+//    Suffix scans run two blocks (8 lanes) per iteration with the running
+//    carry broadcast in a register, so the loop-carried chain is one op +
+//    one permute per 8 elements instead of a GP-register round trip per 4.
+
+#include "util/simd_impl.hpp"
+
+#if defined(WAVES_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace waves::util::simd::detail {
+
+namespace {
+
+// Per-lane popcount of 4x64-bit: nibble LUT via vpshufb, summed with
+// vpsadbw against zero (byte sums collapse into each 64-bit lane).
+inline __m256i popcount64_lanes(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+std::uint64_t popcount_words_avx2(const std::uint64_t* words,
+                                  std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    acc = _mm256_add_epi64(acc, popcount64_lanes(v));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+std::size_t zero_prefix_words_avx2(const std::uint64_t* words,
+                                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    if (!_mm256_testz_si256(v, v)) {
+      // Some lane is non-zero; find the first within the block.
+      for (std::size_t j = 0;; ++j) {
+        if (words[i + j] != 0) return i + j;
+      }
+    }
+  }
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+void popcount_prefix_words_avx2(const std::uint64_t* words, std::size_t n,
+                                std::uint64_t* prefix) noexcept {
+  prefix[0] = 0;
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    alignas(32) std::uint64_t c[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(c), popcount64_lanes(v));
+    acc += c[0];
+    prefix[i + 1] = acc;
+    acc += c[1];
+    prefix[i + 2] = acc;
+    acc += c[2];
+    prefix[i + 3] = acc;
+    acc += c[3];
+    prefix[i + 4] = acc;
+  }
+  for (; i < n; ++i) {
+    acc += static_cast<std::uint64_t>(std::popcount(words[i]));
+    prefix[i + 1] = acc;
+  }
+}
+
+unsigned select_in_word_avx2(std::uint64_t w, unsigned j) noexcept {
+  return static_cast<unsigned>(
+      std::countr_zero(_pdep_u64(std::uint64_t{1} << j, w)));
+}
+
+// Unsigned 64-bit a > b via signed compare on sign-flipped operands.
+inline __m256i cmpgt_epu64(__m256i a, __m256i b) noexcept {
+  const __m256i flip = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, flip),
+                            _mm256_xor_si256(b, flip));
+}
+
+std::size_t expired_prefix_avx2(const std::uint64_t* v, std::size_t n,
+                                std::uint64_t bound) noexcept {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(bound));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const int alive = _mm256_movemask_pd(_mm256_castsi256_pd(
+        cmpgt_epu64(x, b)));  // lane bit set where v[i+lane] > bound
+    if (alive != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(alive)));
+    }
+  }
+  while (i < n && v[i] <= bound) ++i;
+  return i;
+}
+
+std::int64_t reduce_sum_i64_avx2(const std::int64_t* v,
+                                 std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t total =
+      static_cast<std::uint64_t>(lanes[0]) +
+      static_cast<std::uint64_t>(lanes[1]) +
+      static_cast<std::uint64_t>(lanes[2]) +
+      static_cast<std::uint64_t>(lanes[3]);
+  for (; i < n; ++i) total += static_cast<std::uint64_t>(v[i]);
+  return static_cast<std::int64_t>(total);
+}
+
+inline __m256i min_epi64(__m256i a, __m256i b) noexcept {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+inline __m256i max_epi64(__m256i a, __m256i b) noexcept {
+  return _mm256_blendv_epi8(b, a, _mm256_cmpgt_epi64(a, b));
+}
+
+std::int64_t reduce_min_i64_avx2(const std::int64_t* v,
+                                 std::size_t n) noexcept {
+  __m256i acc = _mm256_set1_epi64x(INT64_MAX);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = min_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t best = lanes[0];
+  best = lanes[1] < best ? lanes[1] : best;
+  best = lanes[2] < best ? lanes[2] : best;
+  best = lanes[3] < best ? lanes[3] : best;
+  for (; i < n; ++i) best = v[i] < best ? v[i] : best;
+  return best;
+}
+
+std::int64_t reduce_max_i64_avx2(const std::int64_t* v,
+                                 std::size_t n) noexcept {
+  __m256i acc = _mm256_set1_epi64x(INT64_MIN);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = max_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t best = lanes[0];
+  best = lanes[1] > best ? lanes[1] : best;
+  best = lanes[2] > best ? lanes[2] : best;
+  best = lanes[3] > best ? lanes[3] : best;
+  for (; i < n; ++i) best = v[i] > best ? v[i] : best;
+  return best;
+}
+
+// Suffix scans walk blocks from the end, two blocks (8 lanes) per
+// iteration. Within a block [v0 v1 v2 v3] a right-to-left prefix network
+// produces [s0 s1 s2 s3] with si = op(vi..v3) in two shift+op steps. Both
+// blocks' networks are independent, and the high block's total folds into
+// the low block before the loop-carried carry touches either — so the
+// serial chain is one op + one lane-0 broadcast per 8 elements, all in
+// vector registers. The earlier 4-wide version extracted the carry to a
+// GP register and re-broadcast it every block, and that round trip made
+// suffix-min *slower* than scalar. The stack-flip of the two-stacks
+// engine is exactly this scan.
+
+template <__m256i (*Op)(__m256i, __m256i)>
+inline __m256i suffix_combine_block(__m256i v) noexcept {
+  // Shift lanes left by one position (lane i receives lane i+1), filling
+  // the vacated top lane with identity-preserving self (op(x, x) == x for
+  // min/max; sum specializes separately with a zero fill).
+  const __m256i sh1 = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(3, 3, 2, 1));
+  const __m256i m1 = _mm256_blend_epi32(Op(v, sh1), v, 0xC0);
+  const __m256i sh2 = _mm256_permute4x64_epi64(m1, _MM_SHUFFLE(3, 3, 3, 2));
+  return _mm256_blend_epi32(Op(m1, sh2), m1, 0xF0);
+}
+
+inline __m256i broadcast_lane0(__m256i v) noexcept {
+  return _mm256_permute4x64_epi64(v, 0x00);
+}
+
+inline __m256i suffix_sum_block(__m256i x) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i sh1 = _mm256_blend_epi32(
+      _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 2, 1)), zero, 0xC0);
+  const __m256i s1 = _mm256_add_epi64(x, sh1);
+  const __m256i sh2 = _mm256_blend_epi32(
+      _mm256_permute4x64_epi64(s1, _MM_SHUFFLE(3, 3, 3, 2)), zero, 0xF0);
+  return _mm256_add_epi64(s1, sh2);
+}
+
+void suffix_sum_i64_avx2(const std::int64_t* v, std::int64_t* out,
+                         std::size_t n) noexcept {
+  const std::size_t rem = n % 4;
+  std::uint64_t carry0 = 0;
+  // Scalar tail first (the block loop needs full blocks).
+  for (std::size_t i = n; i-- > n - rem;) {
+    carry0 += static_cast<std::uint64_t>(v[i]);
+    out[i] = static_cast<std::int64_t>(carry0);
+  }
+  std::size_t i = n - rem;
+  __m256i carry = _mm256_set1_epi64x(static_cast<long long>(carry0));
+  if (((i / 4) & 1) != 0) {
+    // Odd number of blocks: retire one so the main loop runs pairs.
+    const __m256i s =
+        suffix_sum_block(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(v + i - 4)));
+    const __m256i res = _mm256_add_epi64(s, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i - 4), res);
+    carry = broadcast_lane0(res);
+    i -= 4;
+  }
+  for (; i >= 8; i -= 8) {
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 4));
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 8));
+    const __m256i shi = suffix_sum_block(hi);
+    const __m256i slo =
+        _mm256_add_epi64(suffix_sum_block(lo), broadcast_lane0(shi));
+    const __m256i res_hi = _mm256_add_epi64(shi, carry);
+    const __m256i res_lo = _mm256_add_epi64(slo, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i - 4), res_hi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i - 8), res_lo);
+    carry = broadcast_lane0(res_lo);
+  }
+}
+
+template <__m256i (*Op)(__m256i, __m256i)>
+inline void suffix_minmax_i64_avx2(const std::int64_t* v, std::int64_t* out,
+                                   std::size_t n,
+                                   std::int64_t identity) noexcept {
+  const std::size_t rem = n % 4;
+  const bool is_min = identity == INT64_MAX;
+  std::int64_t carry0 = identity;
+  for (std::size_t i = n; i-- > n - rem;) {
+    carry0 = is_min ? (v[i] < carry0 ? v[i] : carry0)
+                    : (v[i] > carry0 ? v[i] : carry0);
+    out[i] = carry0;
+  }
+  std::size_t i = n - rem;
+  __m256i carry = _mm256_set1_epi64x(carry0);
+  if (((i / 4) & 1) != 0) {
+    const __m256i s = suffix_combine_block<Op>(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(v + i - 4)));
+    const __m256i res = Op(s, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i - 4), res);
+    carry = broadcast_lane0(res);
+    i -= 4;
+  }
+  for (; i >= 8; i -= 8) {
+    const __m256i hi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 4));
+    const __m256i lo =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 8));
+    const __m256i shi = suffix_combine_block<Op>(hi);
+    const __m256i slo = Op(suffix_combine_block<Op>(lo), broadcast_lane0(shi));
+    const __m256i res_hi = Op(shi, carry);
+    const __m256i res_lo = Op(slo, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i - 4), res_hi);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i - 8), res_lo);
+    carry = broadcast_lane0(res_lo);
+  }
+}
+
+void suffix_min_i64_avx2(const std::int64_t* v, std::int64_t* out,
+                         std::size_t n) noexcept {
+  suffix_minmax_i64_avx2<min_epi64>(v, out, n, INT64_MAX);
+}
+
+void suffix_max_i64_avx2(const std::int64_t* v, std::int64_t* out,
+                         std::size_t n) noexcept {
+  suffix_minmax_i64_avx2<max_epi64>(v, out, n, INT64_MIN);
+}
+
+}  // namespace
+
+const Kernels kAvx2Kernels = {
+    popcount_words_avx2,        zero_prefix_words_avx2,
+    popcount_prefix_words_avx2, select_in_word_avx2,
+    ctz_run_table,              expired_prefix_avx2,
+    reduce_sum_i64_avx2,        reduce_min_i64_avx2,
+    reduce_max_i64_avx2,        suffix_sum_i64_avx2,
+    suffix_min_i64_avx2,        suffix_max_i64_avx2,
+};
+
+}  // namespace waves::util::simd::detail
+
+#endif  // WAVES_SIMD_AVX2

@@ -1,0 +1,49 @@
+// Internal to the simd layer: the kernel table one translation unit fills
+// in per instruction set. Not part of the public surface — include
+// util/simd.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace waves::util::simd::detail {
+
+struct Kernels {
+  std::uint64_t (*popcount_words)(const std::uint64_t*, std::size_t) noexcept;
+  std::size_t (*zero_prefix_words)(const std::uint64_t*,
+                                   std::size_t) noexcept;
+  void (*popcount_prefix_words)(const std::uint64_t*, std::size_t,
+                                std::uint64_t*) noexcept;
+  unsigned (*select_in_word)(std::uint64_t, unsigned) noexcept;
+  void (*ctz_run)(std::uint64_t, std::uint8_t*, std::size_t) noexcept;
+  std::size_t (*expired_prefix)(const std::uint64_t*, std::size_t,
+                                std::uint64_t) noexcept;
+  std::int64_t (*reduce_sum_i64)(const std::int64_t*, std::size_t) noexcept;
+  std::int64_t (*reduce_min_i64)(const std::int64_t*, std::size_t) noexcept;
+  std::int64_t (*reduce_max_i64)(const std::int64_t*, std::size_t) noexcept;
+  void (*suffix_sum_i64)(const std::int64_t*, std::int64_t*,
+                         std::size_t) noexcept;
+  void (*suffix_min_i64)(const std::int64_t*, std::int64_t*,
+                         std::size_t) noexcept;
+  void (*suffix_max_i64)(const std::int64_t*, std::int64_t*,
+                         std::size_t) noexcept;
+};
+
+// Scalar reference bodies; the vector sets fall back to these for kernels
+// their instruction set cannot improve.
+extern const Kernels kScalarKernels;
+
+#if defined(__SSE2__) && !defined(WAVES_SIMD_DISABLED)
+// Table-based ruler-sequence ctz_run shared by the SSE2 and AVX2 tables;
+// defined in simd.cpp.
+void ctz_run_table(std::uint64_t start, std::uint8_t* out,
+                   std::size_t n) noexcept;
+#endif
+
+#if defined(WAVES_SIMD_AVX2)
+// Defined in simd_avx2.cpp, the only TU compiled with -mavx2. Must only be
+// *called* after a CPUID check.
+extern const Kernels kAvx2Kernels;
+#endif
+
+}  // namespace waves::util::simd::detail

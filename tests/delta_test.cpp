@@ -30,6 +30,7 @@
 #include "obs/net_obs.hpp"
 #include "recovery/checkpoint.hpp"
 #include "recovery/delta.hpp"
+#include "recovery/delta_live.hpp"
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
@@ -361,6 +362,89 @@ TEST(RecoveryDelta, SteadyStateDeltaIsSmallerThanFull) {
   const Bytes full = encode(now);
   EXPECT_LT(delta.size() * 5, full.size())
       << "delta " << delta.size() << " vs full " << full.size();
+}
+
+// -- live O(change) count-delta encoder ------------------------------------
+// delta_live.hpp: the server-side encoder that diffs the live rings
+// against a shape summary instead of copying a full checkpoint. Its
+// contract is apply_delta(prev_full_ck, live_body) == party.checkpoint()
+// at every stage — the client can't tell it apart from the two-checkpoint
+// encoder.
+
+TEST(RecoveryDeltaLive, LiveBodyAppliesToPriorCheckpointExactly) {
+  distributed::CountParty party({.eps = 0.2, .window = 1024, .c = 16}, 4, 21);
+  stream::BernoulliBits bits(0.35, 13);
+  for (int i = 0; i < 5000; ++i) party.observe(bits.next());
+
+  distributed::CountPartyCheckpoint held = party.checkpoint();
+  CountDeltaBaseline baseline;
+  baseline_from_checkpoint(held, baseline);
+  EXPECT_TRUE(baseline.valid);
+  EXPECT_EQ(baseline.cursor, held.cursor);
+
+  // Stages include zero (unchanged), small increments, and one large
+  // enough to expire the entire baseline from every level.
+  for (const int stage : {0, 1, 32, 500, 8000}) {
+    for (int i = 0; i < stage; ++i) party.observe(bits.next());
+    Bytes body;
+    ASSERT_TRUE(encode_delta_live(party, baseline, body)) << stage;
+    distributed::CountPartyCheckpoint out;
+    ASSERT_TRUE(apply_delta(held, body, out)) << stage;
+    const distributed::CountPartyCheckpoint now = party.checkpoint();
+    expect_same(out, now);
+    EXPECT_EQ(baseline.cursor, now.cursor) << stage;
+    held = now;
+    if (stage <= 32) {
+      // O(change): a small round's body must stay far below the full form.
+      EXPECT_LT(body.size() * 5, encode(now).size()) << stage;
+    }
+  }
+}
+
+TEST(RecoveryDeltaLive, InvalidOrMismatchedBaselineRefusesAndRestoresOut) {
+  distributed::CountParty party({.eps = 0.3, .window = 256, .c = 8}, 3, 5);
+  stream::BernoulliBits bits(0.3, 17);
+  for (int i = 0; i < 800; ++i) party.observe(bits.next());
+
+  Bytes body = {0xAB, 0xCD};  // pre-existing bytes must survive a refusal
+  CountDeltaBaseline never_set;
+  EXPECT_FALSE(encode_delta_live(party, never_set, body));
+  EXPECT_EQ(body, (Bytes{0xAB, 0xCD}));
+
+  // Instance-count mismatch: a baseline captured from a different fleet
+  // shape must refuse rather than emit a wrong-shaped diff.
+  distributed::CountParty other({.eps = 0.3, .window = 256, .c = 8}, 2, 5);
+  CountDeltaBaseline wrong;
+  baseline_from_checkpoint(other.checkpoint(), wrong);
+  EXPECT_FALSE(encode_delta_live(party, wrong, body));
+  EXPECT_EQ(body, (Bytes{0xAB, 0xCD}));
+}
+
+TEST(RecoveryDeltaLive, BaselineAdvancesOnlyOnSuccess) {
+  distributed::CountParty party({.eps = 0.3, .window = 512, .c = 8}, 3, 33);
+  stream::BernoulliBits bits(0.4, 29);
+  for (int i = 0; i < 2000; ++i) party.observe(bits.next());
+  const auto held = party.checkpoint();
+  CountDeltaBaseline baseline;
+  baseline_from_checkpoint(held, baseline);
+  const std::uint64_t cursor0 = baseline.cursor;
+
+  for (int i = 0; i < 100; ++i) party.observe(bits.next());
+  Bytes body;
+  ASSERT_TRUE(encode_delta_live(party, baseline, body));
+  EXPECT_EQ(baseline.cursor, cursor0 + 100);
+
+  // Re-encoding against the advanced baseline still applies — but only on
+  // top of the state the previous body produced, which is the server
+  // protocol's invariant (serial must match).
+  distributed::CountPartyCheckpoint mid;
+  ASSERT_TRUE(apply_delta(held, body, mid));
+  for (int i = 0; i < 50; ++i) party.observe(bits.next());
+  Bytes body2;
+  ASSERT_TRUE(encode_delta_live(party, baseline, body2));
+  distributed::CountPartyCheckpoint out;
+  ASSERT_TRUE(apply_delta(mid, body2, out));
+  expect_same(out, party.checkpoint());
 }
 
 }  // namespace

@@ -1,0 +1,296 @@
+// Differential tests for the runtime-dispatched SIMD kernels: every kernel
+// must be bit-exact against a plain reference loop under every kernel set
+// this machine can run (scalar always; SSE2/AVX2 when detected). Inputs
+// sweep unaligned lengths across the vector-width boundaries, degenerate
+// shapes (empty, all-zero, all-one), and fuzzed densities, because the
+// historical failure mode of hand-vectorized code is the remainder loop.
+// Suite name starts with SimdKernels; under -DWAVES_SIMD=OFF detected() is
+// scalar and the sweep degenerates to scalar-vs-reference, which still
+// pins the reference semantics the waves rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "gf2/shared_randomness.hpp"
+#include "util/simd.hpp"
+
+namespace waves::util::simd {
+namespace {
+
+std::vector<KernelSet> sets_to_test() {
+  std::vector<KernelSet> sets{KernelSet::kScalar};
+  if (detected() != KernelSet::kScalar) sets.push_back(detected());
+  if (detected() == KernelSet::kAVX2) sets.push_back(KernelSet::kSSE2);
+  return sets;
+}
+
+// Restores the dispatch choice even when an assertion fails mid-test.
+struct ForceGuard {
+  explicit ForceGuard(KernelSet s) { force(s); }
+  ~ForceGuard() { force(detected()); }
+};
+
+// Lengths chosen to straddle the 2-, 4-, 8-, and 16-lane boundaries plus
+// their off-by-ones.
+const std::vector<std::size_t> kLens = {0,  1,  2,  3,  4,  5,  7,  8,
+                                        9,  15, 16, 17, 31, 32, 33, 63,
+                                        64, 65, 100, 127, 128, 129, 257};
+
+std::vector<std::uint64_t> random_words(std::size_t n, double density,
+                                        std::uint64_t seed) {
+  gf2::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> words(n, 0);
+  for (auto& w : words) {
+    for (int b = 0; b < 64; ++b) {
+      const double u =
+          static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+      if (u < density) w |= std::uint64_t{1} << b;
+    }
+  }
+  return words;
+}
+
+TEST(SimdKernels, DetectedIsAtLeastScalarAndStable) {
+  const KernelSet first = detected();
+  EXPECT_EQ(detected(), first);
+  EXPECT_EQ(active(), first);
+  // force() clamps to detected(): asking for more than the machine has
+  // must not dispatch to an illegal body.
+  force(KernelSet::kAVX2);
+  EXPECT_LE(static_cast<int>(active()), static_cast<int>(first));
+  force(first);
+  EXPECT_STRNE(name(active()), "");
+}
+
+TEST(SimdKernels, PopcountWordsMatchesReference) {
+  for (const double density : {0.0, 0.01, 0.5, 1.0}) {
+    for (const std::size_t n : kLens) {
+      const auto words = random_words(n, density, 7 + n);
+      std::uint64_t ref = 0;
+      for (const std::uint64_t w : words) {
+        ref += static_cast<std::uint64_t>(std::popcount(w));
+      }
+      for (const KernelSet s : sets_to_test()) {
+        ForceGuard g(s);
+        EXPECT_EQ(popcount_words(words.data(), n), ref)
+            << name(s) << " n=" << n << " d=" << density;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ZeroPrefixWordsMatchesReference) {
+  for (const std::size_t n : kLens) {
+    // Place the first set bit at every position, plus the all-zero case.
+    for (std::size_t first_set = 0; first_set <= n; ++first_set) {
+      std::vector<std::uint64_t> words(n, 0);
+      if (first_set < n) words[first_set] = 1;
+      for (const KernelSet s : sets_to_test()) {
+        ForceGuard g(s);
+        EXPECT_EQ(zero_prefix_words(words.data(), n), first_set)
+            << name(s) << " n=" << n;
+      }
+      if (n > 16 && first_set > 8) break;  // dense sweep for small n only
+    }
+  }
+}
+
+TEST(SimdKernels, PopcountPrefixWordsMatchesReference) {
+  for (const double density : {0.0, 0.1, 0.5, 1.0}) {
+    for (const std::size_t n : kLens) {
+      const auto words = random_words(n, density, 400 + n);
+      std::vector<std::uint64_t> ref(n + 1, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        ref[i + 1] =
+            ref[i] + static_cast<std::uint64_t>(std::popcount(words[i]));
+      }
+      for (const KernelSet s : sets_to_test()) {
+        ForceGuard g(s);
+        std::vector<std::uint64_t> got(n + 2, 0xEE);
+        popcount_prefix_words(words.data(), n, got.data());
+        for (std::size_t i = 0; i <= n; ++i) {
+          EXPECT_EQ(got[i], ref[i]) << name(s) << " n=" << n << " i=" << i;
+        }
+        EXPECT_EQ(got[n + 1], 0xEEu) << "wrote past prefix[n]";
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SelectInWordMatchesReference) {
+  gf2::SplitMix64 rng(55);
+  std::vector<std::uint64_t> cases = {1, 0x8000000000000000ull, ~0ull,
+                                      0x5555555555555555ull,
+                                      0xAAAAAAAAAAAAAAAAull};
+  for (int t = 0; t < 200; ++t) cases.push_back(rng.next());
+  for (const std::uint64_t w : cases) {
+    if (w == 0) continue;
+    const int pc = std::popcount(w);
+    // Reference: walk the set bits in order.
+    std::vector<unsigned> ref;
+    for (std::uint64_t x = w; x != 0; x &= x - 1) {
+      ref.push_back(static_cast<unsigned>(std::countr_zero(x)));
+    }
+    for (const KernelSet s : sets_to_test()) {
+      ForceGuard g(s);
+      for (int j = 0; j < pc; ++j) {
+        EXPECT_EQ(select_in_word(w, static_cast<unsigned>(j)),
+                  ref[static_cast<std::size_t>(j)])
+            << name(s) << " w=" << w << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, CtzRunMatchesReference) {
+  for (const std::uint64_t start :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{63},
+        std::uint64_t{64}, std::uint64_t{12345},
+        (std::uint64_t{1} << 32) - 3}) {
+    for (const std::size_t n : kLens) {
+      std::vector<std::uint8_t> got(n + 1, 0xEE);
+      for (const KernelSet s : sets_to_test()) {
+        ForceGuard g(s);
+        ctz_run(start, got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(got[i], std::countr_zero(start + i))
+              << name(s) << " start=" << start << " i=" << i;
+        }
+        EXPECT_EQ(got[n], 0xEE) << "wrote past the end";
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ExpiredPrefixMatchesReference) {
+  gf2::SplitMix64 rng(99);
+  for (const std::size_t n : kLens) {
+    // Ascending positions, as in the per-level queues.
+    std::vector<std::uint64_t> v(n);
+    std::uint64_t p = 0;
+    for (auto& x : v) {
+      p += 1 + rng.next() % 7;
+      x = p;
+    }
+    const std::vector<std::uint64_t> bounds = {
+        0, n > 0 ? v.front() : 1, n > 0 ? v.back() : 2,
+        n > 0 ? v[n / 2] : 3, std::numeric_limits<std::uint64_t>::max()};
+    for (const std::uint64_t bound : bounds) {
+      std::size_t ref = 0;
+      while (ref < n && v[ref] <= bound) ++ref;
+      for (const KernelSet s : sets_to_test()) {
+        ForceGuard g(s);
+        EXPECT_EQ(expired_prefix(v.data(), n, bound), ref)
+            << name(s) << " n=" << n << " bound=" << bound;
+      }
+    }
+  }
+}
+
+std::vector<std::int64_t> random_i64(std::size_t n, std::uint64_t seed) {
+  gf2::SplitMix64 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    // Mix small values with extremes so sum overflow and min/max at the
+    // limits are exercised.
+    switch (rng.next() % 8) {
+      case 0: x = std::numeric_limits<std::int64_t>::max(); break;
+      case 1: x = std::numeric_limits<std::int64_t>::min(); break;
+      default: x = static_cast<std::int64_t>(rng.next()); break;
+    }
+  }
+  return v;
+}
+
+TEST(SimdKernels, ReduceMatchesReference) {
+  for (const std::size_t n : kLens) {
+    const auto v = random_i64(n, 1000 + n);
+    std::uint64_t rsum = 0;
+    std::int64_t rmin = std::numeric_limits<std::int64_t>::max();
+    std::int64_t rmax = std::numeric_limits<std::int64_t>::min();
+    for (const std::int64_t x : v) {
+      rsum += static_cast<std::uint64_t>(x);
+      rmin = std::min(rmin, x);
+      rmax = std::max(rmax, x);
+    }
+    for (const KernelSet s : sets_to_test()) {
+      ForceGuard g(s);
+      EXPECT_EQ(reduce_sum_i64(v.data(), n), static_cast<std::int64_t>(rsum))
+          << name(s) << " n=" << n;
+      EXPECT_EQ(reduce_min_i64(v.data(), n), rmin) << name(s) << " n=" << n;
+      EXPECT_EQ(reduce_max_i64(v.data(), n), rmax) << name(s) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, SuffixScansMatchReferenceIncludingInPlace) {
+  for (const std::size_t n : kLens) {
+    const auto v = random_i64(n, 2000 + n);
+    std::vector<std::int64_t> rsum(n), rmin(n), rmax(n);
+    std::uint64_t acc_s = 0;
+    std::int64_t acc_min = std::numeric_limits<std::int64_t>::max();
+    std::int64_t acc_max = std::numeric_limits<std::int64_t>::min();
+    for (std::size_t i = n; i-- > 0;) {
+      acc_s += static_cast<std::uint64_t>(v[i]);
+      acc_min = std::min(acc_min, v[i]);
+      acc_max = std::max(acc_max, v[i]);
+      rsum[i] = static_cast<std::int64_t>(acc_s);
+      rmin[i] = acc_min;
+      rmax[i] = acc_max;
+    }
+    for (const KernelSet s : sets_to_test()) {
+      ForceGuard g(s);
+      std::vector<std::int64_t> out(n, -7);
+      suffix_sum_i64(v.data(), out.data(), n);
+      EXPECT_EQ(out, rsum) << name(s) << " n=" << n;
+      suffix_min_i64(v.data(), out.data(), n);
+      EXPECT_EQ(out, rmin) << name(s) << " n=" << n;
+      suffix_max_i64(v.data(), out.data(), n);
+      EXPECT_EQ(out, rmax) << name(s) << " n=" << n;
+      // In-place form (out == v) is part of the contract: the flip scans
+      // the back stack into itself.
+      std::vector<std::int64_t> inplace = v;
+      suffix_sum_i64(inplace.data(), inplace.data(), n);
+      EXPECT_EQ(inplace, rsum) << name(s) << " in-place n=" << n;
+      inplace = v;
+      suffix_min_i64(inplace.data(), inplace.data(), n);
+      EXPECT_EQ(inplace, rmin) << name(s) << " in-place n=" << n;
+      inplace = v;
+      suffix_max_i64(inplace.data(), inplace.data(), n);
+      EXPECT_EQ(inplace, rmax) << name(s) << " in-place n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, UnalignedViewsAgreeAcrossSets) {
+  // Kernel entry points take raw pointers; callers slice mid-array, so
+  // run the differential on every offset into a shared block.
+  const auto words = random_words(96, 0.37, 321);
+  const auto vals = random_i64(96, 654);
+  for (std::size_t off = 0; off < 8; ++off) {
+    const std::size_t n = words.size() - off;
+    std::vector<std::uint64_t> scalar_pc(1);
+    std::vector<std::int64_t> scalar_red(3);
+    {
+      ForceGuard g(KernelSet::kScalar);
+      scalar_pc[0] = popcount_words(words.data() + off, n);
+      scalar_red[0] = reduce_sum_i64(vals.data() + off, n);
+      scalar_red[1] = reduce_min_i64(vals.data() + off, n);
+      scalar_red[2] = reduce_max_i64(vals.data() + off, n);
+    }
+    for (const KernelSet s : sets_to_test()) {
+      ForceGuard g(s);
+      EXPECT_EQ(popcount_words(words.data() + off, n), scalar_pc[0]);
+      EXPECT_EQ(reduce_sum_i64(vals.data() + off, n), scalar_red[0]);
+      EXPECT_EQ(reduce_min_i64(vals.data() + off, n), scalar_red[1]);
+      EXPECT_EQ(reduce_max_i64(vals.data() + off, n), scalar_red[2]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace waves::util::simd

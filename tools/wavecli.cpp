@@ -8,8 +8,9 @@
 //                    [--eps E] [--window N] [--items M] [--seed S]
 //                    [--connect host:port,...] [--deadline-ms MS]
 //   wavecli top      --connect host:port,... [--deadline-ms MS]
-//   wavecli query    --mode count|distinct|basic|sum
+//   wavecli query    --mode count|distinct|basic|sum|agg
 //                    (--connect host:port,host:port,... | --local)
+//                    [--op sum|min|max]   aggregate op (--mode agg only)
 //                    [--eps E] [--window N] [--n W] [--parties T]
 //                    [--instances K] [--seed S] [--items M]
 //                    [--stream-seed S2] [--density D] [--noise X]
@@ -17,6 +18,7 @@
 //                    [--deadline-ms MS] [--attempts A]
 //                    [--rounds K] [--delta on|off]
 //                    [--trace] [--flight-recorder]
+//   wavecli --version   build + selected SIMD ingest kernel set
 //
 // Stream modes print "<items>\t<estimate>" every --every items (default
 // 10000) and a final line on EOF. The metrics mode runs a small built-in
@@ -54,6 +56,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -64,6 +67,7 @@
 // Installs the counting operator new/delete (no-op when WAVES_OBS=OFF), so
 // query-mode flight records carry real allocation counts.
 #include "alloc_hook.hpp"
+#include "agg/agg_wave.hpp"
 #include "core/det_wave.hpp"
 #include "core/distinct_wave.hpp"
 #include "core/extensions/nth_one.hpp"
@@ -82,6 +86,7 @@
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -118,6 +123,7 @@ struct Options {
   bool delta = true;
   bool trace = false;
   bool flight = false;
+  std::string aggop = "sum";  // query --mode agg only
 };
 
 int usage() {
@@ -127,8 +133,9 @@ int usage() {
                "[--every K] [--nth K] [--span M]\n       wavecli metrics "
                "[--format prom|json] [--parties T] [--instances K]\n"
                "               [--eps E] [--window N] [--items M] [--seed "
-               "S]\n       wavecli query --mode count|distinct|basic|sum\n"
+               "S]\n       wavecli query --mode count|distinct|basic|sum|agg\n"
                "               (--connect host:port,... | --local)\n"
+               "               [--op sum|min|max]\n"
                "               [--eps E] [--window N] [--n W] [--parties T]"
                "\n               [--instances K] [--seed S] [--items M] "
                "[--stream-seed S2]\n               [--density D] [--noise "
@@ -196,6 +203,8 @@ std::optional<Options> parse(int argc, char** argv) {
       o.items = std::strtoull(val, nullptr, 10);
     } else if (flag == "--mode") {
       o.qmode = val;
+    } else if (flag == "--op") {
+      o.aggop = val;
     } else if (flag == "--connect") {
       o.connect = val;
     } else if (flag == "--n") {
@@ -227,7 +236,10 @@ std::optional<Options> parse(int argc, char** argv) {
   if (o.mode == "query") {
     if (!o.window_set) o.window = 4096;
     if (o.qmode != "count" && o.qmode != "distinct" && o.qmode != "basic" &&
-        o.qmode != "sum") {
+        o.qmode != "sum" && o.qmode != "agg") {
+      return std::nullopt;
+    }
+    if (o.aggop != "sum" && o.aggop != "min" && o.aggop != "max") {
       return std::nullopt;
     }
     // Exactly one referee flavor: in-process reference or TCP deployment.
@@ -443,6 +455,31 @@ int print_result(const waves::distributed::QueryResult& r) {
   return 0;
 }
 
+/// Agg-mode twin of print_result: the value is an exact int64 and prints as
+/// one, so a networked answer diffs bit-for-bit against --local even past
+/// 2^53 where %.17g doubles would round.
+int print_agg_result(const waves::net::AggQueryResult& r) {
+  using QS = waves::distributed::QueryStatus;
+  if (r.status == QS::kFailed) {
+    std::fprintf(stderr, "wavecli: query failed: %s\n", r.error.c_str());
+    return 4;
+  }
+  if (r.status == QS::kDegraded) {
+    std::printf("degraded\t%lld\tmissing=%zu\tslack=%.17g\n",
+                static_cast<long long>(r.value), r.missing.size(),
+                r.error_slack);
+  } else {
+    std::printf("ok\t%lld\n", static_cast<long long>(r.value));
+  }
+  return 0;
+}
+
+waves::agg::AggOp parse_agg_op(const std::string& s) {
+  if (s == "min") return waves::agg::AggOp::kMin;
+  if (s == "max") return waves::agg::AggOp::kMax;
+  return waves::agg::AggOp::kSum;
+}
+
 /// Runs the query --rounds times against the same source/client and prints
 /// one line per round. The parties are quiescent while wavecli queries, so
 /// every round must print the identical line; over TCP, round 2+ rides the
@@ -531,6 +568,35 @@ int run_query(const Options& o) {
       return run_rounds(
           o.rounds, [&] { return distributed::distinct_count(source, n); });
     }
+    if (o.qmode == "agg") {
+      // Exact aggregates: feed each party's sum stream through an AggWave
+      // and combine the way net::agg_query does over responders.
+      const agg::AggOp op = parse_agg_op(o.aggop);
+      net::AggQueryResult r;
+      r.op = op;
+      r.status = distributed::QueryStatus::kOk;
+      std::uint64_t usum = 0;
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+      for (int j = 0; j < o.parties; ++j) {
+        agg::AggWave w(op, o.window);
+        const auto uv = tools::sum_stream(feed, j);
+        const std::vector<std::int64_t> vals(uv.begin(), uv.end());
+        w.update_bulk(vals);
+        const std::int64_t v = w.value();
+        usum += static_cast<std::uint64_t>(v);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      r.value = op == agg::AggOp::kSum ? static_cast<std::int64_t>(usum)
+                : op == agg::AggOp::kMin ? lo
+                                         : hi;
+      for (int round = 0; round < o.rounds; ++round) {
+        const int rc = print_agg_result(r);
+        if (rc != 0) return rc;
+      }
+      return 0;
+    }
     // Scenario-1 totals: sum per-party window estimates.
     double sum = 0.0;
     bool exact = true;
@@ -589,6 +655,15 @@ int run_query(const Options& o) {
   }
   const net::RefereeClient client(endpoints, ccfg);
   int rc = 0;
+  if (o.qmode == "agg") {
+    const agg::AggOp op = parse_agg_op(o.aggop);
+    for (int round = 0; round < o.rounds; ++round) {
+      rc = print_agg_result(net::agg_query(client, op, n, feed.max_value));
+      if (rc != 0) break;
+    }
+    dump_query_obs(o, client, endpoints);
+    return rc;
+  }
   if (o.qmode == "basic") {
     rc = run_rounds(o.rounds, [&] {
       return net::total_query(client, net::PartyRole::kBasic, n);
@@ -628,6 +703,14 @@ int pump(const Options& o, Consume&& consume, Flush&& flush) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    // satellite: report which ingest kernel set this binary selected (and
+    // what the CPU supports), so "is SIMD on?" is one command.
+    std::printf("wavecli (waves) simd=%s detected=%s\n",
+                waves::util::simd::name(waves::util::simd::active()),
+                waves::util::simd::name(waves::util::simd::detected()));
+    return 0;
+  }
   const auto opts = parse(argc, argv);
   if (!opts) return usage();
   const Options& o = *opts;

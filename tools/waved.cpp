@@ -1,9 +1,10 @@
 // waved — one party of a distributed-streams deployment as a standalone
 // TCP daemon.
 //
-//   waved --role count|distinct|basic|sum --party-id I --parties T
+//   waved --role count|distinct|basic|sum|agg --party-id I --parties T
 //         [--port P]            listen port (default 0 = ephemeral)
 //         [--host H]            bind address (default 127.0.0.1)
+//         [--op sum|min|max]    aggregate op (agg role only; default sum)
 //         [--eps E] [--window N] [--instances K] [--seed S]
 //         [--items M] [--stream-seed S2] [--density D] [--noise X]
 //         [--value-space V] [--skew Z] [--max-value R]
@@ -47,6 +48,7 @@
 #include <string>
 #include <thread>
 
+#include "agg/agg_wave.hpp"
 #include "distributed/party.hpp"
 #include "feed_config.hpp"
 #include "net/server.hpp"
@@ -54,6 +56,7 @@
 #include "obs/recovery_obs.hpp"
 #include "obs/trace.hpp"
 #include "recovery/state_store.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -63,6 +66,7 @@ void on_signal(int) { g_stop = 1; }
 
 struct Options {
   std::string role;
+  std::string op = "sum";  // agg role only
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   // Defaults mirror `wavecli query` so an all-default deployment keeps the
@@ -84,9 +88,10 @@ struct Options {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: waved --role count|distinct|basic|sum --party-id I "
+      "usage: waved --role count|distinct|basic|sum|agg --party-id I "
       "--parties T\n"
-      "             [--port P] [--host H] [--eps E] [--window N]\n"
+      "             [--port P] [--host H] [--op sum|min|max]\n"
+      "             [--eps E] [--window N]\n"
       "             [--instances K] [--seed S] [--items M] "
       "[--stream-seed S2]\n"
       "             [--density D] [--noise X] [--value-space V] [--skew Z]\n"
@@ -107,6 +112,8 @@ std::optional<Options> parse(int argc, char** argv) {
     const char* val = argv[i + 1];
     if (flag == "--role") {
       o.role = val;
+    } else if (flag == "--op") {
+      o.op = val;
     } else if (flag == "--host") {
       o.host = val;
     } else if (flag == "--port") {
@@ -156,9 +163,10 @@ std::optional<Options> parse(int argc, char** argv) {
     }
   }
   if (o.role != "count" && o.role != "distinct" && o.role != "basic" &&
-      o.role != "sum") {
+      o.role != "sum" && o.role != "agg") {
     return std::nullopt;
   }
+  if (o.op != "sum" && o.op != "min" && o.op != "max") return std::nullopt;
   if (o.eps <= 0.0 || o.eps >= 1.0 || o.window < 1 || o.instances < 1 ||
       o.feed.parties < 1 || o.party_id < 0 ||
       o.party_id >= o.feed.parties) {
@@ -357,6 +365,11 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
 
   using namespace waves;
+  // Which ingest kernel set this process selected (WAVES_SIMD=OFF builds and
+  // WAVES_SIMD_DISABLED=1 environments report "scalar").
+  std::printf("WAVED SIMD kernels=%s\n",
+              util::simd::name(util::simd::active()));
+  std::fflush(stdout);
   net::ServerConfig cfg;
   cfg.host = o.host;
   cfg.port = o.port;
@@ -424,6 +437,35 @@ int main(int argc, char** argv) {
               values.data() + from, static_cast<std::size_t>(n)));
         },
         [&party] { return party.items_observed(); });
+  }
+
+  if (o.role == "agg") {
+    agg::AggOp op = agg::AggOp::kSum;
+    if (o.op == "min") op = agg::AggOp::kMin;
+    if (o.op == "max") op = agg::AggOp::kMax;
+    net::AggPartyState party(op, o.window);
+    // Same deterministic feed as the sum role; values fit max_value so the
+    // widening cast to signed is exact.
+    const auto uvalues = tools::sum_stream(o.feed, o.party_id);
+    const std::vector<std::int64_t> values(uvalues.begin(), uvalues.end());
+    net::ServerConfig role_cfg = cfg;
+    role_cfg.generation = peek_generation(o);
+    net::PartyServer server(role_cfg, &party);
+    return run_role(
+        o, role_cfg, server, recovery::StateKind::kAgg,
+        [&party] { return recovery::encode(party.checkpoint()); },
+        [&party](const recovery::Bytes& body)
+            -> std::optional<std::uint64_t> {
+          recovery::AggPartyCheckpoint ck;
+          if (!recovery::decode(body, ck)) return std::nullopt;
+          party.restore(ck);
+          return ck.cursor;
+        },
+        [&party, &values](std::uint64_t from, std::uint64_t n) {
+          party.observe_batch(std::span<const std::int64_t>(
+              values.data() + from, static_cast<std::size_t>(n)));
+        },
+        [&party] { return party.items(); });
   }
 
   const std::uint64_t inv_eps =
