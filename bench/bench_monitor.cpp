@@ -1,0 +1,270 @@
+// E20 — continuous monitoring: push traffic vs polling traffic over the
+// real TCP transport, at t=4 count parties.
+//
+// The claim under test: with eps-slack subscriptions (src/monitor/), the
+// referee's steady-state traffic is proportional to *change*, not to query
+// rate. A quiescent deployment answers every watcher query from the hub's
+// mirrors with zero new party messages, while a polling referee pays t
+// messages per round forever; CI checks push messages <= 10% of polling
+// messages over the quiescent phase. Under a bursty ingest the parties do
+// push — the point is bounded staleness, not silence — so the bursty phase
+// checks the hub's estimate stays within the global eps budget
+// (max |hub - poll| <= eps * n items) while traffic tracks the burst rate.
+//
+// Message/byte counts come from the obs counter families the push legs
+// maintain (waves_monitor_pushes_total / waves_monitor_push_bytes_total;
+// everything runs in-process, so the counters see both sides) and from the
+// polling client's WireStats. Under WAVES_OBS=OFF the push counters read
+// zero, so the ratios are only asserted when the registry is compiled in —
+// mirroring bench_query's alloc fields.
+//
+// JSON lines:
+//   e20_monitor {parties, phase, rounds, push_msgs, push_bytes, poll_msgs,
+//                poll_bytes, msg_ratio, byte_ratio, max_staleness_items,
+//                eps_budget_items, within_eps, parity}
+//
+// `--smoke` shrinks rounds and stream sizes for CI.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/rand_wave.hpp"
+#include "distributed/party.hpp"
+#include "distributed/referee.hpp"
+#include "monitor/hub.hpp"
+#include "monitor/slack.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/monitor_obs.hpp"
+#include "stream/generators.hpp"
+
+namespace waves {
+namespace {
+
+constexpr int kParties = 4;
+constexpr std::uint64_t kWindow = 4096;
+constexpr int kInstances = 3;
+constexpr std::uint64_t kSeed = 7;
+constexpr double kMonitorEps = 0.05;  // global staleness budget
+
+core::RandWave::Params params() {
+  return {.eps = 0.2, .window = kWindow, .c = 36};
+}
+
+struct PhaseResult {
+  std::uint64_t push_msgs = 0;
+  std::uint64_t push_bytes = 0;
+  std::uint64_t poll_msgs = 0;
+  std::uint64_t poll_bytes = 0;
+  double max_staleness = 0.0;  // max |hub - poll| over the rounds, items
+  bool within_eps = true;
+  bool parity = true;  // settled hub value bit-identical to the poll
+};
+
+struct Deployment {
+  std::vector<std::unique_ptr<distributed::CountParty>> owners;
+  std::vector<const distributed::CountParty*> ps;
+  std::vector<std::unique_ptr<net::PartyServer>> servers;
+  std::vector<net::Endpoint> endpoints;
+};
+
+/// `rounds` poll queries at a fixed cadence against a monitored
+/// deployment, counting both sides' traffic. `chunk` items per party are
+/// ingested before each round (0 = quiescent).
+PhaseResult run_phase(Deployment& dep, monitor::MonitorHub& hub,
+                      net::NetworkCountSource& poll, stream::BernoulliBits&
+                          gen, int rounds, int chunk) {
+  PhaseResult res;
+#if WAVES_OBS_ENABLED
+  const auto& obs = obs::MonitorPartyObs::instance();
+  const std::uint64_t msgs0 = obs.pushes.value();
+  const std::uint64_t bytes0 = obs.push_bytes.value();
+#endif
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < chunk; ++i) {
+      const bool b = gen.next();
+      for (auto& o : dep.owners) o->observe(b);
+    }
+    // One polling round (what a poll-based referee would pay this tick).
+    distributed::WireStats stats;
+    const distributed::QueryResult polled =
+        distributed::union_count(poll, kWindow, &stats);
+    res.poll_msgs += stats.messages;
+    res.poll_bytes += stats.bytes;
+    // Give in-flight pushes one check cadence to land, then compare the
+    // hub's standing estimate against the poll of the same instant.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const monitor::HubEstimate est = hub.estimate();
+    if (polled.status == distributed::QueryStatus::kOk &&
+        est.status == distributed::QueryStatus::kOk) {
+      const double stale = std::abs(est.value - polled.estimate.value);
+      res.max_staleness = std::max(res.max_staleness, stale);
+      if (stale > kMonitorEps * static_cast<double>(kWindow)) {
+        res.within_eps = false;
+      }
+    } else {
+      res.within_eps = false;
+    }
+  }
+#if WAVES_OBS_ENABLED
+  res.push_msgs = obs.pushes.value() - msgs0;
+  res.push_bytes = obs.push_bytes.value() - bytes0;
+#endif
+  // Settled parity: a push fires only past the slack threshold, so a burst
+  // that stops mid-slack leaves the mirrors a (legal) sub-slack distance
+  // from the truth indefinitely. To check the parity mechanism itself,
+  // nudge the parties with small chunks until the next threshold crossing
+  // fires a push; with ingest paused while it lands, the pushed body is
+  // the exact current state and the hub answer must be bit-identical to
+  // polling the same party states.
+  res.parity = false;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < give_up) {
+    const core::Estimate direct = distributed::union_count(dep.ps, kWindow);
+    monitor::HubEstimate est = hub.estimate();
+    const auto settle =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    while ((est.status != distributed::QueryStatus::kOk ||
+            est.value != direct.value) &&
+           std::chrono::steady_clock::now() < settle) {
+      est = hub.wait_revision(est.revision, std::chrono::milliseconds(25));
+    }
+    if (est.status == distributed::QueryStatus::kOk &&
+        est.value == direct.value) {
+      res.parity = true;
+      break;
+    }
+    for (int i = 0; i < 64; ++i) {
+      const bool b = gen.next();
+      for (auto& o : dep.owners) o->observe(b);
+    }
+  }
+  return res;
+}
+
+void emit_phase(const char* phase, int rounds, const PhaseResult& r) {
+  const double msg_ratio =
+      r.poll_msgs == 0 ? 0.0
+                       : static_cast<double>(r.push_msgs) /
+                             static_cast<double>(r.poll_msgs);
+  const double byte_ratio =
+      r.poll_bytes == 0 ? 0.0
+                        : static_cast<double>(r.push_bytes) /
+                              static_cast<double>(r.poll_bytes);
+  bench::JsonLine("e20_monitor")
+      .field("parties", static_cast<std::uint64_t>(kParties))
+      .field("phase", phase)
+      .field("rounds", static_cast<std::uint64_t>(rounds))
+      .field("push_msgs", r.push_msgs)
+      .field("push_bytes", r.push_bytes)
+      .field("poll_msgs", r.poll_msgs)
+      .field("poll_bytes", r.poll_bytes)
+      .field("msg_ratio", msg_ratio)
+      .field("byte_ratio", byte_ratio)
+      .field("max_staleness_items", r.max_staleness)
+      .field("eps_budget_items",
+             kMonitorEps * static_cast<double>(kWindow))
+      .field("within_eps",
+             static_cast<std::uint64_t>(r.within_eps ? 1 : 0))
+      .field("parity", static_cast<std::uint64_t>(r.parity ? 1 : 0))
+      .emit();
+  bench::row_line({phase, bench::fmt_u(r.push_msgs),
+                   bench::fmt_u(r.poll_msgs), bench::fmt(msg_ratio, 3),
+                   bench::fmt(r.max_staleness, 1), r.within_eps ? "1" : "0",
+                   r.parity ? "1" : "0"});
+}
+
+void e20(bool smoke) {
+  const std::uint64_t backlog = smoke ? kWindow : 4 * kWindow;
+  const int rounds = smoke ? 10 : 50;
+  const int burst_chunk = 256;  // items per party per bursty round
+
+  Deployment dep;
+  for (int j = 0; j < kParties; ++j) {
+    dep.owners.push_back(std::make_unique<distributed::CountParty>(
+        params(), kInstances, kSeed));
+    dep.ps.push_back(dep.owners.back().get());
+    dep.servers.push_back(std::make_unique<net::PartyServer>(
+        net::ServerConfig{}, dep.owners.back().get()));
+    if (!dep.servers.back()->start()) {
+      std::fprintf(stderr, "e20: failed to start party server %d\n", j);
+      std::exit(1);
+    }
+    dep.endpoints.push_back({"127.0.0.1", dep.servers.back()->port()});
+  }
+  stream::BernoulliBits gen(0.4, 3);
+  for (std::uint64_t i = 0; i < backlog; ++i) {
+    const bool b = gen.next();
+    for (auto& o : dep.owners) o->observe(b);
+  }
+
+  monitor::HubConfig cfg;
+  cfg.parties = dep.endpoints;
+  cfg.role = net::PartyRole::kCount;
+  cfg.n = kWindow;
+  cfg.eps = kMonitorEps;
+  cfg.split = monitor::SlackSplit::kUniform;
+  cfg.check_every = std::chrono::milliseconds(5);
+  cfg.count_params = params();
+  cfg.instances = kInstances;
+  cfg.shared_seed = kSeed;
+  monitor::MonitorHub hub(cfg);
+  if (!hub.start()) {
+    std::fprintf(stderr, "e20: hub failed to start\n");
+    std::exit(1);
+  }
+  net::NetworkCountSource poll(dep.endpoints, params(), kInstances, kSeed);
+
+  // Bootstrap both referees outside the measured phases: the poll source
+  // pays its one-time full fetch, the hub its t initial subscription
+  // pushes, so the phases measure steady state on both sides.
+  (void)distributed::union_count(poll, kWindow);
+  {
+    const core::Estimate direct = distributed::union_count(dep.ps, kWindow);
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    monitor::HubEstimate est = hub.estimate();
+    while ((est.status != distributed::QueryStatus::kOk ||
+            est.value != direct.value) &&
+           std::chrono::steady_clock::now() < give_up) {
+      est = hub.wait_revision(est.revision, std::chrono::milliseconds(50));
+    }
+    if (est.status != distributed::QueryStatus::kOk) {
+      std::fprintf(stderr, "e20: hub never reached parity\n");
+      std::exit(1);
+    }
+  }
+
+  const PhaseResult quiescent =
+      run_phase(dep, hub, poll, gen, rounds, /*chunk=*/0);
+  emit_phase("quiescent", rounds, quiescent);
+  const PhaseResult bursty =
+      run_phase(dep, hub, poll, gen, rounds, burst_chunk);
+  emit_phase("bursty", rounds, bursty);
+
+  hub.stop();
+}
+
+}  // namespace
+}  // namespace waves
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  waves::bench::header(
+      "E20: continuous monitoring — push vs poll traffic (t=4, count)");
+  waves::bench::row_line({"phase", "push_msgs", "poll_msgs", "msg_ratio",
+                          "stale_max", "within_eps", "parity"});
+  waves::e20(smoke);
+  return 0;
+}

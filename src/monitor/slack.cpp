@@ -1,0 +1,48 @@
+#include "monitor/slack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace waves::monitor {
+
+const char* slack_split_name(SlackSplit s) {
+  switch (s) {
+    case SlackSplit::kUniform:
+      return "uniform";
+    case SlackSplit::kBoosted:
+      return "boosted";
+  }
+  return "unknown";
+}
+
+bool slack_split_from_name(const std::string& name, SlackSplit& out) {
+  if (name == "uniform") out = SlackSplit::kUniform;
+  else if (name == "boosted") out = SlackSplit::kBoosted;
+  else return false;
+  return true;
+}
+
+double SlackBudget::share() const {
+  if (parties == 0 || eps <= 0.0) return 0.0;
+  const double t = static_cast<double>(parties);
+  switch (split) {
+    case SlackSplit::kUniform:
+      return eps / t;
+    case SlackSplit::kBoosted:
+      return eps / std::sqrt(t);
+  }
+  return eps / t;
+}
+
+double SlackBudget::threshold(net::PartyRole role, std::uint64_t n,
+                              std::uint64_t max_value) const {
+  const double s = share();
+  if (s <= 0.0) return 1.0;
+  double raw = s * static_cast<double>(n);
+  if (role == net::PartyRole::kSum) {
+    raw *= static_cast<double>(std::max<std::uint64_t>(max_value, 1));
+  }
+  return std::max(raw, 1.0);
+}
+
+}  // namespace waves::monitor

@@ -1,0 +1,69 @@
+// eps-slack budgets for continuous monitoring (src/monitor/).
+//
+// The polling referee re-fetches every party each round, so steady-state
+// traffic scales with query rate even when nothing changed. The
+// continuous-monitoring model (Chan-Lam-Lee-Ting, arXiv:0912.4569) inverts
+// that: the referee grants each of the t parties a local slack — a share of
+// the global error budget eps — and a party stays silent until its local
+// state has drifted past its share. Between pushes the referee's merged
+// estimate is stale by at most the sum of the un-pushed drifts, so traffic
+// becomes proportional to change, not to query rate.
+//
+// SlackBudget computes the per-party share and turns it into the absolute
+// threshold a SubscribeRequest carries (tag 3):
+//
+//   kUniform  share = eps / t. The shares sum to eps, so the merged
+//     estimate is always within an additive eps * n (scaled by max_value
+//     for sums) of what a poll at the same instant would return — the
+//     conservative split matching the paper's worst-case accuracy
+//     accounting (Theorems 5-7 bound each party's synopsis error the same
+//     way; the slack is an extra, explicitly-budgeted staleness term on
+//     top).
+//
+//   kBoosted  share = eps / sqrt(t), after Xu ("Boosting the Basic
+//     Counting on Distributed Streams", arXiv:1312.0042): independent
+//     per-party drifts cancel like a random walk, so the *realized* error
+//     of the merged estimate concentrates around sqrt(t) * share = eps
+//     while each party pushes a factor sqrt(t) less often. The worst case
+//     (every party drifting the same direction) is sqrt(t) * eps — the
+//     split to pick when communication is the scarce resource and the
+//     adversary is not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace waves::monitor {
+
+enum class SlackSplit : std::uint8_t {
+  kUniform = 1,
+  kBoosted = 2,
+};
+
+[[nodiscard]] const char* slack_split_name(SlackSplit s);
+/// False on an unknown name; `out` untouched.
+[[nodiscard]] bool slack_split_from_name(const std::string& name,
+                                         SlackSplit& out);
+
+struct SlackBudget {
+  double eps = 0.0;        // global staleness budget, fraction of the window
+  std::size_t parties = 0;
+  SlackSplit split = SlackSplit::kUniform;
+
+  /// Per-party share of eps under the configured split.
+  [[nodiscard]] double share() const;
+
+  /// Absolute push threshold for one party, in the role's units — what the
+  /// subscription's tag-3 slack carries. Count/distinct: items in the
+  /// window (a party pushes after share * n un-pushed items, each of which
+  /// moves the true count/distinct count by at most 1). Basic: estimate
+  /// units, share * n. Sum: share * n * max_value. Never below 1, so a
+  /// degenerate budget still pushes on change instead of flooding.
+  [[nodiscard]] double threshold(net::PartyRole role, std::uint64_t n,
+                                 std::uint64_t max_value) const;
+};
+
+}  // namespace waves::monitor

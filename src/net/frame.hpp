@@ -36,6 +36,11 @@ inline constexpr std::array<std::uint8_t, 4> kMagic{'W', 'A', 'V', 'E'};
 // Both are opt-in per request and never sent unsolicited, so older v3
 // peers that don't know them interoperate on every existing path; see
 // docs/networking.md for the exact compatibility rule.
+// Still v3 (additive): the continuous-monitoring subsystem adds
+// kSubscribe/kPushUpdate/kUnsubscribe. kPushUpdate is the one deliberate
+// exception to "never unsolicited": after a peer opts in with kSubscribe,
+// the server may write kPushUpdate frames at any frame boundary until the
+// subscription ends. Peers that never subscribe never see one.
 inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 10;
@@ -55,6 +60,13 @@ enum class MsgType : std::uint8_t {
   kMetricsRequest = 9,  // v3 additive: remote scrape of the obs registry
   kMetricsReply = 10,
   kAggReply = 11,  // v3 additive: exact aggregate from an agg-role party
+  // v3 additive continuous-monitoring trio (src/monitor/): a subscriber
+  // registers an eps-slack push leg, the server streams kPushUpdate frames
+  // whenever the local estimate drifts past the subscription's slack, and
+  // kUnsubscribe returns the connection to request/reply mode.
+  kSubscribe = 12,
+  kPushUpdate = 13,
+  kUnsubscribe = 14,
 };
 
 [[nodiscard]] bool valid_msg_type(std::uint8_t t);

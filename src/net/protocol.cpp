@@ -1,6 +1,7 @@
 #include "net/protocol.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 namespace waves::net {
@@ -307,6 +308,182 @@ Bytes ErrReply::encode() const {
   return out;
 }
 
+void SubscribeRequest::encode_into(Bytes& out) const {
+  put_varint(out, request_id);
+  put_varint(out, static_cast<std::uint64_t>(role));
+  put_varint(out, n);
+  // Extension tags in strictly increasing order (canonical form).
+  if (delta_capable) {
+    put_varint(out, 1);
+    put_varint(out, since_cursor);
+  }
+  if (trace_id != 0) {
+    put_varint(out, 2);
+    put_varint(out, trace_id);
+    put_varint(out, parent_span_id);
+  }
+  if (has_slack) {
+    put_varint(out, 3);
+    put_fixed64(out, std::bit_cast<std::uint64_t>(slack));
+    put_varint(out, check_every_ms);
+  }
+}
+
+Bytes SubscribeRequest::encode() const {
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+bool SubscribeRequest::decode(const Bytes& in, SubscribeRequest& out) {
+  SubscribeRequest r;
+  std::size_t at = 0;
+  std::uint64_t role = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, role) ||
+      role > 0xFF || !valid_role(static_cast<std::uint8_t>(role)) ||
+      !get_varint(in, at, r.n)) {
+    return false;
+  }
+  // Same tagged-extension rules as SnapshotRequest: tags strictly
+  // increasing, unknown tags fail, all-or-nothing. Tag 3 (slack) is only
+  // meaningful on subscriptions, so it lives here and SnapshotRequest
+  // keeps rejecting it.
+  std::uint64_t last_tag = 0;
+  while (!consumed(in, at)) {
+    std::uint64_t tag = 0;
+    if (!get_varint(in, at, tag) || tag <= last_tag) return false;
+    last_tag = tag;
+    if (tag == 1) {
+      if (!get_varint(in, at, r.since_cursor)) return false;
+      r.delta_capable = true;
+    } else if (tag == 2) {
+      if (!get_varint(in, at, r.trace_id) || r.trace_id == 0 ||
+          !get_varint(in, at, r.parent_span_id)) {
+        return false;
+      }
+    } else if (tag == 3) {
+      std::uint64_t bits = 0;
+      if (!get_fixed64(in, at, bits) ||
+          !get_varint(in, at, r.check_every_ms)) {
+        return false;
+      }
+      const double slack = std::bit_cast<double>(bits);
+      // A non-finite or non-positive slack would make the push leg either
+      // never or always fire; reject it as hostile rather than guessing.
+      if (!std::isfinite(slack) || slack <= 0.0) return false;
+      r.slack = slack;
+      r.has_slack = true;
+    } else {
+      return false;
+    }
+  }
+  r.role = static_cast<PartyRole>(role);
+  out = r;
+  return true;
+}
+
+void PushUpdate::encode_into(Bytes& out) const {
+  put_varint(out, request_id);
+  put_varint(out, seq);
+  put_varint(out, generation);
+  put_varint(out, static_cast<std::uint64_t>(role));
+  put_varint(out, items_observed);
+  put_varint(out, base_cursor);
+  put_varint(out, cursor);
+  put_varint(out, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+Bytes PushUpdate::encode() const {
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+bool PushUpdate::decode(const Bytes& in, PushUpdate& out) {
+  // Same shape as DeltaReply::decode: validate everything (including full
+  // consumption) into locals, then assign field-by-field so a subscriber
+  // that reuses one PushUpdate across updates keeps its body capacity.
+  PushUpdate r;
+  std::size_t at = 0;
+  std::uint64_t role = 0;
+  std::uint64_t len = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, r.seq) ||
+      r.seq == 0 || !get_varint(in, at, r.generation) ||
+      !get_varint(in, at, role) || role > 0xFF ||
+      !valid_role(static_cast<std::uint8_t>(role)) ||
+      !get_varint(in, at, r.items_observed) ||
+      !get_varint(in, at, r.base_cursor) || !get_varint(in, at, r.cursor) ||
+      !get_varint(in, at, len) || len > in.size() - at ||
+      !consumed(in, at + len)) {
+    return false;
+  }
+  out.request_id = r.request_id;
+  out.seq = r.seq;
+  out.generation = r.generation;
+  out.role = static_cast<PartyRole>(role);
+  out.items_observed = r.items_observed;
+  out.base_cursor = r.base_cursor;
+  out.cursor = r.cursor;
+  out.body.assign(in.begin() + static_cast<std::ptrdiff_t>(at),
+                  in.begin() + static_cast<std::ptrdiff_t>(at + len));
+  return true;
+}
+
+Bytes Unsubscribe::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  return out;
+}
+
+bool Unsubscribe::decode(const Bytes& in, Unsubscribe& out) {
+  Unsubscribe u;
+  std::size_t at = 0;
+  if (!get_varint(in, at, u.request_id) || !consumed(in, at)) return false;
+  out = u;
+  return true;
+}
+
+void EstimateUpdate::encode_into(Bytes& out) const {
+  put_varint(out, seq);
+  put_varint(out, round);
+  put_varint(out, status);
+  put_fixed64(out, std::bit_cast<std::uint64_t>(value));
+  put_varint(out, exact ? 1 : 0);
+  put_varint(out, n);
+  put_varint(out, missing);
+  put_fixed64(out, std::bit_cast<std::uint64_t>(error_slack));
+}
+
+Bytes EstimateUpdate::encode() const {
+  Bytes out;
+  encode_into(out);
+  return out;
+}
+
+bool EstimateUpdate::decode(const Bytes& in, EstimateUpdate& out) {
+  EstimateUpdate r;
+  std::size_t at = 0;
+  std::uint64_t status = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t slack_bits = 0;
+  if (!get_varint(in, at, r.seq) || r.seq == 0 ||
+      !get_varint(in, at, r.round) || !get_varint(in, at, status) ||
+      status < 1 || status > 3 || !get_fixed64(in, at, bits) ||
+      !get_varint(in, at, exact) || exact > 1 || !get_varint(in, at, r.n) ||
+      !get_varint(in, at, r.missing) || !get_fixed64(in, at, slack_bits) ||
+      !consumed(in, at)) {
+    return false;
+  }
+  r.status = static_cast<std::uint8_t>(status);
+  r.value = std::bit_cast<double>(bits);
+  r.exact = exact == 1;
+  r.error_slack = std::bit_cast<double>(slack_bits);
+  out = r;
+  return true;
+}
+
 bool valid_metrics_format(std::uint8_t f) {
   return f >= static_cast<std::uint8_t>(MetricsFormat::kProm) &&
          f <= static_cast<std::uint8_t>(MetricsFormat::kTrace);
@@ -374,7 +551,7 @@ bool ErrReply::decode(const Bytes& in, ErrReply& out) {
   std::uint64_t code = 0;
   std::uint64_t len = 0;
   if (!get_varint(in, at, e.request_id) || !get_varint(in, at, code) ||
-      code < 1 || code > 4 || !get_varint(in, at, len) ||
+      code < 1 || code > 5 || !get_varint(in, at, len) ||
       len > in.size() - at) {
     return false;
   }

@@ -45,6 +45,7 @@ enum class ErrCode : std::uint8_t {
   kWrongRole = 2,   // request's role doesn't match the serving party
   kShutdown = 3,    // server is draining; retry elsewhere
   kInternal = 4,
+  kOverloaded = 5,  // connection limit reached; sent before the close
 };
 
 struct Hello {
@@ -179,6 +180,106 @@ struct ErrReply {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static bool decode(const Bytes& in, ErrReply& out);
+};
+
+// -- Continuous monitoring (src/monitor/) -----------------------------------
+
+/// Opens a push subscription on the serving connection. Fixed fields mirror
+/// SnapshotRequest (the subscription is "this role, this window"), followed
+/// by the same tagged-extension blocks — tags strictly increasing, unknown
+/// tags rejected:
+///
+///   Tag 1 — delta: since_cursor names a push-chain baseline the client
+///     still holds (from a previous subscription on this server). Push
+///     baselines are per-subscription, so a server that can't honor it just
+///     opens the chain with a full-body update (base_cursor 0) — exactly
+///     the DeltaReply fallback rule. 0 = bootstrap.
+///   Tag 2 — trace context, as in SnapshotRequest.
+///   Tag 3 — slack (new here; SnapshotRequest rejects it): the
+///     subscription's drift budget as a fixed64 double bit pattern, plus a
+///     varint check cadence in ms (0 = server default). The slack is an
+///     absolute threshold in the role's units — items in the window for
+///     count/distinct (the party pushes when it has ingested that many
+///     items since its last push), estimate units for basic/sum (the party
+///     pushes when |estimate - last pushed| reaches it). Must be finite
+///     and > 0. Omitted, the server defaults to 1 (push on any change).
+///
+/// The server answers with the subscription's first kPushUpdate (a full
+/// snapshot of the current state — the ack), then pushes on drift until
+/// kUnsubscribe, a replacing kSubscribe, or the connection closes.
+struct SubscribeRequest {
+  std::uint64_t request_id = 0;
+  PartyRole role = PartyRole::kCount;
+  std::uint64_t n = 0;  // window size monitored
+
+  bool delta_capable = false;  // tag 1
+  std::uint64_t since_cursor = 0;
+
+  std::uint64_t trace_id = 0;  // tag 2
+  std::uint64_t parent_span_id = 0;
+
+  bool has_slack = false;  // tag 3
+  double slack = 0.0;
+  std::uint64_t check_every_ms = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
+  [[nodiscard]] static bool decode(const Bytes& in, SubscribeRequest& out);
+};
+
+/// One unsolicited update on a subscribed connection (party -> hub). `seq`
+/// is strictly increasing per subscription starting at 1; a gap or
+/// regression means frames were lost and the subscriber must resubscribe.
+/// The body reuses the DeltaReply chain semantics for count/distinct
+/// (base_cursor 0 = self-contained recovery::encode, else
+/// recovery::encode_delta against the cursor the subscriber holds); for
+/// basic/sum it is fixed64 estimate bits + varint exact flag — the party's
+/// local total, which the hub sums across parties.
+struct PushUpdate {
+  std::uint64_t request_id = 0;  // echo of the subscribe
+  std::uint64_t seq = 0;
+  std::uint64_t generation = 0;
+  PartyRole role = PartyRole::kCount;
+  std::uint64_t items_observed = 0;  // party items at encode time
+  std::uint64_t base_cursor = 0;
+  std::uint64_t cursor = 0;
+  Bytes body;
+
+  [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
+  [[nodiscard]] static bool decode(const Bytes& in, PushUpdate& out);
+};
+
+/// Ends the connection's active subscription. No reply: the server simply
+/// stops pushing, and because frames are processed in order, the next
+/// request/reply exchange on the connection is already unambiguous.
+struct Unsubscribe {
+  std::uint64_t request_id = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, Unsubscribe& out);
+};
+
+/// Hub -> watcher body carried in kPushUpdate frames on watcher
+/// connections (a watcher subscribed to a MonitorHub, so it decodes this
+/// instead of PushUpdate — the schema is chosen by what you subscribed
+/// to, like role-dependent snapshot replies). Carries the merged estimate
+/// under the hub's quorum rules: status mirrors distributed::QueryStatus
+/// (1 ok, 2 degraded, 3 failed), `missing` counts unreachable parties,
+/// and error_slack is the kDegraded additive widening.
+struct EstimateUpdate {
+  std::uint64_t seq = 0;    // strictly increasing per watcher, from 1
+  std::uint64_t round = 0;  // hub revision that produced this estimate
+  std::uint8_t status = 3;
+  double value = 0.0;  // crosses as a fixed64 bit pattern
+  bool exact = false;
+  std::uint64_t n = 0;
+  std::uint64_t missing = 0;
+  double error_slack = 0.0;
+
+  [[nodiscard]] Bytes encode() const;
+  void encode_into(Bytes& out) const;
+  [[nodiscard]] static bool decode(const Bytes& in, EstimateUpdate& out);
 };
 
 /// Export format carried by a metrics scrape.

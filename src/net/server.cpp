@@ -1,8 +1,12 @@
 #include "net/server.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <utility>
 
 #include "obs/export.hpp"
+#include "obs/monitor_obs.hpp"
 #include "obs/net_obs.hpp"
 #include "obs/trace.hpp"
 #include "recovery/delta.hpp"
@@ -29,6 +33,11 @@ core::Estimate BasicPartyState::query(std::uint64_t n) const {
 std::uint64_t BasicPartyState::items() const {
   std::lock_guard lk(mu_);
   return items_;
+}
+
+std::uint64_t BasicPartyState::change_cursor() const {
+  std::lock_guard lk(mu_);
+  return wave_.change_cursor();
 }
 
 recovery::BasicPartyCheckpoint BasicPartyState::checkpoint() const {
@@ -62,6 +71,11 @@ core::Estimate SumPartyState::query(std::uint64_t n) const {
 std::uint64_t SumPartyState::items() const {
   std::lock_guard lk(mu_);
   return items_;
+}
+
+std::uint64_t SumPartyState::change_cursor() const {
+  std::lock_guard lk(mu_);
+  return wave_.change_cursor();
 }
 
 recovery::SumPartyCheckpoint SumPartyState::checkpoint() const {
@@ -165,6 +179,25 @@ void PartyServer::accept_loop(const std::stop_token& st) {
       continue;
     }
     obs.connections.add();
+    // Connection cap (thread-per-connection: this bounds handler threads).
+    // Reap first so finished handlers don't count against a fresh accept;
+    // over the cap, answer one typed Err frame and close — the peer learns
+    // why instead of seeing a silent RST, and the daemon's thread count
+    // stays bounded no matter how many watchers stampede it.
+    reap_finished();
+    {
+      std::lock_guard lk(conns_mu_);
+      if (conns_.size() >= cfg_.max_connections) {
+        obs.overload_rejected.add();
+        ErrReply err{0, ErrCode::kOverloaded, "connection limit reached"};
+        const Bytes payload = err.encode();
+        if (write_frame(sock, MsgType::kErr, payload,
+                        deadline_in(cfg_.io_deadline))) {
+          obs.bytes_sent.add(kHeaderSize + payload.size());
+        }
+        continue;  // RAII closes the socket
+      }
+    }
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::jthread handler(
         [this, done](const std::stop_token& hst, Socket s) {
@@ -385,8 +418,8 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
       r.request_id = req.request_id;
       r.generation = cfg_.generation;
       {
-        auto s = obs::Tracer::instance().start("party.snapshot",
-                                               span.context());
+        [[maybe_unused]] auto s = obs::Tracer::instance().start(
+            "party.snapshot", span.context());
         r.snapshots = count_->snapshots(req.n);
       }
       send(MsgType::kCountReply, r.encode());
@@ -412,8 +445,8 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
       r.request_id = req.request_id;
       r.generation = cfg_.generation;
       {
-        auto s = obs::Tracer::instance().start("party.snapshot",
-                                               span.context());
+        [[maybe_unused]] auto s = obs::Tracer::instance().start(
+            "party.snapshot", span.context());
         r.snapshots = distinct_->snapshots(req.n);
       }
       send(MsgType::kDistinctReply, r.encode());
@@ -447,16 +480,183 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
   }
 }
 
+bool PartyServer::subscribe(Socket& sock, const SubscribeRequest& req,
+                            Subscription& sub) {
+  const auto& mobs = obs::MonitorPartyObs::instance();
+  // Joins the subscriber's trace (tag 2) like party.answer does, so one
+  // `wavecli hub` bring-up stitches across processes.
+  auto span = obs::Tracer::instance().start(
+      "party.subscribe", obs::TraceContext{req.trace_id, req.parent_span_id});
+  span.set("party", static_cast<double>(cfg_.party_id));
+  span.set("n", static_cast<double>(req.n));
+  // A replacing kSubscribe restarts the chain from scratch. A nonzero
+  // since_cursor (tag 1) can never name one of our baselines — they are
+  // per-subscription and this one is new — so per the DeltaReply fallback
+  // rule the chain always opens with a full body; the field is accepted
+  // for forward compatibility with server-side persistent baselines.
+  sub = Subscription{};
+  sub.active = true;
+  sub.request_id = req.request_id;
+  sub.n = req.n;
+  if (req.has_slack) sub.slack = req.slack;
+  sub.check = req.check_every_ms > 0
+                  ? std::chrono::milliseconds(req.check_every_ms)
+                  : cfg_.push_check;
+  mobs.subscribes.add();
+  return push_update(sock, sub);
+}
+
+bool PartyServer::push_update(Socket& sock, Subscription& sub) {
+  const auto& obs = obs::NetServerObs::instance();
+  const auto& mobs = obs::MonitorPartyObs::instance();
+  PushUpdate u;
+  u.request_id = sub.request_id;
+  u.seq = sub.seq + 1;
+  u.generation = cfg_.generation;
+  u.role = role_;
+  bool full = true;
+  switch (role_) {
+    case PartyRole::kCount: {
+      // Same O(change) live encoder as the pull path, but against this
+      // subscription's own baseline — two subscribers at different points
+      // in their chains never corrupt each other.
+      if (sub.cursor != 0 && sub.count_base.valid &&
+          recovery::encode_delta_live(*count_, sub.count_base, u.body)) {
+        u.base_cursor = sub.cursor;
+        full = false;
+      } else {
+        distributed::CountPartyCheckpoint now = count_->checkpoint();
+        u.body = recovery::encode(now);
+        recovery::baseline_from_checkpoint(now, sub.count_base);
+        u.base_cursor = 0;
+      }
+      u.items_observed = sub.count_base.cursor;
+      sub.pushed_items = sub.count_base.cursor;
+      break;
+    }
+    case PartyRole::kDistinct: {
+      distributed::DistinctPartyCheckpoint now = distinct_->checkpoint();
+      if (sub.cursor != 0) {
+        u.body = recovery::encode_delta(sub.distinct_base, now);
+        u.base_cursor = sub.cursor;
+        full = false;
+      } else {
+        u.body = recovery::encode(now);
+        u.base_cursor = 0;
+      }
+      u.items_observed = now.cursor;
+      sub.pushed_items = now.cursor;
+      sub.distinct_base = std::move(now);
+      break;
+    }
+    case PartyRole::kBasic: {
+      const core::Estimate est = basic_->query(sub.n);
+      distributed::put_fixed64(u.body,
+                               std::bit_cast<std::uint64_t>(est.value));
+      distributed::put_varint(u.body, est.exact ? 1 : 0);
+      u.items_observed = basic_->items();
+      sub.pushed_value = est.value;
+      sub.last_change = basic_->change_cursor();
+      break;
+    }
+    case PartyRole::kSum: {
+      const core::Estimate est = sum_->query(sub.n);
+      distributed::put_fixed64(u.body,
+                               std::bit_cast<std::uint64_t>(est.value));
+      distributed::put_varint(u.body, est.exact ? 1 : 0);
+      u.items_observed = sum_->items();
+      sub.pushed_value = est.value;
+      sub.last_change = sum_->change_cursor();
+      break;
+    }
+    case PartyRole::kAgg:
+      return false;  // unreachable: subscribe() rejects the agg role
+  }
+  u.cursor = sub.cursor + 1;
+  sub.cursor = u.cursor;
+  sub.seq = u.seq;
+  const Bytes payload = u.encode();
+  if (!write_frame(sock, MsgType::kPushUpdate, payload,
+                   deadline_in(cfg_.io_deadline))) {
+    return false;
+  }
+  obs.bytes_sent.add(kHeaderSize + payload.size());
+  mobs.pushes.add();
+  mobs.push_bytes.add(kHeaderSize + payload.size());
+  if (full) {
+    mobs.push_full.add();
+  } else {
+    mobs.push_delta.add();
+  }
+  return true;
+}
+
+bool PartyServer::push_if_drifted(Socket& sock, Subscription& sub) {
+  const auto& mobs = obs::MonitorPartyObs::instance();
+  mobs.push_checks.add();
+  switch (role_) {
+    case PartyRole::kCount: {
+      // Count-based windows expire only when items arrive, so the party's
+      // item cursor covers window-expiry drift too: a quiescent stream is
+      // provably drift-free and the check costs one atomic-ish read.
+      const std::uint64_t items = count_->items_observed();
+      if (items == sub.pushed_items ||
+          static_cast<double>(items - sub.pushed_items) < sub.slack) {
+        return true;
+      }
+      return push_update(sock, sub);
+    }
+    case PartyRole::kDistinct: {
+      const std::uint64_t items = distinct_->items_observed();
+      if (items == sub.pushed_items ||
+          static_cast<double>(items - sub.pushed_items) < sub.slack) {
+        return true;
+      }
+      return push_update(sock, sub);
+    }
+    case PartyRole::kBasic: {
+      // change_cursor gates the (lock + query) estimate walk: if the wave
+      // didn't mutate since the last check, the estimate can't have moved.
+      const std::uint64_t cc = basic_->change_cursor();
+      if (cc == sub.last_change) return true;
+      sub.last_change = cc;
+      const double v = basic_->query(sub.n).value;
+      if (std::abs(v - sub.pushed_value) < sub.slack) return true;
+      return push_update(sock, sub);
+    }
+    case PartyRole::kSum: {
+      const std::uint64_t cc = sum_->change_cursor();
+      if (cc == sub.last_change) return true;
+      sub.last_change = cc;
+      const double v = sum_->query(sub.n).value;
+      if (std::abs(v - sub.pushed_value) < sub.slack) return true;
+      return push_update(sock, sub);
+    }
+    case PartyRole::kAgg:
+      return true;
+  }
+  return true;
+}
+
 void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
   const auto& obs = obs::NetServerObs::instance();
   // One Frame for the whole connection: read_frame assigns into it, so a
   // multi-round keep-alive client reuses the payload's high-water capacity
   // instead of allocating per request.
   Frame frame;
+  // At most one push subscription per connection; stack-local, so its
+  // delta baselines die with the handler thread.
+  Subscription sub;
   while (!st.stop_requested()) {
     // Idle-wait in short ticks so a stop request is honored promptly even
-    // on a silent connection; the io_deadline only applies once bytes flow.
-    if (!sock.wait_readable(deadline_in(std::chrono::milliseconds(100)))) {
+    // on a silent connection; the io_deadline only applies once bytes
+    // flow. A subscribed connection ticks at the subscription's drift
+    // cadence instead, and runs the drift check after every wake-up.
+    const std::chrono::milliseconds tick =
+        sub.active ? std::min(sub.check, std::chrono::milliseconds(100))
+                   : std::chrono::milliseconds(100);
+    if (!sock.wait_readable(deadline_in(tick))) {
+      if (sub.active && !push_if_drifted(sock, sub)) return;
       continue;
     }
     const Deadline dl = deadline_in(cfg_.io_deadline);
@@ -540,6 +740,63 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
         obs.bytes_sent.add(kHeaderSize + payload.size());
         break;
       }
+      case MsgType::kSubscribe: {
+        obs.requests.add();
+        SubscribeRequest req;
+        if (!SubscribeRequest::decode(frame.payload, req)) {
+          obs.frame_errors.add();
+          ErrReply err{0, ErrCode::kBadRequest, "bad subscribe request"};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          return;
+        }
+        // Typed rejections keep the connection: the request parsed fine,
+        // the framing is intact, and the peer may fall back to polling.
+        const char* reject = nullptr;
+        if (!cfg_.enable_push) {
+          reject = "push subscriptions disabled";
+        } else if (role_ == PartyRole::kAgg) {
+          reject = "push unsupported for role agg";
+        }
+        if (reject != nullptr) {
+          ErrReply err{req.request_id, ErrCode::kBadRequest, reject};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          break;
+        }
+        if (req.role != role_) {
+          ErrReply err{req.request_id, ErrCode::kWrongRole,
+                       std::string("party serves role ") + role_name(role_)};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          break;
+        }
+        if (!subscribe(sock, req, sub)) return;
+        break;
+      }
+      case MsgType::kUnsubscribe: {
+        Unsubscribe req;
+        if (!Unsubscribe::decode(frame.payload, req)) {
+          obs.frame_errors.add();
+          ErrReply err{0, ErrCode::kBadRequest, "bad unsubscribe"};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          return;
+        }
+        // No reply by design: frames are processed in order, so the next
+        // request/reply exchange on this connection is unambiguous.
+        sub = Subscription{};
+        obs::MonitorPartyObs::instance().unsubscribes.add();
+        break;
+      }
       default: {
         obs.frame_errors.add();
         ErrReply err{0, ErrCode::kBadRequest, "unexpected message type"};
@@ -550,6 +807,7 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
         return;
       }
     }
+    if (sub.active && !push_if_drifted(sock, sub)) return;
   }
 }
 

@@ -45,6 +45,9 @@ class BasicPartyState {
   [[nodiscard]] core::Estimate query(std::uint64_t n) const;
   [[nodiscard]] std::uint64_t items() const;
   [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  /// Monotone mutation counter (the wave's) — the push leg's cheap "did
+  /// anything change since the last drift check" gate.
+  [[nodiscard]] std::uint64_t change_cursor() const;
 
   [[nodiscard]] recovery::BasicPartyCheckpoint checkpoint() const;
   /// Replace the wave with the checkpointed state (parameters must match
@@ -74,6 +77,8 @@ class SumPartyState {
   [[nodiscard]] core::Estimate query(std::uint64_t n) const;
   [[nodiscard]] std::uint64_t items() const;
   [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  /// See BasicPartyState::change_cursor.
+  [[nodiscard]] std::uint64_t change_cursor() const;
 
   [[nodiscard]] recovery::SumPartyCheckpoint checkpoint() const;
   /// Same contract as BasicPartyState::restore.
@@ -129,6 +134,18 @@ struct ServerConfig {
   // handed out. Off, every request gets the v2 full reply — the knob the
   // loopback test and `waved --delta off` use to exercise degradation.
   bool enable_delta = true;
+  // Accept kSubscribe and run eps-slack push legs (src/monitor/). Off,
+  // subscriptions are rejected with kBadRequest — `waved --push off`.
+  bool enable_push = true;
+  // Default drift-check cadence for subscriptions that don't carry their
+  // own (tag-3 check_every_ms of 0).
+  std::chrono::milliseconds push_check{25};
+  // Hard cap on live connections (thread-per-connection: this bounds the
+  // handler threads). Over the cap, a fresh accept is answered with one
+  // ErrReply{kOverloaded} frame and closed — typed, counted in
+  // waves_net_server_overload_rejected_total — so a watcher stampede or a
+  // socket leak degrades loudly instead of exhausting the daemon.
+  std::size_t max_connections = 64;
 };
 
 /// One party daemon: serves exactly one role, determined by which backend
@@ -194,9 +211,40 @@ class PartyServer {
     Bytes cached_body;
   };
 
+  // One connection's active push subscription (at most one; a replacing
+  // kSubscribe restarts the chain). Lives on the handler thread's stack —
+  // no cross-connection sharing, so the per-subscription delta baselines
+  // need no locks beyond the party's own.
+  struct Subscription {
+    bool active = false;
+    std::uint64_t request_id = 0;
+    std::uint64_t n = 0;
+    double slack = 1.0;  // absolute threshold, role units (see protocol.hpp)
+    std::chrono::milliseconds check{25};
+    std::uint64_t seq = 0;     // last pushed seq (0 = none yet)
+    std::uint64_t cursor = 0;  // push-chain cursor (0 = no baseline)
+    // Drift trackers: what the subscriber last saw.
+    std::uint64_t pushed_items = 0;   // count/distinct
+    double pushed_value = 0.0;        // basic/sum
+    std::uint64_t last_change = 0;    // change_cursor at last check
+    // Per-subscription delta baselines (count: live-encoder shape summary;
+    // distinct: full checkpoint to diff against).
+    recovery::CountDeltaBaseline count_base;
+    distributed::DistinctPartyCheckpoint distinct_base;
+  };
+
   [[nodiscard]] HelloAck hello_ack() const;
   /// Builds the role-appropriate reply (or Err) for a decoded request.
   void answer(Socket& sock, const SnapshotRequest& req, Deadline dl);
+  /// Opens `sub` for a decoded kSubscribe and sends the initial full-state
+  /// push (the ack). False if the connection must drop.
+  [[nodiscard]] bool subscribe(Socket& sock, const SubscribeRequest& req,
+                               Subscription& sub);
+  /// Drift check + conditional push; called on every idle tick of a
+  /// subscribed connection. False if the connection must drop.
+  [[nodiscard]] bool push_if_drifted(Socket& sock, Subscription& sub);
+  /// Unconditional push of the current state (initial ack, drift firing).
+  [[nodiscard]] bool push_update(Socket& sock, Subscription& sub);
   template <class Party, class Checkpoint>
   void delta_answer(Party* party, DeltaState<Checkpoint>& st,
                     const SnapshotRequest& req, DeltaReply& r) const;

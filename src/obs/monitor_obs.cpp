@@ -1,0 +1,32 @@
+#include "obs/monitor_obs.hpp"
+
+namespace waves::obs {
+
+const MonitorPartyObs& MonitorPartyObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const MonitorPartyObs o{
+      reg.counter("waves_monitor_subscribes_total"),
+      reg.counter("waves_monitor_unsubscribes_total"),
+      reg.counter("waves_monitor_push_checks_total"),
+      reg.counter("waves_monitor_pushes_total"),
+      reg.counter("waves_monitor_push_bytes_total"),
+      reg.counter("waves_monitor_push_full_total"),
+      reg.counter("waves_monitor_push_delta_total")};
+  return o;
+}
+
+const MonitorHubObs& MonitorHubObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const MonitorHubObs o{
+      reg.counter("waves_monitor_hub_updates_total"),
+      reg.counter("waves_monitor_hub_recomputes_total"),
+      reg.counter("waves_monitor_hub_resyncs_total"),
+      reg.counter("waves_monitor_hub_leg_reconnects_total"),
+      reg.counter("waves_monitor_hub_protocol_errors_total"),
+      reg.counter("waves_monitor_hub_watchers_total"),
+      reg.counter("waves_monitor_hub_watcher_rejected_total"),
+      reg.counter("waves_monitor_hub_watcher_updates_total")};
+  return o;
+}
+
+}  // namespace waves::obs

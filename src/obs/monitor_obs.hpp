@@ -1,0 +1,55 @@
+// Instrument bundles for the continuous-monitoring subsystem
+// (src/monitor/ plus the push legs in src/net/server.cpp). Same shape as
+// net_obs.hpp: the families live here so the exporters and
+// docs/observability.md have one home for names.
+//
+// Party-side families (each waved / PartyServer push leg):
+//   waves_monitor_subscribes_total     kSubscribe frames accepted
+//   waves_monitor_unsubscribes_total   kUnsubscribe frames handled
+//   waves_monitor_push_checks_total    drift checks that ran (the ticks)
+//   waves_monitor_pushes_total         kPushUpdate frames written
+//   waves_monitor_push_bytes_total     bytes in those frames (incl. header)
+//   waves_monitor_push_full_total      pushes carrying a full body
+//   waves_monitor_push_delta_total     pushes carrying a diff body
+//
+// Hub-side families (MonitorHub):
+//   waves_monitor_hub_updates_total          pushes applied to a mirror
+//   waves_monitor_hub_recomputes_total       merged-estimate recomputations
+//   waves_monitor_hub_resyncs_total          generation bumps -> full rebase
+//   waves_monitor_hub_leg_reconnects_total   party legs re-established
+//   waves_monitor_hub_protocol_errors_total  hostile/undecodable pushes
+//   waves_monitor_hub_watchers_total         watcher connections accepted
+//   waves_monitor_hub_watcher_rejected_total watchers over the cap
+//   waves_monitor_hub_watcher_updates_total  EstimateUpdate frames fanned out
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace waves::obs {
+
+struct MonitorPartyObs {
+  const Counter& subscribes;
+  const Counter& unsubscribes;
+  const Counter& push_checks;
+  const Counter& pushes;
+  const Counter& push_bytes;
+  const Counter& push_full;
+  const Counter& push_delta;
+
+  static const MonitorPartyObs& instance();
+};
+
+struct MonitorHubObs {
+  const Counter& updates;
+  const Counter& recomputes;
+  const Counter& resyncs;
+  const Counter& leg_reconnects;
+  const Counter& protocol_errors;
+  const Counter& watchers;
+  const Counter& watcher_rejected;
+  const Counter& watcher_updates;
+
+  static const MonitorHubObs& instance();
+};
+
+}  // namespace waves::obs

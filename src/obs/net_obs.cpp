@@ -32,7 +32,8 @@ const NetServerObs& NetServerObs::instance() {
       reg.counter("waves_net_server_bytes_received_total"),
       reg.counter("waves_net_server_delta_replies_total"),
       reg.counter("waves_net_server_delta_full_total"),
-      reg.counter("waves_net_server_delta_unchanged_total")};
+      reg.counter("waves_net_server_delta_unchanged_total"),
+      reg.counter("waves_net_server_overload_rejected_total")};
   return o;
 }
 

@@ -32,6 +32,9 @@
 //   waves_net_server_delta_replies_total     diff bodies served
 //   waves_net_server_delta_full_total        full bodies under delta framing
 //   waves_net_server_delta_unchanged_total   empty-body "unchanged" replies
+//   waves_net_server_overload_rejected_total connections refused at the
+//                                            max_connections cap (ErrCode
+//                                            kOverloaded, then close)
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -66,6 +69,7 @@ struct NetServerObs {
   const Counter& delta_replies;
   const Counter& delta_full;
   const Counter& delta_unchanged;
+  const Counter& overload_rejected;
 
   static const NetServerObs& instance();
 };

@@ -289,6 +289,114 @@ diff -u "$TMP/local_count.out" "$TMP/healed.out" >&2 ||
 echo "FAULTS count: partition fails closed (rc=4), parity after healing"
 stop_daemons
 
+# --- Continuous monitoring: hub + watcher parity, kill -9 epoch resync. ---
+# Four count daemons (party 0 state-backed so its epoch persists), one
+# `wavecli hub` pushing legs at them, and `wavecli watch` one-update runs
+# diffed byte-for-byte against `wavecli query` polls of the same daemons.
+# Then party 0 is kill -9'd mid-subscription and restarted on the same
+# port: the bumped generation must surface as a HUB RESYNC line and the
+# watcher must return to byte parity without touching the hub or watcher.
+MON_STATE="$TMP/mon_state"
+mkdir -p "$MON_STATE"
+MON_PIDS=()
+MON_PORTS=()
+ENDPOINTS=""
+for ((j = 0; j < PARTIES; ++j)); do
+  log="$TMP/waved_mon_${j}.log"
+  extra=()
+  [[ $j -eq 0 ]] && extra=(--state-dir "$MON_STATE/p0")
+  "$WAVED" --role count --party-id "$j" --port 0 "${COMMON[@]}" \
+    "${extra[@]}" >"$log" 2>&1 &
+  MON_PIDS+=("$!")
+done
+for ((j = 0; j < PARTIES; ++j)); do
+  log="$TMP/waved_mon_${j}.log"
+  port=""
+  for _ in $(seq 1 200); do
+    port=$(sed -n 's/.*WAVED READY .*port=\([0-9][0-9]*\).*/\1/p' "$log")
+    [[ -n "$port" ]] && break
+    sleep 0.05
+  done
+  if [[ -z "$port" ]]; then
+    cat "$log" >&2
+    fail "monitor party $j never printed READY"
+  fi
+  MON_PORTS+=("$port")
+  ENDPOINTS="${ENDPOINTS:+$ENDPOINTS,}127.0.0.1:$port"
+done
+PIDS=("${MON_PIDS[@]}")
+
+"$WAVECLI" hub --mode count --connect "$ENDPOINTS" "${COMMON[@]}" \
+  >"$TMP/hub.log" 2>&1 &
+HUB_PID=$!
+PIDS+=("$HUB_PID")
+HUB_PORT=""
+for _ in $(seq 1 200); do
+  HUB_PORT=$(sed -n 's/.*HUB READY port=\([0-9][0-9]*\).*/\1/p' \
+    "$TMP/hub.log")
+  [[ -n "$HUB_PORT" ]] && break
+  sleep 0.05
+done
+[[ -n "$HUB_PORT" ]] || { cat "$TMP/hub.log" >&2; fail "hub never READY"; }
+
+# watch_matches_poll <tag>: one-update watch vs a polling query of the same
+# daemons, byte-for-byte. Retried because push legs converge asynchronously
+# (and report failed/degraded while a leg is still down).
+watch_matches_poll() {
+  local tag=$1
+  "$WAVECLI" query --mode count --connect "$ENDPOINTS" "${COMMON[@]}" \
+    >"$TMP/mon_poll_$tag.out" || fail "monitor polling query exited $?"
+  local _i
+  for _i in $(seq 1 100); do
+    "$WAVECLI" watch --connect "127.0.0.1:$HUB_PORT" --mode count \
+      "${COMMON[@]}" --updates 1 >"$TMP/mon_watch_$tag.out" 2>/dev/null
+    diff -q "$TMP/mon_poll_$tag.out" "$TMP/mon_watch_$tag.out" \
+      >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  diff -u "$TMP/mon_poll_$tag.out" "$TMP/mon_watch_$tag.out" >&2
+  fail "watcher never reached byte parity with the polling query ($tag)"
+}
+
+watch_matches_poll before
+echo "MONITOR count: watcher == poll ($(cat "$TMP/mon_watch_before.out"))"
+
+kill -9 "${MON_PIDS[0]}" 2>/dev/null || true
+wait "${MON_PIDS[0]}" 2>/dev/null || true
+log="$TMP/waved_mon_0_gen2.log"
+"$WAVED" --role count --party-id 0 --port "${MON_PORTS[0]}" "${COMMON[@]}" \
+  --state-dir "$MON_STATE/p0" >"$log" 2>&1 &
+MON_PIDS[0]=$!
+PIDS+=("${MON_PIDS[0]}")
+for _ in $(seq 1 200); do
+  grep -q 'WAVED READY' "$log" && break
+  sleep 0.05
+done
+grep -q 'WAVED READY' "$log" ||
+  { cat "$log" >&2; fail "restarted monitor party never printed READY"; }
+
+for _ in $(seq 1 200); do
+  grep -q 'HUB RESYNC party=0' "$TMP/hub.log" && break
+  sleep 0.05
+done
+grep -q 'HUB RESYNC party=0' "$TMP/hub.log" ||
+  { cat "$TMP/hub.log" >&2; fail "hub never logged the epoch resync"; }
+
+watch_matches_poll after
+diff -u "$TMP/mon_poll_before.out" "$TMP/mon_poll_after.out" >&2 ||
+  fail "deterministic replay should restore the pre-crash answer"
+echo "MONITOR resync: epoch bump -> HUB RESYNC, watcher parity restored"
+
+kill "$HUB_PID" 2>/dev/null || true
+wait "$HUB_PID" 2>/dev/null || true
+grep -q 'HUB DRAINED' "$TMP/hub.log" ||
+  { cat "$TMP/hub.log" >&2; fail "hub did not drain cleanly"; }
+for pid in "${MON_PIDS[@]}"; do
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
 # --- Observability: remote scrape, aggregate top, trace stitch, flight ---
 # --- recorder. A WAVES_OBS=OFF build still answers the scrape (with the ---
 # --- "compiled out" stub), so only the content assertions are ON-only. ---

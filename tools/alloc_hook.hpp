@@ -16,6 +16,15 @@
 
 #if WAVES_OBS_ENABLED
 
+// GCC's -Wmismatched-new-delete pairs the replacement operator new with
+// the default deallocator at inlined call sites and flags the free()
+// below as mismatched. It is not: new here is malloc-backed, so free is
+// the matching release.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t size) {
   waves::obs::note_alloc();
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -32,5 +41,9 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 #endif  // WAVES_OBS_ENABLED

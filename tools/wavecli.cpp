@@ -18,7 +18,31 @@
 //                    [--deadline-ms MS] [--attempts A]
 //                    [--rounds K] [--delta on|off]
 //                    [--trace] [--flight-recorder]
+//   wavecli hub      --connect host:port,... --mode count|distinct|basic|sum
+//                    [--eps E] [--window N] [--n W] [--parties T]
+//                    [--instances K] [--seed S] [--value-space V]
+//                    [--max-value R] [--split uniform|boosted]
+//                    [--check-ms MS] [--port P] [--hub-host H]
+//                    [--max-watchers K] [--serve-seconds SEC]
+//   wavecli watch    --connect host:port [--mode M] [--window N] [--n W]
+//                    [--updates K] [--deadline-ms MS]
 //   wavecli --version   build + selected SIMD ingest kernel set
+//
+// The hub mode runs a continuous-monitoring referee (monitor::MonitorHub):
+// it subscribes a push leg to every listed waved daemon with an eps-slack
+// share (--split picks the uniform eps/t or boosted eps/sqrt(t) division),
+// maintains the merged estimate incrementally from the pushes, and serves
+// it to `wavecli watch` subscribers on --port. It prints
+//
+//   HUB READY port=<P> parties=<T> role=<R> eps=<E> split=<S>
+//
+// then operator events ("HUB RESYNC party=<i> generation=<g>" when a party
+// restart forces a full-snapshot rebase) until SIGINT/SIGTERM. The watch
+// mode subscribes to a hub and prints one query-format line per estimate
+// update — the same "ok\t%.17g" bytes a `wavecli query` of the same
+// deployment prints, which is how the loopback test checks push/poll
+// parity; --updates K exits 0 after K lines (the first is the current
+// estimate, pushed as the subscription's ack).
 //
 // Stream modes print "<items>\t<estimate>" every --every items (default
 // 10000) and a final line on EOF. The metrics mode runs a small built-in
@@ -67,6 +91,9 @@
 // Installs the counting operator new/delete (no-op when WAVES_OBS=OFF), so
 // query-mode flight records carry real allocation counts.
 #include "alloc_hook.hpp"
+#include <csignal>
+#include <thread>
+
 #include "agg/agg_wave.hpp"
 #include "core/det_wave.hpp"
 #include "core/distinct_wave.hpp"
@@ -78,6 +105,8 @@
 #include "feed_config.hpp"
 #include "gf2/gf2.hpp"
 #include "gf2/shared_randomness.hpp"
+#include "monitor/hub.hpp"
+#include "monitor/slack.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/export.hpp"
@@ -124,6 +153,14 @@ struct Options {
   bool trace = false;
   bool flight = false;
   std::string aggop = "sum";  // query --mode agg only
+  // hub / watch modes:
+  std::string split = "uniform";
+  std::uint64_t check_ms = 25;
+  std::uint64_t max_watchers = 64;
+  std::uint16_t port = 0;
+  std::string hub_host = "127.0.0.1";
+  double serve_seconds = 0.0;  // 0: until signaled
+  std::uint64_t updates = 0;   // watch: exit after K updates (0 = forever)
 };
 
 int usage() {
@@ -143,7 +180,17 @@ int usage() {
                "[--max-value R] [--deadline-ms MS] [--attempts A]\n"
                "               [--rounds K] [--delta on|off] [--trace] "
                "[--flight-recorder]\n       wavecli top --connect "
-               "host:port,... [--deadline-ms MS]\n");
+               "host:port,... [--deadline-ms MS]\n"
+               "       wavecli hub --connect host:port,... "
+               "--mode count|distinct|basic|sum\n"
+               "               [--eps E] [--window N] [--n W] [--parties T]\n"
+               "               [--instances K] [--seed S] [--value-space V]\n"
+               "               [--max-value R] [--split uniform|boosted]\n"
+               "               [--check-ms MS] [--port P] [--hub-host H]\n"
+               "               [--max-watchers K] [--serve-seconds SEC]\n"
+               "       wavecli watch --connect host:port [--mode M] "
+               "[--window N]\n"
+               "               [--n W] [--updates K] [--deadline-ms MS]\n");
   return 2;
 }
 
@@ -229,6 +276,20 @@ std::optional<Options> parse(int argc, char** argv) {
       const std::string v = val;
       if (v != "on" && v != "off") return std::nullopt;
       o.delta = v == "on";
+    } else if (flag == "--split") {
+      o.split = val;
+    } else if (flag == "--check-ms") {
+      o.check_ms = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--max-watchers") {
+      o.max_watchers = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--port") {
+      o.port = static_cast<std::uint16_t>(std::strtoul(val, nullptr, 10));
+    } else if (flag == "--hub-host") {
+      o.hub_host = val;
+    } else if (flag == "--serve-seconds") {
+      o.serve_seconds = std::atof(val);
+    } else if (flag == "--updates") {
+      o.updates = std::strtoull(val, nullptr, 10);
     } else {
       return std::nullopt;
     }
@@ -262,6 +323,30 @@ std::optional<Options> parse(int argc, char** argv) {
   }
   if (o.mode == "top") {
     if (o.connect.empty() || o.deadline_ms < 1) return std::nullopt;
+  }
+  if (o.mode == "hub") {
+    if (!o.window_set) o.window = 4096;
+    if (o.connect.empty()) return std::nullopt;
+    if (o.qmode != "count" && o.qmode != "distinct" && o.qmode != "basic" &&
+        o.qmode != "sum") {
+      return std::nullopt;
+    }
+    waves::monitor::SlackSplit split{};
+    if (!waves::monitor::slack_split_from_name(o.split, split)) {
+      return std::nullopt;
+    }
+    if (o.parties < 1 || o.instances < 1 || o.deadline_ms < 1 ||
+        o.check_ms < 1 || o.max_watchers < 1) {
+      return std::nullopt;
+    }
+  }
+  if (o.mode == "watch") {
+    if (!o.window_set) o.window = 4096;
+    if (o.connect.empty() || o.deadline_ms < 1) return std::nullopt;
+    if (o.qmode != "count" && o.qmode != "distinct" && o.qmode != "basic" &&
+        o.qmode != "sum") {
+      return std::nullopt;
+    }
   }
   if (o.window < 1 || o.every < 1) return std::nullopt;
   return o;
@@ -677,6 +762,165 @@ int run_query(const Options& o) {
   return rc;
 }
 
+volatile std::sig_atomic_t g_hub_stop = 0;
+void on_hub_signal(int) { g_hub_stop = 1; }
+
+/// Continuous-monitoring referee: push legs to every listed party, merged
+/// estimate maintained incrementally, watcher fan-out on --port.
+int run_hub(const Options& o) {
+  using namespace waves;
+  std::vector<net::Endpoint> endpoints;
+  if (!parse_endpoints(o.connect, endpoints)) return 2;
+  net::PartyRole role{};
+  if (!net::role_from_name(o.qmode, role)) return usage();
+  monitor::SlackSplit split{};
+  if (!monitor::slack_split_from_name(o.split, split)) return usage();
+  const tools::FeedSpec feed = feed_spec(o);
+
+  monitor::HubConfig cfg;
+  cfg.parties = endpoints;
+  cfg.role = role;
+  cfg.n = o.n != 0 ? o.n : o.window;
+  cfg.eps = o.eps_raw;
+  cfg.split = split;
+  cfg.max_value = feed.max_value;
+  cfg.check_every = std::chrono::milliseconds(o.check_ms);
+  cfg.io_deadline = std::chrono::milliseconds(o.deadline_ms);
+  cfg.host = o.hub_host;
+  cfg.port = o.port;
+  cfg.max_watchers = static_cast<std::size_t>(o.max_watchers);
+  cfg.count_params = tools::count_params(o.eps_raw, o.window);
+  cfg.distinct_params =
+      tools::distinct_params(o.eps_raw, o.window, o.value_space, o.parties);
+  cfg.instances = o.instances;
+  cfg.shared_seed = o.seed;
+  cfg.on_event = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+
+  monitor::MonitorHub hub(std::move(cfg));
+  if (!hub.start()) {
+    std::fprintf(stderr, "wavecli: hub cannot listen on %s:%u\n",
+                 o.hub_host.c_str(), o.port);
+    return 1;
+  }
+  std::signal(SIGINT, on_hub_signal);
+  std::signal(SIGTERM, on_hub_signal);
+  std::printf("HUB READY port=%u parties=%zu role=%s eps=%.17g split=%s\n",
+              hub.watch_port(), endpoints.size(), o.qmode.c_str(), o.eps_raw,
+              o.split.c_str());
+  std::fflush(stdout);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_hub_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (o.serve_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= o.serve_seconds) {
+      break;
+    }
+  }
+  hub.stop();
+  std::printf("HUB DRAINED\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+/// Subscribe to a hub and print one query-format line per estimate update.
+int run_watch(const Options& o) {
+  using namespace waves;
+  std::vector<net::Endpoint> endpoints;
+  if (!parse_endpoints(o.connect, endpoints) || endpoints.size() != 1) {
+    std::fprintf(stderr, "wavecli: watch takes exactly one hub endpoint\n");
+    return 2;
+  }
+  net::PartyRole role{};
+  if (!net::role_from_name(o.qmode, role)) return usage();
+  const std::uint64_t n = o.n != 0 ? o.n : o.window;
+  const auto dl = [&] {
+    return net::deadline_in(std::chrono::milliseconds(o.deadline_ms));
+  };
+  const net::Endpoint& ep = endpoints[0];
+  net::Socket sock = net::tcp_connect(ep.host, ep.port, dl());
+  if (!sock.valid()) {
+    std::fprintf(stderr, "wavecli: cannot connect to hub %s:%u\n",
+                 ep.host.c_str(), ep.port);
+    return 4;
+  }
+  net::Hello hello;
+  net::Frame frame;
+  net::HelloAck ack;
+  if (!net::write_frame(sock, net::MsgType::kHello, hello.encode(), dl()) ||
+      net::read_frame(sock, frame, dl()) != net::ReadStatus::kOk ||
+      frame.type != net::MsgType::kHelloAck ||
+      !net::HelloAck::decode(frame.payload, ack)) {
+    std::fprintf(stderr, "wavecli: hub handshake failed\n");
+    return 4;
+  }
+  if (ack.role != role) {
+    std::fprintf(stderr, "wavecli: hub monitors role %s, wanted %s\n",
+                 net::role_name(ack.role), o.qmode.c_str());
+    return 4;
+  }
+  net::SubscribeRequest req;
+  req.request_id = 1;
+  req.role = role;
+  req.n = n;
+  if (!net::write_frame(sock, net::MsgType::kSubscribe, req.encode(), dl())) {
+    std::fprintf(stderr, "wavecli: subscribe failed\n");
+    return 4;
+  }
+  std::uint64_t got = 0;
+  std::uint64_t last_seq = 0;
+  for (;;) {
+    // A watch is a stream: block in short ticks with no overall deadline
+    // (SIGINT kills the process; --updates bounds it deterministically).
+    if (!sock.wait_readable(
+            net::deadline_in(std::chrono::milliseconds(100)))) {
+      continue;
+    }
+    if (net::read_frame(sock, frame, dl()) != net::ReadStatus::kOk) {
+      std::fprintf(stderr, "wavecli: hub connection lost\n");
+      return 4;
+    }
+    if (frame.type == net::MsgType::kErr) {
+      net::ErrReply err;
+      std::fprintf(stderr, "wavecli: hub error: %s\n",
+                   net::ErrReply::decode(frame.payload, err)
+                       ? err.message.c_str()
+                       : "(undecodable)");
+      return 4;
+    }
+    net::EstimateUpdate up;
+    if (frame.type != net::MsgType::kPushUpdate ||
+        !net::EstimateUpdate::decode(frame.payload, up) ||
+        up.seq != last_seq + 1) {
+      std::fprintf(stderr, "wavecli: bad estimate update from hub\n");
+      return 4;
+    }
+    last_seq = up.seq;
+    // Same bytes print_result would emit for the same estimate — the watch
+    // side of the push/poll parity check.
+    if (up.status == 1) {
+      std::printf("ok\t%.17g\n", up.value);
+    } else if (up.status == 2) {
+      std::printf("degraded\t%.17g\tmissing=%zu\tslack=%.17g\n", up.value,
+                  static_cast<std::size_t>(up.missing), up.error_slack);
+    } else {
+      std::printf("failed\n");
+    }
+    std::fflush(stdout);
+    ++got;
+    if (o.updates > 0 && got >= o.updates) {
+      net::Unsubscribe unsub;
+      unsub.request_id = req.request_id;
+      (void)net::write_frame(sock, net::MsgType::kUnsubscribe, unsub.encode(),
+                             dl());
+      return 0;
+    }
+  }
+}
+
 /// Reads uint64 lines; calls consume(v) per item and flush(items) at every
 /// --every boundary and once at EOF.
 template <class Consume, class Flush>
@@ -720,6 +964,8 @@ int main(int argc, char** argv) {
   }
   if (o.mode == "top") return run_top(o);
   if (o.mode == "query") return run_query(o);
+  if (o.mode == "hub") return run_hub(o);
+  if (o.mode == "watch") return run_watch(o);
   if (o.mode == "count") {
     waves::core::DetWave w(o.inv_eps, o.window);
     return pump(

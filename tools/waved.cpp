@@ -16,6 +16,13 @@
 //                               SIGINT/SIGTERM)
 //         [--delta on|off]      answer v3 delta snapshot requests
 //                               (default on; off forces full v2 replies)
+//         [--push on|off]       accept kSubscribe push legs (default on;
+//                               off rejects subscriptions with kBadRequest)
+//         [--push-check-ms MS]  default drift-check cadence for
+//                               subscriptions that don't carry their own
+//         [--max-conns K]       live-connection cap; over it, a fresh
+//                               accept gets one ErrReply{kOverloaded} and
+//                               the close (default 64)
 //
 // The daemon builds its synopsis with the deployment's shared seed (--seed;
 // the referee derives the same hash functions from it), ingests its
@@ -82,6 +89,9 @@ struct Options {
   std::uint64_t ingest_chunk = 0;      // 0: one batch
   std::uint64_t ingest_delay_ms = 0;
   bool delta = true;
+  bool push = true;
+  std::uint64_t push_check_ms = 25;
+  std::uint64_t max_conns = 64;
   waves::tools::FeedSpec feed;
 };
 
@@ -98,7 +108,8 @@ int usage() {
       "             [--max-value R] [--state-dir DIR]\n"
       "             [--checkpoint-every-items N] [--ingest-chunk N]\n"
       "             [--ingest-delay-ms MS] [--serve-seconds SEC]\n"
-      "             [--delta on|off]\n");
+      "             [--delta on|off] [--push on|off] [--push-check-ms MS]\n"
+      "             [--max-conns K]\n");
   return 2;
 }
 
@@ -158,6 +169,14 @@ std::optional<Options> parse(int argc, char** argv) {
       const std::string v = val;
       if (v != "on" && v != "off") return std::nullopt;
       o.delta = v == "on";
+    } else if (flag == "--push") {
+      const std::string v = val;
+      if (v != "on" && v != "off") return std::nullopt;
+      o.push = v == "on";
+    } else if (flag == "--push-check-ms") {
+      o.push_check_ms = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--max-conns") {
+      o.max_conns = std::strtoull(val, nullptr, 10);
     } else {
       return std::nullopt;
     }
@@ -375,6 +394,13 @@ int main(int argc, char** argv) {
   cfg.port = o.port;
   cfg.party_id = static_cast<std::uint64_t>(o.party_id);
   cfg.enable_delta = o.delta;
+  cfg.enable_push = o.push;
+  if (o.push_check_ms > 0) {
+    cfg.push_check = std::chrono::milliseconds(o.push_check_ms);
+  }
+  if (o.max_conns > 0) {
+    cfg.max_connections = static_cast<std::size_t>(o.max_conns);
+  }
 
   if (o.role == "count") {
     distributed::CountParty party(tools::count_params(o.eps, o.window),
