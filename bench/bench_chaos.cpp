@@ -1,0 +1,267 @@
+// E21 — chaos economics: what the circuit breaker buys a referee polling
+// past a dead party, and what the supervisor buys a crashed one.
+//
+// Two claims under test:
+//
+//   1. Breaker latency. With one of t=4 basic-role parties dead, every
+//      poll round still degrades gracefully (quorum math: error_slack =
+//      missing * n * max_value) — but a breaker-off client pays the dead
+//      party's full retry ladder (attempts + backoff sleeps) every round,
+//      while a breaker-on client trips after `breaker_threshold`
+//      consecutive failures and fails fast from then on. CI asserts the
+//      breaker-on p99 round latency is >= 5x lower.
+//
+//   2. Supervisor MTTR. A kill -9'd waved under the Supervisor is
+//      restarted from its --state-dir and answering health probes again
+//      in under 2 seconds; the same kill with restarts disabled never
+//      recovers inside the observation cap. MTTR is measured from the
+//      kill(2) to the first successful kHealthRequest probe.
+//
+// JSON lines:
+//   e21_chaos {parties, rounds, parity, success_on, success_off,
+//              p99_on_ms, p99_off_ms, speedup,
+//              mttr_sup_ms, mttr_unsup_ms, sup_recovered, unsup_recovered}
+//
+// `--smoke` shrinks the round count for CI; `--waved PATH` points at the
+// daemon binary (default: ../tools/waved next to this binary).
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "feed_config.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "supervise/supervisor.hpp"
+
+namespace waves {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kParties = 4;
+constexpr std::uint64_t kWindow = 4096;
+constexpr std::uint64_t kInvEps = 10;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct LatencyResult {
+  double p99_ms = 0.0;
+  double success = 0.0;
+};
+
+/// `rounds` degraded polls (one party dead) with the given breaker
+/// setting; p99 round latency + fraction of rounds that still produced an
+/// answer (kOk or kDegraded).
+LatencyResult dead_party_rounds(const std::vector<net::Endpoint>& endpoints,
+                                bool breaker, int rounds) {
+  net::ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(250);
+  cfg.max_attempts = 3;
+  cfg.total_deadline = std::chrono::milliseconds(1500);
+  cfg.breaker_enabled = breaker;
+  cfg.breaker_threshold = 3;
+  cfg.breaker_cooldown = std::chrono::milliseconds(60000);  // stay open
+  const net::RefereeClient client(endpoints, cfg);
+  // Unmeasured warmup: lets the breaker (when on) pay its trip-phase
+  // ladder outside the timed window, so p99 reflects each policy's steady
+  // state — the regime a long-lived referee actually lives in.
+  for (int r = 0; r < cfg.breaker_threshold + 1; ++r) {
+    (void)net::total_query(client, net::PartyRole::kBasic, kWindow);
+  }
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(rounds));
+  int answered = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = Clock::now();
+    const distributed::QueryResult res =
+        net::total_query(client, net::PartyRole::kBasic, kWindow);
+    lat.push_back(ms_since(t0));
+    if (res.status != distributed::QueryStatus::kFailed) ++answered;
+  }
+  std::sort(lat.begin(), lat.end());
+  LatencyResult out;
+  out.p99_ms = lat[static_cast<std::size_t>(
+      0.99 * static_cast<double>(lat.size() - 1))];
+  out.success =
+      static_cast<double>(answered) / static_cast<double>(rounds);
+  return out;
+}
+
+/// Kill -9 the fleet's party 0 and measure the time until a health probe
+/// answers again. `restarts` off emulates an unsupervised deployment (the
+/// crash-loop threshold is set to give up on the first death).
+double measure_mttr(const std::string& waved, std::uint16_t port,
+                    const std::string& state_dir, bool restarts,
+                    double cap_ms, bool& recovered) {
+  supervise::FleetSpec spec;
+  spec.waved_path = waved;
+  supervise::PartySpec p;
+  p.party_id = 0;
+  p.role = "count";
+  p.port = port;
+  p.state_dir = state_dir;
+  const auto arg = [&p](const char* k, const char* v) {
+    p.extra_args.emplace_back(k);
+    p.extra_args.emplace_back(v);
+  };
+  arg("--parties", "1");
+  arg("--items", "4000");
+  arg("--window", "1024");
+  spec.parties.push_back(std::move(p));
+
+  supervise::SupervisorConfig cfg;
+  cfg.probe_every = std::chrono::milliseconds(50);
+  cfg.probe_deadline = std::chrono::milliseconds(250);
+  cfg.restart_backoff_base = std::chrono::milliseconds(50);
+  cfg.crashloop_restarts = restarts ? 100 : 1;
+  supervise::Supervisor sup(std::move(spec), std::move(cfg));
+  recovered = false;
+  if (!sup.start() || !sup.wait_all_healthy(std::chrono::seconds(30))) {
+    std::fprintf(stderr, "e21: fleet never became healthy\n");
+    std::exit(1);
+  }
+  const long pid = sup.pid_of(0);
+  const net::Endpoint ep{"127.0.0.1", port};
+  const auto t0 = Clock::now();
+  ::kill(static_cast<pid_t>(pid), SIGKILL);
+  double mttr = cap_ms;
+  while (ms_since(t0) < cap_ms) {
+    net::HealthReply hr;
+    std::string err;
+    if (net::probe_health(ep, std::chrono::milliseconds(100), hr, err) &&
+        hr.generation > 1) {
+      mttr = ms_since(t0);
+      recovered = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  sup.stop();
+  return mttr;
+}
+
+void e21(bool smoke, const std::string& waved) {
+  const int rounds = smoke ? 40 : 200;
+
+  // In-process basic-role deployment; party 0 will be the dead one.
+  tools::FeedSpec feed;
+  feed.parties = kParties;
+  feed.items = 20000;
+  const auto streams = tools::bit_streams(feed);
+  std::vector<std::unique_ptr<net::BasicPartyState>> parties;
+  std::vector<std::unique_ptr<net::PartyServer>> servers;
+  std::vector<net::Endpoint> endpoints;
+  double exact = 0.0;
+  for (int j = 0; j < kParties; ++j) {
+    parties.push_back(
+        std::make_unique<net::BasicPartyState>(kInvEps, kWindow));
+    parties.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+    exact += parties.back()->query(kWindow).value;
+    servers.push_back(std::make_unique<net::PartyServer>(
+        net::ServerConfig{}, parties.back().get()));
+    if (!servers.back()->start()) {
+      std::fprintf(stderr, "e21: failed to start party server %d\n", j);
+      std::exit(1);
+    }
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+  }
+
+  // Parity while everyone is alive: the full-quorum network total must be
+  // bit-identical to summing the party states in-process.
+  bool parity = false;
+  {
+    const net::RefereeClient client(endpoints, {});
+    const distributed::QueryResult r =
+        net::total_query(client, net::PartyRole::kBasic, kWindow);
+    parity = r.status == distributed::QueryStatus::kOk &&
+             r.estimate.value == exact;
+  }
+
+  // Kill party 0 (connection refused from here on) and race the breakers.
+  servers[0]->stop();
+  const LatencyResult off = dead_party_rounds(endpoints, false, rounds);
+  const LatencyResult on = dead_party_rounds(endpoints, true, rounds);
+  const double speedup = on.p99_ms > 0.0 ? off.p99_ms / on.p99_ms : 0.0;
+
+  // MTTR: supervised vs unsupervised kill -9, real waved processes.
+  const std::uint16_t port = 29671;
+  const std::string root = "/tmp/waves-e21";
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  std::filesystem::create_directories(root + "/sup", ec);
+  std::filesystem::create_directories(root + "/unsup", ec);
+  const double cap_ms = 5000.0;
+  bool sup_recovered = false;
+  bool unsup_recovered = false;
+  const double mttr_sup = measure_mttr(waved, port, root + "/sup", true,
+                                       cap_ms, sup_recovered);
+  const double mttr_unsup =
+      measure_mttr(waved, static_cast<std::uint16_t>(port + 1),
+                   root + "/unsup", false, cap_ms, unsup_recovered);
+
+  bench::JsonLine("e21_chaos")
+      .field("parties", static_cast<std::uint64_t>(kParties))
+      .field("rounds", static_cast<std::uint64_t>(rounds))
+      .field("parity", static_cast<std::uint64_t>(parity ? 1 : 0))
+      .field("success_on", on.success)
+      .field("success_off", off.success)
+      .field("p99_on_ms", on.p99_ms)
+      .field("p99_off_ms", off.p99_ms)
+      .field("speedup", speedup)
+      .field("mttr_sup_ms", mttr_sup)
+      .field("mttr_unsup_ms", mttr_unsup)
+      .field("sup_recovered", static_cast<std::uint64_t>(sup_recovered))
+      .field("unsup_recovered",
+             static_cast<std::uint64_t>(unsup_recovered))
+      .emit();
+  bench::row_line({"dead-party", bench::fmt(on.p99_ms, 2),
+                   bench::fmt(off.p99_ms, 2), bench::fmt(speedup, 1),
+                   bench::fmt(on.success, 2)});
+  bench::row_line({"mttr", bench::fmt(mttr_sup, 0),
+                   bench::fmt(mttr_unsup, 0), sup_recovered ? "1" : "0",
+                   unsup_recovered ? "1" : "0"});
+  for (auto& s : servers) s->stop();
+}
+
+}  // namespace
+}  // namespace waves
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string waved;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else if (std::string_view(argv[i]) == "--waved" && i + 1 < argc) {
+      waved = argv[++i];
+    }
+  }
+  if (waved.empty()) {
+    // Default to the waved that was built next to this binary
+    // (<build>/bench/bench_chaos -> <build>/tools/waved).
+    const std::filesystem::path self(argv[0]);
+    waved = (self.parent_path().parent_path() / "tools" / "waved").string();
+  }
+  waves::bench::header(
+      "E21: chaos economics — breaker p99 with a dead party, supervisor "
+      "MTTR");
+  waves::bench::row_line(
+      {"metric", "on/sup", "off/unsup", "ratio/rec", "success"});
+  waves::e21(smoke, waved);
+  return 0;
+}

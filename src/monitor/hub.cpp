@@ -1,5 +1,7 @@
 #include "monitor/hub.hpp"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -392,6 +394,11 @@ void MonitorHub::leg_loop(std::size_t i, const std::stop_token& st) {
   const net::Endpoint& ep = cfg_.parties[i];
   auto backoff = cfg_.reconnect_base;
   bool ever_connected = false;
+  // Per-leg circuit breaker (see HubConfig): consecutive failed cycles
+  // trip it; while open the leg probes once per cooldown instead of
+  // reconnect-backoff hammering a dead endpoint.
+  int breaker_failures = 0;
+  bool breaker_open = false;
   net::Frame frame;
   // Stop-aware sleep: backoff never delays shutdown by more than a slice.
   const auto nap = [&](std::chrono::milliseconds ms) {
@@ -404,6 +411,7 @@ void MonitorHub::leg_loop(std::size_t i, const std::stop_token& st) {
     net::Socket sock =
         net::tcp_connect(ep.host, ep.port, net::deadline_in(cfg_.io_deadline));
     bool pushed_any = false;
+    bool cycle_ok = false;  // handshake + subscribe landed this cycle
     if (sock.valid()) {
       if (ever_connected) mobs.leg_reconnects.add();
       ever_connected = true;
@@ -451,6 +459,7 @@ void MonitorHub::leg_loop(std::size_t i, const std::stop_token& st) {
                               net::deadline_in(cfg_.io_deadline))) {
           break;
         }
+        cycle_ok = true;
         std::uint64_t last_seq = 0;
         while (!st.stop_requested()) {
           if (!sock.wait_readable(
@@ -500,7 +509,33 @@ void MonitorHub::leg_loop(std::size_t i, const std::stop_token& st) {
       sock.close();
     }
     set_leg_down(i);
+    if (cfg_.breaker_enabled) {
+      if (cycle_ok) {
+        if (breaker_open) {
+          breaker_open = false;
+          mobs.breaker_closes.add();
+          emit("HUB BREAKER CLOSED party=" + std::to_string(i));
+        }
+        breaker_failures = 0;
+      } else if (!breaker_open &&
+                 ++breaker_failures >= cfg_.breaker_threshold) {
+        breaker_open = true;
+        mobs.breaker_trips.add();
+        emit("HUB BREAKER OPEN party=" + std::to_string(i));
+      }
+      // A failed probe cycle keeps the breaker open: fall through to
+      // another cooldown below.
+    }
     if (st.stop_requested()) break;
+    if (breaker_open) {
+      // One probe cycle per cooldown; every skipped reconnect in between
+      // is a fast fail the dead endpoint never sees.
+      mobs.breaker_fast_fails.add();
+      nap(cfg_.breaker_cooldown);
+      mobs.breaker_probes.add();
+      backoff = cfg_.reconnect_base;
+      continue;
+    }
     nap(backoff);
     if (!pushed_any) {
       backoff = std::min(backoff * 2, cfg_.reconnect_max);
@@ -521,14 +556,25 @@ void MonitorHub::watch_accept_loop(const std::stop_token& st) {
     net::Socket sock =
         listener_.accept_one(net::deadline_in(std::chrono::milliseconds(100)));
     if (!sock.valid()) continue;
+    if (cfg_.watcher_sndbuf > 0) {
+      ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDBUF, &cfg_.watcher_sndbuf,
+                   sizeof cfg_.watcher_sndbuf);
+    }
     mobs.watchers.add();
     reap_watchers();
-    std::lock_guard lk(watchers_mu_);
-    if (watchers_.size() >= cfg_.max_watchers) {
+    bool over_cap = false;
+    {
+      std::lock_guard lk(watchers_mu_);
+      over_cap = watchers_.size() >= cfg_.max_watchers;
+    }
+    if (over_cap) {
       mobs.watcher_rejected.add();
       net::ErrReply err{0, net::ErrCode::kOverloaded, "watcher limit reached"};
+      // Short deadline, outside watchers_mu_: a peer too stalled to take
+      // one small frame must not head-of-line-block the accept loop for
+      // the full io_deadline (same rule as PartyServer's accept loop).
       (void)net::write_frame(sock, net::MsgType::kErr, err.encode(),
-                             net::deadline_in(cfg_.io_deadline));
+                             net::deadline_in(std::chrono::milliseconds(100)));
       continue;  // RAII closes the socket
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
@@ -539,6 +585,7 @@ void MonitorHub::watch_accept_loop(const std::stop_token& st) {
           serve_watcher(std::move(s), cst);
           done->store(true, std::memory_order_release);
         });
+    std::lock_guard lk(watchers_mu_);
     watchers_.push_back(std::move(w));
   }
 }
@@ -570,8 +617,17 @@ void MonitorHub::serve_watcher(net::Socket sock, const std::stop_token& st) {
     up.error_slack = e.error_slack;
     payload.clear();
     up.encode_into(payload);
+    // Backpressure: the push gets the per-watcher write budget, not the
+    // full io_deadline. A peer that cannot drain one small frame in time
+    // is evicted with a typed close so this thread returns to the pool —
+    // healthy watchers fan out on their own threads and never wait on it.
     if (!net::write_frame(sock, net::MsgType::kPushUpdate, payload,
-                          net::deadline_in(cfg_.io_deadline))) {
+                          net::deadline_in(cfg_.watcher_write_budget))) {
+      mobs.watcher_evicted.add();
+      const net::ErrReply err{0, net::ErrCode::kOverloaded,
+                              "watcher too slow; evicted"};
+      (void)net::write_frame(sock, net::MsgType::kErr, err.encode(),
+                             net::deadline_in(std::chrono::milliseconds(100)));
       return false;
     }
     sent_revision = e.revision;

@@ -64,11 +64,30 @@ struct HubConfig {
   // Leg reconnect backoff (bounded exponential, reset on a live push).
   std::chrono::milliseconds reconnect_base{50};
   std::chrono::milliseconds reconnect_max{1000};
+  // Per-leg circuit breaker: `breaker_threshold` consecutive failed
+  // connect/subscribe cycles trip it, an open leg stops hammering the
+  // endpoint and retries one probe cycle per cooldown (the quorum math
+  // already owns the missing party), a successful probe closes it. Counted
+  // in the waves_monitor_hub_breaker_* families.
+  bool breaker_enabled = true;
+  int breaker_threshold = 5;
+  std::chrono::milliseconds breaker_cooldown{1000};
   std::uint64_t client_id = 0;
   // Watcher fan-out listener; port 0 binds ephemeral (watch_port()).
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   std::size_t max_watchers = 64;
+  // Per-watcher write budget: an EstimateUpdate push that cannot complete
+  // within it evicts the watcher with a typed kOverloaded close (counted
+  // in waves_monitor_hub_watcher_evicted_total). Watchers fan out on their
+  // own threads, so the budget bounds how long one stalled peer can hold
+  // its thread — the healthy watchers' fan-out never waits on it.
+  std::chrono::milliseconds watcher_write_budget{250};
+  // Kernel send-buffer cap (SO_SNDBUF) for each accepted watcher socket;
+  // 0 keeps the OS default. Bounding it makes the write budget an effective
+  // backpressure bound — with the default auto-tuned buffer the kernel
+  // absorbs megabytes of unread pushes before a write ever blocks.
+  int watcher_sndbuf = 0;
   // Count/distinct merge parameters — must match the deployment (stored
   // coins: the hub re-derives the shared hashes from the seed, exactly
   // like NetworkCountSource).

@@ -11,6 +11,7 @@
 #include "obs/flight.hpp"
 #include "obs/net_obs.hpp"
 #include "obs/recovery_obs.hpp"
+#include "obs/supervise_obs.hpp"
 #include "obs/trace.hpp"
 #include "recovery/checkpoint.hpp"
 #include "recovery/delta.hpp"
@@ -37,8 +38,10 @@ bool parse_endpoint(const std::string& s, Endpoint& out) {
 RefereeClient::RefereeClient(std::vector<Endpoint> parties, ClientConfig cfg)
     : parties_(std::move(parties)), cfg_(cfg) {
   links_.reserve(parties_.size());
+  breakers_.reserve(parties_.size());
   for (std::size_t i = 0; i < parties_.size(); ++i) {
     links_.push_back(std::make_unique<PartyLink>());
+    breakers_.push_back(std::make_unique<Breaker>());
   }
 }
 
@@ -149,7 +152,8 @@ bool apply_delta_reply(const DeltaReply& r, std::uint64_t since,
 }  // namespace
 
 Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
-                             std::uint64_t n, obs::TraceContext ctx) const {
+                             std::uint64_t n, obs::TraceContext ctx,
+                             Deadline cap) const {
   Fetch f;
   const Endpoint& ep = parties_[party];
   PartyLink& link = *links_[party];
@@ -157,7 +161,7 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
   // never contend. Held across the whole exchange so the mirror and the
   // socket stream can't interleave between two requests.
   std::lock_guard lk(link.mu);
-  const Deadline dl = deadline_in(cfg_.request_deadline);
+  const Deadline dl = std::min(deadline_in(cfg_.request_deadline), cap);
   const auto& obs = obs::NetClientObs::instance();
   // Flight-recorder phase clock: each lap closes one phase. Phases are
   // disjoint by construction — every stretch of the attempt is attributed
@@ -318,12 +322,24 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
 
   if (frame.type == MsgType::kErr) {
     // A clean Err frame leaves the stream at a frame boundary; keep the
-    // connection for whatever the caller tries next.
+    // connection for whatever the caller tries next. kShutdown is not a
+    // remote fault: the party is draining for a restart, so classify it
+    // fast-retryable — but drop the socket, since the draining process
+    // won't serve this link again.
     ErrReply err;
-    f.status = FetchStatus::kRemoteError;
-    f.error = ErrReply::decode(frame.payload, err)
-                  ? "party error: " + err.message
-                  : "party error (undecodable)";
+    if (ErrReply::decode(frame.payload, err)) {
+      if (err.code == ErrCode::kShutdown) {
+        f.status = FetchStatus::kShuttingDown;
+        f.error = "party draining: " + err.message;
+        link.sock.close();
+      } else {
+        f.status = FetchStatus::kRemoteError;
+        f.error = "party error: " + err.message;
+      }
+    } else {
+      f.status = FetchStatus::kRemoteError;
+      f.error = "party error (undecodable)";
+    }
     f.decode_s += lap();
     return f;
   }
@@ -466,6 +482,52 @@ Fetch RefereeClient::attempt(std::size_t party, PartyRole role,
   return f;
 }
 
+bool RefereeClient::breaker_admit(std::size_t party, bool& is_probe,
+                                  Fetch& fast) const {
+  Breaker& br = *breakers_[party];
+  std::lock_guard lk(br.mu);
+  if (!br.open) return true;
+  if (!br.probing &&
+      Clock::now() - br.opened_at >= cfg_.breaker_cooldown) {
+    // Half-open: admit exactly one trial fetch; everyone else keeps
+    // failing fast until it reports back.
+    br.probing = true;
+    is_probe = true;
+    return true;
+  }
+  fast.status = br.last_status;
+  fast.error = "circuit open: " + br.last_error;
+  return false;
+}
+
+void RefereeClient::breaker_note(std::size_t party, const Fetch& f) const {
+  const auto& obs = obs::NetClientObs::instance();
+  Breaker& br = *breakers_[party];
+  std::lock_guard lk(br.mu);
+  if (f.ok()) {
+    if (br.open) obs.breaker_closes.add();
+    br.open = false;
+    br.probing = false;
+    br.failures = 0;
+    return;
+  }
+  br.last_status = f.status;
+  br.last_error = f.error;
+  if (br.open) {
+    // A failed half-open probe (or a straggler that was admitted before
+    // the trip): stay open and restart the cooldown.
+    br.probing = false;
+    br.opened_at = Clock::now();
+    return;
+  }
+  if (++br.failures >= cfg_.breaker_threshold) {
+    br.open = true;
+    br.probing = false;
+    br.opened_at = Clock::now();
+    obs.breaker_trips.add();
+  }
+}
+
 Fetch RefereeClient::fetch(std::size_t party, PartyRole role, std::uint64_t n,
                            obs::TraceContext ctx) const {
   const auto& obs = obs::NetClientObs::instance();
@@ -481,6 +543,25 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role, std::uint64_t n,
   // Allocation delta across the whole fetch — nonzero only in binaries
   // that install tools/alloc_hook.hpp.
   const obs::AllocScope alloc_scope;
+
+  // Circuit-breaker admission: an open endpoint fails fast with the status
+  // kind that tripped it (the caller's quorum math sees the same failure,
+  // just immediately) instead of paying the connect/retry budget. After the
+  // cooldown exactly one probe fetch is admitted through.
+  if (cfg_.breaker_enabled) {
+    bool is_probe = false;
+    Fetch fast;
+    if (!breaker_admit(party, is_probe, fast)) {
+      obs.breaker_fast_fails.add();
+      fast.trace_id = span.trace_id();
+      fast.total_s = std::chrono::duration<double>(Clock::now() - t0).count();
+      obs.request_seconds.observe(fast.total_s);
+      span.set("ok", 0.0);
+      span.set("breaker_open", 1.0);
+      return fast;
+    }
+    if (is_probe) obs.breaker_probes.add();
+  }
 
   Fetch result;
   std::uint64_t sent = 0;
@@ -500,21 +581,45 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role, std::uint64_t n,
   // independently, so its snapshot is treated as stale rather than merged.
   std::uint64_t first_generation = 0;
   bool saw_generation = false;
+  // Total budget: when set, it is a hard wall-clock ceiling on the whole
+  // fetch — backoff sleeps are clamped to what remains, no attempt starts
+  // past it, and every attempt's I/O deadline is capped at it.
+  const bool budgeted = cfg_.total_deadline.count() > 0;
+  const Deadline budget_dl =
+      budgeted ? deadline_in(cfg_.total_deadline) : Deadline::max();
   // Doubling with saturation, not a shift: --attempts is user-settable and
   // a shift exponent past 30 is UB.
   auto backoff = std::min(cfg_.backoff_base, cfg_.backoff_max);
   for (int a = 1; a <= cfg_.max_attempts; ++a) {
     if (a > 1) {
       obs.retries.add();
-      const auto sleep_t0 = Clock::now();
-      std::this_thread::sleep_for(backoff);
-      backoff_s +=
-          std::chrono::duration<double>(Clock::now() - sleep_t0).count();
-      backoff = std::min(backoff * 2, cfg_.backoff_max);
+      if (budgeted && Clock::now() >= budget_dl) {
+        obs.deadline_exhausted.add();
+        break;  // keep the last attempt's failure status
+      }
+      if (result.status == FetchStatus::kShuttingDown) {
+        // Fast retry: the party said it is draining, so the replacement
+        // process may already be listening — don't burn backoff on it, and
+        // don't let the drain inflate later backoffs.
+        obs.shutdown_retries.add();
+      } else {
+        auto sleep_for = backoff;
+        if (budgeted) {
+          const auto remaining =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  budget_dl - Clock::now());
+          sleep_for = std::min(sleep_for, remaining);
+        }
+        const auto sleep_t0 = Clock::now();
+        if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+        backoff_s +=
+            std::chrono::duration<double>(Clock::now() - sleep_t0).count();
+        backoff = std::min(backoff * 2, cfg_.backoff_max);
+      }
     }
     obs.attempts.add();
     attempts = a;
-    result = attempt(party, role, n, span.context());
+    result = attempt(party, role, n, span.context(), budget_dl);
     sent += result.bytes_sent;
     received += result.bytes_received;
     connect_s += result.connect_s;
@@ -543,12 +648,16 @@ Fetch RefereeClient::fetch(std::size_t party, PartyRole role, std::uint64_t n,
       obs.connect_errors.add();
       continue;  // retryable
     }
+    if (result.status == FetchStatus::kShuttingDown) {
+      continue;  // fast-retryable (counted at the top of the next lap)
+    }
     break;  // kOk, kRemoteError, kProtocolError, kStaleGeneration: terminal
   }
   if (result.status == FetchStatus::kProtocolError) obs.protocol_errors.add();
   if (result.status == FetchStatus::kStaleGeneration) {
     obs::RecoveryObs::instance().generation_mismatches.add();
   }
+  if (cfg_.breaker_enabled) breaker_note(party, result);
 
   result.attempts = attempts;
   result.bytes_sent = sent;
@@ -891,6 +1000,61 @@ bool scrape_metrics(const Endpoint& ep, MetricsFormat format,
     return false;
   }
   out = std::move(r);
+  return true;
+}
+
+bool probe_health(const Endpoint& ep, std::chrono::milliseconds deadline,
+                  HealthReply& out, std::string& error) {
+  const auto& obs = obs::SuperviseObs::instance();
+  obs.probes.add();
+  const Deadline dl = deadline_in(deadline);
+  // Fail-closed mirror of scrape_metrics: anything but a well-formed
+  // kHealthReply echoing our request id is a failed probe, and a failed
+  // probe is indistinguishable from a dead party on purpose — the
+  // supervisor restarts on either.
+  auto failed = [&](std::string msg) {
+    obs.probe_failures.add();
+    error = std::move(msg);
+    return false;
+  };
+  bool connect_timed_out = false;
+  Socket sock = tcp_connect(ep.host, ep.port, dl, &connect_timed_out);
+  if (!sock.valid()) {
+    return failed((connect_timed_out ? "connect timeout: "
+                                     : "connect failed: ") +
+                  ep.host + ":" + std::to_string(ep.port));
+  }
+  HealthRequest req;
+  req.request_id = 1;
+  if (!write_frame(sock, MsgType::kHealthRequest, req.encode(), dl)) {
+    return failed("health request send failed");
+  }
+  Frame frame;
+  switch (read_frame(sock, frame, dl)) {
+    case ReadStatus::kOk:
+      break;
+    case ReadStatus::kTimeout:
+      return failed("health reply deadline exceeded");
+    case ReadStatus::kClosed:
+      return failed("connection closed before health reply");
+    case ReadStatus::kMalformed:
+      return failed("malformed health reply frame");
+  }
+  if (frame.type == MsgType::kErr) {
+    ErrReply err;
+    return failed(ErrReply::decode(frame.payload, err)
+                      ? "party error: " + err.message
+                      : "party error (undecodable)");
+  }
+  if (frame.type != MsgType::kHealthReply) {
+    return failed("unexpected reply type to health request");
+  }
+  HealthReply r;
+  if (!HealthReply::decode(frame.payload, r) ||
+      r.request_id != req.request_id) {
+    return failed("bad health reply");
+  }
+  out = r;
   return true;
 }
 

@@ -73,6 +73,23 @@ struct ClientConfig {
   // per-party mirror they apply to. Off, every fetch is a v2 full snapshot
   // (the --delta off / differential-test configuration).
   bool delta_snapshots = true;
+  // Hard wall-clock ceiling on one logical fetch: attempts plus backoff
+  // sleeps never exceed it. Backoffs are clamped to the remaining budget
+  // and no new attempt starts once it is spent (the fetch keeps its last
+  // failure status, counted in waves_net_deadline_exhausted_total). Zero
+  // disables the ceiling — the legacy max_attempts * request_deadline +
+  // backoff bound applies.
+  std::chrono::milliseconds total_deadline{0};
+  // Per-endpoint circuit breaker: `breaker_threshold` consecutive failed
+  // fetches trip it open, an open endpoint fails fast (no connect, no
+  // retries — the fetch returns the status kind that tripped it, so the
+  // caller's quorum/error-slack math is unchanged, just immediate), and
+  // after `breaker_cooldown` one half-open probe fetch is admitted: success
+  // closes the breaker, failure re-opens it for another cooldown. States
+  // and transitions are counted in the waves_net_breaker_* families.
+  bool breaker_enabled = true;
+  int breaker_threshold = 5;
+  std::chrono::milliseconds breaker_cooldown{1000};
 };
 
 enum class FetchStatus {
@@ -81,6 +98,12 @@ enum class FetchStatus {
   kConnectError,   // every attempt failed to connect
   kRemoteError,    // party answered with an Err message (terminal)
   kProtocolError,  // malformed/unexpected reply (terminal)
+  // Party answered ErrCode::kShutdown: it is draining for a restart, not
+  // broken. Fast-retryable (no backoff growth — the next attempt may land
+  // on the recovered process) and counted separately in
+  // waves_net_shutdown_retries_total, so rolling restarts don't read as
+  // hard protocol errors.
+  kShuttingDown,
   // The party's generation changed mid-fetch (it restarted between
   // attempts, or between handshake and reply). Its answer describes a
   // recovered replay state the round didn't ask about — stale, terminal,
@@ -206,14 +229,40 @@ class RefereeClient {
     DeltaReply delta_scratch;
   };
 
+  // Per-endpoint circuit breaker (see ClientConfig). Separate from
+  // PartyLink so the open-state fast path never touches the link mutex a
+  // stalled attempt may hold.
+  struct Breaker {
+    std::mutex mu;
+    int failures = 0;  // consecutive failed fetches while closed
+    bool open = false;
+    bool probing = false;  // one half-open trial fetch is in flight
+    Clock::time_point opened_at{};
+    FetchStatus last_status = FetchStatus::kConnectError;
+    std::string last_error;
+  };
+
+  // One connect/request/reply exchange. `cap` is the fetch's total-budget
+  // deadline (Clock::time_point::max() when ClientConfig::total_deadline is
+  // 0): every I/O deadline inside the attempt is clamped to it, so a
+  // budgeted fetch can never overrun its caller's ceiling mid-attempt.
   [[nodiscard]] Fetch attempt(std::size_t party, PartyRole role,
-                              std::uint64_t n, obs::TraceContext ctx) const;
+                              std::uint64_t n, obs::TraceContext ctx,
+                              Deadline cap) const;
+  // Breaker admission for one fetch. True = proceed (is_probe set when this
+  // fetch is the half-open trial); false = fail fast, `fast` filled with
+  // the tripping failure's status kind.
+  [[nodiscard]] bool breaker_admit(std::size_t party, bool& is_probe,
+                                   Fetch& fast) const;
+  // Report a finished fetch to the endpoint's breaker.
+  void breaker_note(std::size_t party, const Fetch& f) const;
 
   std::vector<Endpoint> parties_;
   ClientConfig cfg_;
   // unique_ptr: PartyLink holds a mutex, and links must stay put while
   // fetch_all threads hold references.
   mutable std::vector<std::unique_ptr<PartyLink>> links_;
+  mutable std::vector<std::unique_ptr<Breaker>> breakers_;
   mutable std::atomic<std::uint64_t> next_request_id_{1};
   mutable std::atomic<std::uint64_t> last_trace_id_{0};
 };
@@ -315,5 +364,15 @@ struct AggQueryResult {
                                   std::uint64_t trace_filter,
                                   std::chrono::milliseconds deadline,
                                   MetricsReply& out, std::string& error);
+
+/// One-shot liveness probe of a daemon (kHealthRequest). Standalone like
+/// scrape_metrics — no Hello handshake, no RefereeClient — and fail-closed:
+/// any error frame, hostile payload, or timeout is a failed probe (counted
+/// in waves_supervise_probe_failures_total) with a diagnostic in `error`;
+/// `out` untouched. The supervisor treats a failed probe exactly like a
+/// dead process.
+[[nodiscard]] bool probe_health(const Endpoint& ep,
+                                std::chrono::milliseconds deadline,
+                                HealthReply& out, std::string& error);
 
 }  // namespace waves::net

@@ -6,7 +6,7 @@ namespace waves::net {
 
 bool valid_msg_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint8_t>(MsgType::kUnsubscribe);
+         t <= static_cast<std::uint8_t>(MsgType::kHealthReply);
 }
 
 std::array<std::uint8_t, kHeaderSize> put_header(MsgType type,

@@ -41,6 +41,10 @@ inline constexpr std::array<std::uint8_t, 4> kMagic{'W', 'A', 'V', 'E'};
 // exception to "never unsolicited": after a peer opts in with kSubscribe,
 // the server may write kPushUpdate frames at any frame boundary until the
 // subscription ends. Peers that never subscribe never see one.
+// Still v3 (additive): kHealthRequest/kHealthReply carry liveness probes
+// (role, generation, items, checkpoint age, uptime). Handshake-free like
+// the metrics pair, never unsolicited, so older v3 peers interoperate on
+// every existing path.
 inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 10;
@@ -67,6 +71,11 @@ enum class MsgType : std::uint8_t {
   kSubscribe = 12,
   kPushUpdate = 13,
   kUnsubscribe = 14,
+  // v3 additive liveness pair (src/supervise/): handshake-free probe of a
+  // daemon's role/generation/items/checkpoint-age/uptime, answered with
+  // kHealthReply (or kErr on a malformed request).
+  kHealthRequest = 15,
+  kHealthReply = 16,
 };
 
 [[nodiscard]] bool valid_msg_type(std::uint8_t t);

@@ -545,6 +545,49 @@ bool MetricsReply::decode(const Bytes& in, MetricsReply& out) {
   return true;
 }
 
+Bytes HealthRequest::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  return out;
+}
+
+bool HealthRequest::decode(const Bytes& in, HealthRequest& out) {
+  HealthRequest r;
+  std::size_t at = 0;
+  if (!get_varint(in, at, r.request_id) || !consumed(in, at)) return false;
+  out = r;
+  return true;
+}
+
+Bytes HealthReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_varint(out, static_cast<std::uint64_t>(role));
+  put_varint(out, party_id);
+  put_varint(out, generation);
+  put_varint(out, items_observed);
+  put_varint(out, checkpoint_age_ms);
+  put_varint(out, uptime_ms);
+  return out;
+}
+
+bool HealthReply::decode(const Bytes& in, HealthReply& out) {
+  HealthReply r;
+  std::size_t at = 0;
+  std::uint64_t role = 0;
+  if (!get_varint(in, at, r.request_id) || !get_varint(in, at, role) ||
+      role > 0xFF || !valid_role(static_cast<std::uint8_t>(role)) ||
+      !get_varint(in, at, r.party_id) || !get_varint(in, at, r.generation) ||
+      !get_varint(in, at, r.items_observed) ||
+      !get_varint(in, at, r.checkpoint_age_ms) ||
+      !get_varint(in, at, r.uptime_ms) || !consumed(in, at)) {
+    return false;
+  }
+  r.role = static_cast<PartyRole>(role);
+  out = r;
+  return true;
+}
+
 bool ErrReply::decode(const Bytes& in, ErrReply& out) {
   ErrReply e;
   std::size_t at = 0;

@@ -318,4 +318,34 @@ struct MetricsReply {
   [[nodiscard]] static bool decode(const Bytes& in, MetricsReply& out);
 };
 
+// -- Liveness probing (src/supervise/) --------------------------------------
+
+// v3 additive message pair: ask a daemon whether it is alive and how it is
+// doing. Like the metrics pair, no Hello handshake is required — a
+// supervisor's probe connection may send this as its first frame — and the
+// reply never carries snapshot state, so probing cannot disturb query or
+// subscription sessions. Servers answer with kHealthReply (or kErr on a
+// malformed request) and keep the connection open for more probes.
+struct HealthRequest {
+  std::uint64_t request_id = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, HealthRequest& out);
+};
+
+struct HealthReply {
+  std::uint64_t request_id = 0;
+  PartyRole role = PartyRole::kCount;
+  std::uint64_t party_id = 0;
+  std::uint64_t generation = 0;       // serving process epoch
+  std::uint64_t items_observed = 0;   // items ingested so far
+  // Milliseconds since the last durable checkpoint save; ~0u64 means "never
+  // checkpointed" (no StateStore, or nothing saved yet this generation).
+  std::uint64_t checkpoint_age_ms = 0;
+  std::uint64_t uptime_ms = 0;  // since the serving process started
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static bool decode(const Bytes& in, HealthReply& out);
+};
+
 }  // namespace waves::net

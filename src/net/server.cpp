@@ -185,18 +185,24 @@ void PartyServer::accept_loop(const std::stop_token& st) {
     // why instead of seeing a silent RST, and the daemon's thread count
     // stays bounded no matter how many watchers stampede it.
     reap_finished();
+    bool over_cap = false;
     {
       std::lock_guard lk(conns_mu_);
-      if (conns_.size() >= cfg_.max_connections) {
-        obs.overload_rejected.add();
-        ErrReply err{0, ErrCode::kOverloaded, "connection limit reached"};
-        const Bytes payload = err.encode();
-        if (write_frame(sock, MsgType::kErr, payload,
-                        deadline_in(cfg_.io_deadline))) {
-          obs.bytes_sent.add(kHeaderSize + payload.size());
-        }
-        continue;  // RAII closes the socket
+      over_cap = conns_.size() >= cfg_.max_connections;
+    }
+    if (over_cap) {
+      obs.overload_rejected.add();
+      ErrReply err{0, ErrCode::kOverloaded, "connection limit reached"};
+      const Bytes payload = err.encode();
+      // Short deadline, outside conns_mu_: the rejection is a courtesy,
+      // and a peer too stalled to take one small frame in 100ms must not
+      // head-of-line-block the accept loop (or the lock) for the full
+      // io_deadline while legitimate clients queue behind it.
+      if (write_frame(sock, MsgType::kErr, payload,
+                      deadline_in(std::chrono::milliseconds(100)))) {
+        obs.bytes_sent.add(kHeaderSize + payload.size());
       }
+      continue;  // RAII closes the socket
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
     std::jthread handler(
@@ -233,6 +239,54 @@ void PartyServer::drain(std::chrono::milliseconds grace) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   stop();  // stragglers past the grace window are stopped the hard way
+}
+
+void PartyServer::note_checkpoint() {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now().time_since_epoch())
+                      .count();
+  last_checkpoint_ns_.store(static_cast<std::uint64_t>(ns),
+                            std::memory_order_relaxed);
+}
+
+HealthReply PartyServer::health_reply(std::uint64_t request_id) const {
+  HealthReply r;
+  r.request_id = request_id;
+  r.role = role_;
+  r.party_id = cfg_.party_id;
+  r.generation = cfg_.generation;
+  switch (role_) {
+    case PartyRole::kCount:
+      r.items_observed = count_->items_observed();
+      break;
+    case PartyRole::kDistinct:
+      r.items_observed = distinct_->items_observed();
+      break;
+    case PartyRole::kBasic:
+      r.items_observed = basic_->items();
+      break;
+    case PartyRole::kSum:
+      r.items_observed = sum_->items();
+      break;
+    case PartyRole::kAgg:
+      r.items_observed = agg_->items();
+      break;
+  }
+  const auto now = Clock::now();
+  r.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - started_)
+          .count());
+  const std::uint64_t ck = last_checkpoint_ns_.load(std::memory_order_relaxed);
+  if (ck == 0) {
+    r.checkpoint_age_ms = ~std::uint64_t{0};
+  } else {
+    const auto now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+    r.checkpoint_age_ms = now_ns >= ck ? (now_ns - ck) / 1'000'000 : 0;
+  }
+  return r;
 }
 
 HelloAck PartyServer::hello_ack() const {
@@ -738,6 +792,26 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
         const Bytes payload = r.encode();
         if (!write_frame(sock, MsgType::kMetricsReply, payload, dl)) return;
         obs.bytes_sent.add(kHeaderSize + payload.size());
+        break;
+      }
+      case MsgType::kHealthRequest: {
+        // Liveness probe (src/supervise/). Like kMetricsRequest, no Hello
+        // required: a supervisor's probe connection sends this as its
+        // first frame and never touches snapshot state.
+        HealthRequest req;
+        if (!HealthRequest::decode(frame.payload, req)) {
+          obs.frame_errors.add();
+          ErrReply err{0, ErrCode::kBadRequest, "bad health request"};
+          const Bytes payload = err.encode();
+          if (write_frame(sock, MsgType::kErr, payload, dl)) {
+            obs.bytes_sent.add(kHeaderSize + payload.size());
+          }
+          return;
+        }
+        const Bytes payload = health_reply(req.request_id).encode();
+        if (!write_frame(sock, MsgType::kHealthReply, payload, dl)) return;
+        obs.bytes_sent.add(kHeaderSize + payload.size());
+        obs.health_probes.add();
         break;
       }
       case MsgType::kSubscribe: {

@@ -175,6 +175,10 @@ class PartyServer {
   /// give in-flight handlers up to `grace` to finish their current exchange
   /// before stopping them. Used by waved's SIGTERM drain.
   void drain(std::chrono::milliseconds grace);
+  /// Record that the backend's state was just durably checkpointed; health
+  /// replies report milliseconds since the most recent call (~0 = never).
+  /// Called from waved's save path — safe from any thread.
+  void note_checkpoint();
 
  private:
   void accept_loop(const std::stop_token& st);
@@ -234,6 +238,7 @@ class PartyServer {
   };
 
   [[nodiscard]] HelloAck hello_ack() const;
+  [[nodiscard]] HealthReply health_reply(std::uint64_t request_id) const;
   /// Builds the role-appropriate reply (or Err) for a decoded request.
   void answer(Socket& sock, const SnapshotRequest& req, Deadline dl);
   /// Opens `sub` for a decoded kSubscribe and sends the initial full-state
@@ -266,6 +271,11 @@ class PartyServer {
 
   Listener listener_;
   std::jthread accept_thread_;
+
+  // Health-probe sources: process-relative steady timestamps in ns. 0 in
+  // last_checkpoint_ns_ means "never checkpointed this generation".
+  Clock::time_point started_ = Clock::now();
+  std::atomic<std::uint64_t> last_checkpoint_ns_{0};
 
   struct Conn {
     std::jthread thread;

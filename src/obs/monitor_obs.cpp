@@ -25,7 +25,12 @@ const MonitorHubObs& MonitorHubObs::instance() {
       reg.counter("waves_monitor_hub_protocol_errors_total"),
       reg.counter("waves_monitor_hub_watchers_total"),
       reg.counter("waves_monitor_hub_watcher_rejected_total"),
-      reg.counter("waves_monitor_hub_watcher_updates_total")};
+      reg.counter("waves_monitor_hub_watcher_updates_total"),
+      reg.counter("waves_monitor_hub_watcher_evicted_total"),
+      reg.counter("waves_monitor_hub_breaker_trips_total"),
+      reg.counter("waves_monitor_hub_breaker_fast_fails_total"),
+      reg.counter("waves_monitor_hub_breaker_probes_total"),
+      reg.counter("waves_monitor_hub_breaker_closes_total")};
   return o;
 }
 

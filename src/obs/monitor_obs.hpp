@@ -21,6 +21,15 @@
 //   waves_monitor_hub_watchers_total         watcher connections accepted
 //   waves_monitor_hub_watcher_rejected_total watchers over the cap
 //   waves_monitor_hub_watcher_updates_total  EstimateUpdate frames fanned out
+//   waves_monitor_hub_watcher_evicted_total  slow watchers evicted when a
+//                                            push overran the write budget
+//
+// Hub leg breaker families (per-party circuit breaker on the push legs;
+// see docs/robustness.md "Self-healing fleet"):
+//   waves_monitor_hub_breaker_trips_total      closed -> open transitions
+//   waves_monitor_hub_breaker_fast_fails_total reconnects skipped while open
+//   waves_monitor_hub_breaker_probes_total     half-open trial connects
+//   waves_monitor_hub_breaker_closes_total     half-open -> closed recoveries
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -48,6 +57,11 @@ struct MonitorHubObs {
   const Counter& watchers;
   const Counter& watcher_rejected;
   const Counter& watcher_updates;
+  const Counter& watcher_evicted;
+  const Counter& breaker_trips;
+  const Counter& breaker_fast_fails;
+  const Counter& breaker_probes;
+  const Counter& breaker_closes;
 
   static const MonitorHubObs& instance();
 };

@@ -18,7 +18,13 @@ const NetClientObs& NetClientObs::instance() {
       reg.counter("waves_net_delta_replies_total"),
       reg.counter("waves_net_delta_full_total"),
       reg.counter("waves_net_snapshot_cache_hits_total"),
-      reg.counter("waves_net_snapshot_cache_misses_total")};
+      reg.counter("waves_net_snapshot_cache_misses_total"),
+      reg.counter("waves_net_shutdown_retries_total"),
+      reg.counter("waves_net_deadline_exhausted_total"),
+      reg.counter("waves_net_breaker_trips_total"),
+      reg.counter("waves_net_breaker_fast_fails_total"),
+      reg.counter("waves_net_breaker_probes_total"),
+      reg.counter("waves_net_breaker_closes_total")};
   return o;
 }
 
@@ -33,7 +39,8 @@ const NetServerObs& NetServerObs::instance() {
       reg.counter("waves_net_server_delta_replies_total"),
       reg.counter("waves_net_server_delta_full_total"),
       reg.counter("waves_net_server_delta_unchanged_total"),
-      reg.counter("waves_net_server_overload_rejected_total")};
+      reg.counter("waves_net_server_overload_rejected_total"),
+      reg.counter("waves_net_server_health_probes_total")};
   return o;
 }
 

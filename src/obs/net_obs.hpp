@@ -23,6 +23,17 @@
 //   waves_net_snapshot_cache_hits_total / waves_net_snapshot_cache_misses_total
 //                                   referee-side decoded-snapshot cache,
 //                                   keyed (party, generation, cursor, n)
+//   waves_net_shutdown_retries_total  fetches answered ErrCode::kShutdown
+//                                   (party draining) and retried fast
+//   waves_net_deadline_exhausted_total fetches abandoned because the
+//                                   total_deadline budget ran out
+//
+// Client breaker families (per-endpoint circuit breaker; see
+// docs/robustness.md "Self-healing fleet"):
+//   waves_net_breaker_trips_total      closed -> open transitions
+//   waves_net_breaker_fast_fails_total fetches failed fast while open
+//   waves_net_breaker_probes_total     half-open trial fetches admitted
+//   waves_net_breaker_closes_total     half-open -> closed recoveries
 //
 // Server families (each waved / PartyServer):
 //   waves_net_server_connections_total
@@ -35,6 +46,7 @@
 //   waves_net_server_overload_rejected_total connections refused at the
 //                                            max_connections cap (ErrCode
 //                                            kOverloaded, then close)
+//   waves_net_server_health_probes_total     kHealthRequest frames answered
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -56,6 +68,12 @@ struct NetClientObs {
   const Counter& delta_full;
   const Counter& snapshot_cache_hits;
   const Counter& snapshot_cache_misses;
+  const Counter& shutdown_retries;
+  const Counter& deadline_exhausted;
+  const Counter& breaker_trips;
+  const Counter& breaker_fast_fails;
+  const Counter& breaker_probes;
+  const Counter& breaker_closes;
 
   static const NetClientObs& instance();
 };
@@ -70,6 +88,7 @@ struct NetServerObs {
   const Counter& delta_full;
   const Counter& delta_unchanged;
   const Counter& overload_rejected;
+  const Counter& health_probes;
 
   static const NetServerObs& instance();
 };

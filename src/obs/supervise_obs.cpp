@@ -1,0 +1,16 @@
+#include "obs/supervise_obs.hpp"
+
+namespace waves::obs {
+
+const SuperviseObs& SuperviseObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const SuperviseObs o{
+      reg.counter("waves_supervise_spawns_total"),
+      reg.counter("waves_supervise_restarts_total"),
+      reg.counter("waves_supervise_crashloops_total"),
+      reg.counter("waves_supervise_probes_total"),
+      reg.counter("waves_supervise_probe_failures_total")};
+  return o;
+}
+
+}  // namespace waves::obs

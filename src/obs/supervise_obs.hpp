@@ -1,0 +1,32 @@
+// Instrument bundles for the process supervisor (src/supervise/). Same
+// shape as net_obs.hpp: the families live here so the exporters and
+// docs/observability.md have one home for names.
+//
+// Supervisor families (the `wavecli fleet` process):
+//   waves_supervise_spawns_total          waved processes fork/exec'd
+//                                         (initial launches and restarts)
+//   waves_supervise_restarts_total        restarts of a crashed or
+//                                         unresponsive party
+//   waves_supervise_crashloops_total      parties marked failed after N
+//                                         restarts inside the M-second
+//                                         crash-loop window
+//   waves_supervise_probes_total          health probes attempted
+//   waves_supervise_probe_failures_total  probes that timed out, failed to
+//                                         connect, or returned garbage
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace waves::obs {
+
+struct SuperviseObs {
+  const Counter& spawns;
+  const Counter& restarts;
+  const Counter& crashloops;
+  const Counter& probes;
+  const Counter& probe_failures;
+
+  static const SuperviseObs& instance();
+};
+
+}  // namespace waves::obs

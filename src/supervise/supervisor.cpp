@@ -1,0 +1,449 @@
+#include "supervise/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "obs/supervise_obs.hpp"
+
+namespace waves::supervise {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+bool known_role(const std::string& r) {
+  return r == "count" || r == "distinct" || r == "basic" || r == "sum" ||
+         r == "agg";
+}
+
+std::string at_line(int lineno, const std::string& what) {
+  return "fleet spec line " + std::to_string(lineno) + ": " + what;
+}
+
+}  // namespace
+
+bool parse_fleet_spec(const std::string& text, FleetSpec& out,
+                      std::string& error) {
+  FleetSpec spec;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string tok;
+    if (!(words >> tok)) continue;  // blank / comment-only line
+    if (tok == "waved") {
+      if (!(words >> spec.waved_path)) {
+        error = at_line(lineno, "waved needs a path");
+        return false;
+      }
+      if (words >> tok) {
+        error = at_line(lineno, "trailing tokens after waved path");
+        return false;
+      }
+    } else if (tok == "party") {
+      std::string id;
+      std::string role;
+      std::string port;
+      std::string dir;
+      if (!(words >> id >> role >> port >> dir)) {
+        error =
+            at_line(lineno, "party needs <id> <role> <port> <state-dir|->");
+        return false;
+      }
+      PartySpec p;
+      std::uint64_t v = 0;
+      if (!parse_u64(id, v)) {
+        error = at_line(lineno, "bad party id '" + id + "'");
+        return false;
+      }
+      p.party_id = static_cast<int>(v);
+      if (!known_role(role)) {
+        error = at_line(lineno, "unknown role '" + role + "'");
+        return false;
+      }
+      p.role = role;
+      if (!parse_u64(port, v) || v == 0 || v > 65535) {
+        // Port 0 would bind ephemeral, and a restart could come back on a
+        // different address than the fleet's clients dial — reject it.
+        error = at_line(lineno, "bad port '" + port + "' (need 1..65535)");
+        return false;
+      }
+      p.port = static_cast<std::uint16_t>(v);
+      if (dir != "-") p.state_dir = dir;
+      while (words >> tok) p.extra_args.push_back(tok);
+      spec.parties.push_back(std::move(p));
+    } else {
+      error = at_line(lineno, "unknown directive '" + tok + "'");
+      return false;
+    }
+  }
+  if (spec.parties.empty()) {
+    error = "fleet spec: no party lines";
+    return false;
+  }
+  out = std::move(spec);
+  return true;
+}
+
+const char* party_state_name(PartyState s) noexcept {
+  switch (s) {
+    case PartyState::kStarting:
+      return "starting";
+    case PartyState::kHealthy:
+      return "healthy";
+    case PartyState::kUnresponsive:
+      return "unresponsive";
+    case PartyState::kBackoff:
+      return "backoff";
+    case PartyState::kFailed:
+      return "failed";
+    case PartyState::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(FleetSpec spec, SupervisorConfig cfg)
+    : spec_(std::move(spec)), cfg_(std::move(cfg)) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+long Supervisor::spawn(std::size_t i) {
+  const PartySpec& p = spec_.parties[i];
+  std::vector<std::string> args{spec_.waved_path,
+                                "--role",
+                                p.role,
+                                "--party-id",
+                                std::to_string(p.party_id),
+                                "--host",
+                                p.host,
+                                "--port",
+                                std::to_string(p.port)};
+  if (!p.state_dir.empty()) {
+    args.emplace_back("--state-dir");
+    args.push_back(p.state_dir);
+  }
+  args.insert(args.end(), p.extra_args.begin(), p.extra_args.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec. stdout is
+    // inherited on purpose — WAVED READY/RESTORED lines interleave with the
+    // FLEET lines, which is what a fleet operator wants to see.
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  obs::SuperviseObs::instance().spawns.add();
+  return static_cast<long>(pid);
+}
+
+bool Supervisor::start() {
+  if (started_) return true;
+  if (spec_.waved_path.empty()) {
+    error_ = "fleet spec: no waved path (use a `waved` line or --waved)";
+    return false;
+  }
+  if (spec_.parties.empty()) {
+    error_ = "fleet spec: no parties";
+    return false;
+  }
+  for (std::size_t i = 0; i < spec_.parties.size(); ++i) {
+    if (spec_.parties[i].port == 0) {
+      error_ = "party " + std::to_string(i) + ": port must be fixed";
+      return false;
+    }
+  }
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    parties_.assign(spec_.parties.size(), Runtime{});
+    for (std::size_t i = 0; i < parties_.size(); ++i) {
+      const long pid = spawn(i);
+      if (pid < 0) {
+        error_ = "party " + std::to_string(i) + ": fork failed";
+        for (Runtime& r : parties_) {
+          if (r.pid > 0) {
+            ::kill(static_cast<pid_t>(r.pid), SIGKILL);
+            int st = 0;
+            ::waitpid(static_cast<pid_t>(r.pid), &st, 0);
+          }
+        }
+        parties_.clear();
+        return false;
+      }
+      Runtime& r = parties_[i];
+      r.pid = pid;
+      r.state = PartyState::kStarting;
+      r.next_probe_at = now;
+    }
+  }
+  started_ = true;
+  monitor_ = std::jthread(
+      [this](const std::stop_token& st) { monitor_loop(st); });
+  return true;
+}
+
+void Supervisor::monitor_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+void Supervisor::tick() {
+  const auto& obs = obs::SuperviseObs::instance();
+  const auto now = Clock::now();
+  struct PendingProbe {
+    std::size_t i = 0;
+    long pid = -1;
+    net::Endpoint ep;
+  };
+  std::vector<PendingProbe> probes;
+  std::vector<FleetEvent> events;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < parties_.size(); ++i) {
+      Runtime& r = parties_[i];
+      if (r.state == PartyState::kFailed || r.state == PartyState::kStopped) {
+        continue;
+      }
+      if (r.pid > 0) {
+        int wst = 0;
+        const pid_t got = ::waitpid(static_cast<pid_t>(r.pid), &wst, WNOHANG);
+        if (got == static_cast<pid_t>(r.pid)) {
+          const long dead = r.pid;
+          std::string why =
+              r.state == PartyState::kUnresponsive ? "unresponsive"
+              : WIFSIGNALED(wst)
+                  ? "signal=" + std::to_string(WTERMSIG(wst))
+                  : "exit=" + std::to_string(WEXITSTATUS(wst));
+          r.pid = -1;
+          r.probed = false;
+          r.probe_misses = 0;
+          r.deaths.push_back(now);
+          while (!r.deaths.empty() &&
+                 now - r.deaths.front() > cfg_.crashloop_window) {
+            r.deaths.pop_front();
+          }
+          if (static_cast<int>(r.deaths.size()) >= cfg_.crashloop_restarts) {
+            // Crash loop: stop restarting. The quorum math (missing-party
+            // degradation) owns the hole from here on.
+            r.state = PartyState::kFailed;
+            obs.crashloops.add();
+            FleetEvent ev;
+            ev.kind = FleetEvent::Kind::kCrashLoop;
+            ev.party = spec_.parties[i].party_id;
+            ev.pid = dead;
+            ev.restarts = r.restarts;
+            ev.detail = why + " deaths=" + std::to_string(r.deaths.size()) +
+                        " window_ms=" +
+                        std::to_string(cfg_.crashloop_window.count());
+            events.push_back(std::move(ev));
+            continue;
+          }
+          r.state = PartyState::kBackoff;
+          r.backoff = r.backoff.count() == 0
+                          ? cfg_.restart_backoff_base
+                          : std::min(r.backoff * 2, cfg_.restart_backoff_max);
+          r.next_spawn_at = now + r.backoff;
+          r.death_reason = std::move(why);
+          continue;
+        }
+      }
+      if (r.pid < 0 && r.state == PartyState::kBackoff &&
+          now >= r.next_spawn_at) {
+        const long pid = spawn(i);
+        if (pid < 0) {
+          // fork failed (resource pressure): treat like one more backoff
+          // lap rather than a party death.
+          r.next_spawn_at =
+              now + std::min(r.backoff * 2, cfg_.restart_backoff_max);
+          continue;
+        }
+        r.pid = pid;
+        r.state = PartyState::kStarting;
+        ++r.restarts;
+        r.next_probe_at = now;
+        obs.restarts.add();
+        FleetEvent ev;
+        ev.kind = FleetEvent::Kind::kRestarted;
+        ev.party = spec_.parties[i].party_id;
+        ev.pid = pid;
+        ev.restarts = r.restarts;
+        ev.detail = "reason=" + r.death_reason;
+        events.push_back(std::move(ev));
+        continue;
+      }
+      if (r.pid > 0 && now >= r.next_probe_at) {
+        r.next_probe_at = now + cfg_.probe_every;
+        probes.push_back(
+            {i, r.pid, {spec_.parties[i].host, spec_.parties[i].port}});
+      }
+    }
+  }
+  for (const FleetEvent& ev : events) emit(ev);
+
+  // Probes run without mu_ held: each can block up to probe_deadline and
+  // status() readers should not wait on the wire. The pid recheck below
+  // drops results that raced a death or restart.
+  for (const PendingProbe& p : probes) {
+    net::HealthReply hr;
+    std::string err;
+    const bool ok = net::probe_health(p.ep, cfg_.probe_deadline, hr, err);
+    FleetEvent started;
+    bool have_started = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      Runtime& r = parties_[p.i];
+      if (r.pid != p.pid) continue;
+      if (ok) {
+        r.health = hr;
+        r.probed = true;
+        r.probe_misses = 0;
+        r.backoff = std::chrono::milliseconds(0);
+        if (r.state != PartyState::kHealthy) {
+          r.state = PartyState::kHealthy;
+          if (!r.ever_healthy) {
+            r.ever_healthy = true;
+            started.kind = FleetEvent::Kind::kStarted;
+            started.party = spec_.parties[p.i].party_id;
+            started.pid = p.pid;
+            started.detail =
+                "port=" + std::to_string(spec_.parties[p.i].port) +
+                " generation=" + std::to_string(hr.generation) +
+                " items=" + std::to_string(hr.items_observed);
+            have_started = true;
+          }
+        }
+      } else {
+        ++r.probe_misses;
+        if (r.state == PartyState::kHealthy &&
+            r.probe_misses >= cfg_.probe_failures) {
+          // Alive per waitpid but deaf on the wire (wedged accept loop,
+          // SIGSTOP, livelock): kill it and let the reap path restart it
+          // with its --state-dir.
+          r.state = PartyState::kUnresponsive;
+          ::kill(static_cast<pid_t>(p.pid), SIGKILL);
+        }
+      }
+    }
+    if (have_started) emit(started);
+  }
+}
+
+void Supervisor::stop() {
+  if (!started_) return;
+  monitor_.request_stop();
+  if (monitor_.joinable()) monitor_.join();
+
+  std::vector<long> live;
+  int failed = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Runtime& r : parties_) {
+      if (r.state == PartyState::kFailed) ++failed;
+      if (r.pid > 0) {
+        live.push_back(r.pid);
+        ::kill(static_cast<pid_t>(r.pid), SIGTERM);
+      }
+    }
+  }
+  // Graceful drain window, then the hammer. waved's own drain deadline is
+  // 5 s, so the default 7 s budget lets a loaded daemon finish its final
+  // checkpoint before SIGKILL forfeits it (recovery still replays).
+  const auto deadline = Clock::now() + cfg_.drain_budget;
+  for (long pid : live) {
+    for (;;) {
+      int wst = 0;
+      const pid_t got = ::waitpid(static_cast<pid_t>(pid), &wst, WNOHANG);
+      if (got == static_cast<pid_t>(pid)) break;
+      if (Clock::now() >= deadline) {
+        ::kill(static_cast<pid_t>(pid), SIGKILL);
+        ::waitpid(static_cast<pid_t>(pid), &wst, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Runtime& r : parties_) {
+      r.pid = -1;
+      if (r.state != PartyState::kFailed) r.state = PartyState::kStopped;
+    }
+  }
+  FleetEvent ev;
+  ev.kind = FleetEvent::Kind::kDrained;
+  ev.detail = "parties=" + std::to_string(spec_.parties.size()) +
+              " failed=" + std::to_string(failed);
+  emit(ev);
+  started_ = false;
+}
+
+std::vector<PartyStatus> Supervisor::status() const {
+  std::vector<PartyStatus> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(parties_.size());
+  for (const Runtime& r : parties_) {
+    PartyStatus s;
+    s.state = r.state;
+    s.pid = r.pid;
+    s.restarts = r.restarts;
+    s.probed = r.probed;
+    s.health = r.health;
+    out.push_back(s);
+  }
+  return out;
+}
+
+bool Supervisor::all_healthy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Runtime& r : parties_) {
+    if (r.state != PartyState::kHealthy) return false;
+  }
+  return !parties_.empty();
+}
+
+bool Supervisor::wait_all_healthy(std::chrono::milliseconds timeout) const {
+  const auto deadline = Clock::now() + timeout;
+  while (!all_healthy()) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return true;
+}
+
+long Supervisor::pid_of(std::size_t party) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (party >= parties_.size()) return -1;
+  return parties_[party].pid;
+}
+
+void Supervisor::emit(const FleetEvent& ev) {
+  std::lock_guard<std::mutex> lk(event_mu_);
+  if (cfg_.on_event) cfg_.on_event(ev);
+}
+
+}  // namespace waves::supervise

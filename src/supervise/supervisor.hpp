@@ -1,0 +1,180 @@
+// Supervisor — keeps a fleet of `waved` daemons alive.
+//
+// The supervisor fork/execs one waved process per PartySpec, then runs a
+// single monitor thread that (a) reaps exits with waitpid(WNOHANG) and
+// (b) liveness-probes each running party over the wire with the typed
+// kHealthRequest/kHealthReply pair (net::probe_health), reading back the
+// role, generation, item count, checkpoint age, and uptime. A party that
+// dies — or that answers nothing for `probe_failures` consecutive probes
+// after having been healthy — is restarted with the same argv, including
+// its --state-dir, so the PR-4 recovery path replays the checkpoint and
+// the generation bump tells every client the epoch changed. Restarts back
+// off exponentially (base..max), and `crashloop_restarts` deaths inside
+// `crashloop_window` mark the party *failed*: the supervisor stops
+// restarting it, emits a typed event, and leaves the hole to the quorum
+// degradation math (missing-party error slack) that already owns it.
+//
+// Events surface as FleetEvent callbacks — `wavecli fleet` renders them as
+// the FLEET STARTED / RESTARTED / CRASHLOOP / DRAINED stdout lines the
+// chaos harness and operators grep for. Counted in waves_supervise_*.
+//
+// Deliberate non-goal: no supervision *tree*. One flat fleet, one monitor
+// thread; a dead supervisor loses restarts but never breaks correctness
+// (parties keep serving, quorum math covers any that die after it).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+
+namespace waves::supervise {
+
+/// One waved process: its identity flags plus whatever extra argv the
+/// deployment wants forwarded verbatim (--eps, --window, --items, ...).
+struct PartySpec {
+  int party_id = 0;
+  std::string role = "count";
+  std::string host = "127.0.0.1";
+  // Fixed listen port (0 is invalid here): a restarted party must come
+  // back on the address its clients and hub legs already dial.
+  std::uint16_t port = 0;
+  std::string state_dir;  // empty: ephemeral (restart replays the feed)
+  std::vector<std::string> extra_args;
+};
+
+struct FleetSpec {
+  std::string waved_path;
+  std::vector<PartySpec> parties;
+};
+
+/// Parses the fleet spec text format (one directive per line):
+///
+///   # comment
+///   waved /path/to/waved
+///   party <id> <role> <port> <state-dir|-> [extra waved args...]
+///
+/// `-` for state-dir means no durability. False (with a diagnostic
+/// naming the line) on any malformed directive.
+[[nodiscard]] bool parse_fleet_spec(const std::string& text, FleetSpec& out,
+                                    std::string& error);
+
+enum class PartyState {
+  kStarting,      // spawned, no successful probe yet (may still be ingesting)
+  kHealthy,       // probe answered within deadline
+  kUnresponsive,  // probe misses exceeded; kill issued, restart pending
+  kBackoff,       // dead; waiting out the restart backoff
+  kFailed,        // crash-looped; supervisor gave up (quorum owns the hole)
+  kStopped,       // drained by stop()
+};
+
+[[nodiscard]] const char* party_state_name(PartyState s) noexcept;
+
+struct FleetEvent {
+  enum class Kind { kStarted, kRestarted, kCrashLoop, kDrained };
+  Kind kind = Kind::kStarted;
+  int party = -1;  // -1: whole-fleet event (kDrained)
+  long pid = -1;
+  int restarts = 0;
+  std::string detail;
+};
+
+struct SupervisorConfig {
+  std::chrono::milliseconds probe_every{250};
+  std::chrono::milliseconds probe_deadline{500};
+  // Consecutive missed probes (after the party has been healthy once)
+  // before it is declared unresponsive and killed for restart. Starting
+  // parties are exempt: ingest can legitimately take a while, and plain
+  // liveness is already covered by waitpid.
+  int probe_failures = 3;
+  std::chrono::milliseconds restart_backoff_base{100};
+  std::chrono::milliseconds restart_backoff_max{2000};
+  // `crashloop_restarts` deaths inside `crashloop_window` => kFailed.
+  int crashloop_restarts = 5;
+  std::chrono::milliseconds crashloop_window{10000};
+  // Budget for stop(): SIGTERM, wait this long for graceful drains
+  // (waved's own drain deadline is 5 s), then SIGKILL stragglers.
+  std::chrono::milliseconds drain_budget{7000};
+  // Serialized; called from the monitor thread and from stop().
+  std::function<void(const FleetEvent&)> on_event;
+};
+
+/// Point-in-time view of one party (status()).
+struct PartyStatus {
+  PartyState state = PartyState::kStopped;
+  long pid = -1;
+  int restarts = 0;
+  bool probed = false;          // `health` below is from a live probe
+  net::HealthReply health{};    // last successful probe reply
+};
+
+class Supervisor {
+ public:
+  Supervisor(FleetSpec spec, SupervisorConfig cfg);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Validate the spec, spawn every party, start the monitor thread.
+  /// False (see error()) on an invalid spec or a failed fork.
+  [[nodiscard]] bool start();
+  /// SIGTERM the fleet, wait out graceful drains, SIGKILL stragglers.
+  /// Emits kDrained. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::vector<PartyStatus> status() const;
+  [[nodiscard]] bool all_healthy() const;
+  /// Poll until every non-failed party is kHealthy or `timeout` passes.
+  [[nodiscard]] bool wait_all_healthy(std::chrono::milliseconds timeout) const;
+  /// Live pid of party i, or -1 while it is down (chaos harnesses aim
+  /// their kill(2) through this).
+  [[nodiscard]] long pid_of(std::size_t party) const;
+
+  [[nodiscard]] const FleetSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Runtime {
+    PartyState state = PartyState::kStopped;
+    long pid = -1;
+    int restarts = 0;
+    int probe_misses = 0;
+    bool ever_healthy = false;
+    bool probed = false;
+    net::HealthReply health{};
+    std::chrono::milliseconds backoff{0};
+    Clock::time_point next_spawn_at{};
+    Clock::time_point next_probe_at{};
+    std::deque<Clock::time_point> deaths;  // crash-loop window
+    std::string death_reason;              // for the kRestarted event
+  };
+
+  void monitor_loop(const std::stop_token& st);
+  void tick();
+  /// fork/exec party i; returns the child pid or -1.
+  [[nodiscard]] long spawn(std::size_t i);
+  void emit(const FleetEvent& ev);
+
+  FleetSpec spec_;
+  SupervisorConfig cfg_;
+  std::string error_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::vector<Runtime> parties_;
+
+  std::mutex event_mu_;
+  std::jthread monitor_;
+};
+
+}  // namespace waves::supervise

@@ -1,0 +1,337 @@
+// Client resilience tests: the per-endpoint circuit breaker state machine
+// (trip, fast-fail, half-open probe, close, re-open), the total_deadline
+// wall-clock ceiling, the kShutdown fast-retry path, and breaker behavior
+// under fetch_all fan-out with a dead party. Suite names start with
+// Breaker so the TSan CI leg (-R "...|Breaker") picks them up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/net_obs.hpp"
+#include "stream/generators.hpp"
+#include "stream/splitters.hpp"
+#include "util/packed_bits.hpp"
+
+namespace waves::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kInvEps = 4;
+constexpr std::uint64_t kWindow = 1024;
+constexpr int kParties = 4;
+constexpr std::uint64_t kItems = 6000;
+
+Deadline soon() { return deadline_in(std::chrono::milliseconds(2000)); }
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// A loopback port with nothing listening behind it: bind ephemeral, read
+/// the number back, close. Connections refuse immediately afterwards.
+std::uint16_t dead_port() {
+  Listener l;
+  EXPECT_TRUE(l.listen_on("127.0.0.1", 0));
+  const std::uint16_t port = l.port();
+  l.close();
+  return port;
+}
+
+ClientConfig breaker_config(int threshold,
+                            std::chrono::milliseconds cooldown) {
+  ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(200);
+  cfg.max_attempts = 1;
+  cfg.backoff_base = std::chrono::milliseconds(1);
+  cfg.backoff_max = std::chrono::milliseconds(2);
+  cfg.breaker_enabled = true;
+  cfg.breaker_threshold = threshold;
+  cfg.breaker_cooldown = cooldown;
+  return cfg;
+}
+
+std::vector<util::PackedBitStream> test_bit_streams() {
+  stream::BernoulliBits base_gen(0.3, 5);
+  const auto base = stream::take(base_gen, kItems);
+  return util::pack_streams(
+      stream::correlated_streams(base, kParties, 0.05, 6));
+}
+
+TEST(Breaker, TripsAfterThresholdThenFailsFast) {
+  const std::uint16_t port = dead_port();
+  const RefereeClient client({{"127.0.0.1", port}},
+                             breaker_config(3, std::chrono::minutes(1)));
+
+#if WAVES_OBS_ENABLED
+  const auto& obs = obs::NetClientObs::instance();
+  const std::uint64_t trips_before = obs.breaker_trips.value();
+  const std::uint64_t fast_before = obs.breaker_fast_fails.value();
+#endif
+
+  // Three real failures while the breaker is closed.
+  for (int i = 0; i < 3; ++i) {
+    const Fetch f = client.fetch(0, PartyRole::kBasic, kWindow);
+    EXPECT_EQ(f.status, FetchStatus::kConnectError);
+    EXPECT_EQ(f.attempts, 1);
+  }
+  // Open: every further fetch fails fast — zero attempts, no connect, the
+  // tripping status kind preserved so quorum math is unchanged.
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = Clock::now();
+    const Fetch f = client.fetch(0, PartyRole::kBasic, kWindow);
+    EXPECT_EQ(f.status, FetchStatus::kConnectError);
+    EXPECT_EQ(f.attempts, 0);
+    EXPECT_NE(f.error.find("circuit open"), std::string::npos);
+    EXPECT_LT(ms_since(t0), 100.0);
+  }
+
+#if WAVES_OBS_ENABLED
+  EXPECT_EQ(obs.breaker_trips.value(), trips_before + 1);
+  EXPECT_EQ(obs.breaker_fast_fails.value(), fast_before + 3);
+#endif
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccess) {
+  const auto streams = test_bit_streams();
+  BasicPartyState state(kInvEps, kWindow);
+  state.observe_batch(streams[0]);
+
+  // Learn a free port, then leave it dead while the breaker trips.
+  ServerConfig scfg;
+  auto server = std::make_unique<PartyServer>(scfg, &state);
+  ASSERT_TRUE(server->start());
+  const std::uint16_t port = server->port();
+  server->stop();
+  server.reset();
+
+  const RefereeClient client(
+      {{"127.0.0.1", port}},
+      breaker_config(2, std::chrono::milliseconds(100)));
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(client.fetch(0, PartyRole::kBasic, kWindow).status,
+              FetchStatus::kConnectError);
+  }
+  EXPECT_EQ(client.fetch(0, PartyRole::kBasic, kWindow).attempts, 0);
+
+#if WAVES_OBS_ENABLED
+  const auto& obs = obs::NetClientObs::instance();
+  const std::uint64_t probes_before = obs.breaker_probes.value();
+  const std::uint64_t closes_before = obs.breaker_closes.value();
+#endif
+
+  // The party comes back on the same address; after the cooldown exactly
+  // one half-open probe is admitted, succeeds, and closes the breaker.
+  scfg.port = port;
+  server = std::make_unique<PartyServer>(scfg, &state);
+  ASSERT_TRUE(server->start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  const Fetch probe = client.fetch(0, PartyRole::kBasic, kWindow);
+  EXPECT_EQ(probe.status, FetchStatus::kOk);
+  EXPECT_GE(probe.attempts, 1);
+  EXPECT_EQ(probe.total.value, state.query(kWindow).value);
+
+  const Fetch after = client.fetch(0, PartyRole::kBasic, kWindow);
+  EXPECT_EQ(after.status, FetchStatus::kOk);
+  EXPECT_GE(after.attempts, 1);
+
+#if WAVES_OBS_ENABLED
+  EXPECT_EQ(obs.breaker_probes.value(), probes_before + 1);
+  EXPECT_EQ(obs.breaker_closes.value(), closes_before + 1);
+#endif
+}
+
+TEST(Breaker, FailedProbeReopens) {
+  const auto streams = test_bit_streams();
+  BasicPartyState state(kInvEps, kWindow);
+  state.observe_batch(streams[0]);
+
+  ServerConfig scfg;
+  auto server = std::make_unique<PartyServer>(scfg, &state);
+  ASSERT_TRUE(server->start());
+  const std::uint16_t port = server->port();
+  server->stop();
+  server.reset();
+
+  const RefereeClient client(
+      {{"127.0.0.1", port}},
+      breaker_config(1, std::chrono::milliseconds(50)));
+  // First failure trips (threshold 1).
+  EXPECT_EQ(client.fetch(0, PartyRole::kBasic, kWindow).attempts, 1);
+  // Cooldown passes, the probe is admitted, fails for real, re-opens.
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  const Fetch failed_probe = client.fetch(0, PartyRole::kBasic, kWindow);
+  EXPECT_EQ(failed_probe.status, FetchStatus::kConnectError);
+  EXPECT_GE(failed_probe.attempts, 1);
+  // Re-opened: immediate fetches fast-fail again (cooldown restarted).
+  EXPECT_EQ(client.fetch(0, PartyRole::kBasic, kWindow).attempts, 0);
+
+  // Recovery after the next cooldown closes it for good.
+  scfg.port = port;
+  server = std::make_unique<PartyServer>(scfg, &state);
+  ASSERT_TRUE(server->start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  EXPECT_EQ(client.fetch(0, PartyRole::kBasic, kWindow).status,
+            FetchStatus::kOk);
+}
+
+TEST(Breaker, DisabledClientAlwaysAttempts) {
+  ClientConfig cfg = breaker_config(1, std::chrono::milliseconds(1));
+  cfg.breaker_enabled = false;
+  const RefereeClient client({{"127.0.0.1", dead_port()}}, cfg);
+  for (int i = 0; i < 6; ++i) {
+    const Fetch f = client.fetch(0, PartyRole::kBasic, kWindow);
+    EXPECT_EQ(f.status, FetchStatus::kConnectError);
+    EXPECT_EQ(f.attempts, 1);
+  }
+}
+
+TEST(Breaker, TotalDeadlineCapsRetryWall) {
+  // A listener that never accepts: connects land in the backlog, the Hello
+  // write succeeds, and the HelloAck read times out — every attempt costs
+  // the full request_deadline, which is what the budget must cap.
+  Listener blackhole;
+  ASSERT_TRUE(blackhole.listen_on("127.0.0.1", 0));
+
+  ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(200);
+  cfg.max_attempts = 10;
+  cfg.backoff_base = std::chrono::milliseconds(50);
+  cfg.backoff_max = std::chrono::milliseconds(100);
+  cfg.total_deadline = std::chrono::milliseconds(500);
+  cfg.breaker_enabled = false;
+  const RefereeClient client({{"127.0.0.1", blackhole.port()}}, cfg);
+
+#if WAVES_OBS_ENABLED
+  const auto& obs = obs::NetClientObs::instance();
+  const std::uint64_t exhausted_before = obs.deadline_exhausted.value();
+#endif
+
+  const auto t0 = Clock::now();
+  const Fetch f = client.fetch(0, PartyRole::kBasic, kWindow);
+  const double wall = ms_since(t0);
+  EXPECT_EQ(f.status, FetchStatus::kTimeout);
+  // Without the budget this fetch would run 10 attempts * 200ms plus
+  // backoffs (> 2.5 s). The ceiling stops it within one attempt's slop of
+  // the 500ms budget.
+  EXPECT_LT(f.attempts, cfg.max_attempts);
+  EXPECT_GE(wall, 350.0);
+  EXPECT_LT(wall, 1200.0);
+
+#if WAVES_OBS_ENABLED
+  EXPECT_GT(obs.deadline_exhausted.value(), exhausted_before);
+#endif
+}
+
+TEST(Breaker, ShutdownAnswerRetriesFastWithoutBackoff) {
+  // A fake draining party: handshakes normally, answers every request with
+  // a typed kShutdown error, and drops the connection like waved does.
+  Listener listener;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0));
+  std::jthread drainer([&listener](const std::stop_token& st) {
+    while (!st.stop_requested()) {
+      Socket sock = listener.accept_one(
+          deadline_in(std::chrono::milliseconds(50)));
+      if (!sock.valid()) continue;
+      Frame f;
+      if (read_frame(sock, f, soon()) != ReadStatus::kOk ||
+          f.type != MsgType::kHello) {
+        continue;
+      }
+      HelloAck ack;
+      ack.role = PartyRole::kBasic;
+      ack.window = kWindow;
+      ack.generation = 1;
+      if (!write_frame(sock, MsgType::kHelloAck, ack.encode(), soon())) {
+        continue;
+      }
+      if (read_frame(sock, f, soon()) != ReadStatus::kOk) continue;
+      const ErrReply err{0, ErrCode::kShutdown, "draining for restart"};
+      (void)write_frame(sock, MsgType::kErr, err.encode(), soon());
+    }
+  });
+
+  ClientConfig cfg;
+  cfg.request_deadline = std::chrono::milliseconds(1000);
+  cfg.max_attempts = 4;
+  // Backoffs the fast-retry path must *not* pay: paying them would put the
+  // wall clock past 600ms on its own.
+  cfg.backoff_base = std::chrono::milliseconds(200);
+  cfg.backoff_max = std::chrono::milliseconds(400);
+  cfg.breaker_enabled = false;
+  const RefereeClient client({{"127.0.0.1", listener.port()}}, cfg);
+
+#if WAVES_OBS_ENABLED
+  const auto& obs = obs::NetClientObs::instance();
+  const std::uint64_t shutdown_before = obs.shutdown_retries.value();
+#endif
+
+  const auto t0 = Clock::now();
+  const Fetch f = client.fetch(0, PartyRole::kBasic, kWindow);
+  const double wall = ms_since(t0);
+  EXPECT_EQ(f.status, FetchStatus::kShuttingDown);
+  EXPECT_EQ(f.attempts, cfg.max_attempts);
+  EXPECT_NE(f.error.find("draining"), std::string::npos);
+  EXPECT_LT(wall, 500.0);
+
+#if WAVES_OBS_ENABLED
+  EXPECT_EQ(obs.shutdown_retries.value(),
+            shutdown_before + static_cast<std::uint64_t>(cfg.max_attempts) - 1);
+#endif
+
+  drainer.request_stop();
+}
+
+TEST(Breaker, FanOutWithDeadPartyDegradesFastAfterTrip) {
+  const auto streams = test_bit_streams();
+  std::vector<std::unique_ptr<BasicPartyState>> states;
+  std::vector<std::unique_ptr<PartyServer>> servers;
+  std::vector<Endpoint> endpoints;
+  double live_sum = 0.0;
+  for (int j = 0; j < kParties; ++j) {
+    states.push_back(std::make_unique<BasicPartyState>(kInvEps, kWindow));
+    states.back()->observe_batch(streams[static_cast<std::size_t>(j)]);
+    servers.push_back(std::make_unique<PartyServer>(ServerConfig{},
+                                                    states.back().get()));
+    ASSERT_TRUE(servers.back()->start());
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+    if (j != 0) live_sum += states.back()->query(kWindow).value;
+  }
+  servers[0]->stop();
+
+  const RefereeClient client(endpoints,
+                             breaker_config(1, std::chrono::minutes(1)));
+
+  // Round 1 trips party 0's breaker; quorum math degrades as usual.
+  distributed::QueryResult r =
+      total_query(client, PartyRole::kBasic, kWindow);
+  ASSERT_EQ(r.status, distributed::QueryStatus::kDegraded);
+  EXPECT_EQ(r.estimate.value, live_sum);
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], 0u);
+  EXPECT_EQ(r.error_slack, static_cast<double>(kWindow));
+
+  // Round 2 fans out with the breaker open: same degraded answer, but the
+  // dead party fails fast so the round no longer pays its retry ladder.
+  const auto t0 = Clock::now();
+  r = total_query(client, PartyRole::kBasic, kWindow);
+  const double wall = ms_since(t0);
+  ASSERT_EQ(r.status, distributed::QueryStatus::kDegraded);
+  EXPECT_EQ(r.estimate.value, live_sum);
+  EXPECT_EQ(r.error_slack, static_cast<double>(kWindow));
+  EXPECT_LT(wall, 150.0);
+  EXPECT_EQ(client.fetch(0, PartyRole::kBasic, kWindow).attempts, 0);
+}
+
+}  // namespace
+}  // namespace waves::net

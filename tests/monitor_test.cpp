@@ -7,6 +7,11 @@
 // Monitor so the TSan CI leg (-R "...|Monitor") picks them up.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -973,6 +978,135 @@ TEST(MonitorWatch, WatcherCapRejectsWithTypedOverload) {
   EXPECT_GT(obs.watcher_rejected.value(), rejected_before);
 #endif
 
+  hub.stop();
+}
+
+/// Connect with a minimal kernel receive buffer (set before connect so the
+/// advertised window stays tiny). Together with HubConfig::watcher_sndbuf
+/// this caps the unread bytes a stalled watcher can absorb at a few KB, so
+/// the write budget trips after a few dozen pushes instead of megabytes.
+net::Socket connect_tiny_rcvbuf(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  ::fcntl(fd, F_SETFL, O_NONBLOCK);
+  return net::Socket(fd);
+}
+
+/// Hello + subscribe on an already-connected watcher socket.
+void watcher_subscribe(net::Socket& sock, net::PartyRole role) {
+  ASSERT_TRUE(net::write_frame(sock, net::MsgType::kHello,
+                               net::Hello{9}.encode(), soon()));
+  net::Frame f;
+  ASSERT_EQ(net::read_frame(sock, f, soon()), net::ReadStatus::kOk);
+  ASSERT_EQ(f.type, net::MsgType::kHelloAck);
+  const net::SubscribeRequest req{1, role, kWindow};
+  ASSERT_TRUE(net::write_frame(sock, net::MsgType::kSubscribe, req.encode(),
+                               soon()));
+}
+
+TEST(MonitorWatch, SlowWatcherEvictedHealthyWatcherUnaffected) {
+  constexpr std::uint64_t kMaxValue = 100;
+  net::SumPartyState state(4, kWindow, kMaxValue);
+  state.observe_batch(std::vector<std::uint64_t>(kWindow, kMaxValue));
+  net::PartyServer server(net::ServerConfig{}, &state);
+  ASSERT_TRUE(server.start());
+
+  HubConfig cfg =
+      hub_config({{"127.0.0.1", server.port()}}, net::PartyRole::kSum);
+  cfg.max_value = kMaxValue;
+  cfg.watcher_write_budget = std::chrono::milliseconds(50);
+  cfg.watcher_sndbuf = 1;  // kernel clamps to its floor (a few KB)
+  MonitorHub hub(cfg);
+  ASSERT_TRUE(hub.start());
+  (void)wait_until(hub, [](const HubEstimate& e) {
+    return e.status == distributed::QueryStatus::kOk;
+  });
+
+  // The slow watcher subscribes and then never reads a byte.
+  net::Socket slow = connect_tiny_rcvbuf(hub.watch_port());
+  watcher_subscribe(slow, net::PartyRole::kSum);
+  // The healthy watcher keeps draining its pushes throughout.
+  net::Socket healthy = net::tcp_connect("127.0.0.1", hub.watch_port(), soon());
+  ASSERT_TRUE(healthy.valid());
+  watcher_subscribe(healthy, net::PartyRole::kSum);
+
+#if WAVES_OBS_ENABLED
+  const auto& obs = obs::MonitorHubObs::instance();
+  const std::uint64_t evicted_before = obs.watcher_evicted.value();
+#endif
+
+  // Feeder: swing the window sum between ~0 and ~window*max_value so every
+  // party-side drift check crosses the slack threshold and pushes, driving
+  // a steady stream of watcher updates.
+  std::jthread feeder([&state, kMaxValue](const std::stop_token& st) {
+    const std::vector<std::uint64_t> zeros(kWindow, 0);
+    const std::vector<std::uint64_t> highs(kWindow, kMaxValue);
+    bool high = false;
+    while (!st.stop_requested()) {
+      state.observe_batch(high ? highs : zeros);
+      high = !high;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Read the healthy watcher until the eviction is visible (counter when
+  // obs is compiled in; otherwise a generous update count — the slow
+  // watcher's few-KB pipe overflows after a few dozen pushes).
+  int healthy_updates = 0;
+  net::Frame f;
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up);
+    ASSERT_EQ(net::read_frame(healthy, f, soon()), net::ReadStatus::kOk);
+    ASSERT_EQ(f.type, net::MsgType::kPushUpdate);
+    net::EstimateUpdate up;
+    ASSERT_TRUE(net::EstimateUpdate::decode(f.payload, up));
+    ++healthy_updates;
+#if WAVES_OBS_ENABLED
+    if (obs.watcher_evicted.value() > evicted_before) break;
+#else
+    if (healthy_updates >= 400) break;
+#endif
+  }
+  EXPECT_GT(healthy_updates, 0);
+
+  // Draining the slow socket now must terminate: buffered pushes, then the
+  // hub's close (typed kOverloaded when the err frame still fit). If the
+  // watcher had not been evicted, its serving thread would still be
+  // feeding the socket and this loop would keep reading pushes forever.
+  bool closed = false;
+  bool typed_overload = false;
+  for (int i = 0; i < 500 && !closed; ++i) {
+    const net::ReadStatus rs = net::read_frame(slow, f, shortly());
+    if (rs != net::ReadStatus::kOk) {
+      closed = true;
+      break;
+    }
+    if (f.type == net::MsgType::kErr) {
+      net::ErrReply err;
+      ASSERT_TRUE(net::ErrReply::decode(f.payload, err));
+      EXPECT_EQ(err.code, net::ErrCode::kOverloaded);
+      typed_overload = true;
+    }
+  }
+  EXPECT_TRUE(closed || typed_overload);
+
+  // The healthy watcher is still subscribed and still receiving.
+  ASSERT_EQ(net::read_frame(healthy, f, soon()), net::ReadStatus::kOk);
+  EXPECT_EQ(f.type, net::MsgType::kPushUpdate);
+
+  feeder.request_stop();
+  feeder.join();
   hub.stop();
 }
 

@@ -422,6 +422,101 @@ TEST(NetProtocol, MetricsStructsRejectHostileInput) {
   }
 }
 
+TEST(NetProtocol, HealthStructsRoundTrip) {
+  {
+    HealthRequest in{17};
+    HealthRequest out;
+    ASSERT_TRUE(HealthRequest::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 17u);
+  }
+  {
+    HealthReply in;
+    in.request_id = 9;
+    in.role = PartyRole::kSum;
+    in.party_id = 3;
+    in.generation = 12;
+    in.items_observed = 40000;
+    in.checkpoint_age_ms = 1500;
+    in.uptime_ms = 987654;
+    HealthReply out;
+    ASSERT_TRUE(HealthReply::decode(in.encode(), out));
+    EXPECT_EQ(out.request_id, 9u);
+    EXPECT_EQ(out.role, PartyRole::kSum);
+    EXPECT_EQ(out.party_id, 3u);
+    EXPECT_EQ(out.generation, 12u);
+    EXPECT_EQ(out.items_observed, 40000u);
+    EXPECT_EQ(out.checkpoint_age_ms, 1500u);
+    EXPECT_EQ(out.uptime_ms, 987654u);
+  }
+  {  // never-checkpointed sentinel survives the varint round trip
+    HealthReply in;
+    in.role = PartyRole::kCount;
+    in.checkpoint_age_ms = ~0ull;
+    HealthReply out;
+    ASSERT_TRUE(HealthReply::decode(in.encode(), out));
+    EXPECT_EQ(out.checkpoint_age_ms, ~0ull);
+  }
+}
+
+TEST(NetProtocol, HealthStructsRejectHostileInput) {
+  using distributed::put_varint;
+  {  // invalid role enum
+    Bytes b;
+    put_varint(b, 1);    // request_id
+    put_varint(b, 99);   // role: not a PartyRole
+    put_varint(b, 0);    // party_id
+    put_varint(b, 0);    // generation
+    put_varint(b, 0);    // items
+    put_varint(b, 0);    // checkpoint age
+    put_varint(b, 0);    // uptime
+    HealthReply out;
+    out.request_id = 7;
+    EXPECT_FALSE(HealthReply::decode(b, out));
+    EXPECT_EQ(out.request_id, 7u);  // all-or-nothing: output untouched
+  }
+  {  // every strict prefix of a valid reply fails, output untouched
+    HealthReply whole;
+    whole.request_id = 5;
+    whole.role = PartyRole::kDistinct;
+    whole.party_id = 2;
+    whole.generation = 8;
+    whole.items_observed = 123456;
+    whole.checkpoint_age_ms = 250;
+    whole.uptime_ms = 99999;
+    const Bytes enc = whole.encode();
+    for (std::size_t cut = 0; cut < enc.size(); ++cut) {
+      const Bytes prefix(enc.begin(),
+                         enc.begin() + static_cast<std::ptrdiff_t>(cut));
+      HealthReply out;
+      out.request_id = 123;
+      EXPECT_FALSE(HealthReply::decode(prefix, out));
+      EXPECT_EQ(out.request_id, 123u);
+    }
+  }
+  {  // trailing garbage after a valid request / reply
+    Bytes enc = HealthRequest{3}.encode();
+    enc.push_back(0x00);
+    HealthRequest out;
+    EXPECT_FALSE(HealthRequest::decode(enc, out));
+    HealthReply whole;
+    whole.role = PartyRole::kBasic;
+    Bytes enc2 = whole.encode();
+    enc2.push_back(0x01);
+    HealthReply out2;
+    EXPECT_FALSE(HealthReply::decode(enc2, out2));
+  }
+  // Byte fuzz: decode must fail or fully parse, never crash.
+  gf2::SplitMix64 rng(4242);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes noise(rng.next() % 48);
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next());
+    HealthRequest req;
+    (void)HealthRequest::decode(noise, req);
+    HealthReply rep;
+    (void)HealthReply::decode(noise, rep);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Live-server tests.
 
@@ -969,6 +1064,47 @@ TEST(NetClient, ParseEndpoint) {
   EXPECT_FALSE(parse_endpoint("127.0.0.1:0", ep));
   EXPECT_FALSE(parse_endpoint("127.0.0.1:99999", ep));
   EXPECT_FALSE(parse_endpoint("127.0.0.1:12ab", ep));
+}
+
+TEST(NetServer, HealthProbeReportsIdentityAndCheckpointAge) {
+  distributed::CountParty party(count_params(), kInstances, kSeed);
+  const auto streams = test_bit_streams();
+  party.observe_batch(streams[0]);
+
+  ServerConfig scfg;
+  scfg.party_id = 7;
+  scfg.generation = 3;
+  PartyServer server(scfg, &party);
+  ASSERT_TRUE(server.start());
+  const Endpoint ep{"127.0.0.1", server.port()};
+  const auto deadline = std::chrono::milliseconds(2000);
+
+  HealthReply hr;
+  std::string error;
+  ASSERT_TRUE(probe_health(ep, deadline, hr, error)) << error;
+  EXPECT_EQ(hr.role, PartyRole::kCount);
+  EXPECT_EQ(hr.party_id, 7u);
+  EXPECT_EQ(hr.generation, 3u);
+  EXPECT_EQ(hr.items_observed, party.items_observed());
+  // Never checkpointed: the age carries the explicit sentinel, not zero —
+  // a supervisor must not mistake "no durability" for "fresh checkpoint".
+  EXPECT_EQ(hr.checkpoint_age_ms, ~0ull);
+
+  // A durable save marks the age; it restarts from (near) zero.
+  server.note_checkpoint();
+  HealthReply after;
+  ASSERT_TRUE(probe_health(ep, deadline, after, error)) << error;
+  EXPECT_LT(after.checkpoint_age_ms, 2000u);
+  EXPECT_GE(after.uptime_ms, hr.uptime_ms);
+
+  // Fail-closed probe: a dead endpoint reports failure, output untouched.
+  server.stop();
+  HealthReply untouched;
+  untouched.party_id = 42;
+  EXPECT_FALSE(probe_health(ep, std::chrono::milliseconds(250), untouched,
+                            error));
+  EXPECT_EQ(untouched.party_id, 42u);
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

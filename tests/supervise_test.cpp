@@ -1,0 +1,181 @@
+// Supervisor tests: fleet-spec parsing (round-trip and typed rejections),
+// spec validation at start(), and crash-loop detection against a waved
+// that dies instantly (/bin/false ignores its argv and exits nonzero —
+// exactly the pathological daemon the crash-loop breaker must contain).
+// Suite names start with Supervise so the TSan CI leg picks them up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "supervise/supervisor.hpp"
+
+namespace waves::supervise {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(Supervise, FleetSpecRoundTrip) {
+  const std::string text =
+      "# fleet for the loopback deployment\n"
+      "waved /usr/local/bin/waved\n"
+      "\n"
+      "party 0 count 9101 /var/lib/waves/p0 --eps 0.1 --window 4096\n"
+      "party 1 basic 9102 -   # ephemeral: restart replays the feed\n";
+  FleetSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_fleet_spec(text, spec, error)) << error;
+  EXPECT_EQ(spec.waved_path, "/usr/local/bin/waved");
+  ASSERT_EQ(spec.parties.size(), 2u);
+  EXPECT_EQ(spec.parties[0].party_id, 0);
+  EXPECT_EQ(spec.parties[0].role, "count");
+  EXPECT_EQ(spec.parties[0].port, 9101);
+  EXPECT_EQ(spec.parties[0].state_dir, "/var/lib/waves/p0");
+  ASSERT_EQ(spec.parties[0].extra_args.size(), 4u);
+  EXPECT_EQ(spec.parties[0].extra_args[0], "--eps");
+  EXPECT_EQ(spec.parties[0].extra_args[3], "4096");
+  EXPECT_EQ(spec.parties[1].role, "basic");
+  EXPECT_TRUE(spec.parties[1].state_dir.empty());  // "-" means ephemeral
+  EXPECT_TRUE(spec.parties[1].extra_args.empty());
+}
+
+TEST(Supervise, FleetSpecRejectsMalformedLines) {
+  const struct {
+    const char* text;
+    const char* needle;  // expected fragment of the diagnostic
+  } cases[] = {
+      {"waved\n", "waved needs a path"},
+      {"waved /a /b\n", "trailing tokens"},
+      {"party 0 count\n", "party needs"},
+      {"party x count 9101 -\n", "bad party id"},
+      {"party 0 juggler 9101 -\n", "unknown role"},
+      {"party 0 count 0 -\n", "bad port"},
+      {"party 0 count 70000 -\n", "bad port"},
+      {"party 0 count notaport -\n", "bad port"},
+      {"supervise hard\n", "unknown directive"},
+      {"waved /usr/bin/waved\n", "no party lines"},
+      {"", "no party lines"},
+  };
+  for (const auto& c : cases) {
+    FleetSpec spec;
+    std::string error;
+    EXPECT_FALSE(parse_fleet_spec(c.text, spec, error)) << c.text;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << "spec: " << c.text << "diagnostic: " << error;
+  }
+}
+
+TEST(Supervise, PartyStateNames) {
+  EXPECT_STREQ(party_state_name(PartyState::kStarting), "starting");
+  EXPECT_STREQ(party_state_name(PartyState::kHealthy), "healthy");
+  EXPECT_STREQ(party_state_name(PartyState::kUnresponsive), "unresponsive");
+  EXPECT_STREQ(party_state_name(PartyState::kBackoff), "backoff");
+  EXPECT_STREQ(party_state_name(PartyState::kFailed), "failed");
+  EXPECT_STREQ(party_state_name(PartyState::kStopped), "stopped");
+}
+
+TEST(Supervise, StartRejectsInvalidSpec) {
+  {
+    FleetSpec spec;  // no waved path, no parties
+    Supervisor sup(spec, {});
+    EXPECT_FALSE(sup.start());
+    EXPECT_NE(sup.error().find("waved"), std::string::npos);
+  }
+  {
+    FleetSpec spec;
+    spec.waved_path = "/bin/true";
+    Supervisor sup(spec, {});
+    EXPECT_FALSE(sup.start());
+    EXPECT_NE(sup.error().find("no parties"), std::string::npos);
+  }
+  {
+    FleetSpec spec;
+    spec.waved_path = "/bin/true";
+    spec.parties.push_back({});  // port 0: restart address would drift
+    Supervisor sup(spec, {});
+    EXPECT_FALSE(sup.start());
+    EXPECT_NE(sup.error().find("port"), std::string::npos);
+  }
+}
+
+TEST(Supervise, CrashLoopGivesUpWithTypedEvent) {
+  // /bin/false exits 1 immediately regardless of argv: every spawn is a
+  // death, so the supervisor must restart with backoff a bounded number of
+  // times and then declare the party failed instead of spinning forever.
+  FleetSpec spec;
+  spec.waved_path = "/bin/false";
+  PartySpec p;
+  p.party_id = 0;
+  p.port = 19999;  // never actually bound — the process dies first
+  spec.parties.push_back(p);
+
+  SupervisorConfig cfg;
+  cfg.probe_every = std::chrono::milliseconds(20);
+  cfg.probe_deadline = std::chrono::milliseconds(50);
+  cfg.restart_backoff_base = std::chrono::milliseconds(10);
+  cfg.restart_backoff_max = std::chrono::milliseconds(20);
+  cfg.crashloop_restarts = 3;
+  cfg.crashloop_window = std::chrono::milliseconds(10000);
+
+  std::mutex events_mu;
+  std::vector<FleetEvent> events;
+  cfg.on_event = [&](const FleetEvent& ev) {
+    const std::lock_guard<std::mutex> lock(events_mu);
+    events.push_back(ev);
+  };
+
+  Supervisor sup(std::move(spec), std::move(cfg));
+  ASSERT_TRUE(sup.start()) << sup.error();
+
+  // Three deaths inside the window => kFailed, announced as kCrashLoop.
+  const auto give_up = Clock::now() + std::chrono::seconds(10);
+  bool crashloop_seen = false;
+  while (!crashloop_seen && Clock::now() < give_up) {
+    {
+      const std::lock_guard<std::mutex> lock(events_mu);
+      for (const FleetEvent& ev : events) {
+        if (ev.kind == FleetEvent::Kind::kCrashLoop && ev.party == 0) {
+          crashloop_seen = true;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(crashloop_seen);
+
+  std::vector<PartyStatus> status = sup.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].state, PartyState::kFailed);
+  EXPECT_FALSE(sup.all_healthy());
+
+  // Given up means given up: the restart count stays put.
+  const int restarts = status[0].restarts;
+  EXPECT_GE(restarts, 1);
+  EXPECT_LT(restarts, 3);  // 3 deaths = initial spawn + at most 2 restarts
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  status = sup.status();
+  EXPECT_EQ(status[0].state, PartyState::kFailed);
+  EXPECT_EQ(status[0].restarts, restarts);
+
+  sup.stop();
+  {
+    const std::lock_guard<std::mutex> lock(events_mu);
+    int restarted = 0;
+    bool drained = false;
+    for (const FleetEvent& ev : events) {
+      if (ev.kind == FleetEvent::Kind::kRestarted) ++restarted;
+      if (ev.kind == FleetEvent::Kind::kDrained) {
+        drained = true;
+        EXPECT_NE(ev.detail.find("failed=1"), std::string::npos);
+      }
+    }
+    EXPECT_EQ(restarted, restarts);
+    EXPECT_TRUE(drained);
+  }
+}
+
+}  // namespace
+}  // namespace waves::supervise

@@ -115,6 +115,7 @@
 #include "stream/generators.hpp"
 #include "stream/splitters.hpp"
 #include "stream/value_streams.hpp"
+#include "supervise/supervisor.hpp"
 #include "util/simd.hpp"
 
 namespace {
@@ -161,6 +162,12 @@ struct Options {
   std::string hub_host = "127.0.0.1";
   double serve_seconds = 0.0;  // 0: until signaled
   std::uint64_t updates = 0;   // watch: exit after K updates (0 = forever)
+  // fleet mode:
+  std::string spec_path;
+  std::string waved_path;  // overrides the spec's `waved` line
+  std::uint64_t probe_ms = 250;
+  int crashloop_restarts = 5;
+  std::uint64_t crashloop_window_ms = 10000;
 };
 
 int usage() {
@@ -190,7 +197,12 @@ int usage() {
                "               [--max-watchers K] [--serve-seconds SEC]\n"
                "       wavecli watch --connect host:port [--mode M] "
                "[--window N]\n"
-               "               [--n W] [--updates K] [--deadline-ms MS]\n");
+               "               [--n W] [--updates K] [--deadline-ms MS]\n"
+               "       wavecli fleet --spec FILE [--waved PATH] "
+               "[--probe-ms MS]\n"
+               "               [--crashloop-restarts N] "
+               "[--crashloop-window-ms MS]\n"
+               "               [--serve-seconds SEC]\n");
   return 2;
 }
 
@@ -290,6 +302,16 @@ std::optional<Options> parse(int argc, char** argv) {
       o.serve_seconds = std::atof(val);
     } else if (flag == "--updates") {
       o.updates = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--spec") {
+      o.spec_path = val;
+    } else if (flag == "--waved") {
+      o.waved_path = val;
+    } else if (flag == "--probe-ms") {
+      o.probe_ms = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--crashloop-restarts") {
+      o.crashloop_restarts = std::atoi(val);
+    } else if (flag == "--crashloop-window-ms") {
+      o.crashloop_window_ms = std::strtoull(val, nullptr, 10);
     } else {
       return std::nullopt;
     }
@@ -345,6 +367,12 @@ std::optional<Options> parse(int argc, char** argv) {
     if (o.connect.empty() || o.deadline_ms < 1) return std::nullopt;
     if (o.qmode != "count" && o.qmode != "distinct" && o.qmode != "basic" &&
         o.qmode != "sum") {
+      return std::nullopt;
+    }
+  }
+  if (o.mode == "fleet") {
+    if (o.spec_path.empty() || o.probe_ms < 1 || o.crashloop_restarts < 1 ||
+        o.crashloop_window_ms < 1) {
       return std::nullopt;
     }
   }
@@ -826,6 +854,81 @@ int run_hub(const Options& o) {
   return 0;
 }
 
+/// Self-healing fleet: spawn the spec's waved daemons under a Supervisor
+/// and narrate its lifecycle events as FLEET lines until signaled.
+int run_fleet(const Options& o) {
+  using namespace waves;
+  std::FILE* f = std::fopen(o.spec_path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "wavecli: cannot read fleet spec %s\n",
+                 o.spec_path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+
+  supervise::FleetSpec spec;
+  std::string err;
+  if (!supervise::parse_fleet_spec(text, spec, err)) {
+    std::fprintf(stderr, "wavecli: %s\n", err.c_str());
+    return 2;
+  }
+  if (!o.waved_path.empty()) spec.waved_path = o.waved_path;
+
+  supervise::SupervisorConfig cfg;
+  cfg.probe_every = std::chrono::milliseconds(o.probe_ms);
+  cfg.crashloop_restarts = o.crashloop_restarts;
+  cfg.crashloop_window = std::chrono::milliseconds(o.crashloop_window_ms);
+  cfg.on_event = [](const supervise::FleetEvent& ev) {
+    using Kind = supervise::FleetEvent::Kind;
+    switch (ev.kind) {
+      case Kind::kStarted:
+        std::printf("FLEET STARTED party=%d pid=%ld %s\n", ev.party, ev.pid,
+                    ev.detail.c_str());
+        break;
+      case Kind::kRestarted:
+        std::printf("FLEET RESTARTED party=%d pid=%ld restarts=%d %s\n",
+                    ev.party, ev.pid, ev.restarts, ev.detail.c_str());
+        break;
+      case Kind::kCrashLoop:
+        std::printf("FLEET CRASHLOOP party=%d restarts=%d %s\n", ev.party,
+                    ev.restarts, ev.detail.c_str());
+        break;
+      case Kind::kDrained:
+        std::printf("FLEET DRAINED %s\n", ev.detail.c_str());
+        break;
+    }
+    std::fflush(stdout);
+  };
+
+  supervise::Supervisor sup(std::move(spec), std::move(cfg));
+  if (!sup.start()) {
+    std::fprintf(stderr, "wavecli: fleet start failed: %s\n",
+                 sup.error().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, on_hub_signal);
+  std::signal(SIGTERM, on_hub_signal);
+  std::printf("FLEET SUPERVISING parties=%zu waved=%s\n",
+              sup.spec().parties.size(), sup.spec().waved_path.c_str());
+  std::fflush(stdout);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_hub_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (o.serve_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= o.serve_seconds) {
+      break;
+    }
+  }
+  sup.stop();
+  return 0;
+}
+
 /// Subscribe to a hub and print one query-format line per estimate update.
 int run_watch(const Options& o) {
   using namespace waves;
@@ -966,6 +1069,7 @@ int main(int argc, char** argv) {
   if (o.mode == "query") return run_query(o);
   if (o.mode == "hub") return run_hub(o);
   if (o.mode == "watch") return run_watch(o);
+  if (o.mode == "fleet") return run_fleet(o);
   if (o.mode == "count") {
     waves::core::DetWave w(o.inv_eps, o.window);
     return pump(

@@ -345,12 +345,17 @@ int run_role(const Options& o, waves::net::ServerConfig cfg,
     dur.generation = cfg.generation;
   }
 
-  const std::function<void()> save = [&dur, &encode_ck] {
+  const std::function<void()> save = [&dur, &server, &encode_ck] {
     if (!dur.enabled()) return;
     if (!dur.store->save(dur.kind, dur.generation, encode_ck())) {
       std::fprintf(stderr, "waved: checkpoint write failed: %s\n",
                    dur.store->error().c_str());
+      return;
     }
+    // Health replies report checkpoint age relative to the last *durable*
+    // write, so a failed save keeps the age growing — exactly what a
+    // supervisor watching for stuck durability wants to see.
+    server.note_checkpoint();
   };
 
   const std::uint64_t cursor = try_restore(dur, apply_ck);
