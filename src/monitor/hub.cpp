@@ -9,6 +9,7 @@
 
 #include "distributed/wire.hpp"
 #include "obs/monitor_obs.hpp"
+#include "obs/net_obs.hpp"
 #include "recovery/checkpoint.hpp"
 #include "recovery/delta.hpp"
 
@@ -128,8 +129,17 @@ MonitorHub::~MonitorHub() { stop(); }
 
 bool MonitorHub::start() {
   if (!listener_.listen_on(cfg_.host, cfg_.port)) return false;
-  watch_thread_ =
-      std::jthread([this](const std::stop_token& st) { watch_accept_loop(st); });
+  obs::NetLoopObs::instance().io_model.set(
+      static_cast<double>(static_cast<std::uint8_t>(cfg_.io_model)));
+  if (cfg_.io_model == net::IoModel::kEpoll) {
+    if (!watch_start()) {
+      listener_.close();
+      return false;
+    }
+  } else {
+    watch_thread_ = std::jthread(
+        [this](const std::stop_token& st) { watch_accept_loop(st); });
+  }
   legs_.reserve(cfg_.parties.size());
   for (std::size_t i = 0; i < cfg_.parties.size(); ++i) {
     legs_.emplace_back(
@@ -146,7 +156,8 @@ void MonitorHub::stop() {
     for (auto& w : watchers_) w.thread.request_stop();
   }
   est_cv_.notify_all();
-  legs_.clear();  // joins
+  legs_.clear();  // joins — after this no thread calls watch_notify()
+  watch_stop();
   if (watch_thread_.joinable()) watch_thread_.join();
   {
     std::lock_guard lk(watchers_mu_);
@@ -290,6 +301,7 @@ void MonitorHub::recompute() {
     est_ = next;
   }
   est_cv_.notify_all();
+  watch_notify();
 }
 
 bool MonitorHub::apply_push(std::size_t i, const net::PushUpdate& u,

@@ -45,6 +45,7 @@
 #include "monitor/slack.hpp"
 #include "net/client.hpp"
 #include "net/frame.hpp"
+#include "net/io_model.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 
@@ -88,6 +89,13 @@ struct HubConfig {
   // backpressure bound — with the default auto-tuned buffer the kernel
   // absorbs megabytes of unread pushes before a write ever blocks.
   int watcher_sndbuf = 0;
+  // Watcher fan-out I/O core. kEpoll (the Linux default) multiplexes every
+  // watcher on one event loop: pushes go through non-blocking write queues
+  // with latest-wins estimate coalescing, and the write budget is a timer
+  // on the stalled queue instead of a blocked thread. kThreads keeps the
+  // original thread-per-watcher core. Party legs are threads either way —
+  // there are only ever a handful, and they block in read_frame by design.
+  net::IoModel io_model = net::default_io_model();
   // Count/distinct merge parameters — must match the deployment (stored
   // coins: the hub re-derives the shared hashes from the seed, exactly
   // like NetworkCountSource).
@@ -174,6 +182,10 @@ class MonitorHub {
   void serve_watcher(net::Socket sock, const std::stop_token& st);
   void reap_watchers();
   void emit(const std::string& line);
+  // Event-loop watcher core (hub_loop.cpp); no-ops under kThreads.
+  [[nodiscard]] bool watch_start();
+  void watch_stop();
+  void watch_notify();
 
   HubConfig cfg_;
   SlackBudget budget_;
@@ -200,6 +212,15 @@ class MonitorHub {
   };
   std::mutex watchers_mu_;
   std::vector<Watcher> watchers_;
+
+  // Event-loop watcher core, live only under IoModel::kEpoll. Opaque here
+  // (defined in hub_loop.cpp) with a custom deleter so this header needs
+  // no event-loop types.
+  struct WatchCore;
+  struct WatchCoreDeleter {
+    void operator()(WatchCore* core) const;
+  };
+  std::unique_ptr<WatchCore, WatchCoreDeleter> watch_core_;
 };
 
 }  // namespace waves::monitor

@@ -137,16 +137,24 @@ PartyServer::PartyServer(ServerConfig cfg, SumPartyState* party)
 PartyServer::PartyServer(ServerConfig cfg, AggPartyState* party)
     : cfg_(std::move(cfg)), role_(PartyRole::kAgg), agg_(party) {}
 
-PartyServer::~PartyServer() { stop(); }
+// ~PartyServer lives in server_loop.cpp, where LoopCore is complete.
 
 bool PartyServer::start() {
   if (!listener_.listen_on(cfg_.host, cfg_.port)) return false;
+  obs::NetLoopObs::instance().io_model.set(
+      static_cast<double>(static_cast<std::uint8_t>(cfg_.io_model)));
+  if (cfg_.io_model == IoModel::kEpoll) {
+    if (loop_start()) return true;
+    listener_.close();
+    return false;
+  }
   accept_thread_ =
       std::jthread([this](const std::stop_token& st) { accept_loop(st); });
   return true;
 }
 
 void PartyServer::stop() {
+  loop_stop();
   if (accept_thread_.joinable()) {
     accept_thread_.request_stop();
     accept_thread_.join();
@@ -220,6 +228,10 @@ void PartyServer::accept_loop(const std::stop_token& st) {
 }
 
 void PartyServer::drain(std::chrono::milliseconds grace) {
+  if (loop_ != nullptr) {
+    loop_drain(grace);
+    return;
+  }
   // No new connections from here on.
   if (accept_thread_.joinable()) {
     accept_thread_.request_stop();
@@ -420,9 +432,7 @@ void PartyServer::count_delta_answer(const SnapshotRequest& req,
   st.cached_body = r.body;
 }
 
-void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
-                         Deadline dl) {
-  const auto& obs = obs::NetServerObs::instance();
+void PartyServer::answer(const SnapshotRequest& req, Outbox& out) {
   // Server-side handling span. When the request carries a trace context
   // (extension tag 2) this joins the client's trace: a later format=trace
   // scrape of this process returns it under the same trace id, and
@@ -431,11 +441,9 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
       "party.answer", obs::TraceContext{req.trace_id, req.parent_span_id});
   span.set("party", static_cast<double>(cfg_.party_id));
   span.set("n", static_cast<double>(req.n));
-  auto send = [&](MsgType type, const Bytes& payload) {
+  auto send = [&](MsgType type, Bytes payload) {
     span.set("reply_bytes", static_cast<double>(payload.size()));
-    if (write_frame(sock, type, payload, dl)) {
-      obs.bytes_sent.add(kHeaderSize + payload.size());
-    }
+    out.push_back(OutFrame{type, std::move(payload)});
   };
 
   if (req.role != role_) {
@@ -534,8 +542,8 @@ void PartyServer::answer(Socket& sock, const SnapshotRequest& req,
   }
 }
 
-bool PartyServer::subscribe(Socket& sock, const SubscribeRequest& req,
-                            Subscription& sub) {
+void PartyServer::subscribe(const SubscribeRequest& req, Subscription& sub,
+                            Outbox& out) {
   const auto& mobs = obs::MonitorPartyObs::instance();
   // Joins the subscriber's trace (tag 2) like party.answer does, so one
   // `wavecli hub` bring-up stitches across processes.
@@ -557,11 +565,10 @@ bool PartyServer::subscribe(Socket& sock, const SubscribeRequest& req,
                   ? std::chrono::milliseconds(req.check_every_ms)
                   : cfg_.push_check;
   mobs.subscribes.add();
-  return push_update(sock, sub);
+  push_update(sub, out);
 }
 
-bool PartyServer::push_update(Socket& sock, Subscription& sub) {
-  const auto& obs = obs::NetServerObs::instance();
+void PartyServer::push_update(Subscription& sub, Outbox& out) {
   const auto& mobs = obs::MonitorPartyObs::instance();
   PushUpdate u;
   u.request_id = sub.request_id;
@@ -624,17 +631,12 @@ bool PartyServer::push_update(Socket& sock, Subscription& sub) {
       break;
     }
     case PartyRole::kAgg:
-      return false;  // unreachable: subscribe() rejects the agg role
+      return;  // unreachable: subscribe() rejects the agg role
   }
   u.cursor = sub.cursor + 1;
   sub.cursor = u.cursor;
   sub.seq = u.seq;
-  const Bytes payload = u.encode();
-  if (!write_frame(sock, MsgType::kPushUpdate, payload,
-                   deadline_in(cfg_.io_deadline))) {
-    return false;
-  }
-  obs.bytes_sent.add(kHeaderSize + payload.size());
+  Bytes payload = u.encode();
   mobs.pushes.add();
   mobs.push_bytes.add(kHeaderSize + payload.size());
   if (full) {
@@ -642,10 +644,10 @@ bool PartyServer::push_update(Socket& sock, Subscription& sub) {
   } else {
     mobs.push_delta.add();
   }
-  return true;
+  out.push_back(OutFrame{MsgType::kPushUpdate, std::move(payload)});
 }
 
-bool PartyServer::push_if_drifted(Socket& sock, Subscription& sub) {
+void PartyServer::drift_tick(Subscription& sub, Outbox& out) {
   const auto& mobs = obs::MonitorPartyObs::instance();
   mobs.push_checks.add();
   switch (role_) {
@@ -656,40 +658,170 @@ bool PartyServer::push_if_drifted(Socket& sock, Subscription& sub) {
       const std::uint64_t items = count_->items_observed();
       if (items == sub.pushed_items ||
           static_cast<double>(items - sub.pushed_items) < sub.slack) {
-        return true;
+        return;
       }
-      return push_update(sock, sub);
+      push_update(sub, out);
+      return;
     }
     case PartyRole::kDistinct: {
       const std::uint64_t items = distinct_->items_observed();
       if (items == sub.pushed_items ||
           static_cast<double>(items - sub.pushed_items) < sub.slack) {
-        return true;
+        return;
       }
-      return push_update(sock, sub);
+      push_update(sub, out);
+      return;
     }
     case PartyRole::kBasic: {
       // change_cursor gates the (lock + query) estimate walk: if the wave
       // didn't mutate since the last check, the estimate can't have moved.
       const std::uint64_t cc = basic_->change_cursor();
-      if (cc == sub.last_change) return true;
+      if (cc == sub.last_change) return;
       sub.last_change = cc;
       const double v = basic_->query(sub.n).value;
-      if (std::abs(v - sub.pushed_value) < sub.slack) return true;
-      return push_update(sock, sub);
+      if (std::abs(v - sub.pushed_value) < sub.slack) return;
+      push_update(sub, out);
+      return;
     }
     case PartyRole::kSum: {
       const std::uint64_t cc = sum_->change_cursor();
-      if (cc == sub.last_change) return true;
+      if (cc == sub.last_change) return;
       sub.last_change = cc;
       const double v = sum_->query(sub.n).value;
-      if (std::abs(v - sub.pushed_value) < sub.slack) return true;
-      return push_update(sock, sub);
+      if (std::abs(v - sub.pushed_value) < sub.slack) return;
+      push_update(sub, out);
+      return;
     }
     case PartyRole::kAgg:
-      return true;
+      return;
   }
-  return true;
+}
+
+PartyServer::ConnAction PartyServer::process_frame(const Frame& frame,
+                                                   Subscription& sub,
+                                                   Outbox& out) {
+  const auto& obs = obs::NetServerObs::instance();
+  auto err_out = [&](std::uint64_t request_id, ErrCode code,
+                     std::string message) {
+    out.push_back(OutFrame{
+        MsgType::kErr,
+        ErrReply{request_id, code, std::move(message)}.encode()});
+  };
+
+  switch (frame.type) {
+    case MsgType::kHello: {
+      Hello hello;
+      if (!Hello::decode(frame.payload, hello)) {
+        obs.frame_errors.add();
+        err_out(0, ErrCode::kBadRequest, "bad hello");
+        return ConnAction::kClose;
+      }
+      out.push_back(OutFrame{MsgType::kHelloAck, hello_ack().encode()});
+      break;
+    }
+    case MsgType::kSnapshotRequest: {
+      obs.requests.add();
+      SnapshotRequest req;
+      if (!SnapshotRequest::decode(frame.payload, req)) {
+        obs.frame_errors.add();
+        err_out(0, ErrCode::kBadRequest, "bad snapshot request");
+        return ConnAction::kClose;
+      }
+      answer(req, out);
+      break;
+    }
+    case MsgType::kMetricsRequest: {
+      // Scrape of this process's obs registry. No Hello required: a
+      // scrape-only connection (wavecli metrics --connect, the CI schema
+      // check) sends this as its first frame.
+      MetricsRequest req;
+      if (!MetricsRequest::decode(frame.payload, req)) {
+        obs.frame_errors.add();
+        err_out(0, ErrCode::kBadRequest, "bad metrics request");
+        return ConnAction::kClose;
+      }
+      MetricsReply r;
+      r.request_id = req.request_id;
+      r.generation = cfg_.generation;
+      r.format = req.format;
+      switch (req.format) {
+        case MetricsFormat::kProm:
+          r.text = obs::prometheus_text();
+          break;
+        case MetricsFormat::kJson:
+          r.text = obs::json_text();
+          break;
+        case MetricsFormat::kTrace:
+          r.text = obs::trace_text(req.trace_filter);
+          break;
+      }
+      out.push_back(OutFrame{MsgType::kMetricsReply, r.encode()});
+      break;
+    }
+    case MsgType::kHealthRequest: {
+      // Liveness probe (src/supervise/). Like kMetricsRequest, no Hello
+      // required: a supervisor's probe connection sends this as its
+      // first frame and never touches snapshot state.
+      HealthRequest req;
+      if (!HealthRequest::decode(frame.payload, req)) {
+        obs.frame_errors.add();
+        err_out(0, ErrCode::kBadRequest, "bad health request");
+        return ConnAction::kClose;
+      }
+      out.push_back(
+          OutFrame{MsgType::kHealthReply, health_reply(req.request_id).encode()});
+      obs.health_probes.add();
+      break;
+    }
+    case MsgType::kSubscribe: {
+      obs.requests.add();
+      SubscribeRequest req;
+      if (!SubscribeRequest::decode(frame.payload, req)) {
+        obs.frame_errors.add();
+        err_out(0, ErrCode::kBadRequest, "bad subscribe request");
+        return ConnAction::kClose;
+      }
+      // Typed rejections keep the connection: the request parsed fine,
+      // the framing is intact, and the peer may fall back to polling.
+      const char* reject = nullptr;
+      if (!cfg_.enable_push) {
+        reject = "push subscriptions disabled";
+      } else if (role_ == PartyRole::kAgg) {
+        reject = "push unsupported for role agg";
+      }
+      if (reject != nullptr) {
+        err_out(req.request_id, ErrCode::kBadRequest, reject);
+        break;
+      }
+      if (req.role != role_) {
+        err_out(req.request_id, ErrCode::kWrongRole,
+                std::string("party serves role ") + role_name(role_));
+        break;
+      }
+      subscribe(req, sub, out);
+      break;
+    }
+    case MsgType::kUnsubscribe: {
+      Unsubscribe req;
+      if (!Unsubscribe::decode(frame.payload, req)) {
+        obs.frame_errors.add();
+        err_out(0, ErrCode::kBadRequest, "bad unsubscribe");
+        return ConnAction::kClose;
+      }
+      // No reply by design: frames are processed in order, so the next
+      // request/reply exchange on this connection is unambiguous.
+      sub = Subscription{};
+      obs::MonitorPartyObs::instance().unsubscribes.add();
+      break;
+    }
+    default: {
+      obs.frame_errors.add();
+      err_out(0, ErrCode::kBadRequest, "unexpected message type");
+      return ConnAction::kClose;
+    }
+  }
+  if (sub.active) drift_tick(sub, out);
+  return ConnAction::kKeep;
 }
 
 void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
@@ -701,6 +833,17 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
   // At most one push subscription per connection; stack-local, so its
   // delta baselines die with the handler thread.
   Subscription sub;
+  Outbox out;
+  // Any failed write drops the connection: send_all may have delivered a
+  // prefix, after which the frame stream is unrecoverable (socket.hpp).
+  auto flush = [&](Deadline dl) -> bool {
+    for (OutFrame& f : out) {
+      if (!write_frame(sock, f.type, f.payload, dl)) return false;
+      obs.bytes_sent.add(kHeaderSize + f.payload.size());
+    }
+    out.clear();
+    return true;
+  };
   while (!st.stop_requested()) {
     // Idle-wait in short ticks so a stop request is honored promptly even
     // on a silent connection; the io_deadline only applies once bytes
@@ -710,7 +853,11 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
         sub.active ? std::min(sub.check, std::chrono::milliseconds(100))
                    : std::chrono::milliseconds(100);
     if (!sock.wait_readable(deadline_in(tick))) {
-      if (sub.active && !push_if_drifted(sock, sub)) return;
+      if (sub.active) {
+        out.clear();
+        drift_tick(sub, out);
+        if (!flush(deadline_in(cfg_.io_deadline))) return;
+      }
       continue;
     }
     const Deadline dl = deadline_in(cfg_.io_deadline);
@@ -728,160 +875,10 @@ void PartyServer::serve_connection(Socket sock, const std::stop_token& st) {
     }
     obs.bytes_received.add(kHeaderSize + frame.payload.size());
 
-    switch (frame.type) {
-      case MsgType::kHello: {
-        Hello hello;
-        if (!Hello::decode(frame.payload, hello)) {
-          obs.frame_errors.add();
-          ErrReply err{0, ErrCode::kBadRequest, "bad hello"};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          return;
-        }
-        const Bytes payload = hello_ack().encode();
-        if (!write_frame(sock, MsgType::kHelloAck, payload, dl)) return;
-        obs.bytes_sent.add(kHeaderSize + payload.size());
-        break;
-      }
-      case MsgType::kSnapshotRequest: {
-        obs.requests.add();
-        SnapshotRequest req;
-        if (!SnapshotRequest::decode(frame.payload, req)) {
-          obs.frame_errors.add();
-          ErrReply err{0, ErrCode::kBadRequest, "bad snapshot request"};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          return;
-        }
-        answer(sock, req, dl);
-        break;
-      }
-      case MsgType::kMetricsRequest: {
-        // Scrape of this process's obs registry. No Hello required: a
-        // scrape-only connection (wavecli metrics --connect, the CI schema
-        // check) sends this as its first frame.
-        MetricsRequest req;
-        if (!MetricsRequest::decode(frame.payload, req)) {
-          obs.frame_errors.add();
-          ErrReply err{0, ErrCode::kBadRequest, "bad metrics request"};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          return;
-        }
-        MetricsReply r;
-        r.request_id = req.request_id;
-        r.generation = cfg_.generation;
-        r.format = req.format;
-        switch (req.format) {
-          case MetricsFormat::kProm:
-            r.text = obs::prometheus_text();
-            break;
-          case MetricsFormat::kJson:
-            r.text = obs::json_text();
-            break;
-          case MetricsFormat::kTrace:
-            r.text = obs::trace_text(req.trace_filter);
-            break;
-        }
-        const Bytes payload = r.encode();
-        if (!write_frame(sock, MsgType::kMetricsReply, payload, dl)) return;
-        obs.bytes_sent.add(kHeaderSize + payload.size());
-        break;
-      }
-      case MsgType::kHealthRequest: {
-        // Liveness probe (src/supervise/). Like kMetricsRequest, no Hello
-        // required: a supervisor's probe connection sends this as its
-        // first frame and never touches snapshot state.
-        HealthRequest req;
-        if (!HealthRequest::decode(frame.payload, req)) {
-          obs.frame_errors.add();
-          ErrReply err{0, ErrCode::kBadRequest, "bad health request"};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          return;
-        }
-        const Bytes payload = health_reply(req.request_id).encode();
-        if (!write_frame(sock, MsgType::kHealthReply, payload, dl)) return;
-        obs.bytes_sent.add(kHeaderSize + payload.size());
-        obs.health_probes.add();
-        break;
-      }
-      case MsgType::kSubscribe: {
-        obs.requests.add();
-        SubscribeRequest req;
-        if (!SubscribeRequest::decode(frame.payload, req)) {
-          obs.frame_errors.add();
-          ErrReply err{0, ErrCode::kBadRequest, "bad subscribe request"};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          return;
-        }
-        // Typed rejections keep the connection: the request parsed fine,
-        // the framing is intact, and the peer may fall back to polling.
-        const char* reject = nullptr;
-        if (!cfg_.enable_push) {
-          reject = "push subscriptions disabled";
-        } else if (role_ == PartyRole::kAgg) {
-          reject = "push unsupported for role agg";
-        }
-        if (reject != nullptr) {
-          ErrReply err{req.request_id, ErrCode::kBadRequest, reject};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          break;
-        }
-        if (req.role != role_) {
-          ErrReply err{req.request_id, ErrCode::kWrongRole,
-                       std::string("party serves role ") + role_name(role_)};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          break;
-        }
-        if (!subscribe(sock, req, sub)) return;
-        break;
-      }
-      case MsgType::kUnsubscribe: {
-        Unsubscribe req;
-        if (!Unsubscribe::decode(frame.payload, req)) {
-          obs.frame_errors.add();
-          ErrReply err{0, ErrCode::kBadRequest, "bad unsubscribe"};
-          const Bytes payload = err.encode();
-          if (write_frame(sock, MsgType::kErr, payload, dl)) {
-            obs.bytes_sent.add(kHeaderSize + payload.size());
-          }
-          return;
-        }
-        // No reply by design: frames are processed in order, so the next
-        // request/reply exchange on this connection is unambiguous.
-        sub = Subscription{};
-        obs::MonitorPartyObs::instance().unsubscribes.add();
-        break;
-      }
-      default: {
-        obs.frame_errors.add();
-        ErrReply err{0, ErrCode::kBadRequest, "unexpected message type"};
-        const Bytes payload = err.encode();
-        if (write_frame(sock, MsgType::kErr, payload, dl)) {
-          obs.bytes_sent.add(kHeaderSize + payload.size());
-        }
-        return;
-      }
-    }
-    if (sub.active && !push_if_drifted(sock, sub)) return;
+    out.clear();
+    const ConnAction act = process_frame(frame, sub, out);
+    if (!flush(dl)) return;
+    if (act == ConnAction::kClose) return;
   }
 }
 

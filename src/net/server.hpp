@@ -4,10 +4,21 @@
 // Hello / SnapshotRequest messages. The `waved` daemon is a thin CLI shell
 // around this class; tests and benches embed it in-process.
 //
-// Concurrency: one accept loop thread plus one short-lived thread per
-// connection. Backends are internally locked (the parties) or locked here
-// (the totals states), so an ingestion thread may keep feeding while the
-// referee queries — the model's "parties observe, referee asks" split.
+// Concurrency: two interchangeable I/O cores behind ServerConfig::io_model
+// (net/io_model.hpp), both speaking the identical wire protocol:
+//
+//   threads  one accept-loop thread plus one short-lived thread per
+//            connection (the original core, kept for differential testing).
+//   epoll    one EventLoop thread multiplexing every connection plus a
+//            small fixed worker pool for the synopsis work; push-drift
+//            checks are timer-wheel entries, so thousands of idle
+//            subscriptions cost no threads (net/event_loop.hpp).
+//
+// Both cores feed the same frame logic (process_frame below), so replies
+// are byte-identical regardless of the core. Backends are internally
+// locked (the parties) or locked here (the totals states), so an ingestion
+// thread may keep feeding while the referee queries — the model's "parties
+// observe, referee asks" split.
 #pragma once
 
 #include <atomic>
@@ -25,6 +36,7 @@
 #include "core/sum_wave.hpp"
 #include "distributed/party.hpp"
 #include "net/frame.hpp"
+#include "net/io_model.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "recovery/checkpoint.hpp"
@@ -141,11 +153,17 @@ struct ServerConfig {
   // own (tag-3 check_every_ms of 0).
   std::chrono::milliseconds push_check{25};
   // Hard cap on live connections (thread-per-connection: this bounds the
-  // handler threads). Over the cap, a fresh accept is answered with one
-  // ErrReply{kOverloaded} frame and closed — typed, counted in
-  // waves_net_server_overload_rejected_total — so a watcher stampede or a
-  // socket leak degrades loudly instead of exhausting the daemon.
+  // handler threads; epoll: the fd budget). Over the cap, a fresh accept is
+  // answered with one ErrReply{kOverloaded} frame and closed — typed,
+  // counted in waves_net_server_overload_rejected_total — so a watcher
+  // stampede or a socket leak degrades loudly instead of exhausting the
+  // daemon.
   std::size_t max_connections = 64;
+  // Which I/O core serves connections (identical wire behavior either
+  // way); see net/io_model.hpp for the default + WAVES_IO_MODEL override.
+  IoModel io_model = default_io_model();
+  // Epoll-core worker threads (0 = default_worker_count()).
+  std::size_t io_workers = 0;
 };
 
 /// One party daemon: serves exactly one role, determined by which backend
@@ -237,19 +255,40 @@ class PartyServer {
     distributed::DistinctPartyCheckpoint distinct_base;
   };
 
+  // Frames a core must write for one processed request, in order. Both
+  // I/O cores run the same builders and only differ in how the bytes reach
+  // the peer (blocking send vs. nonblocking write queue), which is what
+  // keeps the two cores byte-identical on the wire.
+  struct OutFrame {
+    MsgType type;
+    Bytes payload;
+  };
+  using Outbox = std::vector<OutFrame>;
+  enum class ConnAction : std::uint8_t {
+    kKeep,   // connection stays in request/reply (or push) mode
+    kClose,  // protocol is lost or the exchange is terminal: flush + close
+  };
+
   [[nodiscard]] HelloAck hello_ack() const;
   [[nodiscard]] HealthReply health_reply(std::uint64_t request_id) const;
-  /// Builds the role-appropriate reply (or Err) for a decoded request.
-  void answer(Socket& sock, const SnapshotRequest& req, Deadline dl);
-  /// Opens `sub` for a decoded kSubscribe and sends the initial full-state
-  /// push (the ack). False if the connection must drop.
-  [[nodiscard]] bool subscribe(Socket& sock, const SubscribeRequest& req,
-                               Subscription& sub);
+  /// The transport-independent frame state machine: decode one frame,
+  /// append the reply frames (if any) to `out`, update the connection's
+  /// subscription. Runs the post-frame drift check. Called from handler
+  /// threads (threads core) and pool workers (epoll core) — everything it
+  /// touches beyond `sub`/`out` is internally locked.
+  [[nodiscard]] ConnAction process_frame(const Frame& frame, Subscription& sub,
+                                         Outbox& out);
   /// Drift check + conditional push; called on every idle tick of a
-  /// subscribed connection. False if the connection must drop.
-  [[nodiscard]] bool push_if_drifted(Socket& sock, Subscription& sub);
+  /// subscribed connection (threads core: wait_readable timeout; epoll
+  /// core: timer-wheel entry).
+  void drift_tick(Subscription& sub, Outbox& out);
+  /// Builds the role-appropriate reply (or Err) for a decoded request.
+  void answer(const SnapshotRequest& req, Outbox& out);
+  /// Opens `sub` for a decoded kSubscribe and builds the initial
+  /// full-state push (the ack).
+  void subscribe(const SubscribeRequest& req, Subscription& sub, Outbox& out);
   /// Unconditional push of the current state (initial ack, drift firing).
-  [[nodiscard]] bool push_update(Socket& sock, Subscription& sub);
+  void push_update(Subscription& sub, Outbox& out);
   template <class Party, class Checkpoint>
   void delta_answer(Party* party, DeltaState<Checkpoint>& st,
                     const SnapshotRequest& req, DeltaReply& r) const;
@@ -257,6 +296,10 @@ class PartyServer {
   /// retry cache (see CountDeltaState).
   void count_delta_answer(const SnapshotRequest& req, DeltaReply& r) const;
   void reap_finished();
+  // Epoll-core lifecycle (server_loop.cpp).
+  [[nodiscard]] bool loop_start();
+  void loop_stop();
+  void loop_drain(std::chrono::milliseconds grace);
 
   ServerConfig cfg_;
   PartyRole role_;
@@ -283,6 +326,14 @@ class PartyServer {
   };
   std::mutex conns_mu_;
   std::vector<Conn> conns_;
+
+  // Epoll core (server_loop.cpp); null when io_model == kThreads. The
+  // out-of-line deleter keeps LoopCore fully private to that TU.
+  struct LoopCore;
+  struct LoopCoreDeleter {
+    void operator()(LoopCore* core) const;
+  };
+  std::unique_ptr<LoopCore, LoopCoreDeleter> loop_;
 };
 
 }  // namespace waves::net

@@ -48,6 +48,17 @@ bool poll_until(int fd, short events, Deadline dl) {
 
 }  // namespace
 
+bool prepare_socket(int fd, SocketKind kind) {
+  if (fd < 0 || !set_nonblocking(fd)) return false;
+  const int one = 1;
+  if (kind == SocketKind::kListener) {
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  } else {
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return true;
+}
+
 Socket::Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
 
 Socket& Socket::operator=(Socket&& o) noexcept {
@@ -156,10 +167,9 @@ Socket tcp_connect(const std::string& host, std::uint16_t port, Deadline dl,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return Socket{};
 
   Socket s(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!s.valid() || !set_nonblocking(s.fd())) return Socket{};
-
-  const int one = 1;
-  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!s.valid() || !prepare_socket(s.fd(), SocketKind::kConnection)) {
+    return Socket{};
+  }
 
   const int rc =
       ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
@@ -186,10 +196,9 @@ bool Listener::listen_on(const std::string& host, std::uint16_t port) {
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
 
   Socket s(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!s.valid() || !set_nonblocking(s.fd())) return false;
-
-  const int one = 1;
-  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (!s.valid() || !prepare_socket(s.fd(), SocketKind::kListener)) {
+    return false;
+  }
 
   if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
@@ -209,20 +218,26 @@ bool Listener::listen_on(const std::string& host, std::uint16_t port) {
 
 Socket Listener::accept_one(Deadline dl) {
   while (true) {
-    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
-    if (fd >= 0) {
-      Socket s(fd);
-      if (!set_nonblocking(s.fd())) return Socket{};
-      const int one = 1;
-      ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      return s;
-    }
+    Socket s = try_accept();
+    if (s.valid()) return s;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       if (!poll_until(sock_.fd(), POLLIN, dl)) return Socket{};
       continue;
     }
-    if (errno == EINTR || errno == ECONNABORTED) continue;
     return Socket{};
+  }
+}
+
+Socket Listener::try_accept() {
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      if (!prepare_socket(s.fd(), SocketKind::kConnection)) return Socket{};
+      return s;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Socket{};  // EAGAIN (backlog drained) or a hard error
   }
 }
 

@@ -62,6 +62,15 @@ class Socket {
 [[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port,
                                  Deadline dl, bool* timed_out = nullptr);
 
+/// One shared socket-option bundle for every fd the transport creates —
+/// server, hub, and client sockets all go through here so the options can
+/// never drift apart: every fd goes nonblocking, listeners get
+/// SO_REUSEADDR (fast restart re-bind), connections get TCP_NODELAY (the
+/// protocol is small request/reply frames; Nagle only adds latency).
+/// False if the fd can't be made nonblocking (options are best-effort).
+enum class SocketKind : std::uint8_t { kListener, kConnection };
+[[nodiscard]] bool prepare_socket(int fd, SocketKind kind);
+
 /// Listening socket; port 0 binds an ephemeral port (read it back via
 /// port(), which waved prints in its READY line).
 class Listener {
@@ -73,6 +82,13 @@ class Listener {
   /// accept loop calls this with a short deadline and checks its stop
   /// token between calls.
   [[nodiscard]] Socket accept_one(Deadline dl);
+  /// Nonblocking accept of one already-queued connection; invalid Socket
+  /// when none is pending. The event-loop accept handler calls this in a
+  /// loop until it drains the backlog (accept-until-EAGAIN), so one
+  /// readiness event never strands queued peers.
+  [[nodiscard]] Socket try_accept();
+  /// Raw listening fd for event-loop registration.
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
   void close() noexcept { sock_.close(); }
 
  private:

@@ -44,4 +44,15 @@ const NetServerObs& NetServerObs::instance() {
   return o;
 }
 
+const NetLoopObs& NetLoopObs::instance() {
+  static Registry& reg = Registry::instance();
+  static const NetLoopObs o{reg.counter("waves_net_loop_wakeups_total"),
+                            reg.counter("waves_net_loop_events_total"),
+                            reg.counter("waves_net_loop_timer_fires_total"),
+                            reg.counter("waves_net_loop_stalled_writes_total"),
+                            reg.gauge("waves_net_loop_queue_depth"),
+                            reg.gauge("waves_net_io_model")};
+  return o;
+}
+
 }  // namespace waves::obs

@@ -47,6 +47,16 @@
 //                                            max_connections cap (ErrCode
 //                                            kOverloaded, then close)
 //   waves_net_server_health_probes_total     kHealthRequest frames answered
+//
+// Event-loop families (the epoll/poll readiness core, net/event_loop.hpp):
+//   waves_net_loop_wakeups_total        epoll_wait/poll returns
+//   waves_net_loop_events_total         fd readiness events dispatched
+//   waves_net_loop_timer_fires_total    timer-wheel entries fired
+//   waves_net_loop_stalled_writes_total flushes left bytes queued (peer's
+//                                       socket full — backpressure engaged)
+//   waves_net_loop_queue_depth          worker-pool jobs queued, not started
+//   waves_net_io_model                  info gauge: 1 = threads core,
+//                                       2 = epoll core (IoModel values)
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -91,6 +101,17 @@ struct NetServerObs {
   const Counter& health_probes;
 
   static const NetServerObs& instance();
+};
+
+struct NetLoopObs {
+  const Counter& wakeups;
+  const Counter& events;
+  const Counter& timer_fires;
+  const Counter& stalled_writes;
+  const Gauge& queue_depth;
+  const Gauge& io_model;
+
+  static const NetLoopObs& instance();
 };
 
 }  // namespace waves::obs

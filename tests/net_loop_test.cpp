@@ -1,0 +1,448 @@
+// Event-loop core tests: EventLoop timers/fds/post (both backends — epoll
+// and the poll(2) fallback), the WorkerPool, byte-level differential
+// checks between the thread-per-connection core and the epoll core, and
+// the slow-loris deadline behavior only the readiness-driven core can be
+// attacked with. Suite names start with NetLoop so the TSan CI leg's
+// -R "...|Net" regex picks every test up.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "distributed/party.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/io_model.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+namespace waves::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Deadline soon() { return deadline_in(std::chrono::milliseconds(2000)); }
+
+core::RandWave::Params params() {
+  return {.eps = 0.2, .window = 1024, .c = 36};
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop — parameterized over the backend (true = epoll, false = poll).
+
+class NetLoopBackend : public ::testing::TestWithParam<bool> {};
+
+TEST_P(NetLoopBackend, BackendSelectionHonored) {
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  // Forcing poll must actually select poll; preferring epoll may still
+  // fall back where epoll is unavailable, so only the forced case is exact.
+  if (!GetParam()) {
+    EXPECT_FALSE(loop.using_epoll());
+  }
+}
+
+TEST_P(NetLoopBackend, PostMarshalsClosuresFromOtherThreads) {
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> ran{0};
+  std::jthread runner([&](const std::stop_token& st) { loop.run(st); });
+  std::vector<std::jthread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        loop.post([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  posters.clear();  // join posters
+  const auto give_up = Clock::now() + 2s;
+  while (ran.load() < 200 && Clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(ran.load(), 200);
+  runner.request_stop();
+  loop.wake();
+}
+
+TEST_P(NetLoopBackend, TimerFiresOnceNearItsDelay) {
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> fires{0};
+  const auto t0 = Clock::now();
+  std::atomic<std::int64_t> fired_after_ms{-1};
+  loop.post([&] {
+    (void)loop.arm_timer(20ms, [&] {
+      fires.fetch_add(1);
+      fired_after_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               Clock::now() - t0)
+                               .count());
+    });
+  });
+  std::jthread runner([&](const std::stop_token& st) { loop.run(st); });
+  const auto give_up = Clock::now() + 2s;
+  while (fires.load() == 0 && Clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(50ms);  // would catch a double fire
+  EXPECT_EQ(fires.load(), 1);
+  // One-shot, roughly on time: no earlier than the delay minus one tick.
+  EXPECT_GE(fired_after_ms.load(),
+            20 - EventLoop::kTimerTick.count());
+  runner.request_stop();
+  loop.wake();
+}
+
+TEST_P(NetLoopBackend, CancelledTimerNeverFires) {
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> fires{0};
+  std::atomic<bool> cancelled{false};
+  loop.post([&] {
+    const EventLoop::TimerId id =
+        loop.arm_timer(30ms, [&] { fires.fetch_add(1); });
+    loop.cancel_timer(id);
+    cancelled.store(true);
+  });
+  std::jthread runner([&](const std::stop_token& st) { loop.run(st); });
+  const auto give_up = Clock::now() + 2s;
+  while (!cancelled.load() && Clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(fires.load(), 0);
+  runner.request_stop();
+  loop.wake();
+}
+
+TEST_P(NetLoopBackend, MultiLapTimerRidesTheRoundsCounter) {
+  // kTimerTick * kTimerSlots is the wheel's one-lap horizon (~1s); a delay
+  // past it must carry a rounds counter and still fire.
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  const auto horizon = EventLoop::kTimerTick * EventLoop::kTimerSlots;
+  std::atomic<int> fires{0};
+  const auto t0 = Clock::now();
+  std::atomic<std::int64_t> fired_after_ms{-1};
+  loop.post([&] {
+    (void)loop.arm_timer(horizon + 100ms, [&] {
+      fires.fetch_add(1);
+      fired_after_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               Clock::now() - t0)
+                               .count());
+    });
+  });
+  std::jthread runner([&](const std::stop_token& st) { loop.run(st); });
+  const auto give_up = Clock::now() + horizon + 3s;
+  while (fires.load() == 0 && Clock::now() < give_up) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(fires.load(), 1);
+  EXPECT_GE(fired_after_ms.load(),
+            std::chrono::duration_cast<std::chrono::milliseconds>(horizon)
+                .count());
+  runner.request_stop();
+  loop.wake();
+}
+
+TEST_P(NetLoopBackend, OverdueTimerClampsToZeroInsteadOfBlocking) {
+  // Regression: when the loop thread falls behind (a handler runs past a
+  // timer's due time), the next-timeout computation used to wrap negative
+  // under unsigned duration arithmetic — and epoll_wait treats a negative
+  // timeout as "block forever", freezing every timer until the next fd
+  // event. The overdue slot must clamp to 0 and fire immediately.
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  std::atomic<int> fires{0};
+  loop.post([&] {
+    (void)loop.arm_timer(10ms, [&] { fires.fetch_add(1); });
+    // Stall the loop thread well past the due time before it ever gets to
+    // compute a poll timeout for that timer.
+    std::this_thread::sleep_for(120ms);
+  });
+  std::jthread runner([&](const std::stop_token& st) { loop.run(st); });
+  const auto t0 = Clock::now();
+  const auto give_up = t0 + 5s;
+  while (fires.load() == 0 && Clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(fires.load(), 1);
+  // Generous bound: the stall is 120ms; anything near the 5s give-up means
+  // the loop blocked on a wrapped timeout. No fd traffic arrives in this
+  // test, so only the (fixed) timeout math can wake the loop.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - t0)
+                .count(),
+            2000);
+  runner.request_stop();
+  loop.wake();
+}
+
+TEST_P(NetLoopBackend, FdReadinessDispatchesHandler) {
+  EventLoop loop(GetParam());
+  ASSERT_TRUE(loop.ok());
+  Listener listener;
+  ASSERT_TRUE(listener.listen_on("127.0.0.1", 0));
+  Socket client = tcp_connect("127.0.0.1", listener.port(), soon());
+  ASSERT_TRUE(client.valid());
+  Socket server = listener.accept_one(soon());
+  ASSERT_TRUE(server.valid());
+
+  std::atomic<int> reads{0};
+  char buf[16];
+  const int sfd = server.fd();
+  // Loop thread not running yet, so registration from here is safe.
+  ASSERT_TRUE(loop.add_fd(sfd, /*read=*/true, /*write=*/false,
+                          [&, sfd](std::uint32_t events) {
+                            if ((events & EventLoop::kReadable) == 0) return;
+                            while (::recv(sfd, buf, sizeof buf, 0) > 0) {
+                            }
+                            reads.fetch_add(1);
+                          }));
+  EXPECT_EQ(loop.fd_count(), 1u);
+  std::jthread runner([&](const std::stop_token& st) { loop.run(st); });
+
+  ASSERT_TRUE(client.send_all("x", 1, soon()));
+  const auto give_up = Clock::now() + 2s;
+  while (reads.load() == 0 && Clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(reads.load(), 1);
+  runner.request_stop();
+  loop.wake();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NetLoopBackend, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return std::string(p.param ? "epoll" : "poll");
+                         });
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+TEST(NetLoopPool, RunsEveryJobAcrossWorkers) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  const auto give_up = Clock::now() + 5s;
+  while (ran.load() < 200 && Clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(NetLoopPool, DefaultWorkerCountIsBoundedSmall) {
+  const std::size_t n = default_worker_count();
+  EXPECT_GE(n, 2u);
+  EXPECT_LE(n, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: the two cores must be byte-identical on the wire.
+
+struct RawConn {
+  Socket sock;
+
+  [[nodiscard]] static RawConn open(std::uint16_t port) {
+    RawConn c;
+    c.sock = tcp_connect("127.0.0.1", port, soon());
+    EXPECT_TRUE(c.sock.valid());
+    return c;
+  }
+
+  Frame exchange(MsgType type, const Bytes& payload) {
+    EXPECT_TRUE(write_frame(sock, type, payload, soon()));
+    Frame f;
+    EXPECT_EQ(read_frame(sock, f, soon()), ReadStatus::kOk);
+    return f;
+  }
+};
+
+TEST(NetLoopDifferential, WireBytesIdenticalAcrossCores) {
+  distributed::CountParty party(params(), 3, 21);
+  for (int i = 0; i < 3000; ++i) party.observe((i % 3) == 0);
+
+  ServerConfig threads_cfg;
+  threads_cfg.io_model = IoModel::kThreads;
+  ServerConfig epoll_cfg;
+  epoll_cfg.io_model = IoModel::kEpoll;
+  PartyServer threads_srv(threads_cfg, &party);
+  PartyServer epoll_srv(epoll_cfg, &party);
+  ASSERT_TRUE(threads_srv.start());
+  ASSERT_TRUE(epoll_srv.start());
+
+  RawConn a = RawConn::open(threads_srv.port());
+  RawConn b = RawConn::open(epoll_srv.port());
+
+  // Handshake: identical HelloAck bytes.
+  Hello hello;
+  hello.client_id = 42;
+  const Frame ack_a = a.exchange(MsgType::kHello, hello.encode());
+  const Frame ack_b = b.exchange(MsgType::kHello, hello.encode());
+  EXPECT_EQ(ack_a.type, MsgType::kHelloAck);
+  EXPECT_EQ(ack_a.type, ack_b.type);
+  EXPECT_EQ(ack_a.payload, ack_b.payload);
+
+  // Full snapshot reply: identical bytes (same party, same cursor).
+  SnapshotRequest req;
+  req.request_id = 7;
+  req.role = PartyRole::kCount;
+  req.n = 1024;
+  const Frame rep_a = a.exchange(MsgType::kSnapshotRequest, req.encode());
+  const Frame rep_b = b.exchange(MsgType::kSnapshotRequest, req.encode());
+  EXPECT_EQ(rep_a.type, MsgType::kCountReply);
+  EXPECT_EQ(rep_a.type, rep_b.type);
+  EXPECT_EQ(rep_a.payload, rep_b.payload);
+
+  // Typed error path: wrong role, identical ErrReply bytes, connection
+  // stays usable on both cores.
+  req.request_id = 8;
+  req.role = PartyRole::kDistinct;
+  const Frame err_a = a.exchange(MsgType::kSnapshotRequest, req.encode());
+  const Frame err_b = b.exchange(MsgType::kSnapshotRequest, req.encode());
+  EXPECT_EQ(err_a.type, MsgType::kErr);
+  EXPECT_EQ(err_a.type, err_b.type);
+  EXPECT_EQ(err_a.payload, err_b.payload);
+  ErrReply decoded;
+  ASSERT_TRUE(ErrReply::decode(err_a.payload, decoded));
+  EXPECT_EQ(decoded.code, ErrCode::kWrongRole);
+
+  req.request_id = 9;
+  req.role = PartyRole::kCount;
+  const Frame again_a = a.exchange(MsgType::kSnapshotRequest, req.encode());
+  const Frame again_b = b.exchange(MsgType::kSnapshotRequest, req.encode());
+  EXPECT_EQ(again_a.payload, again_b.payload);
+}
+
+// Live-server behaviors per core: handshake, query, subscribe ack.
+class NetLoopServer : public ::testing::TestWithParam<IoModel> {};
+
+TEST_P(NetLoopServer, HelloQuerySubscribeAllServe) {
+  distributed::CountParty party(params(), 3, 5);
+  for (int i = 0; i < 2000; ++i) party.observe(i % 2 == 0);
+  ServerConfig cfg;
+  cfg.io_model = GetParam();
+  PartyServer server(cfg, &party);
+  ASSERT_TRUE(server.start());
+
+  RawConn c = RawConn::open(server.port());
+  Hello hello;
+  const Frame ack = c.exchange(MsgType::kHello, hello.encode());
+  ASSERT_EQ(ack.type, MsgType::kHelloAck);
+  HelloAck decoded;
+  ASSERT_TRUE(HelloAck::decode(ack.payload, decoded));
+  EXPECT_EQ(decoded.role, PartyRole::kCount);
+  EXPECT_EQ(decoded.window, 1024u);
+
+  SnapshotRequest req;
+  req.request_id = 1;
+  req.role = PartyRole::kCount;
+  req.n = 1024;
+  const Frame rep = c.exchange(MsgType::kSnapshotRequest, req.encode());
+  EXPECT_EQ(rep.type, MsgType::kCountReply);
+
+  SubscribeRequest sub;
+  sub.request_id = 2;
+  sub.role = PartyRole::kCount;
+  sub.n = 1024;
+  sub.has_slack = true;
+  sub.slack = 1e18;  // never drifts: only the initial ack push arrives
+  sub.check_every_ms = 50;
+  const Frame push = c.exchange(MsgType::kSubscribe, sub.encode());
+  EXPECT_EQ(push.type, MsgType::kPushUpdate);
+
+  Unsubscribe unsub;
+  unsub.request_id = 3;
+  ASSERT_TRUE(write_frame(c.sock, MsgType::kUnsubscribe, unsub.encode(),
+                          soon()));
+  // Back in request/reply mode.
+  req.request_id = 4;
+  const Frame rep2 = c.exchange(MsgType::kSnapshotRequest, req.encode());
+  EXPECT_EQ(rep2.type, MsgType::kCountReply);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, NetLoopServer,
+                         ::testing::Values(IoModel::kThreads,
+                                           IoModel::kEpoll),
+                         [](const ::testing::TestParamInfo<IoModel>& p) {
+                           return std::string(io_model_name(p.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Slow loris: the epoll core must expire stalled partial frames via the
+// deadline wheel without stalling any other session.
+
+TEST(NetLoopSlowLoris, StalledPartialHeaderExpiresOthersUnaffected) {
+  distributed::CountParty party(params(), 3, 9);
+  for (int i = 0; i < 1000; ++i) party.observe(true);
+  ServerConfig cfg;
+  cfg.io_model = IoModel::kEpoll;
+  cfg.io_deadline = std::chrono::milliseconds(200);
+  PartyServer server(cfg, &party);
+  ASSERT_TRUE(server.start());
+
+  // The attacker: three header bytes, then silence.
+  Socket loris = tcp_connect("127.0.0.1", server.port(), soon());
+  ASSERT_TRUE(loris.valid());
+  const auto header = put_header(MsgType::kHello, 0);
+  ASSERT_TRUE(loris.send_all(header.data(), 3, soon()));
+
+  // Healthy sessions keep being served the whole time the loris stalls.
+  RawConn healthy = RawConn::open(server.port());
+  Hello hello;
+  EXPECT_EQ(healthy.exchange(MsgType::kHello, hello.encode()).type,
+            MsgType::kHelloAck);
+  SnapshotRequest req;
+  req.role = PartyRole::kCount;
+  req.n = 1024;
+  const auto until = Clock::now() + 600ms;
+  int served = 0;
+  while (Clock::now() < until) {
+    req.request_id = static_cast<std::uint64_t>(served + 1);
+    ASSERT_EQ(healthy.exchange(MsgType::kSnapshotRequest, req.encode()).type,
+              MsgType::kCountReply);
+    ++served;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GT(served, 10);
+
+  // By now the loris is far past io_deadline: the server must have closed
+  // it (EOF on our side), not left the connection parked forever.
+  char byte = 0;
+  const IoResult r = loris.recv_exact(&byte, 1, soon());
+  EXPECT_EQ(r, IoResult::kClosed);
+}
+
+TEST(NetLoopSlowLoris, StalledPayloadExpiresToo) {
+  distributed::CountParty party(params(), 3, 9);
+  ServerConfig cfg;
+  cfg.io_model = IoModel::kEpoll;
+  cfg.io_deadline = std::chrono::milliseconds(150);
+  PartyServer server(cfg, &party);
+  ASSERT_TRUE(server.start());
+
+  // Full header promising 100 payload bytes; send only 10 and stall.
+  Socket loris = tcp_connect("127.0.0.1", server.port(), soon());
+  ASSERT_TRUE(loris.valid());
+  const auto header = put_header(MsgType::kHello, 100);
+  ASSERT_TRUE(loris.send_all(header.data(), header.size(), soon()));
+  const char partial[10] = {};
+  ASSERT_TRUE(loris.send_all(partial, sizeof partial, soon()));
+
+  char byte = 0;
+  EXPECT_EQ(loris.recv_exact(&byte, 1, soon()), IoResult::kClosed);
+}
+
+}  // namespace
+}  // namespace waves::net

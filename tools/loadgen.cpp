@@ -1,0 +1,161 @@
+// loadgen — connection-scale load driver for a waved daemon (or any
+// PartyServer endpoint).
+//
+//   loadgen --connect H:P [--conns N] [--workers W] [--requests K]
+//           [--mode query|idle] [--role count|distinct|basic|sum]
+//           [--window N] [--slack S] [--check-ms MS]
+//           [--hold-seconds SEC] [--deadline-ms MS]
+//
+// query mode opens N handshaken connections and drives K snapshot queries
+// across them from W workers (bounded in-flight, every connection hot),
+// then prints one JSON line with qps and latency percentiles. idle mode
+// turns every connection into a push subscription and holds them open for
+// --hold-seconds, printing resident threads and RSS before/after — the
+// "what does an idle subscriber cost" probe. Raises RLIMIT_NOFILE to the
+// hard limit first, so --conns is bounded by the kernel, not the soft
+// default.
+//
+// Exit codes: 0 ok, 1 load failures (connections refused mid-run), 2 usage.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "loadgen.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+
+namespace {
+
+struct Options {
+  std::string connect;
+  std::size_t conns = 64;
+  std::size_t workers = 8;
+  std::uint64_t requests = 10000;
+  std::string mode = "query";
+  std::string role = "count";
+  std::uint64_t window = 4096;
+  double slack = 64.0;
+  std::uint64_t check_ms = 100;
+  double hold_seconds = 1.0;
+  std::uint64_t deadline_ms = 5000;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: loadgen --connect H:P [--conns N] [--workers W]\n"
+               "               [--requests K] [--mode query|idle]\n"
+               "               [--role count|distinct|basic|sum] "
+               "[--window N]\n"
+               "               [--slack S] [--check-ms MS] "
+               "[--hold-seconds SEC]\n"
+               "               [--deadline-ms MS]\n");
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "--connect") {
+      o.connect = val;
+    } else if (flag == "--conns") {
+      o.conns = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--workers") {
+      o.workers = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--requests") {
+      o.requests = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--mode") {
+      o.mode = val;
+    } else if (flag == "--role") {
+      o.role = val;
+    } else if (flag == "--window") {
+      o.window = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--slack") {
+      o.slack = std::atof(val);
+    } else if (flag == "--check-ms") {
+      o.check_ms = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--hold-seconds") {
+      o.hold_seconds = std::atof(val);
+    } else if (flag == "--deadline-ms") {
+      o.deadline_ms = std::strtoull(val, nullptr, 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (o.connect.empty() || o.conns == 0 || o.workers == 0) {
+    return std::nullopt;
+  }
+  if (o.mode != "query" && o.mode != "idle") return std::nullopt;
+  return o;
+}
+
+void raise_fd_limit() {
+  struct rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) return usage();
+  const Options& o = *opts;
+  raise_fd_limit();
+
+  using namespace waves;
+  net::Endpoint ep;
+  if (!net::parse_endpoint(o.connect, ep)) return usage();
+  net::PartyRole role{};
+  if (!net::role_from_name(o.role, role)) return usage();
+
+  auto conns = tools::open_conns(
+      ep.host, ep.port, o.conns, std::chrono::milliseconds(o.deadline_ms));
+  if (conns.size() < o.conns) {
+    std::fprintf(stderr, "loadgen: opened %zu/%zu connections\n",
+                 conns.size(), o.conns);
+  }
+  if (conns.empty()) return 1;
+
+  if (o.mode == "query") {
+    const tools::LoadStats s = tools::query_load(
+        conns, role, o.window, o.workers, o.requests,
+        std::chrono::milliseconds(o.deadline_ms));
+    std::printf("{\"loadgen\": \"query\", \"conns\": %zu, \"workers\": %zu, "
+                "\"ok\": %llu, \"errors\": %llu, \"seconds\": %.3f, "
+                "\"qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                "\"max_us\": %.1f}\n",
+                conns.size(), o.workers,
+                static_cast<unsigned long long>(s.ok),
+                static_cast<unsigned long long>(s.errors), s.seconds, s.qps,
+                s.p50_us, s.p99_us, s.max_us);
+    return s.errors == 0 ? 0 : 1;
+  }
+
+  // idle: subscribe everything, hold, report the process-wide cost.
+  const std::uint64_t rss0 = tools::resident_bytes();
+  const std::size_t subscribed = tools::subscribe_idle(
+      conns, role, o.window, o.slack, o.check_ms,
+      std::chrono::milliseconds(o.deadline_ms));
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(o.hold_seconds));
+  const std::uint64_t rss1 = tools::resident_bytes();
+  std::printf("{\"loadgen\": \"idle\", \"conns\": %zu, \"subscribed\": %zu, "
+              "\"threads\": %llu, \"rss_bytes\": %llu, "
+              "\"rss_delta_bytes\": %llu}\n",
+              conns.size(), subscribed,
+              static_cast<unsigned long long>(tools::resident_threads()),
+              static_cast<unsigned long long>(rss1),
+              static_cast<unsigned long long>(rss1 > rss0 ? rss1 - rss0
+                                                          : 0));
+  return subscribed == conns.size() ? 0 : 1;
+}

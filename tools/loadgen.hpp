@@ -1,0 +1,221 @@
+// Shared connection-scale load driver for the waves transport, used by the
+// `loadgen` CLI and bench_net_scale (E22).
+//
+// The load model separates the two axes a server core is judged on:
+//
+//   open connections   Each LoadConn is a real handshaken TCP connection the
+//                      server must hold state for. Hundreds or thousands can
+//                      be open at once — on the thread core that is a thread
+//                      each, on the epoll core an fd plus a state machine.
+//   in-flight queries  A small worker pool round-robins over the open
+//                      connections issuing blocking request/reply exchanges,
+//                      so request concurrency stays bounded (the interesting
+//                      contention is server-side) while *connection* count
+//                      scales freely.
+//
+// Everything is plain blocking frame I/O on the client side; the server
+// under test is the subject of the measurement, not this driver.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace waves::tools {
+
+struct LoadConn {
+  net::Socket sock;
+  std::uint64_t requests = 0;
+};
+
+/// Open `count` handshaken connections. Stops early (returning what it got)
+/// if a connect or handshake fails — the caller compares sizes.
+inline std::vector<LoadConn> open_conns(const std::string& host,
+                                        std::uint16_t port, std::size_t count,
+                                        std::chrono::milliseconds per_conn) {
+  std::vector<LoadConn> conns;
+  conns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::Deadline dl = net::deadline_in(per_conn);
+    net::Socket s = net::tcp_connect(host, port, dl);
+    if (!s.valid()) break;
+    net::Hello hello;
+    hello.client_id = 0x10adull << 16 | i;
+    if (!net::write_frame(s, net::MsgType::kHello, hello.encode(), dl)) break;
+    net::Frame f;
+    if (net::read_frame(s, f, dl) != net::ReadStatus::kOk ||
+        f.type != net::MsgType::kHelloAck) {
+      break;
+    }
+    conns.push_back(LoadConn{std::move(s), 0});
+  }
+  return conns;
+}
+
+struct LoadStats {
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Drive `total_requests` snapshot queries across `conns` from `workers`
+/// threads. Each worker owns a disjoint slice of the connections and
+/// round-robins them, one blocking exchange at a time, so every connection
+/// sees traffic while at most `workers` requests are in flight.
+inline LoadStats query_load(std::vector<LoadConn>& conns, net::PartyRole role,
+                            std::uint64_t n, std::size_t workers,
+                            std::uint64_t total_requests,
+                            std::chrono::milliseconds deadline) {
+  LoadStats stats;
+  if (conns.empty() || total_requests == 0) return stats;
+  workers = std::clamp<std::size_t>(workers, 1, conns.size());
+  std::vector<std::vector<double>> lat(workers);
+  std::vector<std::uint64_t> oks(workers, 0), errs(workers, 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        // Worker w serves connections [lo, hi) and its share of requests.
+        const std::size_t lo = w * conns.size() / workers;
+        const std::size_t hi = (w + 1) * conns.size() / workers;
+        const std::uint64_t quota = (w + 1) * total_requests / workers -
+                                    w * total_requests / workers;
+        lat[w].reserve(quota);
+        std::size_t cur = lo;
+        net::Frame reply;
+        for (std::uint64_t q = 0; q < quota; ++q) {
+          LoadConn& c = conns[cur];
+          cur = cur + 1 == hi ? lo : cur + 1;
+          net::SnapshotRequest req;
+          req.request_id = q + 1;
+          req.role = role;
+          req.n = n;
+          const net::Deadline dl = net::deadline_in(deadline);
+          const auto q0 = std::chrono::steady_clock::now();
+          const bool sent = c.sock.valid() &&
+                            net::write_frame(c.sock, net::MsgType::kSnapshotRequest,
+                                             req.encode(), dl);
+          if (!sent ||
+              net::read_frame(c.sock, reply, dl) != net::ReadStatus::kOk ||
+              reply.type == net::MsgType::kErr) {
+            ++errs[w];
+            continue;
+          }
+          ++oks[w];
+          ++c.requests;
+          lat[w].push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - q0)
+                               .count());
+        }
+      });
+    }
+  }  // joins
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> all;
+  for (std::size_t w = 0; w < workers; ++w) {
+    stats.ok += oks[w];
+    stats.errors += errs[w];
+    all.insert(all.end(), lat[w].begin(), lat[w].end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    const auto at = [&](double q) {
+      return all[std::min(all.size() - 1,
+                          static_cast<std::size_t>(q * static_cast<double>(
+                                                           all.size())))];
+    };
+    stats.p50_us = at(0.50);
+    stats.p99_us = at(0.99);
+    stats.max_us = all.back();
+  }
+  if (stats.seconds > 0.0) {
+    stats.qps = static_cast<double>(stats.ok) / stats.seconds;
+  }
+  return stats;
+}
+
+/// Turn every connection into an idle push subscription (subscribe, read
+/// the initial ack push, then leave it open and silent). Returns how many
+/// subscribed successfully.
+inline std::size_t subscribe_idle(std::vector<LoadConn>& conns,
+                                  net::PartyRole role, std::uint64_t n,
+                                  double slack, std::uint64_t check_every_ms,
+                                  std::chrono::milliseconds deadline) {
+  std::size_t ok = 0;
+  net::Frame reply;
+  for (auto& c : conns) {
+    if (!c.sock.valid()) continue;
+    net::SubscribeRequest req;
+    req.request_id = 1;
+    req.role = role;
+    req.n = n;
+    req.has_slack = true;
+    req.slack = slack;
+    req.check_every_ms = check_every_ms;
+    const net::Deadline dl = net::deadline_in(deadline);
+    if (!net::write_frame(c.sock, net::MsgType::kSubscribe, req.encode(),
+                          dl)) {
+      continue;
+    }
+    if (net::read_frame(c.sock, reply, dl) != net::ReadStatus::kOk ||
+        reply.type != net::MsgType::kPushUpdate) {
+      continue;
+    }
+    ++ok;
+  }
+  return ok;
+}
+
+/// `Threads:` from /proc/self/status — resident thread count of this
+/// process (the measurement includes the in-process server under test).
+inline std::uint64_t resident_threads() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t threads = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "Threads:", 8) == 0) {
+      threads = std::strtoull(line + 8, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+/// `VmRSS:` from /proc/self/status, in bytes (0 if unreadable).
+inline std::uint64_t resident_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace waves::tools
